@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the end-to-end pipeline: the per-query cost of
+//! the full prompt → LLM → sandbox → evaluate loop (the unit of work behind
+//! Tables 2–4), the pass@k sweep behind the Table-6 ablation, and the cost
+//! model behind Figure 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nemo_bench::runner::{cost_comparison, run_accuracy_benchmark_for, run_case_study, DEFAULT_SEED};
+use nemo_bench::{BenchmarkSuite, SuiteConfig};
+use nemo_core::llm::profiles;
+use nemo_core::{Backend, NetworkManager, SimulatedLlm};
+
+fn suite() -> BenchmarkSuite {
+    BenchmarkSuite::build(&SuiteConfig::small())
+}
+
+/// One full query through the pipeline (traffic analysis, NetworkX backend).
+fn bench_single_query(c: &mut Criterion) {
+    let suite = suite();
+    let query = &suite.queries_for(nemo_core::Application::TrafficAnalysis)[0];
+    let golden = &query.goldens[&Backend::NetworkX];
+    c.bench_function("pipeline_single_query", |b| {
+        b.iter(|| {
+            let mut llm = SimulatedLlm::new(profiles::gpt4(), suite.knowledge(), DEFAULT_SEED);
+            let mut manager = NetworkManager::new(&suite.traffic_app, &mut llm);
+            manager.run_query(Backend::NetworkX, query.spec.text, golden)
+        })
+    });
+}
+
+/// The full single-model accuracy run (one row of Table 2).
+fn bench_accuracy_row(c: &mut Criterion) {
+    let suite = suite();
+    let mut group = c.benchmark_group("accuracy_row");
+
+    group.bench_function("gpt4_all_backends", |b| {
+        b.iter(|| run_accuracy_benchmark_for(&suite, &[profiles::gpt4()], DEFAULT_SEED))
+    });
+    group.finish();
+}
+
+/// Pass@k sweep (the Table-6 ablation: how much each extra attempt buys).
+fn bench_pass_at_k(c: &mut Criterion) {
+    let suite = suite();
+    let mut group = c.benchmark_group("pass_at_k");
+
+    for k in [1usize, 3, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| run_case_study(&suite, &profiles::bard(), k, DEFAULT_SEED))
+        });
+    }
+    group.finish();
+}
+
+/// The Figure-4 cost model across graph sizes.
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    for size in [80usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| cost_comparison(&profiles::gpt4(), size, DEFAULT_SEED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_single_query, bench_accuracy_row, bench_pass_at_k, bench_cost_model
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of the substrates, used as ablations for the
+//! design choices called out in DESIGN.md: graph representation costs,
+//! dataframe group-by, SQL execution and GraphScript interpretation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataframe::ops::AggFunc;
+use graphscript::{Interpreter, Value};
+use netgraph::algo::degree::node_weight_totals;
+use sqlengine::Database;
+use trafficgen::{export, generate, TrafficConfig};
+
+fn workload(size: usize) -> trafficgen::TrafficWorkload {
+    generate(&TrafficConfig {
+        nodes: size,
+        edges: size * 2,
+        prefixes: 6,
+        seed: 42,
+    })
+}
+
+/// Graph-substrate ablation: adjacency queries vs whole-edge scans.
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ops");
+    for size in [100usize, 400] {
+        let g = export::to_graph(&workload(size));
+        group.bench_with_input(BenchmarkId::new("node_weight_totals", size), &g, |b, g| {
+            b.iter(|| node_weight_totals(g, "bytes").unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("neighbors_scan", size), &g, |b, g| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for n in g.node_ids() {
+                    total += g.neighbors(n).unwrap().len();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("edge_scan_sum", size), &g, |b, g| {
+            b.iter(|| g.total_edge_attr("bytes"))
+        });
+    }
+    group.finish();
+}
+
+/// Dataframe ablation: group-by aggregation and filtering cost.
+fn bench_dataframe_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataframe_ops");
+    for size in [100usize, 400] {
+        let (_, edges) = export::to_frames(&workload(size));
+        group.bench_with_input(BenchmarkId::new("groupby_sum", size), &edges, |b, edges| {
+            b.iter(|| {
+                edges
+                    .group_agg("source", "bytes", AggFunc::Sum, "total")
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sort_desc", size), &edges, |b, edges| {
+            b.iter(|| edges.sort_values(&["bytes"], false).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// SQL ablation: the same aggregation expressed as SQL text (lex + parse +
+/// execute per iteration, as the sandbox does).
+fn bench_sql_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_exec");
+    for size in [100usize, 400] {
+        let db = export::to_database(&workload(size));
+        group.bench_with_input(BenchmarkId::new("group_by_sum", size), &db, |b, db| {
+            b.iter(|| {
+                let mut db = db.clone();
+                db.execute(
+                    "SELECT source, SUM(bytes) AS total FROM edges GROUP BY source ORDER BY total DESC LIMIT 5",
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Interpreter ablation: the per-query cost of running a golden program in
+/// the sandboxed interpreter, compared with the native substrate call.
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    let g = export::to_graph(&workload(100));
+    let program = r#"
+totals = node_weight_totals(G, "bytes")
+result = top_k(totals, 5)
+"#;
+    group.bench_function("graphscript_top_talkers", |b| {
+        b.iter(|| {
+            let mut interp = Interpreter::new();
+            interp.set_global("G", Value::graph(g.clone()));
+            interp.run(program).unwrap()
+        })
+    });
+    group.bench_function("native_top_talkers", |b| {
+        b.iter(|| {
+            let totals = node_weight_totals(&g, "bytes").unwrap();
+            netgraph::algo::degree::top_k_by_score(&totals, 5)
+        })
+    });
+    group.finish();
+}
+
+/// SQL parsing alone (how much of the SQL cost is the front end).
+fn bench_sql_parse(c: &mut Criterion) {
+    let sql = "SELECT IP_PREFIX(source, 2) AS prefix, SUM(bytes) AS total FROM edges \
+               WHERE bytes > 100 GROUP BY IP_PREFIX(source, 2) ORDER BY total DESC LIMIT 3";
+    c.bench_function("sql_parse_only", |b| {
+        b.iter(|| sqlengine::parse_statement(sql).unwrap())
+    });
+    let mut db = Database::new();
+    let (_, edges) = export::to_frames(&workload(100));
+    db.create_table("edges", edges);
+    c.bench_function("sql_parse_and_execute", |b| {
+        b.iter(|| db.clone().execute(sql).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_graph_ops, bench_dataframe_ops, bench_sql_exec, bench_interpreter, bench_sql_parse
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates every table and figure in one run (used by EXPERIMENTS.md).
+
+use nemo_bench::report;
+use nemo_bench::runner::{cost_comparison, run_case_study, scalability_sweep, DEFAULT_SEED};
+use nemo_core::llm::profiles;
+
+fn main() {
+    let suite = bench::build_suite();
+    let logger = bench::run_full(&suite);
+    println!("{}", report::format_table2(&suite, &logger));
+    println!("{}", report::format_table3(&suite, &logger));
+    println!("{}", report::format_table4(&suite, &logger));
+    println!("{}", report::format_table5(&suite, &logger));
+    let case = run_case_study(&suite, &profiles::bard(), 5, DEFAULT_SEED);
+    println!("{}", report::format_table6("Google Bard", &case));
+    let comparison = cost_comparison(&profiles::gpt4(), 80, DEFAULT_SEED);
+    println!("{}", report::format_figure4a(&comparison));
+    let sweep = scalability_sweep(&profiles::gpt4(), &[20, 40, 60, 80, 100, 150, 200, 300, 400], DEFAULT_SEED);
+    println!("{}", report::format_figure4b(&sweep));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4a: CDF of LLM cost per query at 80 nodes and edges.
+
+use nemo_bench::runner::{cost_comparison, DEFAULT_SEED};
+use nemo_core::llm::profiles;
+
+fn main() {
+    let comparison = cost_comparison(&profiles::gpt4(), 80, DEFAULT_SEED);
+    println!("{}", nemo_bench::report::format_figure4a(&comparison));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4b: LLM cost versus graph size, strawman vs code-gen.
+
+use nemo_bench::runner::{scalability_sweep, DEFAULT_SEED};
+use nemo_core::llm::profiles;
+
+fn main() {
+    let sizes = [20, 40, 60, 80, 100, 150, 200, 300, 400];
+    let sweep = scalability_sweep(&profiles::gpt4(), &sizes, DEFAULT_SEED);
+    println!("{}", nemo_bench::report::format_figure4b(&sweep));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2: accuracy summary for both applications.
+
+fn main() {
+    let suite = bench::build_suite();
+    let logger = bench::run_full(&suite);
+    println!("{}", nemo_bench::report::format_table2(&suite, &logger));
+}

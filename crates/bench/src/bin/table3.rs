@@ -1,0 +1,7 @@
+//! Regenerates Table 3: traffic-analysis accuracy by complexity.
+
+fn main() {
+    let suite = bench::build_suite();
+    let logger = bench::run_full(&suite);
+    println!("{}", nemo_bench::report::format_table3(&suite, &logger));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 4: MALT accuracy by complexity.
+
+fn main() {
+    let suite = bench::build_suite();
+    let logger = bench::run_full(&suite);
+    println!("{}", nemo_bench::report::format_table4(&suite, &logger));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 5: error-type summary of failed NetworkX programs.
+
+fn main() {
+    let suite = bench::build_suite();
+    let logger = bench::run_full(&suite);
+    println!("{}", nemo_bench::report::format_table5(&suite, &logger));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 6: the Bard + pass@5 / self-debug case study on MALT.
+
+use nemo_bench::runner::{run_case_study, DEFAULT_SEED};
+use nemo_core::llm::profiles;
+
+fn main() {
+    let suite = bench::build_suite();
+    let result = run_case_study(&suite, &profiles::bard(), 5, DEFAULT_SEED);
+    println!("{}", nemo_bench::report::format_table6("Google Bard", &result));
+}

@@ -1,0 +1,41 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Each binary (`table2` … `table6`, `figure4a`, `figure4b`) regenerates one
+//! table or figure from the paper's evaluation section. They all run the
+//! same full benchmark, so the shared pieces live here.
+
+#![warn(missing_docs)]
+
+use nemo_bench::{runner, BenchmarkSuite, SuiteConfig};
+use nemo_core::ResultsLogger;
+
+/// Builds the benchmark suite used by every regeneration binary.
+///
+/// Setting the environment variable `NEMO_SMALL=1` switches to the reduced
+/// MALT preset, which is useful when iterating locally.
+pub fn build_suite() -> BenchmarkSuite {
+    if std::env::var("NEMO_SMALL").is_ok() {
+        BenchmarkSuite::build(&SuiteConfig::small())
+    } else {
+        BenchmarkSuite::build_default()
+    }
+}
+
+/// Runs the full accuracy benchmark (all four model profiles) with the
+/// published seed.
+pub fn run_full(suite: &BenchmarkSuite) -> ResultsLogger {
+    runner::run_accuracy_benchmark(suite, runner::DEFAULT_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_builds_through_the_helper() {
+        std::env::set_var("NEMO_SMALL", "1");
+        let suite = build_suite();
+        assert_eq!(suite.queries.len(), 33);
+        std::env::remove_var("NEMO_SMALL");
+    }
+}

@@ -1,0 +1,221 @@
+//! CSV serialization for frames.
+//!
+//! Workload generators export node/edge frames as CSV so benchmark runs can
+//! be inspected outside the harness; the reader is used in tests and in the
+//! round-trip property checks. The dialect is deliberately small: comma
+//! separator, `"`-quoting with doubled quotes, first row is the header.
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::frame::DataFrame;
+use netgraph::AttrValue;
+
+/// Serializes a frame as CSV with a header row.
+///
+/// Ints and floats are written unquoted; everything else is quoted when it
+/// contains a separator, quote or newline. Nulls serialize as empty fields.
+pub fn to_csv(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let names = df.column_names();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| quote_field(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in 0..df.n_rows() {
+        let fields: Vec<String> = names
+            .iter()
+            .map(|name| {
+                let v = df.value(row, name).expect("in range");
+                match v {
+                    AttrValue::Null => String::new(),
+                    AttrValue::Int(_) | AttrValue::Float(_) | AttrValue::Bool(_) => v.to_string(),
+                    _ => quote_field(&v.to_string()),
+                }
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text (first row = header) into a frame.
+///
+/// Fields are type-inferred: empty → null, `true`/`false` → bool, integers →
+/// int, other numerics → float, everything else → string.
+pub fn from_csv(text: &str) -> Result<DataFrame> {
+    let mut rows = parse_rows(text)?;
+    if rows.is_empty() {
+        return Ok(DataFrame::new());
+    }
+    let header = rows.remove(0);
+    let mut columns: Vec<Column> = header.iter().map(|_| Column::new()).collect();
+    for (line, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(FrameError::Csv(format!(
+                "row {} has {} fields, expected {}",
+                line + 2,
+                row.len(),
+                header.len()
+            )));
+        }
+        for (i, field) in row.iter().enumerate() {
+            columns[i].push(infer_value(field));
+        }
+    }
+    DataFrame::from_columns(header.into_iter().zip(columns).collect())
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn infer_value(field: &str) -> AttrValue {
+    if field.is_empty() {
+        return AttrValue::Null;
+    }
+    match field {
+        "true" => return AttrValue::Bool(true),
+        "false" => return AttrValue::Bool(false),
+        _ => {}
+    }
+    // Only fields that *look* numeric are parsed as numbers; this keeps
+    // strings such as "inf" or "nan" (valid Rust float spellings) as text.
+    let looks_numeric = field
+        .chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        && field.chars().any(|c| c.is_ascii_digit());
+    if looks_numeric {
+        if let Ok(i) = field.parse::<i64>() {
+            return AttrValue::Int(i);
+        }
+        if let Ok(f) = field.parse::<f64>() {
+            return AttrValue::Float(f);
+        }
+    }
+    AttrValue::Str(field.to_string())
+}
+
+/// Splits CSV text into rows of unquoted fields.
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv("unterminated quoted field".to_string()));
+    }
+    if saw_any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("node".to_string(), Column::from_values(["a", "b,comma", "c\"quote"])),
+            ("bytes".to_string(), Column::from_values([10i64, 20, 30])),
+            (
+                "ratio".to_string(),
+                Column::from_iter(vec![
+                    AttrValue::Float(0.5),
+                    AttrValue::Null,
+                    AttrValue::Float(1.5),
+                ]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let df = sample();
+        let text = to_csv(&df);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.value(1, "node").unwrap().as_str(), Some("b,comma"));
+        assert_eq!(back.value(2, "node").unwrap().as_str(), Some("c\"quote"));
+        assert_eq!(back.value(0, "bytes").unwrap(), &AttrValue::Int(10));
+        assert!(back.value(1, "ratio").unwrap().is_null());
+        assert_eq!(back.value(2, "ratio").unwrap(), &AttrValue::Float(1.5));
+    }
+
+    #[test]
+    fn type_inference() {
+        let df = from_csv("a,b,c,d\n1,2.5,true,hello\n").unwrap();
+        assert_eq!(df.value(0, "a").unwrap(), &AttrValue::Int(1));
+        assert_eq!(df.value(0, "b").unwrap(), &AttrValue::Float(2.5));
+        assert_eq!(df.value(0, "c").unwrap(), &AttrValue::Bool(true));
+        assert_eq!(df.value(0, "d").unwrap().as_str(), Some("hello"));
+    }
+
+    #[test]
+    fn mismatched_row_width_errors() {
+        assert!(matches!(
+            from_csv("a,b\n1,2\n3\n"),
+            Err(FrameError::Csv(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(from_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frame() {
+        let df = from_csv("").unwrap();
+        assert_eq!(df.n_cols(), 0);
+        assert_eq!(df.n_rows(), 0);
+    }
+
+    #[test]
+    fn missing_trailing_newline_still_parses_last_row() {
+        let df = from_csv("x\n1\n2").unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for dataframe operations.
+
+use std::fmt;
+
+/// Errors raised by dataframe construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A column name was referenced that is not present in the frame.
+    ColumnNotFound(String),
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row index.
+        index: usize,
+        /// Number of rows in the frame.
+        len: usize,
+    },
+    /// Columns of mismatched length were combined.
+    LengthMismatch {
+        /// Expected number of rows.
+        expected: usize,
+        /// Number of rows supplied.
+        actual: usize,
+    },
+    /// A column with the same name already exists.
+    DuplicateColumn(String),
+    /// An aggregation or operation received invalid arguments
+    /// (e.g. mean of a non-numeric column).
+    InvalidOperation(String),
+    /// CSV text could not be parsed.
+    Csv(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::ColumnNotFound(c) => write!(f, "column '{c}' does not exist"),
+            FrameError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for frame of {len} rows")
+            }
+            FrameError::LengthMismatch { expected, actual } => {
+                write!(f, "column length mismatch: expected {expected} rows, got {actual}")
+            }
+            FrameError::DuplicateColumn(c) => write!(f, "column '{c}' already exists"),
+            FrameError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+            FrameError::Csv(msg) => write!(f, "CSV parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FrameError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(
+            FrameError::ColumnNotFound("bytes".into()).to_string(),
+            "column 'bytes' does not exist"
+        );
+        assert!(FrameError::RowOutOfBounds { index: 9, len: 3 }
+            .to_string()
+            .contains("out of bounds"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Aggregation functions applied by group-by and whole-column reductions.
+
+use crate::column::Column;
+use crate::error::Result;
+use netgraph::AttrValue;
+
+/// An aggregation applied to a column (or a per-group slice of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of numeric values.
+    Sum,
+    /// Arithmetic mean of numeric values.
+    Mean,
+    /// Minimum numeric value.
+    Min,
+    /// Maximum numeric value.
+    Max,
+    /// Number of non-null values.
+    Count,
+    /// Number of distinct non-null values.
+    Nunique,
+    /// The first value in the group (pandas `first`).
+    First,
+    /// The last value in the group (pandas `last`).
+    Last,
+}
+
+impl AggFunc {
+    /// Applies the aggregation to a column, producing a single value.
+    ///
+    /// Numeric reductions over non-numeric columns propagate the underlying
+    /// error (matching pandas raising on `sum()` of object columns).
+    pub fn apply(&self, column: &Column) -> Result<AttrValue> {
+        Ok(match self {
+            AggFunc::Sum => AttrValue::Float(column.sum()?),
+            AggFunc::Mean => AttrValue::Float(column.mean()?),
+            AggFunc::Min => AttrValue::Float(column.min()?),
+            AggFunc::Max => AttrValue::Float(column.max()?),
+            AggFunc::Count => AttrValue::Int(column.count() as i64),
+            AggFunc::Nunique => AttrValue::Int(column.nunique() as i64),
+            AggFunc::First => column.iter().next().cloned().unwrap_or(AttrValue::Null),
+            AggFunc::Last => column.iter().last().cloned().unwrap_or(AttrValue::Null),
+        })
+    }
+
+    /// Parses the spelling used by SQL (`SUM`, `AVG`, ...) and by the
+    /// GraphScript frame bindings (`"sum"`, `"mean"`, ...).
+    pub fn parse(text: &str) -> Option<AggFunc> {
+        match text.to_ascii_lowercase().as_str() {
+            "sum" => Some(AggFunc::Sum),
+            "mean" | "avg" | "average" => Some(AggFunc::Mean),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "count" => Some(AggFunc::Count),
+            "nunique" | "count_distinct" => Some(AggFunc::Nunique),
+            "first" => Some(AggFunc::First),
+            "last" => Some(AggFunc::Last),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name, used when auto-naming output columns.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Mean => "mean",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Nunique => "nunique",
+            AggFunc::First => "first",
+            AggFunc::Last => "last",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_aggregations() {
+        let c = Column::from_values([4i64, 8, 12]);
+        assert_eq!(AggFunc::Sum.apply(&c).unwrap(), AttrValue::Float(24.0));
+        assert_eq!(AggFunc::Mean.apply(&c).unwrap(), AttrValue::Float(8.0));
+        assert_eq!(AggFunc::Min.apply(&c).unwrap(), AttrValue::Float(4.0));
+        assert_eq!(AggFunc::Max.apply(&c).unwrap(), AttrValue::Float(12.0));
+        assert_eq!(AggFunc::Count.apply(&c).unwrap(), AttrValue::Int(3));
+    }
+
+    #[test]
+    fn positional_aggregations() {
+        let c = Column::from_values(["x", "y", "x"]);
+        assert_eq!(AggFunc::First.apply(&c).unwrap().as_str(), Some("x"));
+        assert_eq!(AggFunc::Last.apply(&c).unwrap().as_str(), Some("x"));
+        assert_eq!(AggFunc::Nunique.apply(&c).unwrap(), AttrValue::Int(2));
+        assert_eq!(AggFunc::First.apply(&Column::new()).unwrap(), AttrValue::Null);
+    }
+
+    #[test]
+    fn sum_of_strings_errors() {
+        let c = Column::from_values(["a", "b"]);
+        assert!(AggFunc::Sum.apply(&c).is_err());
+        assert!(AggFunc::Count.apply(&c).is_ok());
+    }
+
+    #[test]
+    fn parse_spellings() {
+        assert_eq!(AggFunc::parse("AVG"), Some(AggFunc::Mean));
+        assert_eq!(AggFunc::parse("sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::parse("median"), None);
+        assert_eq!(AggFunc::Mean.name(), "mean");
+    }
+}

@@ -1,0 +1,119 @@
+//! Row-filtering comparison operators.
+
+use netgraph::AttrValue;
+use std::cmp::Ordering;
+
+/// A comparison operator applied between a column value and a constant, used
+/// by [`crate::DataFrame::filter_by`] and by the SQL and GraphScript layers
+/// that sit on top of the frame substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal (with numeric coercion and float tolerance).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// String containment (`value` must be a substring of the cell).
+    Contains,
+    /// String prefix match.
+    StartsWith,
+    /// String suffix match.
+    EndsWith,
+}
+
+impl CmpOp {
+    /// Evaluates `cell <op> constant`. Comparisons between incomparable
+    /// types are false (never an error), matching pandas boolean-mask
+    /// semantics.
+    pub fn eval(&self, cell: &AttrValue, constant: &AttrValue) -> bool {
+        match self {
+            CmpOp::Eq => cell.approx_eq(constant),
+            CmpOp::Ne => !cell.approx_eq(constant),
+            CmpOp::Lt => matches!(cell.partial_cmp_value(constant), Some(Ordering::Less)),
+            CmpOp::Le => matches!(
+                cell.partial_cmp_value(constant),
+                Some(Ordering::Less | Ordering::Equal)
+            ),
+            CmpOp::Gt => matches!(cell.partial_cmp_value(constant), Some(Ordering::Greater)),
+            CmpOp::Ge => matches!(
+                cell.partial_cmp_value(constant),
+                Some(Ordering::Greater | Ordering::Equal)
+            ),
+            CmpOp::Contains => match (cell.as_str(), constant.as_str()) {
+                (Some(c), Some(k)) => c.contains(k),
+                _ => false,
+            },
+            CmpOp::StartsWith => match (cell.as_str(), constant.as_str()) {
+                (Some(c), Some(k)) => c.starts_with(k),
+                _ => false,
+            },
+            CmpOp::EndsWith => match (cell.as_str(), constant.as_str()) {
+                (Some(c), Some(k)) => c.ends_with(k),
+                _ => false,
+            },
+        }
+    }
+
+    /// Parses the textual operators used by the SQL layer and the GraphScript
+    /// frame bindings (`==`, `!=`, `<`, `<=`, `>`, `>=`, `contains`,
+    /// `startswith`, `endswith`). `=` is accepted as an alias for `==`.
+    pub fn parse(text: &str) -> Option<CmpOp> {
+        match text {
+            "==" | "=" | "eq" => Some(CmpOp::Eq),
+            "!=" | "<>" | "ne" => Some(CmpOp::Ne),
+            "<" | "lt" => Some(CmpOp::Lt),
+            "<=" | "le" => Some(CmpOp::Le),
+            ">" | "gt" => Some(CmpOp::Gt),
+            ">=" | "ge" => Some(CmpOp::Ge),
+            "contains" => Some(CmpOp::Contains),
+            "startswith" => Some(CmpOp::StartsWith),
+            "endswith" => Some(CmpOp::EndsWith),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparisons_coerce_types() {
+        assert!(CmpOp::Eq.eval(&AttrValue::Int(5), &AttrValue::Float(5.0)));
+        assert!(CmpOp::Lt.eval(&AttrValue::Int(3), &AttrValue::Float(3.5)));
+        assert!(CmpOp::Ge.eval(&AttrValue::Float(4.0), &AttrValue::Int(4)));
+        assert!(!CmpOp::Gt.eval(&AttrValue::Int(1), &AttrValue::Int(2)));
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let cell = AttrValue::from("10.76.3.9");
+        assert!(CmpOp::StartsWith.eval(&cell, &AttrValue::from("10.76")));
+        assert!(CmpOp::Contains.eval(&cell, &AttrValue::from(".3.")));
+        assert!(CmpOp::EndsWith.eval(&cell, &AttrValue::from(".9")));
+        assert!(!CmpOp::StartsWith.eval(&cell, &AttrValue::from("15.")));
+    }
+
+    #[test]
+    fn incomparable_types_are_false_not_error() {
+        assert!(!CmpOp::Lt.eval(&AttrValue::from("a"), &AttrValue::Int(3)));
+        assert!(!CmpOp::Contains.eval(&AttrValue::Int(3), &AttrValue::from("3")));
+        assert!(CmpOp::Ne.eval(&AttrValue::from("a"), &AttrValue::Int(3)));
+    }
+
+    #[test]
+    fn parse_accepts_sql_and_python_spellings() {
+        assert_eq!(CmpOp::parse("=="), Some(CmpOp::Eq));
+        assert_eq!(CmpOp::parse("="), Some(CmpOp::Eq));
+        assert_eq!(CmpOp::parse("<>"), Some(CmpOp::Ne));
+        assert_eq!(CmpOp::parse("startswith"), Some(CmpOp::StartsWith));
+        assert_eq!(CmpOp::parse("~="), None);
+    }
+}

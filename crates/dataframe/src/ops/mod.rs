@@ -1,0 +1,11 @@
+//! Frame operations: comparisons, aggregation functions, group-by and joins.
+
+mod agg;
+mod filter;
+mod groupby;
+mod join;
+
+pub use agg::AggFunc;
+pub use filter::CmpOp;
+pub use groupby::GroupBy;
+pub use join::{inner_join, left_join};

@@ -1,0 +1,118 @@
+//! Property-based tests for the dataframe substrate.
+
+use dataframe::csv::{from_csv, to_csv};
+use dataframe::ops::{AggFunc, CmpOp};
+use dataframe::{AttrValue, Column, DataFrame};
+use proptest::prelude::*;
+
+/// Strategy producing a frame with a string key column, an integer value
+/// column and a float weight column, of 0..40 rows.
+fn arb_frame() -> impl Strategy<Value = DataFrame> {
+    prop::collection::vec(
+        (
+            "[a-z]{1,6}",
+            -1_000_000i64..1_000_000,
+            -1.0e6f64..1.0e6,
+        ),
+        0..40,
+    )
+    .prop_map(|rows| {
+        let mut keys = Column::new();
+        let mut ints = Column::new();
+        let mut floats = Column::new();
+        for (k, i, f) in rows {
+            keys.push(AttrValue::Str(k));
+            ints.push(AttrValue::Int(i));
+            floats.push(AttrValue::Float(f));
+        }
+        DataFrame::from_columns(vec![
+            ("key".to_string(), keys),
+            ("value".to_string(), ints),
+            ("weight".to_string(), floats),
+        ])
+        .expect("columns are equal length")
+    })
+}
+
+proptest! {
+    /// CSV round-trips preserve shape and approximate content.
+    #[test]
+    fn csv_round_trip(df in arb_frame()) {
+        let text = to_csv(&df);
+        let back = from_csv(&text).unwrap();
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        prop_assert_eq!(back.n_cols(), df.n_cols());
+        for row in 0..df.n_rows() {
+            for col in df.column_names() {
+                let a = df.value(row, col).unwrap();
+                let b = back.value(row, col).unwrap();
+                prop_assert!(a.approx_eq(b), "row {} col {} {:?} vs {:?}", row, col, a, b);
+            }
+        }
+    }
+
+    /// Sorting never changes the multiset of rows, and produces a
+    /// non-decreasing key sequence.
+    #[test]
+    fn sort_is_permutation_and_ordered(df in arb_frame()) {
+        let sorted = df.sort_values(&["value"], true).unwrap();
+        prop_assert!(df.approx_eq_unordered(&sorted));
+        let col = sorted.column("value").unwrap();
+        for i in 1..col.len() {
+            let prev = col.get(i - 1).unwrap().as_i64().unwrap();
+            let cur = col.get(i).unwrap().as_i64().unwrap();
+            prop_assert!(prev <= cur);
+        }
+    }
+
+    /// Filtering partitions the rows: matching + non-matching = total.
+    #[test]
+    fn filter_partitions_rows(df in arb_frame(), threshold in -1_000_000i64..1_000_000) {
+        let lt = df.filter_by("value", CmpOp::Lt, AttrValue::Int(threshold)).unwrap();
+        let ge = df.filter_by("value", CmpOp::Ge, AttrValue::Int(threshold)).unwrap();
+        prop_assert_eq!(lt.n_rows() + ge.n_rows(), df.n_rows());
+    }
+
+    /// Group-by sums over a key add up to the whole-column sum.
+    #[test]
+    fn groupby_sum_is_total_sum(df in arb_frame()) {
+        prop_assume!(df.n_rows() > 0);
+        let grouped = df.groupby(&["key"]).unwrap()
+            .agg(&[("value", AggFunc::Sum, "total")]).unwrap();
+        let group_total: f64 = grouped.column("total").unwrap().sum().unwrap();
+        let overall: f64 = df.column("value").unwrap().sum().unwrap();
+        prop_assert!((group_total - overall).abs() <= 1e-6 * overall.abs().max(1.0));
+    }
+
+    /// Group counts sum to the number of rows and every group is non-empty.
+    #[test]
+    fn group_counts_sum_to_rows(df in arb_frame()) {
+        let counts = df.groupby(&["key"]).unwrap().count().unwrap();
+        let total: f64 = if counts.n_rows() == 0 {
+            0.0
+        } else {
+            counts.column("count").unwrap().sum().unwrap()
+        };
+        prop_assert_eq!(total as usize, df.n_rows());
+        for i in 0..counts.n_rows() {
+            prop_assert!(counts.value(i, "count").unwrap().as_i64().unwrap() >= 1);
+        }
+    }
+
+    /// `take` with all indices is the identity; `head` never exceeds the
+    /// requested length.
+    #[test]
+    fn take_identity_and_head_bounds(df in arb_frame(), n in 0usize..60) {
+        let all: Vec<usize> = (0..df.n_rows()).collect();
+        prop_assert!(df.approx_eq(&df.take(&all).unwrap()));
+        prop_assert!(df.head(n).n_rows() <= n.min(df.n_rows()).max(0));
+    }
+
+    /// Self-join on the key column never loses left rows (inner join when
+    /// every key matches itself).
+    #[test]
+    fn self_join_preserves_rows(df in arb_frame()) {
+        let j = dataframe::ops::inner_join(&df, &df, "key", "key", "_r").unwrap();
+        prop_assert!(j.n_rows() >= df.n_rows());
+    }
+}

@@ -1,0 +1,169 @@
+//! Error model for GraphScript.
+//!
+//! The error *kinds* are the raw material of the paper's Table 5: the
+//! NeMoEval error classifier maps each kind onto one of the seven published
+//! error categories (syntax error, imaginary graph attributes, imaginary
+//! functions/arguments, argument errors, operation errors, wrong calculation
+//! logic, non-identical graphs). The last two categories are not errors at
+//! all — they are successful executions with wrong results — so they do not
+//! appear here.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or executing a GraphScript program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    /// The program text is not syntactically valid.
+    Syntax {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A variable was referenced before assignment.
+    NameError(String),
+    /// A function was called that does not exist.
+    UnknownFunction(String),
+    /// A method was called (or a field accessed) that the receiver type does
+    /// not provide.
+    AttributeError {
+        /// The receiver's type name.
+        type_name: String,
+        /// The missing method or field.
+        attr: String,
+    },
+    /// A call received the wrong number or kind of arguments.
+    ArgumentError {
+        /// The function or method being called.
+        function: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A node/edge attribute or dictionary key that does not exist was read.
+    MissingAttribute {
+        /// What owns the attribute ("node 10.0.0.1", "edge a->b", "dict").
+        owner: String,
+        /// The missing key.
+        key: String,
+    },
+    /// An operation was applied to values of the wrong type.
+    TypeError(String),
+    /// Any other runtime failure (missing node, division by zero, index out
+    /// of range, ...).
+    Runtime(String),
+    /// The interpreter hit its execution-step budget (runaway loop guard).
+    StepLimit(u64),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            ScriptError::NameError(name) => write!(f, "name '{name}' is not defined"),
+            ScriptError::UnknownFunction(name) => {
+                write!(f, "function '{name}' is not defined")
+            }
+            ScriptError::AttributeError { type_name, attr } => {
+                write!(f, "'{type_name}' object has no attribute '{attr}'")
+            }
+            ScriptError::ArgumentError { function, message } => {
+                write!(f, "bad arguments to {function}(): {message}")
+            }
+            ScriptError::MissingAttribute { owner, key } => {
+                write!(f, "{owner} has no attribute '{key}'")
+            }
+            ScriptError::TypeError(msg) => write!(f, "type error: {msg}"),
+            ScriptError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            ScriptError::StepLimit(n) => {
+                write!(f, "execution aborted after {n} steps (possible infinite loop)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+impl ScriptError {
+    /// True for lexical/grammatical errors (the paper's "syntax error" row).
+    pub fn is_syntax(&self) -> bool {
+        matches!(self, ScriptError::Syntax { .. })
+    }
+
+    /// True when the program referenced a graph/frame attribute or dict key
+    /// that does not exist (the paper's "imaginary graph attributes" row).
+    pub fn is_missing_attribute(&self) -> bool {
+        matches!(self, ScriptError::MissingAttribute { .. })
+    }
+
+    /// True when the program called a function or method that does not exist
+    /// (the paper's "imaginary files/function arguments" row).
+    pub fn is_unknown_callable(&self) -> bool {
+        matches!(
+            self,
+            ScriptError::UnknownFunction(_) | ScriptError::AttributeError { .. }
+        )
+    }
+
+    /// True for wrong-argument failures (the paper's "arguments error" row).
+    pub fn is_argument_error(&self) -> bool {
+        matches!(self, ScriptError::ArgumentError { .. })
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ScriptError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ScriptError::NameError("G2".into()).to_string(),
+            "name 'G2' is not defined"
+        );
+        assert_eq!(
+            ScriptError::AttributeError {
+                type_name: "graph".into(),
+                attr: "get_total_weight".into()
+            }
+            .to_string(),
+            "'graph' object has no attribute 'get_total_weight'"
+        );
+        assert!(ScriptError::MissingAttribute {
+            owner: "node 10.0.0.1".into(),
+            key: "capacity".into()
+        }
+        .to_string()
+        .contains("capacity"));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(ScriptError::Syntax {
+            line: 1,
+            message: "x".into()
+        }
+        .is_syntax());
+        assert!(ScriptError::MissingAttribute {
+            owner: "node a".into(),
+            key: "k".into()
+        }
+        .is_missing_attribute());
+        assert!(ScriptError::UnknownFunction("f".into()).is_unknown_callable());
+        assert!(ScriptError::AttributeError {
+            type_name: "list".into(),
+            attr: "push".into()
+        }
+        .is_unknown_callable());
+        assert!(ScriptError::ArgumentError {
+            function: "substr".into(),
+            message: "m".into()
+        }
+        .is_argument_error());
+        assert!(!ScriptError::Runtime("r".into()).is_syntax());
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration tests: realistic NeMoEval-style programs run end to end
+//! against graph and dataframe globals, plus property tests on the
+//! interpreter's arithmetic.
+
+use dataframe::{Column, DataFrame};
+use graphscript::{Interpreter, ScriptError, Value};
+use netgraph::{attrs, Graph};
+use proptest::prelude::*;
+
+fn comm_graph() -> Graph {
+    let mut g = Graph::directed();
+    g.add_edge("15.76.0.1", "10.2.0.1", attrs([("bytes", 1200i64), ("packets", 12i64)]));
+    g.add_edge("15.76.0.2", "10.2.0.2", attrs([("bytes", 900i64), ("packets", 9i64)]));
+    g.add_edge("15.76.1.9", "10.3.7.7", attrs([("bytes", 450i64), ("packets", 4i64)]));
+    g.add_edge("10.2.0.1", "10.3.7.7", attrs([("bytes", 600i64), ("packets", 6i64)]));
+    g
+}
+
+fn edge_frame() -> DataFrame {
+    DataFrame::from_columns(vec![
+        (
+            "source".to_string(),
+            Column::from_values(["15.76.0.1", "15.76.0.2", "15.76.1.9", "10.2.0.1"]),
+        ),
+        (
+            "target".to_string(),
+            Column::from_values(["10.2.0.1", "10.2.0.2", "10.3.7.7", "10.3.7.7"]),
+        ),
+        (
+            "bytes".to_string(),
+            Column::from_values([1200i64, 900, 450, 600]),
+        ),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn networkx_style_label_by_prefix() {
+    // "Add a label app:production to nodes with address prefix 15.76".
+    let gv = Value::graph(comm_graph());
+    let mut interp = Interpreter::new();
+    interp.set_global("G", gv.clone());
+    let program = r#"
+count = 0
+for n in G.nodes() {
+    if n.startswith("15.76") {
+        G.set_node_attr(n, "label", "app:production")
+        count += 1
+    }
+}
+result = count
+"#;
+    let outcome = interp.run(program).unwrap();
+    assert_eq!(outcome.value.to_string(), "3");
+    if let Value::Graph(g) = &gv {
+        let g = g.borrow();
+        assert_eq!(
+            g.get_node_attr("15.76.0.1", "label").unwrap().as_str(),
+            Some("app:production")
+        );
+        assert!(g.get_node_attr_opt("10.2.0.1", "label").is_none());
+    }
+}
+
+#[test]
+fn networkx_style_cluster_by_byte_weight() {
+    // "Calculate total byte weight on each node, cluster them into 2 groups".
+    let gv = Value::graph(comm_graph());
+    let mut interp = Interpreter::new();
+    interp.set_global("G", gv);
+    let program = r#"
+totals = node_weight_totals(G, "bytes")
+groups = kmeans_groups(totals, 2)
+for n in keys(groups) {
+    G.set_node_attr(n, "group", groups[n])
+}
+result = groups
+"#;
+    let outcome = interp.run(program).unwrap();
+    if let Value::Dict(map) = &outcome.value {
+        assert_eq!(map.borrow().len(), 6);
+    } else {
+        panic!("expected dict result");
+    }
+}
+
+#[test]
+fn pandas_style_top_talker() {
+    let dfv = Value::frame(edge_frame());
+    let mut interp = Interpreter::new();
+    interp.set_global("edges", dfv);
+    let program = r#"
+per_source = edges.groupby_agg("source", "bytes", "sum", "total")
+ranked = per_source.sort_values("total", false)
+result = ranked.value(0, "source")
+"#;
+    let outcome = interp.run(program).unwrap();
+    assert_eq!(outcome.value.to_string(), "15.76.0.1");
+}
+
+#[test]
+fn pandas_style_filter_and_count() {
+    let dfv = Value::frame(edge_frame());
+    let mut interp = Interpreter::new();
+    interp.set_global("edges", dfv.clone());
+    let program = r#"
+heavy = edges.filter("bytes", ">=", 600)
+result = heavy.n_rows()
+"#;
+    assert_eq!(interp.run(program).unwrap().value.to_string(), "3");
+    // The original frame is untouched by the filter.
+    if let Value::Frame(df) = &dfv {
+        assert_eq!(df.borrow().n_rows(), 4);
+    }
+}
+
+#[test]
+fn imaginary_attribute_reproduces_paper_failure_mode() {
+    let gv = Value::graph(comm_graph());
+    let mut interp = Interpreter::new();
+    interp.set_global("G", gv);
+    // The LLM hallucinating an attribute name ("capacity" does not exist).
+    let program = r#"
+total = 0
+for n in G.nodes() {
+    total += G.get_node_attr(n, "capacity")
+}
+result = total
+"#;
+    let err = interp.run(program).unwrap_err();
+    assert!(err.is_missing_attribute());
+}
+
+#[test]
+fn imaginary_method_reproduces_paper_failure_mode() {
+    let gv = Value::graph(comm_graph());
+    let mut interp = Interpreter::new();
+    interp.set_global("G", gv);
+    let err = interp.run("result = G.get_total_traffic()").unwrap_err();
+    assert!(err.is_unknown_callable());
+}
+
+#[test]
+fn removed_node_is_visible_to_caller() {
+    let gv = Value::graph(comm_graph());
+    let mut interp = Interpreter::new();
+    interp.set_global("G", gv.clone());
+    interp.run("G.remove_node(\"10.3.7.7\")").unwrap();
+    if let Value::Graph(g) = &gv {
+        assert!(!g.borrow().has_node("10.3.7.7"));
+        assert_eq!(g.borrow().number_of_edges(), 2);
+    }
+}
+
+#[test]
+fn syntax_error_is_reported_not_panicked() {
+    let mut interp = Interpreter::new();
+    let err = interp.run("for n in G.nodes( {\n  x = 1\n}").unwrap_err();
+    assert!(err.is_syntax() || matches!(err, ScriptError::NameError(_)));
+}
+
+proptest! {
+    /// Integer arithmetic in GraphScript agrees with Rust's own arithmetic.
+    #[test]
+    fn interpreter_arithmetic_matches_rust(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let mut interp = Interpreter::new();
+        let value = interp.run(&format!("result = {a} * 3 + {b} - 7")).unwrap().value;
+        prop_assert_eq!(value.to_string(), (a * 3 + b - 7).to_string());
+    }
+
+    /// Summing a literal list agrees with the native sum.
+    #[test]
+    fn sum_of_list_matches_native(xs in prop::collection::vec(-1000i64..1000, 0..30)) {
+        let literal = xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+        let mut interp = Interpreter::new();
+        let value = interp.run(&format!("result = sum([{literal}])")).unwrap().value;
+        prop_assert_eq!(value.to_string(), xs.iter().sum::<i64>().to_string());
+    }
+
+    /// A counting loop always terminates with the right count.
+    #[test]
+    fn counting_loop(n in 0i64..200) {
+        let mut interp = Interpreter::new();
+        let program = format!("c = 0\nfor i in range({n}) {{ c += 1 }}\nresult = c");
+        let value = interp.run(&program).unwrap().value;
+        prop_assert_eq!(value.to_string(), n.to_string());
+    }
+}

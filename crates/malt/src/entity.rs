@@ -1,0 +1,121 @@
+//! MALT entities: the typed nodes of a multi-abstraction-layer topology.
+
+use netgraph::{AttrMap, AttrMapExt, AttrValue};
+use std::fmt;
+
+/// The entity kinds modelled by the example dataset.
+///
+/// MALT (Mogul et al., NSDI 2020) represents a network at multiple
+/// abstraction levels; the subset here covers the levels the paper's nine
+/// lifecycle-management queries touch: physical containment from datacenter
+/// down to port, plus the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EntityKind {
+    /// A datacenter / campus.
+    Datacenter,
+    /// An aggregation pod.
+    Pod,
+    /// A rack.
+    Rack,
+    /// A chassis hosting packet switches.
+    Chassis,
+    /// A packet switch (the paper's `ju1.a1.m1.s2c1`-style devices).
+    PacketSwitch,
+    /// A physical port on a packet switch.
+    Port,
+    /// A control point (SDN controller instance) controlling switches.
+    ControlPoint,
+}
+
+impl EntityKind {
+    /// All kinds, in containment order from the root down.
+    pub const ALL: [EntityKind; 7] = [
+        EntityKind::Datacenter,
+        EntityKind::Pod,
+        EntityKind::Rack,
+        EntityKind::Chassis,
+        EntityKind::PacketSwitch,
+        EntityKind::Port,
+        EntityKind::ControlPoint,
+    ];
+
+    /// The canonical snake_case name used in node attributes and SQL rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EntityKind::Datacenter => "datacenter",
+            EntityKind::Pod => "pod",
+            EntityKind::Rack => "rack",
+            EntityKind::Chassis => "chassis",
+            EntityKind::PacketSwitch => "packet_switch",
+            EntityKind::Port => "port",
+            EntityKind::ControlPoint => "control_point",
+        }
+    }
+
+    /// Parses a canonical name back into a kind.
+    pub fn parse(name: &str) -> Option<EntityKind> {
+        EntityKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One entity of the topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// Globally unique hierarchical name (`ju1.a2.m3.s1c1`).
+    pub name: String,
+    /// The entity's kind.
+    pub kind: EntityKind,
+    /// Kind-specific attributes (capacity in Gbps for switches and chassis,
+    /// port speed, rack position, ...).
+    pub attrs: AttrMap,
+}
+
+impl Entity {
+    /// Creates an entity with no extra attributes.
+    pub fn new(name: impl Into<String>, kind: EntityKind) -> Self {
+        Entity {
+            name: name.into(),
+            kind,
+            attrs: AttrMap::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
+        self.attrs.set(key, value);
+        self
+    }
+
+    /// The entity's capacity attribute in Gbps, if it has one.
+    pub fn capacity(&self) -> Option<f64> {
+        self.attrs.get_f64("capacity_gbps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in EntityKind::ALL {
+            assert_eq!(EntityKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EntityKind::parse("router"), None);
+        assert_eq!(EntityKind::PacketSwitch.to_string(), "packet_switch");
+    }
+
+    #[test]
+    fn entity_builder_and_capacity() {
+        let e = Entity::new("ju1.a1.m1", EntityKind::Chassis).with_attr("capacity_gbps", 3200i64);
+        assert_eq!(e.capacity(), Some(3200.0));
+        let p = Entity::new("ju1.a1.m1.s1c1.p1", EntityKind::Port);
+        assert_eq!(p.capacity(), None);
+    }
+}

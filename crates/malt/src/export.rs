@@ -1,0 +1,166 @@
+//! Exports a MALT model into the three backend representations the
+//! benchmark evaluates.
+
+use crate::entity::Entity;
+use crate::model::MaltModel;
+use dataframe::{Column, DataFrame};
+use netgraph::{AttrValue, Graph};
+use sqlengine::Database;
+
+/// Builds the directed property graph: one node per entity (id = entity
+/// name, attributes = `kind` plus the entity's own attributes), one edge per
+/// relationship with a `relationship` attribute.
+pub fn to_graph(model: &MaltModel) -> Graph {
+    let mut g = Graph::directed();
+    for entity in model.entities() {
+        let mut attrs = entity.attrs.clone();
+        attrs.insert(
+            "kind".to_string(),
+            AttrValue::Str(entity.kind.name().to_string()),
+        );
+        g.add_node(&entity.name, attrs);
+    }
+    for rel in model.relationships() {
+        let mut attrs = netgraph::AttrMap::new();
+        attrs.insert(
+            "relationship".to_string(),
+            AttrValue::Str(rel.kind.name().to_string()),
+        );
+        g.add_edge(&rel.from, &rel.to, attrs);
+    }
+    g
+}
+
+/// Builds the pandas-style representation: a node frame (`name`, `kind`,
+/// `capacity_gbps`, `speed_gbps`, `role`, `vendor`) and an edge frame
+/// (`source`, `target`, `relationship`).
+pub fn to_frames(model: &MaltModel) -> (DataFrame, DataFrame) {
+    let attr_or_null = |e: &Entity, key: &str| -> AttrValue {
+        e.attrs.get(key).cloned().unwrap_or(AttrValue::Null)
+    };
+    let entities: Vec<&Entity> = model.entities().collect();
+    let nodes = DataFrame::from_columns(vec![
+        (
+            "name".to_string(),
+            entities
+                .iter()
+                .map(|e| AttrValue::Str(e.name.clone()))
+                .collect::<Column>(),
+        ),
+        (
+            "kind".to_string(),
+            entities
+                .iter()
+                .map(|e| AttrValue::Str(e.kind.name().to_string()))
+                .collect(),
+        ),
+        (
+            "capacity_gbps".to_string(),
+            entities
+                .iter()
+                .map(|e| attr_or_null(e, "capacity_gbps"))
+                .collect(),
+        ),
+        (
+            "speed_gbps".to_string(),
+            entities
+                .iter()
+                .map(|e| attr_or_null(e, "speed_gbps"))
+                .collect(),
+        ),
+        (
+            "role".to_string(),
+            entities.iter().map(|e| attr_or_null(e, "role")).collect(),
+        ),
+        (
+            "vendor".to_string(),
+            entities.iter().map(|e| attr_or_null(e, "vendor")).collect(),
+        ),
+    ])
+    .expect("node columns are equal length");
+
+    let rels = model.relationships();
+    let edges = DataFrame::from_columns(vec![
+        (
+            "source".to_string(),
+            rels.iter()
+                .map(|r| AttrValue::Str(r.from.clone()))
+                .collect::<Column>(),
+        ),
+        (
+            "target".to_string(),
+            rels.iter().map(|r| AttrValue::Str(r.to.clone())).collect(),
+        ),
+        (
+            "relationship".to_string(),
+            rels.iter()
+                .map(|r| AttrValue::Str(r.kind.name().to_string()))
+                .collect(),
+        ),
+    ])
+    .expect("edge columns are equal length");
+
+    (nodes, edges)
+}
+
+/// Builds the SQL representation: a database with `nodes` and `edges` tables
+/// whose schemas match [`to_frames`].
+pub fn to_database(model: &MaltModel) -> Database {
+    let (nodes, edges) = to_frames(model);
+    let mut db = Database::new();
+    db.create_table("nodes", nodes);
+    db.create_table("edges", edges);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, MaltConfig};
+    use netgraph::AttrMapExt;
+
+    #[test]
+    fn graph_preserves_counts_and_attributes() {
+        let model = generate(&MaltConfig::tiny());
+        let g = to_graph(&model);
+        assert_eq!(g.number_of_nodes(), model.entity_count());
+        assert_eq!(g.number_of_edges(), model.relationship_count());
+        let sw = model
+            .entities_of_kind(crate::EntityKind::PacketSwitch)
+            .into_iter()
+            .next()
+            .unwrap();
+        assert_eq!(
+            g.node_attrs(&sw.name).unwrap().get_str("kind"),
+            Some("packet_switch")
+        );
+    }
+
+    #[test]
+    fn frames_and_database_shapes() {
+        let model = generate(&MaltConfig::tiny());
+        let (nodes, edges) = to_frames(&model);
+        assert_eq!(nodes.n_rows(), model.entity_count());
+        assert_eq!(edges.n_rows(), model.relationship_count());
+        let mut db = to_database(&model);
+        let switches = db
+            .execute("SELECT COUNT(*) AS n FROM nodes WHERE kind = 'packet_switch'")
+            .unwrap();
+        assert_eq!(
+            switches.rows().unwrap().value(0, "n").unwrap().as_i64(),
+            Some(8)
+        );
+        let contains = db
+            .execute("SELECT COUNT(*) AS n FROM edges WHERE relationship = 'contains'")
+            .unwrap();
+        assert!(contains.rows().unwrap().value(0, "n").unwrap().as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn default_export_matches_example_scale() {
+        let model = crate::example_model();
+        let g = to_graph(&model);
+        assert_eq!(g.number_of_nodes(), 5330);
+        assert_eq!(g.number_of_edges(), 6424);
+    }
+}

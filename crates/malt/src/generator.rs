@@ -1,0 +1,254 @@
+//! Deterministic generator for a MALT example topology.
+//!
+//! The paper converts Google's public MALT example dataset into "a directed
+//! graph with 5493 nodes and 6424 edges" covering packet switches, chassis,
+//! ports and their containment/control relationships. The dataset itself is
+//! not redistributable here, so this generator builds a topology with the
+//! same entity kinds, the same relationship kinds, the same naming scheme as
+//! the paper's example query (`ju1.a1.m1.s2c1`), and a very similar scale
+//! (the default preset yields 5330 entities and exactly 6424 relationships).
+
+use crate::entity::{Entity, EntityKind};
+use crate::model::MaltModel;
+use crate::relationship::{Relationship, RelationshipKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the generated topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaltConfig {
+    /// Number of datacenters (`ju1`, `ju2`, ...).
+    pub datacenters: usize,
+    /// Aggregation pods per datacenter (`ju1.a1`, ...).
+    pub pods_per_datacenter: usize,
+    /// Racks per pod (`ju1.a1.r1`, ...).
+    pub racks_per_pod: usize,
+    /// Chassis per rack (`ju1.a1.m1`, ... — numbered within the pod).
+    pub chassis_per_rack: usize,
+    /// Packet switches per chassis (`ju1.a1.m1.s1c1`, ...).
+    pub switches_per_chassis: usize,
+    /// Ports per packet switch (`ju1.a1.m1.s1c1.p1`, ...).
+    pub ports_per_switch: usize,
+    /// Control points per pod.
+    pub control_points_per_pod: usize,
+    /// Number of inter-switch physical links (port-to-port `connected_to`
+    /// relationships) added on top of the containment tree.
+    pub physical_links: usize,
+    /// RNG seed for capacities and link placement.
+    pub seed: u64,
+}
+
+impl Default for MaltConfig {
+    fn default() -> Self {
+        // Preset sized to approximate the paper's example dataset
+        // (5493 nodes / 6424 edges): 5330 entities / 6424 relationships.
+        MaltConfig {
+            datacenters: 2,
+            pods_per_datacenter: 4,
+            racks_per_pod: 8,
+            chassis_per_rack: 2,
+            switches_per_chassis: 4,
+            ports_per_switch: 9,
+            control_points_per_pod: 1,
+            physical_links: 584,
+            seed: 2023,
+        }
+    }
+}
+
+impl MaltConfig {
+    /// A small configuration for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        MaltConfig {
+            datacenters: 1,
+            pods_per_datacenter: 2,
+            racks_per_pod: 2,
+            chassis_per_rack: 1,
+            switches_per_chassis: 2,
+            ports_per_switch: 3,
+            control_points_per_pod: 1,
+            physical_links: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a topology from a configuration.
+pub fn generate(config: &MaltConfig) -> MaltModel {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut model = MaltModel::new();
+    let mut all_ports: Vec<String> = Vec::new();
+    let contains = |model: &mut MaltModel, parent: &str, child: &str| {
+        model.add_relationship(Relationship::new(parent, child, RelationshipKind::Contains));
+    };
+
+    for d in 1..=config.datacenters {
+        let dc = format!("ju{d}");
+        model.add_entity(
+            Entity::new(&dc, EntityKind::Datacenter).with_attr("region", format!("region-{d}")),
+        );
+        for p in 1..=config.pods_per_datacenter {
+            let pod = format!("{dc}.a{p}");
+            model.add_entity(Entity::new(&pod, EntityKind::Pod).with_attr("tier", 2i64));
+            contains(&mut model, &dc, &pod);
+
+            // Control points for the pod.
+            let mut pod_switches: Vec<String> = Vec::new();
+            let mut chassis_index = 0usize;
+            for r in 1..=config.racks_per_pod {
+                let rack = format!("{pod}.r{r}");
+                model.add_entity(
+                    Entity::new(&rack, EntityKind::Rack).with_attr("position", r as i64),
+                );
+                contains(&mut model, &pod, &rack);
+                for _ in 0..config.chassis_per_rack {
+                    chassis_index += 1;
+                    let chassis = format!("{pod}.m{chassis_index}");
+                    // Chassis capacity is the sum of its switch capacities;
+                    // fill it in after switches are generated.
+                    let mut chassis_capacity = 0i64;
+                    let mut switch_names = Vec::new();
+                    for s in 1..=config.switches_per_chassis {
+                        let switch = format!("{chassis}.s{s}c1");
+                        let capacity = *[400i64, 800, 1600, 3200]
+                            .get(rng.gen_range(0..4))
+                            .expect("non-empty");
+                        chassis_capacity += capacity;
+                        model.add_entity(
+                            Entity::new(&switch, EntityKind::PacketSwitch)
+                                .with_attr("capacity_gbps", capacity)
+                                .with_attr("vendor", ["arista", "juniper", "cisco"][rng.gen_range(0..3)])
+                                .with_attr("role", if s == 1 { "spine" } else { "leaf" }),
+                        );
+                        switch_names.push(switch.clone());
+                        pod_switches.push(switch.clone());
+                        for q in 1..=config.ports_per_switch {
+                            let port = format!("{switch}.p{q}");
+                            let speed = capacity / config.ports_per_switch.max(1) as i64;
+                            model.add_entity(
+                                Entity::new(&port, EntityKind::Port)
+                                    .with_attr("speed_gbps", speed.max(10))
+                                    .with_attr("index", q as i64),
+                            );
+                            all_ports.push(port);
+                        }
+                    }
+                    model.add_entity(
+                        Entity::new(&chassis, EntityKind::Chassis)
+                            .with_attr("capacity_gbps", chassis_capacity)
+                            .with_attr("rack", rack.clone()),
+                    );
+                    contains(&mut model, &rack, &chassis);
+                    for switch in &switch_names {
+                        contains(&mut model, &chassis, switch);
+                        for q in 1..=config.ports_per_switch {
+                            contains(&mut model, switch, &format!("{switch}.p{q}"));
+                        }
+                    }
+                }
+            }
+            for c in 1..=config.control_points_per_pod {
+                let cp = format!("{pod}.cp{c}");
+                model.add_entity(
+                    Entity::new(&cp, EntityKind::ControlPoint).with_attr("software", "sdn-ctl-3.2"),
+                );
+                contains(&mut model, &pod, &cp);
+                for switch in &pod_switches {
+                    model.add_relationship(Relationship::new(
+                        &cp,
+                        switch,
+                        RelationshipKind::Controls,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Physical port-to-port links on top of the containment tree. Endpoint
+    // pairs are deduplicated so the graph export preserves the edge count.
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let mut used: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+    while added < config.physical_links && attempts < config.physical_links * 20 && all_ports.len() >= 2 {
+        attempts += 1;
+        let a = rng.gen_range(0..all_ports.len());
+        let b = rng.gen_range(0..all_ports.len());
+        if a == b || used.contains(&(a, b)) {
+            continue;
+        }
+        used.insert((a, b));
+        if model.add_relationship(Relationship::new(
+            &all_ports[a],
+            &all_ports[b],
+            RelationshipKind::ConnectedTo,
+        )) {
+            added += 1;
+        }
+    }
+
+    model
+}
+
+/// Generates the default example topology (the stand-in for the paper's
+/// 5493-node / 6424-edge MALT example dataset).
+pub fn example_model() -> MaltModel {
+    generate(&MaltConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_model_shape() {
+        let m = generate(&MaltConfig::tiny());
+        // 1 dc + 2 pods + 4 racks + 4 chassis + 8 switches + 24 ports + 2 cps
+        assert_eq!(m.entity_count(), 45);
+        assert_eq!(m.entities_of_kind(EntityKind::PacketSwitch).len(), 8);
+        assert_eq!(m.entities_of_kind(EntityKind::Port).len(), 24);
+        // Every switch has a containing chassis.
+        for sw in m.entities_of_kind(EntityKind::PacketSwitch) {
+            assert_eq!(m.parent(&sw.name).unwrap().kind, EntityKind::Chassis);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&MaltConfig::tiny());
+        let b = generate(&MaltConfig::tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_preset_approximates_paper_scale() {
+        let m = example_model();
+        // Paper: 5493 nodes / 6424 edges. Our preset: 5330 / 6424.
+        assert_eq!(m.entity_count(), 5330);
+        assert_eq!(m.relationship_count(), 6424);
+        // The paper's example switch naming style exists.
+        assert!(m.entity("ju1.a1.m1.s2c1").is_some());
+    }
+
+    #[test]
+    fn chassis_capacity_is_sum_of_switches() {
+        let m = generate(&MaltConfig::tiny());
+        for chassis in m.entities_of_kind(EntityKind::Chassis) {
+            let switch_sum: f64 = m
+                .children(&chassis.name)
+                .iter()
+                .filter(|e| e.kind == EntityKind::PacketSwitch)
+                .filter_map(|e| e.capacity())
+                .sum();
+            assert_eq!(chassis.capacity().unwrap(), switch_sum);
+        }
+    }
+
+    #[test]
+    fn control_points_control_every_pod_switch() {
+        let m = generate(&MaltConfig::tiny());
+        for cp in m.entities_of_kind(EntityKind::ControlPoint) {
+            let controlled = m.targets_of(&cp.name, RelationshipKind::Controls);
+            assert_eq!(controlled.len(), 4); // 2 racks * 1 chassis * 2 switches
+        }
+    }
+}

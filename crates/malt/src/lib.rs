@@ -1,0 +1,41 @@
+//! # malt
+//!
+//! A model of the Multi-Abstraction-Layer Topology (MALT) representation
+//! used by the paper's network lifecycle-management application, plus a
+//! deterministic generator standing in for Google's example dataset (which
+//! the paper converts into a directed graph with 5 493 nodes and 6 424
+//! edges — the default preset here yields 5 330 entities and exactly 6 424
+//! relationships with the same entity kinds, relationship kinds and naming
+//! scheme).
+//!
+//! * [`Entity`] / [`EntityKind`] — datacenters, pods, racks, chassis,
+//!   packet switches, ports and control points,
+//! * [`Relationship`] / [`RelationshipKind`] — `contains`, `controls`,
+//!   `connected_to`,
+//! * [`MaltModel`] — containment/control queries, capacity roll-ups and
+//!   topology edits,
+//! * [`generate`] / [`example_model`] — the dataset generator,
+//! * [`export`] — conversion to the graph / dataframe / SQL backends.
+//!
+//! ```
+//! use malt::{generate, MaltConfig, EntityKind};
+//!
+//! let model = generate(&MaltConfig::tiny());
+//! let switches = model.entities_of_kind(EntityKind::PacketSwitch);
+//! assert_eq!(switches.len(), 8);
+//! let ports = model.children(&switches[0].name);
+//! assert!(ports.iter().all(|p| p.kind == EntityKind::Port));
+//! ```
+
+#![warn(missing_docs)]
+
+mod entity;
+pub mod export;
+mod generator;
+mod model;
+mod relationship;
+
+pub use entity::{Entity, EntityKind};
+pub use generator::{example_model, generate, MaltConfig};
+pub use model::MaltModel;
+pub use relationship::{Relationship, RelationshipKind};

@@ -1,0 +1,218 @@
+//! The in-memory MALT model: entities plus relationships, with the query
+//! helpers the application wrapper and the golden programs need.
+
+use crate::entity::{Entity, EntityKind};
+use crate::relationship::{Relationship, RelationshipKind};
+use std::collections::BTreeMap;
+
+/// A multi-abstraction-layer topology.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaltModel {
+    entities: BTreeMap<String, Entity>,
+    relationships: Vec<Relationship>,
+}
+
+impl MaltModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        MaltModel::default()
+    }
+
+    /// Adds an entity (replacing any entity with the same name).
+    pub fn add_entity(&mut self, entity: Entity) {
+        self.entities.insert(entity.name.clone(), entity);
+    }
+
+    /// Adds a relationship. Both endpoints must already exist.
+    ///
+    /// Returns `false` (and does not add the edge) when either endpoint is
+    /// unknown, so generators cannot silently create dangling references.
+    pub fn add_relationship(&mut self, rel: Relationship) -> bool {
+        if !self.entities.contains_key(&rel.from) || !self.entities.contains_key(&rel.to) {
+            return false;
+        }
+        self.relationships.push(rel);
+        true
+    }
+
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relationships.
+    pub fn relationship_count(&self) -> usize {
+        self.relationships.len()
+    }
+
+    /// Looks an entity up by name.
+    pub fn entity(&self, name: &str) -> Option<&Entity> {
+        self.entities.get(name)
+    }
+
+    /// All entities in name order.
+    pub fn entities(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.values()
+    }
+
+    /// All relationships in insertion order.
+    pub fn relationships(&self) -> &[Relationship] {
+        &self.relationships
+    }
+
+    /// Entities of a given kind, in name order.
+    pub fn entities_of_kind(&self, kind: EntityKind) -> Vec<&Entity> {
+        self.entities.values().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Names of entities directly related to `name` via `kind` edges
+    /// pointing *out of* `name` (e.g. the ports contained by a switch).
+    pub fn targets_of(&self, name: &str, kind: RelationshipKind) -> Vec<&Entity> {
+        self.relationships
+            .iter()
+            .filter(|r| r.kind == kind && r.from == name)
+            .filter_map(|r| self.entities.get(&r.to))
+            .collect()
+    }
+
+    /// Names of entities with a `kind` edge pointing *into* `name`
+    /// (e.g. the chassis containing a switch).
+    pub fn sources_of(&self, name: &str, kind: RelationshipKind) -> Vec<&Entity> {
+        self.relationships
+            .iter()
+            .filter(|r| r.kind == kind && r.to == name)
+            .filter_map(|r| self.entities.get(&r.from))
+            .collect()
+    }
+
+    /// The entities contained (directly) by `name`.
+    pub fn children(&self, name: &str) -> Vec<&Entity> {
+        self.targets_of(name, RelationshipKind::Contains)
+    }
+
+    /// The entity that directly contains `name`, if any.
+    pub fn parent(&self, name: &str) -> Option<&Entity> {
+        self.sources_of(name, RelationshipKind::Contains)
+            .into_iter()
+            .next()
+    }
+
+    /// All entities reachable from `name` by following `contains` edges.
+    pub fn descendants(&self, name: &str) -> Vec<&Entity> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&str> = vec![name];
+        while let Some(current) = stack.pop() {
+            for child in self.children(current) {
+                stack.push(&child.name);
+                out.push(child);
+            }
+        }
+        out
+    }
+
+    /// Per-entity aggregate capacity: for entities with their own
+    /// `capacity_gbps` that value, otherwise the sum over descendants.
+    pub fn aggregate_capacity(&self, name: &str) -> f64 {
+        match self.entity(name).and_then(Entity::capacity) {
+            Some(c) => c,
+            None => self
+                .descendants(name)
+                .iter()
+                .filter_map(|e| e.capacity())
+                .sum(),
+        }
+    }
+
+    /// Removes an entity, all relationships touching it, and (recursively)
+    /// everything it contains. Returns the number of entities removed.
+    pub fn remove_entity_recursive(&mut self, name: &str) -> usize {
+        let mut to_remove: Vec<String> = vec![name.to_string()];
+        to_remove.extend(self.descendants(name).iter().map(|e| e.name.clone()));
+        let removed = to_remove
+            .iter()
+            .filter(|n| self.entities.remove(*n).is_some())
+            .count();
+        self.relationships
+            .retain(|r| !to_remove.contains(&r.from) && !to_remove.contains(&r.to));
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> MaltModel {
+        let mut m = MaltModel::new();
+        m.add_entity(Entity::new("ch1", EntityKind::Chassis));
+        m.add_entity(
+            Entity::new("ch1.s1", EntityKind::PacketSwitch).with_attr("capacity_gbps", 800i64),
+        );
+        m.add_entity(
+            Entity::new("ch1.s2", EntityKind::PacketSwitch).with_attr("capacity_gbps", 400i64),
+        );
+        m.add_entity(Entity::new("ch1.s1.p1", EntityKind::Port).with_attr("speed_gbps", 100i64));
+        m.add_entity(Entity::new("cp1", EntityKind::ControlPoint));
+        assert!(m.add_relationship(Relationship::new("ch1", "ch1.s1", RelationshipKind::Contains)));
+        assert!(m.add_relationship(Relationship::new("ch1", "ch1.s2", RelationshipKind::Contains)));
+        assert!(m.add_relationship(Relationship::new(
+            "ch1.s1",
+            "ch1.s1.p1",
+            RelationshipKind::Contains
+        )));
+        assert!(m.add_relationship(Relationship::new("cp1", "ch1.s1", RelationshipKind::Controls)));
+        m
+    }
+
+    #[test]
+    fn containment_queries() {
+        let m = tiny_model();
+        assert_eq!(m.entity_count(), 5);
+        assert_eq!(m.relationship_count(), 4);
+        let children: Vec<&str> = m.children("ch1").iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(children, vec!["ch1.s1", "ch1.s2"]);
+        assert_eq!(m.parent("ch1.s1").unwrap().name, "ch1");
+        assert!(m.parent("ch1").is_none());
+        assert_eq!(m.descendants("ch1").len(), 3);
+    }
+
+    #[test]
+    fn control_queries_and_kind_filters() {
+        let m = tiny_model();
+        let controlled = m.targets_of("cp1", RelationshipKind::Controls);
+        assert_eq!(controlled.len(), 1);
+        assert_eq!(controlled[0].name, "ch1.s1");
+        let controllers = m.sources_of("ch1.s1", RelationshipKind::Controls);
+        assert_eq!(controllers[0].name, "cp1");
+        assert_eq!(m.entities_of_kind(EntityKind::PacketSwitch).len(), 2);
+    }
+
+    #[test]
+    fn aggregate_capacity_rolls_up() {
+        let m = tiny_model();
+        assert_eq!(m.aggregate_capacity("ch1.s1"), 800.0);
+        assert_eq!(m.aggregate_capacity("ch1"), 1200.0);
+        assert_eq!(m.aggregate_capacity("missing"), 0.0);
+    }
+
+    #[test]
+    fn dangling_relationships_are_rejected() {
+        let mut m = tiny_model();
+        assert!(!m.add_relationship(Relationship::new(
+            "ch1",
+            "ghost",
+            RelationshipKind::Contains
+        )));
+        assert_eq!(m.relationship_count(), 4);
+    }
+
+    #[test]
+    fn recursive_removal() {
+        let mut m = tiny_model();
+        let removed = m.remove_entity_recursive("ch1.s1");
+        assert_eq!(removed, 2); // the switch and its port
+        assert_eq!(m.entity_count(), 3);
+        // The controls edge to the removed switch is gone too.
+        assert!(m.targets_of("cp1", RelationshipKind::Controls).is_empty());
+    }
+}

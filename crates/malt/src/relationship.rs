@@ -1,0 +1,90 @@
+//! MALT relationships: the typed, directed edges of the topology.
+
+use std::fmt;
+
+/// The relationship kinds used by the example dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RelationshipKind {
+    /// Physical or logical containment (datacenter contains pod, chassis
+    /// contains packet switch, packet switch contains port, ...).
+    Contains,
+    /// Control-plane association (control point controls packet switch).
+    Controls,
+    /// A physical link between two ports.
+    ConnectedTo,
+}
+
+impl RelationshipKind {
+    /// All kinds.
+    pub const ALL: [RelationshipKind; 3] = [
+        RelationshipKind::Contains,
+        RelationshipKind::Controls,
+        RelationshipKind::ConnectedTo,
+    ];
+
+    /// The canonical snake_case name used in edge attributes and SQL rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RelationshipKind::Contains => "contains",
+            RelationshipKind::Controls => "controls",
+            RelationshipKind::ConnectedTo => "connected_to",
+        }
+    }
+
+    /// Parses a canonical name back into a kind.
+    pub fn parse(name: &str) -> Option<RelationshipKind> {
+        RelationshipKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for RelationshipKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One directed relationship between two entities (identified by name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relationship {
+    /// Source entity name.
+    pub from: String,
+    /// Target entity name.
+    pub to: String,
+    /// The relationship kind.
+    pub kind: RelationshipKind,
+}
+
+impl Relationship {
+    /// Creates a relationship.
+    pub fn new(from: impl Into<String>, to: impl Into<String>, kind: RelationshipKind) -> Self {
+        Relationship {
+            from: from.into(),
+            to: to.into(),
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in RelationshipKind::ALL {
+            assert_eq!(RelationshipKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(RelationshipKind::parse("peers_with"), None);
+        assert_eq!(RelationshipKind::Controls.to_string(), "controls");
+    }
+
+    #[test]
+    fn construction() {
+        let r = Relationship::new("cp1", "ju1.a1.m1.s1c1", RelationshipKind::Controls);
+        assert_eq!(r.from, "cp1");
+        assert_eq!(r.kind, RelationshipKind::Controls);
+    }
+}

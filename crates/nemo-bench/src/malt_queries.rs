@@ -1,0 +1,260 @@
+//! The 9 network lifecycle-management (MALT) queries (3 easy, 3 medium,
+//! 3 hard) and their golden programs.
+//!
+//! They cover the areas the paper lists — operational management, WAN
+//! capacity planning and topology design — and include the examples from the
+//! paper's Table 1 ("List all ports that are contained by packet switch
+//! ju1.a1.m1.s2c1", "Find the first and the second largest Chassis by
+//! capacity", "Remove packet switch … balance the capacity afterward").
+
+use crate::spec::QuerySpec;
+use nemo_core::{Application, Complexity};
+
+/// Returns the full MALT query suite.
+pub fn malt_queries() -> Vec<QuerySpec> {
+    vec![
+        // ------------------------------------------------------------ easy
+        QuerySpec {
+            id: "M1",
+            text: "List all ports that are contained by packet switch ju1.a1.m1.s2c1.",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Easy,
+            networkx: r#"ports = []
+for child in G.successors("ju1.a1.m1.s2c1") {
+    if G.get_edge_attr("ju1.a1.m1.s2c1", child, "relationship") == "contains" {
+        ports.append(child)
+    }
+}
+result = sorted(ports)"#,
+            pandas: r#"contained = edges.filter("source", "==", "ju1.a1.m1.s2c1")
+contained = contained.filter("relationship", "==", "contains")
+result = sorted(contained.column("target"))"#,
+            sql: "SELECT target FROM edges WHERE source = 'ju1.a1.m1.s2c1' AND relationship = 'contains' ORDER BY target",
+        },
+        QuerySpec {
+            id: "M2",
+            text: "How many packet switches are in the topology?",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Easy,
+            networkx: r#"count = 0
+for n in G.nodes() {
+    if G.get_node_attr(n, "kind") == "packet_switch" {
+        count += 1
+    }
+}
+result = count"#,
+            pandas: r#"switches = nodes.filter("kind", "==", "packet_switch")
+result = switches.n_rows()"#,
+            sql: "SELECT COUNT(*) AS n FROM nodes WHERE kind = 'packet_switch'",
+        },
+        QuerySpec {
+            id: "M3",
+            text: "Which control point controls packet switch ju1.a2.m3.s1c1?",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Easy,
+            networkx: r#"controller = null
+for p in G.predecessors("ju1.a2.m3.s1c1") {
+    if G.get_edge_attr(p, "ju1.a2.m3.s1c1", "relationship") == "controls" {
+        controller = p
+    }
+}
+result = controller"#,
+            pandas: r#"controlling = edges.filter("target", "==", "ju1.a2.m3.s1c1")
+controlling = controlling.filter("relationship", "==", "controls")
+result = controlling.value(0, "source")"#,
+            sql: "SELECT source FROM edges WHERE target = 'ju1.a2.m3.s1c1' AND relationship = 'controls'",
+        },
+        // ---------------------------------------------------------- medium
+        QuerySpec {
+            id: "M4",
+            text: "Find the first and the second largest chassis by capacity.",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Medium,
+            networkx: r#"capacities = {}
+for n in G.nodes() {
+    if G.get_node_attr(n, "kind") == "chassis" {
+        capacities[n] = G.get_node_attr(n, "capacity_gbps")
+    }
+}
+result = top_k(capacities, 2)"#,
+            pandas: r#"chassis = nodes.filter("kind", "==", "chassis")
+ranked = chassis.sort_values("capacity_gbps", false)
+result = ranked.select(["name", "capacity_gbps"]).head(2)"#,
+            sql: "SELECT name, capacity_gbps FROM nodes WHERE kind = 'chassis' ORDER BY capacity_gbps DESC, name ASC LIMIT 2",
+        },
+        QuerySpec {
+            id: "M5",
+            text: "What is the total packet-switch capacity per vendor?",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Medium,
+            networkx: r#"totals = {}
+for n in G.nodes() {
+    if G.get_node_attr(n, "kind") == "packet_switch" {
+        vendor = G.get_node_attr(n, "vendor")
+        totals[vendor] = totals.get(vendor, 0) + G.get_node_attr(n, "capacity_gbps")
+    }
+}
+result = totals"#,
+            pandas: r#"switches = nodes.filter("kind", "==", "packet_switch")
+result = switches.groupby_agg("vendor", "capacity_gbps", "sum", "total_capacity")"#,
+            sql: "SELECT vendor, SUM(capacity_gbps) AS total_capacity FROM nodes WHERE kind = 'packet_switch' GROUP BY vendor ORDER BY vendor",
+        },
+        QuerySpec {
+            id: "M6",
+            text: "How many spine switches and how many leaf switches does the topology contain?",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Medium,
+            networkx: r#"counts = {}
+for n in G.nodes() {
+    if G.get_node_attr(n, "kind") == "packet_switch" {
+        role = G.get_node_attr(n, "role")
+        counts[role] = counts.get(role, 0) + 1
+    }
+}
+result = counts"#,
+            pandas: r#"switches = nodes.filter("kind", "==", "packet_switch")
+result = switches.groupby_count("role")"#,
+            sql: "SELECT role, COUNT(*) AS n FROM nodes WHERE kind = 'packet_switch' GROUP BY role ORDER BY role",
+        },
+        // ------------------------------------------------------------ hard
+        QuerySpec {
+            id: "M7",
+            text: "Remove packet switch ju1.a1.m1.s1c1 from chassis ju1.a1.m1 and balance the chassis capacity afterward.",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Hard,
+            networkx: r#"switch_capacity = G.get_node_attr("ju1.a1.m1.s1c1", "capacity_gbps")
+chassis_capacity = G.get_node_attr("ju1.a1.m1", "capacity_gbps")
+ports = []
+for child in G.successors("ju1.a1.m1.s1c1") {
+    if G.get_edge_attr("ju1.a1.m1.s1c1", child, "relationship") == "contains" {
+        ports.append(child)
+    }
+}
+for p in ports {
+    G.remove_node(p)
+}
+G.remove_node("ju1.a1.m1.s1c1")
+G.set_node_attr("ju1.a1.m1", "capacity_gbps", chassis_capacity - switch_capacity)
+result = chassis_capacity - switch_capacity"#,
+            pandas: r#"switch_rows = nodes.filter("name", "==", "ju1.a1.m1.s1c1")
+switch_capacity = switch_rows.value(0, "capacity_gbps")
+chassis_rows = nodes.filter("name", "==", "ju1.a1.m1")
+chassis_capacity = chassis_rows.value(0, "capacity_gbps")
+contained = edges.filter("source", "==", "ju1.a1.m1.s1c1")
+contained = contained.filter("relationship", "==", "contains")
+ports = contained.column("target")
+for p in ports {
+    nodes.delete_rows("name", "==", p)
+    edges.delete_rows("source", "==", p)
+    edges.delete_rows("target", "==", p)
+}
+nodes.delete_rows("name", "==", "ju1.a1.m1.s1c1")
+edges.delete_rows("source", "==", "ju1.a1.m1.s1c1")
+edges.delete_rows("target", "==", "ju1.a1.m1.s1c1")
+i = 0
+while i < nodes.n_rows() {
+    if nodes.value(i, "name") == "ju1.a1.m1" {
+        nodes.set_value(i, "capacity_gbps", chassis_capacity - switch_capacity)
+    }
+    i += 1
+}
+result = chassis_capacity - switch_capacity"#,
+            sql: "DELETE FROM edges WHERE source = 'ju1.a1.m1.s1c1' OR target = 'ju1.a1.m1.s1c1';\nDELETE FROM nodes WHERE name = 'ju1.a1.m1.s1c1';\nSELECT name, capacity_gbps FROM nodes WHERE name = 'ju1.a1.m1'",
+        },
+        QuerySpec {
+            id: "M8",
+            text: "Which pod has the highest aggregate packet-switch capacity?",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Hard,
+            networkx: r#"pod_capacity = {}
+for n in G.nodes() {
+    if G.get_node_attr(n, "kind") == "packet_switch" {
+        parts = n.split(".")
+        pod = parts[0] + "." + parts[1]
+        pod_capacity[pod] = pod_capacity.get(pod, 0) + G.get_node_attr(n, "capacity_gbps")
+    }
+}
+top = top_k(pod_capacity, 1)
+result = top[0][0]"#,
+            pandas: r#"pod_capacity = {}
+switches = nodes.filter("kind", "==", "packet_switch")
+for row in switches.to_rows() {
+    parts = row["name"].split(".")
+    pod = parts[0] + "." + parts[1]
+    pod_capacity[pod] = pod_capacity.get(pod, 0) + row["capacity_gbps"]
+}
+top = top_k(pod_capacity, 1)
+result = top[0][0]"#,
+            sql: "SELECT SPLIT_PART(name, '.', 1) + '.' + SPLIT_PART(name, '.', 2) AS pod, SUM(capacity_gbps) AS total FROM nodes WHERE kind = 'packet_switch' GROUP BY SPLIT_PART(name, '.', 1) + '.' + SPLIT_PART(name, '.', 2) ORDER BY total DESC LIMIT 1",
+        },
+        QuerySpec {
+            id: "M9",
+            text: "Upgrade every 400 Gbps packet switch to 800 Gbps, update the containing chassis capacities, and report how many switches were upgraded.",
+            application: Application::MaltLifecycle,
+            complexity: Complexity::Hard,
+            networkx: r#"upgraded = 0
+for n in G.nodes() {
+    if G.get_node_attr(n, "kind") == "packet_switch" {
+        if G.get_node_attr(n, "capacity_gbps") == 400 {
+            G.set_node_attr(n, "capacity_gbps", 800)
+            upgraded += 1
+            for parent in G.predecessors(n) {
+                if G.get_edge_attr(parent, n, "relationship") == "contains" {
+                    if G.get_node_attr(parent, "kind") == "chassis" {
+                        old = G.get_node_attr(parent, "capacity_gbps")
+                        G.set_node_attr(parent, "capacity_gbps", old + 400)
+                    }
+                }
+            }
+        }
+    }
+}
+result = upgraded"#,
+            pandas: r#"upgraded = 0
+i = 0
+while i < nodes.n_rows() {
+    if nodes.value(i, "kind") == "packet_switch" and nodes.value(i, "capacity_gbps") == 400 {
+        nodes.set_value(i, "capacity_gbps", 800)
+        upgraded += 1
+    }
+    i += 1
+}
+result = upgraded"#,
+            sql: "UPDATE nodes SET capacity_gbps = capacity_gbps + 400 WHERE kind = 'packet_switch' AND capacity_gbps = 400;\nSELECT COUNT(*) AS switches_800 FROM nodes WHERE kind = 'packet_switch' AND capacity_gbps = 800",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_three_queries_per_level() {
+        let queries = malt_queries();
+        assert_eq!(queries.len(), 9);
+        for level in Complexity::ALL {
+            assert_eq!(
+                queries.iter().filter(|q| q.complexity == level).count(),
+                3,
+                "{level} should have 3 queries"
+            );
+        }
+        for q in &queries {
+            assert_eq!(q.application, Application::MaltLifecycle);
+            assert!(!q.networkx.is_empty() && !q.pandas.is_empty() && !q.sql.is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_table1_examples_are_present() {
+        let queries = malt_queries();
+        assert!(queries
+            .iter()
+            .any(|q| q.text.contains("ports that are contained by packet switch ju1.a1.m1.s2c1")));
+        assert!(queries
+            .iter()
+            .any(|q| q.text.contains("first and the second largest chassis")));
+        assert!(queries.iter().any(|q| q.text.contains("balance the chassis capacity")));
+    }
+}

@@ -1,0 +1,247 @@
+//! Plain-text rendering of the paper's tables and figures from benchmark
+//! results. Each function returns a string whose rows mirror the paper's
+//! layout so `paper vs. measured` comparisons are easy to eyeball.
+
+use crate::runner::{accuracy, error_breakdown, CaseStudyResult, CostComparison, ScalabilityPoint};
+use crate::suite::BenchmarkSuite;
+use nemo_core::llm::all_profiles;
+use nemo_core::{Application, Backend, Complexity, FaultKind, ResultsLogger};
+
+fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Table 2: accuracy summary for both applications.
+pub fn format_table2(suite: &BenchmarkSuite, logger: &ResultsLogger) -> String {
+    let mut out = String::from(
+        "Table 2: Accuracy Summary for Both Applications\n\
+         model              | traffic: strawman  sql  pandas  networkx | malt: sql  pandas  networkx\n",
+    );
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    for profile in all_profiles() {
+        let t = |backend| {
+            fmt2(accuracy(
+                logger,
+                suite,
+                profile.name,
+                Application::TrafficAnalysis,
+                backend,
+                None,
+            ))
+        };
+        let m = |backend| {
+            fmt2(accuracy(
+                logger,
+                suite,
+                profile.name,
+                Application::MaltLifecycle,
+                backend,
+                None,
+            ))
+        };
+        out.push_str(&format!(
+            "{:<18} |          {}  {}  {}    {}    |      {}  {}    {}\n",
+            profile.name,
+            t(Backend::Strawman),
+            t(Backend::Sql),
+            t(Backend::Pandas),
+            t(Backend::NetworkX),
+            m(Backend::Sql),
+            m(Backend::Pandas),
+            m(Backend::NetworkX),
+        ));
+    }
+    out
+}
+
+fn format_breakdown_table(
+    title: &str,
+    suite: &BenchmarkSuite,
+    logger: &ResultsLogger,
+    app: Application,
+    backends: &[Backend],
+) -> String {
+    let mut out = format!("{title}\nmodel              ");
+    for backend in backends {
+        out.push_str(&format!("| {:<20}", format!("{backend} E/M/H")));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(24 + backends.len() * 22));
+    out.push('\n');
+    for profile in all_profiles() {
+        out.push_str(&format!("{:<18} ", profile.name));
+        for &backend in backends {
+            let cell = |c| {
+                fmt2(accuracy(
+                    logger,
+                    suite,
+                    profile.name,
+                    app,
+                    backend,
+                    Some(c),
+                ))
+            };
+            out.push_str(&format!(
+                "| {}/{}/{}   ",
+                cell(Complexity::Easy),
+                cell(Complexity::Medium),
+                cell(Complexity::Hard)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 3: traffic-analysis accuracy broken down by complexity.
+pub fn format_table3(suite: &BenchmarkSuite, logger: &ResultsLogger) -> String {
+    format_breakdown_table(
+        "Table 3: Breakdown for Traffic Analysis (8 queries per level)",
+        suite,
+        logger,
+        Application::TrafficAnalysis,
+        &Backend::ALL,
+    )
+}
+
+/// Table 4: MALT accuracy broken down by complexity.
+pub fn format_table4(suite: &BenchmarkSuite, logger: &ResultsLogger) -> String {
+    format_breakdown_table(
+        "Table 4: Breakdown for MALT (3 queries per level)",
+        suite,
+        logger,
+        Application::MaltLifecycle,
+        &Backend::CODEGEN,
+    )
+}
+
+/// Table 5: error-type summary of failed NetworkX-backend programs.
+pub fn format_table5(suite: &BenchmarkSuite, logger: &ResultsLogger) -> String {
+    let traffic = error_breakdown(logger, suite, Application::TrafficAnalysis);
+    let malt = error_breakdown(logger, suite, Application::MaltLifecycle);
+    let traffic_total: usize = traffic.values().sum();
+    let malt_total: usize = malt.values().sum();
+    let mut out = format!(
+        "Table 5: Error Type Summary of LLM Generated Code (NetworkX backend)\n\
+         error type                           | Traffic Analysis ({traffic_total}) | MALT ({malt_total})\n"
+    );
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for kind in FaultKind::ALL {
+        out.push_str(&format!(
+            "{:<36} | {:>22} | {:>8}\n",
+            kind.label(),
+            traffic.get(&kind).copied().unwrap_or(0),
+            malt.get(&kind).copied().unwrap_or(0)
+        ));
+    }
+    out
+}
+
+/// Table 6: the pass@k / self-debug case study.
+pub fn format_table6(model: &str, result: &CaseStudyResult) -> String {
+    format!(
+        "Table 6: Improvement Cases with {model} on MALT (NetworkX backend)\n\
+         {model} + Pass@1: {}   {model} + Pass@{}: {}   {model} + Self-debug: {}\n",
+        fmt2(result.pass_at_1),
+        result.k,
+        fmt2(result.pass_at_k),
+        fmt2(result.self_debug)
+    )
+}
+
+/// Figure 4a: the CDF of per-query LLM cost for both approaches.
+pub fn format_figure4a(comparison: &CostComparison) -> String {
+    let (strawman, codegen) = comparison.cdfs();
+    let mut out = format!(
+        "Figure 4a: CDF of LLM cost per query ({} nodes and edges)\n\
+         approach   | dollars (sorted)                     | cumulative fraction\n",
+        comparison.graph_size
+    );
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for (name, points) in [("strawman", &strawman), ("codegen", &codegen)] {
+        for (cost, fraction) in points.iter().step_by((points.len() / 6).max(1)) {
+            out.push_str(&format!("{name:<10} | ${cost:<36.4} | {fraction:.2}\n"));
+        }
+        out.push_str(&format!(
+            "{name:<10} | mean ${:.4}\n",
+            if name == "strawman" {
+                comparison.strawman_mean()
+            } else {
+                comparison.codegen_mean()
+            }
+        ));
+    }
+    out
+}
+
+/// Figure 4b: cost versus graph size.
+pub fn format_figure4b(points: &[ScalabilityPoint]) -> String {
+    let mut out = String::from(
+        "Figure 4b: Cost analysis on graph size\n\
+         nodes+edges | strawman $/query | codegen $/query | strawman status\n",
+    );
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{:>11} | {:>16.4} | {:>15.4} | {}\n",
+            p.graph_size,
+            p.strawman_mean,
+            p.codegen_mean,
+            if p.strawman_over_window {
+                "EXCEEDS TOKEN WINDOW"
+            } else {
+                "ok"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{cost_comparison, run_accuracy_benchmark_for, scalability_sweep, DEFAULT_SEED};
+    use crate::suite::SuiteConfig;
+    use nemo_core::llm::profiles;
+
+    #[test]
+    fn tables_render_expected_rows() {
+        let suite = BenchmarkSuite::build(&SuiteConfig::small());
+        let logger = run_accuracy_benchmark_for(&suite, &[profiles::gpt4()], DEFAULT_SEED);
+        let t2 = format_table2(&suite, &logger);
+        assert!(t2.contains("GPT-4"));
+        assert!(t2.lines().count() >= 6);
+        let t3 = format_table3(&suite, &logger);
+        assert!(t3.contains("networkx E/M/H"));
+        let t4 = format_table4(&suite, &logger);
+        assert!(t4.contains("MALT"));
+        let t5 = format_table5(&suite, &logger);
+        assert!(t5.contains("Imaginary graph attributes"));
+        let t6 = format_table6(
+            "Google Bard",
+            &CaseStudyResult {
+                pass_at_1: 0.44,
+                pass_at_k: 1.0,
+                k: 5,
+                self_debug: 0.67,
+            },
+        );
+        assert!(t6.contains("Pass@5"));
+    }
+
+    #[test]
+    fn figures_render() {
+        let profile = profiles::gpt4();
+        let cmp = cost_comparison(&profile, 40, DEFAULT_SEED);
+        let f4a = format_figure4a(&cmp);
+        assert!(f4a.contains("strawman"));
+        assert!(f4a.contains("codegen"));
+        let sweep = scalability_sweep(&profile, &[20, 40], DEFAULT_SEED);
+        let f4b = format_figure4b(&sweep);
+        assert!(f4b.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,397 @@
+//! Benchmark execution: the full accuracy matrix (Tables 2–4), the error
+//! breakdown (Table 5), the pass@k / self-debug case study (Table 6) and the
+//! cost/scalability analysis (Figure 4).
+
+use crate::suite::{BenchmarkSuite, PreparedQuery};
+use nemo_core::apps::TrafficApp;
+use nemo_core::cost::{cost_cdf, count_tokens, price_request, CostRecord};
+use nemo_core::llm::{all_profiles, ModelProfile};
+use nemo_core::prompt::{codegen_prompt, strawman_prompt};
+use nemo_core::{
+    Application, Backend, Complexity, FaultKind, NetworkManager, ResultsLogger, SimulatedLlm,
+};
+use std::collections::BTreeMap;
+use trafficgen::TrafficConfig;
+
+/// Seed used by the published regeneration binaries.
+pub const DEFAULT_SEED: u64 = 2023;
+
+/// Runs the full accuracy matrix of the paper's Table 2: every model ×
+/// backend × query (the strawman only for traffic analysis, as in the
+/// paper), returning the complete results log.
+pub fn run_accuracy_benchmark(suite: &BenchmarkSuite, seed: u64) -> ResultsLogger {
+    run_accuracy_benchmark_for(suite, &all_profiles(), seed)
+}
+
+/// Like [`run_accuracy_benchmark`] but over a chosen set of model profiles.
+pub fn run_accuracy_benchmark_for(
+    suite: &BenchmarkSuite,
+    profiles: &[ModelProfile],
+    seed: u64,
+) -> ResultsLogger {
+    let mut logger = ResultsLogger::new();
+    for profile in profiles {
+        let mut llm = SimulatedLlm::new(profile.clone(), suite.knowledge(), seed);
+        for app in Application::ALL {
+            let wrapper = suite.app(app);
+            let backends: &[Backend] = match app {
+                Application::TrafficAnalysis => &Backend::ALL,
+                Application::MaltLifecycle => &Backend::CODEGEN,
+            };
+            for &backend in backends {
+                for query in suite.queries_for(app) {
+                    let golden = &query.goldens[&backend];
+                    let mut manager = NetworkManager::new(wrapper, &mut llm);
+                    let record = manager.run_query(backend, query.spec.text, golden);
+                    logger.log(record);
+                }
+            }
+        }
+    }
+    logger
+}
+
+/// Accuracy over the records of one model / application / backend,
+/// optionally restricted to one complexity level. Complexity is recovered by
+/// joining the record's query text back to the suite.
+pub fn accuracy(
+    logger: &ResultsLogger,
+    suite: &BenchmarkSuite,
+    model: &str,
+    app: Application,
+    backend: Backend,
+    complexity: Option<Complexity>,
+) -> f64 {
+    logger.pass_rate(|r| {
+        r.model == model
+            && r.backend == backend
+            && lookup(suite, &r.query)
+                .map(|q| {
+                    q.spec.application == app
+                        && complexity.map(|c| q.spec.complexity == c).unwrap_or(true)
+                })
+                .unwrap_or(false)
+    })
+}
+
+/// Failure counts by error type for one application over the NetworkX
+/// backend (the paper's Table 5 slices).
+pub fn error_breakdown(
+    logger: &ResultsLogger,
+    suite: &BenchmarkSuite,
+    app: Application,
+) -> BTreeMap<FaultKind, usize> {
+    logger.failure_categories(|r| {
+        r.backend == Backend::NetworkX
+            && lookup(suite, &r.query)
+                .map(|q| q.spec.application == app)
+                .unwrap_or(false)
+    })
+}
+
+fn lookup<'a>(suite: &'a BenchmarkSuite, query_text: &str) -> Option<&'a PreparedQuery> {
+    suite.queries.iter().find(|q| q.spec.text == query_text)
+}
+
+// --------------------------------------------------------------- Table 6
+
+/// The outcome of the pass@k / self-debug case study (Table 6): Bard on the
+/// MALT application with the NetworkX backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseStudyResult {
+    /// Accuracy with a single attempt per query.
+    pub pass_at_1: f64,
+    /// Accuracy when any of `k` attempts may pass.
+    pub pass_at_k: f64,
+    /// The `k` used.
+    pub k: usize,
+    /// Accuracy when one self-debug (error-feedback) round is allowed.
+    pub self_debug: f64,
+}
+
+/// Runs the Table-6 case study for one model profile (the paper uses Bard).
+pub fn run_case_study(
+    suite: &BenchmarkSuite,
+    profile: &ModelProfile,
+    k: usize,
+    seed: u64,
+) -> CaseStudyResult {
+    let wrapper = suite.app(Application::MaltLifecycle);
+    let queries = suite.queries_for(Application::MaltLifecycle);
+
+    let run_variant = |variant: &str| -> f64 {
+        let mut passes = 0usize;
+        for query in &queries {
+            // A fresh model per query keeps attempt counters independent.
+            let mut llm = SimulatedLlm::new(profile.clone(), suite.knowledge(), seed);
+            let golden = &query.goldens[&Backend::NetworkX];
+            let mut manager = NetworkManager::new(wrapper, &mut llm);
+            let passed = match variant {
+                "pass1" => manager
+                    .run_query(Backend::NetworkX, query.spec.text, golden)
+                    .passed(),
+                "passk" => {
+                    manager
+                        .run_pass_at_k(Backend::NetworkX, query.spec.text, golden, k)
+                        .0
+                }
+                _ => {
+                    manager
+                        .run_self_debug(Backend::NetworkX, query.spec.text, golden, 1)
+                        .0
+                }
+            };
+            if passed {
+                passes += 1;
+            }
+        }
+        passes as f64 / queries.len() as f64
+    };
+
+    CaseStudyResult {
+        pass_at_1: run_variant("pass1"),
+        pass_at_k: run_variant("passk"),
+        k,
+        self_debug: run_variant("selfdebug"),
+    }
+}
+
+// --------------------------------------------------------------- Figure 4
+
+/// Per-query cost records for the strawman and the code-generation
+/// approach on one traffic workload (Figure 4a is the CDF of these at 80
+/// nodes+edges).
+#[derive(Debug, Clone)]
+pub struct CostComparison {
+    /// Nodes + edges of the workload.
+    pub graph_size: usize,
+    /// Per-query costs of the strawman approach.
+    pub strawman: Vec<CostRecord>,
+    /// Per-query costs of the code-generation (NetworkX) approach.
+    pub codegen: Vec<CostRecord>,
+}
+
+impl CostComparison {
+    /// Mean strawman cost in dollars.
+    pub fn strawman_mean(&self) -> f64 {
+        mean(&self.strawman)
+    }
+
+    /// Mean code-generation cost in dollars.
+    pub fn codegen_mean(&self) -> f64 {
+        mean(&self.codegen)
+    }
+
+    /// True when any strawman prompt exceeded the model's token window.
+    pub fn strawman_over_window(&self) -> bool {
+        self.strawman.iter().any(|r| r.exceeded_window)
+    }
+
+    /// The CDF points of each approach (Figure 4a).
+    pub fn cdfs(&self) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+        (cost_cdf(&self.strawman), cost_cdf(&self.codegen))
+    }
+}
+
+fn mean(records: &[CostRecord]) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records.iter().map(|r| r.dollars).sum::<f64>() / records.len() as f64
+}
+
+/// Prices every traffic query under both approaches for a graph with `size`
+/// nodes and `size` edges, using the given model profile (the paper uses
+/// GPT-4 pricing). Completions are the golden artifacts (the NetworkX
+/// program for code generation, the direct answer for the strawman), so the
+/// comparison isolates the prompt-size effect the paper studies.
+pub fn cost_comparison(profile: &ModelProfile, size: usize, seed: u64) -> CostComparison {
+    let workload = trafficgen::generate(&TrafficConfig {
+        nodes: size,
+        edges: size,
+        ..TrafficConfig::default()
+    });
+    let app = TrafficApp::new(workload);
+    let queries = crate::traffic_queries::traffic_queries();
+    let mut strawman = Vec::new();
+    let mut codegen = Vec::new();
+    for query in &queries {
+        let straw_prompt = strawman_prompt(&app, query.text);
+        let code_prompt = codegen_prompt(&app, Backend::NetworkX, query.text);
+        // Nominal completions: a short direct answer vs. the golden program.
+        let straw_completion = "The answer is 42.";
+        let code_completion = query.networkx;
+        strawman.push(price_request(
+            &profile.prices,
+            profile.token_window,
+            &straw_prompt.text,
+            straw_completion,
+        ));
+        codegen.push(price_request(
+            &profile.prices,
+            profile.token_window,
+            &code_prompt.text,
+            code_completion,
+        ));
+    }
+    let _ = seed;
+    CostComparison {
+        graph_size: size * 2,
+        strawman,
+        codegen,
+    }
+}
+
+/// One row of the Figure-4b sweep.
+#[derive(Debug, Clone)]
+pub struct ScalabilityPoint {
+    /// Nodes + edges of the workload.
+    pub graph_size: usize,
+    /// Mean strawman cost per query (dollars).
+    pub strawman_mean: f64,
+    /// Whether the strawman prompt exceeded the token window at this size.
+    pub strawman_over_window: bool,
+    /// Mean code-generation cost per query (dollars).
+    pub codegen_mean: f64,
+}
+
+/// Sweeps graph sizes and prices both approaches at each size (Figure 4b).
+pub fn scalability_sweep(profile: &ModelProfile, sizes: &[usize], seed: u64) -> Vec<ScalabilityPoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let cmp = cost_comparison(profile, size, seed);
+            ScalabilityPoint {
+                graph_size: cmp.graph_size,
+                strawman_mean: cmp.strawman_mean(),
+                strawman_over_window: cmp.strawman_over_window(),
+                codegen_mean: cmp.codegen_mean(),
+            }
+        })
+        .collect()
+}
+
+/// A rough token count of the strawman prompt for a graph of `size` nodes
+/// and edges — used in reports to show where the window limit falls.
+pub fn strawman_prompt_tokens(size: usize) -> usize {
+    let workload = trafficgen::generate(&TrafficConfig {
+        nodes: size,
+        edges: size,
+        ..TrafficConfig::default()
+    });
+    let app = TrafficApp::new(workload);
+    count_tokens(&strawman_prompt(&app, "How many nodes are there?").text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SuiteConfig;
+    use nemo_core::llm::profiles;
+
+    fn small_suite() -> BenchmarkSuite {
+        BenchmarkSuite::build(&SuiteConfig::small())
+    }
+
+    #[test]
+    fn gpt4_networkx_traffic_accuracy_matches_paper_shape() {
+        let suite = small_suite();
+        let logger = run_accuracy_benchmark_for(&suite, &[profiles::gpt4()], DEFAULT_SEED);
+        // 24 traffic queries x 4 backends + 9 MALT x 3 backends = 123 records.
+        assert_eq!(logger.len(), 123);
+        let nx = accuracy(
+            &logger,
+            &suite,
+            "GPT-4",
+            Application::TrafficAnalysis,
+            Backend::NetworkX,
+            None,
+        );
+        let strawman = accuracy(
+            &logger,
+            &suite,
+            "GPT-4",
+            Application::TrafficAnalysis,
+            Backend::Strawman,
+            None,
+        );
+        let sql = accuracy(
+            &logger,
+            &suite,
+            "GPT-4",
+            Application::TrafficAnalysis,
+            Backend::Sql,
+            None,
+        );
+        // Paper shape: NetworkX >> SQL > strawman; GPT-4 NetworkX ≈ 0.88.
+        assert!(nx > 0.75, "networkx accuracy {nx}");
+        assert!(nx > sql, "networkx {nx} should beat sql {sql}");
+        assert!(nx > strawman, "networkx {nx} should beat strawman {strawman}");
+        // Easy queries are perfect for GPT-4 + NetworkX (Table 3).
+        let easy = accuracy(
+            &logger,
+            &suite,
+            "GPT-4",
+            Application::TrafficAnalysis,
+            Backend::NetworkX,
+            Some(Complexity::Easy),
+        );
+        assert_eq!(easy, 1.0);
+        let hard = accuracy(
+            &logger,
+            &suite,
+            "GPT-4",
+            Application::TrafficAnalysis,
+            Backend::NetworkX,
+            Some(Complexity::Hard),
+        );
+        assert!(hard < easy);
+    }
+
+    #[test]
+    fn error_breakdown_counts_only_networkx_failures() {
+        let suite = small_suite();
+        let logger = run_accuracy_benchmark_for(&suite, &[profiles::bard()], DEFAULT_SEED);
+        let breakdown = error_breakdown(&logger, &suite, Application::TrafficAnalysis);
+        let failures: usize = breakdown.values().sum();
+        let total_fail = 24
+            - (accuracy(
+                &logger,
+                &suite,
+                "Google Bard",
+                Application::TrafficAnalysis,
+                Backend::NetworkX,
+                None,
+            ) * 24.0)
+                .round() as usize;
+        assert_eq!(failures, total_fail);
+    }
+
+    #[test]
+    fn case_study_pass_at_k_and_self_debug_improve_over_pass_at_1() {
+        let suite = small_suite();
+        let result = run_case_study(&suite, &profiles::bard(), 5, DEFAULT_SEED);
+        assert!(result.pass_at_k >= result.pass_at_1);
+        assert!(result.self_debug >= result.pass_at_1);
+        assert!(result.pass_at_k > 0.9, "pass@5 should recover every failure");
+        assert!(result.pass_at_1 > 0.2 && result.pass_at_1 < 0.8);
+    }
+
+    #[test]
+    fn cost_comparison_shows_strawman_penalty_and_window_limit() {
+        let profile = profiles::gpt4();
+        let small = cost_comparison(&profile, 80, DEFAULT_SEED);
+        assert!(small.strawman_mean() > 2.0 * small.codegen_mean());
+        assert!(!small.strawman_over_window());
+
+        let sweep = scalability_sweep(&profile, &[20, 80, 150, 300], DEFAULT_SEED);
+        assert_eq!(sweep.len(), 4);
+        // Strawman cost grows with graph size; code-gen cost stays flat.
+        assert!(sweep[3].strawman_mean > sweep[0].strawman_mean * 2.0);
+        let codegen_spread = (sweep[3].codegen_mean - sweep[0].codegen_mean).abs();
+        assert!(codegen_spread < 0.01);
+        // The strawman exceeds the window somewhere in the sweep.
+        assert!(sweep.iter().any(|p| p.strawman_over_window));
+        assert!(!sweep.iter().any(|p| p.codegen_mean > 0.2));
+    }
+}

@@ -1,0 +1,68 @@
+//! Query specifications: the natural-language query, its complexity level,
+//! and the human-curated golden program for each backend.
+
+use nemo_core::{Application, Backend, Complexity};
+use std::collections::BTreeMap;
+
+/// One benchmark query plus its golden programs (the "golden answer
+/// selector" entries of the paper's Figure 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Stable identifier (`T01`..`T24`, `M1`..`M9`).
+    pub id: &'static str,
+    /// The operator's natural-language query.
+    pub text: &'static str,
+    /// Which application the query belongs to.
+    pub application: Application,
+    /// The query's complexity level.
+    pub complexity: Complexity,
+    /// Golden GraphScript program for the NetworkX (property graph) backend.
+    pub networkx: &'static str,
+    /// Golden GraphScript program for the pandas (dataframes) backend.
+    pub pandas: &'static str,
+    /// Golden SQL script for the SQL backend.
+    pub sql: &'static str,
+}
+
+impl QuerySpec {
+    /// The golden program for a code-generation backend.
+    pub fn golden_program(&self, backend: Backend) -> Option<&'static str> {
+        match backend {
+            Backend::NetworkX => Some(self.networkx),
+            Backend::Pandas => Some(self.pandas),
+            Backend::Sql => Some(self.sql),
+            Backend::Strawman => None,
+        }
+    }
+
+    /// The golden programs keyed by backend (the shape
+    /// [`nemo_core::KnownTask`] wants).
+    pub fn programs(&self) -> BTreeMap<Backend, String> {
+        let mut map = BTreeMap::new();
+        map.insert(Backend::NetworkX, self.networkx.to_string());
+        map.insert(Backend::Pandas, self.pandas.to_string());
+        map.insert(Backend::Sql, self.sql.to_string());
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_program_lookup() {
+        let spec = QuerySpec {
+            id: "X1",
+            text: "test",
+            application: Application::TrafficAnalysis,
+            complexity: Complexity::Easy,
+            networkx: "result = 1",
+            pandas: "result = 2",
+            sql: "SELECT 3",
+        };
+        assert_eq!(spec.golden_program(Backend::NetworkX), Some("result = 1"));
+        assert_eq!(spec.golden_program(Backend::Strawman), None);
+        assert_eq!(spec.programs().len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Benchmark suite assembly: workloads, golden outcomes and the simulated
+//! LLM knowledge base (the "Golden Answer Selector" of Figure 3).
+
+use crate::malt_queries::malt_queries;
+use crate::spec::QuerySpec;
+use crate::traffic_queries::traffic_queries;
+use malt::MaltConfig;
+use nemo_core::apps::{ApplicationWrapper, MaltApp, TrafficApp};
+use nemo_core::sandbox::execute_code;
+use nemo_core::{
+    Application, Backend, CodeKnowledge, KnownTask, NetworkState, Outcome, OutputValue,
+};
+use std::collections::BTreeMap;
+use trafficgen::TrafficConfig;
+
+/// One query prepared for execution: its spec, the golden outcome per
+/// backend, and the strawman's golden direct answer.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The query specification (text, complexity, golden programs).
+    pub spec: QuerySpec,
+    /// Golden outcomes keyed by backend (including the strawman, whose
+    /// golden outcome is the correct direct answer over an unchanged
+    /// network).
+    pub goldens: BTreeMap<Backend, Outcome>,
+    /// The textual answer a perfect direct (strawman) reply would give.
+    pub direct_answer: String,
+}
+
+/// The assembled benchmark: both applications, every prepared query, and
+/// the knowledge base handed to simulated models.
+pub struct BenchmarkSuite {
+    /// The traffic-analysis application wrapper.
+    pub traffic_app: TrafficApp,
+    /// The MALT lifecycle-management application wrapper.
+    pub malt_app: MaltApp,
+    /// Every prepared query (24 traffic + 9 MALT).
+    pub queries: Vec<PreparedQuery>,
+}
+
+/// Configuration of the benchmark workloads.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// The synthetic communication graph used for traffic analysis.
+    pub traffic: TrafficConfig,
+    /// The MALT topology used for lifecycle management.
+    pub malt: MaltConfig,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            traffic: TrafficConfig::default(),
+            malt: MaltConfig::default(),
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// A reduced-scale configuration for unit tests and quick smoke runs:
+    /// the full query suites over a smaller MALT topology preset and the
+    /// default 80-node traffic graph.
+    pub fn small() -> Self {
+        SuiteConfig {
+            traffic: TrafficConfig::default(),
+            malt: MaltConfig {
+                datacenters: 2,
+                pods_per_datacenter: 2,
+                racks_per_pod: 4,
+                chassis_per_rack: 2,
+                switches_per_chassis: 4,
+                ports_per_switch: 4,
+                control_points_per_pod: 1,
+                physical_links: 40,
+                seed: 2023,
+            },
+        }
+    }
+}
+
+impl BenchmarkSuite {
+    /// Builds the suite: generates workloads, runs every golden program
+    /// through the sandbox and records its outcome.
+    ///
+    /// Panics if any golden program fails to execute — a golden answer that
+    /// does not run is a benchmark bug, and the test suite exercises this
+    /// path for every query and backend.
+    pub fn build(config: &SuiteConfig) -> Self {
+        let traffic_app = TrafficApp::new(trafficgen::generate(&config.traffic));
+        let malt_app = MaltApp::new(malt::generate(&config.malt));
+        let mut queries = Vec::new();
+        for spec in traffic_queries().into_iter().chain(malt_queries()) {
+            let app: &dyn ApplicationWrapper = match spec.application {
+                Application::TrafficAnalysis => &traffic_app,
+                Application::MaltLifecycle => &malt_app,
+            };
+            queries.push(prepare_query(app, spec));
+        }
+        BenchmarkSuite {
+            traffic_app,
+            malt_app,
+            queries,
+        }
+    }
+
+    /// Builds the suite with the paper's default workloads.
+    pub fn build_default() -> Self {
+        Self::build(&SuiteConfig::default())
+    }
+
+    /// The prepared queries of one application.
+    pub fn queries_for(&self, app: Application) -> Vec<&PreparedQuery> {
+        self.queries
+            .iter()
+            .filter(|q| q.spec.application == app)
+            .collect()
+    }
+
+    /// The application wrapper for an application.
+    pub fn app(&self, app: Application) -> &dyn ApplicationWrapper {
+        match app {
+            Application::TrafficAnalysis => &self.traffic_app,
+            Application::MaltLifecycle => &self.malt_app,
+        }
+    }
+
+    /// The knowledge base handed to [`nemo_core::SimulatedLlm`]: every query
+    /// with its golden programs and golden direct answer.
+    pub fn knowledge(&self) -> CodeKnowledge {
+        CodeKnowledge::new(
+            self.queries
+                .iter()
+                .map(|q| KnownTask {
+                    id: q.spec.id.to_string(),
+                    query: q.spec.text.to_string(),
+                    application: q.spec.application,
+                    complexity: q.spec.complexity,
+                    programs: q.spec.programs(),
+                    direct_answer: q.direct_answer.clone(),
+                })
+                .collect(),
+        )
+    }
+}
+
+fn prepare_query(app: &dyn ApplicationWrapper, spec: QuerySpec) -> PreparedQuery {
+    let mut goldens = BTreeMap::new();
+    for backend in Backend::CODEGEN {
+        let program = spec
+            .golden_program(backend)
+            .expect("code-generation backends have golden programs");
+        let state = app.initial_state(backend);
+        let outcome = execute_code(backend, program, &state).unwrap_or_else(|e| {
+            panic!(
+                "golden program for {} on {backend} failed: {e}\n{program}",
+                spec.id
+            )
+        });
+        goldens.insert(backend, outcome);
+    }
+
+    // The strawman golden: the NetworkX golden result rendered as text over
+    // an unchanged network (a direct answer cannot mutate the network).
+    let networkx_value = goldens
+        .get(&Backend::NetworkX)
+        .expect("networkx golden exists")
+        .value
+        .render();
+    let direct_answer = networkx_value;
+    let strawman_golden = Outcome {
+        value: OutputValue::Text(direct_answer.clone()),
+        state: app.initial_state(Backend::Strawman),
+        printed: Vec::new(),
+    };
+    goldens.insert(Backend::Strawman, strawman_golden);
+
+    PreparedQuery {
+        spec,
+        goldens,
+        direct_answer,
+    }
+}
+
+/// Convenience used by examples and benches: the golden outcome of a
+/// prepared query for one backend.
+pub fn golden_of(query: &PreparedQuery, backend: Backend) -> &Outcome {
+    query
+        .goldens
+        .get(&backend)
+        .expect("every backend has a golden outcome")
+}
+
+/// Returns the state kind actually used by a backend (useful in reports).
+pub fn state_kind(state: &NetworkState) -> &'static str {
+    match state {
+        NetworkState::Graph(_) => "graph",
+        NetworkState::Frames { .. } => "frames",
+        NetworkState::Database(_) => "database",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_builds_and_every_golden_program_executes() {
+        let suite = BenchmarkSuite::build(&SuiteConfig::small());
+        assert_eq!(suite.queries.len(), 33);
+        assert_eq!(suite.queries_for(Application::TrafficAnalysis).len(), 24);
+        assert_eq!(suite.queries_for(Application::MaltLifecycle).len(), 9);
+        for q in &suite.queries {
+            assert_eq!(q.goldens.len(), 4);
+            assert!(!q.direct_answer.is_empty(), "{} has no direct answer", q.spec.id);
+        }
+        let knowledge = suite.knowledge();
+        assert_eq!(knowledge.tasks().len(), 33);
+        assert!(knowledge
+            .find_by_query("How many packet switches are in the topology?")
+            .is_some());
+    }
+}

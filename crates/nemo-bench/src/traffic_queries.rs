@@ -1,0 +1,557 @@
+//! The 24 network traffic-analysis queries (8 easy, 8 medium, 8 hard) and
+//! their golden programs for the three code-generation backends.
+//!
+//! The queries mirror the categories the paper describes — topology
+//! analysis, information computation and graph manipulation — and include
+//! the three examples from the paper's Table 1. Golden programs are written
+//! against the fixed default workload (80 nodes / 80 edges, prefixes drawn
+//! from a pool that starts with `15.76`), exactly as the paper's golden
+//! answers were written against its fixed synthetic graphs.
+
+use crate::spec::QuerySpec;
+use nemo_core::{Application, Complexity};
+
+/// Returns the full traffic-analysis query suite.
+pub fn traffic_queries() -> Vec<QuerySpec> {
+    let mut q = Vec::new();
+    q.extend(easy());
+    q.extend(medium());
+    q.extend(hard());
+    q
+}
+
+fn spec(
+    id: &'static str,
+    complexity: Complexity,
+    text: &'static str,
+    networkx: &'static str,
+    pandas: &'static str,
+    sql: &'static str,
+) -> QuerySpec {
+    QuerySpec {
+        id,
+        text,
+        application: Application::TrafficAnalysis,
+        complexity,
+        networkx,
+        pandas,
+        sql,
+    }
+}
+
+fn easy() -> Vec<QuerySpec> {
+    vec![
+        spec(
+            "T01",
+            Complexity::Easy,
+            "How many nodes are in the communication graph?",
+            "result = G.number_of_nodes()",
+            "result = nodes.n_rows()",
+            "SELECT COUNT(*) AS n FROM nodes",
+        ),
+        spec(
+            "T02",
+            Complexity::Easy,
+            "How many communication edges are in the graph?",
+            "result = G.number_of_edges()",
+            "result = edges.n_rows()",
+            "SELECT COUNT(*) AS n FROM edges",
+        ),
+        spec(
+            "T03",
+            Complexity::Easy,
+            "What is the total number of bytes transferred across all edges?",
+            "result = G.total_edge_attr(\"bytes\")",
+            "result = edges.sum(\"bytes\")",
+            "SELECT SUM(bytes) AS total_bytes FROM edges",
+        ),
+        spec(
+            "T04",
+            Complexity::Easy,
+            "List all nodes with address prefix 15.76.",
+            "result = G.nodes_with_prefix(\"15.76\")",
+            r#"matching = nodes.filter("id", "startswith", "15.76")
+result = matching.column("id")"#,
+            "SELECT id FROM nodes WHERE id LIKE '15.76%' ORDER BY id",
+        ),
+        spec(
+            "T05",
+            Complexity::Easy,
+            "Add a label app:production to nodes with address prefix 15.76.",
+            r#"count = 0
+for n in G.nodes_with_prefix("15.76") {
+    G.set_node_attr(n, "label", "app:production")
+    count += 1
+}
+result = count"#,
+            r#"count = 0
+i = 0
+while i < nodes.n_rows() {
+    if nodes.value(i, "id").startswith("15.76") {
+        nodes.set_value(i, "label", "app:production")
+        count += 1
+    }
+    i += 1
+}
+result = count"#,
+            "UPDATE nodes SET label = 'app:production' WHERE id LIKE '15.76%';\nSELECT COUNT(*) AS labelled FROM nodes WHERE label = 'app:production'",
+        ),
+        spec(
+            "T06",
+            Complexity::Easy,
+            "Which node has the highest out-degree?",
+            r#"best = null
+best_degree = -1
+for n in G.nodes() {
+    d = G.out_degree(n)
+    if d > best_degree {
+        best_degree = d
+        best = n
+    }
+}
+result = best"#,
+            r#"per_source = edges.groupby_count("source")
+ranked = per_source.sort_values("count", false)
+result = ranked.value(0, "source")"#,
+            "SELECT source, COUNT(*) AS out_degree FROM edges GROUP BY source ORDER BY out_degree DESC, source ASC LIMIT 1",
+        ),
+        spec(
+            "T07",
+            Complexity::Easy,
+            "How many distinct /16 prefixes are present among the nodes?",
+            r#"prefixes = []
+for n in G.nodes() {
+    p = ip_prefix(n, 2)
+    if p not in prefixes {
+        prefixes.append(p)
+    }
+}
+result = len(prefixes)"#,
+            "result = nodes.nunique(\"prefix16\")",
+            "SELECT DISTINCT prefix16 FROM nodes ORDER BY prefix16",
+        ),
+        spec(
+            "T08",
+            Complexity::Easy,
+            "What is the average number of packets per edge?",
+            r#"total = G.total_edge_attr("packets")
+result = total / G.number_of_edges()"#,
+            "result = edges.mean(\"packets\")",
+            "SELECT AVG(packets) AS avg_packets FROM edges",
+        ),
+    ]
+}
+
+fn medium() -> Vec<QuerySpec> {
+    vec![
+        spec(
+            "T09",
+            Complexity::Medium,
+            "Assign a unique color for each /16 IP address prefix.",
+            r#"prefixes = []
+for n in G.nodes() {
+    p = ip_prefix(n, 2)
+    if p not in prefixes {
+        prefixes.append(p)
+    }
+}
+prefixes.sort()
+mapping = {}
+i = 0
+for p in prefixes {
+    mapping[p] = palette_color(i)
+    i += 1
+}
+for n in G.nodes() {
+    G.set_node_attr(n, "color", mapping[ip_prefix(n, 2)])
+}
+result = mapping"#,
+            r#"prefixes = sorted(nodes.unique("prefix16"))
+mapping = {}
+i = 0
+for p in prefixes {
+    mapping[p] = palette_color(i)
+    i += 1
+}
+colors = []
+for row in nodes.to_rows() {
+    colors.append(mapping[row["prefix16"]])
+}
+nodes.set_column("color", colors)
+result = mapping"#,
+            "UPDATE nodes SET color = 'color-0' WHERE prefix16 = '10.2';\nUPDATE nodes SET color = 'color-1' WHERE prefix16 = '10.3';\nUPDATE nodes SET color = 'color-2' WHERE prefix16 = '100.64';\nUPDATE nodes SET color = 'color-3' WHERE prefix16 = '15.76';\nUPDATE nodes SET color = 'color-4' WHERE prefix16 = '172.16';\nUPDATE nodes SET color = 'color-5' WHERE prefix16 = '192.168';\nSELECT DISTINCT prefix16, color FROM nodes ORDER BY prefix16",
+        ),
+        spec(
+            "T10",
+            Complexity::Medium,
+            "What are the top 3 nodes by total bytes sent?",
+            r#"sent = {}
+for e in G.edges_data() {
+    source = e[0]
+    attrs = e[2]
+    sent[source] = sent.get(source, 0) + attrs["bytes"]
+}
+result = top_k(sent, 3)"#,
+            r#"per_source = edges.groupby_agg("source", "bytes", "sum", "sent")
+ranked = per_source.sort_values("sent", false)
+result = ranked.head(3)"#,
+            "SELECT source, SUM(bytes) AS sent FROM edges GROUP BY source ORDER BY sent DESC, source ASC LIMIT 3",
+        ),
+        spec(
+            "T11",
+            Complexity::Medium,
+            "How many bytes were exchanged between the 15.76 prefix and the 10.2 prefix?",
+            r#"total = 0
+for e in G.edges_data() {
+    sp = ip_prefix(e[0], 2)
+    tp = ip_prefix(e[1], 2)
+    if sp == "15.76" and tp == "10.2" {
+        total += e[2]["bytes"]
+    }
+    if sp == "10.2" and tp == "15.76" {
+        total += e[2]["bytes"]
+    }
+}
+result = total"#,
+            r#"total = 0
+for row in edges.to_rows() {
+    sp = ip_prefix(row["source"], 2)
+    tp = ip_prefix(row["target"], 2)
+    if sp == "15.76" and tp == "10.2" {
+        total += row["bytes"]
+    }
+    if sp == "10.2" and tp == "15.76" {
+        total += row["bytes"]
+    }
+}
+result = total"#,
+            "SELECT SUM(bytes) AS total FROM edges WHERE (IP_PREFIX(source, 2) = '15.76' AND IP_PREFIX(target, 2) = '10.2') OR (IP_PREFIX(source, 2) = '10.2' AND IP_PREFIX(target, 2) = '15.76')",
+        ),
+        spec(
+            "T12",
+            Complexity::Medium,
+            "Report the out-degree of every node that sends traffic, from highest to lowest.",
+            r#"degrees = {}
+for e in G.edges_data() {
+    source = e[0]
+    degrees[source] = degrees.get(source, 0) + 1
+}
+result = top_k(degrees, len(keys(degrees)))"#,
+            r#"per_source = edges.groupby_count("source")
+result = per_source.sort_values("count", false)"#,
+            "SELECT source, COUNT(*) AS out_degree FROM edges GROUP BY source ORDER BY out_degree DESC, source ASC",
+        ),
+        spec(
+            "T13",
+            Complexity::Medium,
+            "Find all communication edges that carry more than 5000000 bytes.",
+            r#"heavy = []
+for e in G.edges_data() {
+    if e[2]["bytes"] > 5000000 {
+        heavy.append([e[0], e[1]])
+    }
+}
+result = heavy"#,
+            "result = edges.filter(\"bytes\", \">\", 5000000)",
+            "SELECT source, target, bytes FROM edges WHERE bytes > 5000000 ORDER BY source, target",
+        ),
+        spec(
+            "T14",
+            Complexity::Medium,
+            "Label every node with its /24 prefix in an attribute called subnet.",
+            r#"for n in G.nodes() {
+    G.set_node_attr(n, "subnet", ip_prefix(n, 3))
+}
+result = G.number_of_nodes()"#,
+            r#"subnets = []
+for row in nodes.to_rows() {
+    subnets.append(ip_prefix(row["id"], 3))
+}
+nodes.set_column("subnet", subnets)
+result = nodes.n_rows()"#,
+            "UPDATE nodes SET label = prefix24;\nSELECT COUNT(*) AS labelled FROM nodes WHERE label = prefix24",
+        ),
+        spec(
+            "T15",
+            Complexity::Medium,
+            "Which /16 prefix generates the most outgoing traffic in bytes?",
+            r#"totals = {}
+for e in G.edges_data() {
+    p = ip_prefix(e[0], 2)
+    totals[p] = totals.get(p, 0) + e[2]["bytes"]
+}
+top = top_k(totals, 1)
+result = top[0][0]"#,
+            r#"totals = {}
+for row in edges.to_rows() {
+    p = ip_prefix(row["source"], 2)
+    totals[p] = totals.get(p, 0) + row["bytes"]
+}
+top = top_k(totals, 1)
+result = top[0][0]"#,
+            "SELECT IP_PREFIX(source, 2) AS prefix, SUM(bytes) AS total FROM edges GROUP BY IP_PREFIX(source, 2) ORDER BY total DESC LIMIT 1",
+        ),
+        spec(
+            "T16",
+            Complexity::Medium,
+            "Remove all edges with fewer than 10 packets from the graph.",
+            r#"doomed = []
+for e in G.edges_data() {
+    if e[2]["packets"] < 10 {
+        doomed.append([e[0], e[1]])
+    }
+}
+for pair in doomed {
+    G.remove_edge(pair[0], pair[1])
+}
+result = len(doomed)"#,
+            r#"before = edges.n_rows()
+edges.delete_rows("packets", "<", 10)
+result = before - edges.n_rows()"#,
+            "DELETE FROM edges WHERE packets < 10;\nSELECT COUNT(*) AS remaining FROM edges",
+        ),
+    ]
+}
+
+fn hard() -> Vec<QuerySpec> {
+    vec![
+        spec(
+            "T17",
+            Complexity::Hard,
+            "Calculate total byte weight on each node, cluster them into 5 groups.",
+            r#"totals = node_weight_totals(G, "bytes")
+groups = kmeans_groups(totals, 5)
+for n in keys(groups) {
+    G.set_node_attr(n, "group", groups[n])
+}
+result = groups"#,
+            r#"totals = {}
+for row in edges.to_rows() {
+    totals[row["source"]] = totals.get(row["source"], 0) + row["bytes"]
+    totals[row["target"]] = totals.get(row["target"], 0) + row["bytes"]
+}
+for row in nodes.to_rows() {
+    if row["id"] not in totals {
+        totals[row["id"]] = 0
+    }
+}
+groups = kmeans_groups(totals, 5)
+assignments = []
+for row in nodes.to_rows() {
+    assignments.append(groups[row["id"]])
+}
+nodes.set_column("group", assignments)
+result = groups"#,
+            "SELECT source AS node, SUM(bytes) AS total, CASE WHEN SUM(bytes) < 5000000 THEN 0 WHEN SUM(bytes) < 10000000 THEN 1 WHEN SUM(bytes) < 15000000 THEN 2 WHEN SUM(bytes) < 20000000 THEN 3 ELSE 4 END AS grp FROM edges GROUP BY source ORDER BY total DESC",
+        ),
+        spec(
+            "T18",
+            Complexity::Hard,
+            "Remove the node with the highest total byte weight and report how many edges were removed.",
+            r#"totals = node_weight_totals(G, "bytes")
+top = top_k(totals, 1)
+victim = top[0][0]
+before = G.number_of_edges()
+G.remove_node(victim)
+result = before - G.number_of_edges()"#,
+            r#"totals = {}
+for row in edges.to_rows() {
+    totals[row["source"]] = totals.get(row["source"], 0) + row["bytes"]
+    totals[row["target"]] = totals.get(row["target"], 0) + row["bytes"]
+}
+top = top_k(totals, 1)
+victim = top[0][0]
+before = edges.n_rows()
+edges.delete_rows("source", "==", victim)
+edges.delete_rows("target", "==", victim)
+nodes.delete_rows("id", "==", victim)
+result = before - edges.n_rows()"#,
+            "SELECT source AS node, SUM(bytes) AS total FROM edges GROUP BY source ORDER BY total DESC LIMIT 1",
+        ),
+        spec(
+            "T19",
+            Complexity::Hard,
+            "Assign each node to a traffic tier (0=low, 1=medium, 2=high) by its total byte weight and count the nodes in each tier.",
+            r#"totals = node_weight_totals(G, "bytes")
+tiers = quantile_groups(totals, 3)
+counts = {}
+for n in keys(tiers) {
+    G.set_node_attr(n, "tier", tiers[n])
+    counts[str(tiers[n])] = counts.get(str(tiers[n]), 0) + 1
+}
+result = counts"#,
+            r#"totals = {}
+for row in edges.to_rows() {
+    totals[row["source"]] = totals.get(row["source"], 0) + row["bytes"]
+    totals[row["target"]] = totals.get(row["target"], 0) + row["bytes"]
+}
+for row in nodes.to_rows() {
+    if row["id"] not in totals {
+        totals[row["id"]] = 0
+    }
+}
+tiers = quantile_groups(totals, 3)
+assignments = []
+counts = {}
+for row in nodes.to_rows() {
+    t = tiers[row["id"]]
+    assignments.append(t)
+    counts[str(t)] = counts.get(str(t), 0) + 1
+}
+nodes.set_column("tier", assignments)
+result = counts"#,
+            "SELECT source AS node, SUM(bytes) AS total, CASE WHEN SUM(bytes) < 8000000 THEN 0 WHEN SUM(bytes) < 16000000 THEN 1 ELSE 2 END AS tier FROM edges GROUP BY source ORDER BY node",
+        ),
+        spec(
+            "T20",
+            Complexity::Hard,
+            "Find the pair of /16 prefixes with the largest total traffic between them.",
+            r#"pair_totals = {}
+for e in G.edges_data() {
+    sp = ip_prefix(e[0], 2)
+    tp = ip_prefix(e[1], 2)
+    key = sp + "->" + tp
+    pair_totals[key] = pair_totals.get(key, 0) + e[2]["bytes"]
+}
+top = top_k(pair_totals, 1)
+result = top[0][0]"#,
+            r#"pair_totals = {}
+for row in edges.to_rows() {
+    key = ip_prefix(row["source"], 2) + "->" + ip_prefix(row["target"], 2)
+    pair_totals[key] = pair_totals.get(key, 0) + row["bytes"]
+}
+top = top_k(pair_totals, 1)
+result = top[0][0]"#,
+            "SELECT IP_PREFIX(source, 2) AS source_prefix, IP_PREFIX(target, 2) AS target_prefix, SUM(bytes) AS total FROM edges GROUP BY IP_PREFIX(source, 2), IP_PREFIX(target, 2) ORDER BY total DESC LIMIT 1",
+        ),
+        spec(
+            "T21",
+            Complexity::Hard,
+            "Condense the graph by /24 subnet: how many super-nodes would the condensed graph have?",
+            r#"supernodes = {}
+for n in G.nodes() {
+    supernodes[ip_prefix(n, 3)] = 1
+}
+result = len(keys(supernodes))"#,
+            "result = nodes.nunique(\"prefix24\")",
+            "SELECT DISTINCT prefix24 FROM nodes ORDER BY prefix24",
+        ),
+        spec(
+            "T22",
+            Complexity::Hard,
+            "Remove the top 2 talkers by bytes sent and report how many edges remain.",
+            r#"sent = {}
+for e in G.edges_data() {
+    sent[e[0]] = sent.get(e[0], 0) + e[2]["bytes"]
+}
+top = top_k(sent, 2)
+for entry in top {
+    G.remove_node(entry[0])
+}
+result = G.number_of_edges()"#,
+            r#"sent = {}
+for row in edges.to_rows() {
+    sent[row["source"]] = sent.get(row["source"], 0) + row["bytes"]
+}
+top = top_k(sent, 2)
+for entry in top {
+    victim = entry[0]
+    edges.delete_rows("source", "==", victim)
+    edges.delete_rows("target", "==", victim)
+    nodes.delete_rows("id", "==", victim)
+}
+result = edges.n_rows()"#,
+            "SELECT source, SUM(bytes) AS sent FROM edges GROUP BY source ORDER BY sent DESC, source ASC LIMIT 2",
+        ),
+        spec(
+            "T23",
+            Complexity::Hard,
+            "Halve the byte count on every edge incident to the node with the highest total byte weight, then report that node's new total.",
+            r#"totals = node_weight_totals(G, "bytes")
+top = top_k(totals, 1)
+hot = top[0][0]
+for e in G.edges_data() {
+    if e[0] == hot or e[1] == hot {
+        G.set_edge_attr(e[0], e[1], "bytes", e[2]["bytes"] / 2)
+    }
+}
+updated = node_weight_totals(G, "bytes")
+result = updated[hot]"#,
+            r#"totals = {}
+for row in edges.to_rows() {
+    totals[row["source"]] = totals.get(row["source"], 0) + row["bytes"]
+    totals[row["target"]] = totals.get(row["target"], 0) + row["bytes"]
+}
+top = top_k(totals, 1)
+hot = top[0][0]
+i = 0
+new_total = 0
+while i < edges.n_rows() {
+    if edges.value(i, "source") == hot or edges.value(i, "target") == hot {
+        edges.set_value(i, "bytes", edges.value(i, "bytes") / 2)
+        new_total += edges.value(i, "bytes")
+    }
+    i += 1
+}
+result = new_total"#,
+            "UPDATE edges SET bytes = bytes / 2 WHERE source = '15.76.0.1' OR target = '15.76.0.1';\nSELECT SUM(bytes) AS total FROM edges WHERE source = '15.76.0.1' OR target = '15.76.0.1'",
+        ),
+        spec(
+            "T24",
+            Complexity::Hard,
+            "Build the subgraph of nodes with prefix 15.76 and report how many edges it contains.",
+            r#"members = G.nodes_with_prefix("15.76")
+sub = G.subgraph(members)
+result = sub.number_of_edges()"#,
+            r#"count = 0
+for row in edges.to_rows() {
+    if row["source"].startswith("15.76") and row["target"].startswith("15.76") {
+        count += 1
+    }
+}
+result = count"#,
+            "SELECT COUNT(*) AS n FROM edges WHERE source LIKE '15.76%' AND target LIKE '15.76%'",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_queries_per_level() {
+        let queries = traffic_queries();
+        assert_eq!(queries.len(), 24);
+        for level in Complexity::ALL {
+            assert_eq!(
+                queries.iter().filter(|q| q.complexity == level).count(),
+                8,
+                "{level} should have 8 queries"
+            );
+        }
+        // Unique ids and non-empty golden programs.
+        let mut ids: Vec<&str> = queries.iter().map(|q| q.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 24);
+        for q in &queries {
+            assert!(!q.networkx.is_empty() && !q.pandas.is_empty() && !q.sql.is_empty());
+            assert_eq!(q.application, Application::TrafficAnalysis);
+        }
+    }
+
+    #[test]
+    fn paper_table1_examples_are_present() {
+        let queries = traffic_queries();
+        assert!(queries
+            .iter()
+            .any(|q| q.text.contains("Add a label app:production")));
+        assert!(queries
+            .iter()
+            .any(|q| q.text.contains("Assign a unique color for each /16")));
+        assert!(queries
+            .iter()
+            .any(|q| q.text.contains("cluster them into 5 groups")));
+    }
+}

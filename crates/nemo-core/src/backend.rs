@@ -1,0 +1,139 @@
+//! The dimensions of the paper's evaluation matrix: applications, code
+//! generation approaches (backends) and query complexity levels.
+
+use std::fmt;
+
+/// The two benchmark applications (Section 4.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Application {
+    /// Network traffic analysis over synthetic communication graphs.
+    TrafficAnalysis,
+    /// Network lifecycle management over the MALT topology.
+    MaltLifecycle,
+}
+
+impl Application {
+    /// Both applications.
+    pub const ALL: [Application; 2] = [Application::TrafficAnalysis, Application::MaltLifecycle];
+
+    /// Short identifier used in reports and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Application::TrafficAnalysis => "traffic_analysis",
+            Application::MaltLifecycle => "malt",
+        }
+    }
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The code-generation approaches (plus the strawman baseline) compared in
+/// Tables 2–4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// Paste the raw graph JSON into the prompt and ask the LLM to answer
+    /// directly (no code generation).
+    Strawman,
+    /// Generate SQL against node/edge tables.
+    Sql,
+    /// Generate a GraphScript program over node/edge dataframes.
+    Pandas,
+    /// Generate a GraphScript program over a property graph.
+    NetworkX,
+}
+
+impl Backend {
+    /// All backends, in the column order of the paper's Table 2.
+    pub const ALL: [Backend; 4] = [
+        Backend::Strawman,
+        Backend::Sql,
+        Backend::Pandas,
+        Backend::NetworkX,
+    ];
+
+    /// The code-generation backends (everything except the strawman).
+    pub const CODEGEN: [Backend; 3] = [Backend::Sql, Backend::Pandas, Backend::NetworkX];
+
+    /// Short identifier used in reports and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Strawman => "strawman",
+            Backend::Sql => "sql",
+            Backend::Pandas => "pandas",
+            Backend::NetworkX => "networkx",
+        }
+    }
+
+    /// True when this backend asks the LLM for code (rather than a direct
+    /// answer).
+    pub fn generates_code(&self) -> bool {
+        !matches!(self, Backend::Strawman)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Query complexity levels (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Complexity {
+    /// Single-step lookups and filters.
+    Easy,
+    /// Multi-step computations.
+    Medium,
+    /// Multi-step computations plus graph manipulation / rebalancing.
+    Hard,
+}
+
+impl Complexity {
+    /// All levels in difficulty order.
+    pub const ALL: [Complexity; 3] = [Complexity::Easy, Complexity::Medium, Complexity::Hard];
+
+    /// Short identifier (`E`, `M`, `H`) as used in Tables 3 and 4.
+    pub fn letter(&self) -> &'static str {
+        match self {
+            Complexity::Easy => "E",
+            Complexity::Medium => "M",
+            Complexity::Hard => "H",
+        }
+    }
+
+    /// Full lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Complexity::Easy => "easy",
+            Complexity::Medium => "medium",
+            Complexity::Hard => "hard",
+        }
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_orderings() {
+        assert_eq!(Application::TrafficAnalysis.to_string(), "traffic_analysis");
+        assert_eq!(Backend::NetworkX.name(), "networkx");
+        assert_eq!(Complexity::Medium.letter(), "M");
+        assert!(Backend::Sql.generates_code());
+        assert!(!Backend::Strawman.generates_code());
+        assert_eq!(Backend::ALL.len(), 4);
+        assert_eq!(Backend::CODEGEN.len(), 3);
+        assert!(Complexity::Easy < Complexity::Hard);
+    }
+}

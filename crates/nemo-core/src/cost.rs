@@ -1,0 +1,176 @@
+//! Token counting and dollar-cost accounting (Section 4.5 / Figure 4).
+//!
+//! The paper prices queries with Azure OpenAI GPT-4 list prices and shows
+//! that the strawman baseline (whole graph pasted into the prompt) costs
+//! roughly three times more than code generation at 80 nodes+edges, and
+//! exceeds the model's token window at ≈150 nodes+edges, while the
+//! code-generation prompt cost is flat in graph size.
+
+/// An approximate tokenizer.
+///
+/// Real GPT tokenizers are byte-pair encoders; for cost accounting the
+/// standard engineering approximation of ~4 characters per token (bounded
+/// below by the word count) is accurate to within a few percent on JSON and
+/// English prose, which is all the cost model needs.
+pub fn count_tokens(text: &str) -> usize {
+    let chars = text.chars().count();
+    let words = text.split_whitespace().count();
+    (chars / 4).max(words).max(usize::from(!text.is_empty()))
+}
+
+/// Per-1 000-token prices in dollars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceTable {
+    /// Price per 1 000 prompt tokens.
+    pub prompt_per_1k: f64,
+    /// Price per 1 000 completion tokens.
+    pub completion_per_1k: f64,
+}
+
+impl PriceTable {
+    /// Azure OpenAI GPT-4 (8k context) list price at the time of the paper:
+    /// $0.03 / 1k prompt tokens, $0.06 / 1k completion tokens.
+    pub const GPT4: PriceTable = PriceTable {
+        prompt_per_1k: 0.03,
+        completion_per_1k: 0.06,
+    };
+
+    /// GPT-3.5-era completion pricing ($0.02 / 1k tokens both ways).
+    pub const GPT3: PriceTable = PriceTable {
+        prompt_per_1k: 0.02,
+        completion_per_1k: 0.02,
+    };
+
+    /// The dollar cost of one request.
+    pub fn cost(&self, prompt_tokens: usize, completion_tokens: usize) -> f64 {
+        prompt_tokens as f64 / 1000.0 * self.prompt_per_1k
+            + completion_tokens as f64 / 1000.0 * self.completion_per_1k
+    }
+}
+
+/// The cost record of one LLM call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRecord {
+    /// Tokens in the prompt.
+    pub prompt_tokens: usize,
+    /// Tokens in the completion.
+    pub completion_tokens: usize,
+    /// Dollar cost under the price table used.
+    pub dollars: f64,
+    /// True when the prompt exceeded the model's token window (the request
+    /// would be rejected; the paper reports this for the strawman at ≈150
+    /// nodes+edges).
+    pub exceeded_window: bool,
+}
+
+/// Builds a cost record for one request against a model with the given
+/// context window.
+pub fn price_request(
+    prices: &PriceTable,
+    token_window: usize,
+    prompt: &str,
+    completion: &str,
+) -> CostRecord {
+    let prompt_tokens = count_tokens(prompt);
+    let completion_tokens = count_tokens(completion);
+    CostRecord {
+        prompt_tokens,
+        completion_tokens,
+        dollars: prices.cost(prompt_tokens, completion_tokens),
+        exceeded_window: prompt_tokens + completion_tokens > token_window,
+    }
+}
+
+/// Summary statistics over a set of per-query costs (used for the CDF in
+/// Figure 4a and the sweep in Figure 4b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSummary {
+    /// Number of records.
+    pub count: usize,
+    /// Mean dollar cost.
+    pub mean: f64,
+    /// Maximum dollar cost.
+    pub max: f64,
+    /// Number of requests that exceeded the token window.
+    pub over_window: usize,
+}
+
+/// Summarizes a set of cost records.
+pub fn summarize_costs(records: &[CostRecord]) -> CostSummary {
+    let count = records.len();
+    let total: f64 = records.iter().map(|r| r.dollars).sum();
+    CostSummary {
+        count,
+        mean: if count == 0 { 0.0 } else { total / count as f64 },
+        max: records.iter().map(|r| r.dollars).fold(0.0, f64::max),
+        over_window: records.iter().filter(|r| r.exceeded_window).count(),
+    }
+}
+
+/// The points of an empirical CDF over per-query dollar costs, as plotted in
+/// Figure 4a: sorted costs paired with cumulative probability.
+pub fn cost_cdf(records: &[CostRecord]) -> Vec<(f64, f64)> {
+    let mut costs: Vec<f64> = records.iter().map(|r| r.dollars).collect();
+    costs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = costs.len();
+    costs
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (c, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_counting_heuristics() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("word"), 1);
+        assert!(count_tokens("a much longer sentence with several words") >= 7);
+        // JSON-ish content: roughly chars / 4.
+        let json = "{\"nodes\": [{\"id\": \"10.0.0.1\"}, {\"id\": \"10.0.0.2\"}]}";
+        let t = count_tokens(json);
+        assert!(t >= json.len() / 5 && t <= json.len() / 2, "unexpected {t}");
+    }
+
+    #[test]
+    fn pricing_matches_list_prices() {
+        let c = PriceTable::GPT4.cost(1000, 1000);
+        assert!((c - 0.09).abs() < 1e-12);
+        let record = price_request(&PriceTable::GPT4, 8192, &"x ".repeat(100), "short answer");
+        assert!(!record.exceeded_window);
+        assert!(record.dollars > 0.0);
+    }
+
+    #[test]
+    fn window_overflow_detection() {
+        let huge = "tok ".repeat(9000);
+        let record = price_request(&PriceTable::GPT4, 8192, &huge, "");
+        assert!(record.exceeded_window);
+    }
+
+    #[test]
+    fn summary_and_cdf() {
+        let records: Vec<CostRecord> = (1..=4)
+            .map(|i| CostRecord {
+                prompt_tokens: 100 * i,
+                completion_tokens: 50,
+                dollars: 0.01 * i as f64,
+                exceeded_window: i == 4,
+            })
+            .collect();
+        let s = summarize_costs(&records);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 0.025).abs() < 1e-12);
+        assert!((s.max - 0.04).abs() < 1e-12);
+        assert_eq!(s.over_window, 1);
+        let cdf = cost_cdf(&records);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf[0].1 - 0.25).abs() < 1e-12);
+        assert!((cdf[3].1 - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(summarize_costs(&[]).mean, 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! The end-to-end pipeline of the paper's Figure 2: application wrapper →
+//! prompt generators → LLM → execution sandbox → evaluator, plus the two
+//! complementary program-synthesis techniques studied in Table 6 (pass@k and
+//! self-debug).
+
+use crate::apps::ApplicationWrapper;
+use crate::backend::Backend;
+use crate::cost::{count_tokens, price_request, CostRecord};
+use crate::evaluator::{evaluate, Verdict};
+use crate::llm::{extract_code, FaultKind, Llm};
+use crate::prompt::{codegen_prompt, self_debug_prompt, strawman_prompt, Prompt};
+use crate::sandbox::execute_response;
+use crate::state::Outcome;
+
+/// Everything recorded about one LLM attempt at one query (the "Results
+/// Logger" rows of Figure 3).
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The model name.
+    pub model: String,
+    /// The backend used.
+    pub backend: Backend,
+    /// The operator query.
+    pub query: String,
+    /// The extracted program (None for the strawman or a reply with no code).
+    pub code: Option<String>,
+    /// The raw LLM reply.
+    pub response: String,
+    /// The evaluator's judgement.
+    pub verdict: Verdict,
+    /// Token and dollar accounting for the request.
+    pub cost: CostRecord,
+}
+
+impl RunRecord {
+    /// True when the attempt passed.
+    pub fn passed(&self) -> bool {
+        self.verdict.passed()
+    }
+}
+
+/// The natural-language network-management pipeline bound to one
+/// application and one model.
+pub struct NetworkManager<'a> {
+    app: &'a dyn ApplicationWrapper,
+    llm: &'a mut dyn Llm,
+}
+
+impl<'a> NetworkManager<'a> {
+    /// Creates a pipeline for an application and a model.
+    pub fn new(app: &'a dyn ApplicationWrapper, llm: &'a mut dyn Llm) -> Self {
+        NetworkManager { app, llm }
+    }
+
+    /// Builds the prompt for a query under a backend.
+    pub fn build_prompt(&self, backend: Backend, query: &str) -> Prompt {
+        match backend {
+            Backend::Strawman => strawman_prompt(self.app, query),
+            _ => codegen_prompt(self.app, backend, query),
+        }
+    }
+
+    /// Runs one query end to end: prompt → LLM → sandbox → evaluator.
+    ///
+    /// `golden` is the outcome of the human-curated golden program for this
+    /// query and backend (the benchmark's golden-answer selector provides
+    /// it).
+    pub fn run_query(&mut self, backend: Backend, query: &str, golden: &Outcome) -> RunRecord {
+        let prompt = self.build_prompt(backend, query);
+        self.run_prompt(&prompt, golden)
+    }
+
+    /// Runs one already-built prompt end to end.
+    pub fn run_prompt(&mut self, prompt: &Prompt, golden: &Outcome) -> RunRecord {
+        let window = self.llm.token_window();
+        // A prompt that exceeds the model's context window is rejected by
+        // the API; the paper counts those as failures (the strawman hits
+        // this at ≈150 nodes+edges).
+        if count_tokens(&prompt.text) > window {
+            return RunRecord {
+                model: self.llm.name().to_string(),
+                backend: prompt.backend,
+                query: prompt.query.clone(),
+                code: None,
+                response: String::new(),
+                verdict: Verdict::Fail {
+                    category: FaultKind::OperationError,
+                    detail: format!(
+                        "prompt of {} tokens exceeds the model's {window}-token window",
+                        count_tokens(&prompt.text)
+                    ),
+                },
+                cost: price_request(&self.llm.prices(), window, &prompt.text, ""),
+            };
+        }
+
+        let response = self.llm.complete(&prompt.text);
+        let cost = price_request(&self.llm.prices(), window, &prompt.text, &response.text);
+        let state = self.app.initial_state(prompt.backend);
+        let execution = execute_response(prompt.backend, &response, &state);
+        let verdict = evaluate(&execution, golden);
+        RunRecord {
+            model: self.llm.name().to_string(),
+            backend: prompt.backend,
+            query: prompt.query.clone(),
+            code: extract_code(&response.text),
+            response: response.text,
+            verdict,
+            cost,
+        }
+    }
+
+    /// The pass@k technique (Table 6): query the model `k` times and succeed
+    /// if any attempt passes. Returns every attempt; the first element of
+    /// the tuple says whether any attempt passed.
+    pub fn run_pass_at_k(
+        &mut self,
+        backend: Backend,
+        query: &str,
+        golden: &Outcome,
+        k: usize,
+    ) -> (bool, Vec<RunRecord>) {
+        let mut attempts = Vec::with_capacity(k);
+        let mut any_pass = false;
+        for _ in 0..k.max(1) {
+            let record = self.run_query(backend, query, golden);
+            any_pass |= record.passed();
+            attempts.push(record);
+            if any_pass {
+                break;
+            }
+        }
+        (any_pass, attempts)
+    }
+
+    /// The self-debug technique (Table 6): run once and, on failure, feed
+    /// the error message back to the model for up to `rounds` repair
+    /// attempts. Returns every attempt; the first element says whether the
+    /// final attempt passed.
+    pub fn run_self_debug(
+        &mut self,
+        backend: Backend,
+        query: &str,
+        golden: &Outcome,
+        rounds: usize,
+    ) -> (bool, Vec<RunRecord>) {
+        let base_prompt = self.build_prompt(backend, query);
+        let mut attempts = vec![self.run_prompt(&base_prompt, golden)];
+        for _ in 0..rounds {
+            let last = attempts.last().expect("at least one attempt");
+            if last.passed() {
+                break;
+            }
+            let error = last
+                .verdict
+                .detail()
+                .unwrap_or("the previous attempt failed")
+                .to_string();
+            let previous_code = last.code.clone().unwrap_or_default();
+            let debug_prompt = self_debug_prompt(&base_prompt, &previous_code, &error);
+            attempts.push(self.run_prompt(&debug_prompt, golden));
+        }
+        let passed = attempts.last().map(RunRecord::passed).unwrap_or(false);
+        (passed, attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::TrafficApp;
+    use crate::llm::ScriptedLlm;
+    use crate::sandbox::execute_code;
+    use trafficgen::TrafficConfig;
+
+    fn app() -> TrafficApp {
+        TrafficApp::new(trafficgen::generate(&TrafficConfig {
+            nodes: 12,
+            edges: 16,
+            prefixes: 2,
+            seed: 3,
+        }))
+    }
+
+    fn golden_for(app: &TrafficApp, backend: Backend, program: &str) -> Outcome {
+        execute_code(backend, program, &app.initial_state(backend)).unwrap()
+    }
+
+    #[test]
+    fn run_query_pass_and_fail() {
+        let app = app();
+        let golden = golden_for(&app, Backend::NetworkX, "result = G.number_of_nodes()");
+        let mut good = ScriptedLlm::new(
+            "good",
+            vec!["```graphscript\nresult = G.number_of_nodes()\n```".to_string()],
+        );
+        let record = NetworkManager::new(&app, &mut good).run_query(
+            Backend::NetworkX,
+            "How many nodes?",
+            &golden,
+        );
+        assert!(record.passed());
+        assert!(record.cost.dollars > 0.0);
+        assert_eq!(record.code.as_deref(), Some("result = G.number_of_nodes()"));
+
+        let mut bad = ScriptedLlm::new(
+            "bad",
+            vec!["```graphscript\nresult = G.number_of_nodes() * 2\n```".to_string()],
+        );
+        let record = NetworkManager::new(&app, &mut bad).run_query(
+            Backend::NetworkX,
+            "How many nodes?",
+            &golden,
+        );
+        assert!(!record.passed());
+        assert_eq!(record.verdict.category(), Some(FaultKind::WrongCalculation));
+    }
+
+    #[test]
+    fn pass_at_k_stops_on_first_success() {
+        let app = app();
+        let golden = golden_for(&app, Backend::NetworkX, "result = G.number_of_nodes()");
+        let mut flaky = ScriptedLlm::new(
+            "flaky",
+            vec![
+                "```graphscript\nresult = G.frobnicate()\n```".to_string(),
+                "```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
+            ],
+        );
+        let mut manager = NetworkManager::new(&app, &mut flaky);
+        let (passed, attempts) = manager.run_pass_at_k(Backend::NetworkX, "How many nodes?", &golden, 5);
+        assert!(passed);
+        assert_eq!(attempts.len(), 2);
+        assert!(!attempts[0].passed());
+        assert!(attempts[1].passed());
+    }
+
+    #[test]
+    fn self_debug_feeds_the_error_back() {
+        let app = app();
+        let golden = golden_for(&app, Backend::NetworkX, "result = G.number_of_nodes()");
+        let mut llm = ScriptedLlm::new(
+            "debuggable",
+            vec![
+                "```graphscript\nresult = G.get_node_attr(\"zzz\", \"missing\")\n```".to_string(),
+                "```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
+            ],
+        );
+        let (passed, attempts) = {
+            let mut manager = NetworkManager::new(&app, &mut llm);
+            manager.run_self_debug(Backend::NetworkX, "How many nodes?", &golden, 2)
+        };
+        assert!(passed);
+        assert_eq!(attempts.len(), 2);
+        // The second prompt carried the feedback section and the failing code.
+        assert!(llm.prompts_seen[1].contains("Previous attempt failed"));
+        assert!(llm.prompts_seen[1].contains("get_node_attr"));
+    }
+
+    #[test]
+    fn oversized_prompts_are_rejected_before_calling_the_model() {
+        let big_app = TrafficApp::new(trafficgen::generate(&TrafficConfig {
+            nodes: 400,
+            edges: 400,
+            prefixes: 4,
+            seed: 1,
+        }));
+        let golden = golden_for(&big_app, Backend::NetworkX, "result = G.number_of_nodes()");
+        let mut llm = ScriptedLlm::new("small-window", vec!["42".to_string()]);
+        let record = NetworkManager::new(&big_app, &mut llm).run_query(
+            Backend::Strawman,
+            "How many nodes?",
+            &golden,
+        );
+        assert!(!record.passed());
+        assert!(record.cost.exceeded_window);
+        assert!(record.verdict.detail().unwrap().contains("token window"));
+        // The model was never called.
+        assert!(llm.prompts_seen.is_empty());
+    }
+
+    #[test]
+    fn strawman_text_answers_are_compared_against_golden_value() {
+        let app = app();
+        let golden = golden_for(&app, Backend::NetworkX, "result = G.number_of_nodes()");
+        let n = match &golden.value {
+            crate::state::OutputValue::Script(v) => v.to_string(),
+            _ => unreachable!(),
+        };
+        let mut llm = ScriptedLlm::new("direct", vec![n.clone()]);
+        let record = NetworkManager::new(&app, &mut llm).run_query(
+            Backend::Strawman,
+            "How many nodes?",
+            &golden,
+        );
+        assert!(record.passed(), "direct answer {n} should match");
+    }
+}

@@ -1,0 +1,316 @@
+//! Fault injection: turning a correct program into the kinds of broken
+//! program the paper's LLMs actually produced.
+//!
+//! Table 5 of the paper classifies the failed NetworkX-backend programs into
+//! seven error types. The simulated LLM reproduces a failure by taking the
+//! golden program and applying one of these faults; the corrupted program is
+//! then *really* executed, so the sandbox, evaluator and error classifier
+//! all see genuine failures of the right kind.
+
+use crate::backend::{Application, Backend};
+
+/// The seven error types of the paper's Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// The program does not parse ("Syntax error").
+    Syntax,
+    /// The program reads a node/edge attribute or column that does not
+    /// exist ("Imaginary graph attributes").
+    ImaginaryAttribute,
+    /// The program calls a function or method that does not exist
+    /// ("Imaginary files/function arguments").
+    ImaginaryFunction,
+    /// The program calls a real function with the wrong arguments
+    /// ("Arguments error").
+    ArgumentError,
+    /// A runtime operation fails (missing node, division by zero, ...)
+    /// ("Operation error").
+    OperationError,
+    /// The program runs but computes the wrong value
+    /// ("Wrong calculation logic").
+    WrongCalculation,
+    /// The program runs but leaves the network in the wrong state
+    /// ("Graphs are not identical").
+    WrongManipulation,
+}
+
+impl FaultKind {
+    /// All fault kinds in the row order of Table 5.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::Syntax,
+        FaultKind::ImaginaryAttribute,
+        FaultKind::ImaginaryFunction,
+        FaultKind::ArgumentError,
+        FaultKind::OperationError,
+        FaultKind::WrongCalculation,
+        FaultKind::WrongManipulation,
+    ];
+
+    /// The paper's observed frequency of each fault kind among failed
+    /// NetworkX programs, per application (Table 5: 35 traffic failures,
+    /// 17 MALT failures). Used as sampling weights by the simulated LLM.
+    pub fn weights(app: Application) -> [(FaultKind, u32); 7] {
+        match app {
+            Application::TrafficAnalysis => [
+                (FaultKind::Syntax, 9),
+                (FaultKind::ImaginaryAttribute, 9),
+                (FaultKind::ImaginaryFunction, 3),
+                (FaultKind::ArgumentError, 7),
+                (FaultKind::OperationError, 4),
+                (FaultKind::WrongCalculation, 2),
+                (FaultKind::WrongManipulation, 1),
+            ],
+            Application::MaltLifecycle => [
+                // The paper reports 0 syntax errors for MALT; keep a tiny
+                // weight at 0 so the distribution matches.
+                (FaultKind::Syntax, 0),
+                (FaultKind::ImaginaryAttribute, 1),
+                (FaultKind::ImaginaryFunction, 2),
+                (FaultKind::ArgumentError, 8),
+                (FaultKind::OperationError, 2),
+                (FaultKind::WrongCalculation, 3),
+                (FaultKind::WrongManipulation, 1),
+            ],
+        }
+    }
+
+    /// Samples a fault kind from the application's Table-5 distribution
+    /// using a hash value as the randomness source.
+    pub fn sample(app: Application, hash: u64) -> FaultKind {
+        let weights = Self::weights(app);
+        let total: u64 = weights.iter().map(|(_, w)| *w as u64).sum();
+        let mut point = hash % total.max(1);
+        for (kind, w) in weights {
+            if (w as u64) > point {
+                return kind;
+            }
+            point -= w as u64;
+        }
+        FaultKind::ArgumentError
+    }
+
+    /// The display label used when regenerating Table 5.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Syntax => "Syntax error",
+            FaultKind::ImaginaryAttribute => "Imaginary graph attributes",
+            FaultKind::ImaginaryFunction => "Imaginary files/function arguments",
+            FaultKind::ArgumentError => "Arguments error",
+            FaultKind::OperationError => "Operation error",
+            FaultKind::WrongCalculation => "Wrong calculation logic",
+            FaultKind::WrongManipulation => "Graphs are not identical",
+        }
+    }
+}
+
+/// Applies a fault to a correct program (or, for the strawman backend, to a
+/// correct direct answer), producing text that will genuinely fail in the
+/// sandbox or the evaluator.
+pub fn inject_fault(program: &str, backend: Backend, kind: FaultKind) -> String {
+    match backend {
+        Backend::NetworkX | Backend::Pandas => inject_graphscript(program, backend, kind),
+        Backend::Sql => inject_sql(program, kind),
+        Backend::Strawman => inject_strawman(program, kind),
+    }
+}
+
+fn inject_graphscript(program: &str, backend: Backend, kind: FaultKind) -> String {
+    let is_graph = backend == Backend::NetworkX;
+    match kind {
+        FaultKind::Syntax => {
+            // Drop the last closing parenthesis; the program no longer parses.
+            match program.rfind(')') {
+                Some(pos) => {
+                    let mut s = program.to_string();
+                    s.remove(pos);
+                    s
+                }
+                None => format!("{program}\nif true {{"),
+            }
+        }
+        FaultKind::ImaginaryAttribute => {
+            let probe = if is_graph {
+                "probe_nodes = G.nodes()\nprobe = G.get_node_attr(probe_nodes[0], \"total_capacity\")"
+            } else {
+                "probe = nodes.sum(\"total_capacity\")"
+            };
+            format!("{program}\n{probe}\n")
+        }
+        FaultKind::ImaginaryFunction => {
+            let probe = if is_graph {
+                "probe = G.get_total_weight()"
+            } else {
+                "probe = nodes.pivot_table()"
+            };
+            format!("{program}\n{probe}\n")
+        }
+        FaultKind::ArgumentError => {
+            format!("{program}\nprobe = ip_prefix(\"10.0.0.1\")\n")
+        }
+        FaultKind::OperationError => {
+            let probe = if is_graph {
+                "G.remove_node(\"__no_such_node__\")"
+            } else {
+                "probe = 1 / 0"
+            };
+            format!("{program}\n{probe}\n")
+        }
+        FaultKind::WrongCalculation => {
+            format!("{program}\nresult = -987654.25\n")
+        }
+        FaultKind::WrongManipulation => {
+            let mutation = if is_graph {
+                "for __n in G.nodes() {\n    G.set_node_attr(__n, \"__touched__\", 1)\n}"
+            } else {
+                "edges.delete_rows(\"source\", \"!=\", \"__nobody__\")"
+            };
+            format!("{program}\n{mutation}\n")
+        }
+    }
+}
+
+fn inject_sql(program: &str, kind: FaultKind) -> String {
+    match kind {
+        FaultKind::Syntax => {
+            if let Some(pos) = program.find("SELECT") {
+                let mut s = program.to_string();
+                s.replace_range(pos..pos + 6, "SELEC");
+                s
+            } else if let Some(pos) = program.find("UPDATE") {
+                let mut s = program.to_string();
+                s.replace_range(pos..pos + 6, "UPDTE");
+                s
+            } else {
+                format!("{program} WHERE")
+            }
+        }
+        FaultKind::ImaginaryAttribute => {
+            format!("{program};\nSELECT total_capacity FROM nodes")
+        }
+        FaultKind::ImaginaryFunction => {
+            format!("{program};\nSELECT TOTAL_BYTES(source) FROM edges")
+        }
+        FaultKind::ArgumentError => {
+            format!("{program};\nSELECT SUBSTR(source) FROM edges")
+        }
+        FaultKind::OperationError => {
+            format!("{program};\nSELECT 1 / 0 FROM nodes")
+        }
+        FaultKind::WrongCalculation => {
+            format!("{program};\nSELECT -987654.25 AS answer")
+        }
+        FaultKind::WrongManipulation => {
+            format!("{program};\nDELETE FROM edges WHERE source != '__nobody__'")
+        }
+    }
+}
+
+fn inject_strawman(answer: &str, kind: FaultKind) -> String {
+    match kind {
+        // A direct answer cannot have a syntax error; the analogue of the
+        // LLM "hallucinating" is an answer referencing data that does not
+        // exist or simply getting the arithmetic wrong.
+        FaultKind::WrongManipulation => {
+            format!("{answer} (and I have also removed every edge from the graph)")
+        }
+        _ => format!("I believe the answer is approximately {}", mangle_numbers(answer)),
+    }
+}
+
+/// Perturbs every number in the text (the strawman's arithmetic mistakes).
+fn mangle_numbers(text: &str) -> String {
+    let mut out = String::new();
+    let mut digits = String::new();
+    for c in text.chars() {
+        if c.is_ascii_digit() {
+            digits.push(c);
+        } else {
+            flush_mangled(&mut out, &mut digits);
+            out.push(c);
+        }
+    }
+    flush_mangled(&mut out, &mut digits);
+    if out == text {
+        format!("{out} 12345")
+    } else {
+        out
+    }
+}
+
+fn flush_mangled(out: &mut String, digits: &mut String) {
+    if digits.is_empty() {
+        return;
+    }
+    let n: u64 = digits.parse().unwrap_or(0);
+    out.push_str(&(n * 3 + 7).to_string());
+    digits.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = "totals = node_weight_totals(G, \"bytes\")\nresult = top_k(totals, 3)";
+    const SQL: &str = "SELECT source, SUM(bytes) AS total FROM edges GROUP BY source";
+
+    #[test]
+    fn weights_match_table5_totals() {
+        let traffic: u32 = FaultKind::weights(Application::TrafficAnalysis)
+            .iter()
+            .map(|(_, w)| w)
+            .sum();
+        let malt: u32 = FaultKind::weights(Application::MaltLifecycle)
+            .iter()
+            .map(|(_, w)| w)
+            .sum();
+        assert_eq!(traffic, 35);
+        assert_eq!(malt, 17);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_respects_zero_weights() {
+        for h in 0..200u64 {
+            let kind = FaultKind::sample(Application::MaltLifecycle, h);
+            assert_ne!(kind, FaultKind::Syntax, "MALT has zero syntax-error weight");
+        }
+        assert_eq!(
+            FaultKind::sample(Application::TrafficAnalysis, 42),
+            FaultKind::sample(Application::TrafficAnalysis, 42)
+        );
+    }
+
+    #[test]
+    fn graphscript_faults_produce_distinct_programs() {
+        for kind in FaultKind::ALL {
+            let bad = inject_fault(PROGRAM, Backend::NetworkX, kind);
+            assert_ne!(bad, PROGRAM, "{kind:?} did not change the program");
+        }
+        // Syntax fault removes a parenthesis.
+        let bad = inject_fault(PROGRAM, Backend::NetworkX, FaultKind::Syntax);
+        assert_eq!(bad.matches(')').count(), PROGRAM.matches(')').count() - 1);
+    }
+
+    #[test]
+    fn sql_faults_produce_distinct_programs() {
+        for kind in FaultKind::ALL {
+            let bad = inject_fault(SQL, Backend::Sql, kind);
+            assert_ne!(bad, SQL);
+        }
+        assert!(inject_fault(SQL, Backend::Sql, FaultKind::Syntax).contains("SELEC "));
+    }
+
+    #[test]
+    fn strawman_faults_corrupt_numbers() {
+        let bad = inject_fault("total bytes: 2550", Backend::Strawman, FaultKind::WrongCalculation);
+        assert!(!bad.contains("2550"));
+        let manip = inject_fault("done", Backend::Strawman, FaultKind::WrongManipulation);
+        assert!(manip.contains("removed"));
+    }
+
+    #[test]
+    fn labels_are_the_table5_rows() {
+        assert_eq!(FaultKind::Syntax.label(), "Syntax error");
+        assert_eq!(FaultKind::WrongManipulation.label(), "Graphs are not identical");
+        assert_eq!(FaultKind::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,29 @@
+//! Language models (component 4 of the paper's Figure 2).
+//!
+//! The paper evaluates four commercial LLMs (GPT-4, GPT-3,
+//! text-davinci-003, Google Bard). Those models are not reachable from this
+//! reproduction, so the crate provides:
+//!
+//! * [`Llm`] — the narrow interface the framework needs (a name and a
+//!   prompt → completion function),
+//! * [`ScriptedLlm`] — a fixed transcript, used in unit tests,
+//! * [`SimulatedLlm`] — a deterministic, seeded model of each commercial
+//!   LLM's code-generation behaviour, calibrated per (application, backend,
+//!   complexity) cell from the paper's published accuracy tables. When the
+//!   simulated model "knows" a task it emits the benchmark's golden program;
+//!   when it does not, it emits that program corrupted by a fault drawn from
+//!   the paper's Table-5 error-type distribution, so every downstream stage
+//!   (sandbox, evaluator, error classifier, pass@k, self-debug, cost model)
+//!   operates on real failures.
+
+mod faults;
+pub mod profiles;
+mod scripted;
+mod simulated;
+mod traits;
+
+pub use faults::{inject_fault, FaultKind};
+pub use profiles::{all_profiles, ModelProfile};
+pub use scripted::ScriptedLlm;
+pub use simulated::{CodeKnowledge, KnownTask, SimulatedLlm};
+pub use traits::{extract_code, Llm, LlmResponse};

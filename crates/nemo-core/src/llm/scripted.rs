@@ -1,0 +1,70 @@
+//! A scripted (canned-transcript) LLM used by unit tests.
+
+use crate::cost::PriceTable;
+use crate::llm::traits::{Llm, LlmResponse};
+use std::collections::VecDeque;
+
+/// An [`Llm`] that returns a fixed sequence of completions regardless of the
+/// prompt. When the transcript runs out it repeats the last entry (or an
+/// empty completion when none was provided).
+#[derive(Debug, Clone)]
+pub struct ScriptedLlm {
+    name: String,
+    responses: VecDeque<String>,
+    last: String,
+    /// Every prompt received, for assertions in tests.
+    pub prompts_seen: Vec<String>,
+}
+
+impl ScriptedLlm {
+    /// Creates a scripted model with the given completions.
+    pub fn new(name: impl Into<String>, responses: Vec<String>) -> Self {
+        ScriptedLlm {
+            name: name.into(),
+            responses: responses.into(),
+            last: String::new(),
+            prompts_seen: Vec::new(),
+        }
+    }
+}
+
+impl Llm for ScriptedLlm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn complete(&mut self, prompt: &str) -> LlmResponse {
+        self.prompts_seen.push(prompt.to_string());
+        if let Some(next) = self.responses.pop_front() {
+            self.last = next;
+        }
+        LlmResponse {
+            text: self.last.clone(),
+        }
+    }
+
+    fn prices(&self) -> PriceTable {
+        PriceTable::GPT4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_transcript_then_repeats_last() {
+        let mut llm = ScriptedLlm::new("test", vec!["one".into(), "two".into()]);
+        assert_eq!(llm.complete("a").text, "one");
+        assert_eq!(llm.complete("b").text, "two");
+        assert_eq!(llm.complete("c").text, "two");
+        assert_eq!(llm.prompts_seen.len(), 3);
+        assert_eq!(llm.name(), "test");
+    }
+
+    #[test]
+    fn empty_transcript_yields_empty_completions() {
+        let mut llm = ScriptedLlm::new("empty", vec![]);
+        assert_eq!(llm.complete("x").text, "");
+    }
+}

@@ -1,0 +1,505 @@
+//! The simulated LLM: a deterministic, calibrated stand-in for the four
+//! commercial models the paper evaluates.
+//!
+//! A [`SimulatedLlm`] owns a [`ModelProfile`] (the published per-cell
+//! accuracies, pricing and temperature behaviour) and a [`CodeKnowledge`]
+//! base (the benchmark's golden programs — the analogue of "the model has
+//! seen a lot of NetworkX/pandas/SQL code on GitHub"). For each prompt it
+//! identifies the task being asked, decides from the profile whether this
+//! model would have solved it, and answers with either the correct program
+//! or a program corrupted by a Table-5 fault. Non-deterministic models
+//! (Bard) vary across repeated attempts, which is what pass@k exploits;
+//! self-debug feedback gives a second chance whose success depends on the
+//! fault kind.
+
+use crate::backend::{Application, Backend, Complexity};
+use crate::cost::PriceTable;
+use crate::llm::faults::{inject_fault, FaultKind};
+use crate::llm::profiles::ModelProfile;
+use crate::llm::traits::{Llm, LlmResponse};
+use crate::prompt::{FEEDBACK_MARKER, QUERY_MARKER};
+use std::collections::BTreeMap;
+
+/// One task the simulated model may know how to solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnownTask {
+    /// Stable identifier (used in logs).
+    pub id: String,
+    /// The operator query, verbatim as it appears in prompts.
+    pub query: String,
+    /// Which application the task belongs to.
+    pub application: Application,
+    /// The task's complexity level.
+    pub complexity: Complexity,
+    /// The correct program per code-generation backend.
+    pub programs: BTreeMap<Backend, String>,
+    /// The correct direct answer (what a perfect strawman reply looks like).
+    pub direct_answer: String,
+}
+
+/// The simulated model's knowledge base.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CodeKnowledge {
+    tasks: Vec<KnownTask>,
+}
+
+impl CodeKnowledge {
+    /// Builds a knowledge base from tasks.
+    pub fn new(tasks: Vec<KnownTask>) -> Self {
+        CodeKnowledge { tasks }
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[KnownTask] {
+        &self.tasks
+    }
+
+    /// Finds the task whose query matches `query` (whitespace-insensitive).
+    pub fn find_by_query(&self, query: &str) -> Option<&KnownTask> {
+        let wanted = normalize(query);
+        self.tasks.iter().find(|t| normalize(&t.query) == wanted)
+    }
+
+    /// The tasks in the same (application, complexity) cell.
+    pub fn cell(&self, app: Application, complexity: Complexity) -> Vec<&KnownTask> {
+        self.tasks
+            .iter()
+            .filter(|t| t.application == app && t.complexity == complexity)
+            .collect()
+    }
+}
+
+fn normalize(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+/// Deterministic FNV-1a hash over the given string parts.
+pub(crate) fn hash_parts(parts: &[&str]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for byte in part.as_bytes() {
+            hash ^= *byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= 0x1f;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A deterministic, seeded stand-in for one of the paper's LLMs.
+#[derive(Debug, Clone)]
+pub struct SimulatedLlm {
+    profile: ModelProfile,
+    knowledge: CodeKnowledge,
+    seed: u64,
+    /// Per (query, backend) count of non-feedback attempts, used to model
+    /// sampling variance of non-deterministic models.
+    attempts: BTreeMap<(String, Backend), u32>,
+}
+
+impl SimulatedLlm {
+    /// Creates a simulated model.
+    pub fn new(profile: ModelProfile, knowledge: CodeKnowledge, seed: u64) -> Self {
+        SimulatedLlm {
+            profile,
+            knowledge,
+            seed,
+            attempts: BTreeMap::new(),
+        }
+    }
+
+    /// The model's behavioural profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Resets the per-task attempt counters (a fresh "session").
+    pub fn reset_attempts(&mut self) {
+        self.attempts.clear();
+    }
+
+    /// Whether the model's base (first-attempt, no-feedback) behaviour on a
+    /// task and backend is to produce correct code. This is the calibrated
+    /// competence assignment: within each (application, complexity) cell the
+    /// tasks are ranked by a per-model hash and the top `accuracy × cell
+    /// size` (rounded) are the ones the model can solve.
+    pub fn base_knows(&self, task: &KnownTask, backend: Backend) -> bool {
+        let accuracy = self
+            .profile
+            .accuracy(task.application, backend, task.complexity);
+        let cell = self.knowledge.cell(task.application, task.complexity);
+        if cell.is_empty() {
+            return false;
+        }
+        let n_known = (accuracy * cell.len() as f64).round() as usize;
+        let mut ranked: Vec<&KnownTask> = cell;
+        ranked.sort_by_key(|t| {
+            hash_parts(&[
+                self.profile.name,
+                backend.name(),
+                &t.query,
+                &self.seed.to_string(),
+            ])
+        });
+        ranked
+            .iter()
+            .position(|t| t.id == task.id)
+            .map(|pos| pos < n_known)
+            .unwrap_or(false)
+    }
+
+    /// The fault kind this model exhibits when it fails a task (stable per
+    /// task/backend, drawn from the application's Table-5 distribution).
+    pub fn fault_kind(&self, task: &KnownTask, backend: Backend) -> FaultKind {
+        let hash = hash_parts(&[
+            "fault",
+            self.profile.name,
+            backend.name(),
+            &task.query,
+            &self.seed.to_string(),
+        ]);
+        FaultKind::sample(task.application, hash)
+    }
+
+    /// For non-deterministic models: the attempt index (1-based) at which a
+    /// base-unknown task nevertheless succeeds, modelling sampling variance.
+    /// Always between 2 and 5, so pass@5 recovers every such failure
+    /// (matching the paper's Table 6) while pass@1 does not.
+    fn rescue_attempt(&self, task: &KnownTask, backend: Backend) -> u32 {
+        let hash = hash_parts(&[
+            "rescue",
+            self.profile.name,
+            backend.name(),
+            &task.query,
+            &self.seed.to_string(),
+        ]);
+        2 + (hash % 4) as u32
+    }
+
+    /// Whether a self-debug round (error message fed back) fixes a failure
+    /// of the given kind for this task.
+    fn self_debug_fixes(&self, task: &KnownTask, backend: Backend, kind: FaultKind) -> bool {
+        let hash = hash_parts(&[
+            "selfdebug",
+            self.profile.name,
+            backend.name(),
+            &task.query,
+            &self.seed.to_string(),
+        ]);
+        let u = (hash % 10_000) as f64 / 10_000.0;
+        u < (self.profile.self_debug_fix)(kind)
+    }
+
+    fn correct_response(&self, task: &KnownTask, backend: Backend) -> String {
+        match backend {
+            Backend::Strawman => task.direct_answer.clone(),
+            _ => {
+                let program = task
+                    .programs
+                    .get(&backend)
+                    .cloned()
+                    .unwrap_or_else(|| "result = null".to_string());
+                render_code_response(backend, &program)
+            }
+        }
+    }
+
+    fn faulty_response(&self, task: &KnownTask, backend: Backend, kind: FaultKind) -> String {
+        match backend {
+            Backend::Strawman => inject_fault(&task.direct_answer, backend, kind),
+            _ => {
+                let program = task
+                    .programs
+                    .get(&backend)
+                    .cloned()
+                    .unwrap_or_else(|| "result = null".to_string());
+                render_code_response(backend, &inject_fault(&program, backend, kind))
+            }
+        }
+    }
+
+    /// The reply for a task the model does not recognize at all.
+    fn unknown_task_response(&self, backend: Backend) -> String {
+        match backend {
+            Backend::Strawman => "I am not sure how to answer that.".to_string(),
+            Backend::Sql => render_code_response(backend, "SELECT answer FROM unknown_table"),
+            _ => render_code_response(backend, "result = answer_the_query(G)"),
+        }
+    }
+}
+
+fn render_code_response(backend: Backend, program: &str) -> String {
+    let lang = match backend {
+        Backend::Sql => "sql",
+        _ => "graphscript",
+    };
+    format!(
+        "Here is a program that answers the query.\n\n```{lang}\n{}\n```\n",
+        program.trim_end()
+    )
+}
+
+/// Identifies which backend a prompt targets from its instruction section.
+fn detect_backend(prompt: &str) -> Backend {
+    if prompt.contains("do not write code") {
+        Backend::Strawman
+    } else if prompt.contains("```sql") {
+        Backend::Sql
+    } else if prompt.contains("two global dataframes") {
+        Backend::Pandas
+    } else {
+        Backend::NetworkX
+    }
+}
+
+/// Extracts the operator query embedded in a prompt.
+fn extract_query(prompt: &str) -> Option<String> {
+    let start = prompt.find(QUERY_MARKER)? + QUERY_MARKER.len();
+    let rest = &prompt[start..];
+    let mut lines = Vec::new();
+    for line in rest.lines().skip(1) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("##") {
+            break;
+        }
+        lines.push(trimmed.to_string());
+    }
+    if lines.is_empty() {
+        None
+    } else {
+        Some(lines.join(" "))
+    }
+}
+
+impl Llm for SimulatedLlm {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn complete(&mut self, prompt: &str) -> LlmResponse {
+        let backend = detect_backend(prompt);
+        let is_feedback = prompt.contains(FEEDBACK_MARKER);
+        let query = match extract_query(prompt) {
+            Some(q) => q,
+            None => {
+                return LlmResponse {
+                    text: self.unknown_task_response(backend),
+                }
+            }
+        };
+        let task = match self.knowledge.find_by_query(&query) {
+            Some(t) => t.clone(),
+            None => {
+                return LlmResponse {
+                    text: self.unknown_task_response(backend),
+                }
+            }
+        };
+
+        // Attempt bookkeeping: only fresh attempts (not self-debug rounds)
+        // advance the counter that models sampling variance.
+        let attempt = if is_feedback {
+            *self
+                .attempts
+                .get(&(task.query.clone(), backend))
+                .unwrap_or(&1)
+        } else {
+            let counter = self
+                .attempts
+                .entry((task.query.clone(), backend))
+                .or_insert(0);
+            *counter += 1;
+            *counter
+        };
+
+        let mut correct = self.base_knows(&task, backend);
+        let fault = self.fault_kind(&task, backend);
+        if !correct && !self.profile.deterministic && attempt >= self.rescue_attempt(&task, backend)
+        {
+            correct = true;
+        }
+        if !correct && is_feedback && self.self_debug_fixes(&task, backend, fault) {
+            correct = true;
+        }
+
+        let text = if correct {
+            self.correct_response(&task, backend)
+        } else {
+            self.faulty_response(&task, backend, fault)
+        };
+        LlmResponse { text }
+    }
+
+    fn token_window(&self) -> usize {
+        self.profile.token_window
+    }
+
+    fn prices(&self) -> PriceTable {
+        self.profile.prices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llm::profiles::{bard, gpt4};
+    use crate::llm::traits::extract_code;
+
+    fn task(id: &str, query: &str, complexity: Complexity) -> KnownTask {
+        let mut programs = BTreeMap::new();
+        programs.insert(Backend::NetworkX, format!("result = G.number_of_nodes() # {id}"));
+        programs.insert(Backend::Pandas, format!("result = nodes.n_rows() # {id}"));
+        programs.insert(Backend::Sql, "SELECT COUNT(*) AS n FROM nodes".to_string());
+        KnownTask {
+            id: id.to_string(),
+            query: query.to_string(),
+            application: Application::TrafficAnalysis,
+            complexity,
+            programs,
+            direct_answer: "80".to_string(),
+        }
+    }
+
+    fn knowledge() -> CodeKnowledge {
+        CodeKnowledge::new(vec![
+            task("q1", "How many nodes are in the graph?", Complexity::Easy),
+            task("q2", "How many endpoints are there?", Complexity::Easy),
+            task("q3", "Count all hosts.", Complexity::Easy),
+            task("q4", "Count nodes please.", Complexity::Easy),
+        ])
+    }
+
+    fn prompt_for(query: &str, backend: Backend) -> String {
+        let marker = QUERY_MARKER;
+        let instructions = crate::prompt::backend_instructions(backend);
+        format!("## Application\nA graph.\n\n{marker}\n{query}\n\n## Task\n{instructions}\n")
+    }
+
+    #[test]
+    fn perfect_cell_returns_golden_code() {
+        // GPT-4 NetworkX Easy accuracy is 1.0, so every easy task succeeds.
+        let mut llm = SimulatedLlm::new(gpt4(), knowledge(), 1);
+        for q in ["How many nodes are in the graph?", "Count all hosts."] {
+            let response = llm.complete(&prompt_for(q, Backend::NetworkX));
+            let code = extract_code(&response.text).unwrap();
+            assert!(code.contains("number_of_nodes"), "unexpected code: {code}");
+        }
+    }
+
+    #[test]
+    fn accuracy_fraction_of_cell_is_correct() {
+        // GPT-4 pandas Easy accuracy is 0.50: exactly half of the 4 easy
+        // tasks get correct pandas programs.
+        let mut llm = SimulatedLlm::new(gpt4(), knowledge(), 1);
+        let mut correct = 0;
+        for q in [
+            "How many nodes are in the graph?",
+            "How many endpoints are there?",
+            "Count all hosts.",
+            "Count nodes please.",
+        ] {
+            let response = llm.complete(&prompt_for(q, Backend::Pandas));
+            let code = extract_code(&response.text).unwrap();
+            if code == "result = nodes.n_rows() # q1"
+                || code == "result = nodes.n_rows() # q2"
+                || code == "result = nodes.n_rows() # q3"
+                || code == "result = nodes.n_rows() # q4"
+            {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, 2);
+    }
+
+    #[test]
+    fn deterministic_models_repeat_failures_nondeterministic_recover() {
+        let k = knowledge();
+        // Force a failing cell by using a backend/complexity with 0 accuracy:
+        // GPT-4 strawman Hard is 0.0 — but build hard tasks instead.
+        let hard = CodeKnowledge::new(vec![
+            task("h1", "Cluster the nodes into 5 groups.", Complexity::Hard),
+            task("h2", "Rebalance the capacity.", Complexity::Hard),
+        ]);
+        let mut gpt = SimulatedLlm::new(gpt4(), hard.clone(), 1);
+        let p = prompt_for("Rebalance the capacity.", Backend::Pandas); // 0.13 accuracy -> 0 of 2
+        let first = gpt.complete(&p).text;
+        let second = gpt.complete(&p).text;
+        assert_eq!(first, second, "temperature-0 model must repeat itself");
+
+        let mut b = SimulatedLlm::new(bard(), hard, 1);
+        let mut answers = Vec::new();
+        for _ in 0..5 {
+            answers.push(b.complete(&p).text);
+        }
+        // Bard recovers on some later attempt (pass@5 behaviour).
+        let golden_seen = answers
+            .iter()
+            .filter_map(|t| extract_code(t))
+            .any(|c| c.starts_with("result = nodes.n_rows()"));
+        assert!(golden_seen, "non-deterministic model never recovered: {answers:?}");
+        let _ = k;
+    }
+
+    #[test]
+    fn failures_are_real_injected_faults() {
+        // GPT-4 SQL Easy accuracy is 0.75 -> 3 of the 4 easy tasks correct,
+        // one fault-injected.
+        let mut llm = SimulatedLlm::new(gpt4(), knowledge(), 1);
+        let mut faulty = Vec::new();
+        for q in [
+            "How many nodes are in the graph?",
+            "How many endpoints are there?",
+            "Count all hosts.",
+            "Count nodes please.",
+        ] {
+            let text = llm.complete(&prompt_for(q, Backend::Sql)).text;
+            let code = extract_code(&text).unwrap();
+            if code != "SELECT COUNT(*) AS n FROM nodes" {
+                faulty.push(code);
+            }
+        }
+        assert_eq!(faulty.len(), 1);
+        assert_ne!(faulty[0], "SELECT COUNT(*) AS n FROM nodes");
+    }
+
+    #[test]
+    fn unknown_queries_get_generic_wrong_code() {
+        let mut llm = SimulatedLlm::new(gpt4(), knowledge(), 1);
+        let text = llm
+            .complete(&prompt_for("Completely novel question?", Backend::NetworkX))
+            .text;
+        assert!(extract_code(&text).unwrap().contains("answer_the_query"));
+        let strawman = llm.complete(&prompt_for("Novel?", Backend::Strawman)).text;
+        assert!(strawman.contains("not sure"));
+    }
+
+    #[test]
+    fn backend_detection_and_window() {
+        let llm = SimulatedLlm::new(gpt4(), knowledge(), 1);
+        assert_eq!(llm.token_window(), 8_192);
+        assert_eq!(detect_backend(&prompt_for("q", Backend::Sql)), Backend::Sql);
+        assert_eq!(
+            detect_backend(&prompt_for("q", Backend::Pandas)),
+            Backend::Pandas
+        );
+        assert_eq!(
+            detect_backend(&prompt_for("q", Backend::NetworkX)),
+            Backend::NetworkX
+        );
+        assert_eq!(
+            detect_backend("please answer, do not write code"),
+            Backend::Strawman
+        );
+    }
+
+    #[test]
+    fn extract_query_reads_the_marker_section() {
+        let p = prompt_for("How many nodes are in the graph?", Backend::NetworkX);
+        assert_eq!(
+            extract_query(&p).unwrap(),
+            "How many nodes are in the graph?"
+        );
+        assert_eq!(extract_query("no marker here"), None);
+    }
+}

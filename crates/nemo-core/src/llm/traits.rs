@@ -1,0 +1,64 @@
+//! The LLM interface and the response type.
+
+use crate::cost::PriceTable;
+
+/// One completion returned by a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlmResponse {
+    /// The completion text (prose plus a fenced code block for the
+    /// code-generation backends).
+    pub text: String,
+}
+
+/// The interface the framework uses to talk to a language model.
+///
+/// Completions are a function of the prompt only — exactly what a remote
+/// LLM API offers. Implementations may keep internal state (e.g. attempt
+/// counters for non-deterministic models), which is why `complete` takes
+/// `&mut self`.
+pub trait Llm {
+    /// The model's name as used in the paper's tables
+    /// (`"GPT-4"`, `"Google Bard"`, ...).
+    fn name(&self) -> &str;
+
+    /// Generates a completion for a prompt.
+    fn complete(&mut self, prompt: &str) -> LlmResponse;
+
+    /// The model's context-window size in tokens (prompt + completion).
+    fn token_window(&self) -> usize {
+        8_192
+    }
+
+    /// The model's price table.
+    fn prices(&self) -> PriceTable {
+        PriceTable::GPT4
+    }
+}
+
+/// Extracts the first fenced code block from a completion, tolerating an
+/// optional language tag. Returns `None` when the completion contains no
+/// code fence (the strawman's direct answers, or a malformed reply).
+pub fn extract_code(completion: &str) -> Option<String> {
+    let start = completion.find("```")?;
+    let after = &completion[start + 3..];
+    // Skip the language tag line if present.
+    let body_start = after.find('\n').map(|i| i + 1).unwrap_or(0);
+    let body = &after[body_start..];
+    let end = body.find("```")?;
+    Some(body[..end].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_code_handles_language_tags_and_absence() {
+        let completion = "Here is the program:\n```graphscript\nresult = 1 + 1\n```\nDone.";
+        assert_eq!(extract_code(completion).unwrap(), "result = 1 + 1");
+        let sql = "```sql\nSELECT 1;\n```";
+        assert_eq!(extract_code(sql).unwrap(), "SELECT 1;");
+        assert_eq!(extract_code("just an answer, no code"), None);
+        assert_eq!(extract_code("``` incomplete"), None);
+    }
+}

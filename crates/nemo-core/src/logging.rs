@@ -1,0 +1,142 @@
+//! The results logger (Figure 3): keeps every attempt's record and offers
+//! the aggregations the benchmark tables are built from.
+
+use crate::backend::Backend;
+use crate::framework::RunRecord;
+use crate::llm::FaultKind;
+use std::collections::BTreeMap;
+
+/// An append-only log of run records with aggregation helpers.
+#[derive(Debug, Default)]
+pub struct ResultsLogger {
+    records: Vec<RunRecord>,
+}
+
+impl ResultsLogger {
+    /// Creates an empty logger.
+    pub fn new() -> Self {
+        ResultsLogger::default()
+    }
+
+    /// Appends one record.
+    pub fn log(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Appends many records.
+    pub fn log_all(&mut self, records: impl IntoIterator<Item = RunRecord>) {
+        self.records.extend(records);
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Pass rate over the records selected by `filter` (0.0 when none match).
+    pub fn pass_rate<F: Fn(&RunRecord) -> bool>(&self, filter: F) -> f64 {
+        let selected: Vec<&RunRecord> = self.records.iter().filter(|r| filter(r)).collect();
+        if selected.is_empty() {
+            return 0.0;
+        }
+        selected.iter().filter(|r| r.passed()).count() as f64 / selected.len() as f64
+    }
+
+    /// Pass rate for one (model, backend) pair.
+    pub fn pass_rate_for(&self, model: &str, backend: Backend) -> f64 {
+        self.pass_rate(|r| r.model == model && r.backend == backend)
+    }
+
+    /// Counts failures by error category over the records selected by
+    /// `filter` (the data behind Table 5).
+    pub fn failure_categories<F: Fn(&RunRecord) -> bool>(
+        &self,
+        filter: F,
+    ) -> BTreeMap<FaultKind, usize> {
+        let mut out = BTreeMap::new();
+        for record in self.records.iter().filter(|r| filter(r)) {
+            if let Some(category) = record.verdict.category() {
+                *out.entry(category).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Total dollar cost over the records selected by `filter`.
+    pub fn total_cost<F: Fn(&RunRecord) -> bool>(&self, filter: F) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| filter(r))
+            .map(|r| r.cost.dollars)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostRecord;
+    use crate::evaluator::Verdict;
+
+    fn record(model: &str, backend: Backend, pass: bool, category: FaultKind) -> RunRecord {
+        RunRecord {
+            model: model.to_string(),
+            backend,
+            query: "q".to_string(),
+            code: None,
+            response: String::new(),
+            verdict: if pass {
+                Verdict::Pass
+            } else {
+                Verdict::Fail {
+                    category,
+                    detail: "d".to_string(),
+                }
+            },
+            cost: CostRecord {
+                prompt_tokens: 100,
+                completion_tokens: 10,
+                dollars: 0.01,
+                exceeded_window: false,
+            },
+        }
+    }
+
+    #[test]
+    fn pass_rates_and_costs() {
+        let mut log = ResultsLogger::new();
+        assert!(log.is_empty());
+        log.log(record("GPT-4", Backend::NetworkX, true, FaultKind::Syntax));
+        log.log(record("GPT-4", Backend::NetworkX, false, FaultKind::Syntax));
+        log.log(record("GPT-4", Backend::Sql, false, FaultKind::ArgumentError));
+        log.log_all(vec![record("Bard", Backend::NetworkX, true, FaultKind::Syntax)]);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.pass_rate_for("GPT-4", Backend::NetworkX), 0.5);
+        assert_eq!(log.pass_rate_for("Bard", Backend::NetworkX), 1.0);
+        assert_eq!(log.pass_rate_for("Bard", Backend::Sql), 0.0);
+        assert!((log.total_cost(|_| true) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_category_counts() {
+        let mut log = ResultsLogger::new();
+        log.log(record("GPT-4", Backend::NetworkX, false, FaultKind::Syntax));
+        log.log(record("GPT-4", Backend::NetworkX, false, FaultKind::Syntax));
+        log.log(record("GPT-4", Backend::NetworkX, false, FaultKind::WrongCalculation));
+        log.log(record("GPT-4", Backend::NetworkX, true, FaultKind::Syntax));
+        let counts = log.failure_categories(|r| r.backend == Backend::NetworkX);
+        assert_eq!(counts[&FaultKind::Syntax], 2);
+        assert_eq!(counts[&FaultKind::WrongCalculation], 1);
+        assert_eq!(counts.values().sum::<usize>(), 3);
+    }
+}

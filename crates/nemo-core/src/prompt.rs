@@ -1,0 +1,193 @@
+//! Prompt generation (components 2 and 3 of the paper's Figure 2).
+//!
+//! The *application prompt generator* turns the application wrapper's
+//! description plus the operator's natural-language query into a
+//! task-specific prompt; the *code-gen prompt generator* appends the
+//! backend-specific instructions (which library to use, how to return the
+//! result). The strawman prompt instead pastes the raw graph JSON and asks
+//! for a direct answer.
+//!
+//! Prompts are plain text with `##`-delimited sections; the `## Query`
+//! section carries the operator's request verbatim, which is also how the
+//! simulated LLM recognizes which task it is being asked to solve.
+
+use crate::apps::ApplicationWrapper;
+use crate::backend::Backend;
+
+/// A fully rendered prompt plus the metadata the framework keeps about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    /// The complete prompt text sent to the LLM.
+    pub text: String,
+    /// The operator query embedded in the prompt.
+    pub query: String,
+    /// The backend the prompt targets.
+    pub backend: Backend,
+}
+
+/// Section marker used for the operator query. The simulated LLM looks for
+/// this marker to identify the task.
+pub const QUERY_MARKER: &str = "## Query";
+
+/// Section marker introducing error feedback in a self-debug round.
+pub const FEEDBACK_MARKER: &str = "## Previous attempt failed";
+
+/// Builds the application-specific part of the prompt (component 2).
+pub fn application_prompt(app: &dyn ApplicationWrapper, query: &str) -> String {
+    format!(
+        "You are a network management assistant.\n\n## Application\n{}\n\n{QUERY_MARKER}\n{}\n",
+        app.describe(),
+        query.trim()
+    )
+}
+
+/// Builds the complete code-generation prompt (components 2 + 3).
+pub fn codegen_prompt(app: &dyn ApplicationWrapper, backend: Backend, query: &str) -> Prompt {
+    let mut text = application_prompt(app, query);
+    text.push_str("\n## Task\n");
+    text.push_str(backend_instructions(backend));
+    Prompt {
+        text,
+        query: query.trim().to_string(),
+        backend,
+    }
+}
+
+/// Builds the strawman prompt: the raw graph JSON plus the query, asking the
+/// model to answer directly without code.
+pub fn strawman_prompt(app: &dyn ApplicationWrapper, query: &str) -> Prompt {
+    let text = format!(
+        "You are a network management assistant.\n\n## Application\n{}\n\n## Network data (node-link JSON)\n{}\n\n{QUERY_MARKER}\n{}\n\n## Task\nAnswer the query directly using the data above. Reply with the answer only; do not write code.\n",
+        app.describe(),
+        app.raw_json(),
+        query.trim()
+    );
+    Prompt {
+        text,
+        query: query.trim().to_string(),
+        backend: Backend::Strawman,
+    }
+}
+
+/// Builds a self-debug follow-up prompt: the original prompt plus the failed
+/// code and its error message (the technique of Table 6).
+pub fn self_debug_prompt(original: &Prompt, previous_code: &str, error: &str) -> Prompt {
+    let text = format!(
+        "{}\n{FEEDBACK_MARKER} with an error.\n### Previous code\n{}\n### Error\n{}\n\nPlease fix the code and return a corrected version.\n",
+        original.text, previous_code, error
+    );
+    Prompt {
+        text,
+        query: original.query.clone(),
+        backend: original.backend,
+    }
+}
+
+/// The backend-specific code-generation instructions (component 3).
+pub fn backend_instructions(backend: Backend) -> &'static str {
+    match backend {
+        Backend::NetworkX => {
+            "Write a GraphScript program that answers the query.\n\
+             The network is available as the global graph `G`.\n\
+             Useful graph methods: G.nodes(), G.edges(), G.edges_data(), G.node_attrs(id), \
+             G.get_node_attr(id, key), G.set_node_attr(id, key, value), G.get_edge_attr(u, v, key), \
+             G.add_node(id, attrs), G.add_edge(u, v, attrs), G.remove_node(id), G.remove_edge(u, v), \
+             G.neighbors(id), G.degree(id), G.subgraph(ids), G.number_of_nodes(), G.number_of_edges().\n\
+             Useful functions: shortest_path(G, a, b), shortest_path_length(G, a, b), \
+             connected_components(G), node_weight_totals(G, attr), kmeans_groups(scores, k), \
+             top_k(scores, k), ip_prefix(addr, n), palette_color(i), len, sum, sorted, keys, values, items.\n\
+             Assign the final answer to a variable named `result`.\n\
+             Return the program inside a ```graphscript code block."
+        }
+        Backend::Pandas => {
+            "Write a GraphScript program that answers the query using dataframes.\n\
+             The network is available as two global dataframes: `nodes` and `edges`.\n\
+             Useful dataframe methods: df.filter(column, op, value), df.sort_values(column, ascending), \
+             df.groupby_agg(key, value_column, func, out_name), df.sum(column), df.mean(column), \
+             df.value(row, column), df.set_value(row, column, value), df.set_column(name, values), \
+             df.delete_rows(column, op, value), df.unique(column), df.join(other, left_on, right_on), \
+             df.n_rows(), df.column(name), df.to_rows().\n\
+             Useful functions: ip_prefix(addr, n), palette_color(i), kmeans_groups(scores, k), \
+             len, sum, sorted, keys, values, items.\n\
+             Assign the final answer to a variable named `result`.\n\
+             Return the program inside a ```graphscript code block."
+        }
+        Backend::Sql => {
+            "Write SQL that answers the query.\n\
+             The network is stored in two tables: `nodes` and `edges`.\n\
+             You may use SELECT / UPDATE / INSERT / DELETE, joins, GROUP BY, HAVING, ORDER BY, \
+             LIMIT, and the functions COUNT, SUM, AVG, MIN, MAX, LENGTH, SUBSTR, REPLACE, UPPER, \
+             LOWER, ROUND, COALESCE, SPLIT_PART, IP_PREFIX. Separate multiple statements with \
+             semicolons; the last SELECT is treated as the answer.\n\
+             Return the SQL inside a ```sql code block."
+        }
+        Backend::Strawman => "Answer the query directly using the data above; do not write code.",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::TrafficApp;
+    use trafficgen::TrafficConfig;
+
+    fn app() -> TrafficApp {
+        TrafficApp::new(trafficgen::generate(&TrafficConfig {
+            nodes: 10,
+            edges: 12,
+            prefixes: 2,
+            seed: 1,
+        }))
+    }
+
+    #[test]
+    fn codegen_prompt_contains_sections() {
+        let app = app();
+        let p = codegen_prompt(&app, Backend::NetworkX, "List all nodes with prefix 15.76");
+        assert!(p.text.contains("## Application"));
+        assert!(p.text.contains(QUERY_MARKER));
+        assert!(p.text.contains("List all nodes with prefix 15.76"));
+        assert!(p.text.contains("```graphscript"));
+        assert_eq!(p.backend, Backend::NetworkX);
+        let sql = codegen_prompt(&app, Backend::Sql, "count edges");
+        assert!(sql.text.contains("```sql"));
+    }
+
+    #[test]
+    fn strawman_prompt_embeds_graph_json_and_scales_with_graph_size() {
+        let small = strawman_prompt(&app(), "count edges");
+        assert!(small.text.contains("\"links\""));
+        let big_app = TrafficApp::new(trafficgen::generate(&TrafficConfig {
+            nodes: 100,
+            edges: 120,
+            prefixes: 2,
+            seed: 1,
+        }));
+        let big = strawman_prompt(&big_app, "count edges");
+        assert!(big.text.len() > small.text.len() * 3);
+    }
+
+    #[test]
+    fn codegen_prompt_is_independent_of_graph_size() {
+        let small = codegen_prompt(&app(), Backend::NetworkX, "count edges");
+        let big_app = TrafficApp::new(trafficgen::generate(&TrafficConfig {
+            nodes: 400,
+            edges: 400,
+            prefixes: 4,
+            seed: 1,
+        }));
+        let big = codegen_prompt(&big_app, Backend::NetworkX, "count edges");
+        // Only the one-line node/edge count in the description changes.
+        let delta = (big.text.len() as i64 - small.text.len() as i64).abs();
+        assert!(delta < 16, "prompt size changed by {delta} bytes");
+    }
+
+    #[test]
+    fn self_debug_prompt_appends_feedback() {
+        let base = codegen_prompt(&app(), Backend::NetworkX, "count edges");
+        let debug = self_debug_prompt(&base, "result = G.count()", "'graph' object has no attribute 'count'");
+        assert!(debug.text.contains(FEEDBACK_MARKER));
+        assert!(debug.text.contains("no attribute 'count'"));
+        assert_eq!(debug.query, base.query);
+    }
+}

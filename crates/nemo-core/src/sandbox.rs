@@ -1,0 +1,321 @@
+//! The execution sandbox (component 5 of the paper's Figure 2).
+//!
+//! LLM-generated code never touches the live network: it runs here against a
+//! *copy* of the network state, with an interpreter step budget as a
+//! runaway-loop guard, and the caller decides afterwards whether to sync the
+//! mutated state back. Each backend uses its own engine: GraphScript over a
+//! graph (NetworkX approach), GraphScript over dataframes (pandas approach),
+//! the SQL engine (SQL approach). The strawman baseline has nothing to
+//! execute — the reply *is* the answer.
+
+use crate::backend::Backend;
+use crate::llm::{extract_code, LlmResponse};
+use crate::state::{NetworkState, Outcome, OutputValue};
+use graphscript::{Interpreter, ScriptError, Value};
+use sqlengine::{QueryResult, SqlError};
+use std::fmt;
+
+/// Why the sandbox could not produce an outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SandboxError {
+    /// The LLM reply contained no code block to execute.
+    NoCode,
+    /// The reply's code targeted a different representation than the state
+    /// provided (an internal wiring error, not an LLM failure).
+    StateMismatch {
+        /// The backend requested.
+        backend: Backend,
+        /// A description of the state that was provided.
+        state: String,
+    },
+    /// The GraphScript program failed to parse or run.
+    Script(ScriptError),
+    /// The SQL script failed to parse or run.
+    Sql(SqlError),
+}
+
+impl fmt::Display for SandboxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SandboxError::NoCode => write!(f, "the reply contained no code block"),
+            SandboxError::StateMismatch { backend, state } => {
+                write!(f, "backend {backend} cannot execute against {state}")
+            }
+            SandboxError::Script(e) => write!(f, "{e}"),
+            SandboxError::Sql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SandboxError {}
+
+/// Interpreter step budget applied to GraphScript programs (runaway-loop
+/// guard; generous for benchmark-sized networks).
+pub const SANDBOX_STEP_LIMIT: u64 = 20_000_000;
+
+/// Executes an LLM reply against a copy of `state`.
+///
+/// For code-generation backends the first fenced code block is extracted
+/// and executed; for the strawman the reply text is the outcome value and
+/// the state is returned untouched.
+pub fn execute_response(
+    backend: Backend,
+    response: &LlmResponse,
+    state: &NetworkState,
+) -> Result<Outcome, SandboxError> {
+    match backend {
+        Backend::Strawman => Ok(Outcome {
+            value: OutputValue::Text(response.text.clone()),
+            state: state.clone(),
+            printed: Vec::new(),
+        }),
+        _ => {
+            let code = extract_code(&response.text).ok_or(SandboxError::NoCode)?;
+            execute_code(backend, &code, state)
+        }
+    }
+}
+
+/// Executes a program (GraphScript or SQL, depending on the backend) against
+/// a copy of `state`.
+pub fn execute_code(
+    backend: Backend,
+    code: &str,
+    state: &NetworkState,
+) -> Result<Outcome, SandboxError> {
+    match backend {
+        Backend::NetworkX | Backend::Strawman => {
+            let graph = match state {
+                NetworkState::Graph(g) => g.clone(),
+                other => {
+                    return Err(SandboxError::StateMismatch {
+                        backend,
+                        state: other.describe(),
+                    })
+                }
+            };
+            let graph_value = Value::graph(graph);
+            let mut interp = Interpreter::new().with_step_limit(SANDBOX_STEP_LIMIT);
+            interp.set_global("G", graph_value.clone());
+            let run = interp.run(code).map_err(SandboxError::Script)?;
+            let final_graph = match &graph_value {
+                Value::Graph(g) => g.borrow().clone(),
+                _ => unreachable!("graph global is a graph"),
+            };
+            Ok(Outcome {
+                value: OutputValue::Script(run.value),
+                state: NetworkState::Graph(final_graph),
+                printed: run.output,
+            })
+        }
+        Backend::Pandas => {
+            let (nodes, edges) = match state {
+                NetworkState::Frames { nodes, edges } => (nodes.clone(), edges.clone()),
+                other => {
+                    return Err(SandboxError::StateMismatch {
+                        backend,
+                        state: other.describe(),
+                    })
+                }
+            };
+            let nodes_value = Value::frame(nodes);
+            let edges_value = Value::frame(edges);
+            let mut interp = Interpreter::new().with_step_limit(SANDBOX_STEP_LIMIT);
+            interp.set_global("nodes", nodes_value.clone());
+            interp.set_global("edges", edges_value.clone());
+            let run = interp.run(code).map_err(SandboxError::Script)?;
+            let final_nodes = match &nodes_value {
+                Value::Frame(df) => df.borrow().clone(),
+                _ => unreachable!(),
+            };
+            let final_edges = match &edges_value {
+                Value::Frame(df) => df.borrow().clone(),
+                _ => unreachable!(),
+            };
+            Ok(Outcome {
+                value: OutputValue::Script(run.value),
+                state: NetworkState::Frames {
+                    nodes: final_nodes,
+                    edges: final_edges,
+                },
+                printed: run.output,
+            })
+        }
+        Backend::Sql => {
+            let mut db = match state {
+                NetworkState::Database(db) => db.clone(),
+                other => {
+                    return Err(SandboxError::StateMismatch {
+                        backend,
+                        state: other.describe(),
+                    })
+                }
+            };
+            let results = db.execute_script(code).map_err(SandboxError::Sql)?;
+            let last_rows = results.iter().rev().find_map(|r| match r {
+                QueryResult::Rows(df) => Some(df.clone()),
+                QueryResult::Affected(_) => None,
+            });
+            Ok(Outcome {
+                value: match last_rows {
+                    Some(df) => OutputValue::Table(df),
+                    None => OutputValue::None,
+                },
+                state: NetworkState::Database(db),
+                printed: Vec::new(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::{Column, DataFrame};
+    use netgraph::{attrs, Graph};
+    use sqlengine::Database;
+
+    fn graph_state() -> NetworkState {
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", attrs([("bytes", 10i64)]));
+        g.add_edge("b", "c", attrs([("bytes", 20i64)]));
+        NetworkState::Graph(g)
+    }
+
+    fn frame_state() -> NetworkState {
+        NetworkState::Frames {
+            nodes: DataFrame::from_columns(vec![(
+                "id".to_string(),
+                Column::from_values(["a", "b", "c"]),
+            )])
+            .unwrap(),
+            edges: DataFrame::from_columns(vec![
+                ("source".to_string(), Column::from_values(["a", "b"])),
+                ("target".to_string(), Column::from_values(["b", "c"])),
+                ("bytes".to_string(), Column::from_values([10i64, 20])),
+            ])
+            .unwrap(),
+        }
+    }
+
+    fn db_state() -> NetworkState {
+        let mut db = Database::new();
+        if let NetworkState::Frames { nodes, edges } = frame_state() {
+            db.create_table("nodes", nodes);
+            db.create_table("edges", edges);
+        }
+        NetworkState::Database(db)
+    }
+
+    #[test]
+    fn networkx_execution_mutates_a_copy() {
+        let state = graph_state();
+        let outcome = execute_code(
+            Backend::NetworkX,
+            "G.set_node_attr(\"a\", \"color\", \"red\")\nresult = G.number_of_edges()",
+            &state,
+        )
+        .unwrap();
+        assert!(outcome.value.approx_eq(&OutputValue::Script(Value::Int(2))));
+        // The sandbox ran against a copy: the input state is untouched.
+        if let NetworkState::Graph(g) = &state {
+            assert!(g.get_node_attr_opt("a", "color").is_none());
+        }
+        if let NetworkState::Graph(g) = &outcome.state {
+            assert!(g.get_node_attr_opt("a", "color").is_some());
+        }
+    }
+
+    #[test]
+    fn pandas_execution_returns_final_frames() {
+        let outcome = execute_code(
+            Backend::Pandas,
+            "edges.delete_rows(\"bytes\", \"<\", 15)\nresult = edges.n_rows()",
+            &frame_state(),
+        )
+        .unwrap();
+        assert!(outcome.value.approx_eq(&OutputValue::Script(Value::Int(1))));
+        if let NetworkState::Frames { edges, .. } = &outcome.state {
+            assert_eq!(edges.n_rows(), 1);
+        }
+    }
+
+    #[test]
+    fn sql_execution_returns_last_select_and_mutated_db() {
+        let outcome = execute_code(
+            Backend::Sql,
+            "UPDATE edges SET bytes = bytes * 2; SELECT SUM(bytes) AS total FROM edges;",
+            &db_state(),
+        )
+        .unwrap();
+        match &outcome.value {
+            OutputValue::Table(df) => {
+                assert_eq!(df.value(0, "total").unwrap().as_f64(), Some(60.0))
+            }
+            other => panic!("unexpected value {other:?}"),
+        }
+        if let NetworkState::Database(db) = &outcome.state {
+            let mut db = db.clone();
+            let total = db
+                .execute("SELECT SUM(bytes) AS t FROM edges")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .value(0, "t")
+                .unwrap()
+                .as_f64();
+            assert_eq!(total, Some(60.0));
+        }
+    }
+
+    #[test]
+    fn strawman_reply_is_the_outcome() {
+        let response = LlmResponse {
+            text: "The total is 30 bytes.".to_string(),
+        };
+        let outcome = execute_response(Backend::Strawman, &response, &graph_state()).unwrap();
+        assert!(outcome
+            .value
+            .approx_eq(&OutputValue::Text("the total is 30 bytes.".to_string())));
+    }
+
+    #[test]
+    fn code_extraction_and_error_propagation() {
+        let response = LlmResponse {
+            text: "Sure!\n```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
+        };
+        let outcome = execute_response(Backend::NetworkX, &response, &graph_state()).unwrap();
+        assert!(outcome.value.approx_eq(&OutputValue::Script(Value::Int(3))));
+
+        let no_code = LlmResponse {
+            text: "I cannot help with that.".to_string(),
+        };
+        assert_eq!(
+            execute_response(Backend::NetworkX, &no_code, &graph_state()).unwrap_err(),
+            SandboxError::NoCode
+        );
+
+        let err = execute_code(Backend::NetworkX, "result = G.frobnicate()", &graph_state())
+            .unwrap_err();
+        assert!(matches!(err, SandboxError::Script(_)));
+        let err = execute_code(Backend::Sql, "SELEC 1", &db_state()).unwrap_err();
+        assert!(matches!(err, SandboxError::Sql(_)));
+    }
+
+    #[test]
+    fn state_mismatch_is_reported() {
+        let err = execute_code(Backend::Sql, "SELECT 1", &graph_state()).unwrap_err();
+        assert!(matches!(err, SandboxError::StateMismatch { .. }));
+        assert!(err.to_string().contains("sql"));
+    }
+
+    #[test]
+    fn runaway_loops_are_stopped() {
+        let err = execute_code(Backend::NetworkX, "while true { x = 1 }", &graph_state())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SandboxError::Script(ScriptError::StepLimit(_))
+        ));
+    }
+}

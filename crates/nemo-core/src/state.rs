@@ -1,0 +1,218 @@
+//! Network state snapshots and execution outcomes.
+//!
+//! The execution sandbox runs a program against a *state* (the network in
+//! the representation of the chosen backend) and produces an *outcome* (the
+//! program's result value plus the possibly-mutated state). The results
+//! evaluator compares the outcome of the LLM-generated program against the
+//! outcome of the golden program — both the value and the final state must
+//! match, which is how the paper's "graphs are not identical" failures are
+//! detected.
+
+use dataframe::DataFrame;
+use graphscript::Value;
+use netgraph::{graphs_approx_eq, Graph};
+use sqlengine::Database;
+
+/// The network in one backend's representation.
+#[derive(Debug, Clone)]
+pub enum NetworkState {
+    /// A property graph (NetworkX approach and strawman baseline).
+    Graph(Graph),
+    /// Node and edge dataframes (pandas approach).
+    Frames {
+        /// The node frame.
+        nodes: DataFrame,
+        /// The edge frame.
+        edges: DataFrame,
+    },
+    /// Node and edge SQL tables (SQL approach).
+    Database(Database),
+}
+
+impl NetworkState {
+    /// True when both states use the same representation and are
+    /// approximately equal (numeric tolerance, row-order insensitive for
+    /// tables).
+    pub fn approx_eq(&self, other: &NetworkState) -> bool {
+        match (self, other) {
+            (NetworkState::Graph(a), NetworkState::Graph(b)) => graphs_approx_eq(a, b),
+            (
+                NetworkState::Frames {
+                    nodes: an,
+                    edges: ae,
+                },
+                NetworkState::Frames {
+                    nodes: bn,
+                    edges: be,
+                },
+            ) => an.approx_eq_unordered(bn) && ae.approx_eq_unordered(be),
+            (NetworkState::Database(a), NetworkState::Database(b)) => a.approx_eq(b),
+            _ => false,
+        }
+    }
+
+    /// A one-line description used in logs.
+    pub fn describe(&self) -> String {
+        match self {
+            NetworkState::Graph(g) => format!(
+                "graph({} nodes, {} edges)",
+                g.number_of_nodes(),
+                g.number_of_edges()
+            ),
+            NetworkState::Frames { nodes, edges } => {
+                format!("frames({} node rows, {} edge rows)", nodes.n_rows(), edges.n_rows())
+            }
+            NetworkState::Database(db) => format!("database({} tables)", db.table_names().len()),
+        }
+    }
+}
+
+/// The value a program produced.
+#[derive(Debug, Clone)]
+pub enum OutputValue {
+    /// The program produced no explicit value.
+    None,
+    /// A GraphScript value (NetworkX / pandas backends).
+    Script(Value),
+    /// A result table (SQL backend `SELECT`s).
+    Table(DataFrame),
+    /// Free text (the strawman baseline's direct answer).
+    Text(String),
+}
+
+impl OutputValue {
+    /// Approximate equality between two output values of the same shape.
+    /// Text answers are compared after whitespace normalization.
+    pub fn approx_eq(&self, other: &OutputValue) -> bool {
+        match (self, other) {
+            (OutputValue::None, OutputValue::None) => true,
+            (OutputValue::Script(a), OutputValue::Script(b)) => a.approx_eq(b),
+            (OutputValue::Table(a), OutputValue::Table(b)) => a.approx_eq_unordered(b),
+            (OutputValue::Text(a), OutputValue::Text(b)) => {
+                normalize_text(a) == normalize_text(b)
+            }
+            // A script value can match a text answer when their normalized
+            // renderings agree (used when comparing the strawman's direct
+            // answer against a golden program's value).
+            (OutputValue::Script(a), OutputValue::Text(b))
+            | (OutputValue::Text(b), OutputValue::Script(a)) => {
+                normalize_text(&a.to_string()) == normalize_text(b)
+            }
+            _ => false,
+        }
+    }
+
+    /// Renders the value for logs and the UX display.
+    pub fn render(&self) -> String {
+        match self {
+            OutputValue::None => "(no value)".to_string(),
+            OutputValue::Script(v) => v.to_string(),
+            OutputValue::Table(df) => df.to_string(),
+            OutputValue::Text(t) => t.clone(),
+        }
+    }
+}
+
+fn normalize_text(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+/// The result of executing one program in the sandbox.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The value the program produced.
+    pub value: OutputValue,
+    /// The network state after execution (programs may mutate it).
+    pub state: NetworkState,
+    /// Anything the program printed.
+    pub printed: Vec<String>,
+}
+
+impl Outcome {
+    /// True when both the value and the final state match.
+    pub fn matches(&self, other: &Outcome) -> bool {
+        self.value.approx_eq(&other.value) && self.state.approx_eq(&other.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::Column;
+    use netgraph::attrs;
+
+    fn graph_state() -> NetworkState {
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", attrs([("bytes", 10i64)]));
+        NetworkState::Graph(g)
+    }
+
+    #[test]
+    fn state_comparison_same_and_cross_representation() {
+        let a = graph_state();
+        let b = graph_state();
+        assert!(a.approx_eq(&b));
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", attrs([("bytes", 99i64)]));
+        assert!(!a.approx_eq(&NetworkState::Graph(g)));
+        let frames = NetworkState::Frames {
+            nodes: DataFrame::new(),
+            edges: DataFrame::new(),
+        };
+        assert!(!a.approx_eq(&frames));
+        assert!(a.describe().contains("graph"));
+        assert!(frames.describe().contains("frames"));
+    }
+
+    #[test]
+    fn frames_comparison_is_row_order_insensitive() {
+        let df = DataFrame::from_columns(vec![(
+            "x".to_string(),
+            Column::from_values([1i64, 2, 3]),
+        )])
+        .unwrap();
+        let shuffled = df.take(&[2, 0, 1]).unwrap();
+        let a = NetworkState::Frames {
+            nodes: df.clone(),
+            edges: df.clone(),
+        };
+        let b = NetworkState::Frames {
+            nodes: shuffled.clone(),
+            edges: shuffled,
+        };
+        assert!(a.approx_eq(&b));
+    }
+
+    #[test]
+    fn output_value_comparisons() {
+        assert!(OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::Script(Value::Float(5.0))));
+        assert!(OutputValue::Text("  Hello   World ".into())
+            .approx_eq(&OutputValue::Text("hello world".into())));
+        assert!(OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::Text("5".into())));
+        assert!(!OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::None));
+        assert!(OutputValue::None.approx_eq(&OutputValue::None));
+        let t = DataFrame::from_columns(vec![("n".to_string(), Column::from_values([1i64]))]).unwrap();
+        assert!(OutputValue::Table(t.clone()).approx_eq(&OutputValue::Table(t)));
+    }
+
+    #[test]
+    fn outcome_matching_requires_value_and_state() {
+        let base = Outcome {
+            value: OutputValue::Script(Value::Int(1)),
+            state: graph_state(),
+            printed: vec![],
+        };
+        let same = Outcome {
+            value: OutputValue::Script(Value::Float(1.0)),
+            state: graph_state(),
+            printed: vec!["ignored".into()],
+        };
+        assert!(base.matches(&same));
+        let wrong_value = Outcome {
+            value: OutputValue::Script(Value::Int(2)),
+            state: graph_state(),
+            printed: vec![],
+        };
+        assert!(!base.matches(&wrong_value));
+    }
+}

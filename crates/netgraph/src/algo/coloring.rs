@@ -1,0 +1,131 @@
+//! Node coloring helpers.
+//!
+//! Supports the paper's running example query ("Assign a unique color for
+//! each /16 IP address prefix") and greedy proper colorings for topology
+//! visualisation.
+
+use crate::error::Result;
+use crate::graph::Graph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A palette of named colors; category `i` receives `PALETTE[i % len]` with a
+/// numeric suffix appended once the palette wraps, so every category still
+/// gets a *unique* color string.
+pub const PALETTE: &[&str] = &[
+    "red", "blue", "green", "orange", "purple", "cyan", "magenta", "yellow", "brown", "pink",
+    "olive", "teal", "navy", "maroon", "gold", "salmon",
+];
+
+/// Returns the color string for category index `i`.
+pub fn palette_color(i: usize) -> String {
+    let base = PALETTE[i % PALETTE.len()];
+    if i < PALETTE.len() {
+        base.to_string()
+    } else {
+        format!("{}-{}", base, i / PALETTE.len())
+    }
+}
+
+/// Assigns one unique color per distinct category, where the category of a
+/// node is computed by `category_fn`. Categories are colored in sorted order
+/// so the mapping is deterministic. The chosen color is written to the node
+/// attribute `attr` and the category→color map is returned.
+pub fn color_by_category<F: Fn(&str) -> String>(
+    g: &mut Graph,
+    attr: &str,
+    category_fn: F,
+) -> Result<BTreeMap<String, String>> {
+    let categories: BTreeSet<String> = g.node_ids().map(|n| category_fn(n)).collect();
+    let mapping: BTreeMap<String, String> = categories
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (c, palette_color(i)))
+        .collect();
+    let nodes: Vec<String> = g.node_ids().map(|s| s.to_string()).collect();
+    for n in nodes {
+        let cat = category_fn(&n);
+        let color = mapping[&cat].clone();
+        g.set_node_attr(&n, attr, color)?;
+    }
+    Ok(mapping)
+}
+
+/// Greedy proper coloring: each node (in sorted order) receives the smallest
+/// color index not used by an already-colored neighbor. Returns a map from
+/// node id to color index.
+pub fn greedy_coloring(g: &Graph) -> BTreeMap<String, usize> {
+    let mut colors: BTreeMap<String, usize> = BTreeMap::new();
+    for node in g.node_ids() {
+        let used: BTreeSet<usize> = g
+            .neighbors(node)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|n| colors.get(n))
+            .copied()
+            .collect();
+        let mut c = 0;
+        while used.contains(&c) {
+            c += 1;
+        }
+        colors.insert(node.to_string(), c);
+    }
+    colors
+}
+
+/// Number of distinct colors used by a coloring.
+pub fn color_count(colors: &BTreeMap<String, usize>) -> usize {
+    colors.values().collect::<BTreeSet<_>>().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{AttrMap, AttrMapExt};
+
+    #[test]
+    fn palette_colors_are_unique_past_wraparound() {
+        let mut seen = BTreeSet::new();
+        for i in 0..64 {
+            assert!(seen.insert(palette_color(i)), "color {i} repeated");
+        }
+    }
+
+    #[test]
+    fn color_by_category_assigns_one_color_per_prefix() {
+        let mut g = Graph::undirected();
+        for ip in ["10.1.0.1", "10.1.0.2", "10.2.0.1", "10.3.0.1"] {
+            g.add_node(ip, AttrMap::new());
+        }
+        let mapping = color_by_category(&mut g, "color", |ip| {
+            ip.split('.').take(2).collect::<Vec<_>>().join(".")
+        })
+        .unwrap();
+        assert_eq!(mapping.len(), 3);
+        let c1 = g.node_attrs("10.1.0.1").unwrap().get_str("color").unwrap().to_string();
+        let c2 = g.node_attrs("10.1.0.2").unwrap().get_str("color").unwrap().to_string();
+        let c3 = g.node_attrs("10.2.0.1").unwrap().get_str("color").unwrap().to_string();
+        assert_eq!(c1, c2);
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper() {
+        let mut g = Graph::undirected();
+        // Triangle requires 3 colors; extra pendant requires no more.
+        g.add_edge("a", "b", AttrMap::new());
+        g.add_edge("b", "c", AttrMap::new());
+        g.add_edge("c", "a", AttrMap::new());
+        g.add_edge("c", "d", AttrMap::new());
+        let colors = greedy_coloring(&g);
+        for (u, v, _) in g.edges() {
+            assert_ne!(colors[u], colors[v], "edge ({u},{v}) shares a color");
+        }
+        assert_eq!(color_count(&colors), 3);
+    }
+
+    #[test]
+    fn greedy_coloring_empty_graph() {
+        let g = Graph::undirected();
+        assert!(greedy_coloring(&g).is_empty());
+    }
+}

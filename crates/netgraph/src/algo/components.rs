@@ -1,0 +1,214 @@
+//! Connected-component algorithms.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Connected components of an undirected graph (or the weakly connected
+/// components if the graph is directed), each returned as a sorted node set.
+/// Components are ordered by their smallest member so output is
+/// deterministic.
+pub fn connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut components = Vec::new();
+    for start in g.node_ids() {
+        if seen.contains(start) {
+            continue;
+        }
+        let mut comp = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(start.to_string());
+        comp.insert(start.to_string());
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(&u).unwrap_or_default() {
+                if comp.insert(v.clone()) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen.extend(comp.iter().cloned());
+        components.push(comp);
+    }
+    components
+}
+
+/// Number of connected (or weakly connected) components.
+pub fn number_connected_components(g: &Graph) -> usize {
+    connected_components(g).len()
+}
+
+/// The component containing `node`.
+pub fn node_component(g: &Graph, node: &str) -> Result<BTreeSet<String>> {
+    if !g.has_node(node) {
+        return Err(GraphError::NodeNotFound(node.to_string()));
+    }
+    Ok(connected_components(g)
+        .into_iter()
+        .find(|c| c.contains(node))
+        .expect("every node belongs to a component"))
+}
+
+/// True when the graph has exactly one connected component and at least one
+/// node.
+pub fn is_connected(g: &Graph) -> bool {
+    g.number_of_nodes() > 0 && number_connected_components(g) == 1
+}
+
+/// Strongly connected components of a directed graph, computed with an
+/// iterative Tarjan algorithm. For undirected graphs this equals
+/// [`connected_components`].
+pub fn strongly_connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
+    if !g.is_directed() {
+        return connected_components(g);
+    }
+    // Iterative Tarjan to avoid recursion limits on the 5k-node MALT model.
+    let ids: Vec<String> = g.node_ids().map(|s| s.to_string()).collect();
+    let index_of: BTreeMap<&str, usize> = ids.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+    let n = ids.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut result: Vec<BTreeSet<String>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Each frame: (node, iterator position over successors).
+        let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succ_ids = |v: usize| -> Vec<usize> {
+            g.successors(&ids[v])
+                .unwrap_or_default()
+                .iter()
+                .map(|s| index_of[s.as_str()])
+                .collect()
+        };
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call_stack.push((start, succ_ids(start), 0));
+
+        while let Some((v, succs, mut pos)) = call_stack.pop() {
+            let mut descended = false;
+            while pos < succs.len() {
+                let w = succs[pos];
+                pos += 1;
+                if index[w] == usize::MAX {
+                    // Descend into w.
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((v, succs.clone(), pos));
+                    call_stack.push((w, succ_ids(w), 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v is finished.
+            if lowlink[v] == index[v] {
+                let mut comp = BTreeSet::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w] = false;
+                    comp.insert(ids[w].clone());
+                    if w == v {
+                        break;
+                    }
+                }
+                result.push(comp);
+            }
+            if let Some((parent, _, _)) = call_stack.last() {
+                let p = *parent;
+                lowlink[p] = lowlink[p].min(lowlink[v]);
+            }
+        }
+    }
+    result.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrMap;
+
+    fn two_islands() -> Graph {
+        let mut g = Graph::undirected();
+        g.add_edge("a", "b", AttrMap::new());
+        g.add_edge("b", "c", AttrMap::new());
+        g.add_edge("x", "y", AttrMap::new());
+        g.add_node("lonely", AttrMap::new());
+        g
+    }
+
+    #[test]
+    fn connected_components_partition_nodes() {
+        let g = two_islands();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), g.number_of_nodes());
+        assert!(comps.iter().any(|c| c.contains("a") && c.contains("c")));
+    }
+
+    #[test]
+    fn node_component_and_is_connected() {
+        let g = two_islands();
+        assert!(!is_connected(&g));
+        let c = node_component(&g, "y").unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(node_component(&g, "nope").is_err());
+        let mut h = Graph::undirected();
+        h.add_edge("1", "2", AttrMap::new());
+        assert!(is_connected(&h));
+    }
+
+    #[test]
+    fn weak_components_for_directed_graph() {
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", AttrMap::new());
+        g.add_edge("c", "b", AttrMap::new());
+        assert_eq!(number_connected_components(&g), 1);
+    }
+
+    #[test]
+    fn scc_finds_cycles() {
+        let mut g = Graph::directed();
+        // cycle a->b->c->a plus tail c->d
+        g.add_edge("a", "b", AttrMap::new());
+        g.add_edge("b", "c", AttrMap::new());
+        g.add_edge("c", "a", AttrMap::new());
+        g.add_edge("c", "d", AttrMap::new());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        let big = sccs.iter().find(|c| c.len() == 3).unwrap();
+        assert!(big.contains("a") && big.contains("b") && big.contains("c"));
+    }
+
+    #[test]
+    fn scc_of_dag_is_singletons() {
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", AttrMap::new());
+        g.add_edge("b", "c", AttrMap::new());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = Graph::undirected();
+        assert_eq!(number_connected_components(&g), 0);
+        assert!(!is_connected(&g));
+    }
+}

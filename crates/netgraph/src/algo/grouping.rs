@@ -1,0 +1,214 @@
+//! Grouping and clustering of nodes by numeric scores.
+//!
+//! The hard traffic-analysis queries ("calculate total byte weight on each
+//! node, cluster them into 5 groups") need a deterministic 1-D clustering
+//! primitive. Two are provided: equal-frequency (quantile) binning and 1-D
+//! k-means with deterministic initialization.
+
+use crate::error::{GraphError, Result};
+use std::collections::BTreeMap;
+
+/// Assigns each key to one of `k` groups by equal-frequency (quantile)
+/// binning of its score. Group ids are `0..k`, ordered by ascending score.
+/// Keys with equal scores may fall in different groups if a bin boundary
+/// splits them, but the assignment is deterministic (ties broken by key).
+pub fn quantile_groups(
+    scores: &BTreeMap<String, f64>,
+    k: usize,
+) -> Result<BTreeMap<String, usize>> {
+    if k == 0 {
+        return Err(GraphError::InvalidArgument("group count must be >= 1".into()));
+    }
+    let mut items: Vec<(&String, f64)> = scores.iter().map(|(n, s)| (n, *s)).collect();
+    items.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(b.0))
+    });
+    let n = items.len();
+    let mut out = BTreeMap::new();
+    for (i, (name, _)) in items.into_iter().enumerate() {
+        let group = if n == 0 { 0 } else { (i * k) / n.max(1) };
+        out.insert(name.clone(), group.min(k - 1));
+    }
+    Ok(out)
+}
+
+/// 1-D k-means clustering with deterministic initialization (centroids start
+/// at evenly spaced quantiles of the sorted scores). Returns a map from key
+/// to cluster id, where clusters are renumbered `0..k` by ascending centroid.
+///
+/// Converges in at most `max_iter` Lloyd iterations (default callers use
+/// 100); with 1-D data and quantile seeding this is ample.
+pub fn kmeans_1d_groups(
+    scores: &BTreeMap<String, f64>,
+    k: usize,
+    max_iter: usize,
+) -> Result<BTreeMap<String, usize>> {
+    if k == 0 {
+        return Err(GraphError::InvalidArgument("group count must be >= 1".into()));
+    }
+    if scores.is_empty() {
+        return Ok(BTreeMap::new());
+    }
+    let keys: Vec<&String> = scores.keys().collect();
+    let values: Vec<f64> = keys.iter().map(|k| scores[*k]).collect();
+    let k = k.min(values.len());
+
+    // Deterministic init: evenly spaced order statistics.
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| sorted[(i * (sorted.len() - 1)) / k.max(1).saturating_sub(1).max(1)])
+        .collect();
+    if k == 1 {
+        centroids = vec![sorted[sorted.len() / 2]];
+    }
+
+    let mut assignment = vec![0usize; values.len()];
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for (i, v) in values.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (*v - **a)
+                        .abs()
+                        .partial_cmp(&(*v - **b).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(idx, _)| idx)
+                .unwrap_or(0);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<f64> = values
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, a)| **a == c)
+                .map(|(v, _)| *v)
+                .collect();
+            if !members.is_empty() {
+                *centroid = members.iter().sum::<f64>() / members.len() as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Renumber clusters by ascending centroid so group ids are stable.
+    let mut order: Vec<usize> = (0..centroids.len()).collect();
+    order.sort_by(|a, b| {
+        centroids[*a]
+            .partial_cmp(&centroids[*b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let rank: BTreeMap<usize, usize> = order.iter().enumerate().map(|(r, c)| (*c, r)).collect();
+
+    Ok(keys
+        .into_iter()
+        .zip(assignment)
+        .map(|(k, a)| (k.clone(), rank[&a]))
+        .collect())
+}
+
+/// Groups keys by the string produced from each key by `key_fn`
+/// (e.g. the /16 prefix of an IP address). Groups are returned in sorted
+/// order of their group key.
+pub fn group_by_key<F: Fn(&str) -> String>(
+    keys: impl IntoIterator<Item = String>,
+    key_fn: F,
+) -> BTreeMap<String, Vec<String>> {
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for k in keys {
+        out.entry(key_fn(&k)).or_default().push(k);
+    }
+    for v in out.values_mut() {
+        v.sort();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(vals: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        vals.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn quantile_groups_balanced_sizes() {
+        let s = scores(&[("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 4.0), ("e", 5.0), ("f", 6.0)]);
+        let g = quantile_groups(&s, 3).unwrap();
+        let mut counts = vec![0usize; 3];
+        for v in g.values() {
+            counts[*v] += 1;
+        }
+        assert_eq!(counts, vec![2, 2, 2]);
+        assert_eq!(g["a"], 0);
+        assert_eq!(g["f"], 2);
+    }
+
+    #[test]
+    fn quantile_groups_rejects_zero_k() {
+        assert!(quantile_groups(&scores(&[("a", 1.0)]), 0).is_err());
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let s = scores(&[
+            ("a", 1.0),
+            ("b", 1.1),
+            ("c", 0.9),
+            ("x", 100.0),
+            ("y", 101.0),
+            ("z", 99.5),
+        ]);
+        let g = kmeans_1d_groups(&s, 2, 100).unwrap();
+        assert_eq!(g["a"], g["b"]);
+        assert_eq!(g["b"], g["c"]);
+        assert_eq!(g["x"], g["y"]);
+        assert_ne!(g["a"], g["x"]);
+        // Lower values get the lower group id.
+        assert_eq!(g["a"], 0);
+        assert_eq!(g["x"], 1);
+    }
+
+    #[test]
+    fn kmeans_with_k_greater_than_items() {
+        let s = scores(&[("a", 1.0), ("b", 5.0)]);
+        let g = kmeans_1d_groups(&s, 5, 50).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_ne!(g["a"], g["b"]);
+    }
+
+    #[test]
+    fn kmeans_single_group() {
+        let s = scores(&[("a", 1.0), ("b", 5.0), ("c", 9.0)]);
+        let g = kmeans_1d_groups(&s, 1, 50).unwrap();
+        assert!(g.values().all(|v| *v == 0));
+    }
+
+    #[test]
+    fn kmeans_empty_input() {
+        let g = kmeans_1d_groups(&BTreeMap::new(), 3, 10).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn group_by_key_prefixes() {
+        let groups = group_by_key(
+            vec!["10.1.0.1".to_string(), "10.1.0.2".to_string(), "10.2.0.1".to_string()],
+            |ip| ip.split('.').take(2).collect::<Vec<_>>().join("."),
+        );
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups["10.1"].len(), 2);
+        assert_eq!(groups["10.2"], vec!["10.2.0.1".to_string()]);
+    }
+}

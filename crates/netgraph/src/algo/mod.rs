@@ -1,0 +1,8 @@
+//! Graph algorithms used by the generated programs.
+
+pub mod coloring;
+pub mod components;
+pub mod degree;
+pub mod grouping;
+pub mod shortest_path;
+pub mod traversal;

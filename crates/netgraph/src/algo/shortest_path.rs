@@ -1,0 +1,266 @@
+//! Unweighted (BFS) and weighted (Dijkstra) shortest paths.
+//!
+//! These back the benchmark's diagnostic queries such as "What is the
+//! required number of hops for data transmission between these two nodes?".
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Shortest path by hop count from `source` to `target`, as the list of
+/// nodes on the path (inclusive of both endpoints).
+pub fn shortest_path(g: &Graph, source: &str, target: &str) -> Result<Vec<String>> {
+    check_endpoints(g, source, target)?;
+    if source == target {
+        return Ok(vec![source.to_string()]);
+    }
+    let mut prev: BTreeMap<String, String> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(source.to_string());
+    prev.insert(source.to_string(), source.to_string());
+    while let Some(u) = queue.pop_front() {
+        for v in g.successors(&u)? {
+            if !prev.contains_key(&v) {
+                prev.insert(v.clone(), u.clone());
+                if v == target {
+                    return Ok(rebuild_path(&prev, source, target));
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    Err(GraphError::Algorithm(format!(
+        "no path between '{source}' and '{target}'"
+    )))
+}
+
+/// Number of hops (edges) on the shortest path from `source` to `target`.
+pub fn shortest_path_length(g: &Graph, source: &str, target: &str) -> Result<usize> {
+    Ok(shortest_path(g, source, target)?.len() - 1)
+}
+
+/// Hop distance from `source` to every reachable node (NetworkX
+/// `single_source_shortest_path_length`).
+pub fn single_source_lengths(g: &Graph, source: &str) -> Result<BTreeMap<String, usize>> {
+    if !g.has_node(source) {
+        return Err(GraphError::NodeNotFound(source.to_string()));
+    }
+    let mut dist: BTreeMap<String, usize> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    dist.insert(source.to_string(), 0);
+    queue.push_back(source.to_string());
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        for v in g.successors(&u)? {
+            if !dist.contains_key(&v) {
+                dist.insert(v.clone(), du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Weighted shortest path using Dijkstra's algorithm. `weight_attr` names
+/// the numeric edge attribute used as the edge cost; missing attributes
+/// default to 1.0. Negative weights are rejected.
+pub fn dijkstra_path(
+    g: &Graph,
+    source: &str,
+    target: &str,
+    weight_attr: &str,
+) -> Result<(Vec<String>, f64)> {
+    check_endpoints(g, source, target)?;
+
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        node: String,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reverse so the BinaryHeap acts as a min-heap; ties broken by id
+            // to stay deterministic.
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut dist: BTreeMap<String, f64> = BTreeMap::new();
+    let mut prev: BTreeMap<String, String> = BTreeMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(source.to_string(), 0.0);
+    heap.push(Entry {
+        cost: 0.0,
+        node: source.to_string(),
+    });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if cost > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        if node == target {
+            let mut path = rebuild_path(&prev, source, target);
+            if path.is_empty() {
+                path = vec![source.to_string()];
+            }
+            return Ok((path, cost));
+        }
+        for v in g.successors(&node)? {
+            let w = g
+                .get_edge_attr_opt(&node, &v, weight_attr)
+                .and_then(|a| a.as_f64())
+                .unwrap_or(1.0);
+            if w < 0.0 {
+                return Err(GraphError::InvalidArgument(format!(
+                    "negative weight on edge ('{node}', '{v}')"
+                )));
+            }
+            let next = cost + w;
+            if next < *dist.get(&v).unwrap_or(&f64::INFINITY) {
+                dist.insert(v.clone(), next);
+                prev.insert(v.clone(), node.clone());
+                heap.push(Entry { cost: next, node: v });
+            }
+        }
+    }
+    Err(GraphError::Algorithm(format!(
+        "no path between '{source}' and '{target}'"
+    )))
+}
+
+/// Weighted shortest-path cost only.
+pub fn dijkstra_length(g: &Graph, source: &str, target: &str, weight_attr: &str) -> Result<f64> {
+    Ok(dijkstra_path(g, source, target, weight_attr)?.1)
+}
+
+/// Eccentricity-free diameter approximation: the maximum over all ordered
+/// pairs of the hop distance, ignoring unreachable pairs. Returns 0 for
+/// graphs with fewer than two nodes.
+pub fn hop_diameter(g: &Graph) -> Result<usize> {
+    let mut best = 0;
+    for source in g.node_ids() {
+        let lengths = single_source_lengths(g, source)?;
+        if let Some(m) = lengths.values().max() {
+            best = best.max(*m);
+        }
+    }
+    Ok(best)
+}
+
+fn check_endpoints(g: &Graph, source: &str, target: &str) -> Result<()> {
+    if !g.has_node(source) {
+        return Err(GraphError::NodeNotFound(source.to_string()));
+    }
+    if !g.has_node(target) {
+        return Err(GraphError::NodeNotFound(target.to_string()));
+    }
+    Ok(())
+}
+
+fn rebuild_path(prev: &BTreeMap<String, String>, source: &str, target: &str) -> Vec<String> {
+    let mut path = vec![target.to_string()];
+    let mut cur = target.to_string();
+    while cur != source {
+        match prev.get(&cur) {
+            Some(p) => {
+                cur = p.clone();
+                path.push(cur.clone());
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{attrs, AttrMap};
+
+    fn weighted() -> Graph {
+        // a -1- b -1- d ; a -5- d ; c isolated
+        let mut g = Graph::undirected();
+        g.add_edge("a", "b", attrs([("w", 1i64)]));
+        g.add_edge("b", "d", attrs([("w", 1i64)]));
+        g.add_edge("a", "d", attrs([("w", 5i64)]));
+        g.add_node("c", AttrMap::new());
+        g
+    }
+
+    #[test]
+    fn bfs_shortest_path_and_length() {
+        let g = weighted();
+        assert_eq!(shortest_path(&g, "a", "d").unwrap(), vec!["a", "d"]);
+        assert_eq!(shortest_path_length(&g, "a", "d").unwrap(), 1);
+        assert_eq!(shortest_path(&g, "a", "a").unwrap(), vec!["a"]);
+    }
+
+    #[test]
+    fn bfs_no_path_is_an_error() {
+        let g = weighted();
+        assert!(matches!(
+            shortest_path(&g, "a", "c"),
+            Err(GraphError::Algorithm(_))
+        ));
+        assert!(matches!(
+            shortest_path(&g, "a", "zzz"),
+            Err(GraphError::NodeNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_multi_hop_route() {
+        let g = weighted();
+        let (path, cost) = dijkstra_path(&g, "a", "d", "w").unwrap();
+        assert_eq!(path, vec!["a", "b", "d"]);
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn dijkstra_defaults_missing_weight_to_one() {
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", AttrMap::new());
+        g.add_edge("b", "c", AttrMap::new());
+        assert_eq!(dijkstra_length(&g, "a", "c", "w").unwrap(), 2.0);
+    }
+
+    #[test]
+    fn dijkstra_rejects_negative_weights() {
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", attrs([("w", -3i64)]));
+        assert!(matches!(
+            dijkstra_path(&g, "a", "b", "w"),
+            Err(GraphError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn single_source_lengths_cover_reachable_set() {
+        let g = weighted();
+        let d = single_source_lengths(&g, "a").unwrap();
+        assert_eq!(d["a"], 0);
+        assert_eq!(d["b"], 1);
+        assert_eq!(d["d"], 1);
+        assert!(!d.contains_key("c"));
+    }
+
+    #[test]
+    fn hop_diameter_of_path_graph() {
+        let mut g = Graph::undirected();
+        g.add_edge("1", "2", AttrMap::new());
+        g.add_edge("2", "3", AttrMap::new());
+        g.add_edge("3", "4", AttrMap::new());
+        assert_eq!(hop_diameter(&g).unwrap(), 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Breadth-first and depth-first traversal.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Nodes reachable from `source` (including `source`) following edge
+/// direction, in breadth-first discovery order.
+pub fn bfs_order(g: &Graph, source: &str) -> Result<Vec<String>> {
+    if !g.has_node(source) {
+        return Err(GraphError::NodeNotFound(source.to_string()));
+    }
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(source.to_string());
+    queue.push_back(source.to_string());
+    while let Some(u) = queue.pop_front() {
+        order.push(u.clone());
+        for v in g.successors(&u)? {
+            if seen.insert(v.clone()) {
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Nodes reachable from `source` (including `source`) in depth-first
+/// preorder. Neighbors are visited in sorted order so the result is
+/// deterministic.
+pub fn dfs_order(g: &Graph, source: &str) -> Result<Vec<String>> {
+    if !g.has_node(source) {
+        return Err(GraphError::NodeNotFound(source.to_string()));
+    }
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut order = Vec::new();
+    let mut stack = vec![source.to_string()];
+    while let Some(u) = stack.pop() {
+        if !seen.insert(u.clone()) {
+            continue;
+        }
+        order.push(u.clone());
+        let mut next = g.successors(&u)?;
+        // Reverse so the lexicographically smallest neighbor is popped first.
+        next.reverse();
+        for v in next {
+            if !seen.contains(&v) {
+                stack.push(v);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// All nodes reachable from `source`, excluding `source` itself
+/// (NetworkX `descendants`).
+pub fn descendants(g: &Graph, source: &str) -> Result<BTreeSet<String>> {
+    let mut set: BTreeSet<String> = bfs_order(g, source)?.into_iter().collect();
+    set.remove(source);
+    Ok(set)
+}
+
+/// All nodes that can reach `target`, excluding `target` itself
+/// (NetworkX `ancestors`).
+pub fn ancestors(g: &Graph, target: &str) -> Result<BTreeSet<String>> {
+    let rev = g.reverse();
+    let mut set: BTreeSet<String> = bfs_order(&rev, target)?.into_iter().collect();
+    set.remove(target);
+    Ok(set)
+}
+
+/// True when `target` is reachable from `source` following edge direction.
+pub fn has_path(g: &Graph, source: &str, target: &str) -> Result<bool> {
+    if !g.has_node(target) {
+        return Err(GraphError::NodeNotFound(target.to_string()));
+    }
+    Ok(bfs_order(g, source)?.iter().any(|n| n == target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrMap;
+
+    fn chain() -> Graph {
+        // a -> b -> c -> d, plus isolated e
+        let mut g = Graph::directed();
+        for (u, v) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            g.add_edge(u, v, AttrMap::new());
+        }
+        g.add_node("e", AttrMap::new());
+        g
+    }
+
+    #[test]
+    fn bfs_visits_reachable_in_order() {
+        let g = chain();
+        assert_eq!(bfs_order(&g, "a").unwrap(), vec!["a", "b", "c", "d"]);
+        assert_eq!(bfs_order(&g, "c").unwrap(), vec!["c", "d"]);
+        assert!(bfs_order(&g, "zzz").is_err());
+    }
+
+    #[test]
+    fn dfs_preorder_deterministic() {
+        let mut g = Graph::directed();
+        for (u, v) in [("r", "b"), ("r", "a"), ("a", "x"), ("b", "y")] {
+            g.add_edge(u, v, AttrMap::new());
+        }
+        assert_eq!(dfs_order(&g, "r").unwrap(), vec!["r", "a", "x", "b", "y"]);
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let g = chain();
+        let d: Vec<_> = descendants(&g, "b").unwrap().into_iter().collect();
+        assert_eq!(d, vec!["c", "d"]);
+        let a: Vec<_> = ancestors(&g, "c").unwrap().into_iter().collect();
+        assert_eq!(a, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn has_path_respects_direction() {
+        let g = chain();
+        assert!(has_path(&g, "a", "d").unwrap());
+        assert!(!has_path(&g, "d", "a").unwrap());
+        assert!(!has_path(&g, "a", "e").unwrap());
+    }
+
+    #[test]
+    fn undirected_traversal_ignores_direction() {
+        let mut g = Graph::undirected();
+        g.add_edge("a", "b", AttrMap::new());
+        g.add_edge("c", "b", AttrMap::new());
+        assert_eq!(bfs_order(&g, "c").unwrap(), vec!["c", "b", "a"]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Attribute maps attached to nodes, edges and the graph itself.
+
+use crate::value::AttrValue;
+use std::collections::BTreeMap;
+
+/// An ordered map from attribute name to [`AttrValue`].
+///
+/// Node and edge metadata is stored in an `AttrMap`. A `BTreeMap` keeps the
+/// iteration order deterministic, which matters for reproducible JSON export
+/// and result comparison.
+pub type AttrMap = BTreeMap<String, AttrValue>;
+
+/// Convenience constructors and comparison helpers for attribute maps.
+pub trait AttrMapExt {
+    /// Inserts `key` with a value convertible into [`AttrValue`].
+    fn set(&mut self, key: &str, value: impl Into<AttrValue>);
+    /// Returns the numeric value of `key` if present and numeric.
+    fn get_f64(&self, key: &str) -> Option<f64>;
+    /// Returns the integer value of `key` if present and integral.
+    fn get_i64(&self, key: &str) -> Option<i64>;
+    /// Returns the string value of `key` if present and a string.
+    fn get_str(&self, key: &str) -> Option<&str>;
+    /// True when both maps contain the same keys and approximately equal
+    /// values (numeric tolerance per [`AttrValue::approx_eq`]).
+    fn approx_eq(&self, other: &Self) -> bool;
+}
+
+impl AttrMapExt for AttrMap {
+    fn set(&mut self, key: &str, value: impl Into<AttrValue>) {
+        self.insert(key.to_string(), value.into());
+    }
+
+    fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(AttrValue::as_f64)
+    }
+
+    fn get_i64(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(AttrValue::as_i64)
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(AttrValue::as_str)
+    }
+
+    fn approx_eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.iter().all(|(k, v)| {
+                other.get(k).map(|o| v.approx_eq(o)).unwrap_or(false)
+            })
+    }
+}
+
+/// Builds an [`AttrMap`] from `(name, value)` pairs.
+///
+/// ```
+/// use netgraph::{attrs, AttrValue};
+/// let a = attrs([("bytes", AttrValue::Int(100)), ("proto", "tcp".into())]);
+/// assert_eq!(a.len(), 2);
+/// ```
+pub fn attrs<I, V>(pairs: I) -> AttrMap
+where
+    I: IntoIterator<Item = (&'static str, V)>,
+    V: Into<AttrValue>,
+{
+    pairs
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.into()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_typed_getters() {
+        let mut m = AttrMap::new();
+        m.set("bytes", 1500i64);
+        m.set("ratio", 0.5);
+        m.set("proto", "udp");
+        assert_eq!(m.get_i64("bytes"), Some(1500));
+        assert_eq!(m.get_f64("ratio"), Some(0.5));
+        assert_eq!(m.get_str("proto"), Some("udp"));
+        assert_eq!(m.get_i64("missing"), None);
+    }
+
+    #[test]
+    fn approx_eq_requires_same_keys() {
+        let a = attrs([("x", AttrValue::Int(1))]);
+        let mut b = a.clone();
+        assert!(a.approx_eq(&b));
+        b.set("y", 2i64);
+        assert!(!a.approx_eq(&b));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_int_float_mismatch() {
+        let a = attrs([("x", AttrValue::Int(3))]);
+        let b = attrs([("x", AttrValue::Float(3.0))]);
+        assert!(a.approx_eq(&b));
+    }
+
+    #[test]
+    fn attrs_builder_orders_keys() {
+        let m = attrs([("z", 1i64), ("a", 2i64)]);
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys, vec!["a".to_string(), "z".to_string()]);
+    }
+}

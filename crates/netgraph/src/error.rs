@@ -1,0 +1,75 @@
+//! Error type for graph operations.
+
+use std::fmt;
+
+/// Errors raised by graph mutation and query operations.
+///
+/// The execution sandbox surfaces these to the error classifier, so the
+/// variants intentionally distinguish "the entity does not exist" (which the
+/// paper's Table 5 labels *imaginary graph attributes*) from argument
+/// problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id was referenced that is not present in the graph.
+    NodeNotFound(String),
+    /// An edge (u, v) was referenced that is not present in the graph.
+    EdgeNotFound(String, String),
+    /// A node or edge attribute was referenced that does not exist.
+    AttrNotFound {
+        /// "node" or "edge".
+        kind: &'static str,
+        /// The owning entity (node id or "u->v").
+        entity: String,
+        /// The missing attribute name.
+        attr: String,
+    },
+    /// An operation received an argument outside its domain
+    /// (e.g. a negative group count, an empty node set for a subgraph).
+    InvalidArgument(String),
+    /// An algorithm precondition failed (e.g. no path between endpoints).
+    Algorithm(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeNotFound(n) => write!(f, "node '{n}' is not in the graph"),
+            GraphError::EdgeNotFound(u, v) => {
+                write!(f, "edge ('{u}', '{v}') is not in the graph")
+            }
+            GraphError::AttrNotFound { kind, entity, attr } => {
+                write!(f, "{kind} '{entity}' has no attribute '{attr}'")
+            }
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            GraphError::Algorithm(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_human_readable() {
+        assert_eq!(
+            GraphError::NodeNotFound("10.0.0.1".into()).to_string(),
+            "node '10.0.0.1' is not in the graph"
+        );
+        assert_eq!(
+            GraphError::EdgeNotFound("a".into(), "b".into()).to_string(),
+            "edge ('a', 'b') is not in the graph"
+        );
+        let e = GraphError::AttrNotFound {
+            kind: "node",
+            entity: "a".into(),
+            attr: "color".into(),
+        };
+        assert_eq!(e.to_string(), "node 'a' has no attribute 'color'");
+    }
+}

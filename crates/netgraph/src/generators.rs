@@ -1,0 +1,105 @@
+//! Deterministic graph generators used by tests and benchmarks.
+
+use crate::attr::AttrMap;
+use crate::graph::Graph;
+
+/// A path graph `0 - 1 - ... - (n-1)` with string node ids.
+pub fn path_graph(n: usize, directed: bool) -> Graph {
+    let mut g = if directed { Graph::directed() } else { Graph::undirected() };
+    for i in 0..n {
+        g.add_node(&i.to_string(), AttrMap::new());
+    }
+    for i in 1..n {
+        g.add_edge(&(i - 1).to_string(), &i.to_string(), AttrMap::new());
+    }
+    g
+}
+
+/// A star graph with `center` connected to `leaves` leaf nodes.
+pub fn star_graph(leaves: usize) -> Graph {
+    let mut g = Graph::undirected();
+    g.add_node("center", AttrMap::new());
+    for i in 0..leaves {
+        g.add_edge("center", &format!("leaf{i}"), AttrMap::new());
+    }
+    g
+}
+
+/// A complete undirected graph on `n` nodes.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::undirected();
+    for i in 0..n {
+        g.add_node(&i.to_string(), AttrMap::new());
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(&i.to_string(), &j.to_string(), AttrMap::new());
+        }
+    }
+    g
+}
+
+/// A cycle graph `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn cycle_graph(n: usize, directed: bool) -> Graph {
+    let mut g = path_graph(n, directed);
+    if n > 1 {
+        g.add_edge(&(n - 1).to_string(), "0", AttrMap::new());
+    }
+    g
+}
+
+/// A balanced binary tree of the given depth (depth 0 is a single root),
+/// edges directed parent -> child.
+pub fn binary_tree(depth: usize) -> Graph {
+    let mut g = Graph::directed();
+    g.add_node("n1", AttrMap::new());
+    let total = (1usize << (depth + 1)) - 1;
+    for i in 2..=total {
+        g.add_edge(&format!("n{}", i / 2), &format!("n{i}"), AttrMap::new());
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::components::is_connected;
+    use crate::algo::shortest_path::shortest_path_length;
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(5, false);
+        assert_eq!(g.number_of_nodes(), 5);
+        assert_eq!(g.number_of_edges(), 4);
+        assert_eq!(shortest_path_length(&g, "0", "4").unwrap(), 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn star_graph_center_degree() {
+        let g = star_graph(7);
+        assert_eq!(g.degree("center").unwrap(), 7);
+        assert_eq!(g.number_of_nodes(), 8);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete_graph(6);
+        assert_eq!(g.number_of_edges(), 15);
+    }
+
+    #[test]
+    fn cycle_graph_returns_to_start() {
+        let g = cycle_graph(4, true);
+        assert_eq!(g.number_of_edges(), 4);
+        assert_eq!(shortest_path_length(&g, "1", "0").unwrap(), 3);
+    }
+
+    #[test]
+    fn binary_tree_node_count() {
+        let g = binary_tree(3);
+        assert_eq!(g.number_of_nodes(), 15);
+        assert_eq!(g.number_of_edges(), 14);
+        assert_eq!(g.out_degree("n1").unwrap(), 2);
+    }
+}

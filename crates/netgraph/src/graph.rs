@@ -1,0 +1,628 @@
+//! The property-graph data structure.
+//!
+//! [`Graph`] is the NetworkX-equivalent substrate used by the execution
+//! sandbox: a simple (non-multi) graph, directed or undirected, with
+//! arbitrary [`AttrMap`] metadata on the graph, every node and every edge.
+//! Node identifiers are strings (IP addresses for communication graphs,
+//! MALT entity names for topologies).
+
+use crate::attr::{AttrMap, AttrMapExt};
+use crate::error::{GraphError, Result};
+use crate::value::AttrValue;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed or undirected property graph with string node identifiers.
+///
+/// The representation is an adjacency map (`node -> neighbor set`) plus an
+/// edge-attribute map keyed by the canonical endpoint pair, so neighbor
+/// queries are `O(log n)` and edge-attribute lookups do not duplicate data
+/// for undirected graphs.
+///
+/// ```
+/// use netgraph::Graph;
+/// let mut g = Graph::directed();
+/// g.add_edge("10.0.1.1", "10.0.2.1", Default::default());
+/// assert_eq!(g.number_of_nodes(), 2);
+/// assert!(g.has_edge("10.0.1.1", "10.0.2.1"));
+/// assert!(!g.has_edge("10.0.2.1", "10.0.1.1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    directed: bool,
+    graph_attrs: AttrMap,
+    nodes: BTreeMap<String, AttrMap>,
+    /// Outgoing adjacency (all adjacency for undirected graphs).
+    succ: BTreeMap<String, BTreeSet<String>>,
+    /// Incoming adjacency; mirrors `succ` for undirected graphs.
+    pred: BTreeMap<String, BTreeSet<String>>,
+    /// Edge attributes keyed by canonical endpoints.
+    edges: BTreeMap<(String, String), AttrMap>,
+}
+
+impl Graph {
+    /// Creates an empty directed graph.
+    pub fn directed() -> Self {
+        Graph {
+            directed: true,
+            ..Default::default()
+        }
+    }
+
+    /// Creates an empty undirected graph.
+    pub fn undirected() -> Self {
+        Graph {
+            directed: false,
+            ..Default::default()
+        }
+    }
+
+    /// Whether edges are directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Canonical key under which an edge's attributes are stored.
+    fn edge_key(&self, u: &str, v: &str) -> (String, String) {
+        if self.directed || u <= v {
+            (u.to_string(), v.to_string())
+        } else {
+            (v.to_string(), u.to_string())
+        }
+    }
+
+    // ---------------------------------------------------------------- nodes
+
+    /// Adds a node with the given attributes. If the node already exists its
+    /// attributes are merged (new keys overwrite existing ones), matching
+    /// NetworkX `add_node` semantics.
+    pub fn add_node(&mut self, id: &str, attrs: AttrMap) {
+        let entry = self.nodes.entry(id.to_string()).or_default();
+        entry.extend(attrs);
+        self.succ.entry(id.to_string()).or_default();
+        self.pred.entry(id.to_string()).or_default();
+    }
+
+    /// Removes a node and all incident edges. Errors if the node is absent.
+    pub fn remove_node(&mut self, id: &str) -> Result<()> {
+        if !self.nodes.contains_key(id) {
+            return Err(GraphError::NodeNotFound(id.to_string()));
+        }
+        let out: Vec<String> = self.succ.get(id).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        for v in out {
+            self.remove_edge(id, &v).ok();
+        }
+        let inc: Vec<String> = self.pred.get(id).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        for u in inc {
+            self.remove_edge(&u, id).ok();
+        }
+        self.nodes.remove(id);
+        self.succ.remove(id);
+        self.pred.remove(id);
+        Ok(())
+    }
+
+    /// True if the node exists.
+    pub fn has_node(&self, id: &str) -> bool {
+        self.nodes.contains_key(id)
+    }
+
+    /// Number of nodes.
+    pub fn number_of_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterator over node ids in sorted order.
+    pub fn node_ids(&self) -> impl Iterator<Item = &str> {
+        self.nodes.keys().map(|s| s.as_str())
+    }
+
+    /// Iterator over `(id, attrs)` pairs in sorted order.
+    pub fn nodes(&self) -> impl Iterator<Item = (&str, &AttrMap)> {
+        self.nodes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Immutable access to a node's attributes.
+    pub fn node_attrs(&self, id: &str) -> Result<&AttrMap> {
+        self.nodes
+            .get(id)
+            .ok_or_else(|| GraphError::NodeNotFound(id.to_string()))
+    }
+
+    /// Mutable access to a node's attributes.
+    pub fn node_attrs_mut(&mut self, id: &str) -> Result<&mut AttrMap> {
+        self.nodes
+            .get_mut(id)
+            .ok_or_else(|| GraphError::NodeNotFound(id.to_string()))
+    }
+
+    /// Sets a single attribute on a node.
+    pub fn set_node_attr(&mut self, id: &str, key: &str, value: impl Into<AttrValue>) -> Result<()> {
+        self.node_attrs_mut(id)?.set(key, value);
+        Ok(())
+    }
+
+    /// Reads a single attribute from a node, erroring if either the node or
+    /// the attribute is missing (the latter is the "imaginary graph
+    /// attribute" failure mode from the paper's Table 5).
+    pub fn get_node_attr(&self, id: &str, key: &str) -> Result<&AttrValue> {
+        self.node_attrs(id)?
+            .get(key)
+            .ok_or_else(|| GraphError::AttrNotFound {
+                kind: "node",
+                entity: id.to_string(),
+                attr: key.to_string(),
+            })
+    }
+
+    /// Reads a node attribute, returning `None` when absent rather than an
+    /// error (NetworkX `.get()` style access).
+    pub fn get_node_attr_opt(&self, id: &str, key: &str) -> Option<&AttrValue> {
+        self.nodes.get(id).and_then(|a| a.get(key))
+    }
+
+    // ---------------------------------------------------------------- edges
+
+    /// Adds an edge, creating missing endpoints, and merges attributes into
+    /// any existing edge (NetworkX `add_edge` semantics).
+    pub fn add_edge(&mut self, u: &str, v: &str, attrs: AttrMap) {
+        if !self.nodes.contains_key(u) {
+            self.add_node(u, AttrMap::new());
+        }
+        if !self.nodes.contains_key(v) {
+            self.add_node(v, AttrMap::new());
+        }
+        self.succ.get_mut(u).expect("endpoint exists").insert(v.to_string());
+        self.pred.get_mut(v).expect("endpoint exists").insert(u.to_string());
+        if !self.directed {
+            self.succ.get_mut(v).expect("endpoint exists").insert(u.to_string());
+            self.pred.get_mut(u).expect("endpoint exists").insert(v.to_string());
+        }
+        let key = self.edge_key(u, v);
+        self.edges.entry(key).or_default().extend(attrs);
+    }
+
+    /// Removes an edge. Errors if it does not exist.
+    pub fn remove_edge(&mut self, u: &str, v: &str) -> Result<()> {
+        let key = self.edge_key(u, v);
+        if self.edges.remove(&key).is_none() {
+            return Err(GraphError::EdgeNotFound(u.to_string(), v.to_string()));
+        }
+        if let Some(s) = self.succ.get_mut(u) {
+            s.remove(v);
+        }
+        if let Some(p) = self.pred.get_mut(v) {
+            p.remove(u);
+        }
+        if !self.directed {
+            if let Some(s) = self.succ.get_mut(v) {
+                s.remove(u);
+            }
+            if let Some(p) = self.pred.get_mut(u) {
+                p.remove(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the edge exists (respecting directionality).
+    pub fn has_edge(&self, u: &str, v: &str) -> bool {
+        self.edges.contains_key(&self.edge_key(u, v))
+            && self.succ.get(u).map(|s| s.contains(v)).unwrap_or(false)
+    }
+
+    /// Number of edges.
+    pub fn number_of_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over `(u, v, attrs)` triples in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, &AttrMap)> {
+        self.edges
+            .iter()
+            .map(|((u, v), a)| (u.as_str(), v.as_str(), a))
+    }
+
+    /// Immutable access to an edge's attributes.
+    pub fn edge_attrs(&self, u: &str, v: &str) -> Result<&AttrMap> {
+        if !self.has_edge(u, v) {
+            return Err(GraphError::EdgeNotFound(u.to_string(), v.to_string()));
+        }
+        Ok(self.edges.get(&self.edge_key(u, v)).expect("checked above"))
+    }
+
+    /// Mutable access to an edge's attributes.
+    pub fn edge_attrs_mut(&mut self, u: &str, v: &str) -> Result<&mut AttrMap> {
+        if !self.has_edge(u, v) {
+            return Err(GraphError::EdgeNotFound(u.to_string(), v.to_string()));
+        }
+        let key = self.edge_key(u, v);
+        Ok(self.edges.get_mut(&key).expect("checked above"))
+    }
+
+    /// Sets a single attribute on an edge.
+    pub fn set_edge_attr(
+        &mut self,
+        u: &str,
+        v: &str,
+        key: &str,
+        value: impl Into<AttrValue>,
+    ) -> Result<()> {
+        self.edge_attrs_mut(u, v)?.set(key, value);
+        Ok(())
+    }
+
+    /// Reads a single attribute from an edge, erroring if missing.
+    pub fn get_edge_attr(&self, u: &str, v: &str, key: &str) -> Result<&AttrValue> {
+        self.edge_attrs(u, v)?
+            .get(key)
+            .ok_or_else(|| GraphError::AttrNotFound {
+                kind: "edge",
+                entity: format!("{u}->{v}"),
+                attr: key.to_string(),
+            })
+    }
+
+    /// Reads an edge attribute, returning `None` when absent.
+    pub fn get_edge_attr_opt(&self, u: &str, v: &str, key: &str) -> Option<&AttrValue> {
+        if !self.has_edge(u, v) {
+            return None;
+        }
+        self.edges.get(&self.edge_key(u, v)).and_then(|a| a.get(key))
+    }
+
+    // ------------------------------------------------------------ adjacency
+
+    /// Out-neighbors for directed graphs, all neighbors for undirected.
+    pub fn successors(&self, id: &str) -> Result<Vec<String>> {
+        self.succ
+            .get(id)
+            .map(|s| s.iter().cloned().collect())
+            .ok_or_else(|| GraphError::NodeNotFound(id.to_string()))
+    }
+
+    /// In-neighbors for directed graphs, all neighbors for undirected.
+    pub fn predecessors(&self, id: &str) -> Result<Vec<String>> {
+        self.pred
+            .get(id)
+            .map(|s| s.iter().cloned().collect())
+            .ok_or_else(|| GraphError::NodeNotFound(id.to_string()))
+    }
+
+    /// All neighbors regardless of edge direction (union of successors and
+    /// predecessors).
+    pub fn neighbors(&self, id: &str) -> Result<Vec<String>> {
+        if !self.nodes.contains_key(id) {
+            return Err(GraphError::NodeNotFound(id.to_string()));
+        }
+        let mut set: BTreeSet<String> = BTreeSet::new();
+        if let Some(s) = self.succ.get(id) {
+            set.extend(s.iter().cloned());
+        }
+        if let Some(p) = self.pred.get(id) {
+            set.extend(p.iter().cloned());
+        }
+        Ok(set.into_iter().collect())
+    }
+
+    /// Out-degree (degree for undirected graphs).
+    pub fn out_degree(&self, id: &str) -> Result<usize> {
+        self.succ
+            .get(id)
+            .map(|s| s.len())
+            .ok_or_else(|| GraphError::NodeNotFound(id.to_string()))
+    }
+
+    /// In-degree (degree for undirected graphs).
+    pub fn in_degree(&self, id: &str) -> Result<usize> {
+        self.pred
+            .get(id)
+            .map(|s| s.len())
+            .ok_or_else(|| GraphError::NodeNotFound(id.to_string()))
+    }
+
+    /// Total degree: in + out for directed graphs, neighbor count for
+    /// undirected graphs.
+    pub fn degree(&self, id: &str) -> Result<usize> {
+        if self.directed {
+            Ok(self.in_degree(id)? + self.out_degree(id)?)
+        } else {
+            self.out_degree(id)
+        }
+    }
+
+    // -------------------------------------------------------------- derived
+
+    /// Graph-level attributes (mutable).
+    pub fn graph_attrs_mut(&mut self) -> &mut AttrMap {
+        &mut self.graph_attrs
+    }
+
+    /// Graph-level attributes.
+    pub fn graph_attrs(&self) -> &AttrMap {
+        &self.graph_attrs
+    }
+
+    /// Returns the induced subgraph on `keep`, preserving node, edge and
+    /// graph attributes. Unknown ids in `keep` are ignored (NetworkX
+    /// `subgraph` semantics).
+    pub fn subgraph<'a, I: IntoIterator<Item = &'a str>>(&self, keep: I) -> Graph {
+        let keep: BTreeSet<&str> = keep.into_iter().filter(|n| self.has_node(n)).collect();
+        let mut g = if self.directed {
+            Graph::directed()
+        } else {
+            Graph::undirected()
+        };
+        g.graph_attrs = self.graph_attrs.clone();
+        for &n in &keep {
+            g.add_node(n, self.nodes[n].clone());
+        }
+        for ((u, v), attrs) in &self.edges {
+            if keep.contains(u.as_str()) && keep.contains(v.as_str()) {
+                g.add_edge(u, v, attrs.clone());
+            }
+        }
+        g
+    }
+
+    /// Returns a directed copy with every edge reversed. For undirected
+    /// graphs this is a plain copy.
+    pub fn reverse(&self) -> Graph {
+        if !self.directed {
+            return self.clone();
+        }
+        let mut g = Graph::directed();
+        g.graph_attrs = self.graph_attrs.clone();
+        for (id, attrs) in &self.nodes {
+            g.add_node(id, attrs.clone());
+        }
+        for ((u, v), attrs) in &self.edges {
+            g.add_edge(v, u, attrs.clone());
+        }
+        g
+    }
+
+    /// Returns an undirected view of the graph; parallel directed edges are
+    /// merged and their attributes combined (later edges overwrite).
+    pub fn to_undirected(&self) -> Graph {
+        let mut g = Graph::undirected();
+        g.graph_attrs = self.graph_attrs.clone();
+        for (id, attrs) in &self.nodes {
+            g.add_node(id, attrs.clone());
+        }
+        for ((u, v), attrs) in &self.edges {
+            g.add_edge(u, v, attrs.clone());
+        }
+        g
+    }
+
+    /// Sum of a numeric edge attribute over all edges. Missing or
+    /// non-numeric values count as zero.
+    pub fn total_edge_attr(&self, key: &str) -> f64 {
+        self.edges
+            .values()
+            .filter_map(|a| a.get_f64(key))
+            .sum()
+    }
+
+    /// Nodes whose attribute `key` satisfies `pred`.
+    pub fn nodes_where<F: Fn(&AttrMap) -> bool>(&self, pred: F) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|(_, a)| pred(a))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Edges whose attributes satisfy `pred`, returned as `(u, v)` pairs.
+    pub fn edges_where<F: Fn(&AttrMap) -> bool>(&self, pred: F) -> Vec<(String, String)> {
+        self.edges
+            .iter()
+            .filter(|(_, a)| pred(a))
+            .map(|((u, v), _)| (u.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Structural and attribute equality between two graphs with numeric
+/// tolerance. This is the comparison the results evaluator uses for
+/// graph-manipulation queries ("Graphs are not identical" in Table 5).
+pub fn graphs_approx_eq(a: &Graph, b: &Graph) -> bool {
+    if a.is_directed() != b.is_directed()
+        || a.number_of_nodes() != b.number_of_nodes()
+        || a.number_of_edges() != b.number_of_edges()
+    {
+        return false;
+    }
+    for (id, attrs) in a.nodes() {
+        match b.nodes.get(id) {
+            Some(other) => {
+                if !attrs.approx_eq(other) {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    for (u, v, attrs) in a.edges() {
+        if !b.has_edge(u, v) {
+            return false;
+        }
+        let other = b.edge_attrs(u, v).expect("checked");
+        if !attrs.approx_eq(other) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attrs;
+
+    fn sample_directed() -> Graph {
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", attrs([("w", 1i64)]));
+        g.add_edge("b", "c", attrs([("w", 2i64)]));
+        g.add_edge("a", "c", attrs([("w", 3i64)]));
+        g
+    }
+
+    #[test]
+    fn add_edge_creates_endpoints() {
+        let g = sample_directed();
+        assert_eq!(g.number_of_nodes(), 3);
+        assert_eq!(g.number_of_edges(), 3);
+        assert!(g.has_node("a") && g.has_node("c"));
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let g = sample_directed();
+        assert!(g.has_edge("a", "b"));
+        assert!(!g.has_edge("b", "a"));
+    }
+
+    #[test]
+    fn undirected_edges_are_symmetric() {
+        let mut g = Graph::undirected();
+        g.add_edge("x", "y", attrs([("w", 5i64)]));
+        assert!(g.has_edge("x", "y"));
+        assert!(g.has_edge("y", "x"));
+        assert_eq!(g.number_of_edges(), 1);
+        assert_eq!(g.get_edge_attr("y", "x", "w").unwrap(), &AttrValue::Int(5));
+    }
+
+    #[test]
+    fn add_node_merges_attributes() {
+        let mut g = Graph::directed();
+        g.add_node("a", attrs([("x", 1i64)]));
+        g.add_node("a", attrs([("y", 2i64)]));
+        let a = g.node_attrs("a").unwrap();
+        assert_eq!(a.get_i64("x"), Some(1));
+        assert_eq!(a.get_i64("y"), Some(2));
+    }
+
+    #[test]
+    fn remove_node_drops_incident_edges() {
+        let mut g = sample_directed();
+        g.remove_node("b").unwrap();
+        assert_eq!(g.number_of_nodes(), 2);
+        assert_eq!(g.number_of_edges(), 1);
+        assert!(g.has_edge("a", "c"));
+        assert!(g.remove_node("zzz").is_err());
+    }
+
+    #[test]
+    fn remove_edge_errors_when_absent() {
+        let mut g = sample_directed();
+        g.remove_edge("a", "b").unwrap();
+        assert!(!g.has_edge("a", "b"));
+        assert!(matches!(
+            g.remove_edge("a", "b"),
+            Err(GraphError::EdgeNotFound(_, _))
+        ));
+    }
+
+    #[test]
+    fn degrees_directed() {
+        let g = sample_directed();
+        assert_eq!(g.out_degree("a").unwrap(), 2);
+        assert_eq!(g.in_degree("a").unwrap(), 0);
+        assert_eq!(g.degree("c").unwrap(), 2);
+        assert!(g.degree("nope").is_err());
+    }
+
+    #[test]
+    fn neighbors_union_of_both_directions() {
+        let g = sample_directed();
+        assert_eq!(g.neighbors("b").unwrap(), vec!["a".to_string(), "c".to_string()]);
+        assert_eq!(g.successors("b").unwrap(), vec!["c".to_string()]);
+        assert_eq!(g.predecessors("b").unwrap(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn attr_accessors_and_imaginary_attribute_error() {
+        let mut g = sample_directed();
+        g.set_node_attr("a", "color", "red").unwrap();
+        assert_eq!(g.get_node_attr("a", "color").unwrap().as_str(), Some("red"));
+        let err = g.get_node_attr("a", "capacity").unwrap_err();
+        assert!(matches!(err, GraphError::AttrNotFound { .. }));
+        let err = g.get_edge_attr("a", "b", "latency").unwrap_err();
+        assert!(matches!(err, GraphError::AttrNotFound { .. }));
+    }
+
+    #[test]
+    fn subgraph_keeps_attrs_and_internal_edges() {
+        let g = sample_directed();
+        let s = g.subgraph(["a", "b", "ghost"]);
+        assert_eq!(s.number_of_nodes(), 2);
+        assert_eq!(s.number_of_edges(), 1);
+        assert_eq!(s.get_edge_attr("a", "b", "w").unwrap(), &AttrValue::Int(1));
+    }
+
+    #[test]
+    fn reverse_flips_directed_edges() {
+        let g = sample_directed();
+        let r = g.reverse();
+        assert!(r.has_edge("b", "a"));
+        assert!(!r.has_edge("a", "b"));
+        assert_eq!(r.number_of_edges(), 3);
+    }
+
+    #[test]
+    fn to_undirected_merges_directions() {
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", attrs([("w", 1i64)]));
+        g.add_edge("b", "a", attrs([("w", 2i64)]));
+        assert_eq!(g.number_of_edges(), 2);
+        let u = g.to_undirected();
+        assert_eq!(u.number_of_edges(), 1);
+    }
+
+    #[test]
+    fn total_edge_attr_sums_numeric_values() {
+        let g = sample_directed();
+        assert_eq!(g.total_edge_attr("w"), 6.0);
+        assert_eq!(g.total_edge_attr("missing"), 0.0);
+    }
+
+    #[test]
+    fn nodes_where_and_edges_where_filter() {
+        let mut g = sample_directed();
+        g.set_node_attr("a", "role", "core").unwrap();
+        g.set_node_attr("b", "role", "edge").unwrap();
+        let core = g.nodes_where(|a| a.get_str("role") == Some("core"));
+        assert_eq!(core, vec!["a".to_string()]);
+        let heavy = g.edges_where(|a| a.get_i64("w").unwrap_or(0) >= 2);
+        assert_eq!(heavy.len(), 2);
+    }
+
+    #[test]
+    fn graphs_approx_eq_detects_differences() {
+        let g = sample_directed();
+        let mut h = g.clone();
+        assert!(graphs_approx_eq(&g, &h));
+        h.set_edge_attr("a", "b", "w", 99i64).unwrap();
+        assert!(!graphs_approx_eq(&g, &h));
+        let mut k = g.clone();
+        k.add_node("extra", AttrMap::new());
+        assert!(!graphs_approx_eq(&g, &k));
+    }
+
+    #[test]
+    fn graphs_approx_eq_tolerates_int_float() {
+        let mut a = Graph::undirected();
+        a.add_edge("x", "y", attrs([("bytes", AttrValue::Int(10))]));
+        let mut b = Graph::undirected();
+        b.add_edge("x", "y", attrs([("bytes", AttrValue::Float(10.0))]));
+        assert!(graphs_approx_eq(&a, &b));
+    }
+
+    #[test]
+    fn graph_attrs_round_trip() {
+        let mut g = Graph::directed();
+        g.graph_attrs_mut().set("name", "test");
+        assert_eq!(g.graph_attrs().get_str("name"), Some("test"));
+    }
+}

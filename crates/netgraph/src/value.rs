@@ -1,0 +1,333 @@
+//! Dynamically-typed attribute values stored on graph nodes and edges.
+//!
+//! The networks the benchmark manipulates carry heterogeneous metadata:
+//! IP-address strings, byte counters, colors, lists of labels, and so on.
+//! [`AttrValue`] is the single dynamic value type shared by the graph
+//! substrate ([`crate::Graph`]), the dataframe substrate and the GraphScript
+//! interpreter, so values can flow between the three without conversion
+//! losses.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed attribute value.
+///
+/// Numeric comparisons treat `Int` and `Float` as interchangeable (an `Int`
+/// compares equal to a `Float` with the same numeric value), mirroring the
+/// loose typing of the Python libraries the paper's generated code targets.
+#[derive(Debug, Clone)]
+pub enum AttrValue {
+    /// Absence of a value (`None` in the generated code).
+    Null,
+    /// Boolean flag.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered list of values.
+    List(Vec<AttrValue>),
+}
+
+impl AttrValue {
+    /// Returns a short lowercase name for the value's type, used in error
+    /// messages produced by the execution sandbox.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Null => "null",
+            AttrValue::Bool(_) => "bool",
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Str(_) => "str",
+            AttrValue::List(_) => "list",
+        }
+    }
+
+    /// True if the value is [`AttrValue::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, AttrValue::Null)
+    }
+
+    /// Returns the numeric value as `f64` if this is an `Int` or `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an `Int`, or a `Float` with an
+    /// exact integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            AttrValue::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if the value is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if the value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list elements if the value is a `List`.
+    pub fn as_list(&self) -> Option<&[AttrValue]> {
+        match self {
+            AttrValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Truthiness following Python conventions: `Null`, `false`, `0`, `0.0`,
+    /// empty string and empty list are falsy; everything else is truthy.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            AttrValue::Null => false,
+            AttrValue::Bool(b) => *b,
+            AttrValue::Int(i) => *i != 0,
+            AttrValue::Float(f) => *f != 0.0,
+            AttrValue::Str(s) => !s.is_empty(),
+            AttrValue::List(v) => !v.is_empty(),
+        }
+    }
+
+    /// Whether the value is numeric (`Int` or `Float`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, AttrValue::Int(_) | AttrValue::Float(_))
+    }
+
+    /// Compares two values for ordering.
+    ///
+    /// Numbers order numerically across `Int`/`Float`, strings
+    /// lexicographically, booleans as `false < true`, lists element-wise.
+    /// Values of incomparable types return `None`.
+    pub fn partial_cmp_value(&self, other: &AttrValue) -> Option<Ordering> {
+        use AttrValue::*;
+        match (self, other) {
+            (Null, Null) => Some(Ordering::Equal),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (List(a), List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.partial_cmp_value(y) {
+                        Some(Ordering::Equal) => continue,
+                        other => return other,
+                    }
+                }
+                Some(a.len().cmp(&b.len()))
+            }
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Structural equality with numeric coercion and float tolerance.
+    ///
+    /// Two numeric values are equal if they differ by less than `1e-9`
+    /// (absolute) or `1e-9` relative, which is the comparison the results
+    /// evaluator uses when matching LLM output against golden answers.
+    pub fn approx_eq(&self, other: &AttrValue) -> bool {
+        use AttrValue::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (List(a), List(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.approx_eq(y))
+            }
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => {
+                    let diff = (a - b).abs();
+                    diff <= 1e-9 || diff <= 1e-9 * a.abs().max(b.abs())
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &Self) -> bool {
+        use AttrValue::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (List(a), List(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64) == *b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Null => write!(f, "null"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{:.1}", v)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<Vec<AttrValue>> for AttrValue {
+    fn from(v: Vec<AttrValue>) -> Self {
+        AttrValue::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(AttrValue::Null.type_name(), "null");
+        assert_eq!(AttrValue::Bool(true).type_name(), "bool");
+        assert_eq!(AttrValue::Int(1).type_name(), "int");
+        assert_eq!(AttrValue::Float(1.0).type_name(), "float");
+        assert_eq!(AttrValue::from("x").type_name(), "str");
+        assert_eq!(AttrValue::List(vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(AttrValue::Int(3), AttrValue::Float(3.0));
+        assert_ne!(AttrValue::Int(3), AttrValue::Float(3.5));
+        assert_ne!(AttrValue::Int(3), AttrValue::from("3"));
+    }
+
+    #[test]
+    fn truthiness_follows_python() {
+        assert!(!AttrValue::Null.is_truthy());
+        assert!(!AttrValue::Int(0).is_truthy());
+        assert!(!AttrValue::Float(0.0).is_truthy());
+        assert!(!AttrValue::from("").is_truthy());
+        assert!(!AttrValue::List(vec![]).is_truthy());
+        assert!(AttrValue::Int(7).is_truthy());
+        assert!(AttrValue::from("x").is_truthy());
+        assert!(AttrValue::List(vec![AttrValue::Null]).is_truthy());
+    }
+
+    #[test]
+    fn ordering_across_numeric_types() {
+        assert_eq!(
+            AttrValue::Int(2).partial_cmp_value(&AttrValue::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            AttrValue::from("abc").partial_cmp_value(&AttrValue::from("abd")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            AttrValue::from("abc").partial_cmp_value(&AttrValue::Int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn list_ordering_is_elementwise_then_length() {
+        let a = AttrValue::List(vec![AttrValue::Int(1), AttrValue::Int(2)]);
+        let b = AttrValue::List(vec![AttrValue::Int(1), AttrValue::Int(3)]);
+        let c = AttrValue::List(vec![AttrValue::Int(1)]);
+        assert_eq!(a.partial_cmp_value(&b), Some(Ordering::Less));
+        assert_eq!(a.partial_cmp_value(&c), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_float_noise() {
+        assert!(AttrValue::Float(0.1 + 0.2).approx_eq(&AttrValue::Float(0.3)));
+        assert!(AttrValue::Int(5).approx_eq(&AttrValue::Float(5.0)));
+        assert!(!AttrValue::Float(5.001).approx_eq(&AttrValue::Float(5.0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AttrValue::Int(5).to_string(), "5");
+        assert_eq!(AttrValue::Float(2.0).to_string(), "2.0");
+        assert_eq!(AttrValue::from("hi").to_string(), "hi");
+        assert_eq!(
+            AttrValue::List(vec![AttrValue::Int(1), AttrValue::from("a")]).to_string(),
+            "[1, a]"
+        );
+    }
+
+    #[test]
+    fn as_i64_accepts_integral_floats() {
+        assert_eq!(AttrValue::Float(4.0).as_i64(), Some(4));
+        assert_eq!(AttrValue::Float(4.5).as_i64(), None);
+        assert_eq!(AttrValue::Int(-2).as_i64(), Some(-2));
+    }
+}

@@ -1,0 +1,377 @@
+//! Abstract syntax tree for the SQL dialect.
+
+use netgraph::AttrValue;
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ... FROM ...`
+    Select(SelectStmt),
+    /// `UPDATE table SET col = expr, ... [WHERE ...]`
+    Update(UpdateStmt),
+    /// `INSERT INTO table (cols) VALUES (...), (...)`
+    Insert(InsertStmt),
+    /// `DELETE FROM table [WHERE ...]`
+    Delete(DeleteStmt),
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Whether `DISTINCT` was specified.
+    pub distinct: bool,
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// The base table and optional alias.
+    pub from: TableRef,
+    /// `JOIN` clauses in order.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate (only valid with `GROUP BY`).
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count.
+    pub limit: Option<usize>,
+}
+
+/// One element of a projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional output column name.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with an optional alias (`nodes AS n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// The table name as written.
+    pub name: String,
+    /// Optional alias used to qualify columns.
+    pub alias: Option<String>,
+}
+
+/// The join flavors supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT JOIN`
+    Left,
+}
+
+/// A `JOIN ... ON ...` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Inner or left.
+    pub kind: JoinKind,
+    /// The joined table.
+    pub table: TableRef,
+    /// The `ON` predicate.
+    pub on: Expr,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort expression.
+    pub expr: Expr,
+    /// True for ascending (the default).
+    pub ascending: bool,
+}
+
+/// An `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    /// The target table.
+    pub table: String,
+    /// `(column, new value expression)` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// Optional row filter.
+    pub where_clause: Option<Expr>,
+}
+
+/// An `INSERT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// The target table.
+    pub table: String,
+    /// Column names; empty means "all columns in table order".
+    pub columns: Vec<String>,
+    /// One expression list per inserted row.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// A `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// The target table.
+    pub table: String,
+    /// Optional row filter; `None` deletes every row.
+    pub where_clause: Option<Expr>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFunc {
+    /// `COUNT(expr)` or `COUNT(*)`
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl AggregateFunc {
+    /// Parses an aggregate function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggregateFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggregateFunc::Count),
+            "SUM" => Some(AggregateFunc::Sum),
+            "AVG" => Some(AggregateFunc::Avg),
+            "MIN" => Some(AggregateFunc::Min),
+            "MAX" => Some(AggregateFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// The canonical uppercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateFunc::Count => "COUNT",
+            AggregateFunc::Sum => "SUM",
+            AggregateFunc::Avg => "AVG",
+            AggregateFunc::Min => "MIN",
+            AggregateFunc::Max => "MAX",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(AttrValue),
+    /// A column reference, optionally qualified with a table or alias name.
+    Column {
+        /// Table or alias qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A unary negation (`-expr`).
+    Neg(Box<Expr>),
+    /// A logical negation (`NOT expr`).
+    Not(Box<Expr>),
+    /// A binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// The operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern` (SQL `%`/`_` wildcards).
+    Like {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The pattern expression (usually a string literal).
+        pattern: Box<Expr>,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high`
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// A scalar function call (`LENGTH`, `SUBSTR`, `UPPER`, ...).
+    Function {
+        /// Function name, uppercase.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// An aggregate call (`SUM(bytes)`, `COUNT(*)`).
+    Aggregate {
+        /// Which aggregate.
+        func: AggregateFunc,
+        /// The aggregated expression; `None` means `*` (only for COUNT).
+        arg: Option<Box<Expr>>,
+    },
+    /// `CASE WHEN cond THEN value ... [ELSE value] END`
+    Case {
+        /// `(condition, result)` arms in order.
+        arms: Vec<(Expr, Expr)>,
+        /// Optional `ELSE` result.
+        otherwise: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// True when the expression (or any sub-expression) contains an
+    /// aggregate call. Used to decide whether a `SELECT` without `GROUP BY`
+    /// is an implicit single-group aggregation.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Neg(e) | Expr::Not(e) => e.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::Case { arms, otherwise } => {
+                arms.iter()
+                    .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
+                    || otherwise
+                        .as_ref()
+                        .map(|e| e.contains_aggregate())
+                        .unwrap_or(false)
+            }
+        }
+    }
+
+    /// A display name for an unaliased projection of this expression,
+    /// mirroring the loose conventions of real engines (`SUM(bytes)`,
+    /// `count`, the column name, ...).
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::Aggregate { func, arg } => match arg {
+                Some(a) => format!("{}({})", func.name(), a.default_name()),
+                None => format!("{}(*)", func.name()),
+            },
+            Expr::Function { name, .. } => name.to_ascii_lowercase(),
+            Expr::Literal(v) => v.to_string(),
+            _ => "expr".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_subtrees() {
+        let agg = Expr::Aggregate {
+            func: AggregateFunc::Sum,
+            arg: Some(Box::new(Expr::Column {
+                table: None,
+                name: "bytes".into(),
+            })),
+        };
+        let wrapped = Expr::Binary {
+            left: Box::new(agg),
+            op: BinaryOp::Div,
+            right: Box::new(Expr::Literal(AttrValue::Int(2))),
+        };
+        assert!(wrapped.contains_aggregate());
+        let plain = Expr::Column {
+            table: None,
+            name: "bytes".into(),
+        };
+        assert!(!plain.contains_aggregate());
+    }
+
+    #[test]
+    fn default_names() {
+        let col = Expr::Column {
+            table: Some("n".into()),
+            name: "bytes".into(),
+        };
+        assert_eq!(col.default_name(), "bytes");
+        let agg = Expr::Aggregate {
+            func: AggregateFunc::Count,
+            arg: None,
+        };
+        assert_eq!(agg.default_name(), "COUNT(*)");
+    }
+
+    #[test]
+    fn aggregate_parse() {
+        assert_eq!(AggregateFunc::parse("avg"), Some(AggregateFunc::Avg));
+        assert_eq!(AggregateFunc::parse("median"), None);
+    }
+}

@@ -1,0 +1,950 @@
+//! Statement execution: evaluates parsed statements against a [`Database`].
+//!
+//! The evaluator is a straightforward row-at-a-time interpreter: the `FROM`
+//! clause and joins build a working set of rows with qualified column names,
+//! `WHERE` filters them, optional grouping partitions them, and the
+//! projection/`ORDER BY`/`LIMIT` stages shape the output frame. There is no
+//! query optimizer — the benchmark graphs are small (hundreds of rows) and
+//! determinism matters more than speed here.
+
+use crate::ast::*;
+use crate::database::{Database, QueryResult};
+use crate::error::{Result, SqlError};
+use crate::functions::{call_scalar, like_match};
+use dataframe::{Column, DataFrame};
+use netgraph::AttrValue;
+use std::cmp::Ordering;
+
+/// Executes a parsed statement against the database.
+pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<QueryResult> {
+    match stmt {
+        Statement::Select(s) => Ok(QueryResult::Rows(execute_select(db, s)?)),
+        Statement::Update(s) => Ok(QueryResult::Affected(execute_update(db, s)?)),
+        Statement::Insert(s) => Ok(QueryResult::Affected(execute_insert(db, s)?)),
+        Statement::Delete(s) => Ok(QueryResult::Affected(execute_delete(db, s)?)),
+    }
+}
+
+// ------------------------------------------------------------------ rowsets
+
+/// A working set of rows whose columns carry an optional table qualifier.
+#[derive(Debug, Clone)]
+struct RowSet {
+    /// `(qualifier, column name)` per column.
+    columns: Vec<(Option<String>, String)>,
+    rows: Vec<Vec<AttrValue>>,
+}
+
+impl RowSet {
+    fn from_table(db: &Database, table: &TableRef) -> Result<RowSet> {
+        let frame = db.table(&table.name)?;
+        let qualifier = table.alias.clone().unwrap_or_else(|| table.name.clone());
+        let columns = frame
+            .column_names()
+            .iter()
+            .map(|c| (Some(qualifier.clone()), c.to_string()))
+            .collect();
+        let rows = (0..frame.n_rows())
+            .map(|i| frame.row(i).expect("in range"))
+            .collect();
+        Ok(RowSet { columns, rows })
+    }
+
+    /// Index of the column matching `name` with optional `qualifier`.
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, (q, n))| {
+                n == name && qualifier.map(|want| q.as_deref() == Some(want)).unwrap_or(true)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [] => Err(SqlError::UnknownColumn(match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            })),
+            [one] => Ok(*one),
+            // Ambiguous unqualified reference: prefer the leftmost, which is
+            // what the permissive engines the paper targets do in practice.
+            [first, ..] => Ok(*first),
+        }
+    }
+}
+
+// --------------------------------------------------------------- evaluation
+
+/// Evaluates a non-aggregate expression against one row.
+fn eval_row(rs: &RowSet, row: &[AttrValue], expr: &Expr) -> Result<AttrValue> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, name } => {
+            let idx = rs.resolve(table.as_deref(), name)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Neg(inner) => {
+            let v = eval_row(rs, row, inner)?;
+            match v {
+                AttrValue::Int(i) => Ok(AttrValue::Int(-i)),
+                AttrValue::Float(f) => Ok(AttrValue::Float(-f)),
+                AttrValue::Null => Ok(AttrValue::Null),
+                other => Err(SqlError::Type(format!(
+                    "cannot negate a {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Expr::Not(inner) => {
+            let v = eval_row(rs, row, inner)?;
+            Ok(AttrValue::Bool(!v.is_truthy()))
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_row(rs, row, left)?;
+            let r = eval_row(rs, row, right)?;
+            eval_binary(&l, *op, &r)
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_row(rs, row, expr)?;
+            Ok(AttrValue::Bool(v.is_null() != *negated))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_row(rs, row, expr)?;
+            let mut found = false;
+            for item in list {
+                if eval_row(rs, row, item)?.approx_eq(&v) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(AttrValue::Bool(found != *negated))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_row(rs, row, expr)?;
+            let p = eval_row(rs, row, pattern)?;
+            match (v.as_str(), p.as_str()) {
+                (Some(text), Some(pat)) => Ok(AttrValue::Bool(like_match(text, pat) != *negated)),
+                _ => Ok(AttrValue::Bool(false)),
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_row(rs, row, expr)?;
+            let lo = eval_row(rs, row, low)?;
+            let hi = eval_row(rs, row, high)?;
+            let inside = matches!(
+                v.partial_cmp_value(&lo),
+                Some(Ordering::Greater | Ordering::Equal)
+            ) && matches!(
+                v.partial_cmp_value(&hi),
+                Some(Ordering::Less | Ordering::Equal)
+            );
+            Ok(AttrValue::Bool(inside != *negated))
+        }
+        Expr::Function { name, args } => {
+            let values: Vec<AttrValue> = args
+                .iter()
+                .map(|a| eval_row(rs, row, a))
+                .collect::<Result<_>>()?;
+            call_scalar(name, &values)
+        }
+        Expr::Aggregate { func, .. } => Err(SqlError::Execution(format!(
+            "aggregate {} used outside of an aggregating query",
+            func.name()
+        ))),
+        Expr::Case { arms, otherwise } => {
+            for (cond, result) in arms {
+                if eval_row(rs, row, cond)?.is_truthy() {
+                    return eval_row(rs, row, result);
+                }
+            }
+            match otherwise {
+                Some(e) => eval_row(rs, row, e),
+                None => Ok(AttrValue::Null),
+            }
+        }
+    }
+}
+
+/// Evaluates an expression over a *group* of rows, computing aggregates over
+/// the whole group and non-aggregate parts on the group's first row.
+fn eval_group(rs: &RowSet, group: &[usize], expr: &Expr) -> Result<AttrValue> {
+    match expr {
+        Expr::Aggregate { func, arg } => {
+            let mut values: Vec<AttrValue> = Vec::with_capacity(group.len());
+            for &row_idx in group {
+                match arg {
+                    Some(a) => values.push(eval_row(rs, &rs.rows[row_idx], a)?),
+                    None => values.push(AttrValue::Int(1)),
+                }
+            }
+            eval_aggregate(*func, &values)
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_group(rs, group, left)?;
+            let r = eval_group(rs, group, right)?;
+            eval_binary(&l, *op, &r)
+        }
+        Expr::Neg(inner) => {
+            let v = eval_group(rs, group, inner)?;
+            match v {
+                AttrValue::Int(i) => Ok(AttrValue::Int(-i)),
+                AttrValue::Float(f) => Ok(AttrValue::Float(-f)),
+                other => Ok(other),
+            }
+        }
+        Expr::Not(inner) => Ok(AttrValue::Bool(!eval_group(rs, group, inner)?.is_truthy())),
+        Expr::Function { name, args } => {
+            let values: Vec<AttrValue> = args
+                .iter()
+                .map(|a| eval_group(rs, group, a))
+                .collect::<Result<_>>()?;
+            call_scalar(name, &values)
+        }
+        Expr::Case { arms, otherwise } => {
+            for (cond, result) in arms {
+                if eval_group(rs, group, cond)?.is_truthy() {
+                    return eval_group(rs, group, result);
+                }
+            }
+            match otherwise {
+                Some(e) => eval_group(rs, group, e),
+                None => Ok(AttrValue::Null),
+            }
+        }
+        // Everything else is evaluated against the group's first row.
+        other => match group.first() {
+            Some(&row_idx) => eval_row(rs, &rs.rows[row_idx], other),
+            None => Ok(AttrValue::Null),
+        },
+    }
+}
+
+fn eval_aggregate(func: AggregateFunc, values: &[AttrValue]) -> Result<AttrValue> {
+    let numeric: Vec<f64> = values.iter().filter_map(AttrValue::as_f64).collect();
+    Ok(match func {
+        AggregateFunc::Count => {
+            AttrValue::Int(values.iter().filter(|v| !v.is_null()).count() as i64)
+        }
+        AggregateFunc::Sum => AttrValue::Float(numeric.iter().sum()),
+        AggregateFunc::Avg => {
+            if numeric.is_empty() {
+                AttrValue::Null
+            } else {
+                AttrValue::Float(numeric.iter().sum::<f64>() / numeric.len() as f64)
+            }
+        }
+        AggregateFunc::Min => min_max_value(values, Ordering::Less),
+        AggregateFunc::Max => min_max_value(values, Ordering::Greater),
+    })
+}
+
+fn min_max_value(values: &[AttrValue], keep: Ordering) -> AttrValue {
+    let mut best: Option<&AttrValue> = None;
+    for v in values.iter().filter(|v| !v.is_null()) {
+        best = match best {
+            None => Some(v),
+            Some(b) => {
+                if v.partial_cmp_value(b) == Some(keep) {
+                    Some(v)
+                } else {
+                    Some(b)
+                }
+            }
+        };
+    }
+    best.cloned().unwrap_or(AttrValue::Null)
+}
+
+fn eval_binary(l: &AttrValue, op: BinaryOp, r: &AttrValue) -> Result<AttrValue> {
+    use BinaryOp::*;
+    match op {
+        And => return Ok(AttrValue::Bool(l.is_truthy() && r.is_truthy())),
+        Or => return Ok(AttrValue::Bool(l.is_truthy() || r.is_truthy())),
+        Eq => return Ok(AttrValue::Bool(l.approx_eq(r))),
+        NotEq => return Ok(AttrValue::Bool(!l.approx_eq(r))),
+        Lt | LtEq | Gt | GtEq => {
+            let ord = l.partial_cmp_value(r);
+            let result = match (op, ord) {
+                (Lt, Some(Ordering::Less)) => true,
+                (LtEq, Some(Ordering::Less | Ordering::Equal)) => true,
+                (Gt, Some(Ordering::Greater)) => true,
+                (GtEq, Some(Ordering::Greater | Ordering::Equal)) => true,
+                _ => false,
+            };
+            return Ok(AttrValue::Bool(result));
+        }
+        _ => {}
+    }
+    // Arithmetic. String + string concatenates; NULL propagates.
+    if l.is_null() || r.is_null() {
+        return Ok(AttrValue::Null);
+    }
+    if op == Add {
+        if let (Some(a), Some(b)) = (l.as_str(), r.as_str()) {
+            return Ok(AttrValue::Str(format!("{a}{b}")));
+        }
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(SqlError::Type(format!(
+                "cannot apply arithmetic to {} and {}",
+                l.type_name(),
+                r.type_name()
+            )))
+        }
+    };
+    let result = match op {
+        Add => a + b,
+        Sub => a - b,
+        Mul => a * b,
+        Div => {
+            if b == 0.0 {
+                return Err(SqlError::Execution("division by zero".to_string()));
+            }
+            a / b
+        }
+        Mod => {
+            if b == 0.0 {
+                return Err(SqlError::Execution("modulo by zero".to_string()));
+            }
+            a % b
+        }
+        _ => unreachable!("comparisons handled above"),
+    };
+    // Keep integer results integral when both operands were integers.
+    if matches!((l, r), (AttrValue::Int(_), AttrValue::Int(_)))
+        && result.fract() == 0.0
+        && matches!(op, Add | Sub | Mul | Mod)
+    {
+        Ok(AttrValue::Int(result as i64))
+    } else {
+        Ok(AttrValue::Float(result))
+    }
+}
+
+// ------------------------------------------------------------------- select
+
+fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<DataFrame> {
+    // FROM + JOINs.
+    let mut rs = RowSet::from_table(db, &stmt.from)?;
+    for join in &stmt.joins {
+        rs = apply_join(db, rs, join)?;
+    }
+
+    // WHERE.
+    if let Some(pred) = &stmt.where_clause {
+        let mut kept = Vec::new();
+        for row in rs.rows {
+            if eval_row(
+                &RowSet {
+                    columns: rs.columns.clone(),
+                    rows: vec![],
+                },
+                &row,
+                pred,
+            )?
+            .is_truthy()
+            {
+                kept.push(row);
+            }
+        }
+        rs.rows = kept;
+    }
+
+    let has_aggregates = stmt.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        SelectItem::Wildcard => false,
+    }) || stmt
+        .having
+        .as_ref()
+        .map(Expr::contains_aggregate)
+        .unwrap_or(false);
+
+    let (mut out, order_rows): (DataFrame, Vec<Vec<AttrValue>>) =
+        if !stmt.group_by.is_empty() || has_aggregates {
+            project_grouped(&rs, stmt)?
+        } else {
+            project_rows(&rs, stmt)?
+        };
+
+    // DISTINCT.
+    if stmt.distinct {
+        let mut seen: Vec<String> = Vec::new();
+        let mut keep: Vec<usize> = Vec::new();
+        for i in 0..out.n_rows() {
+            let key = out
+                .row(i)
+                .expect("in range")
+                .iter()
+                .map(|v| format!("{}:{v}", v.type_name()))
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
+            if !seen.contains(&key) {
+                seen.push(key);
+                keep.push(i);
+            }
+        }
+        out = out.take(&keep).expect("indices valid");
+    }
+
+    // ORDER BY: keys may reference output aliases or source columns.
+    if !stmt.order_by.is_empty() {
+        let mut indices: Vec<usize> = (0..out.n_rows()).collect();
+        let mut keys: Vec<Vec<AttrValue>> = Vec::with_capacity(out.n_rows());
+        for i in 0..out.n_rows() {
+            let mut row_keys = Vec::new();
+            for key in &stmt.order_by {
+                row_keys.push(order_key_value(&out, &rs, &order_rows, i, &key.expr)?);
+            }
+            keys.push(row_keys);
+        }
+        indices.sort_by(|&a, &b| {
+            for (k, spec) in stmt.order_by.iter().enumerate() {
+                let ord = keys[a][k]
+                    .partial_cmp_value(&keys[b][k])
+                    .unwrap_or(Ordering::Equal);
+                let ord = if spec.ascending { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        out = out.take(&indices).expect("indices valid");
+    }
+
+    // LIMIT.
+    if let Some(limit) = stmt.limit {
+        out = out.head(limit);
+    }
+    Ok(out)
+}
+
+/// Resolves one ORDER BY key for output row `i`: an expression naming an
+/// output column uses the projected value, anything else is evaluated
+/// against the pre-projection row that produced this output row.
+fn order_key_value(
+    out: &DataFrame,
+    rs: &RowSet,
+    order_rows: &[Vec<AttrValue>],
+    i: usize,
+    expr: &Expr,
+) -> Result<AttrValue> {
+    if let Expr::Column { table: None, name } = expr {
+        if out.has_column(name) {
+            return Ok(out.value(i, name).expect("in range").clone());
+        }
+    }
+    match order_rows.get(i) {
+        Some(row) => eval_row(rs, row, expr),
+        None => Err(SqlError::Execution(
+            "ORDER BY expression cannot be resolved".to_string(),
+        )),
+    }
+}
+
+fn apply_join(db: &Database, left: RowSet, join: &Join) -> Result<RowSet> {
+    let right = RowSet::from_table(db, &join.table)?;
+    let mut columns = left.columns.clone();
+    columns.extend(right.columns.clone());
+    let combined = RowSet {
+        columns: columns.clone(),
+        rows: vec![],
+    };
+    let right_width = right.columns.len();
+    let mut rows = Vec::new();
+    for lrow in &left.rows {
+        let mut matched = false;
+        for rrow in &right.rows {
+            let mut candidate = lrow.clone();
+            candidate.extend(rrow.iter().cloned());
+            if eval_row(&combined, &candidate, &join.on)?.is_truthy() {
+                rows.push(candidate);
+                matched = true;
+            }
+        }
+        if !matched && join.kind == JoinKind::Left {
+            let mut candidate = lrow.clone();
+            candidate.extend(std::iter::repeat(AttrValue::Null).take(right_width));
+            rows.push(candidate);
+        }
+    }
+    Ok(RowSet { columns, rows })
+}
+
+/// Projection without grouping: one output row per input row. Returns the
+/// output frame plus, for each output row, the source row (used by ORDER BY).
+fn project_rows(rs: &RowSet, stmt: &SelectStmt) -> Result<(DataFrame, Vec<Vec<AttrValue>>)> {
+    let (names, exprs) = projection_list(rs, stmt)?;
+    let mut columns: Vec<Column> = names.iter().map(|_| Column::new()).collect();
+    for row in &rs.rows {
+        for (i, expr) in exprs.iter().enumerate() {
+            columns[i].push(eval_row(rs, row, expr)?);
+        }
+    }
+    let frame = build_frame(names, columns)?;
+    Ok((frame, rs.rows.clone()))
+}
+
+/// Projection with grouping (explicit GROUP BY or implicit single-group
+/// aggregation). Returns the output frame plus each group's first source row
+/// for ORDER BY resolution.
+fn project_grouped(rs: &RowSet, stmt: &SelectStmt) -> Result<(DataFrame, Vec<Vec<AttrValue>>)> {
+    // Partition row indices by the GROUP BY key values.
+    let mut groups: Vec<(Vec<AttrValue>, Vec<usize>)> = Vec::new();
+    if stmt.group_by.is_empty() {
+        groups.push((Vec::new(), (0..rs.rows.len()).collect()));
+    } else {
+        for (idx, row) in rs.rows.iter().enumerate() {
+            let key: Vec<AttrValue> = stmt
+                .group_by
+                .iter()
+                .map(|e| eval_row(rs, row, e))
+                .collect::<Result<_>>()?;
+            match groups
+                .iter_mut()
+                .find(|(k, _)| k.iter().zip(&key).all(|(a, b)| a.approx_eq(b)) && k.len() == key.len())
+            {
+                Some((_, members)) => members.push(idx),
+                None => groups.push((key, vec![idx])),
+            }
+        }
+    }
+
+    // HAVING.
+    if let Some(having) = &stmt.having {
+        groups.retain(|(_, members)| {
+            eval_group(rs, members, having)
+                .map(|v| v.is_truthy())
+                .unwrap_or(false)
+        });
+    }
+
+    let (names, exprs) = projection_list(rs, stmt)?;
+    let mut columns: Vec<Column> = names.iter().map(|_| Column::new()).collect();
+    let mut order_rows = Vec::new();
+    for (_, members) in &groups {
+        for (i, expr) in exprs.iter().enumerate() {
+            columns[i].push(eval_group(rs, members, expr)?);
+        }
+        order_rows.push(match members.first() {
+            Some(&first) => rs.rows[first].clone(),
+            None => vec![AttrValue::Null; rs.columns.len()],
+        });
+    }
+    let frame = build_frame(names, columns)?;
+    Ok((frame, order_rows))
+}
+
+/// Expands the projection list into `(output name, expression)` pairs.
+fn projection_list(rs: &RowSet, stmt: &SelectStmt) -> Result<(Vec<String>, Vec<Expr>)> {
+    let mut names = Vec::new();
+    let mut exprs = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (qualifier, name) in &rs.columns {
+                    // Use the bare name unless it would collide with an
+                    // earlier output column.
+                    let out_name = if names.contains(name) {
+                        format!(
+                            "{}.{}",
+                            qualifier.clone().unwrap_or_default(),
+                            name
+                        )
+                    } else {
+                        name.clone()
+                    };
+                    names.push(out_name);
+                    exprs.push(Expr::Column {
+                        table: qualifier.clone(),
+                        name: name.clone(),
+                    });
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| expr.default_name());
+                names.push(name);
+                exprs.push(expr.clone());
+            }
+        }
+    }
+    Ok((names, exprs))
+}
+
+fn build_frame(names: Vec<String>, columns: Vec<Column>) -> Result<DataFrame> {
+    let mut unique_names: Vec<String> = Vec::with_capacity(names.len());
+    for name in names {
+        let mut candidate = name.clone();
+        let mut suffix = 1;
+        while unique_names.contains(&candidate) {
+            candidate = format!("{name}_{suffix}");
+            suffix += 1;
+        }
+        unique_names.push(candidate);
+    }
+    DataFrame::from_columns(unique_names.into_iter().zip(columns).collect())
+        .map_err(|e| SqlError::Execution(e.to_string()))
+}
+
+// ---------------------------------------------------------------- mutations
+
+fn execute_update(db: &mut Database, stmt: &UpdateStmt) -> Result<usize> {
+    let table_ref = TableRef {
+        name: stmt.table.clone(),
+        alias: None,
+    };
+    let rs = RowSet::from_table(db, &table_ref)?;
+    // Determine which rows match and the new values before mutating.
+    let mut updates: Vec<(usize, Vec<(String, AttrValue)>)> = Vec::new();
+    for (idx, row) in rs.rows.iter().enumerate() {
+        let matches = match &stmt.where_clause {
+            Some(pred) => eval_row(&rs, row, pred)?.is_truthy(),
+            None => true,
+        };
+        if matches {
+            let mut assigned = Vec::new();
+            for (col, expr) in &stmt.assignments {
+                assigned.push((col.clone(), eval_row(&rs, row, expr)?));
+            }
+            updates.push((idx, assigned));
+        }
+    }
+    let affected = updates.len();
+    let frame = db.table_mut(&stmt.table)?;
+    for (row, assignments) in updates {
+        for (col, value) in assignments {
+            if !frame.has_column(&col) {
+                return Err(SqlError::UnknownColumn(col));
+            }
+            frame
+                .set_value(row, &col, value)
+                .map_err(|e| SqlError::Execution(e.to_string()))?;
+        }
+    }
+    Ok(affected)
+}
+
+fn execute_insert(db: &mut Database, stmt: &InsertStmt) -> Result<usize> {
+    // Literal-only row evaluation (no row context).
+    let empty = RowSet {
+        columns: vec![],
+        rows: vec![],
+    };
+    let frame = db.table(&stmt.table)?.clone();
+    let target_columns: Vec<String> = if stmt.columns.is_empty() {
+        frame.column_names().iter().map(|s| s.to_string()).collect()
+    } else {
+        stmt.columns.clone()
+    };
+    for col in &target_columns {
+        if !frame.has_column(col) {
+            return Err(SqlError::UnknownColumn(col.clone()));
+        }
+    }
+    let mut new_rows = Vec::new();
+    for row_exprs in &stmt.rows {
+        if row_exprs.len() != target_columns.len() {
+            return Err(SqlError::Execution(format!(
+                "INSERT supplies {} values for {} columns",
+                row_exprs.len(),
+                target_columns.len()
+            )));
+        }
+        let mut by_name: Vec<(String, AttrValue)> = Vec::new();
+        for (col, expr) in target_columns.iter().zip(row_exprs) {
+            by_name.push((col.clone(), eval_row(&empty, &[], expr)?));
+        }
+        // Fill unspecified columns with NULL, in table order.
+        let full_row: Vec<AttrValue> = frame
+            .column_names()
+            .iter()
+            .map(|c| {
+                by_name
+                    .iter()
+                    .find(|(name, _)| name == c)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(AttrValue::Null)
+            })
+            .collect();
+        new_rows.push(full_row);
+    }
+    let affected = new_rows.len();
+    let frame = db.table_mut(&stmt.table)?;
+    for row in new_rows {
+        frame
+            .push_row(row)
+            .map_err(|e| SqlError::Execution(e.to_string()))?;
+    }
+    Ok(affected)
+}
+
+fn execute_delete(db: &mut Database, stmt: &DeleteStmt) -> Result<usize> {
+    let table_ref = TableRef {
+        name: stmt.table.clone(),
+        alias: None,
+    };
+    let rs = RowSet::from_table(db, &table_ref)?;
+    let mut keep = Vec::new();
+    for (idx, row) in rs.rows.iter().enumerate() {
+        let matches = match &stmt.where_clause {
+            Some(pred) => eval_row(&rs, row, pred)?.is_truthy(),
+            None => true,
+        };
+        if !matches {
+            keep.push(idx);
+        }
+    }
+    let affected = rs.rows.len() - keep.len();
+    let frame = db.table_mut(&stmt.table)?;
+    *frame = frame
+        .take(&keep)
+        .map_err(|e| SqlError::Execution(e.to_string()))?;
+    Ok(affected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::Column;
+
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "nodes",
+            DataFrame::from_columns(vec![
+                (
+                    "id".to_string(),
+                    Column::from_values(["10.0.1.1", "10.0.2.2", "10.1.3.3", "10.1.4.4"]),
+                ),
+                (
+                    "role".to_string(),
+                    Column::from_values(["core", "edge", "edge", "leaf"]),
+                ),
+            ])
+            .unwrap(),
+        );
+        db.create_table(
+            "edges",
+            DataFrame::from_columns(vec![
+                (
+                    "source".to_string(),
+                    Column::from_values(["10.0.1.1", "10.0.1.1", "10.0.2.2", "10.1.3.3"]),
+                ),
+                (
+                    "target".to_string(),
+                    Column::from_values(["10.0.2.2", "10.1.3.3", "10.1.3.3", "10.1.4.4"]),
+                ),
+                (
+                    "bytes".to_string(),
+                    Column::from_values([100i64, 200, 300, 400]),
+                ),
+                (
+                    "packets".to_string(),
+                    Column::from_values([1i64, 2, 3, 4]),
+                ),
+            ])
+            .unwrap(),
+        );
+        db
+    }
+
+    fn select(db: &mut Database, sql: &str) -> DataFrame {
+        db.execute(sql).unwrap().rows().unwrap().clone()
+    }
+
+    #[test]
+    fn select_star_and_where() {
+        let mut db = test_db();
+        let all = select(&mut db, "SELECT * FROM edges");
+        assert_eq!(all.n_rows(), 4);
+        assert_eq!(all.column_names(), vec!["source", "target", "bytes", "packets"]);
+        let heavy = select(&mut db, "SELECT source, bytes FROM edges WHERE bytes >= 300");
+        assert_eq!(heavy.n_rows(), 2);
+    }
+
+    #[test]
+    fn arithmetic_and_alias() {
+        let mut db = test_db();
+        let out = select(&mut db, "SELECT bytes * 2 AS double_bytes FROM edges WHERE packets = 1");
+        assert_eq!(out.value(0, "double_bytes").unwrap(), &AttrValue::Int(200));
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let mut db = test_db();
+        let out = select(&mut db, "SELECT COUNT(*) AS n, SUM(bytes) AS total, AVG(bytes) AS mean FROM edges");
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.value(0, "n").unwrap(), &AttrValue::Int(4));
+        assert_eq!(out.value(0, "total").unwrap(), &AttrValue::Float(1000.0));
+        assert_eq!(out.value(0, "mean").unwrap(), &AttrValue::Float(250.0));
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let mut db = test_db();
+        let out = select(
+            &mut db,
+            "SELECT source, SUM(bytes) AS total FROM edges GROUP BY source \
+             HAVING SUM(bytes) > 250 ORDER BY total DESC LIMIT 1",
+        );
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.value(0, "source").unwrap().as_str(), Some("10.1.3.3"));
+        assert_eq!(out.value(0, "total").unwrap(), &AttrValue::Float(400.0));
+    }
+
+    #[test]
+    fn join_inner_and_left() {
+        let mut db = test_db();
+        let inner = select(
+            &mut db,
+            "SELECT e.source, n.role FROM edges e JOIN nodes n ON e.source = n.id",
+        );
+        assert_eq!(inner.n_rows(), 4);
+        assert_eq!(inner.value(0, "role").unwrap().as_str(), Some("core"));
+
+        db.execute("DELETE FROM nodes WHERE id = '10.0.2.2'").unwrap();
+        let left = select(
+            &mut db,
+            "SELECT e.source, n.role FROM edges e LEFT JOIN nodes n ON e.source = n.id",
+        );
+        assert_eq!(left.n_rows(), 4);
+        assert!(left.value(2, "role").unwrap().is_null());
+    }
+
+    #[test]
+    fn distinct_and_in_and_like() {
+        let mut db = test_db();
+        let d = select(&mut db, "SELECT DISTINCT source FROM edges");
+        assert_eq!(d.n_rows(), 3);
+        let i = select(&mut db, "SELECT * FROM nodes WHERE role IN ('core', 'leaf')");
+        assert_eq!(i.n_rows(), 2);
+        let l = select(&mut db, "SELECT * FROM nodes WHERE id LIKE '10.0%'");
+        assert_eq!(l.n_rows(), 2);
+    }
+
+    #[test]
+    fn case_expression_and_functions() {
+        let mut db = test_db();
+        let out = select(
+            &mut db,
+            "SELECT id, CASE WHEN id LIKE '10.0%' THEN 'prod' ELSE 'lab' END AS env, \
+             IP_PREFIX(id, 2) AS prefix FROM nodes ORDER BY id",
+        );
+        assert_eq!(out.value(0, "env").unwrap().as_str(), Some("prod"));
+        assert_eq!(out.value(3, "env").unwrap().as_str(), Some("lab"));
+        assert_eq!(out.value(0, "prefix").unwrap().as_str(), Some("10.0"));
+    }
+
+    #[test]
+    fn update_insert_delete_cycle() {
+        let mut db = test_db();
+        let n = db
+            .execute("UPDATE nodes SET role = 'spine' WHERE id LIKE '10.1%'")
+            .unwrap()
+            .affected()
+            .unwrap();
+        assert_eq!(n, 2);
+        let spines = select(&mut db, "SELECT * FROM nodes WHERE role = 'spine'");
+        assert_eq!(spines.n_rows(), 2);
+
+        let n = db
+            .execute("INSERT INTO nodes (id, role) VALUES ('10.9.9.9', 'core')")
+            .unwrap()
+            .affected()
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.table("nodes").unwrap().n_rows(), 5);
+
+        let n = db
+            .execute("DELETE FROM nodes WHERE role = 'spine'")
+            .unwrap()
+            .affected()
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.table("nodes").unwrap().n_rows(), 3);
+    }
+
+    #[test]
+    fn unknown_column_table_and_function_errors() {
+        let mut db = test_db();
+        assert!(matches!(
+            db.execute("SELECT nope FROM nodes"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            db.execute("SELECT * FROM ghosts"),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.execute("SELECT FROBNICATE(id) FROM nodes"),
+            Err(SqlError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            db.execute("UPDATE nodes SET ghost = 1"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_execution_error() {
+        let mut db = test_db();
+        assert!(matches!(
+            db.execute("SELECT bytes / 0 FROM edges"),
+            Err(SqlError::Execution(_))
+        ));
+    }
+
+    #[test]
+    fn order_by_source_column_not_in_projection() {
+        let mut db = test_db();
+        let out = select(&mut db, "SELECT source FROM edges ORDER BY bytes DESC");
+        assert_eq!(out.value(0, "source").unwrap().as_str(), Some("10.1.3.3"));
+    }
+
+    #[test]
+    fn string_concatenation_with_plus() {
+        let mut db = test_db();
+        let out = select(&mut db, "SELECT id + ':' + role AS tag FROM nodes LIMIT 1");
+        assert_eq!(out.value(0, "tag").unwrap().as_str(), Some("10.0.1.1:core"));
+    }
+
+    #[test]
+    fn between_and_is_null() {
+        let mut db = test_db();
+        let b = select(&mut db, "SELECT * FROM edges WHERE bytes BETWEEN 150 AND 350");
+        assert_eq!(b.n_rows(), 2);
+        db.execute("INSERT INTO nodes (id) VALUES ('10.5.5.5')").unwrap();
+        let n = select(&mut db, "SELECT * FROM nodes WHERE role IS NULL");
+        assert_eq!(n.n_rows(), 1);
+        let nn = select(&mut db, "SELECT * FROM nodes WHERE role IS NOT NULL");
+        assert_eq!(nn.n_rows(), 4);
+    }
+
+    #[test]
+    fn implicit_group_aggregate_on_empty_table() {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            DataFrame::from_columns(vec![("x".to_string(), Column::new())]).unwrap(),
+        );
+        let out = select(&mut db, "SELECT COUNT(*) AS n, SUM(x) AS s FROM t");
+        assert_eq!(out.value(0, "n").unwrap(), &AttrValue::Int(0));
+        assert_eq!(out.value(0, "s").unwrap(), &AttrValue::Float(0.0));
+    }
+}

@@ -1,0 +1,316 @@
+//! Scalar functions and the `LIKE` pattern matcher.
+
+use crate::error::{Result, SqlError};
+use netgraph::AttrValue;
+
+/// Evaluates a scalar function call. `name` must already be uppercase (the
+/// parser normalizes it).
+///
+/// Unknown names produce [`SqlError::UnknownFunction`] — the "imaginary
+/// function" failure mode injected by the simulated LLM.
+pub fn call_scalar(name: &str, args: &[AttrValue]) -> Result<AttrValue> {
+    let arity = |expected: &str, ok: bool| -> Result<()> {
+        if ok {
+            Ok(())
+        } else {
+            Err(SqlError::Arity {
+                what: name.to_string(),
+                expected: expected.to_string(),
+                actual: args.len(),
+            })
+        }
+    };
+    match name {
+        "LENGTH" | "LEN" => {
+            arity("1", args.len() == 1)?;
+            match &args[0] {
+                AttrValue::Str(s) => Ok(AttrValue::Int(s.chars().count() as i64)),
+                AttrValue::List(v) => Ok(AttrValue::Int(v.len() as i64)),
+                AttrValue::Null => Ok(AttrValue::Null),
+                other => Err(SqlError::Type(format!(
+                    "LENGTH expects a string, got {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        "UPPER" => {
+            arity("1", args.len() == 1)?;
+            string_map(name, &args[0], |s| s.to_ascii_uppercase())
+        }
+        "LOWER" => {
+            arity("1", args.len() == 1)?;
+            string_map(name, &args[0], |s| s.to_ascii_lowercase())
+        }
+        "TRIM" => {
+            arity("1", args.len() == 1)?;
+            string_map(name, &args[0], |s| s.trim().to_string())
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            arity("2 or 3", args.len() == 2 || args.len() == 3)?;
+            let s = expect_str(name, &args[0])?;
+            // SQL SUBSTR is 1-based; a length of 0 or a start past the end
+            // yields an empty string.
+            let start = expect_int(name, &args[1])?.max(1) as usize - 1;
+            let chars: Vec<char> = s.chars().collect();
+            let len = if args.len() == 3 {
+                expect_int(name, &args[2])?.max(0) as usize
+            } else {
+                chars.len().saturating_sub(start)
+            };
+            let out: String = chars.iter().skip(start).take(len).collect();
+            Ok(AttrValue::Str(out))
+        }
+        "REPLACE" => {
+            arity("3", args.len() == 3)?;
+            let s = expect_str(name, &args[0])?;
+            let from = expect_str(name, &args[1])?;
+            let to = expect_str(name, &args[2])?;
+            Ok(AttrValue::Str(s.replace(&from, &to)))
+        }
+        "INSTR" => {
+            arity("2", args.len() == 2)?;
+            let s = expect_str(name, &args[0])?;
+            let needle = expect_str(name, &args[1])?;
+            // 1-based position, 0 when absent (SQLite semantics).
+            Ok(AttrValue::Int(
+                s.find(&needle).map(|i| i as i64 + 1).unwrap_or(0),
+            ))
+        }
+        "ABS" => {
+            arity("1", args.len() == 1)?;
+            match &args[0] {
+                AttrValue::Int(i) => Ok(AttrValue::Int(i.abs())),
+                AttrValue::Float(f) => Ok(AttrValue::Float(f.abs())),
+                AttrValue::Null => Ok(AttrValue::Null),
+                other => Err(SqlError::Type(format!(
+                    "ABS expects a number, got {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        "ROUND" => {
+            arity("1 or 2", args.len() == 1 || args.len() == 2)?;
+            let v = expect_num(name, &args[0])?;
+            let digits = if args.len() == 2 {
+                expect_int(name, &args[1])?
+            } else {
+                0
+            };
+            let factor = 10f64.powi(digits as i32);
+            Ok(AttrValue::Float((v * factor).round() / factor))
+        }
+        "CAST_INT" => {
+            arity("1", args.len() == 1)?;
+            match &args[0] {
+                AttrValue::Int(i) => Ok(AttrValue::Int(*i)),
+                AttrValue::Float(f) => Ok(AttrValue::Int(*f as i64)),
+                AttrValue::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(AttrValue::Int)
+                    .map_err(|_| SqlError::Type(format!("cannot cast '{s}' to integer"))),
+                AttrValue::Null => Ok(AttrValue::Null),
+                other => Err(SqlError::Type(format!(
+                    "cannot cast {} to integer",
+                    other.type_name()
+                ))),
+            }
+        }
+        "COALESCE" => {
+            arity("at least 1", !args.is_empty())?;
+            Ok(args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(AttrValue::Null))
+        }
+        "CONCAT" => {
+            let mut out = String::new();
+            for a in args {
+                if !a.is_null() {
+                    out.push_str(&a.to_string());
+                }
+            }
+            Ok(AttrValue::Str(out))
+        }
+        "SPLIT_PART" => {
+            // SPLIT_PART(string, delimiter, index) — 1-based, used by golden
+            // SQL to derive IP prefixes ("10.0.3.7", ".", 1) -> "10".
+            arity("3", args.len() == 3)?;
+            let s = expect_str(name, &args[0])?;
+            let delim = expect_str(name, &args[1])?;
+            let idx = expect_int(name, &args[2])?;
+            if idx < 1 {
+                return Err(SqlError::Execution(
+                    "SPLIT_PART index must be >= 1".to_string(),
+                ));
+            }
+            let part = s
+                .split(delim.as_str())
+                .nth(idx as usize - 1)
+                .unwrap_or("")
+                .to_string();
+            Ok(AttrValue::Str(part))
+        }
+        "IP_PREFIX" => {
+            // IP_PREFIX(address, octets) — keeps the first `octets` dotted
+            // groups of an IPv4 address ("10.76.3.9", 2) -> "10.76".
+            arity("2", args.len() == 2)?;
+            let s = expect_str(name, &args[0])?;
+            let octets = expect_int(name, &args[1])?.clamp(1, 4) as usize;
+            let prefix: Vec<&str> = s.split('.').take(octets).collect();
+            Ok(AttrValue::Str(prefix.join(".")))
+        }
+        other => Err(SqlError::UnknownFunction(other.to_string())),
+    }
+}
+
+fn string_map<F: Fn(&str) -> String>(name: &str, v: &AttrValue, f: F) -> Result<AttrValue> {
+    match v {
+        AttrValue::Str(s) => Ok(AttrValue::Str(f(s))),
+        AttrValue::Null => Ok(AttrValue::Null),
+        other => Err(SqlError::Type(format!(
+            "{name} expects a string, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn expect_str(name: &str, v: &AttrValue) -> Result<String> {
+    v.as_str().map(|s| s.to_string()).ok_or_else(|| {
+        SqlError::Type(format!("{name} expects a string, got {}", v.type_name()))
+    })
+}
+
+fn expect_num(name: &str, v: &AttrValue) -> Result<f64> {
+    v.as_f64().ok_or_else(|| {
+        SqlError::Type(format!("{name} expects a number, got {}", v.type_name()))
+    })
+}
+
+fn expect_int(name: &str, v: &AttrValue) -> Result<i64> {
+    v.as_i64().ok_or_else(|| {
+        SqlError::Type(format!("{name} expects an integer, got {}", v.type_name()))
+    })
+}
+
+/// SQL `LIKE` matching: `%` matches any run of characters, `_` matches one
+/// character; matching is case-sensitive.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                (0..=t.len()).any(|skip| rec(&t[skip..], rest))
+            }
+            Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
+            Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call_scalar("LENGTH", &[s("abcd")]).unwrap(), AttrValue::Int(4));
+        assert_eq!(call_scalar("UPPER", &[s("ab")]).unwrap(), s("AB"));
+        assert_eq!(call_scalar("LOWER", &[s("AB")]).unwrap(), s("ab"));
+        assert_eq!(call_scalar("TRIM", &[s("  x ")]).unwrap(), s("x"));
+        assert_eq!(
+            call_scalar("SUBSTR", &[s("10.76.3.9"), AttrValue::Int(1), AttrValue::Int(5)]).unwrap(),
+            s("10.76")
+        );
+        assert_eq!(
+            call_scalar("REPLACE", &[s("a-b"), s("-"), s(":")]).unwrap(),
+            s("a:b")
+        );
+        assert_eq!(
+            call_scalar("INSTR", &[s("10.76.3.9"), s(".")]).unwrap(),
+            AttrValue::Int(3)
+        );
+        assert_eq!(
+            call_scalar("CONCAT", &[s("a"), AttrValue::Null, AttrValue::Int(3)]).unwrap(),
+            s("a3")
+        );
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(call_scalar("ABS", &[AttrValue::Int(-4)]).unwrap(), AttrValue::Int(4));
+        assert_eq!(
+            call_scalar("ROUND", &[AttrValue::Float(3.14159), AttrValue::Int(2)]).unwrap(),
+            AttrValue::Float(3.14)
+        );
+        assert_eq!(
+            call_scalar("CAST_INT", &[s("42")]).unwrap(),
+            AttrValue::Int(42)
+        );
+        assert!(call_scalar("CAST_INT", &[s("4x")]).is_err());
+    }
+
+    #[test]
+    fn network_helpers() {
+        assert_eq!(
+            call_scalar("SPLIT_PART", &[s("10.76.3.9"), s("."), AttrValue::Int(2)]).unwrap(),
+            s("76")
+        );
+        assert_eq!(
+            call_scalar("IP_PREFIX", &[s("10.76.3.9"), AttrValue::Int(2)]).unwrap(),
+            s("10.76")
+        );
+        assert_eq!(
+            call_scalar("IP_PREFIX", &[s("10.76.3.9"), AttrValue::Int(9)]).unwrap(),
+            s("10.76.3.9")
+        );
+    }
+
+    #[test]
+    fn coalesce_picks_first_non_null() {
+        assert_eq!(
+            call_scalar("COALESCE", &[AttrValue::Null, AttrValue::Int(2), AttrValue::Int(3)])
+                .unwrap(),
+            AttrValue::Int(2)
+        );
+        assert_eq!(
+            call_scalar("COALESCE", &[AttrValue::Null]).unwrap(),
+            AttrValue::Null
+        );
+    }
+
+    #[test]
+    fn null_propagation_and_errors() {
+        assert_eq!(call_scalar("UPPER", &[AttrValue::Null]).unwrap(), AttrValue::Null);
+        assert!(call_scalar("UPPER", &[AttrValue::Int(2)]).is_err());
+        assert!(matches!(
+            call_scalar("FROBNICATE", &[]),
+            Err(SqlError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            call_scalar("LENGTH", &[]),
+            Err(SqlError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("10.76.3.9", "10.76%"));
+        assert!(like_match("10.76.3.9", "%.9"));
+        assert!(like_match("10.76.3.9", "%76%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("ABC", "abc"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Converts SQL text into a token stream.
+
+use crate::error::{Result, SqlError};
+use crate::token::{is_keyword, Token, TokenKind};
+
+/// Tokenizes a SQL statement. Comments (`-- ...` to end of line) and
+/// whitespace are skipped. The returned stream always ends with a single
+/// [`TokenKind::Eof`] token.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: i,
+                });
+                i = next;
+            }
+            '"' => {
+                // Double-quoted identifiers.
+                let (s, next) = lex_quoted_ident(input, i)?;
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    offset: i,
+                });
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (n, next) = lex_number(input, i)?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    offset: i,
+                });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = if is_keyword(word) {
+                    TokenKind::Keyword(word.to_ascii_uppercase())
+                } else {
+                    TokenKind::Ident(word.to_string())
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            _ => {
+                let (kind, width) = lex_symbol(bytes, i)?;
+                tokens.push(Token { kind, offset: i });
+                i += width;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    Err(SqlError::Lex {
+        position: start,
+        message: "unterminated string literal".to_string(),
+    })
+}
+
+fn lex_quoted_ident(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            return Ok((out, i + 1));
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    Err(SqlError::Lex {
+        position: start,
+        message: "unterminated quoted identifier".to_string(),
+    })
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(f64, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    let mut saw_dot = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !saw_dot => {
+                saw_dot = true;
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    input[start..i].parse::<f64>().map(|n| (n, i)).map_err(|_| SqlError::Lex {
+        position: start,
+        message: format!("invalid numeric literal '{}'", &input[start..i]),
+    })
+}
+
+fn lex_symbol(bytes: &[u8], i: usize) -> Result<(TokenKind, usize)> {
+    let two = |a: u8, b: u8| bytes[i] == a && bytes.get(i + 1) == Some(&b);
+    if two(b'!', b'=') {
+        return Ok((TokenKind::NotEq, 2));
+    }
+    if two(b'<', b'>') {
+        return Ok((TokenKind::NotEq, 2));
+    }
+    if two(b'<', b'=') {
+        return Ok((TokenKind::LtEq, 2));
+    }
+    if two(b'>', b'=') {
+        return Ok((TokenKind::GtEq, 2));
+    }
+    let kind = match bytes[i] {
+        b'*' => TokenKind::Star,
+        b',' => TokenKind::Comma,
+        b'(' => TokenKind::LParen,
+        b')' => TokenKind::RParen,
+        b'.' => TokenKind::Dot,
+        b';' => TokenKind::Semicolon,
+        b'=' => TokenKind::Eq,
+        b'<' => TokenKind::Lt,
+        b'>' => TokenKind::Gt,
+        b'+' => TokenKind::Plus,
+        b'-' => TokenKind::Minus,
+        b'/' => TokenKind::Slash,
+        b'%' => TokenKind::Percent,
+        other => {
+            return Err(SqlError::Lex {
+                position: i,
+                message: format!("unexpected character '{}'", other as char),
+            })
+        }
+    };
+    Ok((kind, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_simple_select() {
+        let k = kinds("SELECT * FROM nodes WHERE bytes >= 10.5");
+        assert_eq!(k[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(k[1], TokenKind::Star);
+        assert_eq!(k[3], TokenKind::Ident("nodes".into()));
+        assert_eq!(k[6], TokenKind::GtEq);
+        assert_eq!(k[7], TokenKind::Number(10.5));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_identifiers_preserve_case() {
+        let k = kinds("select Bytes from Nodes");
+        assert_eq!(k[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(k[1], TokenKind::Ident("Bytes".into()));
+        assert_eq!(k[3], TokenKind::Ident("Nodes".into()));
+    }
+
+    #[test]
+    fn string_literals_unescape_doubled_quotes() {
+        let k = kinds("SELECT 'it''s'");
+        assert_eq!(k[1], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let k = kinds("SELECT \"weird name\" FROM t");
+        assert_eq!(k[1], TokenKind::Ident("weird name".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT 1 -- trailing comment\n, 2");
+        assert_eq!(k[1], TokenKind::Number(1.0));
+        assert_eq!(k[2], TokenKind::Comma);
+        assert_eq!(k[3], TokenKind::Number(2.0));
+    }
+
+    #[test]
+    fn two_character_operators() {
+        let k = kinds("a != b <> c <= d >= e");
+        assert_eq!(k[1], TokenKind::NotEq);
+        assert_eq!(k[3], TokenKind::NotEq);
+        assert_eq!(k[5], TokenKind::LtEq);
+        assert_eq!(k[7], TokenKind::GtEq);
+    }
+
+    #[test]
+    fn unterminated_string_is_a_lex_error() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert!(err.is_syntax());
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_character_is_a_lex_error() {
+        assert!(tokenize("SELECT #").is_err());
+    }
+}

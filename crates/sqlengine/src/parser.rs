@@ -1,0 +1,739 @@
+//! Recursive-descent parser producing [`Statement`]s from a token stream.
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+use netgraph::AttrValue;
+
+/// Parses one SQL statement (a trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut stmts = parse_statements(sql)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        0 => Err(SqlError::Parse {
+            position: 0,
+            message: "empty statement".to_string(),
+        }),
+        n => Err(SqlError::Parse {
+            position: 0,
+            message: format!("expected a single statement, found {n}"),
+        }),
+    }
+}
+
+/// Parses a semicolon-separated script into a list of statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while parser.eat_symbol(&TokenKind::Semicolon) {}
+        if parser.at_eof() {
+            break;
+        }
+        out.push(parser.statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(SqlError::Parse {
+            position: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn is_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if k == word)
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.is_keyword(word) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<()> {
+        if self.eat_keyword(word) {
+            Ok(())
+        } else {
+            self.error(format!("expected {word}, found {}", self.peek()))
+        }
+    }
+
+    fn eat_symbol(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat_symbol(kind) {
+            Ok(())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // ---------------------------------------------------------- statements
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek().clone() {
+            TokenKind::Keyword(k) if k == "SELECT" => Ok(Statement::Select(self.select()?)),
+            TokenKind::Keyword(k) if k == "UPDATE" => Ok(Statement::Update(self.update()?)),
+            TokenKind::Keyword(k) if k == "INSERT" => Ok(Statement::Insert(self.insert()?)),
+            TokenKind::Keyword(k) if k == "DELETE" => Ok(Statement::Delete(self.delete()?)),
+            other => self.error(format!("expected a statement, found {other}")),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.eat_symbol(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.table_ref()?;
+
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_keyword("LEFT") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_keyword("JOIN") {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_keyword("ON")?;
+            let on = self.expr()?;
+            joins.push(Join { kind, table, on });
+        }
+
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_symbol(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderKey { expr, ascending });
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                other => return self.error(format!("LIMIT expects a non-negative integer, found {other}")),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(name) = self.peek().clone() {
+            // Bare alias (SELECT bytes total FROM ...).
+            self.advance();
+            Some(name)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(a) = self.peek().clone() {
+            self.advance();
+            Some(a)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn update(&mut self) -> Result<UpdateStmt> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_symbol(&TokenKind::Eq)?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(UpdateStmt {
+            table,
+            assignments,
+            where_clause,
+        })
+    }
+
+    fn insert(&mut self) -> Result<InsertStmt> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_symbol(&TokenKind::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&TokenKind::RParen)?;
+        }
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(&TokenKind::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(InsertStmt {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn delete(&mut self) -> Result<DeleteStmt> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(DeleteStmt {
+            table,
+            where_clause,
+        })
+    }
+
+    // --------------------------------------------------------- expressions
+    //
+    // Precedence (lowest first): OR, AND, NOT, comparison / IN / LIKE /
+    // BETWEEN / IS, additive, multiplicative, unary minus, primary.
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        // [NOT] IN / LIKE / BETWEEN
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect_symbol(&TokenKind::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return self.error("expected IN, LIKE or BETWEEN after NOT");
+        }
+
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::NotEq => Some(BinaryOp::NotEq),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::LtEq => Some(BinaryOp::LtEq),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::GtEq => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol(&TokenKind::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                let value = if n.fract() == 0.0 && n.abs() < 1e15 {
+                    AttrValue::Int(n as i64)
+                } else {
+                    AttrValue::Float(n)
+                };
+                Ok(Expr::Literal(value))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(AttrValue::Str(s)))
+            }
+            TokenKind::Keyword(k) if k == "NULL" => {
+                self.advance();
+                Ok(Expr::Literal(AttrValue::Null))
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.advance();
+                Ok(Expr::Literal(AttrValue::Bool(true)))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.advance();
+                Ok(Expr::Literal(AttrValue::Bool(false)))
+            }
+            TokenKind::Keyword(k) if k == "CASE" => self.case_expr(),
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect_symbol(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                // Function or aggregate call.
+                if self.eat_symbol(&TokenKind::LParen) {
+                    return self.call(name);
+                }
+                // Qualified column (table.column).
+                if self.eat_symbol(&TokenKind::Dot) {
+                    let column = match self.advance() {
+                        TokenKind::Ident(c) => c,
+                        TokenKind::Star => {
+                            return self.error("qualified wildcards (t.*) are not supported")
+                        }
+                        other => return self.error(format!("expected column name after '.', found {other}")),
+                    };
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: column,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => self.error(format!("unexpected token {other} in expression")),
+        }
+    }
+
+    fn call(&mut self, name: String) -> Result<Expr> {
+        // Aggregate with `*` argument: COUNT(*).
+        if let Some(func) = AggregateFunc::parse(&name) {
+            if self.eat_symbol(&TokenKind::Star) {
+                self.expect_symbol(&TokenKind::RParen)?;
+                return Ok(Expr::Aggregate { func, arg: None });
+            }
+            let arg = self.expr()?;
+            self.expect_symbol(&TokenKind::RParen)?;
+            return Ok(Expr::Aggregate {
+                func,
+                arg: Some(Box::new(arg)),
+            });
+        }
+        let mut args = Vec::new();
+        if !self.eat_symbol(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&TokenKind::RParen)?;
+        }
+        Ok(Expr::Function {
+            name: name.to_ascii_uppercase(),
+            args,
+        })
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        self.expect_keyword("CASE")?;
+        let mut arms = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.expr()?;
+            self.expect_keyword("THEN")?;
+            let result = self.expr()?;
+            arms.push((cond, result));
+        }
+        if arms.is_empty() {
+            return self.error("CASE requires at least one WHEN arm");
+        }
+        let otherwise = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case { arms, otherwise })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_select_with_all_clauses() {
+        let sql = "SELECT prefix, SUM(bytes) AS total FROM edges \
+                   WHERE bytes > 100 GROUP BY prefix HAVING SUM(bytes) > 500 \
+                   ORDER BY total DESC LIMIT 5";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("expected select")
+        };
+        assert_eq!(s.items.len(), 2);
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(!s.order_by[0].ascending);
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_join_with_alias() {
+        let sql = "SELECT e.source, n.role FROM edges e JOIN nodes AS n ON e.source = n.node";
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.from.alias.as_deref(), Some("e"));
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table.alias.as_deref(), Some("n"));
+        assert_eq!(s.joins[0].kind, JoinKind::Inner);
+    }
+
+    #[test]
+    fn parses_left_join() {
+        let sql = "SELECT * FROM a LEFT JOIN b ON a.x = b.y";
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.joins[0].kind, JoinKind::Left);
+    }
+
+    #[test]
+    fn parses_update_insert_delete() {
+        let u = parse_statement("UPDATE nodes SET color = 'red', seen = 1 WHERE id = 'a'").unwrap();
+        assert!(matches!(u, Statement::Update(ref s) if s.assignments.len() == 2));
+
+        let i = parse_statement("INSERT INTO nodes (id, bytes) VALUES ('a', 1), ('b', 2)").unwrap();
+        let Statement::Insert(ins) = i else { panic!() };
+        assert_eq!(ins.columns, vec!["id", "bytes"]);
+        assert_eq!(ins.rows.len(), 2);
+
+        let d = parse_statement("DELETE FROM edges WHERE bytes < 10").unwrap();
+        assert!(matches!(d, Statement::Delete(ref s) if s.where_clause.is_some()));
+    }
+
+    #[test]
+    fn parses_in_like_between_is_null() {
+        let sql = "SELECT * FROM nodes WHERE ip LIKE '15.76%' AND grp IN (1, 2) \
+                   AND bytes BETWEEN 10 AND 20 AND color IS NOT NULL AND role NOT LIKE '%core%'";
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let w = s.where_clause.unwrap();
+        // Just check it parsed into a conjunction tree without error.
+        assert!(matches!(w, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn parses_case_expression() {
+        let sql = "SELECT CASE WHEN bytes > 10 THEN 'big' ELSE 'small' END AS size FROM edges";
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, alias } = &s.items[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Case { .. }));
+        assert_eq!(alias.as_deref(), Some("size"));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let Statement::Select(s) = parse_statement("SELECT 1 + 2 * 3 FROM t").unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        // Must parse as 1 + (2 * 3).
+        let Expr::Binary { op, right, .. } = expr else {
+            panic!()
+        };
+        assert_eq!(*op, BinaryOp::Add);
+        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parse_statements_splits_on_semicolons() {
+        let script = "UPDATE t SET x = 1; SELECT * FROM t;";
+        let stmts = parse_statements(script).unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("SELEC * FROM t").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+        assert!(parse_statement("").is_err());
+        assert!(parse_statement("SELECT 1 LIMIT 1.5").is_err());
+        let err = parse_statement("SELECT * FROM t WHERE a NOT 5").unwrap_err();
+        assert!(err.is_syntax());
+    }
+
+    #[test]
+    fn count_star_and_aggregates() {
+        let Statement::Select(s) =
+            parse_statement("SELECT COUNT(*), AVG(bytes) FROM edges").unwrap()
+        else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            expr,
+            Expr::Aggregate {
+                func: AggregateFunc::Count,
+                arg: None
+            }
+        ));
+    }
+}

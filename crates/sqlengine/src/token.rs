@@ -1,0 +1,122 @@
+//! Token model for the SQL lexer.
+
+use std::fmt;
+
+/// A single lexical token plus the byte offset where it starts (used in
+/// error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token in the input.
+    pub offset: usize,
+}
+
+/// The kinds of token the SQL dialect understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword (`SELECT`, `FROM`, ...). Stored uppercase.
+    Keyword(String),
+    /// An identifier: table, column or alias name. Case preserved.
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A single-quoted string literal (quotes removed, '' unescaped).
+    Str(String),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(i) => write!(f, "{i}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// The reserved words of the dialect. Identifiers matching one of these
+/// (case-insensitively) lex as [`TokenKind::Keyword`].
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC",
+    "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IN", "LIKE", "BETWEEN",
+    "IS", "JOIN", "INNER", "LEFT", "ON", "UPDATE", "SET", "INSERT", "INTO", "VALUES", "DELETE",
+    "CREATE", "TABLE", "CASE", "WHEN", "THEN", "ELSE", "END",
+];
+
+/// True if `word` is a reserved keyword (case-insensitive).
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.iter().any(|k| k.eq_ignore_ascii_case(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert!(is_keyword("select"));
+        assert!(is_keyword("SELECT"));
+        assert!(is_keyword("Between"));
+        assert!(!is_keyword("bytes"));
+    }
+
+    #[test]
+    fn display_round_trips_simple_tokens() {
+        assert_eq!(TokenKind::Star.to_string(), "*");
+        assert_eq!(TokenKind::Str("a'b".into()).to_string(), "'a'b'");
+        assert_eq!(TokenKind::Keyword("SELECT".into()).to_string(), "SELECT");
+    }
+}

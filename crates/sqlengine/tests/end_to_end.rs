@@ -1,0 +1,248 @@
+//! End-to-end and property tests for the SQL engine, exercising it the way
+//! the NeMoEval golden SQL programs do: node/edge tables for a communication
+//! graph, analytical SELECTs and state-mutating UPDATE/DELETE scripts.
+
+use dataframe::{Column, DataFrame};
+use netgraph::AttrValue;
+use proptest::prelude::*;
+use sqlengine::{Database, SqlError};
+
+/// A small communication graph: nodes with IP ids and roles, edges with
+/// byte/packet weights.
+fn comm_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "nodes",
+        DataFrame::from_columns(vec![
+            (
+                "id".to_string(),
+                Column::from_values([
+                    "15.76.0.1", "15.76.0.2", "15.76.1.9", "10.2.0.1", "10.2.0.2", "10.3.7.7",
+                ]),
+            ),
+            (
+                "role".to_string(),
+                Column::from_values(["server", "server", "client", "client", "client", "server"]),
+            ),
+        ])
+        .unwrap(),
+    );
+    db.create_table(
+        "edges",
+        DataFrame::from_columns(vec![
+            (
+                "source".to_string(),
+                Column::from_values([
+                    "15.76.0.1", "15.76.0.2", "15.76.1.9", "10.2.0.1", "10.2.0.2", "10.2.0.1",
+                ]),
+            ),
+            (
+                "target".to_string(),
+                Column::from_values([
+                    "10.2.0.1", "10.2.0.2", "10.3.7.7", "15.76.0.1", "15.76.1.9", "10.3.7.7",
+                ]),
+            ),
+            (
+                "bytes".to_string(),
+                Column::from_values([1200i64, 900, 450, 3000, 150, 600]),
+            ),
+            (
+                "connections".to_string(),
+                Column::from_values([3i64, 2, 1, 9, 1, 2]),
+            ),
+        ])
+        .unwrap(),
+    );
+    db
+}
+
+#[test]
+fn label_nodes_with_prefix_via_update() {
+    // "Add a label app:production to nodes with address prefix 15.76"
+    let mut db = comm_db();
+    db.execute("UPDATE nodes SET role = 'app:production' WHERE id LIKE '15.76%'")
+        .unwrap();
+    let labelled = db
+        .execute("SELECT COUNT(*) AS n FROM nodes WHERE role = 'app:production'")
+        .unwrap();
+    assert_eq!(
+        labelled.rows().unwrap().value(0, "n").unwrap(),
+        &AttrValue::Int(3)
+    );
+}
+
+#[test]
+fn per_prefix_traffic_report() {
+    // "Total bytes exchanged per /16 prefix of the source"
+    let mut db = comm_db();
+    let out = db
+        .execute(
+            "SELECT IP_PREFIX(source, 2) AS prefix, SUM(bytes) AS total \
+             FROM edges GROUP BY IP_PREFIX(source, 2) ORDER BY total DESC",
+        )
+        .unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.n_rows(), 2);
+    assert_eq!(rows.value(0, "prefix").unwrap().as_str(), Some("10.2"));
+    assert_eq!(rows.value(0, "total").unwrap().as_f64(), Some(3750.0));
+    assert_eq!(rows.value(1, "total").unwrap().as_f64(), Some(2550.0));
+}
+
+#[test]
+fn top_talker_with_join() {
+    // "Which server sends the most bytes?"
+    let mut db = comm_db();
+    let out = db
+        .execute(
+            "SELECT e.source AS node, SUM(e.bytes) AS sent FROM edges e \
+             JOIN nodes n ON e.source = n.id WHERE n.role = 'server' \
+             GROUP BY e.source ORDER BY sent DESC LIMIT 1",
+        )
+        .unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.value(0, "node").unwrap().as_str(), Some("15.76.0.1"));
+}
+
+#[test]
+fn node_degree_via_union_style_counting() {
+    // Out-degree per node from the edge table.
+    let mut db = comm_db();
+    let out = db
+        .execute(
+            "SELECT source, COUNT(*) AS out_degree FROM edges GROUP BY source \
+             ORDER BY out_degree DESC, source ASC",
+        )
+        .unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.value(0, "source").unwrap().as_str(), Some("10.2.0.1"));
+    assert_eq!(rows.value(0, "out_degree").unwrap(), &AttrValue::Int(2));
+}
+
+#[test]
+fn delete_light_edges_then_count() {
+    let mut db = comm_db();
+    let results = db
+        .execute_script(
+            "DELETE FROM edges WHERE bytes < 500; SELECT COUNT(*) AS remaining FROM edges;",
+        )
+        .unwrap();
+    assert_eq!(results[0].affected(), Some(2));
+    assert_eq!(
+        results[1].rows().unwrap().value(0, "remaining").unwrap(),
+        &AttrValue::Int(4)
+    );
+}
+
+#[test]
+fn state_comparison_detects_divergence() {
+    let mut a = comm_db();
+    let mut b = comm_db();
+    a.execute("UPDATE edges SET bytes = bytes + 1 WHERE connections = 9")
+        .unwrap();
+    assert!(!a.approx_eq(&b));
+    b.execute("UPDATE edges SET bytes = bytes + 1 WHERE connections = 9")
+        .unwrap();
+    assert!(a.approx_eq(&b));
+}
+
+#[test]
+fn error_kinds_match_the_paper_taxonomy() {
+    let mut db = comm_db();
+    // Syntax error.
+    assert!(db.execute("SELEC * FROM edges").unwrap_err().is_syntax());
+    // Imaginary column ("imaginary graph attribute").
+    assert!(matches!(
+        db.execute("SELECT latency FROM edges"),
+        Err(SqlError::UnknownColumn(_))
+    ));
+    // Imaginary function.
+    assert!(matches!(
+        db.execute("SELECT TOTAL_BYTES(bytes) FROM edges"),
+        Err(SqlError::UnknownFunction(_))
+    ));
+    // Argument error.
+    assert!(matches!(
+        db.execute("SELECT SUBSTR(source) FROM edges"),
+        Err(SqlError::Arity { .. })
+    ));
+    // Operation error.
+    assert!(matches!(
+        db.execute("SELECT bytes / (connections - connections) FROM edges"),
+        Err(SqlError::Execution(_))
+    ));
+}
+
+proptest! {
+    /// SQL filtering agrees with dataframe filtering for the same predicate.
+    #[test]
+    fn sql_where_matches_dataframe_filter(values in prop::collection::vec(0i64..10_000, 1..60), threshold in 0i64..10_000) {
+        let frame = DataFrame::from_columns(vec![
+            ("x".to_string(), Column::from_values(values.clone())),
+        ]).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", frame.clone());
+        let sql_rows = db
+            .execute(&format!("SELECT x FROM t WHERE x >= {threshold}"))
+            .unwrap()
+            .rows()
+            .unwrap()
+            .n_rows();
+        let df_rows = frame
+            .filter_by("x", dataframe::ops::CmpOp::Ge, AttrValue::Int(threshold))
+            .unwrap()
+            .n_rows();
+        prop_assert_eq!(sql_rows, df_rows);
+    }
+
+    /// GROUP BY SUM agrees with the dataframe group-by aggregation.
+    #[test]
+    fn sql_group_sum_matches_dataframe(rows in prop::collection::vec(("[a-c]", 0i64..1_000), 1..60)) {
+        let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        let vals: Vec<i64> = rows.iter().map(|(_, v)| *v).collect();
+        let frame = DataFrame::from_columns(vec![
+            ("k".to_string(), Column::from_values(keys)),
+            ("v".to_string(), Column::from_values(vals)),
+        ]).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", frame.clone());
+        let sql = db
+            .execute("SELECT k, SUM(v) AS total FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        let sql = sql.rows().unwrap();
+        let df = frame
+            .group_agg("k", "v", dataframe::ops::AggFunc::Sum, "total")
+            .unwrap()
+            .sort_values(&["k"], true)
+            .unwrap();
+        prop_assert_eq!(sql.n_rows(), df.n_rows());
+        for i in 0..sql.n_rows() {
+            prop_assert!(sql.value(i, "total").unwrap().approx_eq(df.value(i, "total").unwrap()));
+        }
+    }
+
+    /// UPDATE affects exactly the rows the WHERE clause selects, and DELETE
+    /// plus the kept remainder partition the table.
+    #[test]
+    fn update_and_delete_row_accounting(values in prop::collection::vec(0i64..100, 1..50), threshold in 0i64..100) {
+        let frame = DataFrame::from_columns(vec![
+            ("x".to_string(), Column::from_values(values.clone())),
+        ]).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", frame);
+        let matching = values.iter().filter(|&&v| v < threshold).count();
+        let updated = db
+            .execute(&format!("UPDATE t SET x = x WHERE x < {threshold}"))
+            .unwrap()
+            .affected()
+            .unwrap();
+        prop_assert_eq!(updated, matching);
+        let deleted = db
+            .execute(&format!("DELETE FROM t WHERE x < {threshold}"))
+            .unwrap()
+            .affected()
+            .unwrap();
+        prop_assert_eq!(deleted, matching);
+        let remaining = db.table("t").unwrap().n_rows();
+        prop_assert_eq!(remaining + deleted, values.len());
+    }
+}

@@ -1,0 +1,228 @@
+//! Exports a traffic workload into the three backend representations the
+//! benchmark evaluates: a property graph (NetworkX approach), node/edge
+//! dataframes (pandas approach) and node/edge tables (SQL approach).
+
+use crate::generator::TrafficWorkload;
+use crate::ip::Ipv4;
+use dataframe::{Column, DataFrame};
+use netgraph::{attrs, AttrValue, Graph};
+use sqlengine::Database;
+
+/// Builds the directed communication graph: one node per endpoint (id = the
+/// dotted address, with `prefix16`/`prefix24` attributes precomputed), one
+/// edge per flow with `bytes`, `connections` and `packets` attributes.
+pub fn to_graph(workload: &TrafficWorkload) -> Graph {
+    let mut g = Graph::directed();
+    for ip in &workload.endpoints {
+        g.add_node(
+            &ip.to_string_dotted(),
+            attrs([
+                ("prefix16", AttrValue::Str(ip.prefix(2))),
+                ("prefix24", AttrValue::Str(ip.prefix(3))),
+            ]),
+        );
+    }
+    for f in &workload.flows {
+        g.add_edge(
+            &f.source.to_string_dotted(),
+            &f.target.to_string_dotted(),
+            attrs([
+                ("bytes", AttrValue::Int(f.bytes as i64)),
+                ("connections", AttrValue::Int(f.connections as i64)),
+                ("packets", AttrValue::Int(f.packets as i64)),
+            ]),
+        );
+    }
+    g
+}
+
+/// Builds the pandas-style representation: a node frame (`id`, `prefix16`,
+/// `prefix24`) and an edge frame (`source`, `target`, `bytes`,
+/// `connections`, `packets`).
+pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
+    let ids: Vec<String> = workload
+        .endpoints
+        .iter()
+        .map(Ipv4::to_string_dotted)
+        .collect();
+    let nodes = DataFrame::from_columns(vec![
+        ("id".to_string(), ids.iter().map(|s| AttrValue::Str(s.clone())).collect()),
+        (
+            "prefix16".to_string(),
+            workload
+                .endpoints
+                .iter()
+                .map(|ip| AttrValue::Str(ip.prefix(2)))
+                .collect(),
+        ),
+        (
+            "prefix24".to_string(),
+            workload
+                .endpoints
+                .iter()
+                .map(|ip| AttrValue::Str(ip.prefix(3)))
+                .collect(),
+        ),
+        // Spare annotation columns so labelling/coloring queries can be
+        // expressed in the fixed-schema backends (pandas and SQL cannot add
+        // columns the way the graph backend adds attributes).
+        (
+            "label".to_string(),
+            workload
+                .endpoints
+                .iter()
+                .map(|_| AttrValue::Str(String::new()))
+                .collect(),
+        ),
+        (
+            "color".to_string(),
+            workload
+                .endpoints
+                .iter()
+                .map(|_| AttrValue::Str(String::new()))
+                .collect(),
+        ),
+    ])
+    .expect("node columns are equal length");
+
+    let edges = DataFrame::from_columns(vec![
+        (
+            "source".to_string(),
+            workload
+                .flows
+                .iter()
+                .map(|f| AttrValue::Str(f.source.to_string_dotted()))
+                .collect(),
+        ),
+        (
+            "target".to_string(),
+            workload
+                .flows
+                .iter()
+                .map(|f| AttrValue::Str(f.target.to_string_dotted()))
+                .collect(),
+        ),
+        (
+            "bytes".to_string(),
+            workload
+                .flows
+                .iter()
+                .map(|f| AttrValue::Int(f.bytes as i64))
+                .collect::<Column>(),
+        ),
+        (
+            "connections".to_string(),
+            workload
+                .flows
+                .iter()
+                .map(|f| AttrValue::Int(f.connections as i64))
+                .collect(),
+        ),
+        (
+            "packets".to_string(),
+            workload
+                .flows
+                .iter()
+                .map(|f| AttrValue::Int(f.packets as i64))
+                .collect(),
+        ),
+    ])
+    .expect("edge columns are equal length");
+
+    (nodes, edges)
+}
+
+/// Builds the SQL representation: a database with `nodes` and `edges`
+/// tables whose schemas match [`to_frames`].
+pub fn to_database(workload: &TrafficWorkload) -> Database {
+    let (nodes, edges) = to_frames(workload);
+    let mut db = Database::new();
+    db.create_table("nodes", nodes);
+    db.create_table("edges", edges);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TrafficConfig};
+    use netgraph::AttrMapExt;
+
+    fn workload() -> TrafficWorkload {
+        generate(&TrafficConfig {
+            nodes: 30,
+            edges: 40,
+            prefixes: 3,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn graph_matches_workload_shape() {
+        let w = workload();
+        let g = to_graph(&w);
+        assert_eq!(g.number_of_nodes(), 30);
+        assert_eq!(g.number_of_edges(), 40);
+        let first = w.flows[0].source.to_string_dotted();
+        assert_eq!(
+            g.node_attrs(&first).unwrap().get_str("prefix16"),
+            Some(w.flows[0].source.prefix(2).as_str())
+        );
+    }
+
+    #[test]
+    fn frames_match_workload_shape() {
+        let w = workload();
+        let (nodes, edges) = to_frames(&w);
+        assert_eq!(nodes.n_rows(), 30);
+        assert_eq!(
+            nodes.column_names(),
+            vec!["id", "prefix16", "prefix24", "label", "color"]
+        );
+        assert_eq!(edges.n_rows(), 40);
+        assert_eq!(
+            edges.column_names(),
+            vec!["source", "target", "bytes", "connections", "packets"]
+        );
+        let total: f64 = edges.column("bytes").unwrap().sum().unwrap();
+        assert_eq!(total, w.flows.iter().map(|f| f.bytes as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn database_is_queryable() {
+        let w = workload();
+        let mut db = to_database(&w);
+        let out = db
+            .execute("SELECT COUNT(*) AS n FROM edges")
+            .unwrap();
+        assert_eq!(
+            out.rows().unwrap().value(0, "n").unwrap(),
+            &AttrValue::Int(40)
+        );
+        let out = db
+            .execute("SELECT COUNT(*) AS n FROM nodes WHERE id LIKE '15.76%'")
+            .unwrap();
+        assert!(out.rows().unwrap().value(0, "n").unwrap().as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn three_backends_agree_on_totals() {
+        let w = workload();
+        let g = to_graph(&w);
+        let (_, edges) = to_frames(&w);
+        let mut db = to_database(&w);
+        let graph_total = g.total_edge_attr("bytes");
+        let frame_total = edges.column("bytes").unwrap().sum().unwrap();
+        let sql_total = db
+            .execute("SELECT SUM(bytes) AS s FROM edges")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .value(0, "s")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(graph_total, frame_total);
+        assert_eq!(graph_total, sql_total);
+    }
+}

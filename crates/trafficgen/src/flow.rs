@@ -1,0 +1,51 @@
+//! Flow records: the raw material of a communication graph.
+
+use crate::ip::Ipv4;
+
+/// One aggregated communication record between two endpoints, as a network
+/// telemetry pipeline would export it. The paper's traffic-analysis
+/// application models each record as a weighted edge of the communication
+/// graph with `bytes`, `connections` and `packets` attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// Source endpoint.
+    pub source: Ipv4,
+    /// Destination endpoint.
+    pub target: Ipv4,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Number of connections observed.
+    pub connections: u32,
+    /// Packets transferred.
+    pub packets: u64,
+}
+
+impl Flow {
+    /// Mean packet size in bytes (0 when no packets were recorded).
+    pub fn mean_packet_size(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_packet_size() {
+        let f = Flow {
+            source: Ipv4::new(10, 0, 0, 1),
+            target: Ipv4::new(10, 0, 0, 2),
+            bytes: 3000,
+            connections: 2,
+            packets: 20,
+        };
+        assert_eq!(f.mean_packet_size(), 150.0);
+        let empty = Flow { packets: 0, ..f };
+        assert_eq!(empty.mean_packet_size(), 0.0);
+    }
+}

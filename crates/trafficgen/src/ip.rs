@@ -1,0 +1,78 @@
+//! IPv4 address helpers used by the synthetic communication-graph generator
+//! and by the benchmark queries that reason about address prefixes.
+
+/// A compact IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4(pub [u8; 4]);
+
+impl Ipv4 {
+    /// Builds an address from four octets.
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4([a, b, c, d])
+    }
+
+    /// Dotted-decimal representation (`"10.76.3.9"`).
+    pub fn to_string_dotted(&self) -> String {
+        format!("{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+
+    /// The first `octets` dotted groups (`prefix(2)` of `10.76.3.9` is
+    /// `"10.76"`), the textual form of a /8, /16 or /24 prefix.
+    pub fn prefix(&self, octets: usize) -> String {
+        let octets = octets.clamp(1, 4);
+        self.0[..octets]
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// Parses a dotted-decimal string.
+    pub fn parse(text: &str) -> Option<Ipv4> {
+        let parts: Vec<&str> = text.split('.').collect();
+        if parts.len() != 4 {
+            return None;
+        }
+        let mut octets = [0u8; 4];
+        for (i, p) in parts.iter().enumerate() {
+            octets[i] = p.parse().ok()?;
+        }
+        Some(Ipv4(octets))
+    }
+}
+
+/// The textual /N-style prefix of a dotted-decimal address string: the first
+/// `octets` groups. Non-IP strings return their full text, so the helper is
+/// safe to apply to arbitrary node identifiers.
+pub fn prefix_of(address: &str, octets: usize) -> String {
+    address
+        .split('.')
+        .take(octets.clamp(1, 4))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_round_trip() {
+        let ip = Ipv4::new(10, 76, 3, 9);
+        assert_eq!(ip.to_string_dotted(), "10.76.3.9");
+        assert_eq!(Ipv4::parse("10.76.3.9"), Some(ip));
+        assert_eq!(Ipv4::parse("10.76.3"), None);
+        assert_eq!(Ipv4::parse("10.76.3.999"), None);
+    }
+
+    #[test]
+    fn prefixes() {
+        let ip = Ipv4::new(15, 76, 0, 1);
+        assert_eq!(ip.prefix(1), "15");
+        assert_eq!(ip.prefix(2), "15.76");
+        assert_eq!(ip.prefix(4), "15.76.0.1");
+        assert_eq!(ip.prefix(9), "15.76.0.1");
+        assert_eq!(prefix_of("15.76.0.1", 2), "15.76");
+        assert_eq!(prefix_of("not-an-ip", 2), "not-an-ip");
+    }
+}

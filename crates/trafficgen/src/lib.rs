@@ -1,0 +1,34 @@
+//! # trafficgen
+//!
+//! Synthetic communication-graph workloads for the network traffic-analysis
+//! application of the NeMoEval reproduction. The paper generates "synthetic
+//! communication graphs with varying numbers of nodes and edges", where each
+//! edge carries random byte / connection / packet weights; this crate
+//! produces those workloads deterministically from a seed and exports them
+//! into the three backend representations the benchmark compares:
+//!
+//! * [`export::to_graph`] — a directed property graph (NetworkX approach),
+//! * [`export::to_frames`] — node and edge dataframes (pandas approach),
+//! * [`export::to_database`] — node and edge SQL tables (SQL approach).
+//!
+//! ```
+//! use trafficgen::{generate, TrafficConfig, export};
+//!
+//! let workload = generate(&TrafficConfig { nodes: 40, edges: 60, prefixes: 4, seed: 1 });
+//! let graph = export::to_graph(&workload);
+//! assert_eq!(graph.number_of_nodes(), 40);
+//! assert_eq!(graph.number_of_edges(), 60);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+mod flow;
+mod generator;
+mod ip;
+pub mod stats;
+
+pub use flow::Flow;
+pub use generator::{generate, TrafficConfig, TrafficWorkload};
+pub use ip::{prefix_of, Ipv4};
+pub use stats::{summarize, TrafficStats};

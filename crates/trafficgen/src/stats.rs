@@ -1,0 +1,91 @@
+//! Summary statistics over a traffic workload, used by examples and by the
+//! cost-model benches to report workload composition.
+
+use crate::generator::TrafficWorkload;
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficStats {
+    /// Number of endpoints.
+    pub nodes: usize,
+    /// Number of flows.
+    pub edges: usize,
+    /// Total bytes across all flows.
+    pub total_bytes: u64,
+    /// Total packets across all flows.
+    pub total_packets: u64,
+    /// Mean out-degree over endpoints that send at least one flow.
+    pub mean_out_degree: f64,
+    /// Bytes sent + received per /16 prefix.
+    pub bytes_per_prefix: BTreeMap<String, u64>,
+}
+
+/// Computes summary statistics for a workload.
+pub fn summarize(workload: &TrafficWorkload) -> TrafficStats {
+    let mut out_degree: BTreeMap<String, usize> = BTreeMap::new();
+    let mut bytes_per_prefix: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total_bytes = 0u64;
+    let mut total_packets = 0u64;
+    for f in &workload.flows {
+        total_bytes += f.bytes;
+        total_packets += f.packets;
+        *out_degree.entry(f.source.to_string_dotted()).or_default() += 1;
+        *bytes_per_prefix.entry(f.source.prefix(2)).or_default() += f.bytes;
+        *bytes_per_prefix.entry(f.target.prefix(2)).or_default() += f.bytes;
+    }
+    let senders = out_degree.len();
+    let mean_out_degree = if senders == 0 {
+        0.0
+    } else {
+        out_degree.values().sum::<usize>() as f64 / senders as f64
+    };
+    TrafficStats {
+        nodes: workload.endpoints.len(),
+        edges: workload.flows.len(),
+        total_bytes,
+        total_packets,
+        mean_out_degree,
+        bytes_per_prefix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TrafficConfig};
+
+    #[test]
+    fn summary_is_consistent_with_workload() {
+        let w = generate(&TrafficConfig {
+            nodes: 40,
+            edges: 60,
+            prefixes: 4,
+            seed: 5,
+        });
+        let s = summarize(&w);
+        assert_eq!(s.nodes, 40);
+        assert_eq!(s.edges, 60);
+        assert_eq!(s.total_bytes, w.flows.iter().map(|f| f.bytes).sum::<u64>());
+        assert_eq!(s.total_packets, w.flows.iter().map(|f| f.packets).sum::<u64>());
+        assert!(s.mean_out_degree > 0.0);
+        assert_eq!(s.bytes_per_prefix.len(), 4);
+        // Every byte is counted once for the source prefix and once for the
+        // target prefix.
+        let prefix_total: u64 = s.bytes_per_prefix.values().sum();
+        assert_eq!(prefix_total, 2 * s.total_bytes);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = generate(&TrafficConfig {
+            nodes: 0,
+            edges: 0,
+            prefixes: 1,
+            seed: 1,
+        });
+        let s = summarize(&w);
+        assert_eq!(s.mean_out_degree, 0.0);
+        assert_eq!(s.total_bytes, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Network traffic analysis end to end: run every traffic-analysis query
+//! with every backend under one model and print the per-backend accuracy —
+//! a single row of the paper's Table 2 plus its Table-3 breakdown.
+//!
+//! Run with: `cargo run --example traffic_analysis`
+
+use nemo_bench::runner::{accuracy, run_accuracy_benchmark_for, DEFAULT_SEED};
+use nemo_bench::{BenchmarkSuite, SuiteConfig};
+use nemo_core::llm::profiles;
+use nemo_core::{Application, Backend, Complexity};
+
+fn main() {
+    let suite = BenchmarkSuite::build(&SuiteConfig::small());
+    let profile = profiles::gpt4();
+    println!("Running all 24 traffic-analysis queries with {}...\n", profile.name);
+    let logger = run_accuracy_benchmark_for(&suite, &[profile.clone()], DEFAULT_SEED);
+
+    println!("Accuracy by backend (traffic analysis):");
+    for backend in Backend::ALL {
+        let overall = accuracy(
+            &logger,
+            &suite,
+            profile.name,
+            Application::TrafficAnalysis,
+            backend,
+            None,
+        );
+        let by_level: Vec<String> = Complexity::ALL
+            .iter()
+            .map(|&c| {
+                format!(
+                    "{}={:.2}",
+                    c.letter(),
+                    accuracy(
+                        &logger,
+                        &suite,
+                        profile.name,
+                        Application::TrafficAnalysis,
+                        backend,
+                        Some(c)
+                    )
+                )
+            })
+            .collect();
+        println!(
+            "  {:<9} overall {:.2}   ({})",
+            backend.name(),
+            overall,
+            by_level.join(", ")
+        );
+    }
+
+    println!("\nFailed NetworkX runs and their error types:");
+    for record in logger.records() {
+        if record.backend == Backend::NetworkX && !record.passed() {
+            println!("  {} -> {}", record.query, record.verdict);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests of the pipeline: natural-language query →
+//! prompt → (scripted or simulated) LLM → sandbox → evaluator, across all
+//! three execution substrates.
+
+use nemo_bench::{golden_of, BenchmarkSuite, SuiteConfig};
+use nemo_core::llm::profiles;
+use nemo_core::{
+    Application, Backend, FaultKind, NetworkManager, ScriptedLlm, SimulatedLlm,
+};
+
+fn suite() -> BenchmarkSuite {
+    BenchmarkSuite::build(&SuiteConfig::small())
+}
+
+#[test]
+fn every_golden_program_passes_its_own_evaluation() {
+    // The golden program, executed and compared against itself, must pass
+    // for every query and every code-generation backend — this exercises
+    // lexer/parser/interpreter, SQL engine, both workload generators and the
+    // evaluator in one sweep.
+    let suite = suite();
+    for query in &suite.queries {
+        for backend in Backend::CODEGEN {
+            let program = query.spec.golden_program(backend).unwrap();
+            let response = format!(
+                "```{}\n{}\n```",
+                if backend == Backend::Sql { "sql" } else { "graphscript" },
+                program
+            );
+            let mut llm = ScriptedLlm::new("golden-replay", vec![response]);
+            let app = suite.app(query.spec.application);
+            let mut manager = NetworkManager::new(app, &mut llm);
+            let record = manager.run_query(backend, query.spec.text, golden_of(query, backend));
+            assert!(
+                record.passed(),
+                "golden replay failed for {} on {}: {}",
+                query.spec.id,
+                backend,
+                record.verdict
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_faults_fail_and_classify_correctly() {
+    let suite = suite();
+    let query = suite
+        .queries_for(Application::TrafficAnalysis)
+        .into_iter()
+        .find(|q| q.spec.id == "T03")
+        .unwrap();
+    let golden_program = query.spec.golden_program(Backend::NetworkX).unwrap();
+    let cases = [
+        (FaultKind::Syntax, FaultKind::Syntax),
+        (FaultKind::ImaginaryAttribute, FaultKind::ImaginaryAttribute),
+        (FaultKind::ImaginaryFunction, FaultKind::ImaginaryFunction),
+        (FaultKind::ArgumentError, FaultKind::ArgumentError),
+        (FaultKind::OperationError, FaultKind::OperationError),
+        (FaultKind::WrongCalculation, FaultKind::WrongCalculation),
+        (FaultKind::WrongManipulation, FaultKind::WrongManipulation),
+    ];
+    for (injected, expected) in cases {
+        let bad = nemo_core::llm::inject_fault(golden_program, Backend::NetworkX, injected);
+        let response = format!("```graphscript\n{bad}\n```");
+        let mut llm = ScriptedLlm::new("faulty", vec![response]);
+        let mut manager = NetworkManager::new(&suite.traffic_app, &mut llm);
+        let record = manager.run_query(
+            Backend::NetworkX,
+            query.spec.text,
+            golden_of(query, Backend::NetworkX),
+        );
+        assert!(!record.passed(), "{injected:?} should fail");
+        assert_eq!(
+            record.verdict.category(),
+            Some(expected),
+            "fault {injected:?} classified as {:?}",
+            record.verdict.category()
+        );
+    }
+}
+
+#[test]
+fn simulated_gpt4_beats_simulated_bard_on_networkx() {
+    let suite = suite();
+    let seed = 7;
+    let mut accuracy = |profile: nemo_core::llm::ModelProfile| -> f64 {
+        let mut llm = SimulatedLlm::new(profile, suite.knowledge(), seed);
+        let queries = suite.queries_for(Application::TrafficAnalysis);
+        let mut passes = 0usize;
+        let total = queries.len();
+        for query in queries {
+            let mut manager = NetworkManager::new(&suite.traffic_app, &mut llm);
+            let record = manager.run_query(
+                Backend::NetworkX,
+                query.spec.text,
+                golden_of(query, Backend::NetworkX),
+            );
+            if record.passed() {
+                passes += 1;
+            }
+        }
+        passes as f64 / total as f64
+    };
+    let gpt4 = accuracy(profiles::gpt4());
+    let bard = accuracy(profiles::bard());
+    assert!(gpt4 > bard, "GPT-4 ({gpt4}) should outperform Bard ({bard})");
+    assert!(gpt4 >= 0.8, "GPT-4 NetworkX accuracy should be high, got {gpt4}");
+}
+
+#[test]
+fn malt_manipulation_query_round_trips_through_all_backends() {
+    // The hard MALT query (remove a switch and rebalance) actually mutates
+    // the network state in each representation, and each backend's golden
+    // replay reproduces exactly that state.
+    let suite = suite();
+    let query = suite
+        .queries_for(Application::MaltLifecycle)
+        .into_iter()
+        .find(|q| q.spec.id == "M7")
+        .unwrap();
+    for backend in Backend::CODEGEN {
+        let golden = golden_of(query, backend);
+        // The golden state must differ from the initial state (the program
+        // really removed the switch).
+        let initial = suite.app(Application::MaltLifecycle).initial_state(backend);
+        assert!(
+            !golden.state.approx_eq(&initial),
+            "{backend}: golden state should differ from the initial state"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Integration tests of the reproduced evaluation: the regenerated tables
+//! and figures must show the paper's qualitative findings (who wins, by
+//! roughly what factor, where the crossovers fall).
+
+use nemo_bench::runner::{
+    accuracy, cost_comparison, error_breakdown, run_accuracy_benchmark_for, run_case_study,
+    scalability_sweep, DEFAULT_SEED,
+};
+use nemo_bench::{report, BenchmarkSuite, SuiteConfig};
+use nemo_core::llm::{all_profiles, profiles};
+use nemo_core::{Application, Backend, Complexity, FaultKind};
+
+fn suite() -> BenchmarkSuite {
+    BenchmarkSuite::build(&SuiteConfig::small())
+}
+
+#[test]
+fn table2_shape_codegen_beats_strawman_and_networkx_beats_other_backends() {
+    let suite = suite();
+    let logger = run_accuracy_benchmark_for(&suite, &all_profiles(), DEFAULT_SEED);
+
+    let mut networkx_sum = 0.0;
+    let mut strawman_sum = 0.0;
+    for profile in all_profiles() {
+        let nx = accuracy(
+            &logger,
+            &suite,
+            profile.name,
+            Application::TrafficAnalysis,
+            Backend::NetworkX,
+            None,
+        );
+        let sql = accuracy(
+            &logger,
+            &suite,
+            profile.name,
+            Application::TrafficAnalysis,
+            Backend::Sql,
+            None,
+        );
+        let strawman = accuracy(
+            &logger,
+            &suite,
+            profile.name,
+            Application::TrafficAnalysis,
+            Backend::Strawman,
+            None,
+        );
+        networkx_sum += nx;
+        strawman_sum += strawman;
+        // Paper finding 2: the graph library beats SQL for every model.
+        assert!(nx > sql, "{}: networkx {nx} <= sql {sql}", profile.name);
+        // Paper finding 1: code generation beats the strawman for every model.
+        assert!(
+            nx > strawman,
+            "{}: networkx {nx} <= strawman {strawman}",
+            profile.name
+        );
+    }
+    // Paper headline: NetworkX averages ~68% on traffic analysis vs ~23% for
+    // the strawman (an improvement of ~45 percentage points).
+    let networkx_avg = networkx_sum / 4.0;
+    let strawman_avg = strawman_sum / 4.0;
+    assert!(networkx_avg > 0.55 && networkx_avg < 0.85, "networkx avg {networkx_avg}");
+    assert!(strawman_avg < 0.40, "strawman avg {strawman_avg}");
+    assert!(
+        networkx_avg - strawman_avg > 0.30,
+        "improvement {networkx_avg} - {strawman_avg} should be large"
+    );
+
+    // Paper finding 3: GPT-4 + NetworkX is the best cell (≈0.88 traffic, ≈0.78 MALT).
+    let gpt4_traffic = accuracy(
+        &logger,
+        &suite,
+        "GPT-4",
+        Application::TrafficAnalysis,
+        Backend::NetworkX,
+        None,
+    );
+    let gpt4_malt = accuracy(
+        &logger,
+        &suite,
+        "GPT-4",
+        Application::MaltLifecycle,
+        Backend::NetworkX,
+        None,
+    );
+    assert!(gpt4_traffic >= 0.8, "GPT-4 traffic networkx {gpt4_traffic}");
+    assert!(gpt4_malt >= 0.6, "GPT-4 MALT networkx {gpt4_malt}");
+}
+
+#[test]
+fn tables3_and_4_accuracy_decreases_with_complexity() {
+    let suite = suite();
+    let logger = run_accuracy_benchmark_for(&suite, &[profiles::gpt4()], DEFAULT_SEED);
+    for app in Application::ALL {
+        let easy = accuracy(&logger, &suite, "GPT-4", app, Backend::NetworkX, Some(Complexity::Easy));
+        let hard = accuracy(&logger, &suite, "GPT-4", app, Backend::NetworkX, Some(Complexity::Hard));
+        assert!(
+            easy >= hard,
+            "{app}: easy {easy} should be >= hard {hard}"
+        );
+        assert_eq!(easy, 1.0, "{app}: GPT-4 NetworkX easy queries are all correct in Table 3/4");
+    }
+}
+
+#[test]
+fn table5_failures_are_dominated_by_syntax_and_imaginary_attributes_for_traffic() {
+    let suite = suite();
+    let logger = run_accuracy_benchmark_for(&suite, &all_profiles(), DEFAULT_SEED);
+    let traffic = error_breakdown(&logger, &suite, Application::TrafficAnalysis);
+    let malt = error_breakdown(&logger, &suite, Application::MaltLifecycle);
+    let traffic_total: usize = traffic.values().sum();
+    let malt_total: usize = malt.values().sum();
+    // The paper observed 35 and 17 failures; the reproduction should land in
+    // the same neighbourhood.
+    assert!(
+        (20..=50).contains(&traffic_total),
+        "traffic NetworkX failures {traffic_total}"
+    );
+    assert!((8..=26).contains(&malt_total), "MALT NetworkX failures {malt_total}");
+    // MALT produced no syntax errors in the paper's Table 5.
+    assert_eq!(malt.get(&FaultKind::Syntax).copied().unwrap_or(0), 0);
+    // Rendering includes every category row.
+    let table5 = report::format_table5(&suite, &logger);
+    for kind in FaultKind::ALL {
+        assert!(table5.contains(kind.label()));
+    }
+}
+
+#[test]
+fn table6_pass_at_5_and_self_debug_improve_bard() {
+    let suite = suite();
+    let result = run_case_study(&suite, &profiles::bard(), 5, DEFAULT_SEED);
+    // Paper: 0.44 -> 1.0 (pass@5) and 0.67 (self-debug).
+    assert!(result.pass_at_1 >= 0.3 && result.pass_at_1 <= 0.6, "pass@1 {}", result.pass_at_1);
+    assert!(result.pass_at_k >= 0.95, "pass@5 {}", result.pass_at_k);
+    assert!(
+        result.self_debug > result.pass_at_1 && result.self_debug < result.pass_at_k,
+        "self-debug {} should land between pass@1 {} and pass@5 {}",
+        result.self_debug,
+        result.pass_at_1,
+        result.pass_at_k
+    );
+}
+
+#[test]
+fn figure4_cost_shape_strawman_expensive_and_unscalable() {
+    let profile = profiles::gpt4();
+    // Figure 4a: at 80 nodes+edges the strawman is ~3x more expensive.
+    let at_80 = cost_comparison(&profile, 80, DEFAULT_SEED);
+    let ratio = at_80.strawman_mean() / at_80.codegen_mean();
+    assert!(ratio > 2.0, "strawman/codegen ratio {ratio}");
+    assert!(at_80.codegen_mean() < 0.2, "codegen cost {}", at_80.codegen_mean());
+
+    // Figure 4b: strawman grows with size and eventually exceeds the window;
+    // code-gen stays flat.
+    let sweep = scalability_sweep(&profile, &[20, 80, 150, 300, 400], DEFAULT_SEED);
+    assert!(sweep.last().unwrap().strawman_over_window);
+    assert!(!sweep.first().unwrap().strawman_over_window);
+    let codegen_costs: Vec<f64> = sweep.iter().map(|p| p.codegen_mean).collect();
+    let spread = codegen_costs.iter().cloned().fold(f64::MIN, f64::max)
+        - codegen_costs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 0.01, "codegen cost should be flat, spread {spread}");
+    let strawman_costs: Vec<f64> = sweep.iter().map(|p| p.strawman_mean).collect();
+    assert!(strawman_costs.windows(2).all(|w| w[1] >= w[0]), "strawman cost should grow");
+}
+
+#[test]
+fn full_report_renders_every_artifact() {
+    let suite = suite();
+    let logger = run_accuracy_benchmark_for(&suite, &[profiles::gpt4(), profiles::bard()], DEFAULT_SEED);
+    assert!(report::format_table2(&suite, &logger).contains("Google Bard"));
+    assert!(report::format_table3(&suite, &logger).contains("strawman"));
+    assert!(report::format_table4(&suite, &logger).contains("networkx"));
+    let case = run_case_study(&suite, &profiles::bard(), 5, DEFAULT_SEED);
+    assert!(report::format_table6("Google Bard", &case).contains("Self-debug"));
+    let cmp = cost_comparison(&profiles::gpt4(), 80, DEFAULT_SEED);
+    assert!(report::format_figure4a(&cmp).contains("cumulative"));
+    let sweep = scalability_sweep(&profiles::gpt4(), &[20, 40], DEFAULT_SEED);
+    assert!(report::format_figure4b(&sweep).contains("nodes+edges"));
+}
