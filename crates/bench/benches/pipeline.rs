@@ -4,7 +4,9 @@
 //! model behind Figure 4.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nemo_bench::runner::{cost_comparison, run_accuracy_benchmark_for, run_case_study, DEFAULT_SEED};
+use nemo_bench::runner::{
+    cost_comparison, run_accuracy_benchmark_for, run_case_study, DEFAULT_SEED,
+};
 use nemo_bench::{BenchmarkSuite, SuiteConfig};
 use nemo_core::llm::profiles;
 use nemo_core::{Backend, NetworkManager, SimulatedLlm};

@@ -15,6 +15,10 @@ fn main() {
     println!("{}", report::format_table6("Google Bard", &case));
     let comparison = cost_comparison(&profiles::gpt4(), 80, DEFAULT_SEED);
     println!("{}", report::format_figure4a(&comparison));
-    let sweep = scalability_sweep(&profiles::gpt4(), &[20, 40, 60, 80, 100, 150, 200, 300, 400], DEFAULT_SEED);
+    let sweep = scalability_sweep(
+        &profiles::gpt4(),
+        &[20, 40, 60, 80, 100, 150, 200, 300, 400],
+        DEFAULT_SEED,
+    );
     println!("{}", report::format_figure4b(&sweep));
 }

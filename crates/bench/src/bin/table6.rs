@@ -6,5 +6,8 @@ use nemo_core::llm::profiles;
 fn main() {
     let suite = bench::build_suite();
     let result = run_case_study(&suite, &profiles::bard(), 5, DEFAULT_SEED);
-    println!("{}", nemo_bench::report::format_table6("Google Bard", &result));
+    println!(
+        "{}",
+        nemo_bench::report::format_table6("Google Bard", &result)
+    );
 }

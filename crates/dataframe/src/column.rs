@@ -119,14 +119,14 @@ impl Column {
 
     /// Mean of numeric values (nulls skipped).
     pub fn mean(&self) -> Result<f64> {
-        self.numeric_reduce("mean", |vals| {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        })
+        self.numeric_reduce("mean", |vals| vals.iter().sum::<f64>() / vals.len() as f64)
     }
 
     /// Minimum numeric value.
     pub fn min(&self) -> Result<f64> {
-        self.numeric_reduce("min", |vals| vals.iter().cloned().fold(f64::INFINITY, f64::min))
+        self.numeric_reduce("min", |vals| {
+            vals.iter().cloned().fold(f64::INFINITY, f64::min)
+        })
     }
 
     /// Maximum numeric value.

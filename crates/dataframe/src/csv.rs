@@ -157,7 +157,10 @@ mod tests {
 
     fn sample() -> DataFrame {
         DataFrame::from_columns(vec![
-            ("node".to_string(), Column::from_values(["a", "b,comma", "c\"quote"])),
+            (
+                "node".to_string(),
+                Column::from_values(["a", "b,comma", "c\"quote"]),
+            ),
             ("bytes".to_string(), Column::from_values([10i64, 20, 30])),
             (
                 "ratio".to_string(),
@@ -195,10 +198,7 @@ mod tests {
 
     #[test]
     fn mismatched_row_width_errors() {
-        assert!(matches!(
-            from_csv("a,b\n1,2\n3\n"),
-            Err(FrameError::Csv(_))
-        ));
+        assert!(matches!(from_csv("a,b\n1,2\n3\n"), Err(FrameError::Csv(_))));
     }
 
     #[test]

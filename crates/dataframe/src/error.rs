@@ -38,7 +38,10 @@ impl fmt::Display for FrameError {
                 write!(f, "row index {index} out of bounds for frame of {len} rows")
             }
             FrameError::LengthMismatch { expected, actual } => {
-                write!(f, "column length mismatch: expected {expected} rows, got {actual}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected} rows, got {actual}"
+                )
             }
             FrameError::DuplicateColumn(c) => write!(f, "column '{c}' already exists"),
             FrameError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),

@@ -59,13 +59,7 @@ impl DataFrame {
                 columns[i].push(v);
             }
         }
-        DataFrame::from_columns(
-            names
-                .iter()
-                .map(|n| n.to_string())
-                .zip(columns)
-                .collect(),
-        )
+        DataFrame::from_columns(names.iter().map(|n| n.to_string()).zip(columns).collect())
     }
 
     // -------------------------------------------------------------- shape
@@ -324,8 +318,7 @@ impl DataFrame {
         func: AggFunc,
         out_name: &str,
     ) -> Result<DataFrame> {
-        self.groupby(&[key])?
-            .agg(&[(value_column, func, out_name)])
+        self.groupby(&[key])?.agg(&[(value_column, func, out_name)])
     }
 
     // ---------------------------------------------------------- comparison
@@ -387,7 +380,12 @@ impl fmt::Display for DataFrame {
         writeln!(f)?;
         for i in 0..self.n_rows() {
             for (col, w) in self.columns.iter().zip(&widths) {
-                write!(f, "{:>w$}  ", col.get(i).expect("in range").to_string(), w = w)?;
+                write!(
+                    f,
+                    "{:>w$}  ",
+                    col.get(i).expect("in range").to_string(),
+                    w = w
+                )?;
             }
             writeln!(f)?;
         }
@@ -456,9 +454,11 @@ mod tests {
     #[test]
     fn set_column_replaces_or_inserts() {
         let mut df = sample();
-        df.set_column("bytes", Column::from_values([1i64, 2, 3, 4])).unwrap();
+        df.set_column("bytes", Column::from_values([1i64, 2, 3, 4]))
+            .unwrap();
         assert_eq!(df.column("bytes").unwrap().sum().unwrap(), 10.0);
-        df.set_column("label", Column::from_values(["x", "x", "y", "y"])).unwrap();
+        df.set_column("label", Column::from_values(["x", "x", "y", "y"]))
+            .unwrap();
         assert_eq!(df.n_cols(), 4);
     }
 
@@ -519,7 +519,9 @@ mod tests {
     #[test]
     fn filter_by_comparisons() {
         let df = sample();
-        let heavy = df.filter_by("bytes", CmpOp::Ge, AttrValue::Int(2500)).unwrap();
+        let heavy = df
+            .filter_by("bytes", CmpOp::Ge, AttrValue::Int(2500))
+            .unwrap();
         assert_eq!(heavy.n_rows(), 2);
         let pref = df
             .filter_by("prefix", CmpOp::Eq, AttrValue::from("10.1"))
@@ -532,7 +534,9 @@ mod tests {
     fn filter_rows_with_closure() {
         let df = sample();
         let odd = df.filter_rows(|d, i| {
-            d.value(i, "bytes").map(|v| v.as_f64().unwrap_or(0.0) < 500.0).unwrap_or(false)
+            d.value(i, "bytes")
+                .map(|v| v.as_f64().unwrap_or(0.0) < 500.0)
+                .unwrap_or(false)
         });
         assert_eq!(odd.n_rows(), 2);
     }
@@ -558,9 +562,13 @@ mod tests {
     #[test]
     fn group_agg_sums_by_key() {
         let df = sample();
-        let g = df.group_agg("prefix", "bytes", AggFunc::Sum, "total").unwrap();
+        let g = df
+            .group_agg("prefix", "bytes", AggFunc::Sum, "total")
+            .unwrap();
         assert_eq!(g.n_rows(), 2);
-        let first = g.filter_by("prefix", CmpOp::Eq, AttrValue::from("10.0")).unwrap();
+        let first = g
+            .filter_by("prefix", CmpOp::Eq, AttrValue::from("10.0"))
+            .unwrap();
         assert_eq!(first.value(0, "total").unwrap().as_f64(), Some(2600.0));
     }
 
@@ -569,7 +577,9 @@ mod tests {
         let df = sample();
         let mut other = sample();
         assert!(df.approx_eq(&other));
-        other.set_value(0, "bytes", AttrValue::Float(100.0)).unwrap();
+        other
+            .set_value(0, "bytes", AttrValue::Float(100.0))
+            .unwrap();
         assert!(df.approx_eq(&other));
         other.set_value(0, "bytes", AttrValue::Int(5)).unwrap();
         assert!(!df.approx_eq(&other));

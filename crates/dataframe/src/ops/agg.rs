@@ -94,7 +94,10 @@ mod tests {
         assert_eq!(AggFunc::First.apply(&c).unwrap().as_str(), Some("x"));
         assert_eq!(AggFunc::Last.apply(&c).unwrap().as_str(), Some("x"));
         assert_eq!(AggFunc::Nunique.apply(&c).unwrap(), AttrValue::Int(2));
-        assert_eq!(AggFunc::First.apply(&Column::new()).unwrap(), AttrValue::Null);
+        assert_eq!(
+            AggFunc::First.apply(&Column::new()).unwrap(),
+            AttrValue::Null
+        );
     }
 
     #[test]

@@ -45,9 +45,10 @@ impl<'a> GroupBy<'a> {
                 .iter()
                 .map(|c| c.get(row).expect("in range").clone())
                 .collect();
-            match groups.iter_mut().find(|(k, _)| {
-                k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a == b)
-            }) {
+            match groups
+                .iter_mut()
+                .find(|(k, _)| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a == b))
+            {
                 Some((_, members)) => members.push(row),
                 None => groups.push((key, vec![row])),
             }
@@ -84,11 +85,7 @@ impl<'a> GroupBy<'a> {
         let mut out = DataFrame::new();
         // Key columns first.
         for (i, key_name) in self.keys.iter().enumerate() {
-            let col: Column = self
-                .groups
-                .iter()
-                .map(|(key, _)| key[i].clone())
-                .collect();
+            let col: Column = self.groups.iter().map(|(key, _)| key[i].clone()).collect();
             out.add_column(key_name, col)?;
         }
         // One output column per aggregation spec.
@@ -119,11 +116,7 @@ impl<'a> GroupBy<'a> {
     pub fn count(&self) -> Result<DataFrame> {
         let mut out = DataFrame::new();
         for (i, key_name) in self.keys.iter().enumerate() {
-            let col: Column = self
-                .groups
-                .iter()
-                .map(|(key, _)| key[i].clone())
-                .collect();
+            let col: Column = self.groups.iter().map(|(key, _)| key[i].clone()).collect();
             out.add_column(key_name, col)?;
         }
         let counts: Column = self
@@ -180,7 +173,10 @@ mod tests {
                 ("packets", AggFunc::Max, "max_packets"),
             ])
             .unwrap();
-        assert_eq!(out.column_names(), vec!["prefix", "total_bytes", "max_packets"]);
+        assert_eq!(
+            out.column_names(),
+            vec!["prefix", "total_bytes", "max_packets"]
+        );
         let first = out
             .filter_by("prefix", CmpOp::Eq, AttrValue::from("10.0"))
             .unwrap();
@@ -191,7 +187,11 @@ mod tests {
     #[test]
     fn agg_one_autonames_column() {
         let df = sample();
-        let out = df.groupby(&["prefix"]).unwrap().agg_one("bytes", AggFunc::Mean).unwrap();
+        let out = df
+            .groupby(&["prefix"])
+            .unwrap()
+            .agg_one("bytes", AggFunc::Mean)
+            .unwrap();
         assert!(out.has_column("bytes_mean"));
     }
 

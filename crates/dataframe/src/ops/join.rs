@@ -101,15 +101,24 @@ mod tests {
     fn nodes() -> DataFrame {
         DataFrame::from_columns(vec![
             ("node".to_string(), Column::from_values(["a", "b", "c"])),
-            ("role".to_string(), Column::from_values(["core", "edge", "edge"])),
+            (
+                "role".to_string(),
+                Column::from_values(["core", "edge", "edge"]),
+            ),
         ])
         .unwrap()
     }
 
     fn edges() -> DataFrame {
         DataFrame::from_columns(vec![
-            ("source".to_string(), Column::from_values(["a", "a", "b", "z"])),
-            ("target".to_string(), Column::from_values(["b", "c", "c", "a"])),
+            (
+                "source".to_string(),
+                Column::from_values(["a", "a", "b", "z"]),
+            ),
+            (
+                "target".to_string(),
+                Column::from_values(["b", "c", "c", "a"]),
+            ),
             ("bytes".to_string(), Column::from_values([1i64, 2, 3, 4])),
         ])
         .unwrap()

@@ -9,11 +9,7 @@ use proptest::prelude::*;
 /// column and a float weight column, of 0..40 rows.
 fn arb_frame() -> impl Strategy<Value = DataFrame> {
     prop::collection::vec(
-        (
-            "[a-z]{1,6}",
-            -1_000_000i64..1_000_000,
-            -1.0e6f64..1.0e6,
-        ),
+        ("[a-z]{1,6}", -1_000_000i64..1_000_000, -1.0e6f64..1.0e6),
         0..40,
     )
     .prop_map(|rows| {
@@ -105,7 +101,7 @@ proptest! {
     fn take_identity_and_head_bounds(df in arb_frame(), n in 0usize..60) {
         let all: Vec<usize> = (0..df.n_rows()).collect();
         prop_assert!(df.approx_eq(&df.take(&all).unwrap()));
-        prop_assert!(df.head(n).n_rows() <= n.min(df.n_rows()).max(0));
+        prop_assert!(df.head(n).n_rows() <= n.min(df.n_rows()));
     }
 
     /// Self-join on the key column never loses left rows (inner join when

@@ -204,6 +204,12 @@ mod tests {
     #[test]
     fn binary_helper_builds_tree() {
         let e = Expr::binary(Expr::Int(1), BinaryOp::Add, Expr::Int(2));
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Add, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
+        ));
     }
 }

@@ -62,9 +62,7 @@ pub fn call_list(items: &Rc<RefCell<Vec<Value>>>, method: &str, args: &[Value]) 
             expect_arity("sort", args, &[0, 1])?;
             let descending = args.first().map(|v| v.is_truthy()).unwrap_or(false);
             let mut borrowed = items.borrow_mut();
-            borrowed.sort_by(|a, b| {
-                a.partial_cmp_value(b).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            borrowed.sort_by(|a, b| a.partial_cmp_value(b).unwrap_or(std::cmp::Ordering::Equal));
             if descending {
                 borrowed.reverse();
             }
@@ -95,7 +93,11 @@ pub fn call_list(items: &Rc<RefCell<Vec<Value>>>, method: &str, args: &[Value]) 
         "count" => {
             expect_arity("count", args, &[1])?;
             Ok(Value::Int(
-                items.borrow().iter().filter(|v| v.approx_eq(&args[0])).count() as i64,
+                items
+                    .borrow()
+                    .iter()
+                    .filter(|v| v.approx_eq(&args[0]))
+                    .count() as i64,
             ))
         }
         other => Err(ScriptError::AttributeError {
@@ -269,11 +271,15 @@ mod tests {
         call_method(&list, "reverse", &[]).unwrap();
         assert_eq!(list.to_string(), "[3, 2, 1]");
         assert_eq!(
-            call_method(&list, "contains", &[Value::Int(2)]).unwrap().to_string(),
+            call_method(&list, "contains", &[Value::Int(2)])
+                .unwrap()
+                .to_string(),
             "true"
         );
         assert_eq!(
-            call_method(&list, "index", &[Value::Int(2)]).unwrap().to_string(),
+            call_method(&list, "index", &[Value::Int(2)])
+                .unwrap()
+                .to_string(),
             "1"
         );
         let popped = call_method(&list, "pop", &[]).unwrap();
@@ -288,7 +294,9 @@ mod tests {
         let d = Value::dict(BTreeMap::new());
         call_method(&d, "set", &[Value::Str("a".into()), Value::Int(1)]).unwrap();
         assert_eq!(
-            call_method(&d, "get", &[Value::Str("a".into())]).unwrap().to_string(),
+            call_method(&d, "get", &[Value::Str("a".into())])
+                .unwrap()
+                .to_string(),
             "1"
         );
         assert_eq!(
@@ -298,7 +306,9 @@ mod tests {
             "0"
         );
         assert_eq!(
-            call_method(&d, "contains", &[Value::Str("a".into())]).unwrap().to_string(),
+            call_method(&d, "contains", &[Value::Str("a".into())])
+                .unwrap()
+                .to_string(),
             "true"
         );
         assert_eq!(call_method(&d, "keys", &[]).unwrap().to_string(), "[a]");
@@ -310,7 +320,9 @@ mod tests {
     fn string_methods() {
         let s = Value::Str("10.76.3.9".into());
         assert_eq!(
-            call_method(&s, "split", &[Value::Str(".".into())]).unwrap().to_string(),
+            call_method(&s, "split", &[Value::Str(".".into())])
+                .unwrap()
+                .to_string(),
             "[10, 76, 3, 9]"
         );
         assert_eq!(
@@ -320,14 +332,21 @@ mod tests {
             "true"
         );
         assert_eq!(
-            call_method(&Value::Str("a-b".into()), "replace", &[Value::Str("-".into()), Value::Str(":".into())])
-                .unwrap()
-                .to_string(),
+            call_method(
+                &Value::Str("a-b".into()),
+                "replace",
+                &[Value::Str("-".into()), Value::Str(":".into())]
+            )
+            .unwrap()
+            .to_string(),
             "a:b"
         );
         let sep = Value::Str(".".into());
         let list = Value::list(vec![Value::Str("10".into()), Value::Str("76".into())]);
-        assert_eq!(call_method(&sep, "join", &[list]).unwrap().to_string(), "10.76");
+        assert_eq!(
+            call_method(&sep, "join", &[list]).unwrap().to_string(),
+            "10.76"
+        );
     }
 
     #[test]
@@ -346,8 +365,12 @@ mod tests {
     #[test]
     fn wrong_arity_is_argument_error() {
         let list = Value::list(vec![]);
-        assert!(call_method(&list, "append", &[]).unwrap_err().is_argument_error());
+        assert!(call_method(&list, "append", &[])
+            .unwrap_err()
+            .is_argument_error());
         let d = Value::dict(BTreeMap::new());
-        assert!(call_method(&d, "set", &[Value::Int(1)]).unwrap_err().is_argument_error());
+        assert!(call_method(&d, "set", &[Value::Int(1)])
+            .unwrap_err()
+            .is_argument_error());
     }
 }

@@ -72,7 +72,9 @@ pub fn call(df: &Rc<RefCell<DataFrame>>, method: &str, args: &[Value]) -> Result
             let row = args[0].expect_i64(method)?.max(0) as usize;
             let col = args[1].expect_str(method)?;
             let value = args[2].to_attr()?;
-            df.borrow_mut().set_value(row, &col, value).map_err(frame_err)?;
+            df.borrow_mut()
+                .set_value(row, &col, value)
+                .map_err(frame_err)?;
             Ok(Value::Null)
         }
         "column" | "col" => {
@@ -282,7 +284,9 @@ pub fn call(df: &Rc<RefCell<DataFrame>>, method: &str, args: &[Value]) -> Result
             expect_arity(method, args, &[2])?;
             let from = args[0].expect_str(method)?;
             let to = args[1].expect_str(method)?;
-            df.borrow_mut().rename_column(&from, &to).map_err(frame_err)?;
+            df.borrow_mut()
+                .rename_column(&from, &to)
+                .map_err(frame_err)?;
             Ok(Value::Null)
         }
         "push_row" => {
@@ -396,7 +400,11 @@ mod tests {
         let heavy = call_on(
             &df,
             "filter",
-            &[Value::Str("bytes".into()), Value::Str(">=".into()), Value::Int(200)],
+            &[
+                Value::Str("bytes".into()),
+                Value::Str(">=".into()),
+                Value::Int(200),
+            ],
         )
         .unwrap();
         assert_eq!(call_on(&heavy, "n_rows", &[]).unwrap().to_string(), "2");
@@ -408,9 +416,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            call_on(&sorted, "value", &[Value::Int(0), Value::Str("source".into())])
-                .unwrap()
-                .to_string(),
+            call_on(
+                &sorted,
+                "value",
+                &[Value::Int(0), Value::Str("source".into())]
+            )
+            .unwrap()
+            .to_string(),
             "b"
         );
 
@@ -427,9 +439,13 @@ mod tests {
         .unwrap();
         assert_eq!(call_on(&grouped, "n_rows", &[]).unwrap().to_string(), "3");
         assert_eq!(
-            call_on(&grouped, "value", &[Value::Int(0), Value::Str("total".into())])
-                .unwrap()
-                .to_string(),
+            call_on(
+                &grouped,
+                "value",
+                &[Value::Int(0), Value::Str("total".into())]
+            )
+            .unwrap()
+            .to_string(),
             "300.0"
         );
     }
@@ -438,16 +454,22 @@ mod tests {
     fn aggregation_shortcuts() {
         let df = edges_frame();
         assert_eq!(
-            call_on(&df, "sum", &[Value::Str("bytes".into())]).unwrap().to_string(),
+            call_on(&df, "sum", &[Value::Str("bytes".into())])
+                .unwrap()
+                .to_string(),
             "650.0"
         );
         assert_eq!(
-            call_on(&df, "max", &[Value::Str("bytes".into())]).unwrap().to_string(),
+            call_on(&df, "max", &[Value::Str("bytes".into())])
+                .unwrap()
+                .to_string(),
             "300.0"
         );
         assert_eq!(call_on(&df, "count", &[]).unwrap().to_string(), "4");
         assert_eq!(
-            call_on(&df, "nunique", &[Value::Str("source".into())]).unwrap().to_string(),
+            call_on(&df, "nunique", &[Value::Str("source".into())])
+                .unwrap()
+                .to_string(),
             "3"
         );
     }
@@ -485,7 +507,11 @@ mod tests {
         call_on(
             &df,
             "delete_rows",
-            &[Value::Str("bytes".into()), Value::Str("<".into()), Value::Int(100)],
+            &[
+                Value::Str("bytes".into()),
+                Value::Str("<".into()),
+                Value::Int(100),
+            ],
         )
         .unwrap();
         assert_eq!(call_on(&df, "n_rows", &[]).unwrap().to_string(), "3");
@@ -541,7 +567,11 @@ mod tests {
         let err = call_on(
             &df,
             "filter",
-            &[Value::Str("bytes".into()), Value::Str("~~".into()), Value::Int(1)],
+            &[
+                Value::Str("bytes".into()),
+                Value::Str("~~".into()),
+                Value::Int(1),
+            ],
         )
         .unwrap_err();
         assert!(err.is_argument_error());

@@ -261,7 +261,8 @@ pub fn call(g: &Rc<RefCell<Graph>>, method: &str, args: &[Value]) -> Result<Valu
             let key = args[0].expect_str(method)?;
             let want = args[1].to_attr()?;
             let graph = g.borrow();
-            let ids = graph.nodes_where(|a| a.get(&key).map(|v| v.approx_eq(&want)).unwrap_or(false));
+            let ids =
+                graph.nodes_where(|a| a.get(&key).map(|v| v.approx_eq(&want)).unwrap_or(false));
             Ok(Value::list(ids.into_iter().map(Value::Str).collect()))
         }
         "nodes_with_prefix" => {
@@ -306,17 +307,27 @@ mod tests {
     #[test]
     fn inspection_methods() {
         let g = sample();
-        assert_eq!(call_on(&g, "number_of_nodes", &[]).unwrap().to_string(), "3");
-        assert_eq!(call_on(&g, "number_of_edges", &[]).unwrap().to_string(), "2");
+        assert_eq!(
+            call_on(&g, "number_of_nodes", &[]).unwrap().to_string(),
+            "3"
+        );
+        assert_eq!(
+            call_on(&g, "number_of_edges", &[]).unwrap().to_string(),
+            "2"
+        );
         assert_eq!(call_on(&g, "is_directed", &[]).unwrap().to_string(), "true");
         assert_eq!(
             call_on(&g, "nodes", &[]).unwrap().to_string(),
             "[10.0.1.1, 10.0.2.2, 10.1.3.3]"
         );
         assert_eq!(
-            call_on(&g, "has_edge", &[Value::Str("10.0.1.1".into()), Value::Str("10.0.2.2".into())])
-                .unwrap()
-                .to_string(),
+            call_on(
+                &g,
+                "has_edge",
+                &[Value::Str("10.0.1.1".into()), Value::Str("10.0.2.2".into())]
+            )
+            .unwrap()
+            .to_string(),
             "true"
         );
     }
@@ -370,10 +381,21 @@ mod tests {
             ],
         )
         .unwrap();
-        call_on(&g, "add_edge", &[Value::Str("x".into()), Value::Str("y".into())]).unwrap();
-        assert_eq!(call_on(&g, "number_of_edges", &[]).unwrap().to_string(), "3");
+        call_on(
+            &g,
+            "add_edge",
+            &[Value::Str("x".into()), Value::Str("y".into())],
+        )
+        .unwrap();
+        assert_eq!(
+            call_on(&g, "number_of_edges", &[]).unwrap().to_string(),
+            "3"
+        );
         call_on(&g, "remove_node", &[Value::Str("x".into())]).unwrap();
-        assert_eq!(call_on(&g, "number_of_nodes", &[]).unwrap().to_string(), "4");
+        assert_eq!(
+            call_on(&g, "number_of_nodes", &[]).unwrap().to_string(),
+            "4"
+        );
         // Removing a node that does not exist is an operation error.
         let err = call_on(&g, "remove_node", &[Value::Str("zzz".into())]).unwrap_err();
         assert!(matches!(err, ScriptError::Runtime(_)));
@@ -391,9 +413,17 @@ mod tests {
             ])],
         )
         .unwrap();
-        assert_eq!(call_on(&sub, "number_of_nodes", &[]).unwrap().to_string(), "2");
+        assert_eq!(
+            call_on(&sub, "number_of_nodes", &[]).unwrap().to_string(),
+            "2"
+        );
         let undirected = call_on(&g, "to_undirected", &[]).unwrap();
-        assert_eq!(call_on(&undirected, "is_directed", &[]).unwrap().to_string(), "false");
+        assert_eq!(
+            call_on(&undirected, "is_directed", &[])
+                .unwrap()
+                .to_string(),
+            "false"
+        );
         let pref = call_on(&g, "nodes_with_prefix", &[Value::Str("10.0".into())]).unwrap();
         assert_eq!(pref.to_string(), "[10.0.1.1, 10.0.2.2]");
         let with_role = call_on(

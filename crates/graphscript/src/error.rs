@@ -77,7 +77,10 @@ impl fmt::Display for ScriptError {
             ScriptError::TypeError(msg) => write!(f, "type error: {msg}"),
             ScriptError::Runtime(msg) => write!(f, "runtime error: {msg}"),
             ScriptError::StepLimit(n) => {
-                write!(f, "execution aborted after {n} steps (possible infinite loop)")
+                write!(
+                    f,
+                    "execution aborted after {n} steps (possible infinite loop)"
+                )
             }
         }
     }

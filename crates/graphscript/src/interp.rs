@@ -284,11 +284,7 @@ impl Interpreter {
         let value = self.eval(iterable)?;
         match &value {
             Value::List(items) => Ok(items.borrow().clone()),
-            Value::Dict(map) => Ok(map
-                .borrow()
-                .keys()
-                .map(|k| Value::Str(k.clone()))
-                .collect()),
+            Value::Dict(map) => Ok(map.borrow().keys().map(|k| Value::Str(k.clone())).collect()),
             Value::Str(s) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
             Value::Graph(g) => Ok(g
                 .borrow()
@@ -341,10 +337,8 @@ impl Interpreter {
             Expr::Str(s) => Ok(Value::Str(s.clone())),
             Expr::Name(name) => self.env.lookup(name),
             Expr::List(items) => {
-                let values: Vec<Value> = items
-                    .iter()
-                    .map(|e| self.eval(e))
-                    .collect::<Result<_>>()?;
+                let values: Vec<Value> =
+                    items.iter().map(|e| self.eval(e)).collect::<Result<_>>()?;
                 Ok(Value::list(values))
             }
             Expr::Dict(pairs) => {
@@ -389,18 +383,14 @@ impl Interpreter {
                 self.binary(&l, *op, &r)
             }
             Expr::Call { name, args } => {
-                let values: Vec<Value> = args
-                    .iter()
-                    .map(|a| self.eval(a))
-                    .collect::<Result<_>>()?;
+                let values: Vec<Value> =
+                    args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
                 self.call_function(name, &values)
             }
             Expr::MethodCall { object, name, args } => {
                 let receiver = self.eval(object)?;
-                let values: Vec<Value> = args
-                    .iter()
-                    .map(|a| self.eval(a))
-                    .collect::<Result<_>>()?;
+                let values: Vec<Value> =
+                    args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
                 bindings::call_method(&receiver, name, &values)
             }
             Expr::Index { object, index } => {
@@ -412,14 +402,12 @@ impl Interpreter {
                 let receiver = self.eval(object)?;
                 match &receiver {
                     // Dict field access sugar: d.key reads the key.
-                    Value::Dict(map) => map
-                        .borrow()
-                        .get(name)
-                        .cloned()
-                        .ok_or_else(|| ScriptError::MissingAttribute {
+                    Value::Dict(map) => map.borrow().get(name).cloned().ok_or_else(|| {
+                        ScriptError::MissingAttribute {
                             owner: "dict".to_string(),
                             key: name.clone(),
-                        }),
+                        }
+                    }),
                     other => Err(ScriptError::AttributeError {
                         type_name: other.type_name().to_string(),
                         attr: name.clone(),
@@ -678,7 +666,8 @@ mod tests {
 
     #[test]
     fn if_elif_else() {
-        let src = "x = 7\nif x > 10 { r = \"big\" } elif x > 5 { r = \"mid\" } else { r = \"small\" }\nr";
+        let src =
+            "x = 7\nif x > 10 { r = \"big\" } elif x > 5 { r = \"mid\" } else { r = \"small\" }\nr";
         assert_eq!(run(src).to_string(), "mid");
     }
 
@@ -701,7 +690,8 @@ mod tests {
 
     #[test]
     fn functions_recursion_and_scoping() {
-        let src = "fn fib(n) {\n  if n < 2 { return n }\n  return fib(n - 1) + fib(n - 2)\n}\nfib(10)";
+        let src =
+            "fn fib(n) {\n  if n < 2 { return n }\n  return fib(n - 1) + fib(n - 2)\n}\nfib(10)";
         assert_eq!(run(src).to_string(), "55");
         // Local variables do not leak.
         let err = run_err("fn f() { local = 1 }\nf()\nlocal");
@@ -710,8 +700,14 @@ mod tests {
 
     #[test]
     fn lists_dicts_indexing_and_mutation() {
-        assert_eq!(run("xs = [1, 2, 3]\nxs[1] = 9\nxs[1] + xs[-1]").to_string(), "12");
-        assert_eq!(run("d = {\"a\": 1}\nd[\"b\"] = 2\nd[\"a\"] + d[\"b\"]").to_string(), "3");
+        assert_eq!(
+            run("xs = [1, 2, 3]\nxs[1] = 9\nxs[1] + xs[-1]").to_string(),
+            "12"
+        );
+        assert_eq!(
+            run("d = {\"a\": 1}\nd[\"b\"] = 2\nd[\"a\"] + d[\"b\"]").to_string(),
+            "3"
+        );
         assert_eq!(run("d = {\"k\": 5}\nd.k").to_string(), "5");
         let err = run_err("d = {}\nd[\"missing\"]");
         assert!(err.is_missing_attribute());
@@ -727,15 +723,22 @@ mod tests {
 
     #[test]
     fn print_is_captured() {
-        let outcome = Interpreter::new().run("print(\"hello\", 1 + 1)\n3").unwrap();
+        let outcome = Interpreter::new()
+            .run("print(\"hello\", 1 + 1)\n3")
+            .unwrap();
         assert_eq!(outcome.output, vec!["hello 2".to_string()]);
         assert_eq!(outcome.value.to_string(), "3");
     }
 
     #[test]
     fn error_taxonomy_from_programs() {
-        assert!(run_err("undefined_variable + 1").to_string().contains("not defined"));
-        assert!(matches!(run_err("frobnicate(1)"), ScriptError::UnknownFunction(_)));
+        assert!(run_err("undefined_variable + 1")
+            .to_string()
+            .contains("not defined"));
+        assert!(matches!(
+            run_err("frobnicate(1)"),
+            ScriptError::UnknownFunction(_)
+        ));
         assert!(run_err("fn f(a, b) { return a }\nf(1)").is_argument_error());
         assert!(matches!(run_err("1 / 0"), ScriptError::Runtime(_)));
         assert!(matches!(run_err("\"a\" - 1"), ScriptError::TypeError(_)));

@@ -37,7 +37,9 @@ impl Parser {
     }
 
     fn advance(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -395,15 +397,11 @@ impl Parser {
                     let args = self.arguments()?;
                     expr = match expr {
                         Expr::Name(name) => Expr::Call { name, args },
-                        Expr::Attr { object, name } => Expr::MethodCall {
-                            object,
-                            name,
-                            args,
-                        },
+                        Expr::Attr { object, name } => Expr::MethodCall { object, name, args },
                         other => {
                             return self.error(format!(
-                                "cannot call {other:?}: only named functions and methods are callable"
-                            ))
+                            "cannot call {other:?}: only named functions and methods are callable"
+                        ))
                         }
                     };
                 }
@@ -558,7 +556,11 @@ mod tests {
     fn parses_else_if_spelling() {
         let src = "if x { a = 1 } else if y { a = 2 } else { a = 3 }";
         let p = parse_program(src).unwrap();
-        let Stmt::If { branches, otherwise } = &p.statements[0] else {
+        let Stmt::If {
+            branches,
+            otherwise,
+        } = &p.statements[0]
+        else {
             panic!()
         };
         assert_eq!(branches.len(), 2);
@@ -579,7 +581,8 @@ mod tests {
 
     #[test]
     fn parses_function_definition_and_return() {
-        let src = "fn prefix(addr, n) {\n  parts = addr.split(\".\")\n  return join(\".\", parts)\n}";
+        let src =
+            "fn prefix(addr, n) {\n  parts = addr.split(\".\")\n  return join(\".\", parts)\n}";
         let p = parse_program(src).unwrap();
         let Stmt::FnDef { name, params, body } = &p.statements[0] else {
             panic!()
@@ -603,7 +606,13 @@ mod tests {
             panic!()
         };
         assert_eq!(*op, BinaryOp::Add);
-        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            **right,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -612,7 +621,13 @@ mod tests {
         let Stmt::Assign { value, .. } = &p.statements[0] else {
             panic!()
         };
-        assert!(matches!(value, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            value,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -634,7 +649,13 @@ mod tests {
         let Expr::Binary { right, .. } = value else {
             panic!()
         };
-        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Pow, .. }));
+        assert!(matches!(
+            **right,
+            Expr::Binary {
+                op: BinaryOp::Pow,
+                ..
+            }
+        ));
     }
 
     #[test]

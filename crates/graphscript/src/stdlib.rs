@@ -98,7 +98,9 @@ pub fn call_builtin(name: &str, args: &[Value], output: &mut Vec<String>) -> Res
                 args.to_vec()
             };
             if items.is_empty() {
-                return Err(ScriptError::Runtime(format!("{name}() of an empty sequence")));
+                return Err(ScriptError::Runtime(format!(
+                    "{name}() of an empty sequence"
+                )));
             }
             let mut best = items[0].clone();
             for v in &items[1..] {
@@ -123,10 +125,7 @@ pub fn call_builtin(name: &str, args: &[Value], output: &mut Vec<String>) -> Res
         "sorted" => {
             arity("1 or 2", args.len() == 1 || args.len() == 2)?;
             let mut items = expect_list(name, &args[0])?;
-            let descending = args
-                .get(1)
-                .map(|v| v.is_truthy())
-                .unwrap_or(false);
+            let descending = args.get(1).map(|v| v.is_truthy()).unwrap_or(false);
             sort_values(&mut items, name)?;
             if descending {
                 items.reverse();
@@ -155,7 +154,11 @@ pub fn call_builtin(name: &str, args: &[Value], output: &mut Vec<String>) -> Res
         "round" => {
             arity("1 or 2", args.len() == 1 || args.len() == 2)?;
             let v = args[0].expect_f64("round")?;
-            let digits = args.get(1).map(|d| d.expect_i64("round")).transpose()?.unwrap_or(0);
+            let digits = args
+                .get(1)
+                .map(|d| d.expect_i64("round"))
+                .transpose()?
+                .unwrap_or(0);
             let factor = 10f64.powi(digits as i32);
             Value::Float((v * factor).round() / factor)
         }
@@ -280,7 +283,8 @@ pub fn call_builtin(name: &str, args: &[Value], output: &mut Vec<String>) -> Res
             let g = expect_graph(name, &args[0])?;
             let source = args[1].expect_str(name)?;
             let target = args[2].expect_str(name)?;
-            let hops = sp::shortest_path_length(&g.borrow(), &source, &target).map_err(graph_err)?;
+            let hops =
+                sp::shortest_path_length(&g.borrow(), &source, &target).map_err(graph_err)?;
             Value::Int(hops as i64)
         }
         "has_path" => {
@@ -436,10 +440,12 @@ fn expect_graph<'a>(
 /// sees the right category (missing attribute vs. generic runtime failure).
 pub(crate) fn graph_err(e: netgraph::GraphError) -> ScriptError {
     match e {
-        netgraph::GraphError::AttrNotFound { kind, entity, attr } => ScriptError::MissingAttribute {
-            owner: format!("{kind} {entity}"),
-            key: attr,
-        },
+        netgraph::GraphError::AttrNotFound { kind, entity, attr } => {
+            ScriptError::MissingAttribute {
+                owner: format!("{kind} {entity}"),
+                key: attr,
+            }
+        }
         other => ScriptError::Runtime(other.to_string()),
     }
 }
@@ -457,8 +463,14 @@ mod tests {
     #[test]
     fn len_sum_sorted() {
         let list = Value::list(vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
-        assert!(matches!(call("len", &[list.clone()]).unwrap(), Value::Int(3)));
-        assert!(matches!(call("sum", &[list.clone()]).unwrap(), Value::Int(6)));
+        assert!(matches!(
+            call("len", std::slice::from_ref(&list)).unwrap(),
+            Value::Int(3)
+        ));
+        assert!(matches!(
+            call("sum", std::slice::from_ref(&list)).unwrap(),
+            Value::Int(6)
+        ));
         let sorted = call("sorted", &[list]).unwrap();
         assert_eq!(sorted.to_string(), "[1, 2, 3]");
     }
@@ -466,11 +478,21 @@ mod tests {
     #[test]
     fn min_max_range() {
         let list = Value::list(vec![Value::Int(3), Value::Float(1.5), Value::Int(2)]);
-        assert_eq!(call("min", &[list.clone()]).unwrap().to_string(), "1.5");
-        assert_eq!(call("max", &[list]).unwrap().to_string(), "3");
-        assert_eq!(call("range", &[Value::Int(3)]).unwrap().to_string(), "[0, 1, 2]");
         assert_eq!(
-            call("range", &[Value::Int(2), Value::Int(5)]).unwrap().to_string(),
+            call("min", std::slice::from_ref(&list))
+                .unwrap()
+                .to_string(),
+            "1.5"
+        );
+        assert_eq!(call("max", &[list]).unwrap().to_string(), "3");
+        assert_eq!(
+            call("range", &[Value::Int(3)]).unwrap().to_string(),
+            "[0, 1, 2]"
+        );
+        assert_eq!(
+            call("range", &[Value::Int(2), Value::Int(5)])
+                .unwrap()
+                .to_string(),
             "[2, 3, 4]"
         );
         assert!(call("min", &[Value::list(vec![])]).is_err());
@@ -478,9 +500,15 @@ mod tests {
 
     #[test]
     fn conversions_and_type() {
-        assert!(matches!(call("int", &[Value::Str("42".into())]).unwrap(), Value::Int(42)));
+        assert!(matches!(
+            call("int", &[Value::Str("42".into())]).unwrap(),
+            Value::Int(42)
+        ));
         assert!(call("int", &[Value::Str("4x".into())]).is_err());
-        assert!(matches!(call("float", &[Value::Int(2)]).unwrap(), Value::Float(_)));
+        assert!(matches!(
+            call("float", &[Value::Int(2)]).unwrap(),
+            Value::Float(_)
+        ));
         assert_eq!(call("str", &[Value::Int(5)]).unwrap().to_string(), "5");
         assert_eq!(call("type", &[Value::Null]).unwrap().to_string(), "null");
     }
@@ -491,15 +519,28 @@ mod tests {
         m.insert("a".to_string(), Value::Int(1));
         m.insert("b".to_string(), Value::Int(2));
         let d = Value::dict(m);
-        assert_eq!(call("keys", &[d.clone()]).unwrap().to_string(), "[a, b]");
-        assert_eq!(call("values", &[d.clone()]).unwrap().to_string(), "[1, 2]");
+        assert_eq!(
+            call("keys", std::slice::from_ref(&d)).unwrap().to_string(),
+            "[a, b]"
+        );
+        assert_eq!(
+            call("values", std::slice::from_ref(&d))
+                .unwrap()
+                .to_string(),
+            "[1, 2]"
+        );
         assert_eq!(call("items", &[d]).unwrap().to_string(), "[[a, 1], [b, 2]]");
     }
 
     #[test]
     fn print_captures_output() {
         let mut out = Vec::new();
-        call_builtin("print", &[Value::Str("hello".into()), Value::Int(3)], &mut out).unwrap();
+        call_builtin(
+            "print",
+            &[Value::Str("hello".into()), Value::Int(3)],
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out, vec!["hello 3".to_string()]);
     }
 
@@ -512,17 +553,23 @@ mod tests {
     #[test]
     fn network_helpers() {
         assert_eq!(
-            call("ip_prefix", &[Value::Str("10.76.3.9".into()), Value::Int(2)])
-                .unwrap()
-                .to_string(),
+            call(
+                "ip_prefix",
+                &[Value::Str("10.76.3.9".into()), Value::Int(2)]
+            )
+            .unwrap()
+            .to_string(),
             "10.76"
         );
         let mut g = Graph::directed();
         g.add_edge("a", "b", attrs([("bytes", 10i64)]));
         g.add_edge("b", "c", attrs([("bytes", 5i64)]));
         let gv = Value::graph(g);
-        let path = call("shortest_path", &[gv.clone(), Value::Str("a".into()), Value::Str("c".into())])
-            .unwrap();
+        let path = call(
+            "shortest_path",
+            &[gv.clone(), Value::Str("a".into()), Value::Str("c".into())],
+        )
+        .unwrap();
         assert_eq!(path.to_string(), "[a, b, c]");
         let hops = call(
             "shortest_path_length",
@@ -530,13 +577,17 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(hops, Value::Int(2)));
-        let totals = call("node_weight_totals", &[gv.clone(), Value::Str("bytes".into())]).unwrap();
+        let totals = call(
+            "node_weight_totals",
+            &[gv.clone(), Value::Str("bytes".into())],
+        )
+        .unwrap();
         if let Value::Dict(map) = &totals {
             assert_eq!(map.borrow()["b"].as_f64(), Some(15.0));
         } else {
             panic!("expected dict");
         }
-        let comps = call("connected_components", &[gv.clone()]).unwrap();
+        let comps = call("connected_components", std::slice::from_ref(&gv)).unwrap();
         assert_eq!(call("len", &[comps]).unwrap().to_string(), "1");
         let groups = call("kmeans_groups", &[totals, Value::Int(2)]).unwrap();
         assert!(matches!(groups, Value::Dict(_)));
@@ -546,7 +597,11 @@ mod tests {
     fn argument_errors_are_classified() {
         let err = call("len", &[]).unwrap_err();
         assert!(err.is_argument_error());
-        let err = call("shortest_path", &[Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap_err();
+        let err = call(
+            "shortest_path",
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+        )
+        .unwrap_err();
         assert!(matches!(err, ScriptError::TypeError(_)));
     }
 
@@ -560,6 +615,9 @@ mod tests {
             &[gv, Value::Str("a".into()), Value::Str("zzz".into())],
         )
         .unwrap_err();
-        assert!(matches!(err, ScriptError::Runtime(_)), "unexpected error {err:?}");
+        assert!(
+            matches!(err, ScriptError::Runtime(_)),
+            "unexpected error {err:?}"
+        );
     }
 }

@@ -133,21 +133,30 @@ impl Value {
     /// Requires an integer, erroring with `context` otherwise.
     pub fn expect_i64(&self, context: &str) -> Result<i64> {
         self.as_i64().ok_or_else(|| {
-            ScriptError::TypeError(format!("{context} expects an integer, got {}", self.type_name()))
+            ScriptError::TypeError(format!(
+                "{context} expects an integer, got {}",
+                self.type_name()
+            ))
         })
     }
 
     /// Requires a number, erroring with `context` otherwise.
     pub fn expect_f64(&self, context: &str) -> Result<f64> {
         self.as_f64().ok_or_else(|| {
-            ScriptError::TypeError(format!("{context} expects a number, got {}", self.type_name()))
+            ScriptError::TypeError(format!(
+                "{context} expects a number, got {}",
+                self.type_name()
+            ))
         })
     }
 
     /// Requires a string, erroring with `context` otherwise.
     pub fn expect_str(&self, context: &str) -> Result<String> {
         self.as_str().map(|s| s.to_string()).ok_or_else(|| {
-            ScriptError::TypeError(format!("{context} expects a string, got {}", self.type_name()))
+            ScriptError::TypeError(format!(
+                "{context} expects a string, got {}",
+                self.type_name()
+            ))
         })
     }
 
@@ -273,9 +282,8 @@ impl Value {
                 let a = a.borrow();
                 let b = b.borrow();
                 a.len() == b.len()
-                    && a.iter().all(|(k, v)| {
-                        b.get(k).map(|o| v.approx_eq(o)).unwrap_or(false)
-                    })
+                    && a.iter()
+                        .all(|(k, v)| b.get(k).map(|o| v.approx_eq(o)).unwrap_or(false))
             }
             (Value::Graph(a), Value::Graph(b)) => {
                 netgraph::graphs_approx_eq(&a.borrow(), &b.borrow())
@@ -417,7 +425,10 @@ mod tests {
             Value::Str("a".into()).partial_cmp_value(&Value::Str("b".into())),
             Some(Ordering::Less)
         );
-        assert_eq!(Value::Str("a".into()).partial_cmp_value(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Str("a".into()).partial_cmp_value(&Value::Int(1)),
+            None
+        );
         assert_eq!(Value::Int(5).as_key().unwrap(), "5");
         assert!(Value::list(vec![]).as_key().is_err());
     }
@@ -432,6 +443,8 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert("k".to_string(), Value::Int(1));
         assert_eq!(Value::dict(m).to_string(), "{k: 1}");
-        assert!(Value::graph(Graph::directed()).to_string().contains("graph"));
+        assert!(Value::graph(Graph::directed())
+            .to_string()
+            .contains("graph"));
     }
 }

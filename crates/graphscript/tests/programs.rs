@@ -9,10 +9,26 @@ use proptest::prelude::*;
 
 fn comm_graph() -> Graph {
     let mut g = Graph::directed();
-    g.add_edge("15.76.0.1", "10.2.0.1", attrs([("bytes", 1200i64), ("packets", 12i64)]));
-    g.add_edge("15.76.0.2", "10.2.0.2", attrs([("bytes", 900i64), ("packets", 9i64)]));
-    g.add_edge("15.76.1.9", "10.3.7.7", attrs([("bytes", 450i64), ("packets", 4i64)]));
-    g.add_edge("10.2.0.1", "10.3.7.7", attrs([("bytes", 600i64), ("packets", 6i64)]));
+    g.add_edge(
+        "15.76.0.1",
+        "10.2.0.1",
+        attrs([("bytes", 1200i64), ("packets", 12i64)]),
+    );
+    g.add_edge(
+        "15.76.0.2",
+        "10.2.0.2",
+        attrs([("bytes", 900i64), ("packets", 9i64)]),
+    );
+    g.add_edge(
+        "15.76.1.9",
+        "10.3.7.7",
+        attrs([("bytes", 450i64), ("packets", 4i64)]),
+    );
+    g.add_edge(
+        "10.2.0.1",
+        "10.3.7.7",
+        attrs([("bytes", 600i64), ("packets", 6i64)]),
+    );
     g
 }
 

@@ -153,7 +153,16 @@ mod tests {
         let contains = db
             .execute("SELECT COUNT(*) AS n FROM edges WHERE relationship = 'contains'")
             .unwrap();
-        assert!(contains.rows().unwrap().value(0, "n").unwrap().as_i64().unwrap() > 0);
+        assert!(
+            contains
+                .rows()
+                .unwrap()
+                .value(0, "n")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]

@@ -111,13 +111,16 @@ pub fn generate(config: &MaltConfig) -> MaltModel {
                     for s in 1..=config.switches_per_chassis {
                         let switch = format!("{chassis}.s{s}c1");
                         let capacity = *[400i64, 800, 1600, 3200]
-                            .get(rng.gen_range(0..4))
+                            .get(rng.gen_range(0..4usize))
                             .expect("non-empty");
                         chassis_capacity += capacity;
                         model.add_entity(
                             Entity::new(&switch, EntityKind::PacketSwitch)
                                 .with_attr("capacity_gbps", capacity)
-                                .with_attr("vendor", ["arista", "juniper", "cisco"][rng.gen_range(0..3)])
+                                .with_attr(
+                                    "vendor",
+                                    ["arista", "juniper", "cisco"][rng.gen_range(0..3usize)],
+                                )
                                 .with_attr("role", if s == 1 { "spine" } else { "leaf" }),
                         );
                         switch_names.push(switch.clone());
@@ -169,7 +172,10 @@ pub fn generate(config: &MaltConfig) -> MaltModel {
     let mut added = 0usize;
     let mut attempts = 0usize;
     let mut used: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
-    while added < config.physical_links && attempts < config.physical_links * 20 && all_ports.len() >= 2 {
+    while added < config.physical_links
+        && attempts < config.physical_links * 20
+        && all_ports.len() >= 2
+    {
         attempts += 1;
         let a = rng.gen_range(0..all_ports.len());
         let b = rng.gen_range(0..all_ports.len());

@@ -153,14 +153,26 @@ mod tests {
         );
         m.add_entity(Entity::new("ch1.s1.p1", EntityKind::Port).with_attr("speed_gbps", 100i64));
         m.add_entity(Entity::new("cp1", EntityKind::ControlPoint));
-        assert!(m.add_relationship(Relationship::new("ch1", "ch1.s1", RelationshipKind::Contains)));
-        assert!(m.add_relationship(Relationship::new("ch1", "ch1.s2", RelationshipKind::Contains)));
+        assert!(m.add_relationship(Relationship::new(
+            "ch1",
+            "ch1.s1",
+            RelationshipKind::Contains
+        )));
+        assert!(m.add_relationship(Relationship::new(
+            "ch1",
+            "ch1.s2",
+            RelationshipKind::Contains
+        )));
         assert!(m.add_relationship(Relationship::new(
             "ch1.s1",
             "ch1.s1.p1",
             RelationshipKind::Contains
         )));
-        assert!(m.add_relationship(Relationship::new("cp1", "ch1.s1", RelationshipKind::Controls)));
+        assert!(m.add_relationship(Relationship::new(
+            "cp1",
+            "ch1.s1",
+            RelationshipKind::Controls
+        )));
         m
     }
 

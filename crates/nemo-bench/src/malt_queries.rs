@@ -249,12 +249,14 @@ mod tests {
     #[test]
     fn paper_table1_examples_are_present() {
         let queries = malt_queries();
-        assert!(queries
-            .iter()
-            .any(|q| q.text.contains("ports that are contained by packet switch ju1.a1.m1.s2c1")));
+        assert!(queries.iter().any(|q| q
+            .text
+            .contains("ports that are contained by packet switch ju1.a1.m1.s2c1")));
         assert!(queries
             .iter()
             .any(|q| q.text.contains("first and the second largest chassis")));
-        assert!(queries.iter().any(|q| q.text.contains("balance the chassis capacity")));
+        assert!(queries
+            .iter()
+            .any(|q| q.text.contains("balance the chassis capacity")));
     }
 }

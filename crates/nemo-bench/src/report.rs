@@ -72,16 +72,7 @@ fn format_breakdown_table(
     for profile in all_profiles() {
         out.push_str(&format!("{:<18} ", profile.name));
         for &backend in backends {
-            let cell = |c| {
-                fmt2(accuracy(
-                    logger,
-                    suite,
-                    profile.name,
-                    app,
-                    backend,
-                    Some(c),
-                ))
-            };
+            let cell = |c| fmt2(accuracy(logger, suite, profile.name, app, backend, Some(c)));
             out.push_str(&format!(
                 "| {}/{}/{}   ",
                 cell(Complexity::Easy),
@@ -204,7 +195,9 @@ pub fn format_figure4b(points: &[ScalabilityPoint]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{cost_comparison, run_accuracy_benchmark_for, scalability_sweep, DEFAULT_SEED};
+    use crate::runner::{
+        cost_comparison, run_accuracy_benchmark_for, scalability_sweep, DEFAULT_SEED,
+    };
     use crate::suite::SuiteConfig;
     use nemo_core::llm::profiles;
 

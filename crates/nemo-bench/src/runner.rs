@@ -4,7 +4,7 @@
 
 use crate::suite::{BenchmarkSuite, PreparedQuery};
 use nemo_core::apps::TrafficApp;
-use nemo_core::cost::{cost_cdf, count_tokens, price_request, CostRecord};
+use nemo_core::cost::{cost_cdf, count_tokens, price_request, CostCdf, CostRecord};
 use nemo_core::llm::{all_profiles, ModelProfile};
 use nemo_core::prompt::{codegen_prompt, strawman_prompt};
 use nemo_core::{
@@ -188,7 +188,7 @@ impl CostComparison {
     }
 
     /// The CDF points of each approach (Figure 4a).
-    pub fn cdfs(&self) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    pub fn cdfs(&self) -> (CostCdf, CostCdf) {
         (cost_cdf(&self.strawman), cost_cdf(&self.codegen))
     }
 }
@@ -256,7 +256,11 @@ pub struct ScalabilityPoint {
 }
 
 /// Sweeps graph sizes and prices both approaches at each size (Figure 4b).
-pub fn scalability_sweep(profile: &ModelProfile, sizes: &[usize], seed: u64) -> Vec<ScalabilityPoint> {
+pub fn scalability_sweep(
+    profile: &ModelProfile,
+    sizes: &[usize],
+    seed: u64,
+) -> Vec<ScalabilityPoint> {
     sizes
         .iter()
         .map(|&size| {
@@ -326,7 +330,10 @@ mod tests {
         // Paper shape: NetworkX >> SQL > strawman; GPT-4 NetworkX ≈ 0.88.
         assert!(nx > 0.75, "networkx accuracy {nx}");
         assert!(nx > sql, "networkx {nx} should beat sql {sql}");
-        assert!(nx > strawman, "networkx {nx} should beat strawman {strawman}");
+        assert!(
+            nx > strawman,
+            "networkx {nx} should beat strawman {strawman}"
+        );
         // Easy queries are perfect for GPT-4 + NetworkX (Table 3).
         let easy = accuracy(
             &logger,
@@ -373,7 +380,10 @@ mod tests {
         let result = run_case_study(&suite, &profiles::bard(), 5, DEFAULT_SEED);
         assert!(result.pass_at_k >= result.pass_at_1);
         assert!(result.self_debug >= result.pass_at_1);
-        assert!(result.pass_at_k > 0.9, "pass@5 should recover every failure");
+        assert!(
+            result.pass_at_k > 0.9,
+            "pass@5 should recover every failure"
+        );
         assert!(result.pass_at_1 > 0.2 && result.pass_at_1 < 0.8);
     }
 

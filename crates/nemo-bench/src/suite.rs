@@ -39,21 +39,12 @@ pub struct BenchmarkSuite {
 }
 
 /// Configuration of the benchmark workloads.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SuiteConfig {
     /// The synthetic communication graph used for traffic analysis.
     pub traffic: TrafficConfig,
     /// The MALT topology used for lifecycle management.
     pub malt: MaltConfig,
-}
-
-impl Default for SuiteConfig {
-    fn default() -> Self {
-        SuiteConfig {
-            traffic: TrafficConfig::default(),
-            malt: MaltConfig::default(),
-        }
-    }
 }
 
 impl SuiteConfig {
@@ -211,7 +202,11 @@ mod tests {
         assert_eq!(suite.queries_for(Application::MaltLifecycle).len(), 9);
         for q in &suite.queries {
             assert_eq!(q.goldens.len(), 4);
-            assert!(!q.direct_answer.is_empty(), "{} has no direct answer", q.spec.id);
+            assert!(
+                !q.direct_answer.is_empty(),
+                "{} has no direct answer",
+                q.spec.id
+            );
         }
         let knowledge = suite.knowledge();
         assert_eq!(knowledge.tasks().len(), 33);

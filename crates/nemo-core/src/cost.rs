@@ -101,15 +101,23 @@ pub fn summarize_costs(records: &[CostRecord]) -> CostSummary {
     let total: f64 = records.iter().map(|r| r.dollars).sum();
     CostSummary {
         count,
-        mean: if count == 0 { 0.0 } else { total / count as f64 },
+        mean: if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        },
         max: records.iter().map(|r| r.dollars).fold(0.0, f64::max),
         over_window: records.iter().filter(|r| r.exceeded_window).count(),
     }
 }
 
+/// Points of an empirical cost CDF: `(dollars, cumulative fraction)` pairs
+/// sorted by cost.
+pub type CostCdf = Vec<(f64, f64)>;
+
 /// The points of an empirical CDF over per-query dollar costs, as plotted in
 /// Figure 4a: sorted costs paired with cumulative probability.
-pub fn cost_cdf(records: &[CostRecord]) -> Vec<(f64, f64)> {
+pub fn cost_cdf(records: &[CostRecord]) -> CostCdf {
     let mut costs: Vec<f64> = records.iter().map(|r| r.dollars).collect();
     costs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = costs.len();

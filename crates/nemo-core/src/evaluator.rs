@@ -57,7 +57,9 @@ impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Verdict::Pass => write!(f, "PASS"),
-            Verdict::Fail { category, detail } => write!(f, "FAIL [{}]: {detail}", category.label()),
+            Verdict::Fail { category, detail } => {
+                write!(f, "FAIL [{}]: {detail}", category.label())
+            }
         }
     }
 }

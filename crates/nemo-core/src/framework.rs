@@ -228,7 +228,8 @@ mod tests {
             ],
         );
         let mut manager = NetworkManager::new(&app, &mut flaky);
-        let (passed, attempts) = manager.run_pass_at_k(Backend::NetworkX, "How many nodes?", &golden, 5);
+        let (passed, attempts) =
+            manager.run_pass_at_k(Backend::NetworkX, "How many nodes?", &golden, 5);
         assert!(passed);
         assert_eq!(attempts.len(), 2);
         assert!(!attempts[0].passed());

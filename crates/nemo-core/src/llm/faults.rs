@@ -213,7 +213,10 @@ fn inject_strawman(answer: &str, kind: FaultKind) -> String {
         FaultKind::WrongManipulation => {
             format!("{answer} (and I have also removed every edge from the graph)")
         }
-        _ => format!("I believe the answer is approximately {}", mangle_numbers(answer)),
+        _ => format!(
+            "I believe the answer is approximately {}",
+            mangle_numbers(answer)
+        ),
     }
 }
 
@@ -301,7 +304,11 @@ mod tests {
 
     #[test]
     fn strawman_faults_corrupt_numbers() {
-        let bad = inject_fault("total bytes: 2550", Backend::Strawman, FaultKind::WrongCalculation);
+        let bad = inject_fault(
+            "total bytes: 2550",
+            Backend::Strawman,
+            FaultKind::WrongCalculation,
+        );
         assert!(!bad.contains("2550"));
         let manip = inject_fault("done", Backend::Strawman, FaultKind::WrongManipulation);
         assert!(manip.contains("removed"));
@@ -310,7 +317,10 @@ mod tests {
     #[test]
     fn labels_are_the_table5_rows() {
         assert_eq!(FaultKind::Syntax.label(), "Syntax error");
-        assert_eq!(FaultKind::WrongManipulation.label(), "Graphs are not identical");
+        assert_eq!(
+            FaultKind::WrongManipulation.label(),
+            "Graphs are not identical"
+        );
         assert_eq!(FaultKind::ALL.len(), 7);
     }
 }

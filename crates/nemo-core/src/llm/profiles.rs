@@ -118,11 +118,7 @@ pub fn gpt3() -> ModelProfile {
             [0.50, 0.25, 0.00],
             [1.00, 0.63, 0.25],
         ],
-        malt: [
-            [0.33, 0.00, 0.00],
-            [0.67, 0.67, 0.00],
-            [0.67, 0.67, 0.00],
-        ],
+        malt: [[0.33, 0.00, 0.00], [0.67, 0.67, 0.00], [0.67, 0.67, 0.00]],
         self_debug_fix: default_self_debug_fix,
     }
 }
@@ -140,11 +136,7 @@ pub fn text_davinci_003() -> ModelProfile {
             [0.63, 0.25, 0.00],
             [1.00, 0.75, 0.13],
         ],
-        malt: [
-            [0.33, 0.00, 0.00],
-            [0.33, 0.33, 0.00],
-            [0.67, 0.67, 0.33],
-        ],
+        malt: [[0.33, 0.00, 0.00], [0.33, 0.33, 0.00], [0.67, 0.67, 0.33]],
         self_debug_fix: default_self_debug_fix,
     }
 }
@@ -163,11 +155,7 @@ pub fn bard() -> ModelProfile {
             [0.50, 0.13, 0.13],
             [0.88, 0.50, 0.38],
         ],
-        malt: [
-            [0.33, 0.00, 0.00],
-            [0.67, 0.33, 0.00],
-            [0.67, 0.33, 0.33],
-        ],
+        malt: [[0.33, 0.00, 0.00], [0.67, 0.33, 0.00], [0.67, 0.33, 0.33]],
         self_debug_fix: default_self_debug_fix,
     }
 }
@@ -185,24 +173,44 @@ mod tests {
     fn accuracy_lookup_matches_published_cells() {
         let g4 = gpt4();
         assert_eq!(
-            g4.accuracy(Application::TrafficAnalysis, Backend::NetworkX, Complexity::Easy),
+            g4.accuracy(
+                Application::TrafficAnalysis,
+                Backend::NetworkX,
+                Complexity::Easy
+            ),
             1.0
         );
         assert_eq!(
-            g4.accuracy(Application::TrafficAnalysis, Backend::Strawman, Complexity::Hard),
+            g4.accuracy(
+                Application::TrafficAnalysis,
+                Backend::Strawman,
+                Complexity::Hard
+            ),
             0.0
         );
         assert_eq!(
-            g4.accuracy(Application::MaltLifecycle, Backend::NetworkX, Complexity::Hard),
+            g4.accuracy(
+                Application::MaltLifecycle,
+                Backend::NetworkX,
+                Complexity::Hard
+            ),
             0.33
         );
         assert_eq!(
-            bard().accuracy(Application::TrafficAnalysis, Backend::NetworkX, Complexity::Easy),
+            bard().accuracy(
+                Application::TrafficAnalysis,
+                Backend::NetworkX,
+                Complexity::Easy
+            ),
             0.88
         );
         // Strawman is undefined for MALT (graph too large for any window).
         assert_eq!(
-            g4.accuracy(Application::MaltLifecycle, Backend::Strawman, Complexity::Easy),
+            g4.accuracy(
+                Application::MaltLifecycle,
+                Backend::Strawman,
+                Complexity::Easy
+            ),
             0.0
         );
     }

@@ -18,6 +18,7 @@ use crate::llm::faults::{inject_fault, FaultKind};
 use crate::llm::profiles::ModelProfile;
 use crate::llm::traits::{Llm, LlmResponse};
 use crate::prompt::{FEEDBACK_MARKER, QUERY_MARKER};
+use crate::state::normalize_text;
 use std::collections::BTreeMap;
 
 /// One task the simulated model may know how to solve.
@@ -56,8 +57,10 @@ impl CodeKnowledge {
 
     /// Finds the task whose query matches `query` (whitespace-insensitive).
     pub fn find_by_query(&self, query: &str) -> Option<&KnownTask> {
-        let wanted = normalize(query);
-        self.tasks.iter().find(|t| normalize(&t.query) == wanted)
+        let wanted = normalize_text(query);
+        self.tasks
+            .iter()
+            .find(|t| normalize_text(&t.query) == wanted)
     }
 
     /// The tasks in the same (application, complexity) cell.
@@ -67,10 +70,6 @@ impl CodeKnowledge {
             .filter(|t| t.application == app && t.complexity == complexity)
             .collect()
     }
-}
-
-fn normalize(text: &str) -> String {
-    text.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
 }
 
 /// Deterministic FNV-1a hash over the given string parts.
@@ -348,7 +347,10 @@ mod tests {
 
     fn task(id: &str, query: &str, complexity: Complexity) -> KnownTask {
         let mut programs = BTreeMap::new();
-        programs.insert(Backend::NetworkX, format!("result = G.number_of_nodes() # {id}"));
+        programs.insert(
+            Backend::NetworkX,
+            format!("result = G.number_of_nodes() # {id}"),
+        );
         programs.insert(Backend::Pandas, format!("result = nodes.n_rows() # {id}"));
         programs.insert(Backend::Sql, "SELECT COUNT(*) AS n FROM nodes".to_string());
         KnownTask {
@@ -437,7 +439,10 @@ mod tests {
             .iter()
             .filter_map(|t| extract_code(t))
             .any(|c| c.starts_with("result = nodes.n_rows()"));
-        assert!(golden_seen, "non-deterministic model never recovered: {answers:?}");
+        assert!(
+            golden_seen,
+            "non-deterministic model never recovered: {answers:?}"
+        );
         let _ = k;
     }
 

@@ -118,8 +118,18 @@ mod tests {
         assert!(log.is_empty());
         log.log(record("GPT-4", Backend::NetworkX, true, FaultKind::Syntax));
         log.log(record("GPT-4", Backend::NetworkX, false, FaultKind::Syntax));
-        log.log(record("GPT-4", Backend::Sql, false, FaultKind::ArgumentError));
-        log.log_all(vec![record("Bard", Backend::NetworkX, true, FaultKind::Syntax)]);
+        log.log(record(
+            "GPT-4",
+            Backend::Sql,
+            false,
+            FaultKind::ArgumentError,
+        ));
+        log.log_all(vec![record(
+            "Bard",
+            Backend::NetworkX,
+            true,
+            FaultKind::Syntax,
+        )]);
         assert_eq!(log.len(), 4);
         assert_eq!(log.pass_rate_for("GPT-4", Backend::NetworkX), 0.5);
         assert_eq!(log.pass_rate_for("Bard", Backend::NetworkX), 1.0);
@@ -132,7 +142,12 @@ mod tests {
         let mut log = ResultsLogger::new();
         log.log(record("GPT-4", Backend::NetworkX, false, FaultKind::Syntax));
         log.log(record("GPT-4", Backend::NetworkX, false, FaultKind::Syntax));
-        log.log(record("GPT-4", Backend::NetworkX, false, FaultKind::WrongCalculation));
+        log.log(record(
+            "GPT-4",
+            Backend::NetworkX,
+            false,
+            FaultKind::WrongCalculation,
+        ));
         log.log(record("GPT-4", Backend::NetworkX, true, FaultKind::Syntax));
         let counts = log.failure_categories(|r| r.backend == Backend::NetworkX);
         assert_eq!(counts[&FaultKind::Syntax], 2);

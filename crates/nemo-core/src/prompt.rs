@@ -185,7 +185,11 @@ mod tests {
     #[test]
     fn self_debug_prompt_appends_feedback() {
         let base = codegen_prompt(&app(), Backend::NetworkX, "count edges");
-        let debug = self_debug_prompt(&base, "result = G.count()", "'graph' object has no attribute 'count'");
+        let debug = self_debug_prompt(
+            &base,
+            "result = G.count()",
+            "'graph' object has no attribute 'count'",
+        );
         assert!(debug.text.contains(FEEDBACK_MARKER));
         assert!(debug.text.contains("no attribute 'count'"));
         assert_eq!(debug.query, base.query);

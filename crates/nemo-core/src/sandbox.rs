@@ -295,8 +295,8 @@ mod tests {
             SandboxError::NoCode
         );
 
-        let err = execute_code(Backend::NetworkX, "result = G.frobnicate()", &graph_state())
-            .unwrap_err();
+        let err =
+            execute_code(Backend::NetworkX, "result = G.frobnicate()", &graph_state()).unwrap_err();
         assert!(matches!(err, SandboxError::Script(_)));
         let err = execute_code(Backend::Sql, "SELEC 1", &db_state()).unwrap_err();
         assert!(matches!(err, SandboxError::Sql(_)));
@@ -311,8 +311,8 @@ mod tests {
 
     #[test]
     fn runaway_loops_are_stopped() {
-        let err = execute_code(Backend::NetworkX, "while true { x = 1 }", &graph_state())
-            .unwrap_err();
+        let err =
+            execute_code(Backend::NetworkX, "while true { x = 1 }", &graph_state()).unwrap_err();
         assert!(matches!(
             err,
             SandboxError::Script(ScriptError::StepLimit(_))

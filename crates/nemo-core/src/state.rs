@@ -60,7 +60,11 @@ impl NetworkState {
                 g.number_of_edges()
             ),
             NetworkState::Frames { nodes, edges } => {
-                format!("frames({} node rows, {} edge rows)", nodes.n_rows(), edges.n_rows())
+                format!(
+                    "frames({} node rows, {} edge rows)",
+                    nodes.n_rows(),
+                    edges.n_rows()
+                )
             }
             NetworkState::Database(db) => format!("database({} tables)", db.table_names().len()),
         }
@@ -88,9 +92,7 @@ impl OutputValue {
             (OutputValue::None, OutputValue::None) => true,
             (OutputValue::Script(a), OutputValue::Script(b)) => a.approx_eq(b),
             (OutputValue::Table(a), OutputValue::Table(b)) => a.approx_eq_unordered(b),
-            (OutputValue::Text(a), OutputValue::Text(b)) => {
-                normalize_text(a) == normalize_text(b)
-            }
+            (OutputValue::Text(a), OutputValue::Text(b)) => normalize_text(a) == normalize_text(b),
             // A script value can match a text answer when their normalized
             // renderings agree (used when comparing the strawman's direct
             // answer against a golden program's value).
@@ -113,8 +115,13 @@ impl OutputValue {
     }
 }
 
-fn normalize_text(text: &str) -> String {
-    text.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+/// Whitespace- and case-insensitive canonical form used when comparing
+/// free-text answers (and by the simulated LLM's query matching).
+pub(crate) fn normalize_text(text: &str) -> String {
+    text.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
 }
 
 /// The result of executing one program in the sandbox.
@@ -166,11 +173,9 @@ mod tests {
 
     #[test]
     fn frames_comparison_is_row_order_insensitive() {
-        let df = DataFrame::from_columns(vec![(
-            "x".to_string(),
-            Column::from_values([1i64, 2, 3]),
-        )])
-        .unwrap();
+        let df =
+            DataFrame::from_columns(vec![("x".to_string(), Column::from_values([1i64, 2, 3]))])
+                .unwrap();
         let shuffled = df.take(&[2, 0, 1]).unwrap();
         let a = NetworkState::Frames {
             nodes: df.clone(),
@@ -185,13 +190,16 @@ mod tests {
 
     #[test]
     fn output_value_comparisons() {
-        assert!(OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::Script(Value::Float(5.0))));
+        assert!(
+            OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::Script(Value::Float(5.0)))
+        );
         assert!(OutputValue::Text("  Hello   World ".into())
             .approx_eq(&OutputValue::Text("hello world".into())));
         assert!(OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::Text("5".into())));
         assert!(!OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::None));
         assert!(OutputValue::None.approx_eq(&OutputValue::None));
-        let t = DataFrame::from_columns(vec![("n".to_string(), Column::from_values([1i64]))]).unwrap();
+        let t =
+            DataFrame::from_columns(vec![("n".to_string(), Column::from_values([1i64]))]).unwrap();
         assert!(OutputValue::Table(t.clone()).approx_eq(&OutputValue::Table(t)));
     }
 

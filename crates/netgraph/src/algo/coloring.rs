@@ -35,7 +35,7 @@ pub fn color_by_category<F: Fn(&str) -> String>(
     attr: &str,
     category_fn: F,
 ) -> Result<BTreeMap<String, String>> {
-    let categories: BTreeSet<String> = g.node_ids().map(|n| category_fn(n)).collect();
+    let categories: BTreeSet<String> = g.node_ids().map(&category_fn).collect();
     let mapping: BTreeMap<String, String> = categories
         .into_iter()
         .enumerate()
@@ -101,9 +101,24 @@ mod tests {
         })
         .unwrap();
         assert_eq!(mapping.len(), 3);
-        let c1 = g.node_attrs("10.1.0.1").unwrap().get_str("color").unwrap().to_string();
-        let c2 = g.node_attrs("10.1.0.2").unwrap().get_str("color").unwrap().to_string();
-        let c3 = g.node_attrs("10.2.0.1").unwrap().get_str("color").unwrap().to_string();
+        let c1 = g
+            .node_attrs("10.1.0.1")
+            .unwrap()
+            .get_str("color")
+            .unwrap()
+            .to_string();
+        let c2 = g
+            .node_attrs("10.1.0.2")
+            .unwrap()
+            .get_str("color")
+            .unwrap()
+            .to_string();
+        let c3 = g
+            .node_attrs("10.2.0.1")
+            .unwrap()
+            .get_str("color")
+            .unwrap()
+            .to_string();
         assert_eq!(c1, c2);
         assert_ne!(c1, c3);
     }

@@ -63,7 +63,11 @@ pub fn strongly_connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
     }
     // Iterative Tarjan to avoid recursion limits on the 5k-node MALT model.
     let ids: Vec<String> = g.node_ids().map(|s| s.to_string()).collect();
-    let index_of: BTreeMap<&str, usize> = ids.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+    let index_of: BTreeMap<&str, usize> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i))
+        .collect();
     let n = ids.len();
     let mut index = vec![usize::MAX; n];
     let mut lowlink = vec![usize::MAX; n];

@@ -34,8 +34,7 @@ pub fn degree_centrality(g: &Graph) -> BTreeMap<String, f64> {
 /// For directed graphs both incoming and outgoing edges contribute, which is
 /// what "total byte weight on each node" means in the benchmark queries.
 pub fn node_weight_totals(g: &Graph, attr: &str) -> Result<BTreeMap<String, f64>> {
-    let mut totals: BTreeMap<String, f64> =
-        g.node_ids().map(|n| (n.to_string(), 0.0)).collect();
+    let mut totals: BTreeMap<String, f64> = g.node_ids().map(|n| (n.to_string(), 0.0)).collect();
     for (u, v, attrs) in g.edges() {
         let w = attrs.get_f64(attr).unwrap_or(0.0);
         *totals.get_mut(u).expect("endpoint exists") += w;

@@ -17,7 +17,9 @@ pub fn quantile_groups(
     k: usize,
 ) -> Result<BTreeMap<String, usize>> {
     if k == 0 {
-        return Err(GraphError::InvalidArgument("group count must be >= 1".into()));
+        return Err(GraphError::InvalidArgument(
+            "group count must be >= 1".into(),
+        ));
     }
     let mut items: Vec<(&String, f64)> = scores.iter().map(|(n, s)| (n, *s)).collect();
     items.sort_by(|a, b| {
@@ -46,7 +48,9 @@ pub fn kmeans_1d_groups(
     max_iter: usize,
 ) -> Result<BTreeMap<String, usize>> {
     if k == 0 {
-        return Err(GraphError::InvalidArgument("group count must be >= 1".into()));
+        return Err(GraphError::InvalidArgument(
+            "group count must be >= 1".into(),
+        ));
     }
     if scores.is_empty() {
         return Ok(BTreeMap::new());
@@ -144,7 +148,14 @@ mod tests {
 
     #[test]
     fn quantile_groups_balanced_sizes() {
-        let s = scores(&[("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 4.0), ("e", 5.0), ("f", 6.0)]);
+        let s = scores(&[
+            ("a", 1.0),
+            ("b", 2.0),
+            ("c", 3.0),
+            ("d", 4.0),
+            ("e", 5.0),
+            ("f", 6.0),
+        ]);
         let g = quantile_groups(&s, 3).unwrap();
         let mut counts = vec![0usize; 3];
         for v in g.values() {
@@ -204,7 +215,11 @@ mod tests {
     #[test]
     fn group_by_key_prefixes() {
         let groups = group_by_key(
-            vec!["10.1.0.1".to_string(), "10.1.0.2".to_string(), "10.2.0.1".to_string()],
+            vec![
+                "10.1.0.1".to_string(),
+                "10.1.0.2".to_string(),
+                "10.2.0.1".to_string(),
+            ],
             |ip| ip.split('.').take(2).collect::<Vec<_>>().join("."),
         );
         assert_eq!(groups.len(), 2);

@@ -129,7 +129,10 @@ pub fn dijkstra_path(
             if next < *dist.get(&v).unwrap_or(&f64::INFINITY) {
                 dist.insert(v.clone(), next);
                 prev.insert(v.clone(), node.clone());
-                heap.push(Entry { cost: next, node: v });
+                heap.push(Entry {
+                    cost: next,
+                    node: v,
+                });
             }
         }
     }

@@ -44,9 +44,9 @@ impl AttrMapExt for AttrMap {
 
     fn approx_eq(&self, other: &Self) -> bool {
         self.len() == other.len()
-            && self.iter().all(|(k, v)| {
-                other.get(k).map(|o| v.approx_eq(o)).unwrap_or(false)
-            })
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).map(|o| v.approx_eq(o)).unwrap_or(false))
     }
 }
 

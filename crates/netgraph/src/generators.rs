@@ -5,7 +5,11 @@ use crate::graph::Graph;
 
 /// A path graph `0 - 1 - ... - (n-1)` with string node ids.
 pub fn path_graph(n: usize, directed: bool) -> Graph {
-    let mut g = if directed { Graph::directed() } else { Graph::undirected() };
+    let mut g = if directed {
+        Graph::directed()
+    } else {
+        Graph::undirected()
+    };
     for i in 0..n {
         g.add_node(&i.to_string(), AttrMap::new());
     }

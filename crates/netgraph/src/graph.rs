@@ -87,11 +87,19 @@ impl Graph {
         if !self.nodes.contains_key(id) {
             return Err(GraphError::NodeNotFound(id.to_string()));
         }
-        let out: Vec<String> = self.succ.get(id).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        let out: Vec<String> = self
+            .succ
+            .get(id)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
         for v in out {
             self.remove_edge(id, &v).ok();
         }
-        let inc: Vec<String> = self.pred.get(id).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        let inc: Vec<String> = self
+            .pred
+            .get(id)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
         for u in inc {
             self.remove_edge(&u, id).ok();
         }
@@ -136,7 +144,12 @@ impl Graph {
     }
 
     /// Sets a single attribute on a node.
-    pub fn set_node_attr(&mut self, id: &str, key: &str, value: impl Into<AttrValue>) -> Result<()> {
+    pub fn set_node_attr(
+        &mut self,
+        id: &str,
+        key: &str,
+        value: impl Into<AttrValue>,
+    ) -> Result<()> {
         self.node_attrs_mut(id)?.set(key, value);
         Ok(())
     }
@@ -171,11 +184,23 @@ impl Graph {
         if !self.nodes.contains_key(v) {
             self.add_node(v, AttrMap::new());
         }
-        self.succ.get_mut(u).expect("endpoint exists").insert(v.to_string());
-        self.pred.get_mut(v).expect("endpoint exists").insert(u.to_string());
+        self.succ
+            .get_mut(u)
+            .expect("endpoint exists")
+            .insert(v.to_string());
+        self.pred
+            .get_mut(v)
+            .expect("endpoint exists")
+            .insert(u.to_string());
         if !self.directed {
-            self.succ.get_mut(v).expect("endpoint exists").insert(u.to_string());
-            self.pred.get_mut(u).expect("endpoint exists").insert(v.to_string());
+            self.succ
+                .get_mut(v)
+                .expect("endpoint exists")
+                .insert(u.to_string());
+            self.pred
+                .get_mut(u)
+                .expect("endpoint exists")
+                .insert(v.to_string());
         }
         let key = self.edge_key(u, v);
         self.edges.entry(key).or_default().extend(attrs);
@@ -267,7 +292,9 @@ impl Graph {
         if !self.has_edge(u, v) {
             return None;
         }
-        self.edges.get(&self.edge_key(u, v)).and_then(|a| a.get(key))
+        self.edges
+            .get(&self.edge_key(u, v))
+            .and_then(|a| a.get(key))
     }
 
     // ------------------------------------------------------------ adjacency
@@ -398,10 +425,7 @@ impl Graph {
     /// Sum of a numeric edge attribute over all edges. Missing or
     /// non-numeric values count as zero.
     pub fn total_edge_attr(&self, key: &str) -> f64 {
-        self.edges
-            .values()
-            .filter_map(|a| a.get_f64(key))
-            .sum()
+        self.edges.values().filter_map(|a| a.get_f64(key)).sum()
     }
 
     /// Nodes whose attribute `key` satisfies `pred`.
@@ -536,7 +560,10 @@ mod tests {
     #[test]
     fn neighbors_union_of_both_directions() {
         let g = sample_directed();
-        assert_eq!(g.neighbors("b").unwrap(), vec!["a".to_string(), "c".to_string()]);
+        assert_eq!(
+            g.neighbors("b").unwrap(),
+            vec!["a".to_string(), "c".to_string()]
+        );
         assert_eq!(g.successors("b").unwrap(), vec!["c".to_string()]);
         assert_eq!(g.predecessors("b").unwrap(), vec!["a".to_string()]);
     }

@@ -98,7 +98,10 @@ impl JsonValue {
         let v = p.parse_value()?;
         p.skip_ws();
         if p.pos != p.chars.len() {
-            return Err(JsonError::new(p.pos, "trailing characters after JSON value"));
+            return Err(JsonError::new(
+                p.pos,
+                "trailing characters after JSON value",
+            ));
         }
         Ok(v)
     }
@@ -169,7 +172,11 @@ impl JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "JSON error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -224,7 +231,10 @@ impl Parser {
     fn parse_keyword(&mut self, kw: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
         for expected in kw.chars() {
             if self.bump() != Some(expected) {
-                return Err(JsonError::new(self.pos, &format!("invalid literal, expected '{kw}'")));
+                return Err(JsonError::new(
+                    self.pos,
+                    &format!("invalid literal, expected '{kw}'"),
+                ));
             }
         }
         Ok(value)
@@ -475,7 +485,11 @@ mod tests {
 
     #[test]
     fn attr_conversion_round_trip() {
-        let attr = AttrValue::List(vec![AttrValue::Int(3), AttrValue::from("x"), AttrValue::Null]);
+        let attr = AttrValue::List(vec![
+            AttrValue::Int(3),
+            AttrValue::from("x"),
+            AttrValue::Null,
+        ]);
         let json = JsonValue::from_attr(&attr);
         assert_eq!(json.to_attr(), attr);
     }
@@ -484,7 +498,11 @@ mod tests {
     fn graph_json_round_trip() {
         let mut g = Graph::directed();
         g.add_node("10.0.1.1", attrs([("role", "host")]));
-        g.add_edge("10.0.1.1", "10.0.2.1", attrs([("bytes", 1200i64), ("packets", 8i64)]));
+        g.add_edge(
+            "10.0.1.1",
+            "10.0.2.1",
+            attrs([("bytes", 1200i64), ("packets", 8i64)]),
+        );
         let json = graph_to_json(&g);
         let text = json.to_json();
         let parsed = JsonValue::parse(&text).unwrap();

@@ -297,9 +297,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
             Expr::Case { arms, otherwise } => {
                 arms.iter()

@@ -155,7 +155,9 @@ mod tests {
         let mut d = db();
         let r = d.execute("SELECT id FROM nodes WHERE bytes >= 10").unwrap();
         assert_eq!(r.rows().unwrap().n_rows(), 2);
-        let r = d.execute("UPDATE nodes SET bytes = 0 WHERE id = 'a'").unwrap();
+        let r = d
+            .execute("UPDATE nodes SET bytes = 0 WHERE id = 'a'")
+            .unwrap();
         assert_eq!(r.affected(), Some(1));
     }
 
@@ -175,7 +177,8 @@ mod tests {
         let a = db();
         let mut b = db();
         assert!(a.approx_eq(&b));
-        b.execute("UPDATE nodes SET bytes = 99 WHERE id = 'a'").unwrap();
+        b.execute("UPDATE nodes SET bytes = 99 WHERE id = 'a'")
+            .unwrap();
         assert!(!a.approx_eq(&b));
         let mut c = db();
         c.create_table("extra", DataFrame::new());

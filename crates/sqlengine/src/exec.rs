@@ -57,7 +57,10 @@ impl RowSet {
             .iter()
             .enumerate()
             .filter(|(_, (q, n))| {
-                n == name && qualifier.map(|want| q.as_deref() == Some(want)).unwrap_or(true)
+                n == name
+                    && qualifier
+                        .map(|want| q.as_deref() == Some(want))
+                        .unwrap_or(true)
             })
             .map(|(i, _)| i)
             .collect();
@@ -278,13 +281,13 @@ fn eval_binary(l: &AttrValue, op: BinaryOp, r: &AttrValue) -> Result<AttrValue> 
         NotEq => return Ok(AttrValue::Bool(!l.approx_eq(r))),
         Lt | LtEq | Gt | GtEq => {
             let ord = l.partial_cmp_value(r);
-            let result = match (op, ord) {
-                (Lt, Some(Ordering::Less)) => true,
-                (LtEq, Some(Ordering::Less | Ordering::Equal)) => true,
-                (Gt, Some(Ordering::Greater)) => true,
-                (GtEq, Some(Ordering::Greater | Ordering::Equal)) => true,
-                _ => false,
-            };
+            let result = matches!(
+                (op, ord),
+                (Lt, Some(Ordering::Less))
+                    | (LtEq, Some(Ordering::Less | Ordering::Equal))
+                    | (Gt, Some(Ordering::Greater))
+                    | (GtEq, Some(Ordering::Greater | Ordering::Equal))
+            );
             return Ok(AttrValue::Bool(result));
         }
         _ => {}
@@ -516,10 +519,9 @@ fn project_grouped(rs: &RowSet, stmt: &SelectStmt) -> Result<(DataFrame, Vec<Vec
                 .iter()
                 .map(|e| eval_row(rs, row, e))
                 .collect::<Result<_>>()?;
-            match groups
-                .iter_mut()
-                .find(|(k, _)| k.iter().zip(&key).all(|(a, b)| a.approx_eq(b)) && k.len() == key.len())
-            {
+            match groups.iter_mut().find(|(k, _)| {
+                k.iter().zip(&key).all(|(a, b)| a.approx_eq(b)) && k.len() == key.len()
+            }) {
                 Some((_, members)) => members.push(idx),
                 None => groups.push((key, vec![idx])),
             }
@@ -562,11 +564,7 @@ fn projection_list(rs: &RowSet, stmt: &SelectStmt) -> Result<(Vec<String>, Vec<E
                     // Use the bare name unless it would collide with an
                     // earlier output column.
                     let out_name = if names.contains(name) {
-                        format!(
-                            "{}.{}",
-                            qualifier.clone().unwrap_or_default(),
-                            name
-                        )
+                        format!("{}.{}", qualifier.clone().unwrap_or_default(), name)
                     } else {
                         name.clone()
                     };
@@ -754,10 +752,7 @@ mod tests {
                     "bytes".to_string(),
                     Column::from_values([100i64, 200, 300, 400]),
                 ),
-                (
-                    "packets".to_string(),
-                    Column::from_values([1i64, 2, 3, 4]),
-                ),
+                ("packets".to_string(), Column::from_values([1i64, 2, 3, 4])),
             ])
             .unwrap(),
         );
@@ -773,22 +768,34 @@ mod tests {
         let mut db = test_db();
         let all = select(&mut db, "SELECT * FROM edges");
         assert_eq!(all.n_rows(), 4);
-        assert_eq!(all.column_names(), vec!["source", "target", "bytes", "packets"]);
-        let heavy = select(&mut db, "SELECT source, bytes FROM edges WHERE bytes >= 300");
+        assert_eq!(
+            all.column_names(),
+            vec!["source", "target", "bytes", "packets"]
+        );
+        let heavy = select(
+            &mut db,
+            "SELECT source, bytes FROM edges WHERE bytes >= 300",
+        );
         assert_eq!(heavy.n_rows(), 2);
     }
 
     #[test]
     fn arithmetic_and_alias() {
         let mut db = test_db();
-        let out = select(&mut db, "SELECT bytes * 2 AS double_bytes FROM edges WHERE packets = 1");
+        let out = select(
+            &mut db,
+            "SELECT bytes * 2 AS double_bytes FROM edges WHERE packets = 1",
+        );
         assert_eq!(out.value(0, "double_bytes").unwrap(), &AttrValue::Int(200));
     }
 
     #[test]
     fn aggregate_without_group_by() {
         let mut db = test_db();
-        let out = select(&mut db, "SELECT COUNT(*) AS n, SUM(bytes) AS total, AVG(bytes) AS mean FROM edges");
+        let out = select(
+            &mut db,
+            "SELECT COUNT(*) AS n, SUM(bytes) AS total, AVG(bytes) AS mean FROM edges",
+        );
         assert_eq!(out.n_rows(), 1);
         assert_eq!(out.value(0, "n").unwrap(), &AttrValue::Int(4));
         assert_eq!(out.value(0, "total").unwrap(), &AttrValue::Float(1000.0));
@@ -818,7 +825,8 @@ mod tests {
         assert_eq!(inner.n_rows(), 4);
         assert_eq!(inner.value(0, "role").unwrap().as_str(), Some("core"));
 
-        db.execute("DELETE FROM nodes WHERE id = '10.0.2.2'").unwrap();
+        db.execute("DELETE FROM nodes WHERE id = '10.0.2.2'")
+            .unwrap();
         let left = select(
             &mut db,
             "SELECT e.source, n.role FROM edges e LEFT JOIN nodes n ON e.source = n.id",
@@ -832,7 +840,10 @@ mod tests {
         let mut db = test_db();
         let d = select(&mut db, "SELECT DISTINCT source FROM edges");
         assert_eq!(d.n_rows(), 3);
-        let i = select(&mut db, "SELECT * FROM nodes WHERE role IN ('core', 'leaf')");
+        let i = select(
+            &mut db,
+            "SELECT * FROM nodes WHERE role IN ('core', 'leaf')",
+        );
         assert_eq!(i.n_rows(), 2);
         let l = select(&mut db, "SELECT * FROM nodes WHERE id LIKE '10.0%'");
         assert_eq!(l.n_rows(), 2);
@@ -927,9 +938,13 @@ mod tests {
     #[test]
     fn between_and_is_null() {
         let mut db = test_db();
-        let b = select(&mut db, "SELECT * FROM edges WHERE bytes BETWEEN 150 AND 350");
+        let b = select(
+            &mut db,
+            "SELECT * FROM edges WHERE bytes BETWEEN 150 AND 350",
+        );
         assert_eq!(b.n_rows(), 2);
-        db.execute("INSERT INTO nodes (id) VALUES ('10.5.5.5')").unwrap();
+        db.execute("INSERT INTO nodes (id) VALUES ('10.5.5.5')")
+            .unwrap();
         let n = select(&mut db, "SELECT * FROM nodes WHERE role IS NULL");
         assert_eq!(n.n_rows(), 1);
         let nn = select(&mut db, "SELECT * FROM nodes WHERE role IS NOT NULL");

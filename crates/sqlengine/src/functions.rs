@@ -177,21 +177,19 @@ fn string_map<F: Fn(&str) -> String>(name: &str, v: &AttrValue, f: F) -> Result<
 }
 
 fn expect_str(name: &str, v: &AttrValue) -> Result<String> {
-    v.as_str().map(|s| s.to_string()).ok_or_else(|| {
-        SqlError::Type(format!("{name} expects a string, got {}", v.type_name()))
-    })
+    v.as_str()
+        .map(|s| s.to_string())
+        .ok_or_else(|| SqlError::Type(format!("{name} expects a string, got {}", v.type_name())))
 }
 
 fn expect_num(name: &str, v: &AttrValue) -> Result<f64> {
-    v.as_f64().ok_or_else(|| {
-        SqlError::Type(format!("{name} expects a number, got {}", v.type_name()))
-    })
+    v.as_f64()
+        .ok_or_else(|| SqlError::Type(format!("{name} expects a number, got {}", v.type_name())))
 }
 
 fn expect_int(name: &str, v: &AttrValue) -> Result<i64> {
-    v.as_i64().ok_or_else(|| {
-        SqlError::Type(format!("{name} expects an integer, got {}", v.type_name()))
-    })
+    v.as_i64()
+        .ok_or_else(|| SqlError::Type(format!("{name} expects an integer, got {}", v.type_name())))
 }
 
 /// SQL `LIKE` matching: `%` matches any run of characters, `_` matches one
@@ -200,9 +198,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|skip| rec(&t[skip..], rest))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|skip| rec(&t[skip..], rest)),
             Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
             Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
         }
@@ -222,12 +218,19 @@ mod tests {
 
     #[test]
     fn string_functions() {
-        assert_eq!(call_scalar("LENGTH", &[s("abcd")]).unwrap(), AttrValue::Int(4));
+        assert_eq!(
+            call_scalar("LENGTH", &[s("abcd")]).unwrap(),
+            AttrValue::Int(4)
+        );
         assert_eq!(call_scalar("UPPER", &[s("ab")]).unwrap(), s("AB"));
         assert_eq!(call_scalar("LOWER", &[s("AB")]).unwrap(), s("ab"));
         assert_eq!(call_scalar("TRIM", &[s("  x ")]).unwrap(), s("x"));
         assert_eq!(
-            call_scalar("SUBSTR", &[s("10.76.3.9"), AttrValue::Int(1), AttrValue::Int(5)]).unwrap(),
+            call_scalar(
+                "SUBSTR",
+                &[s("10.76.3.9"), AttrValue::Int(1), AttrValue::Int(5)]
+            )
+            .unwrap(),
             s("10.76")
         );
         assert_eq!(
@@ -246,10 +249,13 @@ mod tests {
 
     #[test]
     fn numeric_functions() {
-        assert_eq!(call_scalar("ABS", &[AttrValue::Int(-4)]).unwrap(), AttrValue::Int(4));
         assert_eq!(
-            call_scalar("ROUND", &[AttrValue::Float(3.14159), AttrValue::Int(2)]).unwrap(),
-            AttrValue::Float(3.14)
+            call_scalar("ABS", &[AttrValue::Int(-4)]).unwrap(),
+            AttrValue::Int(4)
+        );
+        assert_eq!(
+            call_scalar("ROUND", &[AttrValue::Float(2.34567), AttrValue::Int(2)]).unwrap(),
+            AttrValue::Float(2.35)
         );
         assert_eq!(
             call_scalar("CAST_INT", &[s("42")]).unwrap(),
@@ -277,8 +283,11 @@ mod tests {
     #[test]
     fn coalesce_picks_first_non_null() {
         assert_eq!(
-            call_scalar("COALESCE", &[AttrValue::Null, AttrValue::Int(2), AttrValue::Int(3)])
-                .unwrap(),
+            call_scalar(
+                "COALESCE",
+                &[AttrValue::Null, AttrValue::Int(2), AttrValue::Int(3)]
+            )
+            .unwrap(),
             AttrValue::Int(2)
         );
         assert_eq!(
@@ -289,7 +298,10 @@ mod tests {
 
     #[test]
     fn null_propagation_and_errors() {
-        assert_eq!(call_scalar("UPPER", &[AttrValue::Null]).unwrap(), AttrValue::Null);
+        assert_eq!(
+            call_scalar("UPPER", &[AttrValue::Null]).unwrap(),
+            AttrValue::Null
+        );
         assert!(call_scalar("UPPER", &[AttrValue::Int(2)]).is_err());
         assert!(matches!(
             call_scalar("FROBNICATE", &[]),

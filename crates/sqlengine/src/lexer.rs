@@ -132,10 +132,13 @@ fn lex_number(input: &str, start: usize) -> Result<(f64, usize)> {
             _ => break,
         }
     }
-    input[start..i].parse::<f64>().map(|n| (n, i)).map_err(|_| SqlError::Lex {
-        position: start,
-        message: format!("invalid numeric literal '{}'", &input[start..i]),
-    })
+    input[start..i]
+        .parse::<f64>()
+        .map(|n| (n, i))
+        .map_err(|_| SqlError::Lex {
+            position: start,
+            message: format!("invalid numeric literal '{}'", &input[start..i]),
+        })
 }
 
 fn lex_symbol(bytes: &[u8], i: usize) -> Result<(TokenKind, usize)> {

@@ -52,7 +52,9 @@ impl Parser {
     }
 
     fn advance(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -197,7 +199,11 @@ impl Parser {
         let limit = if self.eat_keyword("LIMIT") {
             match self.advance() {
                 TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
-                other => return self.error(format!("LIMIT expects a non-negative integer, found {other}")),
+                other => {
+                    return self.error(format!(
+                        "LIMIT expects a non-negative integer, found {other}"
+                    ))
+                }
             }
         } else {
             None
@@ -536,7 +542,10 @@ impl Parser {
                         TokenKind::Star => {
                             return self.error("qualified wildcards (t.*) are not supported")
                         }
-                        other => return self.error(format!("expected column name after '.', found {other}")),
+                        other => {
+                            return self
+                                .error(format!("expected column name after '.', found {other}"))
+                        }
                     };
                     return Ok(Expr::Column {
                         table: Some(name),
@@ -667,7 +676,13 @@ mod tests {
         };
         let w = s.where_clause.unwrap();
         // Just check it parsed into a conjunction tree without error.
-        assert!(matches!(w, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            w,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -696,7 +711,13 @@ mod tests {
             panic!()
         };
         assert_eq!(*op, BinaryOp::Add);
-        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            **right,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -17,7 +17,12 @@ fn comm_db() -> Database {
             (
                 "id".to_string(),
                 Column::from_values([
-                    "15.76.0.1", "15.76.0.2", "15.76.1.9", "10.2.0.1", "10.2.0.2", "10.3.7.7",
+                    "15.76.0.1",
+                    "15.76.0.2",
+                    "15.76.1.9",
+                    "10.2.0.1",
+                    "10.2.0.2",
+                    "10.3.7.7",
                 ]),
             ),
             (
@@ -33,13 +38,23 @@ fn comm_db() -> Database {
             (
                 "source".to_string(),
                 Column::from_values([
-                    "15.76.0.1", "15.76.0.2", "15.76.1.9", "10.2.0.1", "10.2.0.2", "10.2.0.1",
+                    "15.76.0.1",
+                    "15.76.0.2",
+                    "15.76.1.9",
+                    "10.2.0.1",
+                    "10.2.0.2",
+                    "10.2.0.1",
                 ]),
             ),
             (
                 "target".to_string(),
                 Column::from_values([
-                    "10.2.0.1", "10.2.0.2", "10.3.7.7", "15.76.0.1", "15.76.1.9", "10.3.7.7",
+                    "10.2.0.1",
+                    "10.2.0.2",
+                    "10.3.7.7",
+                    "15.76.0.1",
+                    "15.76.1.9",
+                    "10.3.7.7",
                 ]),
             ),
             (

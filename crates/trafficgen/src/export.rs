@@ -46,7 +46,10 @@ pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
         .map(Ipv4::to_string_dotted)
         .collect();
     let nodes = DataFrame::from_columns(vec![
-        ("id".to_string(), ids.iter().map(|s| AttrValue::Str(s.clone())).collect()),
+        (
+            "id".to_string(),
+            ids.iter().map(|s| AttrValue::Str(s.clone())).collect(),
+        ),
         (
             "prefix16".to_string(),
             workload
@@ -192,9 +195,7 @@ mod tests {
     fn database_is_queryable() {
         let w = workload();
         let mut db = to_database(&w);
-        let out = db
-            .execute("SELECT COUNT(*) AS n FROM edges")
-            .unwrap();
+        let out = db.execute("SELECT COUNT(*) AS n FROM edges").unwrap();
         assert_eq!(
             out.rows().unwrap().value(0, "n").unwrap(),
             &AttrValue::Int(40)

@@ -82,7 +82,8 @@ pub fn generate(config: &TrafficConfig) -> TrafficWorkload {
 
     let mut flows = Vec::with_capacity(config.edges);
     if config.nodes >= 2 {
-        let mut seen: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+        let mut seen: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
         let mut attempts = 0usize;
         while flows.len() < config.edges && attempts < config.edges * 20 {
             attempts += 1;
@@ -93,7 +94,7 @@ pub fn generate(config: &TrafficConfig) -> TrafficWorkload {
             }
             seen.insert((s, t));
             let packets: u64 = rng.gen_range(1..=10_000);
-            let bytes = packets * rng.gen_range(64..=1500);
+            let bytes = packets * rng.gen_range(64u64..=1500);
             flows.push(Flow {
                 source: endpoints[s],
                 target: endpoints[t],
@@ -173,10 +174,7 @@ mod tests {
     #[test]
     fn first_prefix_matches_paper_example() {
         let w = generate(&TrafficConfig::default());
-        assert!(w
-            .endpoints
-            .iter()
-            .any(|ip| ip.prefix(2) == "15.76"));
+        assert!(w.endpoints.iter().any(|ip| ip.prefix(2) == "15.76"));
         // Endpoints span the requested number of prefixes.
         let prefixes: std::collections::BTreeSet<String> =
             w.endpoints.iter().map(|ip| ip.prefix(2)).collect();

@@ -67,7 +67,10 @@ mod tests {
         assert_eq!(s.nodes, 40);
         assert_eq!(s.edges, 60);
         assert_eq!(s.total_bytes, w.flows.iter().map(|f| f.bytes).sum::<u64>());
-        assert_eq!(s.total_packets, w.flows.iter().map(|f| f.packets).sum::<u64>());
+        assert_eq!(
+            s.total_packets,
+            w.flows.iter().map(|f| f.packets).sum::<u64>()
+        );
         assert!(s.mean_out_degree > 0.0);
         assert_eq!(s.bytes_per_prefix.len(), 4);
         // Every byte is counted once for the source prefix and once for the

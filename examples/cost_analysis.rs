@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --example cost_analysis`
 
-use nemo_bench::runner::{cost_comparison, scalability_sweep, strawman_prompt_tokens, DEFAULT_SEED};
+use nemo_bench::runner::{
+    cost_comparison, scalability_sweep, strawman_prompt_tokens, DEFAULT_SEED,
+};
 use nemo_core::llm::profiles;
 
 fn main() {
@@ -20,7 +22,10 @@ fn main() {
     );
 
     println!("Cost versus graph size:");
-    println!("{:>12} {:>14} {:>14} {:>12} {:>10}", "nodes+edges", "strawman $", "codegen $", "prompt tok", "status");
+    println!(
+        "{:>12} {:>14} {:>14} {:>12} {:>10}",
+        "nodes+edges", "strawman $", "codegen $", "prompt tok", "status"
+    );
     let sizes = [20, 40, 60, 80, 100, 150, 200, 300, 400];
     for point in scalability_sweep(&profile, &sizes, DEFAULT_SEED) {
         println!(
@@ -29,7 +34,11 @@ fn main() {
             point.strawman_mean,
             point.codegen_mean,
             strawman_prompt_tokens(point.graph_size / 2),
-            if point.strawman_over_window { "OVER LIMIT" } else { "ok" }
+            if point.strawman_over_window {
+                "OVER LIMIT"
+            } else {
+                "ok"
+            }
         );
     }
     println!("\nThe code-generation cost stays flat (<$0.2 per query) while the strawman grows with the graph and eventually exceeds the model's token window, as in Figure 4.");

@@ -17,7 +17,11 @@ fn main() {
     println!("  entities:      {}", model.entity_count());
     println!("  relationships: {}", model.relationship_count());
     for kind in EntityKind::ALL {
-        println!("  {:<14} {}", kind.name(), model.entities_of_kind(kind).len());
+        println!(
+            "  {:<14} {}",
+            kind.name(),
+            model.entities_of_kind(kind).len()
+        );
     }
     let chassis = model.entities_of_kind(EntityKind::Chassis);
     let largest = chassis
@@ -39,5 +43,7 @@ fn main() {
     println!("  Pass@1     accuracy: {:.2}", result.pass_at_1);
     println!("  Pass@{}     accuracy: {:.2}", result.k, result.pass_at_k);
     println!("  Self-debug accuracy: {:.2}", result.self_debug);
-    println!("\nBoth complementary synthesis techniques recover failures, as in the paper's Table 6.");
+    println!(
+        "\nBoth complementary synthesis techniques recover failures, as in the paper's Table 6."
+    );
 }

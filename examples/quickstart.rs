@@ -34,7 +34,10 @@ fn main() {
         golden_of(query, Backend::NetworkX),
     );
 
-    println!("Generated program:\n{}\n", record.code.as_deref().unwrap_or("(no code)"));
+    println!(
+        "Generated program:\n{}\n",
+        record.code.as_deref().unwrap_or("(no code)")
+    );
     println!("Verdict: {}", record.verdict);
     println!(
         "Cost: {} prompt tokens + {} completion tokens = ${:.4}",

@@ -12,8 +12,11 @@ use nemo_core::{Application, Backend, Complexity};
 fn main() {
     let suite = BenchmarkSuite::build(&SuiteConfig::small());
     let profile = profiles::gpt4();
-    println!("Running all 24 traffic-analysis queries with {}...\n", profile.name);
-    let logger = run_accuracy_benchmark_for(&suite, &[profile.clone()], DEFAULT_SEED);
+    println!(
+        "Running all 24 traffic-analysis queries with {}...\n",
+        profile.name
+    );
+    let logger = run_accuracy_benchmark_for(&suite, std::slice::from_ref(&profile), DEFAULT_SEED);
 
     println!("Accuracy by backend (traffic analysis):");
     for backend in Backend::ALL {

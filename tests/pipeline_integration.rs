@@ -4,9 +4,7 @@
 
 use nemo_bench::{golden_of, BenchmarkSuite, SuiteConfig};
 use nemo_core::llm::profiles;
-use nemo_core::{
-    Application, Backend, FaultKind, NetworkManager, ScriptedLlm, SimulatedLlm,
-};
+use nemo_core::{Application, Backend, FaultKind, NetworkManager, ScriptedLlm, SimulatedLlm};
 
 fn suite() -> BenchmarkSuite {
     BenchmarkSuite::build(&SuiteConfig::small())
@@ -24,7 +22,11 @@ fn every_golden_program_passes_its_own_evaluation() {
             let program = query.spec.golden_program(backend).unwrap();
             let response = format!(
                 "```{}\n{}\n```",
-                if backend == Backend::Sql { "sql" } else { "graphscript" },
+                if backend == Backend::Sql {
+                    "sql"
+                } else {
+                    "graphscript"
+                },
                 program
             );
             let mut llm = ScriptedLlm::new("golden-replay", vec![response]);
@@ -84,7 +86,7 @@ fn injected_faults_fail_and_classify_correctly() {
 fn simulated_gpt4_beats_simulated_bard_on_networkx() {
     let suite = suite();
     let seed = 7;
-    let mut accuracy = |profile: nemo_core::llm::ModelProfile| -> f64 {
+    let accuracy = |profile: nemo_core::llm::ModelProfile| -> f64 {
         let mut llm = SimulatedLlm::new(profile, suite.knowledge(), seed);
         let queries = suite.queries_for(Application::TrafficAnalysis);
         let mut passes = 0usize;
@@ -104,8 +106,14 @@ fn simulated_gpt4_beats_simulated_bard_on_networkx() {
     };
     let gpt4 = accuracy(profiles::gpt4());
     let bard = accuracy(profiles::bard());
-    assert!(gpt4 > bard, "GPT-4 ({gpt4}) should outperform Bard ({bard})");
-    assert!(gpt4 >= 0.8, "GPT-4 NetworkX accuracy should be high, got {gpt4}");
+    assert!(
+        gpt4 > bard,
+        "GPT-4 ({gpt4}) should outperform Bard ({bard})"
+    );
+    assert!(
+        gpt4 >= 0.8,
+        "GPT-4 NetworkX accuracy should be high, got {gpt4}"
+    );
 }
 
 #[test]

@@ -61,7 +61,10 @@ fn table2_shape_codegen_beats_strawman_and_networkx_beats_other_backends() {
     // the strawman (an improvement of ~45 percentage points).
     let networkx_avg = networkx_sum / 4.0;
     let strawman_avg = strawman_sum / 4.0;
-    assert!(networkx_avg > 0.55 && networkx_avg < 0.85, "networkx avg {networkx_avg}");
+    assert!(
+        networkx_avg > 0.55 && networkx_avg < 0.85,
+        "networkx avg {networkx_avg}"
+    );
     assert!(strawman_avg < 0.40, "strawman avg {strawman_avg}");
     assert!(
         networkx_avg - strawman_avg > 0.30,
@@ -94,13 +97,27 @@ fn tables3_and_4_accuracy_decreases_with_complexity() {
     let suite = suite();
     let logger = run_accuracy_benchmark_for(&suite, &[profiles::gpt4()], DEFAULT_SEED);
     for app in Application::ALL {
-        let easy = accuracy(&logger, &suite, "GPT-4", app, Backend::NetworkX, Some(Complexity::Easy));
-        let hard = accuracy(&logger, &suite, "GPT-4", app, Backend::NetworkX, Some(Complexity::Hard));
-        assert!(
-            easy >= hard,
-            "{app}: easy {easy} should be >= hard {hard}"
+        let easy = accuracy(
+            &logger,
+            &suite,
+            "GPT-4",
+            app,
+            Backend::NetworkX,
+            Some(Complexity::Easy),
         );
-        assert_eq!(easy, 1.0, "{app}: GPT-4 NetworkX easy queries are all correct in Table 3/4");
+        let hard = accuracy(
+            &logger,
+            &suite,
+            "GPT-4",
+            app,
+            Backend::NetworkX,
+            Some(Complexity::Hard),
+        );
+        assert!(easy >= hard, "{app}: easy {easy} should be >= hard {hard}");
+        assert_eq!(
+            easy, 1.0,
+            "{app}: GPT-4 NetworkX easy queries are all correct in Table 3/4"
+        );
     }
 }
 
@@ -118,7 +135,10 @@ fn table5_failures_are_dominated_by_syntax_and_imaginary_attributes_for_traffic(
         (20..=50).contains(&traffic_total),
         "traffic NetworkX failures {traffic_total}"
     );
-    assert!((8..=26).contains(&malt_total), "MALT NetworkX failures {malt_total}");
+    assert!(
+        (8..=26).contains(&malt_total),
+        "MALT NetworkX failures {malt_total}"
+    );
     // MALT produced no syntax errors in the paper's Table 5.
     assert_eq!(malt.get(&FaultKind::Syntax).copied().unwrap_or(0), 0);
     // Rendering includes every category row.
@@ -133,7 +153,11 @@ fn table6_pass_at_5_and_self_debug_improve_bard() {
     let suite = suite();
     let result = run_case_study(&suite, &profiles::bard(), 5, DEFAULT_SEED);
     // Paper: 0.44 -> 1.0 (pass@5) and 0.67 (self-debug).
-    assert!(result.pass_at_1 >= 0.3 && result.pass_at_1 <= 0.6, "pass@1 {}", result.pass_at_1);
+    assert!(
+        result.pass_at_1 >= 0.3 && result.pass_at_1 <= 0.6,
+        "pass@1 {}",
+        result.pass_at_1
+    );
     assert!(result.pass_at_k >= 0.95, "pass@5 {}", result.pass_at_k);
     assert!(
         result.self_debug > result.pass_at_1 && result.self_debug < result.pass_at_k,
@@ -151,7 +175,11 @@ fn figure4_cost_shape_strawman_expensive_and_unscalable() {
     let at_80 = cost_comparison(&profile, 80, DEFAULT_SEED);
     let ratio = at_80.strawman_mean() / at_80.codegen_mean();
     assert!(ratio > 2.0, "strawman/codegen ratio {ratio}");
-    assert!(at_80.codegen_mean() < 0.2, "codegen cost {}", at_80.codegen_mean());
+    assert!(
+        at_80.codegen_mean() < 0.2,
+        "codegen cost {}",
+        at_80.codegen_mean()
+    );
 
     // Figure 4b: strawman grows with size and eventually exceeds the window;
     // code-gen stays flat.
@@ -161,15 +189,22 @@ fn figure4_cost_shape_strawman_expensive_and_unscalable() {
     let codegen_costs: Vec<f64> = sweep.iter().map(|p| p.codegen_mean).collect();
     let spread = codegen_costs.iter().cloned().fold(f64::MIN, f64::max)
         - codegen_costs.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 0.01, "codegen cost should be flat, spread {spread}");
+    assert!(
+        spread < 0.01,
+        "codegen cost should be flat, spread {spread}"
+    );
     let strawman_costs: Vec<f64> = sweep.iter().map(|p| p.strawman_mean).collect();
-    assert!(strawman_costs.windows(2).all(|w| w[1] >= w[0]), "strawman cost should grow");
+    assert!(
+        strawman_costs.windows(2).all(|w| w[1] >= w[0]),
+        "strawman cost should grow"
+    );
 }
 
 #[test]
 fn full_report_renders_every_artifact() {
     let suite = suite();
-    let logger = run_accuracy_benchmark_for(&suite, &[profiles::gpt4(), profiles::bard()], DEFAULT_SEED);
+    let logger =
+        run_accuracy_benchmark_for(&suite, &[profiles::gpt4(), profiles::bard()], DEFAULT_SEED);
     assert!(report::format_table2(&suite, &logger).contains("Google Bard"));
     assert!(report::format_table3(&suite, &logger).contains("strawman"));
     assert!(report::format_table4(&suite, &logger).contains("networkx"));

@@ -1,0 +1,43 @@
+//! Workspace-level smoke test: the benchmark manifest itself must be
+//! internally consistent. If a future PR breaks suite construction or drops
+//! a golden program for any query/backend pair, this fails fast — before
+//! the slower integration and reproduction suites run.
+
+use nemo_bench::{golden_of, BenchmarkSuite, SuiteConfig};
+use nemo_core::{Application, Backend};
+
+#[test]
+fn small_suite_builds_and_goldens_resolve_for_every_pair() {
+    let suite = BenchmarkSuite::build(&SuiteConfig::small());
+
+    assert!(
+        !suite.queries.is_empty(),
+        "suite built with no queries at all"
+    );
+    for app in Application::ALL {
+        assert!(
+            !suite.queries_for(app).is_empty(),
+            "no queries prepared for application {app:?}"
+        );
+    }
+
+    for query in &suite.queries {
+        for backend in Backend::ALL {
+            // `golden_of` panics on a missing entry; resolving every pair
+            // proves the manifest is complete.
+            let _ = golden_of(query, backend);
+        }
+        for backend in Backend::CODEGEN {
+            assert!(
+                query.spec.golden_program(backend).is_some(),
+                "query {} has no golden program for {backend:?}",
+                query.spec.id
+            );
+        }
+        assert!(
+            !query.direct_answer.is_empty(),
+            "query {} has an empty direct answer",
+            query.spec.id
+        );
+    }
+}

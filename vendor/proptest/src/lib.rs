@@ -1,0 +1,178 @@
+//! Offline stand-in for the `proptest` crate (API subset, see
+//! `vendor/README.md`).
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! range strategies for integers and floats, simple character-class string
+//! patterns (`"[a-z]{1,6}"`), tuples, `prop::collection::vec`, and
+//! [`strategy::Strategy::prop_map`].
+//!
+//! Unlike the real crate there is no shrinking: a failing case reports its
+//! case index, and the run is deterministic (fixed seed), so re-running
+//! reproduces it exactly. Case count defaults to 64; override with the
+//! `PROPTEST_CASES` environment variable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub mod collection {
+    //! Strategies for collections (`vec` only).
+
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Strategy producing a `Vec` whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs, mirroring
+    //! `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` env var, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-case RNG: fixed base seed mixed with the case index.
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0x5eed_cafe_f00d_0000 ^ u64::from(case).wrapping_mul(0x9e37_79b9))
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over [`cases`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut prop_rng = $crate::case_rng(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut prop_rng);)+
+                    let result: ::core::result::Result<(), ::std::string::String> = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(msg) = result {
+                        panic!(
+                            "property '{}' failed at case {}/{} (deterministic; rerun reproduces): {}",
+                            stringify!($name), case, cases, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking directly) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                )
+            }
+        }
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn int_range_in_bounds(x in -50i64..50) {
+            prop_assert!((-50..50).contains(&x));
+        }
+
+        /// Vec strategies respect the size range.
+        #[test]
+        fn vec_len_in_bounds(xs in prop::collection::vec(0i64..10, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            for x in &xs {
+                prop_assert!((0..10).contains(x));
+            }
+        }
+
+        /// Character-class patterns produce matching strings.
+        #[test]
+        fn pattern_matches_class(s in "[a-c]{1,4}") {
+            prop_assert!(!s.is_empty() && s.len() <= 4, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "got {:?}", s);
+        }
+
+        /// Tuples and prop_map compose.
+        #[test]
+        fn tuple_and_map(pair in (0i64..10, 10i64..20).prop_map(|(a, b)| a + b)) {
+            prop_assert!((10..30).contains(&pair));
+        }
+
+        /// prop_assume skips cases without failing them.
+        #[test]
+        fn assume_skips(x in 0i64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0i64..1_000, 0..20);
+        let a: Vec<Vec<i64>> = (0..10)
+            .map(|c| s.generate(&mut crate::case_rng(c)))
+            .collect();
+        let b: Vec<Vec<i64>> = (0..10)
+            .map(|c| s.generate(&mut crate::case_rng(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
