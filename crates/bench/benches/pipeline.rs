@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nemo_bench::runner::{
-    cost_comparison, run_accuracy_benchmark_for, run_case_study, DEFAULT_SEED,
+    cost_comparison, run_accuracy_benchmark_for, run_accuracy_benchmark_with_threads,
+    run_case_study, DEFAULT_SEED,
 };
 use nemo_bench::{BenchmarkSuite, SuiteConfig};
 use nemo_core::llm::profiles;
@@ -40,6 +41,22 @@ fn bench_accuracy_row(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread scaling of the parallel matrix runner: the same single-model
+/// accuracy row at pinned worker counts (the `NEMO_THREADS` lever). The
+/// output is identical at every point; only wall-clock should move.
+fn bench_matrix_threads(c: &mut Criterion) {
+    let suite = suite();
+    let mut group = c.benchmark_group("matrix_threads");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                run_accuracy_benchmark_with_threads(&suite, &[profiles::gpt4()], DEFAULT_SEED, t)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Pass@k sweep (the Table-6 ablation: how much each extra attempt buys).
 fn bench_pass_at_k(c: &mut Criterion) {
     let suite = suite();
@@ -67,6 +84,6 @@ fn bench_cost_model(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_single_query, bench_accuracy_row, bench_pass_at_k, bench_cost_model
+    targets = bench_single_query, bench_accuracy_row, bench_matrix_threads, bench_pass_at_k, bench_cost_model
 }
 criterion_main!(benches);

@@ -1,4 +1,7 @@
 //! Regenerates every table and figure in one run (used by EXPERIMENTS.md).
+//!
+//! Parallelism: set `NEMO_THREADS=N` to pin the worker-thread count
+//! (default: available parallelism); output is identical at any setting.
 
 use nemo_bench::report;
 use nemo_bench::runner::{cost_comparison, run_case_study, scalability_sweep, DEFAULT_SEED};

@@ -1,4 +1,7 @@
 //! Regenerates Figure 4a: CDF of LLM cost per query at 80 nodes and edges.
+//!
+//! Parallelism: set `NEMO_THREADS=N` to pin the worker-thread count
+//! (default: available parallelism); output is identical at any setting.
 
 use nemo_bench::runner::{cost_comparison, DEFAULT_SEED};
 use nemo_core::llm::profiles;

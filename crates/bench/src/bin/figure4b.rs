@@ -1,4 +1,7 @@
 //! Regenerates Figure 4b: LLM cost versus graph size, strawman vs code-gen.
+//!
+//! Parallelism: set `NEMO_THREADS=N` to pin the worker-thread count
+//! (default: available parallelism); output is identical at any setting.
 
 use nemo_bench::runner::{scalability_sweep, DEFAULT_SEED};
 use nemo_core::llm::profiles;

@@ -1,4 +1,7 @@
 //! Regenerates Table 3: traffic-analysis accuracy by complexity.
+//!
+//! Parallelism: set `NEMO_THREADS=N` to pin the worker-thread count
+//! (default: available parallelism); output is identical at any setting.
 
 fn main() {
     let suite = bench::build_suite();

@@ -1,4 +1,7 @@
 //! Regenerates Table 5: error-type summary of failed NetworkX programs.
+//!
+//! Parallelism: set `NEMO_THREADS=N` to pin the worker-thread count
+//! (default: available parallelism); output is identical at any setting.
 
 fn main() {
     let suite = bench::build_suite();

@@ -1,4 +1,7 @@
 //! Regenerates Table 6: the Bard + pass@5 / self-debug case study on MALT.
+//!
+//! Parallelism: set `NEMO_THREADS=N` to pin the worker-thread count
+//! (default: available parallelism); output is identical at any setting.
 
 use nemo_bench::runner::{run_case_study, DEFAULT_SEED};
 use nemo_core::llm::profiles;

@@ -12,7 +12,10 @@ use nemo_core::ResultsLogger;
 /// Builds the benchmark suite used by every regeneration binary.
 ///
 /// Setting the environment variable `NEMO_SMALL=1` switches to the reduced
-/// MALT preset, which is useful when iterating locally.
+/// MALT preset, which is useful when iterating locally. Suite construction
+/// and every benchmark stage fan out over `NEMO_THREADS` worker threads
+/// (default: available parallelism); results are identical at any thread
+/// count.
 pub fn build_suite() -> BenchmarkSuite {
     if std::env::var("NEMO_SMALL").is_ok() {
         BenchmarkSuite::build(&SuiteConfig::small())
@@ -22,8 +25,15 @@ pub fn build_suite() -> BenchmarkSuite {
 }
 
 /// Runs the full accuracy benchmark (all four model profiles) with the
-/// published seed.
+/// published seed, parallel over `NEMO_THREADS` workers. The log is
+/// bit-for-bit identical at any thread count, so the knob is purely a
+/// wall-clock lever.
 pub fn run_full(suite: &BenchmarkSuite) -> ResultsLogger {
+    eprintln!(
+        "[bench] running on {} worker thread(s) (override with {}=N)",
+        nemo_bench::pool::thread_count(),
+        nemo_bench::pool::THREADS_ENV,
+    );
     runner::run_accuracy_benchmark(suite, runner::DEFAULT_SEED)
 }
 

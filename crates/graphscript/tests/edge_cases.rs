@@ -1,0 +1,204 @@
+//! Interpreter edge cases the benchmark programs never hit on the default
+//! workloads: empty graphs, single-node graphs and self-loops, plus
+//! property tests over randomly built tiny graphs (self-loops included).
+
+use graphscript::{Interpreter, Value};
+use netgraph::{attrs, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run_on(graph: Graph, program: &str) -> Value {
+    let mut interp = Interpreter::new().with_step_limit(1_000_000);
+    interp.set_global("G", Value::graph(graph));
+    interp
+        .run(program)
+        .unwrap_or_else(|e| panic!("program failed: {e}\n{program}"))
+        .value
+}
+
+fn int_of(value: &Value) -> i64 {
+    value
+        .as_i64()
+        .unwrap_or_else(|| panic!("not an int: {value}"))
+}
+
+#[test]
+fn empty_graph_counts_iterations_and_aggregates() {
+    let program = r#"
+visited = 0
+for n in G.nodes() {
+    visited += 1
+}
+for e in G.edges_data() {
+    visited += 1
+}
+result = [G.number_of_nodes(), G.number_of_edges(), visited, G.total_edge_attr("bytes")]
+"#;
+    // total_edge_attr returns a float; the empty sum must render as 0.0
+    // (not -0.0, the float Sum identity).
+    let value = run_on(Graph::directed(), program);
+    assert_eq!(value.to_string(), "[0, 0, 0, 0.0]");
+}
+
+#[test]
+fn empty_graph_subgraph_and_membership() {
+    let program = r#"
+sub = G.subgraph([])
+result = [sub.number_of_nodes(), G.has_node("ghost"), G.nodes_with_prefix("10.")]
+"#;
+    let value = run_on(Graph::directed(), program);
+    assert_eq!(value.to_string(), "[0, false, []]");
+}
+
+#[test]
+fn single_node_graph_degrees_and_removal() {
+    let mut g = Graph::directed();
+    g.add_node("10.0.0.1", attrs([("prefix16", "10.0")]));
+    let program = r#"
+degrees = [G.degree("10.0.0.1"), G.in_degree("10.0.0.1"), G.out_degree("10.0.0.1")]
+G.remove_node("10.0.0.1")
+result = [degrees, G.number_of_nodes()]
+"#;
+    let value = run_on(g, program);
+    assert_eq!(value.to_string(), "[[0, 0, 0], 0]");
+}
+
+#[test]
+fn self_loop_edges_are_counted_and_traversed_once() {
+    let mut g = Graph::directed();
+    g.add_edge("a", "a", attrs([("bytes", 7i64)]));
+    let program = r#"
+seen = []
+for e in G.edges_data() {
+    seen.append([e[0], e[1], e[2]["bytes"]])
+}
+result = [G.number_of_nodes(), G.number_of_edges(), seen, G.total_edge_attr("bytes")]
+"#;
+    let value = run_on(g, program);
+    assert_eq!(value.to_string(), "[1, 1, [[a, a, 7]], 7.0]");
+}
+
+#[test]
+fn removing_a_self_loop_node_removes_its_loop_edge() {
+    let mut g = Graph::directed();
+    g.add_edge("a", "a", attrs([("bytes", 1i64)]));
+    g.add_edge("a", "b", attrs([("bytes", 2i64)]));
+    let program = r#"
+before = G.number_of_edges()
+G.remove_node("a")
+result = [before, G.number_of_nodes(), G.number_of_edges()]
+"#;
+    let value = run_on(g, program);
+    assert_eq!(value.to_string(), "[2, 1, 0]");
+}
+
+#[test]
+fn subgraph_keeps_self_loops_of_member_nodes() {
+    let mut g = Graph::directed();
+    g.add_edge("a", "a", attrs([("bytes", 1i64)]));
+    g.add_edge("a", "b", attrs([("bytes", 2i64)]));
+    g.add_edge("b", "c", attrs([("bytes", 3i64)]));
+    let program = r#"
+sub = G.subgraph(["a", "b"])
+result = [sub.number_of_nodes(), sub.number_of_edges()]
+"#;
+    let value = run_on(g, program);
+    // Members a and b keep the loop a->a and the edge a->b; b->c is cut.
+    assert_eq!(value.to_string(), "[2, 2]");
+}
+
+/// Builds a random directed graph of up to 6 nodes whose edge set may
+/// include self-loops, duplicate writes and isolated nodes.
+fn arb_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::directed();
+    let n_nodes = rng.gen_range(0..6usize);
+    for i in 0..n_nodes {
+        g.add_node(&format!("n{i}"), attrs([("weight", i as i64)]));
+    }
+    if n_nodes > 0 {
+        for _ in 0..rng.gen_range(0..10usize) {
+            let u = rng.gen_range(0..n_nodes);
+            // Biased towards self-loops so they appear often.
+            let v = if rng.gen_range(0..3u32) == 0 {
+                u
+            } else {
+                rng.gen_range(0..n_nodes)
+            };
+            let bytes = rng.gen_range(1..100i64);
+            g.add_edge(
+                &format!("n{u}"),
+                &format!("n{v}"),
+                attrs([("bytes", bytes)]),
+            );
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Interpreter-visible counts agree with the substrate's own counts,
+    /// for any tiny graph (including empty / single-node / self-loops).
+    #[test]
+    fn counts_agree_with_substrate(seed in 0u64..u64::MAX) {
+        let g = arb_graph(seed);
+        let (nodes, edges) = (g.number_of_nodes() as i64, g.number_of_edges() as i64);
+        let value = run_on(g, r#"
+ns = 0
+for n in G.nodes() {
+    ns += 1
+}
+es = 0
+for e in G.edges_data() {
+    es += 1
+}
+result = [G.number_of_nodes(), G.number_of_edges(), ns, es]
+"#);
+        prop_assert_eq!(value.to_string(), format!("[{nodes}, {edges}, {nodes}, {edges}]"));
+    }
+
+    /// The sum of all out-degrees equals the edge count, self-loops
+    /// included, and subgraph(all nodes) is the identity.
+    #[test]
+    fn degree_sum_and_identity_subgraph(seed in 0u64..u64::MAX) {
+        let g = arb_graph(seed);
+        let edges = g.number_of_edges() as i64;
+        let nodes = g.number_of_nodes() as i64;
+        let value = run_on(g, r#"
+total = 0
+members = []
+for n in G.nodes() {
+    total += G.out_degree(n)
+    members.append(n)
+}
+sub = G.subgraph(members)
+result = [total, sub.number_of_nodes(), sub.number_of_edges()]
+"#);
+        let list = match &value {
+            Value::List(items) => items.borrow().clone(),
+            other => panic!("expected list, got {other}"),
+        };
+        prop_assert_eq!(int_of(&list[0]), edges);
+        prop_assert_eq!(int_of(&list[1]), nodes);
+        prop_assert_eq!(int_of(&list[2]), edges);
+    }
+
+    /// Removing every node one by one always ends on the empty graph, and
+    /// never errors — even when loops and isolated nodes are mixed.
+    #[test]
+    fn draining_nodes_empties_the_graph(seed in 0u64..u64::MAX) {
+        let g = arb_graph(seed);
+        let value = run_on(g, r#"
+names = []
+for n in G.nodes() {
+    names.append(n)
+}
+for n in names {
+    G.remove_node(n)
+}
+result = [G.number_of_nodes(), G.number_of_edges()]
+"#);
+        prop_assert_eq!(value.to_string(), "[0, 0]");
+    }
+}

@@ -1,0 +1,132 @@
+//! A minimal work-queue thread pool for the benchmark's embarrassingly
+//! parallel stages (the accuracy matrix, the case study, golden-answer
+//! preparation, the cost sweep).
+//!
+//! The workspace is offline (no rayon), so this is built from
+//! `std::thread::scope` plus an `mpsc` channel: an atomic counter hands out
+//! item indices, scoped workers pull indices until the queue is drained and
+//! send `(index, result)` pairs back over the channel, and the caller
+//! reassembles results **in index order**. Because every item is an
+//! independent pure function of its index, the output is bit-for-bit
+//! identical at any thread count — only wall-clock time changes.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The environment variable that overrides the worker-thread count.
+pub const THREADS_ENV: &str = "NEMO_THREADS";
+
+/// The number of worker threads benchmark stages use: the `NEMO_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn thread_count() -> usize {
+    parse_thread_count(std::env::var(THREADS_ENV).ok().as_deref())
+        .unwrap_or_else(available_parallelism)
+}
+
+/// Parses a `NEMO_THREADS` value; `None` for unset, unparseable or
+/// non-positive inputs (which all fall back to available parallelism).
+fn parse_thread_count(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `work` over `0..len` on a pool of `threads` workers and returns the
+/// results in index order.
+///
+/// `work` must be a pure function of the index (it may share read-only
+/// state): the pool guarantees each index is executed exactly once and the
+/// output vector is ordered by index, so the result is independent of the
+/// thread count and of scheduling. A panic in any worker propagates to the
+/// caller when the scope joins.
+pub fn run_indexed<T, F>(len: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads <= 1 {
+        return (0..len).map(work).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let work = &work;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= len {
+                    break;
+                }
+                // A send can only fail if the receiver is gone, which
+                // means the caller already panicked; stop quietly.
+                if tx.send((index, work(index))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+        for (index, value) in rx {
+            slots[index] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index executed exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_at_any_thread_count() {
+        let work = |i: usize| i * i;
+        let sequential: Vec<usize> = (0..100).map(work).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(run_indexed(100, threads, work), sequential);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn each_index_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(64, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn thread_count_parsing() {
+        // The parser is tested purely — mutating the process environment
+        // from a test would race with sibling tests reading it.
+        assert_eq!(parse_thread_count(Some("3")), Some(3));
+        assert_eq!(parse_thread_count(Some(" 8 ")), Some(8));
+        assert_eq!(parse_thread_count(Some("0")), None);
+        assert_eq!(parse_thread_count(Some("not-a-number")), None);
+        assert_eq!(parse_thread_count(None), None);
+        assert!(thread_count() >= 1);
+    }
+}

@@ -1,14 +1,29 @@
 //! Benchmark execution: the full accuracy matrix (Tables 2–4), the error
 //! breakdown (Table 5), the pass@k / self-debug case study (Table 6) and the
 //! cost/scalability analysis (Figure 4).
+//!
+//! # Parallel execution and determinism
+//!
+//! The evaluation matrix is embarrassingly parallel over its (model,
+//! application, backend, query) cells, so the runner enumerates every cell
+//! up front in the canonical order of the paper's tables and fans the cells
+//! out over the [`crate::pool`] work-queue. Each cell is a pure function of
+//! `(suite, cell, seed)`: the cell builds its **own** [`SimulatedLlm`] from
+//! the suite's shared knowledge base with a seed derived deterministically
+//! from the base seed and the cell's coordinates, runs the pipeline, and
+//! returns its record. Records are reassembled in enumeration order, so
+//! `run_accuracy_benchmark` is bit-for-bit identical at any thread count
+//! (`NEMO_THREADS`; asserted by the determinism regression test).
 
+use crate::pool;
 use crate::suite::{BenchmarkSuite, PreparedQuery};
 use nemo_core::apps::TrafficApp;
 use nemo_core::cost::{cost_cdf, count_tokens, price_request, CostCdf, CostRecord};
-use nemo_core::llm::{all_profiles, ModelProfile};
+use nemo_core::llm::{all_profiles, hash_parts, ModelProfile};
 use nemo_core::prompt::{codegen_prompt, strawman_prompt};
 use nemo_core::{
-    Application, Backend, Complexity, FaultKind, NetworkManager, ResultsLogger, SimulatedLlm,
+    Application, Backend, Complexity, FaultKind, NetworkManager, ResultsLogger, RunRecord,
+    SimulatedLlm,
 };
 use std::collections::BTreeMap;
 use trafficgen::TrafficConfig;
@@ -16,9 +31,90 @@ use trafficgen::TrafficConfig;
 /// Seed used by the published regeneration binaries.
 pub const DEFAULT_SEED: u64 = 2023;
 
+/// One cell of the evaluation matrix: a model answering one query against
+/// one backend.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchCell<'s> {
+    /// The model profile evaluated in this cell.
+    pub profile: &'s ModelProfile,
+    /// The application the query belongs to.
+    pub application: Application,
+    /// The backend the query is executed against.
+    pub backend: Backend,
+    /// The prepared query (spec plus golden outcomes).
+    pub query: &'s PreparedQuery,
+}
+
+impl BenchCell<'_> {
+    /// The cell's RNG seed, derived deterministically from the run's base
+    /// seed and the cell's (model, application, backend) coordinates, so a
+    /// cell's behaviour never depends on which worker ran it or in what
+    /// order.
+    ///
+    /// The query text is deliberately **not** part of the derivation: the
+    /// simulated model's calibration ranks all tasks of an (application,
+    /// complexity) cell under one seed to decide which exact
+    /// `accuracy × cell size` of them it solves, so every query of a
+    /// (model, backend) slice must see the same seed. Per-query variation
+    /// is already provided inside [`SimulatedLlm`], which hashes the query
+    /// text into each decision.
+    pub fn seed(&self, base: u64) -> u64 {
+        hash_parts(&[
+            "cell-seed",
+            &base.to_string(),
+            self.profile.name,
+            self.application.name(),
+            self.backend.name(),
+        ])
+    }
+}
+
+/// Enumerates every cell of the accuracy matrix in the canonical order of
+/// the paper's tables: model → application → backend → query (the strawman
+/// only for traffic analysis, as in the paper).
+pub fn enumerate_cells<'s>(
+    suite: &'s BenchmarkSuite,
+    profiles: &'s [ModelProfile],
+) -> Vec<BenchCell<'s>> {
+    let mut cells = Vec::new();
+    for profile in profiles {
+        for app in Application::ALL {
+            let backends: &[Backend] = match app {
+                Application::TrafficAnalysis => &Backend::ALL,
+                Application::MaltLifecycle => &Backend::CODEGEN,
+            };
+            for &backend in backends {
+                for query in suite.queries_for(app) {
+                    cells.push(BenchCell {
+                        profile,
+                        application: app,
+                        backend,
+                        query,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Executes one cell end to end with a fresh per-cell model.
+fn run_cell(suite: &BenchmarkSuite, cell: &BenchCell<'_>, base_seed: u64) -> RunRecord {
+    let llm = SimulatedLlm::new(
+        cell.profile.clone(),
+        suite.knowledge(),
+        cell.seed(base_seed),
+    );
+    let golden = &cell.query.goldens[&cell.backend];
+    let mut manager = NetworkManager::new(suite.app(cell.application), llm);
+    manager.run_query(cell.backend, cell.query.spec.text, golden)
+}
+
 /// Runs the full accuracy matrix of the paper's Table 2: every model ×
 /// backend × query (the strawman only for traffic analysis, as in the
-/// paper), returning the complete results log.
+/// paper), returning the complete results log. Parallel over cells with
+/// `NEMO_THREADS` workers (default: available parallelism); the log is
+/// identical at any thread count.
 pub fn run_accuracy_benchmark(suite: &BenchmarkSuite, seed: u64) -> ResultsLogger {
     run_accuracy_benchmark_for(suite, &all_profiles(), seed)
 }
@@ -29,26 +125,21 @@ pub fn run_accuracy_benchmark_for(
     profiles: &[ModelProfile],
     seed: u64,
 ) -> ResultsLogger {
-    let mut logger = ResultsLogger::new();
-    for profile in profiles {
-        let mut llm = SimulatedLlm::new(profile.clone(), suite.knowledge(), seed);
-        for app in Application::ALL {
-            let wrapper = suite.app(app);
-            let backends: &[Backend] = match app {
-                Application::TrafficAnalysis => &Backend::ALL,
-                Application::MaltLifecycle => &Backend::CODEGEN,
-            };
-            for &backend in backends {
-                for query in suite.queries_for(app) {
-                    let golden = &query.goldens[&backend];
-                    let mut manager = NetworkManager::new(wrapper, &mut llm);
-                    let record = manager.run_query(backend, query.spec.text, golden);
-                    logger.log(record);
-                }
-            }
-        }
-    }
-    logger
+    run_accuracy_benchmark_with_threads(suite, profiles, seed, pool::thread_count())
+}
+
+/// Like [`run_accuracy_benchmark_for`] with an explicit worker-thread
+/// count (the determinism tests and benchmarks pin it).
+pub fn run_accuracy_benchmark_with_threads(
+    suite: &BenchmarkSuite,
+    profiles: &[ModelProfile],
+    seed: u64,
+    threads: usize,
+) -> ResultsLogger {
+    let cells = enumerate_cells(suite, profiles);
+    pool::run_indexed(cells.len(), threads, |i| run_cell(suite, &cells[i], seed))
+        .into_iter()
+        .collect()
 }
 
 /// Accuracy over the records of one model / application / backend,
@@ -65,7 +156,8 @@ pub fn accuracy(
     logger.pass_rate(|r| {
         r.model == model
             && r.backend == backend
-            && lookup(suite, &r.query)
+            && suite
+                .query_by_text(&r.query)
                 .map(|q| {
                     q.spec.application == app
                         && complexity.map(|c| q.spec.complexity == c).unwrap_or(true)
@@ -83,14 +175,11 @@ pub fn error_breakdown(
 ) -> BTreeMap<FaultKind, usize> {
     logger.failure_categories(|r| {
         r.backend == Backend::NetworkX
-            && lookup(suite, &r.query)
+            && suite
+                .query_by_text(&r.query)
                 .map(|q| q.spec.application == app)
                 .unwrap_or(false)
     })
-}
-
-fn lookup<'a>(suite: &'a BenchmarkSuite, query_text: &str) -> Option<&'a PreparedQuery> {
-    suite.queries.iter().find(|q| q.spec.text == query_text)
 }
 
 // --------------------------------------------------------------- Table 6
@@ -109,50 +198,69 @@ pub struct CaseStudyResult {
     pub self_debug: f64,
 }
 
-/// Runs the Table-6 case study for one model profile (the paper uses Bard).
+/// Runs the Table-6 case study for one model profile (the paper uses
+/// Bard). Parallel over (variant, query) cells: each cell gets a fresh
+/// model, which both keeps attempt counters independent (the published
+/// semantics) and makes cells order-free, so the result is identical at
+/// any thread count.
 pub fn run_case_study(
     suite: &BenchmarkSuite,
     profile: &ModelProfile,
     k: usize,
     seed: u64,
 ) -> CaseStudyResult {
+    run_case_study_with_threads(suite, profile, k, seed, pool::thread_count())
+}
+
+/// Like [`run_case_study`] with an explicit worker-thread count.
+pub fn run_case_study_with_threads(
+    suite: &BenchmarkSuite,
+    profile: &ModelProfile,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> CaseStudyResult {
     let wrapper = suite.app(Application::MaltLifecycle);
     let queries = suite.queries_for(Application::MaltLifecycle);
+    const VARIANTS: [&str; 3] = ["pass1", "passk", "selfdebug"];
 
-    let run_variant = |variant: &str| -> f64 {
-        let mut passes = 0usize;
-        for query in &queries {
-            // A fresh model per query keeps attempt counters independent.
-            let mut llm = SimulatedLlm::new(profile.clone(), suite.knowledge(), seed);
-            let golden = &query.goldens[&Backend::NetworkX];
-            let mut manager = NetworkManager::new(wrapper, &mut llm);
-            let passed = match variant {
-                "pass1" => manager
-                    .run_query(Backend::NetworkX, query.spec.text, golden)
-                    .passed(),
-                "passk" => {
-                    manager
-                        .run_pass_at_k(Backend::NetworkX, query.spec.text, golden, k)
-                        .0
-                }
-                _ => {
-                    manager
-                        .run_self_debug(Backend::NetworkX, query.spec.text, golden, 1)
-                        .0
-                }
-            };
-            if passed {
-                passes += 1;
+    let outcomes = pool::run_indexed(VARIANTS.len() * queries.len(), threads, |cell| {
+        let variant = VARIANTS[cell / queries.len()];
+        let query = queries[cell % queries.len()];
+        let llm = SimulatedLlm::new(profile.clone(), suite.knowledge(), seed);
+        let golden = &query.goldens[&Backend::NetworkX];
+        let mut manager = NetworkManager::new(wrapper, llm);
+        match variant {
+            "pass1" => manager
+                .run_query(Backend::NetworkX, query.spec.text, golden)
+                .passed(),
+            "passk" => {
+                manager
+                    .run_pass_at_k(Backend::NetworkX, query.spec.text, golden, k)
+                    .0
+            }
+            _ => {
+                manager
+                    .run_self_debug(Backend::NetworkX, query.spec.text, golden, 1)
+                    .0
             }
         }
+    });
+
+    let rate_of = |variant: &str| -> f64 {
+        let offset = VARIANTS.iter().position(|v| *v == variant).unwrap() * queries.len();
+        let passes = outcomes[offset..offset + queries.len()]
+            .iter()
+            .filter(|&&p| p)
+            .count();
         passes as f64 / queries.len() as f64
     };
 
     CaseStudyResult {
-        pass_at_1: run_variant("pass1"),
-        pass_at_k: run_variant("passk"),
+        pass_at_1: rate_of("pass1"),
+        pass_at_k: rate_of("passk"),
         k,
-        self_debug: run_variant("selfdebug"),
+        self_debug: rate_of("selfdebug"),
     }
 }
 
@@ -256,23 +364,22 @@ pub struct ScalabilityPoint {
 }
 
 /// Sweeps graph sizes and prices both approaches at each size (Figure 4b).
+/// Sizes are independent, so the sweep fans out over the worker pool;
+/// points come back in input order.
 pub fn scalability_sweep(
     profile: &ModelProfile,
     sizes: &[usize],
     seed: u64,
 ) -> Vec<ScalabilityPoint> {
-    sizes
-        .iter()
-        .map(|&size| {
-            let cmp = cost_comparison(profile, size, seed);
-            ScalabilityPoint {
-                graph_size: cmp.graph_size,
-                strawman_mean: cmp.strawman_mean(),
-                strawman_over_window: cmp.strawman_over_window(),
-                codegen_mean: cmp.codegen_mean(),
-            }
-        })
-        .collect()
+    pool::run_indexed(sizes.len(), pool::thread_count(), |i| {
+        let cmp = cost_comparison(profile, sizes[i], seed);
+        ScalabilityPoint {
+            graph_size: cmp.graph_size,
+            strawman_mean: cmp.strawman_mean(),
+            strawman_over_window: cmp.strawman_over_window(),
+            codegen_mean: cmp.codegen_mean(),
+        }
+    })
 }
 
 /// A rough token count of the strawman prompt for a graph of `size` nodes

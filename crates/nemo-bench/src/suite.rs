@@ -2,6 +2,7 @@
 //! LLM knowledge base (the "Golden Answer Selector" of Figure 3).
 
 use crate::malt_queries::malt_queries;
+use crate::pool;
 use crate::spec::QuerySpec;
 use crate::traffic_queries::traffic_queries;
 use malt::MaltConfig;
@@ -11,6 +12,7 @@ use nemo_core::{
     Application, Backend, CodeKnowledge, KnownTask, NetworkState, Outcome, OutputValue,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use trafficgen::TrafficConfig;
 
 /// One query prepared for execution: its spec, the golden outcome per
@@ -29,6 +31,10 @@ pub struct PreparedQuery {
 
 /// The assembled benchmark: both applications, every prepared query, and
 /// the knowledge base handed to simulated models.
+///
+/// The suite is `Sync` and is shared by reference (or behind an `Arc`)
+/// across the parallel runner's worker threads: applications, golden
+/// outcomes and the knowledge base are all immutable after `build`.
 pub struct BenchmarkSuite {
     /// The traffic-analysis application wrapper.
     pub traffic_app: TrafficApp,
@@ -36,6 +42,10 @@ pub struct BenchmarkSuite {
     pub malt_app: MaltApp,
     /// Every prepared query (24 traffic + 9 MALT).
     pub queries: Vec<PreparedQuery>,
+    /// Index of `queries` by exact query text, for O(log n) record joins.
+    by_text: BTreeMap<String, usize>,
+    /// The knowledge base, built once and shared by every simulated model.
+    knowledge: Arc<CodeKnowledge>,
 }
 
 /// Configuration of the benchmark workloads.
@@ -71,7 +81,10 @@ impl SuiteConfig {
 
 impl BenchmarkSuite {
     /// Builds the suite: generates workloads, runs every golden program
-    /// through the sandbox and records its outcome.
+    /// through the sandbox and records its outcome. Golden preparation is
+    /// independent per query, so it fans out over the worker pool
+    /// (`NEMO_THREADS`); results are assembled in query order, so the built
+    /// suite is identical at any thread count.
     ///
     /// Panics if any golden program fails to execute — a golden answer that
     /// does not run is a benchmark bug, and the test suite exercises this
@@ -79,18 +92,30 @@ impl BenchmarkSuite {
     pub fn build(config: &SuiteConfig) -> Self {
         let traffic_app = TrafficApp::new(trafficgen::generate(&config.traffic));
         let malt_app = MaltApp::new(malt::generate(&config.malt));
-        let mut queries = Vec::new();
-        for spec in traffic_queries().into_iter().chain(malt_queries()) {
+        let specs: Vec<QuerySpec> = traffic_queries()
+            .into_iter()
+            .chain(malt_queries())
+            .collect();
+        let queries = pool::run_indexed(specs.len(), pool::thread_count(), |i| {
+            let spec = specs[i].clone();
             let app: &dyn ApplicationWrapper = match spec.application {
                 Application::TrafficAnalysis => &traffic_app,
                 Application::MaltLifecycle => &malt_app,
             };
-            queries.push(prepare_query(app, spec));
-        }
+            prepare_query(app, spec)
+        });
+        let by_text = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.spec.text.to_string(), i))
+            .collect();
+        let knowledge = Arc::new(build_knowledge(&queries));
         BenchmarkSuite {
             traffic_app,
             malt_app,
             queries,
+            by_text,
+            knowledge,
         }
     }
 
@@ -107,6 +132,13 @@ impl BenchmarkSuite {
             .collect()
     }
 
+    /// The prepared query with exactly this text, via the suite's index
+    /// (run records store the query text verbatim, so this is the join the
+    /// accuracy and error-breakdown aggregations perform per record).
+    pub fn query_by_text(&self, text: &str) -> Option<&PreparedQuery> {
+        self.by_text.get(text).map(|&i| &self.queries[i])
+    }
+
     /// The application wrapper for an application.
     pub fn app(&self, app: Application) -> &dyn ApplicationWrapper {
         match app {
@@ -116,22 +148,35 @@ impl BenchmarkSuite {
     }
 
     /// The knowledge base handed to [`nemo_core::SimulatedLlm`]: every query
-    /// with its golden programs and golden direct answer.
-    pub fn knowledge(&self) -> CodeKnowledge {
-        CodeKnowledge::new(
-            self.queries
-                .iter()
-                .map(|q| KnownTask {
-                    id: q.spec.id.to_string(),
-                    query: q.spec.text.to_string(),
-                    application: q.spec.application,
-                    complexity: q.spec.complexity,
-                    programs: q.spec.programs(),
-                    direct_answer: q.direct_answer.clone(),
-                })
-                .collect(),
-        )
+    /// with its golden programs and golden direct answer. Built once at
+    /// suite construction; the returned `Arc` is a cheap handle, so every
+    /// benchmark cell can have its own model without copying the goldens.
+    pub fn knowledge(&self) -> Arc<CodeKnowledge> {
+        Arc::clone(&self.knowledge)
     }
+}
+
+// The parallel runner shares the suite across worker threads; this fails to
+// compile if a non-Send/Sync type sneaks into the suite.
+const _: fn() = || {
+    fn assert_sync_send<T: Send + Sync>() {}
+    assert_sync_send::<BenchmarkSuite>();
+};
+
+fn build_knowledge(queries: &[PreparedQuery]) -> CodeKnowledge {
+    CodeKnowledge::new(
+        queries
+            .iter()
+            .map(|q| KnownTask {
+                id: q.spec.id.to_string(),
+                query: q.spec.text.to_string(),
+                application: q.spec.application,
+                complexity: q.spec.complexity,
+                programs: q.spec.programs(),
+                direct_answer: q.direct_answer.clone(),
+            })
+            .collect(),
+    )
 }
 
 fn prepare_query(app: &dyn ApplicationWrapper, spec: QuerySpec) -> PreparedQuery {
@@ -213,5 +258,17 @@ mod tests {
         assert!(knowledge
             .find_by_query("How many packet switches are in the topology?")
             .is_some());
+    }
+
+    #[test]
+    fn query_text_index_joins_every_query_and_rejects_unknown_text() {
+        let suite = BenchmarkSuite::build(&SuiteConfig::small());
+        for q in &suite.queries {
+            let found = suite
+                .query_by_text(q.spec.text)
+                .expect("indexed query resolves");
+            assert_eq!(found.spec.id, q.spec.id);
+        }
+        assert!(suite.query_by_text("no such query").is_none());
     }
 }

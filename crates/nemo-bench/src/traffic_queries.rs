@@ -179,7 +179,11 @@ for row in nodes.to_rows() {
 }
 nodes.set_column("color", colors)
 result = mapping"#,
-            "UPDATE nodes SET color = 'color-0' WHERE prefix16 = '10.2';\nUPDATE nodes SET color = 'color-1' WHERE prefix16 = '10.3';\nUPDATE nodes SET color = 'color-2' WHERE prefix16 = '100.64';\nUPDATE nodes SET color = 'color-3' WHERE prefix16 = '15.76';\nUPDATE nodes SET color = 'color-4' WHERE prefix16 = '172.16';\nUPDATE nodes SET color = 'color-5' WHERE prefix16 = '192.168';\nSELECT DISTINCT prefix16, color FROM nodes ORDER BY prefix16",
+            // Same palette order as palette_color(): the /16 prefixes sorted
+            // ascending get red, blue, green, orange, purple, cyan — so the
+            // SQL answer agrees with the script substrates (asserted by the
+            // cross-backend conformance harness).
+            "UPDATE nodes SET color = 'red' WHERE prefix16 = '10.2';\nUPDATE nodes SET color = 'blue' WHERE prefix16 = '10.3';\nUPDATE nodes SET color = 'green' WHERE prefix16 = '100.64';\nUPDATE nodes SET color = 'orange' WHERE prefix16 = '15.76';\nUPDATE nodes SET color = 'purple' WHERE prefix16 = '172.16';\nUPDATE nodes SET color = 'cyan' WHERE prefix16 = '192.168';\nSELECT DISTINCT prefix16, color FROM nodes ORDER BY prefix16",
         ),
         spec(
             "T10",
@@ -494,7 +498,11 @@ while i < edges.n_rows() {
     i += 1
 }
 result = new_total"#,
-            "UPDATE edges SET bytes = bytes / 2 WHERE source = '15.76.0.1' OR target = '15.76.0.1';\nSELECT SUM(bytes) AS total FROM edges WHERE source = '15.76.0.1' OR target = '15.76.0.1'",
+            // 100.64.0.12 is the node with the highest total byte weight in
+            // the fixed default workload (the cross-backend conformance
+            // harness checks this hardcoded choice against the graph and
+            // dataframe substrates, which compute the argmax).
+            "UPDATE edges SET bytes = bytes / 2 WHERE source = '100.64.0.12' OR target = '100.64.0.12';\nSELECT SUM(bytes) AS total FROM edges WHERE source = '100.64.0.12' OR target = '100.64.0.12'",
         ),
         spec(
             "T24",

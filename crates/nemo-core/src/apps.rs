@@ -12,7 +12,11 @@ use netgraph::json::graph_to_json;
 use trafficgen::TrafficWorkload;
 
 /// The interface the framework uses to talk to an application.
-pub trait ApplicationWrapper {
+///
+/// Wrappers are shared by reference across benchmark worker threads (each
+/// thread materializes its own backend states from the wrapper's immutable
+/// network data), hence the `Send + Sync` bound.
+pub trait ApplicationWrapper: Send + Sync {
     /// Which benchmark application this is.
     fn application(&self) -> Application;
 

@@ -146,15 +146,14 @@ fn truncate(text: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::{NetworkState, OutputValue};
-    use graphscript::Value;
+    use crate::state::{NetworkState, OutputValue, ScriptValue};
     use netgraph::{attrs, Graph};
 
     fn golden() -> Outcome {
         let mut g = Graph::directed();
         g.add_edge("a", "b", attrs([("bytes", 10i64)]));
         Outcome {
-            value: OutputValue::Script(Value::Int(2)),
+            value: OutputValue::Script(ScriptValue::Int(2)),
             state: NetworkState::Graph(g),
             printed: vec![],
         }
@@ -166,7 +165,7 @@ mod tests {
         assert!(evaluate(&Ok(g.clone()), &g).passed());
 
         let mut wrong_value = g.clone();
-        wrong_value.value = OutputValue::Script(Value::Int(3));
+        wrong_value.value = OutputValue::Script(ScriptValue::Int(3));
         let v = evaluate(&Ok(wrong_value), &g);
         assert_eq!(v.category(), Some(FaultKind::WrongCalculation));
         assert!(v.detail().unwrap().contains("result mismatch"));

@@ -14,7 +14,11 @@ use crate::state::Outcome;
 
 /// Everything recorded about one LLM attempt at one query (the "Results
 /// Logger" rows of Figure 3).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (verdicts, responses, token
+/// counts, dollar costs) — the determinism regression tests use it to
+/// assert that parallel and sequential runs produce identical logs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// The model name.
     pub model: String,
@@ -41,15 +45,25 @@ impl RunRecord {
 
 /// The natural-language network-management pipeline bound to one
 /// application and one model.
-pub struct NetworkManager<'a> {
+///
+/// The manager is generic over how it holds its model: pass an owned
+/// [`Llm`] (the parallel benchmark runner gives each worker cell its own
+/// simulated model) or a `&mut` borrow (unit tests that inspect the model
+/// afterwards) — both work because `&mut L` is itself an [`Llm`].
+pub struct NetworkManager<'a, L: Llm> {
     app: &'a dyn ApplicationWrapper,
-    llm: &'a mut dyn Llm,
+    llm: L,
 }
 
-impl<'a> NetworkManager<'a> {
+impl<'a, L: Llm> NetworkManager<'a, L> {
     /// Creates a pipeline for an application and a model.
-    pub fn new(app: &'a dyn ApplicationWrapper, llm: &'a mut dyn Llm) -> Self {
+    pub fn new(app: &'a dyn ApplicationWrapper, llm: L) -> Self {
         NetworkManager { app, llm }
+    }
+
+    /// Consumes the pipeline and returns its model.
+    pub fn into_llm(self) -> L {
+        self.llm
     }
 
     /// Builds the prompt for a query under a backend.
@@ -240,17 +254,19 @@ mod tests {
     fn self_debug_feeds_the_error_back() {
         let app = app();
         let golden = golden_for(&app, Backend::NetworkX, "result = G.number_of_nodes()");
-        let mut llm = ScriptedLlm::new(
+        let llm = ScriptedLlm::new(
             "debuggable",
             vec![
                 "```graphscript\nresult = G.get_node_attr(\"zzz\", \"missing\")\n```".to_string(),
                 "```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
             ],
         );
-        let (passed, attempts) = {
-            let mut manager = NetworkManager::new(&app, &mut llm);
-            manager.run_self_debug(Backend::NetworkX, "How many nodes?", &golden, 2)
-        };
+        // The manager owns its model here (the parallel runner's layout);
+        // into_llm recovers it afterwards for transcript inspection.
+        let mut manager = NetworkManager::new(&app, llm);
+        let (passed, attempts) =
+            manager.run_self_debug(Backend::NetworkX, "How many nodes?", &golden, 2);
+        let llm = manager.into_llm();
         assert!(passed);
         assert_eq!(attempts.len(), 2);
         // The second prompt carried the feedback section and the failing code.

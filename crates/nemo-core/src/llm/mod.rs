@@ -25,5 +25,5 @@ mod traits;
 pub use faults::{inject_fault, FaultKind};
 pub use profiles::{all_profiles, ModelProfile};
 pub use scripted::ScriptedLlm;
-pub use simulated::{CodeKnowledge, KnownTask, SimulatedLlm};
+pub use simulated::{hash_parts, CodeKnowledge, KnownTask, SimulatedLlm};
 pub use traits::{extract_code, Llm, LlmResponse};

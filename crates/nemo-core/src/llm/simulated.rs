@@ -20,6 +20,7 @@ use crate::llm::traits::{Llm, LlmResponse};
 use crate::prompt::{FEEDBACK_MARKER, QUERY_MARKER};
 use crate::state::normalize_text;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One task the simulated model may know how to solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,8 +73,10 @@ impl CodeKnowledge {
     }
 }
 
-/// Deterministic FNV-1a hash over the given string parts.
-pub(crate) fn hash_parts(parts: &[&str]) -> u64 {
+/// Deterministic FNV-1a hash over the given string parts: the randomness
+/// source behind every simulated-model decision, and behind the benchmark
+/// runner's per-cell seed derivation (shared so the two can never drift).
+pub fn hash_parts(parts: &[&str]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for part in parts {
         for byte in part.as_bytes() {
@@ -87,10 +90,16 @@ pub(crate) fn hash_parts(parts: &[&str]) -> u64 {
 }
 
 /// A deterministic, seeded stand-in for one of the paper's LLMs.
+///
+/// The knowledge base is held behind an [`Arc`] so the benchmark can build
+/// it once and hand it to every per-cell model without copying the golden
+/// programs; all of the model's decisions are pure hashes of
+/// `(profile, backend, query, seed)`, so two models built from the same
+/// inputs behave identically regardless of construction order.
 #[derive(Debug, Clone)]
 pub struct SimulatedLlm {
     profile: ModelProfile,
-    knowledge: CodeKnowledge,
+    knowledge: Arc<CodeKnowledge>,
     seed: u64,
     /// Per (query, backend) count of non-feedback attempts, used to model
     /// sampling variance of non-deterministic models.
@@ -98,11 +107,12 @@ pub struct SimulatedLlm {
 }
 
 impl SimulatedLlm {
-    /// Creates a simulated model.
-    pub fn new(profile: ModelProfile, knowledge: CodeKnowledge, seed: u64) -> Self {
+    /// Creates a simulated model. Accepts either an owned
+    /// [`CodeKnowledge`] or a shared `Arc<CodeKnowledge>`.
+    pub fn new(profile: ModelProfile, knowledge: impl Into<Arc<CodeKnowledge>>, seed: u64) -> Self {
         SimulatedLlm {
             profile,
-            knowledge,
+            knowledge: knowledge.into(),
             seed,
             attempts: BTreeMap::new(),
         }

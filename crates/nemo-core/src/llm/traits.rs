@@ -35,6 +35,28 @@ pub trait Llm {
     }
 }
 
+/// A mutable borrow of a model is itself a model, so the pipeline can
+/// either own its model (one per benchmark cell, the parallel runner's
+/// layout) or borrow one across several runs (the pass@k / self-debug
+/// loops and the unit tests).
+impl<T: Llm + ?Sized> Llm for &mut T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn complete(&mut self, prompt: &str) -> LlmResponse {
+        (**self).complete(prompt)
+    }
+
+    fn token_window(&self) -> usize {
+        (**self).token_window()
+    }
+
+    fn prices(&self) -> PriceTable {
+        (**self).prices()
+    }
+}
+
 /// Extracts the first fenced code block from a completion, tolerating an
 /// optional language tag. Returns `None` when the completion contains no
 /// code fence (the strawman's direct answers, or a malformed reply).

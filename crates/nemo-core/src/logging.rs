@@ -7,7 +7,7 @@ use crate::llm::FaultKind;
 use std::collections::BTreeMap;
 
 /// An append-only log of run records with aggregation helpers.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct ResultsLogger {
     records: Vec<RunRecord>,
 }
@@ -26,6 +26,13 @@ impl ResultsLogger {
     /// Appends many records.
     pub fn log_all(&mut self, records: impl IntoIterator<Item = RunRecord>) {
         self.records.extend(records);
+    }
+
+    /// Appends every record of `other`, preserving its insertion order —
+    /// for combining the logs of separately executed benchmark slices
+    /// (e.g. per-model runs produced on different machines).
+    pub fn merge(&mut self, other: ResultsLogger) {
+        self.records.extend(other.records);
     }
 
     /// All records in insertion order.
@@ -82,6 +89,14 @@ impl ResultsLogger {
     }
 }
 
+impl FromIterator<RunRecord> for ResultsLogger {
+    fn from_iter<I: IntoIterator<Item = RunRecord>>(iter: I) -> Self {
+        ResultsLogger {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +150,25 @@ mod tests {
         assert_eq!(log.pass_rate_for("Bard", Backend::NetworkX), 1.0);
         assert_eq!(log.pass_rate_for("Bard", Backend::Sql), 0.0);
         assert!((log.total_cost(|_| true) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_from_iterator_preserve_order() {
+        let a: ResultsLogger = vec![
+            record("GPT-4", Backend::NetworkX, true, FaultKind::Syntax),
+            record("GPT-4", Backend::Sql, false, FaultKind::Syntax),
+        ]
+        .into_iter()
+        .collect();
+        let b: ResultsLogger = vec![record("Bard", Backend::NetworkX, true, FaultKind::Syntax)]
+            .into_iter()
+            .collect();
+        let mut merged = ResultsLogger::new();
+        merged.merge(a);
+        merged.merge(b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.records()[0].model, "GPT-4");
+        assert_eq!(merged.records()[2].model, "Bard");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::backend::Backend;
 use crate::llm::{extract_code, LlmResponse};
-use crate::state::{NetworkState, Outcome, OutputValue};
+use crate::state::{NetworkState, Outcome, OutputValue, ScriptValue};
 use graphscript::{Interpreter, ScriptError, Value};
 use sqlengine::{QueryResult, SqlError};
 use std::fmt;
@@ -103,7 +103,7 @@ pub fn execute_code(
                 _ => unreachable!("graph global is a graph"),
             };
             Ok(Outcome {
-                value: OutputValue::Script(run.value),
+                value: OutputValue::Script(ScriptValue::from(&run.value)),
                 state: NetworkState::Graph(final_graph),
                 printed: run.output,
             })
@@ -133,7 +133,7 @@ pub fn execute_code(
                 _ => unreachable!(),
             };
             Ok(Outcome {
-                value: OutputValue::Script(run.value),
+                value: OutputValue::Script(ScriptValue::from(&run.value)),
                 state: NetworkState::Frames {
                     nodes: final_nodes,
                     edges: final_edges,
@@ -216,7 +216,9 @@ mod tests {
             &state,
         )
         .unwrap();
-        assert!(outcome.value.approx_eq(&OutputValue::Script(Value::Int(2))));
+        assert!(outcome
+            .value
+            .approx_eq(&OutputValue::Script(ScriptValue::Int(2))));
         // The sandbox ran against a copy: the input state is untouched.
         if let NetworkState::Graph(g) = &state {
             assert!(g.get_node_attr_opt("a", "color").is_none());
@@ -234,7 +236,9 @@ mod tests {
             &frame_state(),
         )
         .unwrap();
-        assert!(outcome.value.approx_eq(&OutputValue::Script(Value::Int(1))));
+        assert!(outcome
+            .value
+            .approx_eq(&OutputValue::Script(ScriptValue::Int(1))));
         if let NetworkState::Frames { edges, .. } = &outcome.state {
             assert_eq!(edges.n_rows(), 1);
         }
@@ -285,7 +289,9 @@ mod tests {
             text: "Sure!\n```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
         };
         let outcome = execute_response(Backend::NetworkX, &response, &graph_state()).unwrap();
-        assert!(outcome.value.approx_eq(&OutputValue::Script(Value::Int(3))));
+        assert!(outcome
+            .value
+            .approx_eq(&OutputValue::Script(ScriptValue::Int(3))));
 
         let no_code = LlmResponse {
             text: "I cannot help with that.".to_string(),

@@ -12,6 +12,8 @@ use dataframe::DataFrame;
 use graphscript::Value;
 use netgraph::{graphs_approx_eq, Graph};
 use sqlengine::Database;
+use std::collections::BTreeMap;
+use std::fmt;
 
 /// The network in one backend's representation.
 #[derive(Debug, Clone)]
@@ -71,13 +73,161 @@ impl NetworkState {
     }
 }
 
+/// A self-contained snapshot of a GraphScript runtime value.
+///
+/// `graphscript::Value` uses `Rc<RefCell<...>>` reference semantics inside
+/// the interpreter, which makes anything holding one `!Send`. The sandbox
+/// detaches results into this deep-copied tree at its boundary so outcomes
+/// (and everything built from them — golden answers, the benchmark suite)
+/// can be shared across worker threads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptValue {
+    /// `null` / `None`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// List snapshot.
+    List(Vec<ScriptValue>),
+    /// Dictionary snapshot (string keys, deterministically ordered).
+    Dict(BTreeMap<String, ScriptValue>),
+    /// A property graph returned as the program's result.
+    Graph(Graph),
+    /// A dataframe returned as the program's result.
+    Frame(DataFrame),
+}
+
+impl ScriptValue {
+    /// Numeric view, mirroring `graphscript::Value::as_f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ScriptValue::Int(i) => Some(*i as f64),
+            ScriptValue::Float(f) => Some(*f),
+            ScriptValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Deep equality with numeric coercion and float tolerance, mirroring
+    /// `graphscript::Value::approx_eq` so detaching values at the sandbox
+    /// boundary does not change any evaluator verdict.
+    pub fn approx_eq(&self, other: &ScriptValue) -> bool {
+        match (self, other) {
+            (ScriptValue::Null, ScriptValue::Null) => true,
+            (ScriptValue::Str(a), ScriptValue::Str(b)) => a == b,
+            (ScriptValue::Bool(a), ScriptValue::Bool(b)) => a == b,
+            (ScriptValue::List(a), ScriptValue::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.approx_eq(y))
+            }
+            (ScriptValue::Dict(a), ScriptValue::Dict(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .all(|(k, v)| b.get(k).map(|o| v.approx_eq(o)).unwrap_or(false))
+            }
+            (ScriptValue::Graph(a), ScriptValue::Graph(b)) => graphs_approx_eq(a, b),
+            (ScriptValue::Frame(a), ScriptValue::Frame(b)) => a.approx_eq(b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => {
+                    let diff = (a - b).abs();
+                    diff <= 1e-9 || diff <= 1e-9 * a.abs().max(b.abs())
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+impl From<&Value> for ScriptValue {
+    /// Deep snapshot of an interpreter value. Function values cannot
+    /// meaningfully outlive the interpreter; they snapshot to their display
+    /// form.
+    fn from(value: &Value) -> Self {
+        match value {
+            Value::Null => ScriptValue::Null,
+            Value::Bool(b) => ScriptValue::Bool(*b),
+            Value::Int(i) => ScriptValue::Int(*i),
+            Value::Float(f) => ScriptValue::Float(*f),
+            Value::Str(s) => ScriptValue::Str(s.clone()),
+            Value::List(items) => {
+                ScriptValue::List(items.borrow().iter().map(ScriptValue::from).collect())
+            }
+            Value::Dict(map) => ScriptValue::Dict(
+                map.borrow()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), ScriptValue::from(v)))
+                    .collect(),
+            ),
+            Value::Graph(g) => ScriptValue::Graph(g.borrow().clone()),
+            Value::Frame(df) => ScriptValue::Frame(df.borrow().clone()),
+            Value::Function(_) => ScriptValue::Str(value.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for ScriptValue {
+    /// Mirrors `graphscript::Value`'s display formats exactly, so rendered
+    /// answers (and the strawman's golden direct answers derived from them)
+    /// are unchanged by the snapshot.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptValue::Null => write!(f, "null"),
+            ScriptValue::Bool(b) => write!(f, "{b}"),
+            ScriptValue::Int(i) => write!(f, "{i}"),
+            ScriptValue::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            ScriptValue::Str(s) => write!(f, "{s}"),
+            ScriptValue::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            ScriptValue::Dict(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            ScriptValue::Graph(g) => {
+                write!(
+                    f,
+                    "<graph {} nodes, {} edges>",
+                    g.number_of_nodes(),
+                    g.number_of_edges()
+                )
+            }
+            ScriptValue::Frame(df) => {
+                write!(f, "<dataframe {} rows x {} cols>", df.n_rows(), df.n_cols())
+            }
+        }
+    }
+}
+
 /// The value a program produced.
 #[derive(Debug, Clone)]
 pub enum OutputValue {
     /// The program produced no explicit value.
     None,
-    /// A GraphScript value (NetworkX / pandas backends).
-    Script(Value),
+    /// A detached GraphScript value (NetworkX / pandas backends).
+    Script(ScriptValue),
     /// A result table (SQL backend `SELECT`s).
     Table(DataFrame),
     /// Free text (the strawman baseline's direct answer).
@@ -142,6 +292,16 @@ impl Outcome {
     }
 }
 
+// Outcomes are shared across benchmark worker threads (golden answers live
+// in the suite); this fails to compile if a non-Send/Sync type sneaks back
+// into the state tree.
+const _: fn() = || {
+    fn assert_sync_send<T: Send + Sync>() {}
+    assert_sync_send::<Outcome>();
+    assert_sync_send::<NetworkState>();
+    assert_sync_send::<ScriptValue>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,13 +350,12 @@ mod tests {
 
     #[test]
     fn output_value_comparisons() {
-        assert!(
-            OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::Script(Value::Float(5.0)))
-        );
+        assert!(OutputValue::Script(ScriptValue::Int(5))
+            .approx_eq(&OutputValue::Script(ScriptValue::Float(5.0))));
         assert!(OutputValue::Text("  Hello   World ".into())
             .approx_eq(&OutputValue::Text("hello world".into())));
-        assert!(OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::Text("5".into())));
-        assert!(!OutputValue::Script(Value::Int(5)).approx_eq(&OutputValue::None));
+        assert!(OutputValue::Script(ScriptValue::Int(5)).approx_eq(&OutputValue::Text("5".into())));
+        assert!(!OutputValue::Script(ScriptValue::Int(5)).approx_eq(&OutputValue::None));
         assert!(OutputValue::None.approx_eq(&OutputValue::None));
         let t =
             DataFrame::from_columns(vec![("n".to_string(), Column::from_values([1i64]))]).unwrap();
@@ -204,20 +363,46 @@ mod tests {
     }
 
     #[test]
+    fn script_value_snapshot_preserves_rendering_and_equality() {
+        // A nested interpreter value snapshots into an equivalent detached
+        // tree: same display form, approx-equal element-wise.
+        let mut dict = std::collections::BTreeMap::new();
+        dict.insert("a".to_string(), Value::Int(1));
+        dict.insert("b".to_string(), Value::Float(2.0));
+        let live = Value::list(vec![
+            Value::dict(dict),
+            Value::Str("x".into()),
+            Value::Null,
+            Value::Bool(true),
+        ]);
+        let snap = ScriptValue::from(&live);
+        assert_eq!(snap.to_string(), live.to_string());
+        let again = ScriptValue::from(&live);
+        assert!(snap.approx_eq(&again));
+
+        let mut g = Graph::directed();
+        g.add_edge("a", "b", attrs([("bytes", 10i64)]));
+        let graph_snap = ScriptValue::from(&Value::graph(g.clone()));
+        assert!(graph_snap.approx_eq(&ScriptValue::Graph(g)));
+        assert!(graph_snap.to_string().contains("<graph"));
+        assert!(!graph_snap.approx_eq(&ScriptValue::Int(1)));
+    }
+
+    #[test]
     fn outcome_matching_requires_value_and_state() {
         let base = Outcome {
-            value: OutputValue::Script(Value::Int(1)),
+            value: OutputValue::Script(ScriptValue::Int(1)),
             state: graph_state(),
             printed: vec![],
         };
         let same = Outcome {
-            value: OutputValue::Script(Value::Float(1.0)),
+            value: OutputValue::Script(ScriptValue::Float(1.0)),
             state: graph_state(),
             printed: vec!["ignored".into()],
         };
         assert!(base.matches(&same));
         let wrong_value = Outcome {
-            value: OutputValue::Script(Value::Int(2)),
+            value: OutputValue::Script(ScriptValue::Int(2)),
             state: graph_state(),
             printed: vec![],
         };

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// assert!(g.has_edge("10.0.1.1", "10.0.2.1"));
 /// assert!(!g.has_edge("10.0.2.1", "10.0.1.1"));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Graph {
     directed: bool,
     graph_attrs: AttrMap,
@@ -425,7 +425,13 @@ impl Graph {
     /// Sum of a numeric edge attribute over all edges. Missing or
     /// non-numeric values count as zero.
     pub fn total_edge_attr(&self, key: &str) -> f64 {
-        self.edges.values().filter_map(|a| a.get_f64(key)).sum()
+        // `+ 0.0` normalizes the empty sum: `Sum for f64` uses -0.0 as its
+        // identity, which would otherwise leak into rendered answers.
+        self.edges
+            .values()
+            .filter_map(|a| a.get_f64(key))
+            .sum::<f64>()
+            + 0.0
     }
 
     /// Nodes whose attribute `key` satisfies `pred`.

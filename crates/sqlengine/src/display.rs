@@ -1,0 +1,324 @@
+//! Pretty-printing: renders an AST back to parseable SQL text.
+//!
+//! The printer is the inverse of the parser up to AST equality:
+//! `parse(pretty_print(ast)) == ast` for every representable statement
+//! (the property tests exercise this, both over generated ASTs and over
+//! the benchmark's golden corpus). To make the inverse unconditional the
+//! printer fully parenthesizes compound expressions — the parser folds
+//! parentheses away, so the reparsed tree is identical regardless of
+//! operator precedence.
+
+use crate::ast::{
+    BinaryOp, DeleteStmt, Expr, InsertStmt, Join, JoinKind, OrderKey, SelectItem, SelectStmt,
+    Statement, TableRef, UpdateStmt,
+};
+use netgraph::AttrValue;
+use std::fmt;
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Update(s) => write!(f, "{s}"),
+            Statement::Insert(s) => write!(f, "{s}"),
+            Statement::Delete(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        for join in &self.joins {
+            write!(f, " {join}")?;
+        }
+        if let Some(pred) = &self.where_clause {
+            write!(f, " WHERE {pred}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, expr) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{expr}")?;
+            }
+        }
+        if let Some(pred) = &self.having {
+            write!(f, " HAVING {pred}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, key) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{key}")?;
+            }
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(alias) = &self.alias {
+            write!(f, " AS {alias}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            JoinKind::Inner => "JOIN",
+            JoinKind::Left => "LEFT JOIN",
+        };
+        write!(f, "{kind} {} ON {}", self.table, self.on)
+    }
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}",
+            self.expr,
+            if self.ascending { "ASC" } else { "DESC" }
+        )
+    }
+}
+
+impl fmt::Display for UpdateStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, (column, value)) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{column} = {value}")?;
+        }
+        if let Some(pred) = &self.where_clause {
+            write!(f, " WHERE {pred}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for InsertStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        write!(f, " VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, value) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{value}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DeleteStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(pred) = &self.where_clause {
+            write!(f, " WHERE {pred}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        write!(f, "{op}")
+    }
+}
+
+fn write_literal(f: &mut fmt::Formatter<'_>, value: &AttrValue) -> fmt::Result {
+    match value {
+        AttrValue::Null => write!(f, "NULL"),
+        AttrValue::Bool(true) => write!(f, "TRUE"),
+        AttrValue::Bool(false) => write!(f, "FALSE"),
+        AttrValue::Int(i) => write!(f, "{i}"),
+        // Rust's float Display never uses exponent notation, so the lexer
+        // re-reads the exact digits; the parser's whole-number folding to
+        // Int is absorbed by AttrValue's numeric-coercing equality.
+        AttrValue::Float(x) => write!(f, "{x}"),
+        AttrValue::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        // Lists are not expressible as SQL literals; they do not occur in
+        // parsed ASTs.
+        AttrValue::List(_) => write!(f, "NULL"),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(value) => write_literal(f, value),
+            Expr::Column { table, name } => match table {
+                Some(table) => write!(f, "{table}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Neg(inner) => write!(f, "(-{inner})"),
+            Expr::Not(inner) => write!(f, "(NOT {inner})"),
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Function { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Aggregate { func, arg } => match arg {
+                Some(arg) => write!(f, "{}({arg})", func.name()),
+                None => write!(f, "{}(*)", func.name()),
+            },
+            Expr::Case { arms, otherwise } => {
+                write!(f, "CASE")?;
+                for (condition, result) in arms {
+                    write!(f, " WHEN {condition} THEN {result}")?;
+                }
+                if let Some(otherwise) = otherwise {
+                    write!(f, " ELSE {otherwise}")?;
+                }
+                write!(f, " END")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_statement, parse_statements};
+
+    #[test]
+    fn golden_style_statements_round_trip() {
+        let corpus = [
+            "SELECT COUNT(*) AS n FROM nodes",
+            "SELECT id FROM nodes WHERE id LIKE '15.76%' ORDER BY id ASC",
+            "SELECT source, SUM(bytes) AS sent FROM edges GROUP BY source \
+             ORDER BY sent DESC, source ASC LIMIT 3",
+            "SELECT DISTINCT prefix16 FROM nodes ORDER BY prefix16 ASC",
+            "UPDATE nodes SET label = 'app:production' WHERE (id LIKE '15.76%')",
+            "DELETE FROM edges WHERE (packets < 10)",
+            "INSERT INTO nodes (id, prefix16) VALUES ('10.0.0.1', '10.0')",
+            "SELECT n.id FROM nodes AS n LEFT JOIN edges AS e ON (n.id = e.source) \
+             WHERE (e.bytes IS NOT NULL)",
+            "SELECT CASE WHEN (bytes < 100) THEN 0 ELSE 1 END AS tier FROM edges",
+            "SELECT * FROM edges WHERE ((bytes BETWEEN 10 AND 20) \
+             AND (source IN ('a', 'b')))",
+        ];
+        for sql in corpus {
+            let ast = parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let printed = ast.to_string();
+            let reparsed = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("pretty-printed `{printed}` failed to parse: {e}"));
+            assert_eq!(ast, reparsed, "round trip changed the AST for `{sql}`");
+        }
+    }
+
+    #[test]
+    fn multi_statement_scripts_round_trip() {
+        let script = "UPDATE edges SET bytes = (bytes / 2) WHERE (source = 'a');\n\
+                      SELECT SUM(bytes) AS total FROM edges";
+        let statements = parse_statements(script).unwrap();
+        let printed: Vec<String> = statements.iter().map(|s| s.to_string()).collect();
+        let reparsed = parse_statements(&printed.join(";\n")).unwrap();
+        assert_eq!(statements, reparsed);
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod ast;
 mod database;
+mod display;
 mod error;
 mod exec;
 pub mod functions;

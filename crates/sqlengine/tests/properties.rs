@@ -1,0 +1,280 @@
+//! Property tests for the SQL substrate: pretty-printing is the inverse of
+//! parsing up to AST equality, over randomly generated statements.
+
+use netgraph::AttrValue;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlengine::ast::{
+    AggregateFunc, BinaryOp, DeleteStmt, Expr, InsertStmt, JoinKind, OrderKey, SelectItem,
+    SelectStmt, Statement, TableRef, UpdateStmt,
+};
+use sqlengine::parse_statement;
+
+const TABLES: [&str; 3] = ["nodes", "edges", "flows"];
+const COLUMNS: [&str; 6] = ["id", "source", "target", "bytes", "packets", "prefix16"];
+const FUNCTIONS: [&str; 4] = ["LENGTH", "UPPER", "ABS", "COALESCE"];
+const STRINGS: [&str; 5] = ["15.76%", "app:production", "it's quoted", "", "10.2"];
+
+fn pick<'a, T>(rng: &mut StdRng, pool: &'a [T]) -> &'a T {
+    &pool[rng.gen_range(0..pool.len())]
+}
+
+fn arb_literal(rng: &mut StdRng) -> Expr {
+    Expr::Literal(match rng.gen_range(0..5u32) {
+        0 => AttrValue::Null,
+        1 => AttrValue::Bool(rng.gen_range(0..2) == 1),
+        2 => AttrValue::Int(rng.gen_range(0..1_000_000i64)),
+        3 => AttrValue::Float(rng.gen_range(0.0..1.0e6f64)),
+        _ => AttrValue::Str(pick(rng, &STRINGS).to_string()),
+    })
+}
+
+fn arb_column(rng: &mut StdRng) -> Expr {
+    Expr::Column {
+        table: if rng.gen_range(0..4u32) == 0 {
+            Some(pick(rng, &TABLES).to_string())
+        } else {
+            None
+        },
+        name: pick(rng, &COLUMNS).to_string(),
+    }
+}
+
+fn arb_expr(rng: &mut StdRng, depth: u32) -> Expr {
+    if depth == 0 {
+        return if rng.gen_range(0..2u32) == 0 {
+            arb_literal(rng)
+        } else {
+            arb_column(rng)
+        };
+    }
+    let sub = |rng: &mut StdRng| Box::new(arb_expr(rng, depth - 1));
+    match rng.gen_range(0..10u32) {
+        0 => arb_literal(rng),
+        1 => arb_column(rng),
+        2 => Expr::Neg(sub(rng)),
+        3 => Expr::Not(sub(rng)),
+        4 => {
+            const OPS: [BinaryOp; 13] = [
+                BinaryOp::Add,
+                BinaryOp::Sub,
+                BinaryOp::Mul,
+                BinaryOp::Div,
+                BinaryOp::Mod,
+                BinaryOp::Eq,
+                BinaryOp::NotEq,
+                BinaryOp::Lt,
+                BinaryOp::LtEq,
+                BinaryOp::Gt,
+                BinaryOp::GtEq,
+                BinaryOp::And,
+                BinaryOp::Or,
+            ];
+            Expr::Binary {
+                left: sub(rng),
+                op: *pick(rng, &OPS),
+                right: sub(rng),
+            }
+        }
+        5 => Expr::IsNull {
+            expr: sub(rng),
+            negated: rng.gen_range(0..2) == 1,
+        },
+        6 => Expr::InList {
+            expr: sub(rng),
+            list: (0..rng.gen_range(1..4usize))
+                .map(|_| arb_expr(rng, depth - 1))
+                .collect(),
+            negated: rng.gen_range(0..2) == 1,
+        },
+        7 => Expr::Between {
+            expr: sub(rng),
+            low: sub(rng),
+            high: sub(rng),
+            negated: rng.gen_range(0..2) == 1,
+        },
+        8 => {
+            const AGGS: [AggregateFunc; 5] = [
+                AggregateFunc::Count,
+                AggregateFunc::Sum,
+                AggregateFunc::Avg,
+                AggregateFunc::Min,
+                AggregateFunc::Max,
+            ];
+            let func = *pick(rng, &AGGS);
+            // `FUNC(*)` only parses for COUNT.
+            let arg = if func == AggregateFunc::Count && rng.gen_range(0..2) == 0 {
+                None
+            } else {
+                Some(sub(rng))
+            };
+            Expr::Aggregate { func, arg }
+        }
+        _ => match rng.gen_range(0..3u32) {
+            0 => Expr::Function {
+                name: pick(rng, &FUNCTIONS).to_string(),
+                args: (0..rng.gen_range(0..3usize))
+                    .map(|_| arb_expr(rng, depth - 1))
+                    .collect(),
+            },
+            1 => Expr::Like {
+                expr: sub(rng),
+                pattern: Box::new(Expr::Literal(AttrValue::Str(
+                    pick(rng, &STRINGS).to_string(),
+                ))),
+                negated: rng.gen_range(0..2) == 1,
+            },
+            _ => Expr::Case {
+                arms: (0..rng.gen_range(1..3usize))
+                    .map(|_| (arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)))
+                    .collect(),
+                otherwise: if rng.gen_range(0..2) == 0 {
+                    Some(sub(rng))
+                } else {
+                    None
+                },
+            },
+        },
+    }
+}
+
+fn arb_table_ref(rng: &mut StdRng) -> TableRef {
+    TableRef {
+        name: pick(rng, &TABLES).to_string(),
+        alias: if rng.gen_range(0..3u32) == 0 {
+            Some(format!("t{}", rng.gen_range(0..3u32)))
+        } else {
+            None
+        },
+    }
+}
+
+fn arb_statement(rng: &mut StdRng) -> Statement {
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let group_by: Vec<Expr> = (0..rng.gen_range(0..3usize))
+                .map(|_| arb_column(rng))
+                .collect();
+            Statement::Select(SelectStmt {
+                distinct: rng.gen_range(0..4u32) == 0,
+                items: (0..rng.gen_range(1..4usize))
+                    .map(|_| {
+                        if rng.gen_range(0..6u32) == 0 {
+                            SelectItem::Wildcard
+                        } else {
+                            SelectItem::Expr {
+                                expr: arb_expr(rng, 2),
+                                alias: if rng.gen_range(0..2) == 0 {
+                                    Some(format!("a{}", rng.gen_range(0..5u32)))
+                                } else {
+                                    None
+                                },
+                            }
+                        }
+                    })
+                    .collect(),
+                from: arb_table_ref(rng),
+                joins: (0..rng.gen_range(0..2usize))
+                    .map(|_| sqlengine::ast::Join {
+                        kind: if rng.gen_range(0..2) == 0 {
+                            JoinKind::Inner
+                        } else {
+                            JoinKind::Left
+                        },
+                        table: arb_table_ref(rng),
+                        on: arb_expr(rng, 1),
+                    })
+                    .collect(),
+                where_clause: if rng.gen_range(0..2) == 0 {
+                    Some(arb_expr(rng, 2))
+                } else {
+                    None
+                },
+                // HAVING is only valid (and only printed) with GROUP BY.
+                having: if !group_by.is_empty() && rng.gen_range(0..2) == 0 {
+                    Some(arb_expr(rng, 1))
+                } else {
+                    None
+                },
+                group_by,
+                order_by: (0..rng.gen_range(0..3usize))
+                    .map(|_| OrderKey {
+                        expr: arb_column(rng),
+                        ascending: rng.gen_range(0..2) == 0,
+                    })
+                    .collect(),
+                limit: if rng.gen_range(0..2) == 0 {
+                    Some(rng.gen_range(0..100usize))
+                } else {
+                    None
+                },
+            })
+        }
+        1 => Statement::Update(UpdateStmt {
+            table: pick(rng, &TABLES).to_string(),
+            assignments: (0..rng.gen_range(1..3usize))
+                .map(|_| (pick(rng, &COLUMNS).to_string(), arb_expr(rng, 2)))
+                .collect(),
+            where_clause: if rng.gen_range(0..2) == 0 {
+                Some(arb_expr(rng, 2))
+            } else {
+                None
+            },
+        }),
+        2 => {
+            let n_columns = rng.gen_range(0..3usize);
+            let row_width = n_columns.max(1);
+            Statement::Insert(InsertStmt {
+                table: pick(rng, &TABLES).to_string(),
+                columns: (0..n_columns).map(|i| format!("c{i}")).collect(),
+                rows: (0..rng.gen_range(1..3usize))
+                    .map(|_| (0..row_width).map(|_| arb_literal(rng)).collect())
+                    .collect(),
+            })
+        }
+        _ => Statement::Delete(DeleteStmt {
+            table: pick(rng, &TABLES).to_string(),
+            where_clause: if rng.gen_range(0..2) == 0 {
+                Some(arb_expr(rng, 2))
+            } else {
+                None
+            },
+        }),
+    }
+}
+
+proptest! {
+    /// parse(pretty_print(ast)) == ast for arbitrary statements.
+    #[test]
+    fn pretty_print_parse_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ast = arb_statement(&mut rng);
+        let printed = ast.to_string();
+        let reparsed = match parse_statement(&printed) {
+            Ok(ast) => ast,
+            Err(e) => {
+                prop_assert!(false, "pretty-printed `{}` failed to parse: {}", printed, e);
+                unreachable!()
+            }
+        };
+        prop_assert!(
+            ast == reparsed,
+            "round trip changed `{}`: {:?} vs {:?}",
+            printed,
+            ast,
+            reparsed
+        );
+    }
+
+    /// Pretty-printed text re-prints to itself (printing is a fixed point
+    /// after one round trip).
+    #[test]
+    fn printing_is_stable(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ast = arb_statement(&mut rng);
+        let printed = ast.to_string();
+        let reprinted = parse_statement(&printed).unwrap().to_string();
+        prop_assert_eq!(printed, reprinted);
+    }
+}

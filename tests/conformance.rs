@@ -1,0 +1,65 @@
+//! Cross-backend differential test: the same traffic query answered via
+//! the SQL, dataframe and property-graph substrates must agree — the three
+//! engines act as mutual oracles for each other (and for the golden
+//! programs themselves).
+
+use nemo_bench::conformance::{check_traffic_conformance, check_traffic_conformance_with_threads};
+use nemo_bench::{BenchmarkSuite, SuiteConfig};
+use nemo_core::{Application, Backend};
+
+#[test]
+fn all_24_traffic_goldens_agree_across_sql_pandas_and_networkx() {
+    let suite = BenchmarkSuite::build(&SuiteConfig::small());
+    let report = check_traffic_conformance(&suite);
+    assert_eq!(report.checked, 24, "every traffic query is checked");
+    assert!(
+        report.is_conformant(),
+        "cross-backend divergences:\n{}",
+        report
+            .divergences
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<String>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn conformance_is_insensitive_to_the_worker_thread_count() {
+    // The harness's verdict is a pure function of the suite, so any
+    // worker count reports the same.
+    let suite = BenchmarkSuite::build(&SuiteConfig::small());
+    for threads in [1, 4] {
+        let report = check_traffic_conformance_with_threads(&suite, threads);
+        assert_eq!(report.checked, 24);
+        assert!(report.is_conformant(), "divergence at {threads} threads");
+    }
+}
+
+#[test]
+fn a_corrupted_golden_is_detected_as_a_divergence() {
+    // Sanity-check the harness has teeth: swap one query's SQL golden
+    // outcome for another query's and the divergence must surface.
+    let mut suite = BenchmarkSuite::build(&SuiteConfig::small());
+    let borrowed = suite
+        .queries
+        .iter()
+        .find(|q| q.spec.id == "T02")
+        .expect("T02 exists")
+        .goldens[&Backend::Sql]
+        .clone();
+    let victim = suite
+        .queries
+        .iter_mut()
+        .find(|q| q.spec.id == "T03")
+        .expect("T03 exists");
+    assert_eq!(victim.spec.application, Application::TrafficAnalysis);
+    victim.goldens.insert(Backend::Sql, borrowed);
+
+    let report = check_traffic_conformance(&suite);
+    assert!(
+        report.divergences.iter().any(|d| d.query == "T03"),
+        "swapped SQL golden not detected: {:?}",
+        report.divergences
+    );
+}
