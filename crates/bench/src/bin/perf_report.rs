@@ -1,0 +1,121 @@
+//! Emits (or validates) the machine-readable perf report `BENCH_<pr>.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_report --label after [--pr pr3] [--out BENCH_pr3.json]
+//! perf_report --validate BENCH_pr3.json
+//! ```
+//!
+//! `--label before|after` runs the benchmark set from
+//! [`nemo_bench::perf`] and merges the medians into the output file under
+//! that label, recomputing `speedup` wherever both labels exist.
+//! `NEMO_SMALL=1` switches to the seconds-scale smoke sizes used by CI.
+
+use nemo_bench::perf::{self, PerfConfig};
+use netgraph::json::JsonValue;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: perf_report --label before|after [--pr <tag>] [--out <file>]\n\
+         \u{20}      perf_report --validate <file>"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label: Option<String> = None;
+    let mut pr = "pr3".to_string();
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" | "--pr" | "--out" | "--validate" if i + 1 >= args.len() => {
+                return usage();
+            }
+            "--label" => {
+                label = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--pr" => {
+                pr = args[i + 1].clone();
+                i += 2;
+            }
+            "--out" => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--validate" => {
+                validate = Some(args[i + 1].clone());
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("perf_report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match JsonValue::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("perf_report: {path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let problems = perf::validate_report(&doc);
+        if problems.is_empty() {
+            println!("{path}: valid {}", perf::SCHEMA);
+            return ExitCode::SUCCESS;
+        }
+        for p in &problems {
+            eprintln!("perf_report: {path}: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let label = match label.as_deref() {
+        Some("before") => "before",
+        Some("after") => "after",
+        _ => return usage(),
+    };
+    let out = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
+
+    let config = PerfConfig::from_env();
+    let measurements = perf::run_benchmarks(&config);
+    for m in &measurements {
+        println!(
+            "{:<24} median {:>10.3} ms  ({} rounds)",
+            m.name,
+            m.median(),
+            m.samples.len()
+        );
+    }
+
+    let existing = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok());
+    let report = perf::merge_report(existing.as_ref(), &pr, label, &measurements);
+    let problems = perf::validate_report(&report);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("perf_report: generated report invalid: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
+        eprintln!("perf_report: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out} ({label})");
+    ExitCode::SUCCESS
+}

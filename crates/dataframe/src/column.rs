@@ -142,16 +142,18 @@ impl Column {
     }
 
     /// Number of distinct non-null values.
+    ///
+    /// Dedupes through a hash set over the same canonical
+    /// `"<type>:<display>"` key the historical sort-and-dedup used — one
+    /// O(n) pass instead of O(n log n) with full-vector sorting (and the
+    /// O(n²) `Vec::contains` scan before that).
     pub fn nunique(&self) -> usize {
-        let mut reprs: Vec<String> = self
-            .values
+        self.values
             .iter()
             .filter(|v| !v.is_null())
             .map(|v| format!("{}:{v}", v.type_name()))
-            .collect();
-        reprs.sort();
-        reprs.dedup();
-        reprs.len()
+            .collect::<std::collections::HashSet<String>>()
+            .len()
     }
 
     fn numeric_reduce<F: Fn(&[f64]) -> f64>(&self, op: &str, f: F) -> Result<f64> {

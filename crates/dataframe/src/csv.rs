@@ -101,7 +101,7 @@ fn infer_value(field: &str) -> AttrValue {
             return AttrValue::Float(f);
         }
     }
-    AttrValue::Str(field.to_string())
+    AttrValue::Str(field.into())
 }
 
 /// Splits CSV text into rows of unquoted fields.

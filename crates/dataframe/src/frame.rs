@@ -103,6 +103,14 @@ impl DataFrame {
         Ok(&self.columns[self.column_index(name)?])
     }
 
+    /// All columns in order, positionally aligned with
+    /// [`DataFrame::column_names`]. This is the zero-copy entry point used
+    /// by executors that resolve names to positions once and then walk rows
+    /// without materializing them.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
     /// Mutable access to a column by name.
     pub fn column_mut(&mut self, name: &str) -> Result<&mut Column> {
         let idx = self.column_index(name)?;

@@ -17,7 +17,7 @@ fn arb_frame() -> impl Strategy<Value = DataFrame> {
         let mut ints = Column::new();
         let mut floats = Column::new();
         for (k, i, f) in rows {
-            keys.push(AttrValue::Str(k));
+            keys.push(AttrValue::Str(k.into()));
             ints.push(AttrValue::Int(i));
             floats.push(AttrValue::Float(f));
         }

@@ -183,7 +183,7 @@ impl Value {
             Value::Bool(b) => AttrValue::Bool(*b),
             Value::Int(i) => AttrValue::Int(*i),
             Value::Float(f) => AttrValue::Float(*f),
-            Value::Str(s) => AttrValue::Str(s.clone()),
+            Value::Str(s) => AttrValue::Str(s.as_str().into()),
             Value::List(items) => AttrValue::List(
                 items
                     .borrow()
@@ -207,7 +207,7 @@ impl Value {
             AttrValue::Bool(b) => Value::Bool(*b),
             AttrValue::Int(i) => Value::Int(*i),
             AttrValue::Float(f) => Value::Float(*f),
-            AttrValue::Str(s) => Value::Str(s.clone()),
+            AttrValue::Str(s) => Value::Str(s.to_string()),
             AttrValue::List(items) => Value::list(items.iter().map(Value::from_attr).collect()),
         }
     }

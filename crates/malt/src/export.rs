@@ -4,6 +4,7 @@
 use crate::entity::Entity;
 use crate::model::MaltModel;
 use dataframe::{Column, DataFrame};
+use netgraph::intern::Interner;
 use netgraph::{AttrValue, Graph};
 use sqlengine::Database;
 
@@ -11,12 +12,15 @@ use sqlengine::Database;
 /// name, attributes = `kind` plus the entity's own attributes), one edge per
 /// relationship with a `relationship` attribute.
 pub fn to_graph(model: &MaltModel) -> Graph {
+    // Kind and relationship names come from small fixed sets; intern them
+    // so every node/edge shares one allocation per distinct name.
+    let mut interner = Interner::new();
     let mut g = Graph::directed();
     for entity in model.entities() {
         let mut attrs = entity.attrs.clone();
         attrs.insert(
             "kind".to_string(),
-            AttrValue::Str(entity.kind.name().to_string()),
+            AttrValue::Str(interner.intern_shared(entity.kind.name())),
         );
         g.add_node(&entity.name, attrs);
     }
@@ -24,7 +28,7 @@ pub fn to_graph(model: &MaltModel) -> Graph {
         let mut attrs = netgraph::AttrMap::new();
         attrs.insert(
             "relationship".to_string(),
-            AttrValue::Str(rel.kind.name().to_string()),
+            AttrValue::Str(interner.intern_shared(rel.kind.name())),
         );
         g.add_edge(&rel.from, &rel.to, attrs);
     }
@@ -38,20 +42,23 @@ pub fn to_frames(model: &MaltModel) -> (DataFrame, DataFrame) {
     let attr_or_null = |e: &Entity, key: &str| -> AttrValue {
         e.attrs.get(key).cloned().unwrap_or(AttrValue::Null)
     };
+    // Entity names appear in the node frame and once per incident
+    // relationship; one interner shares those allocations across frames.
+    let mut interner = Interner::new();
     let entities: Vec<&Entity> = model.entities().collect();
     let nodes = DataFrame::from_columns(vec![
         (
             "name".to_string(),
             entities
                 .iter()
-                .map(|e| AttrValue::Str(e.name.clone()))
+                .map(|e| AttrValue::Str(interner.intern_shared(&e.name)))
                 .collect::<Column>(),
         ),
         (
             "kind".to_string(),
             entities
                 .iter()
-                .map(|e| AttrValue::Str(e.kind.name().to_string()))
+                .map(|e| AttrValue::Str(interner.intern_shared(e.kind.name())))
                 .collect(),
         ),
         (
@@ -84,17 +91,19 @@ pub fn to_frames(model: &MaltModel) -> (DataFrame, DataFrame) {
         (
             "source".to_string(),
             rels.iter()
-                .map(|r| AttrValue::Str(r.from.clone()))
+                .map(|r| AttrValue::Str(interner.intern_shared(&r.from)))
                 .collect::<Column>(),
         ),
         (
             "target".to_string(),
-            rels.iter().map(|r| AttrValue::Str(r.to.clone())).collect(),
+            rels.iter()
+                .map(|r| AttrValue::Str(interner.intern_shared(&r.to)))
+                .collect(),
         ),
         (
             "relationship".to_string(),
             rels.iter()
-                .map(|r| AttrValue::Str(r.kind.name().to_string()))
+                .map(|r| AttrValue::Str(interner.intern_shared(r.kind.name())))
                 .collect(),
         ),
     ])

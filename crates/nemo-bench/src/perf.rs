@@ -1,0 +1,561 @@
+//! Machine-readable performance reports (`BENCH_*.json`).
+//!
+//! Every perf-focused PR runs the same micro/macro benchmarks through this
+//! module and appends its medians to a committed `BENCH_<pr>.json`, so the
+//! repository carries its own wall-time trajectory. The benches only use
+//! public APIs that are stable across data-plane refactors (string-keyed
+//! graph calls, `Database::execute`, suite runs), which is what makes a
+//! *before/after* comparison of the same binary meaningful.
+//!
+//! A report is a JSON document with the fixed schema
+//! [`SCHEMA`]:
+//!
+//! ```json
+//! {
+//!   "schema": "nemo-perf-report/v1",
+//!   "pr": "pr3",
+//!   "entries": [
+//!     {"name": "graph_ops_100k", "unit": "ms",
+//!      "before": {"median": 120.0, "samples": [...]},
+//!      "after":  {"median": 40.0,  "samples": [...]},
+//!      "speedup": 3.0}
+//!   ]
+//! }
+//! ```
+//!
+//! `speedup` is `before.median / after.median` and is present only when both
+//! labels have been recorded.
+
+use crate::runner::{self};
+use crate::suite::{BenchmarkSuite, SuiteConfig};
+use crate::traffic_queries::traffic_queries;
+use nemo_core::llm::profiles;
+use netgraph::json::JsonValue;
+use netgraph::{AttrMap, AttrMapExt, Graph};
+use sqlengine::Database;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use trafficgen::{export, generate, TrafficConfig};
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "nemo-perf-report/v1";
+
+/// One timed benchmark: a name and its wall-time samples in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Stable benchmark name (`graph_ops_100k`, `traffic_sql_suite`, ...).
+    pub name: String,
+    /// Wall-time samples in milliseconds, one per round.
+    pub samples: Vec<f64>,
+}
+
+impl Measurement {
+    /// Median of the samples (mean of the middle two for even counts).
+    pub fn median(&self) -> f64 {
+        median(&self.samples)
+    }
+}
+
+/// Median of a sample set; `0.0` when empty.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Times `rounds` executions of `work`, returning one sample per round.
+/// `setup` runs outside the timed region (fresh state per round).
+pub fn time_rounds<S, T, F, W>(rounds: usize, mut setup: F, mut work: W) -> Vec<f64>
+where
+    F: FnMut() -> S,
+    W: FnMut(S) -> T,
+{
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let state = setup();
+        let start = Instant::now();
+        let out = work(state);
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+        drop(out);
+    }
+    samples
+}
+
+/// Sizing knobs for one report run.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Node counts for the graph-ops benches (paired with ~2x edges).
+    pub graph_sizes: Vec<(String, usize)>,
+    /// Rounds per benchmark.
+    pub rounds: usize,
+    /// Scaled synthetic workload for the SQL macro bench.
+    pub sql_nodes: usize,
+    /// Edge count for the SQL macro bench.
+    pub sql_edges: usize,
+    /// Whether to run the end-to-end small accuracy matrix.
+    pub run_matrix: bool,
+}
+
+impl PerfConfig {
+    /// The full configuration used for committed `BENCH_*.json` numbers:
+    /// graph ops at 10k and 100k nodes, a 2k-node SQL workload, and the
+    /// end-to-end small matrix.
+    pub fn full() -> Self {
+        PerfConfig {
+            graph_sizes: vec![
+                ("graph_ops_10k".to_string(), 10_000),
+                ("graph_ops_100k".to_string(), 100_000),
+            ],
+            rounds: 5,
+            sql_nodes: 2_000,
+            sql_edges: 6_000,
+            run_matrix: true,
+        }
+    }
+
+    /// A seconds-scale smoke configuration for CI (`NEMO_SMALL=1`): the
+    /// same benchmarks at toy sizes, to validate the pipeline and schema.
+    pub fn small() -> Self {
+        PerfConfig {
+            graph_sizes: vec![
+                ("graph_ops_1k".to_string(), 1_000),
+                ("graph_ops_5k".to_string(), 5_000),
+            ],
+            rounds: 3,
+            sql_nodes: 300,
+            sql_edges: 900,
+            run_matrix: false,
+        }
+    }
+
+    /// Picks [`PerfConfig::small`] when `NEMO_SMALL` is set, else
+    /// [`PerfConfig::full`].
+    pub fn from_env() -> Self {
+        if std::env::var("NEMO_SMALL").is_ok() {
+            PerfConfig::small()
+        } else {
+            PerfConfig::full()
+        }
+    }
+}
+
+// ------------------------------------------------------------- benchmarks
+
+/// Deterministic scramble so bench graphs are not built in sorted order.
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer — fixed constants, no external dependency.
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn bench_node_name(i: u64) -> String {
+    // Dotted-quad style names, matching the shape of real workload ids.
+    format!("10.{}.{}.{}", (i >> 16) & 0xff, (i >> 8) & 0xff, i & 0xff)
+}
+
+/// Builds the synthetic bench graph: `n` nodes, `2n` edges chosen by a
+/// deterministic hash, each edge carrying a `bytes` attribute.
+pub fn build_bench_graph(n: usize) -> Graph {
+    let mut g = Graph::directed();
+    for i in 0..n as u64 {
+        let mut attrs = AttrMap::new();
+        attrs.set("idx", i as i64);
+        g.add_node(&bench_node_name(mix(i) % (n as u64)), attrs);
+    }
+    for i in 0..n as u64 {
+        let u = bench_node_name(mix(i) % (n as u64));
+        for k in 0..2u64 {
+            let v = bench_node_name(mix(i ^ (k.wrapping_mul(0x5bd1_e995))) % (n as u64));
+            let mut attrs = AttrMap::new();
+            attrs.set("bytes", (mix(i + k) % 10_000) as i64);
+            g.add_edge(&u, &v, attrs);
+        }
+    }
+    g
+}
+
+/// The graph-ops workload: a full sweep of degree / neighbor / edge-probe /
+/// attribute calls over every node, returning a checksum so the work cannot
+/// be optimized away.
+pub fn graph_ops_workload(g: &Graph) -> u64 {
+    let mut checksum = 0u64;
+    let ids: Vec<String> = g.node_ids().map(|s| s.to_string()).collect();
+    for id in &ids {
+        checksum = checksum.wrapping_add(g.degree(id).unwrap_or(0) as u64);
+        for v in g.neighbors(id).unwrap_or_default() {
+            checksum = checksum.wrapping_add(v.len() as u64);
+        }
+        if let Some(w) = g.get_node_attr_opt(id, "idx").and_then(|v| v.as_i64()) {
+            checksum = checksum.wrapping_add(w as u64);
+        }
+    }
+    // Random-access edge probes between hashed endpoint pairs.
+    let n = ids.len() as u64;
+    for i in 0..n {
+        let u = &ids[(mix(i) % n) as usize];
+        let v = &ids[(mix(i ^ 0xabcd) % n) as usize];
+        if g.has_edge(u, v) {
+            checksum = checksum.wrapping_add(1);
+        }
+    }
+    checksum
+}
+
+/// The SQL statements of the scaled macro bench: scans, LIKE filters,
+/// DISTINCT, grouped aggregation and an equi-join.
+pub const SQL_MACRO_QUERIES: &[&str] = &[
+    "SELECT COUNT(*) AS n FROM edges WHERE bytes > 5000",
+    "SELECT id FROM nodes WHERE id LIKE '15.%' ORDER BY id",
+    "SELECT DISTINCT source FROM edges",
+    "SELECT source, SUM(bytes) AS total FROM edges GROUP BY source \
+     HAVING SUM(bytes) > 1000 ORDER BY total DESC LIMIT 20",
+    "SELECT n.prefix16, SUM(e.bytes) AS total FROM edges e \
+     JOIN nodes n ON e.source = n.id GROUP BY n.prefix16 ORDER BY total DESC",
+];
+
+fn run_sql_macro(db: &mut Database) -> usize {
+    let mut rows = 0;
+    for sql in SQL_MACRO_QUERIES {
+        let result = db.execute(sql).expect("macro bench SQL executes");
+        if let Some(frame) = result.rows() {
+            rows += frame.n_rows();
+        }
+    }
+    rows
+}
+
+/// Runs every golden SQL program of the 24-query traffic suite against a
+/// fresh default workload database, returning the number of statements run.
+pub fn run_traffic_sql_suite(db: &mut Database) -> usize {
+    let mut statements = 0;
+    for spec in traffic_queries() {
+        let results = db
+            .execute_script(spec.sql)
+            .unwrap_or_else(|e| panic!("golden SQL for {} failed: {e}", spec.id));
+        statements += results.len();
+    }
+    statements
+}
+
+/// Runs the configured benchmarks and returns their measurements.
+pub fn run_benchmarks(config: &PerfConfig) -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    for (name, n) in &config.graph_sizes {
+        let n = *n;
+        eprintln!("[perf] building {n}-node graph for {name}...");
+        let build_samples = time_rounds(config.rounds, || (), |()| build_bench_graph(n));
+        out.push(Measurement {
+            name: format!("{name}_build"),
+            samples: build_samples,
+        });
+        let g = build_bench_graph(n);
+        eprintln!("[perf] running {name} ({} rounds)...", config.rounds);
+        let samples = time_rounds(config.rounds, || (), |()| graph_ops_workload(&g));
+        out.push(Measurement {
+            name: name.clone(),
+            samples,
+        });
+    }
+
+    // The 24 golden SQL programs over the paper's default 80-node workload.
+    eprintln!("[perf] running traffic_sql_suite...");
+    let default_workload = generate(&TrafficConfig::default());
+    let suite_samples = time_rounds(
+        config.rounds,
+        || export::to_database(&default_workload),
+        |mut db| run_traffic_sql_suite(&mut db),
+    );
+    out.push(Measurement {
+        name: "traffic_sql_suite".to_string(),
+        samples: suite_samples,
+    });
+
+    // The same executor on a scaled synthetic workload, where join and
+    // predicate costs dominate.
+    eprintln!("[perf] running traffic_sql_{}n...", config.sql_nodes);
+    let scaled = generate(&TrafficConfig {
+        nodes: config.sql_nodes,
+        edges: config.sql_edges,
+        prefixes: 8,
+        seed: 7,
+    });
+    let macro_samples = time_rounds(
+        config.rounds,
+        || export::to_database(&scaled),
+        |mut db| run_sql_macro(&mut db),
+    );
+    out.push(Measurement {
+        name: "traffic_sql_scaled".to_string(),
+        samples: macro_samples,
+    });
+
+    if config.run_matrix {
+        eprintln!("[perf] running e2e_small_matrix...");
+        let suite = BenchmarkSuite::build(&SuiteConfig::small());
+        let models = [profiles::gpt4()];
+        let matrix_samples = time_rounds(
+            config.rounds.min(3),
+            || (),
+            |()| {
+                runner::run_accuracy_benchmark_with_threads(
+                    &suite,
+                    &models,
+                    runner::DEFAULT_SEED,
+                    1,
+                )
+            },
+        );
+        out.push(Measurement {
+            name: "e2e_small_matrix".to_string(),
+            samples: matrix_samples,
+        });
+    }
+
+    out
+}
+
+// ------------------------------------------------------------ report JSON
+
+fn samples_json(samples: &[f64]) -> JsonValue {
+    let mut obj = BTreeMap::new();
+    obj.insert("median".to_string(), JsonValue::Number(median(samples)));
+    obj.insert(
+        "samples".to_string(),
+        JsonValue::Array(samples.iter().map(|&s| JsonValue::Number(s)).collect()),
+    );
+    JsonValue::Object(obj)
+}
+
+/// Merges `measurements` under `label` (`"before"` / `"after"`) into an
+/// existing report document (or a fresh one when `existing` is `None`),
+/// recomputing `speedup` wherever both labels are present.
+pub fn merge_report(
+    existing: Option<&JsonValue>,
+    pr: &str,
+    label: &str,
+    measurements: &[Measurement],
+) -> JsonValue {
+    // Entry order: existing entries first (stable), new names appended.
+    let mut entries: Vec<(String, BTreeMap<String, JsonValue>)> = Vec::new();
+    if let Some(JsonValue::Object(root)) = existing {
+        if let Some(JsonValue::Array(old)) = root.get("entries") {
+            for e in old {
+                if let JsonValue::Object(obj) = e {
+                    if let Some(JsonValue::String(name)) = obj.get("name") {
+                        entries.push((name.clone(), obj.clone()));
+                    }
+                }
+            }
+        }
+    }
+    for m in measurements {
+        let pos = entries.iter().position(|(name, _)| *name == m.name);
+        let obj = match pos {
+            Some(i) => &mut entries[i].1,
+            None => {
+                let mut fresh = BTreeMap::new();
+                fresh.insert("name".to_string(), JsonValue::String(m.name.clone()));
+                fresh.insert("unit".to_string(), JsonValue::String("ms".to_string()));
+                entries.push((m.name.clone(), fresh));
+                &mut entries.last_mut().expect("just pushed").1
+            }
+        };
+        obj.insert(label.to_string(), samples_json(&m.samples));
+    }
+    // Recompute speedups.
+    for (_, obj) in &mut entries {
+        let get_median = |obj: &BTreeMap<String, JsonValue>, label: &str| -> Option<f64> {
+            match obj.get(label) {
+                Some(JsonValue::Object(section)) => match section.get("median") {
+                    Some(JsonValue::Number(x)) => Some(*x),
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        match (get_median(obj, "before"), get_median(obj, "after")) {
+            (Some(before), Some(after)) if after > 0.0 => {
+                obj.insert("speedup".to_string(), JsonValue::Number(before / after));
+            }
+            _ => {
+                obj.remove("speedup");
+            }
+        }
+    }
+
+    let mut root = BTreeMap::new();
+    root.insert("schema".to_string(), JsonValue::String(SCHEMA.to_string()));
+    root.insert("pr".to_string(), JsonValue::String(pr.to_string()));
+    root.insert(
+        "entries".to_string(),
+        JsonValue::Array(
+            entries
+                .into_iter()
+                .map(|(_, obj)| JsonValue::Object(obj))
+                .collect(),
+        ),
+    );
+    JsonValue::Object(root)
+}
+
+/// Validates a report document against the `nemo-perf-report/v1` schema.
+/// Returns a list of problems; an empty list means the report is valid.
+pub fn validate_report(doc: &JsonValue) -> Vec<String> {
+    let mut problems = Vec::new();
+    let root = match doc {
+        JsonValue::Object(map) => map,
+        _ => return vec!["report root is not an object".to_string()],
+    };
+    match root.get("schema") {
+        Some(JsonValue::String(s)) if s == SCHEMA => {}
+        other => problems.push(format!("schema field is {other:?}, want \"{SCHEMA}\"")),
+    }
+    if !matches!(root.get("pr"), Some(JsonValue::String(_))) {
+        problems.push("missing string field 'pr'".to_string());
+    }
+    let entries = match root.get("entries") {
+        Some(JsonValue::Array(entries)) if !entries.is_empty() => entries,
+        _ => {
+            problems.push("missing non-empty array field 'entries'".to_string());
+            return problems;
+        }
+    };
+    for (i, entry) in entries.iter().enumerate() {
+        let obj = match entry {
+            JsonValue::Object(obj) => obj,
+            _ => {
+                problems.push(format!("entries[{i}] is not an object"));
+                continue;
+            }
+        };
+        if !matches!(obj.get("name"), Some(JsonValue::String(_))) {
+            problems.push(format!("entries[{i}] missing string 'name'"));
+        }
+        if !matches!(obj.get("unit"), Some(JsonValue::String(_))) {
+            problems.push(format!("entries[{i}] missing string 'unit'"));
+        }
+        let mut any_label = false;
+        for label in ["before", "after"] {
+            match obj.get(label) {
+                None => {}
+                Some(JsonValue::Object(section)) => {
+                    any_label = true;
+                    if !matches!(section.get("median"), Some(JsonValue::Number(_))) {
+                        problems.push(format!("entries[{i}].{label} missing number 'median'"));
+                    }
+                    match section.get("samples") {
+                        Some(JsonValue::Array(samples))
+                            if samples.iter().all(|s| matches!(s, JsonValue::Number(_))) => {}
+                        _ => problems.push(format!(
+                            "entries[{i}].{label} missing numeric array 'samples'"
+                        )),
+                    }
+                }
+                Some(_) => problems.push(format!("entries[{i}].{label} is not an object")),
+            }
+        }
+        if !any_label {
+            problems.push(format!("entries[{i}] records neither 'before' nor 'after'"));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sets() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn bench_graph_is_deterministic() {
+        let a = build_bench_graph(200);
+        let b = build_bench_graph(200);
+        assert_eq!(a.number_of_nodes(), b.number_of_nodes());
+        assert_eq!(a.number_of_edges(), b.number_of_edges());
+        assert_eq!(graph_ops_workload(&a), graph_ops_workload(&b));
+    }
+
+    #[test]
+    fn traffic_sql_suite_runs_on_default_workload() {
+        let workload = generate(&TrafficConfig::default());
+        let mut db = export::to_database(&workload);
+        assert!(run_traffic_sql_suite(&mut db) >= 24);
+    }
+
+    #[test]
+    fn sql_macro_queries_run_on_scaled_workload() {
+        let scaled = generate(&TrafficConfig {
+            nodes: 100,
+            edges: 200,
+            prefixes: 4,
+            seed: 7,
+        });
+        let mut db = export::to_database(&scaled);
+        assert!(run_sql_macro(&mut db) > 0);
+    }
+
+    #[test]
+    fn merge_then_validate_round_trip() {
+        let before = [Measurement {
+            name: "x".to_string(),
+            samples: vec![10.0, 12.0, 11.0],
+        }];
+        let doc = merge_report(None, "pr3", "before", &before);
+        assert!(validate_report(&doc).is_empty());
+        // Parse/serialize round trip, then merge the after samples.
+        let parsed = JsonValue::parse(&doc.to_json()).unwrap();
+        let after = [Measurement {
+            name: "x".to_string(),
+            samples: vec![5.0, 5.5, 5.2],
+        }];
+        let merged = merge_report(Some(&parsed), "pr3", "after", &after);
+        assert!(validate_report(&merged).is_empty());
+        let text = merged.to_json();
+        assert!(text.contains("\"speedup\""));
+        let reparsed = JsonValue::parse(&text).unwrap();
+        if let JsonValue::Object(root) = &reparsed {
+            if let Some(JsonValue::Array(entries)) = root.get("entries") {
+                if let JsonValue::Object(e) = &entries[0] {
+                    match e.get("speedup") {
+                        Some(JsonValue::Number(s)) => assert!((s - 11.0 / 5.2).abs() < 1e-9),
+                        other => panic!("missing speedup: {other:?}"),
+                    }
+                    return;
+                }
+            }
+        }
+        panic!("unexpected report shape");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_reports() {
+        assert!(!validate_report(&JsonValue::Null).is_empty());
+        let doc = JsonValue::parse(r#"{"schema":"nemo-perf-report/v1","pr":"pr3","entries":[{}]}"#)
+            .unwrap();
+        assert!(!validate_report(&doc).is_empty());
+    }
+
+    #[test]
+    fn time_rounds_returns_one_sample_per_round() {
+        let samples = time_rounds(4, || 2u64, |x| x * x);
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+}

@@ -96,8 +96,10 @@ pub enum ScriptValue {
     List(Vec<ScriptValue>),
     /// Dictionary snapshot (string keys, deterministically ordered).
     Dict(BTreeMap<String, ScriptValue>),
-    /// A property graph returned as the program's result.
-    Graph(Graph),
+    /// A property graph returned as the program's result (boxed: the
+    /// interned graph core is a wide struct, and snapshots are cloned
+    /// throughout the benchmark matrix).
+    Graph(Box<Graph>),
     /// A dataframe returned as the program's result.
     Frame(DataFrame),
 }
@@ -162,7 +164,7 @@ impl From<&Value> for ScriptValue {
                     .map(|(k, v)| (k.clone(), ScriptValue::from(v)))
                     .collect(),
             ),
-            Value::Graph(g) => ScriptValue::Graph(g.borrow().clone()),
+            Value::Graph(g) => ScriptValue::Graph(Box::new(g.borrow().clone())),
             Value::Frame(df) => ScriptValue::Frame(df.borrow().clone()),
             Value::Function(_) => ScriptValue::Str(value.to_string()),
         }
@@ -383,7 +385,7 @@ mod tests {
         let mut g = Graph::directed();
         g.add_edge("a", "b", attrs([("bytes", 10i64)]));
         let graph_snap = ScriptValue::from(&Value::graph(g.clone()));
-        assert!(graph_snap.approx_eq(&ScriptValue::Graph(g)));
+        assert!(graph_snap.approx_eq(&ScriptValue::Graph(Box::new(g))));
         assert!(graph_snap.to_string().contains("<graph"));
         assert!(!graph_snap.approx_eq(&ScriptValue::Int(1)));
     }

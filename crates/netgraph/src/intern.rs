@@ -1,0 +1,157 @@
+//! String interning: stable integer symbols for node names and other
+//! high-repetition identifiers.
+//!
+//! The data plane handles the same strings over and over — every flow names
+//! two endpoints, every MALT link names two entities — and string-keyed maps
+//! make each touch an O(log n) chain of full string comparisons. An
+//! [`Interner`] assigns each distinct string a dense [`Symbol`] (`u32`) on
+//! first sight and answers both directions afterwards in O(1):
+//! `name -> Symbol` by hash lookup, `Symbol -> name` by index.
+//!
+//! Interned names are stored as `Arc<str>`, so handing out owned copies
+//! ([`Interner::shared`]) is a reference-count bump rather than a heap
+//! allocation — the same trick [`crate::AttrValue::Str`] uses for attribute
+//! values.
+//!
+//! ```
+//! use netgraph::intern::Interner;
+//! let mut interner = Interner::new();
+//! let a = interner.intern("10.0.1.1");
+//! let b = interner.intern("10.0.2.2");
+//! assert_eq!(interner.intern("10.0.1.1"), a);
+//! assert_ne!(a, b);
+//! assert_eq!(interner.resolve(a), "10.0.1.1");
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dense handle for an interned string (index into its [`Interner`]).
+///
+/// Symbols are only meaningful together with the interner that produced
+/// them; two interners assign symbols independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The symbol's index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner: dense symbols out, `O(1)` in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<Arc<str>>,
+    lookup: HashMap<Arc<str>, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns `name`, returning its (new or existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.lookup.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("interner capacity exceeded");
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.lookup.insert(shared, id);
+        Symbol(id)
+    }
+
+    /// The symbol of an already-interned string, if any.
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.lookup.get(name).map(|&id| Symbol(id))
+    }
+
+    /// The string a symbol stands for. Panics on symbols from a different
+    /// interner whose index is out of range.
+    #[inline]
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        &self.names[symbol.index()]
+    }
+
+    /// An owned, allocation-shared copy of the interned string: a refcount
+    /// bump, not a new heap string.
+    #[inline]
+    pub fn shared(&self, symbol: Symbol) -> Arc<str> {
+        Arc::clone(&self.names[symbol.index()])
+    }
+
+    /// Interns `name` and returns the shared allocation directly —
+    /// the dedupe-and-share entry point used when loading workloads.
+    pub fn intern_shared(&mut self, name: &str) -> Arc<str> {
+        let symbol = self.intern(name);
+        self.shared(symbol)
+    }
+
+    /// Iterator over `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (Symbol(i as u32), &**name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(i.intern("a"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(b), "b");
+        assert_eq!(i.get("b"), Some(b));
+        assert_eq!(i.get("zzz"), None);
+    }
+
+    #[test]
+    fn shared_returns_the_same_allocation() {
+        let mut i = Interner::new();
+        let s = i.intern("10.0.0.1");
+        let x = i.shared(s);
+        let y = i.intern_shared("10.0.0.1");
+        assert!(Arc::ptr_eq(&x, &y));
+    }
+
+    #[test]
+    fn iter_walks_in_interning_order() {
+        let mut i = Interner::new();
+        i.intern("z");
+        i.intern("a");
+        let names: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

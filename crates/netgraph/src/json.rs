@@ -113,7 +113,7 @@ impl JsonValue {
             AttrValue::Bool(b) => JsonValue::Bool(*b),
             AttrValue::Int(i) => JsonValue::Number(*i as f64),
             AttrValue::Float(f) => JsonValue::Number(*f),
-            AttrValue::Str(s) => JsonValue::String(s.clone()),
+            AttrValue::Str(s) => JsonValue::String(s.to_string()),
             AttrValue::List(items) => {
                 JsonValue::Array(items.iter().map(JsonValue::from_attr).collect())
             }
@@ -133,13 +133,15 @@ impl JsonValue {
                     AttrValue::Float(*n)
                 }
             }
-            JsonValue::String(s) => AttrValue::Str(s.clone()),
+            JsonValue::String(s) => AttrValue::Str(s.as_str().into()),
             JsonValue::Array(items) => {
                 AttrValue::List(items.iter().map(JsonValue::to_attr).collect())
             }
             JsonValue::Object(map) => AttrValue::List(
                 map.iter()
-                    .map(|(k, v)| AttrValue::List(vec![AttrValue::Str(k.clone()), v.to_attr()]))
+                    .map(|(k, v)| {
+                        AttrValue::List(vec![AttrValue::Str(k.as_str().into()), v.to_attr()])
+                    })
                     .collect(),
             ),
         }

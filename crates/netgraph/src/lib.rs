@@ -29,11 +29,13 @@ mod attr;
 mod error;
 mod generators;
 mod graph;
+pub mod intern;
 pub mod json;
 mod value;
 
 pub use attr::{attrs, AttrMap, AttrMapExt};
 pub use error::{GraphError, Result};
 pub use generators::{binary_tree, complete_graph, cycle_graph, path_graph, star_graph};
-pub use graph::{graphs_approx_eq, Graph};
+pub use graph::{graphs_approx_eq, Graph, NodeId};
+pub use intern::{Interner, Symbol};
 pub use value::AttrValue;

@@ -9,12 +9,20 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dynamically-typed attribute value.
 ///
 /// Numeric comparisons treat `Int` and `Float` as interchangeable (an `Int`
 /// compares equal to a `Float` with the same numeric value), mirroring the
 /// loose typing of the Python libraries the paper's generated code targets.
+///
+/// Strings are stored as shared `Arc<str>` allocations: the data plane
+/// copies values constantly (row materialization, attribute reads, result
+/// rendering), and with shared storage each copy is a reference-count bump
+/// instead of a heap allocation. Workload loaders can additionally dedupe
+/// repeated strings through [`crate::intern::Interner::intern_shared`], so
+/// every occurrence of an endpoint address shares one allocation.
 #[derive(Debug, Clone)]
 pub enum AttrValue {
     /// Absence of a value (`None` in the generated code).
@@ -25,8 +33,8 @@ pub enum AttrValue {
     Int(i64),
     /// 64-bit IEEE float.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string (shared allocation; clones are O(1)).
+    Str(Arc<str>),
     /// Ordered list of values.
     List(Vec<AttrValue>),
 }
@@ -72,9 +80,23 @@ impl AttrValue {
     /// Returns the string slice if the value is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            AttrValue::Str(s) => Some(s),
+            AttrValue::Str(s) => Some(s.as_ref()),
             _ => None,
         }
+    }
+
+    /// Returns the shared string allocation if the value is a `Str` (an
+    /// O(1) owned copy).
+    pub fn as_shared_str(&self) -> Option<Arc<str>> {
+        match self {
+            AttrValue::Str(s) => Some(Arc::clone(s)),
+            _ => None,
+        }
+    }
+
+    /// Builds a `Str` value from anything convertible into a shared string.
+    pub fn str(value: impl Into<Arc<str>>) -> AttrValue {
+        AttrValue::Str(value.into())
     }
 
     /// Returns the boolean if the value is a `Bool`.
@@ -234,11 +256,16 @@ impl From<f64> for AttrValue {
 }
 impl From<&str> for AttrValue {
     fn from(v: &str) -> Self {
-        AttrValue::Str(v.to_string())
+        AttrValue::Str(Arc::from(v))
     }
 }
 impl From<String> for AttrValue {
     fn from(v: String) -> Self {
+        AttrValue::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for AttrValue {
+    fn from(v: Arc<str>) -> Self {
         AttrValue::Str(v)
     }
 }

@@ -1,0 +1,324 @@
+//! Model-equivalence property tests for the interned NodeId graph core.
+//!
+//! The reference model below is a faithful copy of the historical
+//! string-keyed representation (`BTreeMap` adjacency + `BTreeMap` edge
+//! attributes, exactly as the pre-interning `Graph` stored them). Random
+//! operation sequences are applied to both it and the real [`Graph`]; every
+//! observable — node iteration order, edge iteration order, adjacency
+//! lists, degrees, edge probes, attribute reads — must agree, which pins
+//! the interned core to the seed behavior bit for bit.
+
+use netgraph::{AttrMap, AttrMapExt, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The historical string-keyed graph representation, kept as an oracle.
+#[derive(Default)]
+struct RefGraph {
+    directed: bool,
+    nodes: BTreeMap<String, AttrMap>,
+    succ: BTreeMap<String, BTreeSet<String>>,
+    pred: BTreeMap<String, BTreeSet<String>>,
+    edges: BTreeMap<(String, String), AttrMap>,
+}
+
+impl RefGraph {
+    fn new(directed: bool) -> Self {
+        RefGraph {
+            directed,
+            ..Default::default()
+        }
+    }
+
+    fn edge_key(&self, u: &str, v: &str) -> (String, String) {
+        if self.directed || u <= v {
+            (u.to_string(), v.to_string())
+        } else {
+            (v.to_string(), u.to_string())
+        }
+    }
+
+    fn add_node(&mut self, id: &str, attrs: AttrMap) {
+        self.nodes.entry(id.to_string()).or_default().extend(attrs);
+        self.succ.entry(id.to_string()).or_default();
+        self.pred.entry(id.to_string()).or_default();
+    }
+
+    fn add_edge(&mut self, u: &str, v: &str, attrs: AttrMap) {
+        self.add_node(u, AttrMap::new());
+        self.add_node(v, AttrMap::new());
+        self.succ.get_mut(u).unwrap().insert(v.to_string());
+        self.pred.get_mut(v).unwrap().insert(u.to_string());
+        if !self.directed {
+            self.succ.get_mut(v).unwrap().insert(u.to_string());
+            self.pred.get_mut(u).unwrap().insert(v.to_string());
+        }
+        let key = self.edge_key(u, v);
+        self.edges.entry(key).or_default().extend(attrs);
+    }
+
+    fn remove_edge(&mut self, u: &str, v: &str) -> bool {
+        let key = self.edge_key(u, v);
+        if self.edges.remove(&key).is_none() {
+            return false;
+        }
+        if let Some(s) = self.succ.get_mut(u) {
+            s.remove(v);
+        }
+        if let Some(p) = self.pred.get_mut(v) {
+            p.remove(u);
+        }
+        if !self.directed {
+            if let Some(s) = self.succ.get_mut(v) {
+                s.remove(u);
+            }
+            if let Some(p) = self.pred.get_mut(u) {
+                p.remove(v);
+            }
+        }
+        true
+    }
+
+    fn remove_node(&mut self, id: &str) -> bool {
+        if !self.nodes.contains_key(id) {
+            return false;
+        }
+        let out: Vec<String> = self
+            .succ
+            .get(id)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        for v in out {
+            self.remove_edge(id, &v);
+        }
+        let inc: Vec<String> = self
+            .pred
+            .get(id)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        for u in inc {
+            self.remove_edge(&u, id);
+        }
+        self.nodes.remove(id);
+        self.succ.remove(id);
+        self.pred.remove(id);
+        true
+    }
+
+    fn neighbors(&self, id: &str) -> Vec<String> {
+        let mut set: BTreeSet<String> = BTreeSet::new();
+        if let Some(s) = self.succ.get(id) {
+            set.extend(s.iter().cloned());
+        }
+        if let Some(p) = self.pred.get(id) {
+            set.extend(p.iter().cloned());
+        }
+        set.into_iter().collect()
+    }
+}
+
+fn node_pool() -> Vec<String> {
+    // Deliberately unsorted and with shared prefixes to stress name-order
+    // bookkeeping.
+    [
+        "zeta",
+        "10.0.1.9",
+        "alpha",
+        "10.0.1.10",
+        "mid",
+        "a",
+        "zz",
+        "10.10.0.1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn apply_random_ops(seed: u64, directed: bool, ops: usize) -> (Graph, RefGraph) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = node_pool();
+    let mut g = if directed {
+        Graph::directed()
+    } else {
+        Graph::undirected()
+    };
+    let mut r = RefGraph::new(directed);
+    for step in 0..ops {
+        let u = pool[rng.gen_range(0..pool.len())].clone();
+        let v = pool[rng.gen_range(0..pool.len())].clone();
+        match rng.gen_range(0..10u32) {
+            0..=2 => {
+                let mut attrs = AttrMap::new();
+                attrs.set("step", step as i64);
+                g.add_node(&u, attrs.clone());
+                r.add_node(&u, attrs);
+            }
+            3..=6 => {
+                let mut attrs = AttrMap::new();
+                attrs.set("w", rng.gen_range(0..100i64));
+                g.add_edge(&u, &v, attrs.clone());
+                r.add_edge(&u, &v, attrs);
+            }
+            7 => {
+                let removed = r.remove_edge(&u, &v);
+                assert_eq!(
+                    g.remove_edge(&u, &v).is_ok(),
+                    removed,
+                    "remove_edge({u},{v})"
+                );
+            }
+            8 => {
+                let removed = r.remove_node(&u);
+                assert_eq!(g.remove_node(&u).is_ok(), removed, "remove_node({u})");
+            }
+            _ => {
+                if g.has_node(&u) {
+                    g.set_node_attr(&u, "mark", step as i64).unwrap();
+                    r.nodes.get_mut(&u).unwrap().set("mark", step as i64);
+                }
+            }
+        }
+    }
+    (g, r)
+}
+
+fn assert_equivalent(g: &Graph, r: &RefGraph) {
+    // Node iteration order and attributes.
+    let g_nodes: Vec<(&str, &AttrMap)> = g.nodes().collect();
+    let r_nodes: Vec<(&str, &AttrMap)> = r.nodes.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    assert_eq!(g_nodes, r_nodes, "node iteration diverged");
+
+    // Edge iteration order and attributes.
+    let g_edges: Vec<(&str, &str, &AttrMap)> = g.edges().collect();
+    let r_edges: Vec<(&str, &str, &AttrMap)> = r
+        .edges
+        .iter()
+        .map(|((u, v), a)| (u.as_str(), v.as_str(), a))
+        .collect();
+    assert_eq!(g_edges, r_edges, "edge iteration diverged");
+    assert_eq!(g.number_of_nodes(), r.nodes.len());
+    assert_eq!(g.number_of_edges(), r.edges.len());
+
+    // Per-node adjacency, degrees, and the allocation-free iterators.
+    for id in r.nodes.keys() {
+        let succ: Vec<String> = r.succ[id].iter().cloned().collect();
+        let pred: Vec<String> = r.pred[id].iter().cloned().collect();
+        assert_eq!(g.successors(id).unwrap(), succ, "successors({id})");
+        assert_eq!(g.predecessors(id).unwrap(), pred, "predecessors({id})");
+        assert_eq!(g.neighbors(id).unwrap(), r.neighbors(id), "neighbors({id})");
+        let iter_succ: Vec<&str> = g.successors_iter(id).unwrap().collect();
+        assert_eq!(
+            iter_succ,
+            succ.iter().map(String::as_str).collect::<Vec<_>>()
+        );
+        let iter_neigh: Vec<&str> = g.neighbors_iter(id).unwrap().collect();
+        assert_eq!(
+            iter_neigh,
+            r.neighbors(id)
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(g.out_degree(id).unwrap(), r.succ[id].len());
+        assert_eq!(g.in_degree(id).unwrap(), r.pred[id].len());
+        let expected_degree = if r.directed {
+            r.succ[id].len() + r.pred[id].len()
+        } else {
+            r.succ[id].len()
+        };
+        assert_eq!(g.degree(id).unwrap(), expected_degree, "degree({id})");
+    }
+
+    // Full edge-probe matrix, including absent nodes.
+    let mut pool = node_pool();
+    pool.push("never-added".to_string());
+    for u in &pool {
+        for v in &pool {
+            let expected = r.edges.contains_key(&r.edge_key(u, v))
+                && r.succ.get(u).map(|s| s.contains(v)).unwrap_or(false);
+            assert_eq!(g.has_edge(u, v), expected, "has_edge({u},{v})");
+            assert_eq!(
+                g.get_edge_attr_opt(u, v, "w"),
+                if expected {
+                    r.edges[&r.edge_key(u, v)].get("w")
+                } else {
+                    None
+                }
+            );
+        }
+    }
+}
+
+#[test]
+fn random_directed_graphs_match_the_string_keyed_model() {
+    for seed in 0..40 {
+        let (g, r) = apply_random_ops(seed, true, 120);
+        assert_equivalent(&g, &r);
+    }
+}
+
+#[test]
+fn random_undirected_graphs_match_the_string_keyed_model() {
+    for seed in 100..140 {
+        let (g, r) = apply_random_ops(seed, false, 120);
+        assert_equivalent(&g, &r);
+    }
+}
+
+#[test]
+fn derived_views_match_after_random_ops() {
+    for seed in 200..215 {
+        let (g, r) = apply_random_ops(seed, true, 80);
+        // reverse() flips every edge.
+        let rev = g.reverse();
+        assert_eq!(rev.number_of_edges(), g.number_of_edges());
+        for (u, v, attrs) in g.edges() {
+            assert_eq!(rev.edge_attrs(v, u).unwrap(), attrs);
+        }
+        // subgraph() keeps exactly the induced structure.
+        let keep: Vec<&str> = r
+            .nodes
+            .keys()
+            .take(r.nodes.len() / 2)
+            .map(String::as_str)
+            .collect();
+        let sub = g.subgraph(keep.iter().copied());
+        for (u, v, _) in sub.edges() {
+            assert!(keep.contains(&u) && keep.contains(&v));
+            assert!(g.has_edge(u, v));
+        }
+        // to_undirected() merges directions.
+        let und = g.to_undirected();
+        for (u, v, _) in g.edges() {
+            assert!(und.has_edge(u, v) && und.has_edge(v, u));
+        }
+    }
+}
+
+#[test]
+fn clone_and_equality_survive_random_ops() {
+    for seed in 300..310 {
+        let (g, _) = apply_random_ops(seed, seed % 2 == 0, 100);
+        let clone = g.clone();
+        assert_eq!(g, clone);
+        // Rebuild from iteration — different interner id assignment, same
+        // semantic graph.
+        let mut rebuilt = if g.is_directed() {
+            Graph::directed()
+        } else {
+            Graph::undirected()
+        };
+        let mut node_names: Vec<String> = g.node_ids().map(str::to_string).collect();
+        node_names.reverse();
+        for id in &node_names {
+            rebuilt.add_node(id, g.node_attrs(id).unwrap().clone());
+        }
+        for (u, v, attrs) in g.edges() {
+            rebuilt.add_edge(u, v, attrs.clone());
+        }
+        assert_eq!(g, rebuilt);
+        assert!(netgraph::graphs_approx_eq(&g, &rebuilt));
+    }
+}

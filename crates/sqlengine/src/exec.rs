@@ -1,19 +1,25 @@
 //! Statement execution: evaluates parsed statements against a [`Database`].
 //!
-//! The evaluator is a straightforward row-at-a-time interpreter: the `FROM`
-//! clause and joins build a working set of rows with qualified column names,
-//! `WHERE` filters them, optional grouping partitions them, and the
-//! projection/`ORDER BY`/`LIMIT` stages shape the output frame. There is no
-//! query optimizer — the benchmark graphs are small (hundreds of rows) and
-//! determinism matters more than speed here.
+//! The executor compiles every statement once before touching rows: column
+//! references resolve to positional slots ([`CExpr::Column`]), literal
+//! `LIKE` patterns compile to token matchers, and unknown columns become
+//! lazy error nodes (so a bad reference over an empty table still succeeds,
+//! exactly like the historical row-at-a-time interpreter). Evaluation then
+//! runs against *borrowed* rows — `WHERE` filters single-table scans
+//! directly on the frame's columns before any row is materialized, and
+//! equi-joins use a hash join keyed on exactly-hashable values with a
+//! nested-loop fallback for everything else. Row and group ordering are
+//! bit-for-bit identical to the original interpreter.
 
 use crate::ast::*;
 use crate::database::{Database, QueryResult};
 use crate::error::{Result, SqlError};
-use crate::functions::{call_scalar, like_match};
+use crate::functions::{call_scalar, like_match, LikePattern};
 use dataframe::{Column, DataFrame};
 use netgraph::AttrValue;
 use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Executes a parsed statement against the database.
 pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<QueryResult> {
@@ -25,29 +31,29 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<QueryRes
     }
 }
 
-// ------------------------------------------------------------------ rowsets
+// ------------------------------------------------------------------ schema
 
-/// A working set of rows whose columns carry an optional table qualifier.
+/// The column layout of a working row set: `(qualifier, column name)` per
+/// position.
 #[derive(Debug, Clone)]
-struct RowSet {
-    /// `(qualifier, column name)` per column.
+struct Schema {
     columns: Vec<(Option<String>, String)>,
-    rows: Vec<Vec<AttrValue>>,
 }
 
-impl RowSet {
-    fn from_table(db: &Database, table: &TableRef) -> Result<RowSet> {
-        let frame = db.table(&table.name)?;
+impl Schema {
+    fn from_table(frame: &DataFrame, table: &TableRef) -> Schema {
         let qualifier = table.alias.clone().unwrap_or_else(|| table.name.clone());
-        let columns = frame
-            .column_names()
-            .iter()
-            .map(|c| (Some(qualifier.clone()), c.to_string()))
-            .collect();
-        let rows = (0..frame.n_rows())
-            .map(|i| frame.row(i).expect("in range"))
-            .collect();
-        Ok(RowSet { columns, rows })
+        Schema {
+            columns: frame
+                .column_names()
+                .iter()
+                .map(|c| (Some(qualifier.clone()), c.to_string()))
+                .collect(),
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.columns.len()
     }
 
     /// Index of the column matching `name` with optional `qualifier`.
@@ -77,18 +83,206 @@ impl RowSet {
     }
 }
 
+// --------------------------------------------------------------- row views
+
+/// A borrowed view of one row; the compiled evaluator only reads columns by
+/// position, so scans and join probes never materialize rows up front.
+trait RowView {
+    fn col(&self, idx: usize) -> &AttrValue;
+}
+
+/// A materialized row.
+struct SliceRow<'a>(&'a [AttrValue]);
+
+impl RowView for SliceRow<'_> {
+    #[inline]
+    fn col(&self, idx: usize) -> &AttrValue {
+        &self.0[idx]
+    }
+}
+
+/// A row borrowed straight out of a frame's columnar storage.
+struct FrameRow<'a> {
+    columns: &'a [Column],
+    row: usize,
+}
+
+impl RowView for FrameRow<'_> {
+    #[inline]
+    fn col(&self, idx: usize) -> &AttrValue {
+        &self.columns[idx].values()[self.row]
+    }
+}
+
+/// A join candidate: a left row and a right row viewed as one concatenated
+/// row, without copying either side.
+struct PairRow<'a> {
+    left: &'a [AttrValue],
+    right: &'a [AttrValue],
+}
+
+impl RowView for PairRow<'_> {
+    #[inline]
+    fn col(&self, idx: usize) -> &AttrValue {
+        if idx < self.left.len() {
+            &self.left[idx]
+        } else {
+            &self.right[idx - self.left.len()]
+        }
+    }
+}
+
+// --------------------------------------------------------- compiled exprs
+
+/// An expression compiled against a [`Schema`]: column references are
+/// positional slots, literal LIKE patterns are pre-translated, and unknown
+/// columns are lazy errors (raised only if the node is ever evaluated,
+/// which keeps bad references over empty row sets silent — the historical
+/// behavior).
+#[derive(Debug, Clone)]
+enum CExpr {
+    Literal(AttrValue),
+    Column(usize),
+    /// Unresolvable column reference; errors when evaluated.
+    Unknown(String),
+    Neg(Box<CExpr>),
+    Not(Box<CExpr>),
+    Binary {
+        left: Box<CExpr>,
+        op: BinaryOp,
+        right: Box<CExpr>,
+    },
+    IsNull {
+        expr: Box<CExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<CExpr>,
+        list: Vec<CExpr>,
+        negated: bool,
+    },
+    /// `LIKE` with a literal pattern, compiled once per query.
+    LikeCompiled {
+        expr: Box<CExpr>,
+        pattern: LikePattern,
+        negated: bool,
+    },
+    /// `LIKE` whose pattern is itself computed per row.
+    LikeDynamic {
+        expr: Box<CExpr>,
+        pattern: Box<CExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<CExpr>,
+        low: Box<CExpr>,
+        high: Box<CExpr>,
+        negated: bool,
+    },
+    Function {
+        name: String,
+        args: Vec<CExpr>,
+    },
+    Aggregate {
+        func: AggregateFunc,
+        arg: Option<Box<CExpr>>,
+    },
+    Case {
+        arms: Vec<(CExpr, CExpr)>,
+        otherwise: Option<Box<CExpr>>,
+    },
+}
+
+/// Compiles an expression against a schema. Compilation never fails;
+/// unresolvable columns become [`CExpr::Unknown`] nodes.
+fn compile(schema: &Schema, expr: &Expr) -> CExpr {
+    match expr {
+        Expr::Literal(v) => CExpr::Literal(v.clone()),
+        Expr::Column { table, name } => match schema.resolve(table.as_deref(), name) {
+            Ok(idx) => CExpr::Column(idx),
+            Err(_) => CExpr::Unknown(match table {
+                Some(q) => format!("{q}.{name}"),
+                None => name.clone(),
+            }),
+        },
+        Expr::Neg(inner) => CExpr::Neg(Box::new(compile(schema, inner))),
+        Expr::Not(inner) => CExpr::Not(Box::new(compile(schema, inner))),
+        Expr::Binary { left, op, right } => CExpr::Binary {
+            left: Box::new(compile(schema, left)),
+            op: *op,
+            right: Box::new(compile(schema, right)),
+        },
+        Expr::IsNull { expr, negated } => CExpr::IsNull {
+            expr: Box::new(compile(schema, expr)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => CExpr::InList {
+            expr: Box::new(compile(schema, expr)),
+            list: list.iter().map(|e| compile(schema, e)).collect(),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            if let Expr::Literal(AttrValue::Str(p)) = pattern.as_ref() {
+                CExpr::LikeCompiled {
+                    expr: Box::new(compile(schema, expr)),
+                    pattern: LikePattern::compile(p),
+                    negated: *negated,
+                }
+            } else {
+                CExpr::LikeDynamic {
+                    expr: Box::new(compile(schema, expr)),
+                    pattern: Box::new(compile(schema, pattern)),
+                    negated: *negated,
+                }
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => CExpr::Between {
+            expr: Box::new(compile(schema, expr)),
+            low: Box::new(compile(schema, low)),
+            high: Box::new(compile(schema, high)),
+            negated: *negated,
+        },
+        Expr::Function { name, args } => CExpr::Function {
+            name: name.clone(),
+            args: args.iter().map(|a| compile(schema, a)).collect(),
+        },
+        Expr::Aggregate { func, arg } => CExpr::Aggregate {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(compile(schema, a))),
+        },
+        Expr::Case { arms, otherwise } => CExpr::Case {
+            arms: arms
+                .iter()
+                .map(|(c, r)| (compile(schema, c), compile(schema, r)))
+                .collect(),
+            otherwise: otherwise.as_ref().map(|e| Box::new(compile(schema, e))),
+        },
+    }
+}
+
 // --------------------------------------------------------------- evaluation
 
-/// Evaluates a non-aggregate expression against one row.
-fn eval_row(rs: &RowSet, row: &[AttrValue], expr: &Expr) -> Result<AttrValue> {
+/// Evaluates a compiled non-aggregate expression against one row view.
+fn eval<R: RowView>(row: &R, expr: &CExpr) -> Result<AttrValue> {
     match expr {
-        Expr::Literal(v) => Ok(v.clone()),
-        Expr::Column { table, name } => {
-            let idx = rs.resolve(table.as_deref(), name)?;
-            Ok(row[idx].clone())
-        }
-        Expr::Neg(inner) => {
-            let v = eval_row(rs, row, inner)?;
+        CExpr::Literal(v) => Ok(v.clone()),
+        CExpr::Column(idx) => Ok(row.col(*idx).clone()),
+        CExpr::Unknown(name) => Err(SqlError::UnknownColumn(name.clone())),
+        CExpr::Neg(inner) => {
+            let v = eval(row, inner)?;
             match v {
                 AttrValue::Int(i) => Ok(AttrValue::Int(-i)),
                 AttrValue::Float(f) => Ok(AttrValue::Float(-f)),
@@ -99,55 +293,66 @@ fn eval_row(rs: &RowSet, row: &[AttrValue], expr: &Expr) -> Result<AttrValue> {
                 ))),
             }
         }
-        Expr::Not(inner) => {
-            let v = eval_row(rs, row, inner)?;
+        CExpr::Not(inner) => {
+            let v = eval(row, inner)?;
             Ok(AttrValue::Bool(!v.is_truthy()))
         }
-        Expr::Binary { left, op, right } => {
-            let l = eval_row(rs, row, left)?;
-            let r = eval_row(rs, row, right)?;
+        CExpr::Binary { left, op, right } => {
+            let l = eval(row, left)?;
+            let r = eval(row, right)?;
             eval_binary(&l, *op, &r)
         }
-        Expr::IsNull { expr, negated } => {
-            let v = eval_row(rs, row, expr)?;
+        CExpr::IsNull { expr, negated } => {
+            let v = eval(row, expr)?;
             Ok(AttrValue::Bool(v.is_null() != *negated))
         }
-        Expr::InList {
+        CExpr::InList {
             expr,
             list,
             negated,
         } => {
-            let v = eval_row(rs, row, expr)?;
+            let v = eval(row, expr)?;
             let mut found = false;
             for item in list {
-                if eval_row(rs, row, item)?.approx_eq(&v) {
+                if eval(row, item)?.approx_eq(&v) {
                     found = true;
                     break;
                 }
             }
             Ok(AttrValue::Bool(found != *negated))
         }
-        Expr::Like {
+        CExpr::LikeCompiled {
             expr,
             pattern,
             negated,
         } => {
-            let v = eval_row(rs, row, expr)?;
-            let p = eval_row(rs, row, pattern)?;
+            let v = eval(row, expr)?;
+            match v.as_str() {
+                Some(text) => Ok(AttrValue::Bool(pattern.matches(text) != *negated)),
+                None => Ok(AttrValue::Bool(false)),
+            }
+        }
+        CExpr::LikeDynamic {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(row, expr)?;
+            let p = eval(row, pattern)?;
             match (v.as_str(), p.as_str()) {
                 (Some(text), Some(pat)) => Ok(AttrValue::Bool(like_match(text, pat) != *negated)),
                 _ => Ok(AttrValue::Bool(false)),
             }
         }
-        Expr::Between {
+        CExpr::Between {
             expr,
             low,
             high,
             negated,
         } => {
-            let v = eval_row(rs, row, expr)?;
-            let lo = eval_row(rs, row, low)?;
-            let hi = eval_row(rs, row, high)?;
+            let v = eval(row, expr)?;
+            let lo = eval(row, low)?;
+            let hi = eval(row, high)?;
             let inside = matches!(
                 v.partial_cmp_value(&lo),
                 Some(Ordering::Greater | Ordering::Equal)
@@ -157,80 +362,81 @@ fn eval_row(rs: &RowSet, row: &[AttrValue], expr: &Expr) -> Result<AttrValue> {
             );
             Ok(AttrValue::Bool(inside != *negated))
         }
-        Expr::Function { name, args } => {
-            let values: Vec<AttrValue> = args
-                .iter()
-                .map(|a| eval_row(rs, row, a))
-                .collect::<Result<_>>()?;
+        CExpr::Function { name, args } => {
+            let values: Vec<AttrValue> =
+                args.iter().map(|a| eval(row, a)).collect::<Result<_>>()?;
             call_scalar(name, &values)
         }
-        Expr::Aggregate { func, .. } => Err(SqlError::Execution(format!(
+        CExpr::Aggregate { func, .. } => Err(SqlError::Execution(format!(
             "aggregate {} used outside of an aggregating query",
             func.name()
         ))),
-        Expr::Case { arms, otherwise } => {
+        CExpr::Case { arms, otherwise } => {
             for (cond, result) in arms {
-                if eval_row(rs, row, cond)?.is_truthy() {
-                    return eval_row(rs, row, result);
+                if eval(row, cond)?.is_truthy() {
+                    return eval(row, result);
                 }
             }
             match otherwise {
-                Some(e) => eval_row(rs, row, e),
+                Some(e) => eval(row, e),
                 None => Ok(AttrValue::Null),
             }
         }
     }
 }
 
-/// Evaluates an expression over a *group* of rows, computing aggregates over
-/// the whole group and non-aggregate parts on the group's first row.
-fn eval_group(rs: &RowSet, group: &[usize], expr: &Expr) -> Result<AttrValue> {
+/// Evaluates a compiled expression over a *group* of rows, computing
+/// aggregates over the whole group and non-aggregate parts on the group's
+/// first row.
+fn eval_group(rows: &[Vec<AttrValue>], group: &[usize], expr: &CExpr) -> Result<AttrValue> {
     match expr {
-        Expr::Aggregate { func, arg } => {
+        CExpr::Aggregate { func, arg } => {
             let mut values: Vec<AttrValue> = Vec::with_capacity(group.len());
             for &row_idx in group {
                 match arg {
-                    Some(a) => values.push(eval_row(rs, &rs.rows[row_idx], a)?),
+                    Some(a) => values.push(eval(&SliceRow(&rows[row_idx]), a)?),
                     None => values.push(AttrValue::Int(1)),
                 }
             }
             eval_aggregate(*func, &values)
         }
-        Expr::Binary { left, op, right } => {
-            let l = eval_group(rs, group, left)?;
-            let r = eval_group(rs, group, right)?;
+        CExpr::Binary { left, op, right } => {
+            let l = eval_group(rows, group, left)?;
+            let r = eval_group(rows, group, right)?;
             eval_binary(&l, *op, &r)
         }
-        Expr::Neg(inner) => {
-            let v = eval_group(rs, group, inner)?;
+        CExpr::Neg(inner) => {
+            let v = eval_group(rows, group, inner)?;
             match v {
                 AttrValue::Int(i) => Ok(AttrValue::Int(-i)),
                 AttrValue::Float(f) => Ok(AttrValue::Float(-f)),
                 other => Ok(other),
             }
         }
-        Expr::Not(inner) => Ok(AttrValue::Bool(!eval_group(rs, group, inner)?.is_truthy())),
-        Expr::Function { name, args } => {
+        CExpr::Not(inner) => Ok(AttrValue::Bool(
+            !eval_group(rows, group, inner)?.is_truthy(),
+        )),
+        CExpr::Function { name, args } => {
             let values: Vec<AttrValue> = args
                 .iter()
-                .map(|a| eval_group(rs, group, a))
+                .map(|a| eval_group(rows, group, a))
                 .collect::<Result<_>>()?;
             call_scalar(name, &values)
         }
-        Expr::Case { arms, otherwise } => {
+        CExpr::Case { arms, otherwise } => {
             for (cond, result) in arms {
-                if eval_group(rs, group, cond)?.is_truthy() {
-                    return eval_group(rs, group, result);
+                if eval_group(rows, group, cond)?.is_truthy() {
+                    return eval_group(rows, group, result);
                 }
             }
             match otherwise {
-                Some(e) => eval_group(rs, group, e),
+                Some(e) => eval_group(rows, group, e),
                 None => Ok(AttrValue::Null),
             }
         }
         // Everything else is evaluated against the group's first row.
         other => match group.first() {
-            Some(&row_idx) => eval_row(rs, &rs.rows[row_idx], other),
+            Some(&row_idx) => eval(&SliceRow(&rows[row_idx]), other),
             None => Ok(AttrValue::Null),
         },
     }
@@ -298,7 +504,7 @@ fn eval_binary(l: &AttrValue, op: BinaryOp, r: &AttrValue) -> Result<AttrValue> 
     }
     if op == Add {
         if let (Some(a), Some(b)) = (l.as_str(), r.as_str()) {
-            return Ok(AttrValue::Str(format!("{a}{b}")));
+            return Ok(AttrValue::Str(format!("{a}{b}").into()));
         }
     }
     let (a, b) = match (l.as_f64(), r.as_f64()) {
@@ -340,33 +546,80 @@ fn eval_binary(l: &AttrValue, op: BinaryOp, r: &AttrValue) -> Result<AttrValue> 
     }
 }
 
+// ---------------------------------------------------------------- hash keys
+
+/// An exactly-hashable stand-in for an [`AttrValue`] used as a join or
+/// grouping key. Within this domain, key equality coincides *exactly* with
+/// [`AttrValue::approx_eq`]:
+///
+/// * `Null`, `Bool` and `Str` compare exactly in both schemes;
+/// * numeric values map to their integer value, but only when integral and
+///   `|v| < 10^9` — beyond that, `approx_eq`'s relative tolerance of
+///   `1e-9 * |v|` reaches 1.0 and *distinct* integers start comparing
+///   equal, which a hash key cannot express.
+///
+/// Values outside the domain (non-integral floats, huge integers, lists)
+/// return `None` and force the caller onto the comparison-based slow path,
+/// keeping results identical to the historical executor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ValueKey {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(Arc<str>),
+}
+
+fn value_key(v: &AttrValue) -> Option<ValueKey> {
+    const MAX_EXACT: i64 = 1_000_000_000;
+    match v {
+        AttrValue::Null => Some(ValueKey::Null),
+        AttrValue::Bool(b) => Some(ValueKey::Bool(*b)),
+        AttrValue::Int(_) | AttrValue::Float(_) => match v.as_i64() {
+            // Range check rather than `abs()`: `i64::MIN.abs()` overflows.
+            Some(i) if -MAX_EXACT < i && i < MAX_EXACT => Some(ValueKey::Int(i)),
+            _ => None,
+        },
+        AttrValue::Str(s) => Some(ValueKey::Str(Arc::clone(s))),
+        AttrValue::List(_) => None,
+    }
+}
+
 // ------------------------------------------------------------------- select
 
 fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<DataFrame> {
-    // FROM + JOINs.
-    let mut rs = RowSet::from_table(db, &stmt.from)?;
-    for join in &stmt.joins {
-        rs = apply_join(db, rs, join)?;
-    }
-
-    // WHERE.
-    if let Some(pred) = &stmt.where_clause {
-        let mut kept = Vec::new();
-        for row in rs.rows {
-            if eval_row(
-                &RowSet {
-                    columns: rs.columns.clone(),
-                    rows: vec![],
-                },
-                &row,
-                pred,
-            )?
-            .is_truthy()
-            {
-                kept.push(row);
+    // FROM: resolve the base table; with no joins, the WHERE predicate is
+    // evaluated against borrowed frame rows and only survivors materialize.
+    let base = db.table(&stmt.from.name)?;
+    let mut schema = Schema::from_table(base, &stmt.from);
+    let mut rows: Vec<Vec<AttrValue>>;
+    if stmt.joins.is_empty() {
+        let pred = stmt.where_clause.as_ref().map(|p| compile(&schema, p));
+        let columns = base.columns();
+        rows = Vec::new();
+        for i in 0..base.n_rows() {
+            let view = FrameRow { columns, row: i };
+            if let Some(pred) = &pred {
+                if !eval(&view, pred)?.is_truthy() {
+                    continue;
+                }
             }
+            rows.push(columns.iter().map(|c| c.values()[i].clone()).collect());
         }
-        rs.rows = kept;
+    } else {
+        rows = materialize_rows(base);
+        for join in &stmt.joins {
+            (schema, rows) = apply_join(db, schema, rows, join)?;
+        }
+        if let Some(pred) = &stmt.where_clause {
+            let pred = compile(&schema, pred);
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if eval(&SliceRow(&row), &pred)?.is_truthy() {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
     }
 
     let has_aggregates = stmt.items.iter().any(|i| match i {
@@ -378,16 +631,16 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<DataFrame> {
         .map(Expr::contains_aggregate)
         .unwrap_or(false);
 
-    let (mut out, order_rows): (DataFrame, Vec<Vec<AttrValue>>) =
-        if !stmt.group_by.is_empty() || has_aggregates {
-            project_grouped(&rs, stmt)?
-        } else {
-            project_rows(&rs, stmt)?
-        };
+    let (mut out, order_map): (DataFrame, OrderMap) = if !stmt.group_by.is_empty() || has_aggregates
+    {
+        project_grouped(&schema, &rows, stmt)?
+    } else {
+        project_rows(&schema, &rows, stmt)?
+    };
 
-    // DISTINCT.
+    // DISTINCT: first occurrence wins, order preserved.
     if stmt.distinct {
-        let mut seen: Vec<String> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
         let mut keep: Vec<usize> = Vec::new();
         for i in 0..out.n_rows() {
             let key = out
@@ -397,8 +650,7 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<DataFrame> {
                 .map(|v| format!("{}:{v}", v.type_name()))
                 .collect::<Vec<_>>()
                 .join("\u{1f}");
-            if !seen.contains(&key) {
-                seen.push(key);
+            if seen.insert(key) {
                 keep.push(i);
             }
         }
@@ -407,12 +659,20 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<DataFrame> {
 
     // ORDER BY: keys may reference output aliases or source columns.
     if !stmt.order_by.is_empty() {
+        let compiled_keys: Vec<CExpr> = stmt
+            .order_by
+            .iter()
+            .map(|key| compile(&schema, &key.expr))
+            .collect();
+        let null_row = vec![AttrValue::Null; schema.width()];
         let mut indices: Vec<usize> = (0..out.n_rows()).collect();
         let mut keys: Vec<Vec<AttrValue>> = Vec::with_capacity(out.n_rows());
         for i in 0..out.n_rows() {
             let mut row_keys = Vec::new();
-            for key in &stmt.order_by {
-                row_keys.push(order_key_value(&out, &rs, &order_rows, i, &key.expr)?);
+            for (key, ckey) in stmt.order_by.iter().zip(&compiled_keys) {
+                row_keys.push(order_key_value(
+                    &out, &rows, &order_map, &null_row, i, &key.expr, ckey,
+                )?);
             }
             keys.push(row_keys);
         }
@@ -438,45 +698,129 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<DataFrame> {
     Ok(out)
 }
 
+fn materialize_rows(frame: &DataFrame) -> Vec<Vec<AttrValue>> {
+    let columns = frame.columns();
+    (0..frame.n_rows())
+        .map(|i| columns.iter().map(|c| c.values()[i].clone()).collect())
+        .collect()
+}
+
+/// How output rows map back to source rows for ORDER BY resolution.
+///
+/// Deliberately *not* re-indexed when DISTINCT drops output rows: the
+/// historical interpreter resolved post-DISTINCT output rows against
+/// pre-DISTINCT source indices (its `order_rows` was never filtered), and
+/// golden-log parity pins that behavior, quirk included. A non-output
+/// ORDER BY key combined with DISTINCT can therefore read a dropped
+/// duplicate's source row — exactly as it always did.
+enum OrderMap {
+    /// Output row `i` came from source row `i` (ungrouped projection).
+    Identity,
+    /// Output row `i` came from the group whose first source row is at the
+    /// given index (`None` for the synthetic empty group of an implicit
+    /// aggregation over zero rows).
+    FirstRows(Vec<Option<usize>>),
+}
+
 /// Resolves one ORDER BY key for output row `i`: an expression naming an
 /// output column uses the projected value, anything else is evaluated
-/// against the pre-projection row that produced this output row.
+/// against the source row that produced this output row.
+#[allow(clippy::too_many_arguments)]
 fn order_key_value(
     out: &DataFrame,
-    rs: &RowSet,
-    order_rows: &[Vec<AttrValue>],
+    rows: &[Vec<AttrValue>],
+    order_map: &OrderMap,
+    null_row: &[AttrValue],
     i: usize,
     expr: &Expr,
+    compiled: &CExpr,
 ) -> Result<AttrValue> {
     if let Expr::Column { table: None, name } = expr {
         if out.has_column(name) {
             return Ok(out.value(i, name).expect("in range").clone());
         }
     }
-    match order_rows.get(i) {
-        Some(row) => eval_row(rs, row, expr),
+    let source: Option<&[AttrValue]> = match order_map {
+        OrderMap::Identity => rows.get(i).map(Vec::as_slice),
+        OrderMap::FirstRows(firsts) => match firsts.get(i) {
+            Some(Some(idx)) => Some(rows[*idx].as_slice()),
+            Some(None) => Some(null_row),
+            None => None,
+        },
+    };
+    match source {
+        Some(row) => eval(&SliceRow(row), compiled),
         None => Err(SqlError::Execution(
             "ORDER BY expression cannot be resolved".to_string(),
         )),
     }
 }
 
-fn apply_join(db: &Database, left: RowSet, join: &Join) -> Result<RowSet> {
-    let right = RowSet::from_table(db, &join.table)?;
-    let mut columns = left.columns.clone();
-    columns.extend(right.columns.clone());
-    let combined = RowSet {
-        columns: columns.clone(),
-        rows: vec![],
-    };
-    let right_width = right.columns.len();
+// -------------------------------------------------------------------- joins
+
+fn apply_join(
+    db: &Database,
+    left_schema: Schema,
+    left_rows: Vec<Vec<AttrValue>>,
+    join: &Join,
+) -> Result<(Schema, Vec<Vec<AttrValue>>)> {
+    let right_frame = db.table(&join.table.name)?;
+    let right_schema = Schema::from_table(right_frame, &join.table);
+    let right_rows = materialize_rows(right_frame);
+    let left_width = left_schema.width();
+    let right_width = right_schema.width();
+    let mut combined = left_schema;
+    combined.columns.extend(right_schema.columns);
+
+    let on = compile(&combined, &join.on);
+
+    // Hash fast path for `left.col = right.col` when every key value is
+    // exactly hashable (see [`ValueKey`]); otherwise nested loop.
+    if let Some((left_key, right_key)) = equi_key_slots(&on, left_width) {
+        let left_keys: Option<Vec<ValueKey>> = left_rows
+            .iter()
+            .map(|row| value_key(&row[left_key]))
+            .collect();
+        let right_keys: Option<Vec<ValueKey>> = right_rows
+            .iter()
+            .map(|row| value_key(&row[right_key - left_width]))
+            .collect();
+        if let (Some(left_keys), Some(right_keys)) = (left_keys, right_keys) {
+            let mut table: HashMap<&ValueKey, Vec<usize>> = HashMap::new();
+            for (idx, key) in right_keys.iter().enumerate() {
+                table.entry(key).or_default().push(idx);
+            }
+            let mut rows = Vec::new();
+            for (lrow, lkey) in left_rows.iter().zip(&left_keys) {
+                let matches = table.get(lkey).map(Vec::as_slice).unwrap_or(&[]);
+                for &ridx in matches {
+                    let mut candidate = lrow.clone();
+                    candidate.extend(right_rows[ridx].iter().cloned());
+                    rows.push(candidate);
+                }
+                if matches.is_empty() && join.kind == JoinKind::Left {
+                    let mut candidate = lrow.clone();
+                    candidate.extend(std::iter::repeat(AttrValue::Null).take(right_width));
+                    rows.push(candidate);
+                }
+            }
+            return Ok((combined, rows));
+        }
+    }
+
+    // Nested loop: probe every pair through a borrowed pair view and clone
+    // only matching candidates.
     let mut rows = Vec::new();
-    for lrow in &left.rows {
+    for lrow in &left_rows {
         let mut matched = false;
-        for rrow in &right.rows {
-            let mut candidate = lrow.clone();
-            candidate.extend(rrow.iter().cloned());
-            if eval_row(&combined, &candidate, &join.on)?.is_truthy() {
+        for rrow in &right_rows {
+            let view = PairRow {
+                left: lrow,
+                right: rrow,
+            };
+            if eval(&view, &on)?.is_truthy() {
+                let mut candidate = lrow.clone();
+                candidate.extend(rrow.iter().cloned());
                 rows.push(candidate);
                 matched = true;
             }
@@ -487,80 +831,138 @@ fn apply_join(db: &Database, left: RowSet, join: &Join) -> Result<RowSet> {
             rows.push(candidate);
         }
     }
-    Ok(RowSet { columns, rows })
+    Ok((combined, rows))
 }
 
-/// Projection without grouping: one output row per input row. Returns the
-/// output frame plus, for each output row, the source row (used by ORDER BY).
-fn project_rows(rs: &RowSet, stmt: &SelectStmt) -> Result<(DataFrame, Vec<Vec<AttrValue>>)> {
-    let (names, exprs) = projection_list(rs, stmt)?;
+/// Recognizes a compiled `ON` clause of the shape `col_a = col_b` with one
+/// slot on each side of the join, returning `(left slot, right slot)`.
+fn equi_key_slots(on: &CExpr, left_width: usize) -> Option<(usize, usize)> {
+    if let CExpr::Binary { left, op, right } = on {
+        if *op == BinaryOp::Eq {
+            if let (CExpr::Column(a), CExpr::Column(b)) = (left.as_ref(), right.as_ref()) {
+                let (a, b) = (*a, *b);
+                if a < left_width && b >= left_width {
+                    return Some((a, b));
+                }
+                if b < left_width && a >= left_width {
+                    return Some((b, a));
+                }
+            }
+        }
+    }
+    None
+}
+
+// --------------------------------------------------------------- projection
+
+/// Projection without grouping: one output row per input row.
+fn project_rows(
+    schema: &Schema,
+    rows: &[Vec<AttrValue>],
+    stmt: &SelectStmt,
+) -> Result<(DataFrame, OrderMap)> {
+    let (names, exprs) = projection_list(schema, stmt)?;
+    let compiled: Vec<CExpr> = exprs.iter().map(|e| compile(schema, e)).collect();
     let mut columns: Vec<Column> = names.iter().map(|_| Column::new()).collect();
-    for row in &rs.rows {
-        for (i, expr) in exprs.iter().enumerate() {
-            columns[i].push(eval_row(rs, row, expr)?);
+    for row in rows {
+        let view = SliceRow(row);
+        for (i, expr) in compiled.iter().enumerate() {
+            columns[i].push(eval(&view, expr)?);
         }
     }
     let frame = build_frame(names, columns)?;
-    Ok((frame, rs.rows.clone()))
+    Ok((frame, OrderMap::Identity))
 }
 
 /// Projection with grouping (explicit GROUP BY or implicit single-group
-/// aggregation). Returns the output frame plus each group's first source row
-/// for ORDER BY resolution.
-fn project_grouped(rs: &RowSet, stmt: &SelectStmt) -> Result<(DataFrame, Vec<Vec<AttrValue>>)> {
-    // Partition row indices by the GROUP BY key values.
+/// aggregation).
+fn project_grouped(
+    schema: &Schema,
+    rows: &[Vec<AttrValue>],
+    stmt: &SelectStmt,
+) -> Result<(DataFrame, OrderMap)> {
+    // Partition row indices by the GROUP BY key values, in first-seen
+    // order. When every key value is exactly hashable the partition runs
+    // through a hash map; otherwise it falls back to the historical
+    // first-match comparison scan (identical grouping either way — see
+    // [`ValueKey`]).
     let mut groups: Vec<(Vec<AttrValue>, Vec<usize>)> = Vec::new();
     if stmt.group_by.is_empty() {
-        groups.push((Vec::new(), (0..rs.rows.len()).collect()));
+        groups.push((Vec::new(), (0..rows.len()).collect()));
     } else {
-        for (idx, row) in rs.rows.iter().enumerate() {
-            let key: Vec<AttrValue> = stmt
-                .group_by
-                .iter()
-                .map(|e| eval_row(rs, row, e))
-                .collect::<Result<_>>()?;
-            match groups.iter_mut().find(|(k, _)| {
-                k.iter().zip(&key).all(|(a, b)| a.approx_eq(b)) && k.len() == key.len()
-            }) {
-                Some((_, members)) => members.push(idx),
-                None => groups.push((key, vec![idx])),
+        let compiled_keys: Vec<CExpr> = stmt.group_by.iter().map(|e| compile(schema, e)).collect();
+        let mut row_keys: Vec<Vec<AttrValue>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let view = SliceRow(row);
+            row_keys.push(
+                compiled_keys
+                    .iter()
+                    .map(|e| eval(&view, e))
+                    .collect::<Result<_>>()?,
+            );
+        }
+        let hashable: Option<Vec<Vec<ValueKey>>> = row_keys
+            .iter()
+            .map(|key| key.iter().map(value_key).collect())
+            .collect();
+        match hashable {
+            Some(hash_keys) => {
+                let mut index: HashMap<&[ValueKey], usize> = HashMap::new();
+                for (idx, (key, hkey)) in row_keys.iter().zip(&hash_keys).enumerate() {
+                    match index.get(hkey.as_slice()) {
+                        Some(&g) => groups[g].1.push(idx),
+                        None => {
+                            index.insert(hkey.as_slice(), groups.len());
+                            groups.push((key.clone(), vec![idx]));
+                        }
+                    }
+                }
+            }
+            None => {
+                for (idx, key) in row_keys.iter().enumerate() {
+                    match groups.iter_mut().find(|(k, _)| {
+                        k.iter().zip(key).all(|(a, b)| a.approx_eq(b)) && k.len() == key.len()
+                    }) {
+                        Some((_, members)) => members.push(idx),
+                        None => groups.push((key.clone(), vec![idx])),
+                    }
+                }
             }
         }
     }
 
     // HAVING.
     if let Some(having) = &stmt.having {
+        let having = compile(schema, having);
         groups.retain(|(_, members)| {
-            eval_group(rs, members, having)
+            eval_group(rows, members, &having)
                 .map(|v| v.is_truthy())
                 .unwrap_or(false)
         });
     }
 
-    let (names, exprs) = projection_list(rs, stmt)?;
+    let (names, exprs) = projection_list(schema, stmt)?;
+    let compiled: Vec<CExpr> = exprs.iter().map(|e| compile(schema, e)).collect();
     let mut columns: Vec<Column> = names.iter().map(|_| Column::new()).collect();
-    let mut order_rows = Vec::new();
+    let mut firsts = Vec::with_capacity(groups.len());
     for (_, members) in &groups {
-        for (i, expr) in exprs.iter().enumerate() {
-            columns[i].push(eval_group(rs, members, expr)?);
+        for (i, expr) in compiled.iter().enumerate() {
+            columns[i].push(eval_group(rows, members, expr)?);
         }
-        order_rows.push(match members.first() {
-            Some(&first) => rs.rows[first].clone(),
-            None => vec![AttrValue::Null; rs.columns.len()],
-        });
+        firsts.push(members.first().copied());
     }
     let frame = build_frame(names, columns)?;
-    Ok((frame, order_rows))
+    Ok((frame, OrderMap::FirstRows(firsts)))
 }
 
 /// Expands the projection list into `(output name, expression)` pairs.
-fn projection_list(rs: &RowSet, stmt: &SelectStmt) -> Result<(Vec<String>, Vec<Expr>)> {
+fn projection_list(schema: &Schema, stmt: &SelectStmt) -> Result<(Vec<String>, Vec<Expr>)> {
     let mut names = Vec::new();
     let mut exprs = Vec::new();
     for item in &stmt.items {
         match item {
             SelectItem::Wildcard => {
-                for (qualifier, name) in &rs.columns {
+                for (qualifier, name) in &schema.columns {
                     // Use the bare name unless it would collide with an
                     // earlier output column.
                     let out_name = if names.contains(name) {
@@ -607,18 +1009,28 @@ fn execute_update(db: &mut Database, stmt: &UpdateStmt) -> Result<usize> {
         name: stmt.table.clone(),
         alias: None,
     };
-    let rs = RowSet::from_table(db, &table_ref)?;
-    // Determine which rows match and the new values before mutating.
+    let frame = db.table(&stmt.table)?;
+    let schema = Schema::from_table(frame, &table_ref);
+    let pred = stmt.where_clause.as_ref().map(|p| compile(&schema, p));
+    let assignments: Vec<(String, CExpr)> = stmt
+        .assignments
+        .iter()
+        .map(|(col, expr)| (col.clone(), compile(&schema, expr)))
+        .collect();
+    // Determine which rows match and the new values before mutating,
+    // evaluating against borrowed frame rows.
+    let columns = frame.columns();
     let mut updates: Vec<(usize, Vec<(String, AttrValue)>)> = Vec::new();
-    for (idx, row) in rs.rows.iter().enumerate() {
-        let matches = match &stmt.where_clause {
-            Some(pred) => eval_row(&rs, row, pred)?.is_truthy(),
+    for idx in 0..frame.n_rows() {
+        let view = FrameRow { columns, row: idx };
+        let matches = match &pred {
+            Some(pred) => eval(&view, pred)?.is_truthy(),
             None => true,
         };
         if matches {
             let mut assigned = Vec::new();
-            for (col, expr) in &stmt.assignments {
-                assigned.push((col.clone(), eval_row(&rs, row, expr)?));
+            for (col, expr) in &assignments {
+                assigned.push((col.clone(), eval(&view, expr)?));
             }
             updates.push((idx, assigned));
         }
@@ -640,11 +1052,8 @@ fn execute_update(db: &mut Database, stmt: &UpdateStmt) -> Result<usize> {
 
 fn execute_insert(db: &mut Database, stmt: &InsertStmt) -> Result<usize> {
     // Literal-only row evaluation (no row context).
-    let empty = RowSet {
-        columns: vec![],
-        rows: vec![],
-    };
-    let frame = db.table(&stmt.table)?.clone();
+    let empty_schema = Schema { columns: vec![] };
+    let frame = db.table(&stmt.table)?;
     let target_columns: Vec<String> = if stmt.columns.is_empty() {
         frame.column_names().iter().map(|s| s.to_string()).collect()
     } else {
@@ -655,6 +1064,8 @@ fn execute_insert(db: &mut Database, stmt: &InsertStmt) -> Result<usize> {
             return Err(SqlError::UnknownColumn(col.clone()));
         }
     }
+    let table_column_names: Vec<String> =
+        frame.column_names().iter().map(|s| s.to_string()).collect();
     let mut new_rows = Vec::new();
     for row_exprs in &stmt.rows {
         if row_exprs.len() != target_columns.len() {
@@ -666,11 +1077,11 @@ fn execute_insert(db: &mut Database, stmt: &InsertStmt) -> Result<usize> {
         }
         let mut by_name: Vec<(String, AttrValue)> = Vec::new();
         for (col, expr) in target_columns.iter().zip(row_exprs) {
-            by_name.push((col.clone(), eval_row(&empty, &[], expr)?));
+            let compiled = compile(&empty_schema, expr);
+            by_name.push((col.clone(), eval(&SliceRow(&[]), &compiled)?));
         }
         // Fill unspecified columns with NULL, in table order.
-        let full_row: Vec<AttrValue> = frame
-            .column_names()
+        let full_row: Vec<AttrValue> = table_column_names
             .iter()
             .map(|c| {
                 by_name
@@ -697,18 +1108,23 @@ fn execute_delete(db: &mut Database, stmt: &DeleteStmt) -> Result<usize> {
         name: stmt.table.clone(),
         alias: None,
     };
-    let rs = RowSet::from_table(db, &table_ref)?;
+    let frame = db.table(&stmt.table)?;
+    let schema = Schema::from_table(frame, &table_ref);
+    let pred = stmt.where_clause.as_ref().map(|p| compile(&schema, p));
+    let columns = frame.columns();
+    let total = frame.n_rows();
     let mut keep = Vec::new();
-    for (idx, row) in rs.rows.iter().enumerate() {
-        let matches = match &stmt.where_clause {
-            Some(pred) => eval_row(&rs, row, pred)?.is_truthy(),
+    for idx in 0..total {
+        let view = FrameRow { columns, row: idx };
+        let matches = match &pred {
+            Some(pred) => eval(&view, pred)?.is_truthy(),
             None => true,
         };
         if !matches {
             keep.push(idx);
         }
     }
-    let affected = rs.rows.len() - keep.len();
+    let affected = total - keep.len();
     let frame = db.table_mut(&stmt.table)?;
     *frame = frame
         .take(&keep)
@@ -961,5 +1377,168 @@ mod tests {
         let out = select(&mut db, "SELECT COUNT(*) AS n, SUM(x) AS s FROM t");
         assert_eq!(out.value(0, "n").unwrap(), &AttrValue::Int(0));
         assert_eq!(out.value(0, "s").unwrap(), &AttrValue::Float(0.0));
+    }
+
+    // ------------------------------------------------ compiled-path tests
+
+    #[test]
+    fn unknown_column_over_empty_table_stays_lazy() {
+        // The historical row-at-a-time interpreter only resolved columns
+        // while evaluating rows, so a bad reference over an empty table
+        // succeeded. The compiled executor must preserve that.
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            DataFrame::from_columns(vec![("x".to_string(), Column::new())]).unwrap(),
+        );
+        let out = select(&mut db, "SELECT ghost FROM t");
+        assert_eq!(out.n_rows(), 0);
+        assert_eq!(out.column_names(), vec!["ghost"]);
+        let out = select(&mut db, "SELECT x FROM t WHERE ghost > 1");
+        assert_eq!(out.n_rows(), 0);
+        // With rows present the same references error.
+        db.execute("INSERT INTO t (x) VALUES (1)").unwrap();
+        assert!(matches!(
+            db.execute("SELECT ghost FROM t"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            db.execute("SELECT x FROM t WHERE ghost > 1"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_on_null_and_cross_type_keys() {
+        // NULL = NULL is *true* under approx_eq, and Int 3 matches Float
+        // 3.0; the hash path must reproduce both.
+        let mut db = Database::new();
+        db.create_table(
+            "a",
+            DataFrame::from_columns(vec![(
+                "k".to_string(),
+                Column::from_iter(vec![
+                    AttrValue::from("x"),
+                    AttrValue::Null,
+                    AttrValue::Int(3),
+                ]),
+            )])
+            .unwrap(),
+        );
+        db.create_table(
+            "b",
+            DataFrame::from_columns(vec![
+                (
+                    "k".to_string(),
+                    Column::from_iter(vec![
+                        AttrValue::Null,
+                        AttrValue::Float(3.0),
+                        AttrValue::from("x"),
+                    ]),
+                ),
+                ("tag".to_string(), Column::from_values(["n", "three", "ex"])),
+            ])
+            .unwrap(),
+        );
+        let out = select(&mut db, "SELECT a.k, b.tag FROM a JOIN b ON a.k = b.k");
+        assert_eq!(out.n_rows(), 3);
+        // Left order preserved: "x" row first, then NULL, then 3.
+        assert_eq!(out.value(0, "tag").unwrap().as_str(), Some("ex"));
+        assert_eq!(out.value(1, "tag").unwrap().as_str(), Some("n"));
+        assert_eq!(out.value(2, "tag").unwrap().as_str(), Some("three"));
+    }
+
+    #[test]
+    fn non_equi_join_still_works() {
+        let mut db = test_db();
+        let out = select(
+            &mut db,
+            "SELECT e.source FROM edges e JOIN nodes n ON e.bytes > 250 AND e.source = n.id",
+        );
+        assert_eq!(out.n_rows(), 2);
+    }
+
+    #[test]
+    fn join_on_huge_integers_falls_back_to_comparison() {
+        // |key| >= 1e9 leaves the exactly-hashable domain (approx_eq's
+        // relative tolerance starts merging distinct integers there), so
+        // the executor must take the nested-loop path and agree with
+        // approx_eq semantics.
+        let mut db = Database::new();
+        let big = 10_000_000_000i64;
+        db.create_table(
+            "a",
+            DataFrame::from_columns(vec![(
+                "k".to_string(),
+                Column::from_values([big, big + 1, 7]),
+            )])
+            .unwrap(),
+        );
+        db.create_table(
+            "b",
+            DataFrame::from_columns(vec![("k".to_string(), Column::from_values([big, 7]))])
+                .unwrap(),
+        );
+        let out = select(&mut db, "SELECT a.k FROM a JOIN b ON a.k = b.k");
+        // big matches big, big+1 matches big (within approx_eq tolerance at
+        // this magnitude!), and 7 matches 7.
+        assert_eq!(out.n_rows(), 3);
+    }
+
+    #[test]
+    fn group_by_mixed_numeric_types_groups_together() {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            DataFrame::from_columns(vec![
+                (
+                    "k".to_string(),
+                    Column::from_iter(vec![
+                        AttrValue::Int(1),
+                        AttrValue::Float(1.0),
+                        AttrValue::Int(2),
+                    ]),
+                ),
+                ("v".to_string(), Column::from_values([10i64, 20, 30])),
+            ])
+            .unwrap(),
+        );
+        let out = select(&mut db, "SELECT k, COUNT(*) AS n FROM t GROUP BY k");
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.value(0, "n").unwrap(), &AttrValue::Int(2));
+        assert_eq!(out.value(1, "n").unwrap(), &AttrValue::Int(1));
+    }
+
+    #[test]
+    fn group_by_non_integral_floats_uses_comparison_path() {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            DataFrame::from_columns(vec![(
+                "k".to_string(),
+                Column::from_iter(vec![
+                    AttrValue::Float(0.5),
+                    AttrValue::Float(0.5),
+                    AttrValue::Float(1.5),
+                ]),
+            )])
+            .unwrap(),
+        );
+        let out = select(&mut db, "SELECT k, COUNT(*) AS n FROM t GROUP BY k");
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.value(0, "n").unwrap(), &AttrValue::Int(2));
+    }
+
+    #[test]
+    fn like_literal_and_dynamic_patterns_agree() {
+        let mut db = test_db();
+        let literal = select(&mut db, "SELECT id FROM nodes WHERE id LIKE '10.0%'");
+        // Dynamic pattern: computed per row, goes through the memo cache.
+        let dynamic = select(
+            &mut db,
+            "SELECT id FROM nodes WHERE id LIKE CONCAT('10.0', '%')",
+        );
+        assert_eq!(literal.n_rows(), dynamic.n_rows());
+        assert_eq!(literal.n_rows(), 2);
     }
 }

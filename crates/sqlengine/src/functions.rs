@@ -58,14 +58,14 @@ pub fn call_scalar(name: &str, args: &[AttrValue]) -> Result<AttrValue> {
                 chars.len().saturating_sub(start)
             };
             let out: String = chars.iter().skip(start).take(len).collect();
-            Ok(AttrValue::Str(out))
+            Ok(AttrValue::Str(out.into()))
         }
         "REPLACE" => {
             arity("3", args.len() == 3)?;
             let s = expect_str(name, &args[0])?;
             let from = expect_str(name, &args[1])?;
             let to = expect_str(name, &args[2])?;
-            Ok(AttrValue::Str(s.replace(&from, &to)))
+            Ok(AttrValue::Str(s.replace(&from, &to).into()))
         }
         "INSTR" => {
             arity("2", args.len() == 2)?;
@@ -131,7 +131,7 @@ pub fn call_scalar(name: &str, args: &[AttrValue]) -> Result<AttrValue> {
                     out.push_str(&a.to_string());
                 }
             }
-            Ok(AttrValue::Str(out))
+            Ok(AttrValue::Str(out.into()))
         }
         "SPLIT_PART" => {
             // SPLIT_PART(string, delimiter, index) — 1-based, used by golden
@@ -150,7 +150,7 @@ pub fn call_scalar(name: &str, args: &[AttrValue]) -> Result<AttrValue> {
                 .nth(idx as usize - 1)
                 .unwrap_or("")
                 .to_string();
-            Ok(AttrValue::Str(part))
+            Ok(AttrValue::Str(part.into()))
         }
         "IP_PREFIX" => {
             // IP_PREFIX(address, octets) — keeps the first `octets` dotted
@@ -159,7 +159,7 @@ pub fn call_scalar(name: &str, args: &[AttrValue]) -> Result<AttrValue> {
             let s = expect_str(name, &args[0])?;
             let octets = expect_int(name, &args[1])?.clamp(1, 4) as usize;
             let prefix: Vec<&str> = s.split('.').take(octets).collect();
-            Ok(AttrValue::Str(prefix.join(".")))
+            Ok(AttrValue::Str(prefix.join(".").into()))
         }
         other => Err(SqlError::UnknownFunction(other.to_string())),
     }
@@ -167,7 +167,7 @@ pub fn call_scalar(name: &str, args: &[AttrValue]) -> Result<AttrValue> {
 
 fn string_map<F: Fn(&str) -> String>(name: &str, v: &AttrValue, f: F) -> Result<AttrValue> {
     match v {
-        AttrValue::Str(s) => Ok(AttrValue::Str(f(s))),
+        AttrValue::Str(s) => Ok(AttrValue::Str(f(s).into())),
         AttrValue::Null => Ok(AttrValue::Null),
         other => Err(SqlError::Type(format!(
             "{name} expects a string, got {}",
@@ -192,20 +192,109 @@ fn expect_int(name: &str, v: &AttrValue) -> Result<i64> {
         .ok_or_else(|| SqlError::Type(format!("{name} expects an integer, got {}", v.type_name())))
 }
 
-/// SQL `LIKE` matching: `%` matches any run of characters, `_` matches one
-/// character; matching is case-sensitive.
-pub fn like_match(text: &str, pattern: &str) -> bool {
-    fn rec(t: &[char], p: &[char]) -> bool {
-        match p.split_first() {
-            None => t.is_empty(),
-            Some(('%', rest)) => (0..=t.len()).any(|skip| rec(&t[skip..], rest)),
-            Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
-            Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
+/// A compiled SQL `LIKE` pattern: `%` matches any run of characters, `_`
+/// matches one character; matching is case-sensitive.
+///
+/// Compiling translates the pattern string into a token vector once;
+/// [`LikePattern::matches`] is then an iterative two-pointer scan with
+/// backtracking to the most recent `%` — O(text × pattern) worst case
+/// instead of the exponential naive recursion, and no per-call pattern
+/// translation. The executor precompiles literal patterns at query-compile
+/// time; dynamic patterns go through a per-thread memo cache inside
+/// [`like_match`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LikePattern {
+    tokens: Vec<LikeTok>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LikeTok {
+    /// `%` — any run of characters, including empty.
+    AnyRun,
+    /// `_` — exactly one character.
+    AnyOne,
+    /// A literal character.
+    Lit(char),
+}
+
+impl LikePattern {
+    /// Translates a pattern string into its compiled form.
+    pub fn compile(pattern: &str) -> LikePattern {
+        LikePattern {
+            tokens: pattern
+                .chars()
+                .map(|c| match c {
+                    '%' => LikeTok::AnyRun,
+                    '_' => LikeTok::AnyOne,
+                    c => LikeTok::Lit(c),
+                })
+                .collect(),
         }
     }
-    let t: Vec<char> = text.chars().collect();
-    let p: Vec<char> = pattern.chars().collect();
-    rec(&t, &p)
+
+    /// True when `text` matches the pattern.
+    pub fn matches(&self, text: &str) -> bool {
+        let t: Vec<char> = text.chars().collect();
+        let p = &self.tokens;
+        let (mut ti, mut pi) = (0usize, 0usize);
+        // Most recent `%`: (pattern position after it, text position it
+        // currently swallows up to).
+        let mut retry: Option<(usize, usize)> = None;
+        while ti < t.len() {
+            match p.get(pi) {
+                Some(LikeTok::AnyRun) => {
+                    retry = Some((pi + 1, ti));
+                    pi += 1;
+                }
+                Some(LikeTok::AnyOne) => {
+                    ti += 1;
+                    pi += 1;
+                }
+                Some(LikeTok::Lit(c)) if *c == t[ti] => {
+                    ti += 1;
+                    pi += 1;
+                }
+                _ => match retry {
+                    // Let the last `%` swallow one more character.
+                    Some((rp, rt)) if rt < t.len() => {
+                        retry = Some((rp, rt + 1));
+                        pi = rp;
+                        ti = rt + 1;
+                    }
+                    _ => return false,
+                },
+            }
+        }
+        // Text consumed; only trailing `%` tokens may remain.
+        p[pi..].iter().all(|tok| *tok == LikeTok::AnyRun)
+    }
+}
+
+/// SQL `LIKE` matching through a per-thread memo of compiled patterns, so
+/// repeated predicates (the common case: one pattern probed against every
+/// row) are translated once instead of once per row.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static CACHE: RefCell<HashMap<String, LikePattern>> = RefCell::new(HashMap::new());
+    }
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        // Hit path first, with no owned-key allocation.
+        if let Some(compiled) = cache.get(pattern) {
+            return compiled.matches(text);
+        }
+        // Bound the memo so adversarial dynamic patterns cannot grow it
+        // without limit; queries use a handful of patterns in practice.
+        if cache.len() > 256 {
+            cache.clear();
+        }
+        let compiled = LikePattern::compile(pattern);
+        let verdict = compiled.matches(text);
+        cache.insert(pattern.to_string(), compiled);
+        verdict
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +302,7 @@ mod tests {
     use super::*;
 
     fn s(v: &str) -> AttrValue {
-        AttrValue::Str(v.to_string())
+        AttrValue::Str(v.into())
     }
 
     #[test]

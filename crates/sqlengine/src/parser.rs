@@ -508,7 +508,7 @@ impl Parser {
             }
             TokenKind::Str(s) => {
                 self.advance();
-                Ok(Expr::Literal(AttrValue::Str(s)))
+                Ok(Expr::Literal(AttrValue::Str(s.into())))
             }
             TokenKind::Keyword(k) if k == "NULL" => {
                 self.advance();

@@ -1,0 +1,248 @@
+//! Equivalence property tests for the compiled SQL executor's fast paths.
+//!
+//! The executor switches between a hash join and a nested loop (and
+//! between hash grouping and a comparison scan) based on whether the key
+//! values are exactly hashable. These tests drive random tables through
+//! both shapes and check the engine's output row-by-row against reference
+//! results computed directly with `AttrValue::approx_eq` — the semantics
+//! the historical row-at-a-time interpreter implemented. The compiled
+//! `LIKE` matcher is checked against the naive recursive definition.
+
+use dataframe::{Column, DataFrame};
+use netgraph::AttrValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlengine::functions::LikePattern;
+use sqlengine::Database;
+
+/// Random key value. `hashable_only` restricts to the exactly-hashable
+/// domain (strings / small ints / bools / nulls) so the fast path is
+/// guaranteed to engage; otherwise non-integral floats and huge integers
+/// force the fallback.
+fn arb_key(rng: &mut StdRng, hashable_only: bool) -> AttrValue {
+    let upper = if hashable_only { 4 } else { 6 };
+    match rng.gen_range(0..upper) {
+        0 => AttrValue::Null,
+        1 => AttrValue::Int(rng.gen_range(0..6i64)),
+        2 => AttrValue::from(["a", "b", "c", "d"][rng.gen_range(0..4usize)]),
+        3 => AttrValue::Bool(rng.gen_range(0..2) == 1),
+        4 => AttrValue::Float(rng.gen_range(0..12i64) as f64 / 2.0),
+        _ => AttrValue::Int(10_000_000_000 + rng.gen_range(0..3i64)),
+    }
+}
+
+fn key_table(name: &str, keys: &[AttrValue]) -> (String, DataFrame) {
+    let tags: Vec<AttrValue> = (0..keys.len())
+        .map(|i| AttrValue::from(format!("{name}{i}")))
+        .collect();
+    (
+        name.to_string(),
+        DataFrame::from_columns(vec![
+            ("k".to_string(), Column::from_iter(keys.to_vec())),
+            ("tag".to_string(), Column::from_iter(tags)),
+        ])
+        .unwrap(),
+    )
+}
+
+/// Reference inner/left equi-join: the literal nested loop with
+/// `approx_eq`, in left-row-then-right-row order.
+fn reference_join(
+    left: &[AttrValue],
+    right: &[AttrValue],
+    left_join: bool,
+) -> Vec<(usize, Option<usize>)> {
+    let mut out = Vec::new();
+    for (li, lk) in left.iter().enumerate() {
+        let mut matched = false;
+        for (ri, rk) in right.iter().enumerate() {
+            if lk.approx_eq(rk) {
+                out.push((li, Some(ri)));
+                matched = true;
+            }
+        }
+        if !matched && left_join {
+            out.push((li, None));
+        }
+    }
+    out
+}
+
+fn run_join_case(seed: u64, hashable_only: bool, left_join: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_left = rng.gen_range(0..14);
+    let n_right = rng.gen_range(0..14);
+    let left_keys: Vec<AttrValue> = (0..n_left)
+        .map(|_| arb_key(&mut rng, hashable_only))
+        .collect();
+    let right_keys: Vec<AttrValue> = (0..n_right)
+        .map(|_| arb_key(&mut rng, hashable_only))
+        .collect();
+
+    let mut db = Database::new();
+    let (name, frame) = key_table("l", &left_keys);
+    db.create_table(&name, frame);
+    let (name, frame) = key_table("r", &right_keys);
+    db.create_table(&name, frame);
+
+    let sql = if left_join {
+        "SELECT l.tag, r.tag FROM l LEFT JOIN r ON l.k = r.k"
+    } else {
+        "SELECT l.tag, r.tag FROM l JOIN r ON l.k = r.k"
+    };
+    let out = db.execute(sql).unwrap().rows().unwrap().clone();
+    let expected = reference_join(&left_keys, &right_keys, left_join);
+    assert_eq!(out.n_rows(), expected.len(), "row count (seed {seed})");
+    for (row, (li, ri)) in expected.iter().enumerate() {
+        assert_eq!(
+            out.value(row, "tag").unwrap(),
+            &AttrValue::from(format!("l{li}")),
+            "left tag at row {row} (seed {seed})"
+        );
+        let want = match ri {
+            Some(ri) => AttrValue::from(format!("r{ri}")),
+            None => AttrValue::Null,
+        };
+        assert_eq!(
+            out.value(row, "tag_1").unwrap(),
+            &want,
+            "right tag at row {row} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn hash_join_agrees_with_reference_nested_loop() {
+    for seed in 0..60 {
+        run_join_case(seed, true, false);
+        run_join_case(seed, true, true);
+    }
+}
+
+#[test]
+fn fallback_join_agrees_with_reference_nested_loop() {
+    for seed in 100..160 {
+        run_join_case(seed, false, false);
+        run_join_case(seed, false, true);
+    }
+}
+
+/// Reference grouping: first-match scan with `approx_eq`, first-seen order
+/// — the historical algorithm.
+fn reference_groups(keys: &[AttrValue]) -> Vec<(AttrValue, usize)> {
+    let mut groups: Vec<(AttrValue, usize)> = Vec::new();
+    for key in keys {
+        match groups.iter_mut().find(|(k, _)| k.approx_eq(key)) {
+            Some((_, n)) => *n += 1,
+            None => groups.push((key.clone(), 1)),
+        }
+    }
+    groups
+}
+
+#[test]
+fn hash_grouping_agrees_with_reference_scan() {
+    for seed in 0..80u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashable_only = seed % 2 == 0;
+        let n = rng.gen_range(0..25);
+        let keys: Vec<AttrValue> = (0..n).map(|_| arb_key(&mut rng, hashable_only)).collect();
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            DataFrame::from_columns(vec![("k".to_string(), Column::from_iter(keys.clone()))])
+                .unwrap(),
+        );
+        let out = db
+            .execute("SELECT k, COUNT(*) AS n FROM t GROUP BY k")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .clone();
+        let expected = reference_groups(&keys);
+        assert_eq!(out.n_rows(), expected.len(), "group count (seed {seed})");
+        for (row, (key, count)) in expected.iter().enumerate() {
+            assert!(
+                out.value(row, "k").unwrap().approx_eq(key),
+                "group key order diverged at row {row} (seed {seed})"
+            );
+            assert_eq!(
+                out.value(row, "n").unwrap(),
+                &AttrValue::Int(*count as i64),
+                "group size at row {row} (seed {seed})"
+            );
+        }
+    }
+}
+
+/// The naive recursive LIKE definition the engine historically used.
+fn naive_like(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => (0..=t.len()).any(|skip| rec(&t[skip..], rest)),
+            Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
+            Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+#[test]
+fn compiled_like_agrees_with_naive_recursion() {
+    let alphabet = ['a', 'b', '%', '_', '.', '5'];
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..4000 {
+        let text: String = (0..rng.gen_range(0..8))
+            .map(|_| alphabet[rng.gen_range(0..4usize)])
+            .collect();
+        let pattern: String = (0..rng.gen_range(0..8))
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect();
+        let compiled = LikePattern::compile(&pattern);
+        assert_eq!(
+            compiled.matches(&text),
+            naive_like(&text, &pattern),
+            "LIKE diverged: text={text:?} pattern={pattern:?}"
+        );
+    }
+}
+
+#[test]
+fn compiled_like_handles_pathological_patterns_quickly() {
+    // The recursive definition is exponential on stacked `%`s; the
+    // compiled matcher must stay linear-ish and agree on the verdict.
+    let text = "a".repeat(200);
+    let pattern = format!("{}b", "%a".repeat(30));
+    let compiled = LikePattern::compile(&pattern);
+    assert!(!compiled.matches(&text));
+    let pattern = format!("{}a", "%a".repeat(30));
+    let compiled = LikePattern::compile(&pattern);
+    assert!(compiled.matches(&text));
+}
+
+#[test]
+fn join_on_i64_min_key_does_not_panic() {
+    // Regression: `value_key` once classified keys with `i.abs()`, which
+    // overflows (and panics in debug builds) on `i64::MIN`.
+    let mut db = Database::new();
+    db.create_table(
+        "a",
+        DataFrame::from_columns(vec![("k".to_string(), Column::from_values([i64::MIN, 7]))])
+            .unwrap(),
+    );
+    db.create_table(
+        "b",
+        DataFrame::from_columns(vec![("k".to_string(), Column::from_values([i64::MIN, 7]))])
+            .unwrap(),
+    );
+    let out = db
+        .execute("SELECT a.k FROM a JOIN b ON a.k = b.k")
+        .unwrap()
+        .rows()
+        .unwrap()
+        .clone();
+    assert_eq!(out.n_rows(), 2);
+}

@@ -26,7 +26,7 @@ fn arb_literal(rng: &mut StdRng) -> Expr {
         1 => AttrValue::Bool(rng.gen_range(0..2) == 1),
         2 => AttrValue::Int(rng.gen_range(0..1_000_000i64)),
         3 => AttrValue::Float(rng.gen_range(0.0..1.0e6f64)),
-        _ => AttrValue::Str(pick(rng, &STRINGS).to_string()),
+        _ => AttrValue::Str((*pick(rng, &STRINGS)).into()),
     })
 }
 
@@ -120,9 +120,7 @@ fn arb_expr(rng: &mut StdRng, depth: u32) -> Expr {
             },
             1 => Expr::Like {
                 expr: sub(rng),
-                pattern: Box::new(Expr::Literal(AttrValue::Str(
-                    pick(rng, &STRINGS).to_string(),
-                ))),
+                pattern: Box::new(Expr::Literal(AttrValue::Str((*pick(rng, &STRINGS)).into()))),
                 negated: rng.gen_range(0..2) == 1,
             },
             _ => Expr::Case {

@@ -5,20 +5,32 @@
 use crate::generator::TrafficWorkload;
 use crate::ip::Ipv4;
 use dataframe::{Column, DataFrame};
+use netgraph::intern::Interner;
 use netgraph::{attrs, AttrValue, Graph};
 use sqlengine::Database;
 
 /// Builds the directed communication graph: one node per endpoint (id = the
 /// dotted address, with `prefix16`/`prefix24` attributes precomputed), one
 /// edge per flow with `bytes`, `connections` and `packets` attributes.
+///
+/// Prefix strings repeat across many endpoints, so they are deduplicated
+/// through an [`Interner`]: every node holding `prefix16 = "15.76"` shares
+/// one allocation.
 pub fn to_graph(workload: &TrafficWorkload) -> Graph {
+    let mut interner = Interner::new();
     let mut g = Graph::directed();
     for ip in &workload.endpoints {
         g.add_node(
             &ip.to_string_dotted(),
             attrs([
-                ("prefix16", AttrValue::Str(ip.prefix(2))),
-                ("prefix24", AttrValue::Str(ip.prefix(3))),
+                (
+                    "prefix16",
+                    AttrValue::Str(interner.intern_shared(&ip.prefix(2))),
+                ),
+                (
+                    "prefix24",
+                    AttrValue::Str(interner.intern_shared(&ip.prefix(3))),
+                ),
             ]),
         );
     }
@@ -40,6 +52,11 @@ pub fn to_graph(workload: &TrafficWorkload) -> Graph {
 /// `prefix24`) and an edge frame (`source`, `target`, `bytes`,
 /// `connections`, `packets`).
 pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
+    // One interner across every string column: endpoint ids appear once in
+    // the node frame and once per incident flow in the edge frame, so all
+    // those cells share single allocations (symbols), as do the repeated
+    // prefixes and the empty annotation cells.
+    let mut interner = Interner::new();
     let ids: Vec<String> = workload
         .endpoints
         .iter()
@@ -48,14 +65,16 @@ pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
     let nodes = DataFrame::from_columns(vec![
         (
             "id".to_string(),
-            ids.iter().map(|s| AttrValue::Str(s.clone())).collect(),
+            ids.iter()
+                .map(|s| AttrValue::Str(interner.intern_shared(s)))
+                .collect(),
         ),
         (
             "prefix16".to_string(),
             workload
                 .endpoints
                 .iter()
-                .map(|ip| AttrValue::Str(ip.prefix(2)))
+                .map(|ip| AttrValue::Str(interner.intern_shared(&ip.prefix(2))))
                 .collect(),
         ),
         (
@@ -63,7 +82,7 @@ pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
             workload
                 .endpoints
                 .iter()
-                .map(|ip| AttrValue::Str(ip.prefix(3)))
+                .map(|ip| AttrValue::Str(interner.intern_shared(&ip.prefix(3))))
                 .collect(),
         ),
         // Spare annotation columns so labelling/coloring queries can be
@@ -74,7 +93,7 @@ pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
             workload
                 .endpoints
                 .iter()
-                .map(|_| AttrValue::Str(String::new()))
+                .map(|_| AttrValue::Str(interner.intern_shared("")))
                 .collect(),
         ),
         (
@@ -82,7 +101,7 @@ pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
             workload
                 .endpoints
                 .iter()
-                .map(|_| AttrValue::Str(String::new()))
+                .map(|_| AttrValue::Str(interner.intern_shared("")))
                 .collect(),
         ),
     ])
@@ -94,7 +113,7 @@ pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
             workload
                 .flows
                 .iter()
-                .map(|f| AttrValue::Str(f.source.to_string_dotted()))
+                .map(|f| AttrValue::Str(interner.intern_shared(&f.source.to_string_dotted())))
                 .collect(),
         ),
         (
@@ -102,7 +121,7 @@ pub fn to_frames(workload: &TrafficWorkload) -> (DataFrame, DataFrame) {
             workload
                 .flows
                 .iter()
-                .map(|f| AttrValue::Str(f.target.to_string_dotted()))
+                .map(|f| AttrValue::Str(interner.intern_shared(&f.target.to_string_dotted())))
                 .collect(),
         ),
         (

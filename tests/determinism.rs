@@ -5,7 +5,7 @@
 use nemo_bench::runner::{
     run_accuracy_benchmark_with_threads, run_case_study_with_threads, DEFAULT_SEED,
 };
-use nemo_bench::{BenchmarkSuite, SuiteConfig};
+use nemo_bench::{report, BenchmarkSuite, SuiteConfig};
 use nemo_core::llm::profiles;
 
 #[test]
@@ -60,4 +60,50 @@ fn case_study_is_identical_across_thread_counts() {
     let sequential = run_case_study_with_threads(&suite, &profiles::bard(), 5, DEFAULT_SEED, 1);
     let parallel = run_case_study_with_threads(&suite, &profiles::bard(), 5, DEFAULT_SEED, 4);
     assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn sql_fast_paths_are_deterministic_across_repeated_runs() {
+    // The compiled executor routes equi-joins, GROUP BY and DISTINCT
+    // through hash tables. Hash-map iteration order must never leak into
+    // results: executing every traffic golden SQL script twice on fresh
+    // databases has to produce byte-identical result renderings.
+    use trafficgen::{export, generate, TrafficConfig};
+    let workload = generate(&TrafficConfig::default());
+    let run = || {
+        let mut db = export::to_database(&workload);
+        let mut transcript = String::new();
+        for spec in nemo_bench::traffic_queries() {
+            let results = db
+                .execute_script(spec.sql)
+                .unwrap_or_else(|e| panic!("golden SQL for {} failed: {e}", spec.id));
+            transcript.push_str(&format!("{}: {results:?}\n", spec.id));
+        }
+        transcript
+    };
+    assert_eq!(run(), run(), "SQL fast paths leaked nondeterminism");
+}
+
+#[test]
+fn rendered_tables_are_identical_across_thread_counts() {
+    // Golden-log regression at the report level: the full Table 2
+    // rendering — which flows through the interned graph core and the
+    // compiled SQL executor in every cell — must be byte-identical whether
+    // the matrix ran on one worker or four.
+    let suite = BenchmarkSuite::build(&SuiteConfig::small());
+    let models = [profiles::gpt4(), profiles::bard()];
+    let sequential = run_accuracy_benchmark_with_threads(&suite, &models, DEFAULT_SEED, 1);
+    let parallel = run_accuracy_benchmark_with_threads(&suite, &models, DEFAULT_SEED, 4);
+    assert_eq!(
+        report::format_table2(&suite, &sequential),
+        report::format_table2(&suite, &parallel)
+    );
+    assert_eq!(
+        report::format_table3(&suite, &sequential),
+        report::format_table3(&suite, &parallel)
+    );
+    assert_eq!(
+        report::format_table5(&suite, &sequential),
+        report::format_table5(&suite, &parallel)
+    );
 }
