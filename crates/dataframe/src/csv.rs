@@ -1,9 +1,16 @@
 //! CSV serialization for frames.
 //!
 //! Workload generators export node/edge frames as CSV so benchmark runs can
-//! be inspected outside the harness; the reader is used in tests and in the
-//! round-trip property checks. The dialect is deliberately small: comma
-//! separator, `"`-quoting with doubled quotes, first row is the header.
+//! be inspected outside the harness; the serving layer's snapshots embed
+//! frames in this format and replay them back. The dialect is deliberately
+//! small: comma separator, `"`-quoting with doubled quotes, first row is the
+//! header.
+//!
+//! The round trip is **lossless**: string fields are always quoted (so a
+//! string that *looks* numeric — `"15.76"`, an address prefix — or an empty
+//! string comes back as exactly that string, not a float or a null), and
+//! quoted fields are never type-inferred on the way back in. Unquoted
+//! fields carry the numeric/bool/null scalars.
 
 use crate::column::Column;
 use crate::error::{FrameError, Result};
@@ -12,8 +19,9 @@ use netgraph::AttrValue;
 
 /// Serializes a frame as CSV with a header row.
 ///
-/// Ints and floats are written unquoted; everything else is quoted when it
-/// contains a separator, quote or newline. Nulls serialize as empty fields.
+/// Ints, floats and bools are written unquoted and nulls as empty fields;
+/// strings (and list values, via their display form) are always quoted so
+/// the reader can reconstruct them verbatim without type inference.
 pub fn to_csv(df: &DataFrame) -> String {
     let mut out = String::new();
     let names = df.column_names();
@@ -45,14 +53,15 @@ pub fn to_csv(df: &DataFrame) -> String {
 
 /// Parses CSV text (first row = header) into a frame.
 ///
-/// Fields are type-inferred: empty → null, `true`/`false` → bool, integers →
-/// int, other numerics → float, everything else → string.
+/// Quoted fields are taken as literal strings. Unquoted fields are
+/// type-inferred: empty → null, `true`/`false` → bool, integers → int,
+/// other numerics → float, everything else → string.
 pub fn from_csv(text: &str) -> Result<DataFrame> {
     let mut rows = parse_rows(text)?;
     if rows.is_empty() {
         return Ok(DataFrame::new());
     }
-    let header = rows.remove(0);
+    let header: Vec<String> = rows.remove(0).into_iter().map(|f| f.text).collect();
     let mut columns: Vec<Column> = header.iter().map(|_| Column::new()).collect();
     for (line, row) in rows.iter().enumerate() {
         if row.len() != header.len() {
@@ -64,18 +73,18 @@ pub fn from_csv(text: &str) -> Result<DataFrame> {
             )));
         }
         for (i, field) in row.iter().enumerate() {
-            columns[i].push(infer_value(field));
+            columns[i].push(if field.quoted {
+                AttrValue::Str(field.text.as_str().into())
+            } else {
+                infer_value(&field.text)
+            });
         }
     }
     DataFrame::from_columns(header.into_iter().zip(columns).collect())
 }
 
 fn quote_field(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
-    }
+    format!("\"{}\"", s.replace('"', "\"\""))
 }
 
 fn infer_value(field: &str) -> AttrValue {
@@ -104,14 +113,26 @@ fn infer_value(field: &str) -> AttrValue {
     AttrValue::Str(field.into())
 }
 
-/// Splits CSV text into rows of unquoted fields.
-fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+/// One raw field: its unescaped text plus whether any part of it was
+/// quoted (which suppresses type inference).
+struct RawField {
+    text: String,
+    quoted: bool,
+}
+
+/// Splits CSV text into rows of unescaped fields.
+fn parse_rows(text: &str) -> Result<Vec<Vec<RawField>>> {
     let mut rows = Vec::new();
-    let mut row: Vec<String> = Vec::new();
+    let mut row: Vec<RawField> = Vec::new();
     let mut field = String::new();
+    let mut field_quoted = false;
     let mut in_quotes = false;
     let mut chars = text.chars().peekable();
     let mut saw_any = false;
+    let take_field = |field: &mut String, quoted: &mut bool| RawField {
+        text: std::mem::take(field),
+        quoted: std::mem::take(quoted),
+    };
     while let Some(c) = chars.next() {
         saw_any = true;
         if in_quotes {
@@ -128,13 +149,16 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
             }
         } else {
             match c {
-                '"' => in_quotes = true,
+                '"' => {
+                    in_quotes = true;
+                    field_quoted = true;
+                }
                 ',' => {
-                    row.push(std::mem::take(&mut field));
+                    row.push(take_field(&mut field, &mut field_quoted));
                 }
                 '\r' => {}
                 '\n' => {
-                    row.push(std::mem::take(&mut field));
+                    row.push(take_field(&mut field, &mut field_quoted));
                     rows.push(std::mem::take(&mut row));
                 }
                 _ => field.push(c),
@@ -144,8 +168,8 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
     if in_quotes {
         return Err(FrameError::Csv("unterminated quoted field".to_string()));
     }
-    if saw_any && (!field.is_empty() || !row.is_empty()) {
-        row.push(field);
+    if saw_any && (!field.is_empty() || field_quoted || !row.is_empty()) {
+        row.push(take_field(&mut field, &mut field_quoted));
         rows.push(row);
     }
     Ok(rows)
@@ -194,6 +218,35 @@ mod tests {
         assert_eq!(df.value(0, "b").unwrap(), &AttrValue::Float(2.5));
         assert_eq!(df.value(0, "c").unwrap(), &AttrValue::Bool(true));
         assert_eq!(df.value(0, "d").unwrap().as_str(), Some("hello"));
+    }
+
+    #[test]
+    fn round_trip_is_lossless_for_tricky_strings() {
+        // Strings that look numeric, spell booleans, or are empty must come
+        // back as exactly the same strings — the snapshot/replay layer
+        // depends on this.
+        let df = DataFrame::from_columns(vec![(
+            "s".to_string(),
+            Column::from_values(["15.76", "true", "", "10"]),
+        )])
+        .unwrap();
+        let back = from_csv(&to_csv(&df)).unwrap();
+        for row in 0..df.n_rows() {
+            assert_eq!(back.value(row, "s").unwrap(), df.value(row, "s").unwrap());
+        }
+        // And a second serialization is byte-identical.
+        assert_eq!(to_csv(&back), to_csv(&df));
+    }
+
+    #[test]
+    fn quoted_fields_skip_inference_unquoted_fields_keep_it() {
+        let df = from_csv("a,b\n\"123\",123\n").unwrap();
+        assert_eq!(df.value(0, "a").unwrap().as_str(), Some("123"));
+        assert_eq!(df.value(0, "b").unwrap(), &AttrValue::Int(123));
+        // A quoted empty field is an empty string, an unquoted one is null.
+        let df = from_csv("a,b\n\"\",\n").unwrap();
+        assert_eq!(df.value(0, "a").unwrap().as_str(), Some(""));
+        assert!(df.value(0, "b").unwrap().is_null());
     }
 
     #[test]

@@ -71,6 +71,19 @@ pub fn median(samples: &[f64]) -> f64 {
     }
 }
 
+/// The `p`-th percentile (`0..=100`) of a sample set, nearest-rank on the
+/// sorted samples; `0.0` when empty. `percentile(s, 50)` is the classic
+/// p50, `percentile(s, 99)` the tail the serving benchmarks report.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Times `rounds` executions of `work`, returning one sample per round.
 /// `setup` runs outside the timed region (fresh state per round).
 pub fn time_rounds<S, T, F, W>(rounds: usize, mut setup: F, mut work: W) -> Vec<f64>
@@ -481,6 +494,17 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 50.0), 50.0);
+        assert_eq!(percentile(&samples, 99.0), 99.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 
     #[test]

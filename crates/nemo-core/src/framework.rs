@@ -7,10 +7,10 @@ use crate::apps::ApplicationWrapper;
 use crate::backend::Backend;
 use crate::cost::{count_tokens, price_request, CostRecord};
 use crate::evaluator::{evaluate, Verdict};
-use crate::llm::{extract_code, FaultKind, Llm};
+use crate::llm::{extract_code, FaultKind, Llm, LlmResponse};
 use crate::prompt::{codegen_prompt, self_debug_prompt, strawman_prompt, Prompt};
 use crate::sandbox::execute_response;
-use crate::state::Outcome;
+use crate::state::{NetworkState, Outcome};
 
 /// Everything recorded about one LLM attempt at one query (the "Results
 /// Logger" rows of Figure 3).
@@ -122,6 +122,41 @@ impl<'a, L: Llm> NetworkManager<'a, L> {
             verdict,
             cost,
         }
+    }
+
+    /// The serving path: prompt → LLM → sandbox against a caller-provided
+    /// state, with **no** golden outcome and no evaluation.
+    ///
+    /// Benchmark runs know the right answer up front; a serving layer does
+    /// not — it executes whatever the model wrote against the *current*
+    /// network state and returns the outcome as the reply. The state is
+    /// passed in (rather than taken from the application wrapper) because a
+    /// live network mutates between requests, and the session holding this
+    /// manager outlives any single state snapshot.
+    ///
+    /// Returns the raw model response together with the sandbox result; an
+    /// `Err` carries a rendered reason (over-window prompt, missing code
+    /// block, program failure) suitable for a serving transcript.
+    pub fn serve_prompt(
+        &mut self,
+        prompt: &Prompt,
+        state: &NetworkState,
+    ) -> (LlmResponse, std::result::Result<Outcome, String>) {
+        let window = self.llm.token_window();
+        if count_tokens(&prompt.text) > window {
+            return (
+                LlmResponse {
+                    text: String::new(),
+                },
+                Err(format!(
+                    "prompt of {} tokens exceeds the model's {window}-token window",
+                    count_tokens(&prompt.text)
+                )),
+            );
+        }
+        let response = self.llm.complete(&prompt.text);
+        let outcome = execute_response(prompt.backend, &response, state).map_err(|e| e.to_string());
+        (response, outcome)
     }
 
     /// The pass@k technique (Table 6): query the model `k` times and succeed
@@ -272,6 +307,38 @@ mod tests {
         // The second prompt carried the feedback section and the failing code.
         assert!(llm.prompts_seen[1].contains("Previous attempt failed"));
         assert!(llm.prompts_seen[1].contains("get_node_attr"));
+    }
+
+    #[test]
+    fn serve_prompt_executes_against_the_provided_state() {
+        let app = app();
+        let mut llm = ScriptedLlm::new(
+            "server",
+            vec![
+                "```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
+                "no code at all".to_string(),
+            ],
+        );
+        let mut manager = NetworkManager::new(&app, &mut llm);
+        let prompt = manager.build_prompt(Backend::NetworkX, "How many nodes?");
+        // The caller controls the state: hand in a smaller graph than the
+        // app's own and the program answers over that graph.
+        let small = execute_code(
+            Backend::NetworkX,
+            "G.remove_node(G.nodes()[0])\nresult = 0",
+            &app.initial_state(Backend::NetworkX),
+        )
+        .unwrap()
+        .state;
+        let (response, outcome) = manager.serve_prompt(&prompt, &small);
+        assert!(response.text.contains("number_of_nodes"));
+        let outcome = outcome.unwrap();
+        assert!(outcome.value.approx_eq(&crate::state::OutputValue::Script(
+            crate::state::ScriptValue::Int(11)
+        )));
+        // A reply without code is a rendered serving error, not a panic.
+        let (_, bad) = manager.serve_prompt(&prompt, &small);
+        assert!(bad.unwrap_err().contains("no code block"));
     }
 
     #[test]

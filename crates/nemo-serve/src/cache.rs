@@ -1,0 +1,243 @@
+//! The compiled-program / answer cache — the serving loop's headline
+//! throughput win.
+//!
+//! Two levels, both keyed by `(query text, backend)`:
+//!
+//! * **Programs** — the code the LLM wrote for a query. The NL→code
+//!   mapping does not depend on network state, so programs survive
+//!   mutations: after the first request, no query ever pays for the LLM
+//!   again.
+//! * **Answers** — the rendered outcome of running a program, stamped with
+//!   the epoch it was computed at. A mutation bumps the epoch and thereby
+//!   invalidates every cached answer (the stale entry is dropped on next
+//!   lookup); the cached *program* is re-executed against the current
+//!   state instead, skipping the LLM and the prompt entirely.
+//!
+//! Only the answer *value* and its pre-rendered text are retained — the
+//! post-execution network state is dropped at insertion, so a long-lived
+//! cache never pins whole network copies.
+
+use crate::mutation::Epoch;
+use nemo_core::{Backend, Outcome, OutputValue};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How a query request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Answer cache hit at the current epoch: no LLM, no compile, no
+    /// execution.
+    AnswerHit,
+    /// Program cache hit: the stored program was re-executed against the
+    /// current state (the answer cache was stale or empty).
+    ProgramHit,
+    /// Full miss: prompt → LLM → sandbox.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Short transcript tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CacheOutcome::AnswerHit => "hit",
+            CacheOutcome::ProgramHit => "code",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Answer-cache hits (current epoch).
+    pub answer_hits: u64,
+    /// Program-cache hits (answer stale or absent).
+    pub program_hits: u64,
+    /// Full misses.
+    pub misses: u64,
+    /// Stale answers evicted by epoch invalidation.
+    pub invalidated: u64,
+}
+
+struct CachedAnswer {
+    epoch: Epoch,
+    /// The answer value; `None` for a negatively cached error reply (the
+    /// request failed at this epoch; retried only after the next mutation
+    /// invalidates it).
+    value: Option<Arc<OutputValue>>,
+    /// Pre-rendered answer text, so a hit does not re-render (table
+    /// outcomes render in O(rows)).
+    rendered: Arc<str>,
+}
+
+/// What a lookup found.
+pub enum Lookup {
+    /// A current-epoch answer: the value (`None` for a negatively cached
+    /// error) and its pre-rendered text, both shared — an answer hit
+    /// allocates nothing but refcounts.
+    Answer(Option<Arc<OutputValue>>, Arc<str>),
+    /// A program to re-execute.
+    Program(String),
+    /// Nothing cached.
+    Miss,
+}
+
+/// The two-level cache. Both levels nest by backend first so lookups
+/// probe with the borrowed query text — no per-request key allocation.
+#[derive(Default)]
+pub struct ProgramCache {
+    programs: HashMap<Backend, HashMap<String, String>>,
+    answers: HashMap<Backend, HashMap<String, CachedAnswer>>,
+    stats: CacheStats,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// Looks up a query at the current epoch, maintaining hit/miss/eviction
+    /// counters. A stale answer is evicted here; the program level is
+    /// consulted next.
+    pub fn lookup(&mut self, query: &str, backend: Backend, epoch: Epoch) -> Lookup {
+        if let Some(per_backend) = self.answers.get_mut(&backend) {
+            if let Some(cached) = per_backend.get(query) {
+                if cached.epoch == epoch {
+                    self.stats.answer_hits += 1;
+                    return Lookup::Answer(cached.value.clone(), Arc::clone(&cached.rendered));
+                }
+                per_backend.remove(query);
+                self.stats.invalidated += 1;
+            }
+        }
+        if let Some(program) = self.programs.get(&backend).and_then(|m| m.get(query)) {
+            self.stats.program_hits += 1;
+            return Lookup::Program(program.clone());
+        }
+        self.stats.misses += 1;
+        Lookup::Miss
+    }
+
+    /// Stores the program the LLM wrote for a query.
+    pub fn insert_program(&mut self, query: &str, backend: Backend, program: String) {
+        self.programs
+            .entry(backend)
+            .or_default()
+            .insert(query.to_string(), program);
+    }
+
+    /// Stores an answer computed at `epoch`, pre-rendering its reply text
+    /// and dropping the post-execution state.
+    pub fn insert_answer(&mut self, query: &str, backend: Backend, epoch: Epoch, outcome: Outcome) {
+        let rendered: Arc<str> = outcome.value.render().into();
+        self.answers.entry(backend).or_default().insert(
+            query.to_string(),
+            CachedAnswer {
+                epoch,
+                value: Some(Arc::new(outcome.value)),
+                rendered,
+            },
+        );
+    }
+
+    /// Negatively caches an error reply at `epoch`: the same request at the
+    /// same state serves the same error without re-running anything; the
+    /// next mutation invalidates it and the request is retried for real.
+    pub fn insert_error(&mut self, query: &str, backend: Backend, epoch: Epoch, rendered: &str) {
+        self.answers.entry(backend).or_default().insert(
+            query.to_string(),
+            CachedAnswer {
+                epoch,
+                value: None,
+                rendered: rendered.into(),
+            },
+        );
+    }
+
+    /// Drops a cached program. Used when a stored program stops executing
+    /// cleanly against the current state: keeping it would replay the same
+    /// failure forever, whereas evicting makes the next request after
+    /// invalidation a full miss — a real retry through the model.
+    pub fn evict_program(&mut self, query: &str, backend: Backend) {
+        if let Some(per_backend) = self.programs.get_mut(&backend) {
+            per_backend.remove(query);
+        }
+    }
+
+    /// The cached program for a query, if any.
+    pub fn program(&self, query: &str, backend: Backend) -> Option<&str> {
+        self.programs
+            .get(&backend)
+            .and_then(|m| m.get(query))
+            .map(String::as_str)
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_core::{NetworkState, ScriptValue};
+    use netgraph::Graph;
+
+    fn outcome(n: i64) -> Outcome {
+        Outcome {
+            value: OutputValue::Script(ScriptValue::Int(n)),
+            state: NetworkState::Graph(Graph::directed()),
+            printed: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn answers_invalidate_by_epoch_programs_survive() {
+        let mut cache = ProgramCache::new();
+        assert!(matches!(cache.lookup("q", Backend::Sql, 0), Lookup::Miss));
+        cache.insert_program("q", Backend::Sql, "SELECT 1".to_string());
+        cache.insert_answer("q", Backend::Sql, 0, outcome(1));
+        match cache.lookup("q", Backend::Sql, 0) {
+            Lookup::Answer(value, rendered) => {
+                assert!(value.unwrap().approx_eq(&outcome(1).value));
+                assert_eq!(&*rendered, "1");
+            }
+            _ => panic!("expected answer hit"),
+        }
+        // Epoch moved: the answer is stale, the program still serves.
+        match cache.lookup("q", Backend::Sql, 3) {
+            Lookup::Program(p) => assert_eq!(p, "SELECT 1"),
+            _ => panic!("expected program hit"),
+        }
+        // Backends are separate key spaces.
+        assert!(matches!(
+            cache.lookup("q", Backend::Pandas, 3),
+            Lookup::Miss
+        ));
+        let stats = cache.stats();
+        assert_eq!(stats.answer_hits, 1);
+        assert_eq!(stats.program_hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.invalidated, 1);
+        assert_eq!(cache.program("q", Backend::Sql), Some("SELECT 1"));
+    }
+
+    #[test]
+    fn errors_are_negatively_cached_per_epoch() {
+        let mut cache = ProgramCache::new();
+        cache.insert_error("q", Backend::Sql, 2, "error: no such column");
+        match cache.lookup("q", Backend::Sql, 2) {
+            Lookup::Answer(value, rendered) => {
+                assert!(value.is_none());
+                assert_eq!(&*rendered, "error: no such column");
+            }
+            _ => panic!("expected negative answer hit"),
+        }
+        // The next epoch invalidates the error; with no program cached the
+        // request becomes a full miss (a real retry).
+        assert!(matches!(cache.lookup("q", Backend::Sql, 3), Lookup::Miss));
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! The serving layer's error type.
+
+use std::fmt;
+
+/// Why a mutation could not be applied or a snapshot could not be read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The mutation is not applicable to the current state (duplicate node,
+    /// missing endpoint, unknown edge). The state is left untouched and no
+    /// epoch is consumed.
+    Conflict(String),
+    /// A snapshot document failed to parse or failed validation, or a WAL
+    /// segment does not continue the snapshot it is replayed onto.
+    Corrupt(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Conflict(msg) => write!(f, "mutation conflict: {msg}"),
+            ServeError::Corrupt(msg) => write!(f, "corrupt snapshot or WAL: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

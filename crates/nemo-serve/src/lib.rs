@@ -1,0 +1,63 @@
+//! # nemo-serve
+//!
+//! The deterministic live-state serving layer: where the paper's pipeline
+//! answers one query over a frozen snapshot, this crate keeps a network
+//! *changing* under a stream of mutations and serves natural-language
+//! queries against the current state — the ROADMAP's "heavy traffic over a
+//! network that keeps changing" direction.
+//!
+//! Four pieces:
+//!
+//! * **Write path** — [`LiveNetwork`] wraps the property-graph and tabular
+//!   substrates behind an event-sourced API: every [`Mutation`] is applied
+//!   to all backends in lockstep and appended to an in-memory write-ahead
+//!   log ([`WalRecord`]) with a monotonically increasing epoch.
+//!   [`trafficgen::evolve`] generates the deterministic timestamped
+//!   mutation streams that feed it.
+//! * **Snapshot + replay** — [`snapshot::write_snapshot`] serializes a live
+//!   network to a versioned document (node-link graph JSON + lossless frame
+//!   CSV) and [`snapshot::replay`] proves `snapshot(e) + WAL[e..]`
+//!   reconstructs byte-identical state and identical query answers.
+//! * **Read path** — a [`Server`] interleaves mutation batches with query
+//!   requests from N simulated client [`Session`]s, reusing `nemo-core`'s
+//!   prompt → LLM → sandbox pipeline, behind a [`ProgramCache`] keyed by
+//!   `(query, backend)`: answers are invalidated by epoch, compiled
+//!   programs survive mutations, and a warm cache skips the LLM and the
+//!   compiler entirely.
+//! * **Load driver** — [`driver::drive`] runs a closed-loop multi-client
+//!   workload over `nemo_bench::pool`; every client transcript is a pure
+//!   function of `(config, client, seed)`, so the combined transcript is
+//!   bit-identical at any `NEMO_THREADS`.
+//!
+//! ```
+//! use nemo_serve::{LiveNetwork, Mutation};
+//! use trafficgen::{generate, TrafficConfig};
+//!
+//! let workload = generate(&TrafficConfig { nodes: 8, edges: 10, prefixes: 2, seed: 1 });
+//! let mut live = LiveNetwork::from_workload(&workload);
+//! let epoch = live
+//!     .apply(5, Mutation::SetNodeAttr {
+//!         id: workload.endpoints[0].to_string_dotted(),
+//!         key: "label".to_string(),
+//!         value: "app:web".into(),
+//!     })
+//!     .unwrap();
+//! assert_eq!(epoch, 1);
+//! assert_eq!(live.wal().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod driver;
+mod error;
+mod live;
+mod mutation;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{CacheOutcome, CacheStats, ProgramCache};
+pub use error::ServeError;
+pub use live::LiveNetwork;
+pub use mutation::{Epoch, Mutation, WalRecord};
+pub use server::{Reply, ServeEvent, Server, Session};

@@ -1,0 +1,481 @@
+//! The live network: event-sourced state over every backend substrate.
+//!
+//! A [`LiveNetwork`] owns the property graph (the NetworkX/strawman
+//! representation) and the node/edge frames (the pandas representation;
+//! the SQL representation is the same two tables mounted in a
+//! [`Database`]), and the only way to change any of them is
+//! [`LiveNetwork::apply`], which applies one [`Mutation`] to every
+//! substrate in lockstep, bumps the epoch, and appends a [`WalRecord`] to
+//! the in-memory write-ahead log. A rejected mutation touches nothing and
+//! consumes no epoch.
+
+use crate::error::ServeError;
+use crate::mutation::{Epoch, Mutation, WalRecord};
+use dataframe::DataFrame;
+use nemo_core::apps::ApplicationWrapper;
+use nemo_core::{Application, Backend, NetworkState};
+use netgraph::json::graph_to_json;
+use netgraph::{attrs, AttrValue, Graph};
+use sqlengine::Database;
+use trafficgen::stream::TimedEvent;
+use trafficgen::{export, TrafficWorkload};
+
+/// The serving layer's live state: all backend substrates plus the WAL.
+#[derive(Debug, Clone)]
+pub struct LiveNetwork {
+    graph: Graph,
+    nodes: DataFrame,
+    edges: DataFrame,
+    epoch: Epoch,
+    wal: Vec<WalRecord>,
+}
+
+impl LiveNetwork {
+    /// Materializes a generated workload at epoch 0 with an empty WAL.
+    pub fn from_workload(workload: &TrafficWorkload) -> Self {
+        let (nodes, edges) = export::to_frames(workload);
+        LiveNetwork {
+            graph: export::to_graph(workload),
+            nodes,
+            edges,
+            epoch: 0,
+            wal: Vec::new(),
+        }
+    }
+
+    /// Reassembles a network from restored substrates (the snapshot path).
+    /// The WAL starts empty: a snapshot *is* the log's prefix, compacted.
+    pub(crate) fn from_parts(
+        graph: Graph,
+        nodes: DataFrame,
+        edges: DataFrame,
+        epoch: Epoch,
+    ) -> Self {
+        LiveNetwork {
+            graph,
+            nodes,
+            edges,
+            epoch,
+            wal: Vec::new(),
+        }
+    }
+
+    /// The current epoch: the number of mutations ever applied (epoch 0 is
+    /// the freshly materialized workload or the snapshot's epoch).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The in-memory write-ahead log since construction (or since the
+    /// snapshot this network was restored from).
+    pub fn wal(&self) -> &[WalRecord] {
+        &self.wal
+    }
+
+    /// The property-graph substrate.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The node frame of the tabular substrate.
+    pub fn nodes(&self) -> &DataFrame {
+        &self.nodes
+    }
+
+    /// The edge frame of the tabular substrate.
+    pub fn edges(&self) -> &DataFrame {
+        &self.edges
+    }
+
+    /// The current state materialized for one backend (cloned: sandboxed
+    /// programs run against copies, never the live substrates).
+    pub fn state(&self, backend: Backend) -> NetworkState {
+        match backend {
+            Backend::Strawman | Backend::NetworkX => NetworkState::Graph(self.graph.clone()),
+            Backend::Pandas => NetworkState::Frames {
+                nodes: self.nodes.clone(),
+                edges: self.edges.clone(),
+            },
+            Backend::Sql => {
+                let mut db = Database::new();
+                db.create_table("nodes", self.nodes.clone());
+                db.create_table("edges", self.edges.clone());
+                NetworkState::Database(db)
+            }
+        }
+    }
+
+    /// Applies one mutation to every substrate in lockstep. On success the
+    /// epoch advances by one and the WAL grows by one record; on conflict
+    /// the state is untouched.
+    pub fn apply(&mut self, at_ms: u64, mutation: Mutation) -> Result<Epoch, ServeError> {
+        self.check(&mutation)?;
+        match &mutation {
+            Mutation::AddNode {
+                id,
+                prefix16,
+                prefix24,
+            } => {
+                self.graph.add_node(
+                    id,
+                    attrs([
+                        ("prefix16", AttrValue::Str(prefix16.as_str().into())),
+                        ("prefix24", AttrValue::Str(prefix24.as_str().into())),
+                    ]),
+                );
+                self.nodes
+                    .push_row(export::endpoint_row_parts(id, prefix16, prefix24))
+                    .expect("node row matches schema");
+            }
+            Mutation::AddEdge {
+                source,
+                target,
+                bytes,
+                connections,
+                packets,
+            } => {
+                self.graph.add_edge(
+                    source,
+                    target,
+                    attrs([
+                        ("bytes", AttrValue::Int(*bytes)),
+                        ("connections", AttrValue::Int(*connections)),
+                        ("packets", AttrValue::Int(*packets)),
+                    ]),
+                );
+                self.edges
+                    .push_row(export::flow_row_parts(
+                        source,
+                        target,
+                        *bytes,
+                        *connections,
+                        *packets,
+                    ))
+                    .expect("edge row matches schema");
+            }
+            Mutation::SetFlow {
+                source,
+                target,
+                bytes,
+                connections,
+                packets,
+            } => {
+                for (key, value) in [
+                    ("bytes", *bytes),
+                    ("connections", *connections),
+                    ("packets", *packets),
+                ] {
+                    self.graph
+                        .set_edge_attr(source, target, key, AttrValue::Int(value))
+                        .expect("edge checked present");
+                }
+                let row = self
+                    .edge_row(source, target)
+                    .expect("edge row checked present");
+                for (column, value) in [
+                    ("bytes", *bytes),
+                    ("connections", *connections),
+                    ("packets", *packets),
+                ] {
+                    self.edges
+                        .set_value(row, column, AttrValue::Int(value))
+                        .expect("edge columns exist");
+                }
+            }
+            Mutation::SetNodeAttr { id, key, value } => {
+                self.graph
+                    .set_node_attr(id, key, value.clone())
+                    .expect("node checked present");
+                if self.nodes.has_column(key) {
+                    let row = self.node_row(id).expect("node row checked present");
+                    self.nodes
+                        .set_value(row, key, value.clone())
+                        .expect("column checked present");
+                }
+            }
+            Mutation::RemoveEdge { source, target } => {
+                self.graph
+                    .remove_edge(source, target)
+                    .expect("edge checked present");
+                let row = self
+                    .edge_row(source, target)
+                    .expect("edge row checked present");
+                let keep: Vec<usize> = (0..self.edges.n_rows()).filter(|&i| i != row).collect();
+                self.edges = self.edges.take(&keep).expect("indices in range");
+            }
+        }
+        self.epoch += 1;
+        self.wal.push(WalRecord {
+            epoch: self.epoch,
+            at_ms,
+            mutation,
+        });
+        Ok(self.epoch)
+    }
+
+    /// Normalizes and applies one [`trafficgen`] stream event.
+    pub fn apply_event(&mut self, event: &TimedEvent) -> Result<Epoch, ServeError> {
+        self.apply(event.at_ms, Mutation::from_event(&event.event))
+    }
+
+    /// Validates a mutation against the current state without touching it.
+    fn check(&self, mutation: &Mutation) -> Result<(), ServeError> {
+        let conflict = |msg: String| Err(ServeError::Conflict(msg));
+        match mutation {
+            Mutation::AddNode { id, .. } => {
+                if self.graph.has_node(id) {
+                    return conflict(format!("node {id} already exists"));
+                }
+            }
+            Mutation::AddEdge { source, target, .. } => {
+                if !self.graph.has_node(source) || !self.graph.has_node(target) {
+                    return conflict(format!("edge {source}->{target} names an unknown endpoint"));
+                }
+                if self.graph.has_edge(source, target) {
+                    return conflict(format!("edge {source}->{target} already exists"));
+                }
+            }
+            Mutation::SetFlow { source, target, .. } | Mutation::RemoveEdge { source, target } => {
+                if !self.graph.has_edge(source, target) {
+                    return conflict(format!("edge {source}->{target} does not exist"));
+                }
+            }
+            Mutation::SetNodeAttr { id, key, .. } => {
+                if !self.graph.has_node(id) {
+                    return conflict(format!("node {id} does not exist"));
+                }
+                // Rewriting the identity column would desync the tabular
+                // substrates from the graph (node names are immutable).
+                if key == "id" {
+                    return conflict("the 'id' attribute is the node's identity".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn node_row(&self, id: &str) -> Option<usize> {
+        let column = self.nodes.column("id").ok()?;
+        column.values().iter().position(|v| v.as_str() == Some(id))
+    }
+
+    fn edge_row(&self, source: &str, target: &str) -> Option<usize> {
+        let sources = self.edges.column("source").ok()?;
+        let targets = self.edges.column("target").ok()?;
+        (0..self.edges.n_rows()).find(|&i| {
+            sources.values()[i].as_str() == Some(source)
+                && targets.values()[i].as_str() == Some(target)
+        })
+    }
+}
+
+/// Equality of the *state* (graph, frames, epoch) — not of the WAL, so a
+/// replayed network with a truncated log still compares equal to the
+/// directly built one.
+impl PartialEq for LiveNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch == other.epoch
+            && self.graph == other.graph
+            && self.nodes == other.nodes
+            && self.edges == other.edges
+    }
+}
+
+/// A live network is itself an application the pipeline can serve: same
+/// schema text as the traffic-analysis wrapper, but described over the
+/// *current* state rather than a frozen workload.
+impl ApplicationWrapper for LiveNetwork {
+    fn application(&self) -> Application {
+        Application::TrafficAnalysis
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Application: network traffic analysis over a live communication graph.\n\
+             Nodes are network endpoints identified by their IPv4 address (string id); each node \
+             carries 'prefix16' and 'prefix24' attributes with its /16 and /24 address prefixes.\n\
+             Directed edges represent observed communication; each edge carries integer 'bytes', \
+             'connections' and 'packets' attributes.\n\
+             The graph has {} nodes and {} edges (state epoch {}).",
+            self.graph.number_of_nodes(),
+            self.graph.number_of_edges(),
+            self.epoch
+        )
+    }
+
+    fn initial_state(&self, backend: Backend) -> NetworkState {
+        self.state(backend)
+    }
+
+    fn raw_json(&self) -> String {
+        graph_to_json(&self.graph).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficgen::{evolve, generate, StreamConfig, TrafficConfig};
+
+    fn workload() -> TrafficWorkload {
+        generate(&TrafficConfig {
+            nodes: 16,
+            edges: 20,
+            prefixes: 2,
+            seed: 4,
+        })
+    }
+
+    fn totals(live: &LiveNetwork) -> (f64, f64, f64) {
+        let graph = live.graph().total_edge_attr("bytes");
+        let frame = live.edges().column("bytes").unwrap().sum().unwrap();
+        let mut db = match live.state(Backend::Sql) {
+            NetworkState::Database(db) => db,
+            _ => unreachable!(),
+        };
+        let sql = db
+            .execute("SELECT SUM(bytes) AS s FROM edges")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .value(0, "s")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        (graph, frame, sql)
+    }
+
+    #[test]
+    fn substrates_stay_in_lockstep_under_a_stream() {
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let events = evolve(
+            &w,
+            &StreamConfig {
+                events: 120,
+                seed: 8,
+            },
+        );
+        for event in &events {
+            live.apply_event(event).unwrap();
+        }
+        assert_eq!(live.epoch(), 120);
+        assert_eq!(live.wal().len(), 120);
+        let (g, f, s) = totals(&live);
+        assert_eq!(g, f);
+        assert_eq!(g, s);
+        assert_eq!(
+            live.graph().number_of_edges(),
+            live.edges().n_rows(),
+            "graph edges and edge rows diverged"
+        );
+        assert_eq!(live.graph().number_of_nodes(), live.nodes().n_rows());
+        // WAL epochs are contiguous and 1-based.
+        for (i, record) in live.wal().iter().enumerate() {
+            assert_eq!(record.epoch, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn conflicts_touch_nothing_and_consume_no_epoch() {
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let before = live.clone();
+        let existing = w.endpoints[0].to_string_dotted();
+        let err = live
+            .apply(
+                1,
+                Mutation::AddNode {
+                    id: existing.clone(),
+                    prefix16: "0.0".into(),
+                    prefix24: "0.0.0".into(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Conflict(_)));
+        assert!(live
+            .apply(
+                1,
+                Mutation::RemoveEdge {
+                    source: "1.2.3.4".into(),
+                    target: existing,
+                }
+            )
+            .is_err());
+        assert!(live
+            .apply(
+                1,
+                Mutation::AddEdge {
+                    source: "1.2.3.4".into(),
+                    target: "5.6.7.8".into(),
+                    bytes: 1,
+                    connections: 1,
+                    packets: 1,
+                }
+            )
+            .is_err());
+        // The identity column is immutable: rewriting it would desync the
+        // frames from the graph.
+        assert!(live
+            .apply(
+                1,
+                Mutation::SetNodeAttr {
+                    id: w.endpoints[0].to_string_dotted(),
+                    key: "id".into(),
+                    value: "9.9.9.9".into(),
+                }
+            )
+            .is_err());
+        assert_eq!(live, before);
+        assert!(live.wal().is_empty());
+    }
+
+    #[test]
+    fn set_node_attr_mirrors_only_schema_columns() {
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let id = w.endpoints[0].to_string_dotted();
+        live.apply(
+            1,
+            Mutation::SetNodeAttr {
+                id: id.clone(),
+                key: "label".into(),
+                value: "app:db".into(),
+            },
+        )
+        .unwrap();
+        live.apply(
+            2,
+            Mutation::SetNodeAttr {
+                id: id.clone(),
+                key: "weight".into(),
+                value: AttrValue::Int(9),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            live.graph().get_node_attr(&id, "label").unwrap().as_str(),
+            Some("app:db")
+        );
+        let row = live.node_row(&id).unwrap();
+        assert_eq!(
+            live.nodes().value(row, "label").unwrap().as_str(),
+            Some("app:db")
+        );
+        // `weight` is not in the tabular schema: graph-only.
+        assert!(live.graph().get_node_attr(&id, "weight").is_ok());
+        assert!(!live.nodes().has_column("weight"));
+    }
+
+    #[test]
+    fn live_network_is_an_application_wrapper() {
+        let live = LiveNetwork::from_workload(&workload());
+        assert_eq!(live.application(), Application::TrafficAnalysis);
+        assert!(live.describe().contains("state epoch 0"));
+        assert!(live.raw_json().contains("\"links\""));
+        for backend in Backend::ALL {
+            let state = live.initial_state(backend);
+            assert!(!state.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! The serving loop: mutation batches interleaved with client queries.
+//!
+//! A [`Server`] owns the [`LiveNetwork`], the [`ProgramCache`] and a set of
+//! client [`Session`]s (one persistent LLM handle per client — the model
+//! session is reused across that client's requests). Processing is
+//! sequential and deterministic: a [`ServeEvent`] is either one mutation
+//! (advancing the epoch and invalidating cached answers) or one query from
+//! one client, and the transcript of a schedule is a pure function of
+//! `(initial state, schedule, model seeds)` — wall-clock latencies are
+//! recorded on the side, never in the transcript.
+
+use crate::cache::{CacheOutcome, CacheStats, Lookup, ProgramCache};
+use crate::error::ServeError;
+use crate::live::LiveNetwork;
+use crate::mutation::Epoch;
+use nemo_core::llm::extract_code;
+use nemo_core::prompt::codegen_prompt;
+use nemo_core::sandbox::execute_code;
+use nemo_core::{Backend, Llm, NetworkManager};
+use std::time::Instant;
+use trafficgen::stream::TimedEvent;
+
+/// One client session: a stable id, the backend this client queries
+/// through, and its persistent model handle.
+pub struct Session<L: Llm> {
+    /// The client id requests address this session by (need not be the
+    /// session's position in the server's list).
+    pub client: usize,
+    /// The code-generation backend this client uses.
+    pub backend: Backend,
+    /// The client's model session, reused across requests.
+    pub llm: L,
+}
+
+/// One unit of serving work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// Apply one timestamped mutation to the live network.
+    Mutate(TimedEvent),
+    /// Answer one natural-language query for one client.
+    Query {
+        /// The asking client's id.
+        client: usize,
+        /// The query text.
+        query: String,
+    },
+}
+
+/// The record of one answered query.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The asking client.
+    pub client: usize,
+    /// The backend used.
+    pub backend: Backend,
+    /// The query text.
+    pub query: String,
+    /// The epoch the answer reflects.
+    pub epoch: Epoch,
+    /// How the cache satisfied the request.
+    pub cache: CacheOutcome,
+    /// The rendered answer (or a rendered error).
+    pub answer: String,
+    /// Wall-clock service time in milliseconds (excluded from
+    /// transcripts; this is the load driver's latency sample).
+    pub latency_ms: f64,
+}
+
+/// The serving loop.
+pub struct Server<L: Llm> {
+    live: LiveNetwork,
+    cache: ProgramCache,
+    sessions: Vec<Session<L>>,
+}
+
+impl<L: Llm> Server<L> {
+    /// Builds a server over an initial live state and its client sessions.
+    pub fn new(live: LiveNetwork, sessions: Vec<Session<L>>) -> Self {
+        Server {
+            live,
+            cache: ProgramCache::new(),
+            sessions,
+        }
+    }
+
+    /// The live network (read-only; mutations go through events).
+    pub fn live(&self) -> &LiveNetwork {
+        &self.live
+    }
+
+    /// Cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cached program for a query on a backend, if any.
+    pub fn cached_program(&self, query: &str, backend: Backend) -> Option<&str> {
+        self.cache.program(query, backend)
+    }
+
+    /// Applies one mutation event to the live network.
+    pub fn apply_mutation(&mut self, event: &TimedEvent) -> Result<Epoch, ServeError> {
+        self.live.apply_event(event)
+    }
+
+    /// Answers one query for one client through the cache hierarchy.
+    ///
+    /// Misses run the full pipeline (prompt → LLM → sandbox) via
+    /// [`NetworkManager::serve_prompt`]; program hits re-execute the cached
+    /// code against the current state; answer hits return the cached
+    /// outcome untouched. Failures never enter the *program* cache — only
+    /// a negatively cached error reply scoped to the current epoch — so
+    /// the same request at the same state repeats the error cheaply, and
+    /// the first request after a mutation retries the model for real.
+    pub fn handle_query(&mut self, client: usize, query: &str) -> Reply {
+        let start = Instant::now();
+        // An unknown client gets an error reply, not a panic: one bad
+        // request must not take down the serving loop.
+        let Some(session) = self.sessions.iter().position(|s| s.client == client) else {
+            return Reply {
+                client,
+                backend: Backend::Strawman,
+                query: query.to_string(),
+                epoch: self.live.epoch(),
+                cache: CacheOutcome::Miss,
+                answer: format!("error: no session for client {client}"),
+                latency_ms: start.elapsed().as_secs_f64() * 1e3,
+            };
+        };
+        let backend = self.sessions[session].backend;
+        let epoch = self.live.epoch();
+        let (cache, answer) = match self.cache.lookup(query, backend, epoch) {
+            Lookup::Answer(_outcome, rendered) => (CacheOutcome::AnswerHit, rendered.to_string()),
+            Lookup::Program(program) => {
+                let state = self.live.state(backend);
+                match execute_code(backend, &program, &state) {
+                    Ok(outcome) => {
+                        let answer = outcome.value.render();
+                        self.cache.insert_answer(query, backend, epoch, outcome);
+                        (CacheOutcome::ProgramHit, answer)
+                    }
+                    Err(e) => {
+                        // The stored program no longer runs against the
+                        // current state: evict it so the next request
+                        // after invalidation consults the model again.
+                        self.cache.evict_program(query, backend);
+                        let answer = format!("error: {e}");
+                        self.cache.insert_error(query, backend, epoch, &answer);
+                        (CacheOutcome::ProgramHit, answer)
+                    }
+                }
+            }
+            Lookup::Miss => {
+                let prompt = codegen_prompt(&self.live, backend, query);
+                let state = self.live.state(backend);
+                let mut manager = NetworkManager::new(&self.live, &mut self.sessions[session].llm);
+                let (response, result) = manager.serve_prompt(&prompt, &state);
+                match result {
+                    Ok(outcome) => {
+                        if let Some(code) = extract_code(&response.text) {
+                            self.cache.insert_program(query, backend, code);
+                        }
+                        let answer = outcome.value.render();
+                        self.cache.insert_answer(query, backend, epoch, outcome);
+                        (CacheOutcome::Miss, answer)
+                    }
+                    Err(reason) => {
+                        let answer = format!("error: {reason}");
+                        self.cache.insert_error(query, backend, epoch, &answer);
+                        (CacheOutcome::Miss, answer)
+                    }
+                }
+            }
+        };
+        Reply {
+            client,
+            backend,
+            query: query.to_string(),
+            epoch,
+            cache,
+            answer,
+            latency_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Processes one event and renders its deterministic transcript line.
+    pub fn process(&mut self, event: &ServeEvent) -> (String, Option<Reply>) {
+        match event {
+            ServeEvent::Mutate(timed) => {
+                let line = match self.apply_mutation(timed) {
+                    Ok(epoch) => format!(
+                        "[e{epoch}] t={}ms mutate {}",
+                        timed.at_ms,
+                        crate::Mutation::from_event(&timed.event).describe()
+                    ),
+                    Err(e) => format!(
+                        "[e{}] t={}ms mutate rejected: {e}",
+                        self.live.epoch(),
+                        timed.at_ms
+                    ),
+                };
+                (line, None)
+            }
+            ServeEvent::Query { client, query } => {
+                let reply = self.handle_query(*client, query);
+                let line = format!(
+                    "[e{}] client={} {} {} {:?} => {}",
+                    reply.epoch,
+                    reply.client,
+                    reply.backend,
+                    reply.cache.tag(),
+                    reply.query,
+                    one_line(&reply.answer),
+                );
+                (line, Some(reply))
+            }
+        }
+    }
+
+    /// Runs a whole schedule, returning the transcript and every reply.
+    pub fn run_schedule(&mut self, events: &[ServeEvent]) -> (Vec<String>, Vec<Reply>) {
+        let mut transcript = Vec::with_capacity(events.len());
+        let mut replies = Vec::new();
+        for event in events {
+            let (line, reply) = self.process(event);
+            transcript.push(line);
+            replies.extend(reply);
+        }
+        (transcript, replies)
+    }
+}
+
+/// Collapses an answer to a single whitespace-normalized line.
+fn one_line(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_core::ScriptedLlm;
+    use trafficgen::{generate, NetEvent, TrafficConfig};
+
+    fn live() -> LiveNetwork {
+        LiveNetwork::from_workload(&generate(&TrafficConfig {
+            nodes: 10,
+            edges: 14,
+            prefixes: 2,
+            seed: 9,
+        }))
+    }
+
+    fn scripted(replies: usize) -> ScriptedLlm {
+        // The same correct program every time it is actually consulted.
+        ScriptedLlm::new(
+            "scripted",
+            vec!["```graphscript\nresult = G.number_of_edges()\n```".to_string(); replies],
+        )
+    }
+
+    #[test]
+    fn cache_hierarchy_hit_path() {
+        let network = live();
+        let mut server = Server::new(
+            network,
+            vec![Session {
+                client: 0,
+                backend: Backend::NetworkX,
+                llm: scripted(8),
+            }],
+        );
+        let q = "How many edges are there?";
+        let first = server.handle_query(0, q);
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        assert_eq!(first.answer, "14");
+        let second = server.handle_query(0, q);
+        assert_eq!(second.cache, CacheOutcome::AnswerHit);
+        assert_eq!(second.answer, first.answer);
+        assert!(server
+            .cached_program(q, Backend::NetworkX)
+            .unwrap()
+            .contains("number_of_edges"));
+
+        // A mutation bumps the epoch: next request re-executes the cached
+        // program over the *new* state without touching the model.
+        let flow = trafficgen::Flow {
+            source: trafficgen::Ipv4::new(203, 0, 0, 1),
+            target: trafficgen::Ipv4::new(203, 0, 0, 2),
+            bytes: 10,
+            connections: 1,
+            packets: 1,
+        };
+        for endpoint in [flow.source, flow.target] {
+            server
+                .apply_mutation(&TimedEvent {
+                    at_ms: 1,
+                    event: NetEvent::NewEndpoint { endpoint },
+                })
+                .unwrap();
+        }
+        server
+            .apply_mutation(&TimedEvent {
+                at_ms: 2,
+                event: NetEvent::NewFlow { flow },
+            })
+            .unwrap();
+        let third = server.handle_query(0, q);
+        assert_eq!(third.cache, CacheOutcome::ProgramHit);
+        assert_eq!(third.answer, "15");
+        let stats = server.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.answer_hits, 1);
+        assert_eq!(stats.program_hits, 1);
+        assert_eq!(stats.invalidated, 1);
+        // The model was consulted exactly once.
+        let session_llm = &server.sessions[0].llm;
+        assert_eq!(session_llm.prompts_seen.len(), 1);
+    }
+
+    #[test]
+    fn unknown_clients_get_an_error_reply_not_a_panic() {
+        let mut server = Server::new(
+            live(),
+            vec![Session {
+                client: 0,
+                backend: Backend::NetworkX,
+                llm: scripted(1),
+            }],
+        );
+        let reply = server.handle_query(7, "How many edges are there?");
+        assert!(reply.answer.contains("no session for client 7"));
+        assert_eq!(reply.client, 7);
+        // The serving loop is still alive.
+        assert_eq!(
+            server.handle_query(0, "How many edges are there?").answer,
+            "14"
+        );
+    }
+
+    #[test]
+    fn transcript_lines_are_deterministic() {
+        let q = "How many edges are there?".to_string();
+        let schedule = vec![
+            ServeEvent::Query {
+                client: 0,
+                query: q.clone(),
+            },
+            ServeEvent::Query {
+                client: 0,
+                query: q,
+            },
+        ];
+        let run = || {
+            let mut server = Server::new(
+                live(),
+                vec![Session {
+                    client: 0,
+                    backend: Backend::NetworkX,
+                    llm: scripted(4),
+                }],
+            );
+            server.run_schedule(&schedule).0
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a[0].contains("miss"));
+        assert!(a[1].contains("hit"));
+    }
+
+    #[test]
+    fn programs_that_stop_running_are_evicted_and_retried() {
+        // The model first writes a program tied to a specific edge; once a
+        // mutation removes that edge the cached program starts failing, is
+        // evicted, and the next post-mutation request goes back to the
+        // model instead of replaying the failure forever.
+        let workload = generate(&TrafficConfig {
+            nodes: 10,
+            edges: 14,
+            prefixes: 2,
+            seed: 9,
+        });
+        let flow = workload.flows[0].clone();
+        let (s, t) = (
+            flow.source.to_string_dotted(),
+            flow.target.to_string_dotted(),
+        );
+        let fragile =
+            format!("```graphscript\nresult = G.get_edge_attr(\"{s}\", \"{t}\", \"bytes\")\n```");
+        let mut server = Server::new(
+            LiveNetwork::from_workload(&workload),
+            vec![Session {
+                client: 0,
+                backend: Backend::NetworkX,
+                llm: ScriptedLlm::new(
+                    "adaptive",
+                    vec![
+                        fragile,
+                        "```graphscript\nresult = G.number_of_edges()\n```".to_string(),
+                    ],
+                ),
+            }],
+        );
+        let q = "How many bytes on the first flow?";
+        assert_eq!(server.handle_query(0, q).cache, CacheOutcome::Miss);
+        server
+            .apply_mutation(&TimedEvent {
+                at_ms: 1,
+                event: NetEvent::DropFlow {
+                    source: flow.source,
+                    target: flow.target,
+                },
+            })
+            .unwrap();
+        // Cached program now fails against the mutated state: reported as
+        // an error, program evicted.
+        let broken = server.handle_query(0, q);
+        assert_eq!(broken.cache, CacheOutcome::ProgramHit);
+        assert!(broken.answer.starts_with("error:"));
+        assert!(server.cached_program(q, Backend::NetworkX).is_none());
+        // After the next mutation the request is a true miss: the model is
+        // consulted again and the new program succeeds.
+        server
+            .apply_mutation(&TimedEvent {
+                at_ms: 2,
+                event: NetEvent::NewEndpoint {
+                    endpoint: trafficgen::Ipv4::new(203, 0, 0, 7),
+                },
+            })
+            .unwrap();
+        let healed = server.handle_query(0, q);
+        assert_eq!(healed.cache, CacheOutcome::Miss);
+        assert_eq!(healed.answer, "13");
+    }
+
+    #[test]
+    fn failures_are_negatively_cached_and_retried_after_mutations() {
+        let mut server = Server::new(
+            live(),
+            vec![Session {
+                client: 0,
+                backend: Backend::NetworkX,
+                llm: ScriptedLlm::new(
+                    "flaky",
+                    vec![
+                        "```graphscript\nresult = G.frobnicate()\n```".to_string(),
+                        "```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
+                    ],
+                ),
+            }],
+        );
+        let q = "How many nodes are there?";
+        let bad = server.handle_query(0, q);
+        assert_eq!(bad.cache, CacheOutcome::Miss);
+        assert!(bad.answer.starts_with("error:"));
+        // Same state, same request: the error itself is the cached answer;
+        // the model is not consulted again.
+        let repeat = server.handle_query(0, q);
+        assert_eq!(repeat.cache, CacheOutcome::AnswerHit);
+        assert_eq!(repeat.answer, bad.answer);
+        // A mutation invalidates the negative entry; with no program
+        // cached, the retry consults the model for real and succeeds.
+        server
+            .apply_mutation(&TimedEvent {
+                at_ms: 1,
+                event: NetEvent::NewEndpoint {
+                    endpoint: trafficgen::Ipv4::new(203, 0, 0, 9),
+                },
+            })
+            .unwrap();
+        let good = server.handle_query(0, q);
+        assert_eq!(good.cache, CacheOutcome::Miss);
+        assert_eq!(good.answer, "11");
+        assert!(server.cached_program(q, Backend::NetworkX).is_some());
+    }
+}

@@ -1,51 +1,77 @@
 //! Connected-component algorithms.
+//!
+//! Like the traversal kernels, these walk interned [`NodeId`] adjacency
+//! slices with `Vec<bool>` visited sets and only convert to names at the
+//! public boundary; component contents and ordering are byte-identical to
+//! the historical string-set implementation.
 
 use crate::error::{GraphError, Result};
-use crate::graph::Graph;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use crate::graph::{Graph, NodeId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Id-level kernel: the component of `start` under undirected reachability,
+/// marking everything it finds in `seen`.
+fn flood_component(g: &Graph, start: NodeId, seen: &mut [bool]) -> Vec<NodeId> {
+    let mut comp = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        comp.push(u);
+        for v in g.neighbor_ids(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    comp
+}
+
+fn names_of(g: &Graph, ids: &[NodeId]) -> BTreeSet<String> {
+    ids.iter().map(|&id| g.node_name(id).to_string()).collect()
+}
 
 /// Connected components of an undirected graph (or the weakly connected
 /// components if the graph is directed), each returned as a sorted node set.
 /// Components are ordered by their smallest member so output is
 /// deterministic.
 pub fn connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
-    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut seen = vec![false; g.id_bound()];
     let mut components = Vec::new();
-    for start in g.node_ids() {
-        if seen.contains(start) {
+    for &start in g.node_id_list() {
+        if seen[start.index()] {
             continue;
         }
-        let mut comp = BTreeSet::new();
-        let mut queue = VecDeque::new();
-        queue.push_back(start.to_string());
-        comp.insert(start.to_string());
-        while let Some(u) = queue.pop_front() {
-            for v in g.neighbors(&u).unwrap_or_default() {
-                if comp.insert(v.clone()) {
-                    queue.push_back(v);
-                }
-            }
-        }
-        seen.extend(comp.iter().cloned());
-        components.push(comp);
+        let comp = flood_component(g, start, &mut seen);
+        components.push(names_of(g, &comp));
     }
     components
 }
 
 /// Number of connected (or weakly connected) components.
 pub fn number_connected_components(g: &Graph) -> usize {
-    connected_components(g).len()
+    // Count without materializing name sets.
+    let mut seen = vec![false; g.id_bound()];
+    let mut count = 0;
+    for &start in g.node_id_list() {
+        if seen[start.index()] {
+            continue;
+        }
+        flood_component(g, start, &mut seen);
+        count += 1;
+    }
+    count
 }
 
 /// The component containing `node`.
 pub fn node_component(g: &Graph, node: &str) -> Result<BTreeSet<String>> {
-    if !g.has_node(node) {
-        return Err(GraphError::NodeNotFound(node.to_string()));
-    }
-    Ok(connected_components(g)
-        .into_iter()
-        .find(|c| c.contains(node))
-        .expect("every node belongs to a component"))
+    let id = g
+        .node_id(node)
+        .ok_or_else(|| GraphError::NodeNotFound(node.to_string()))?;
+    let mut seen = vec![false; g.id_bound()];
+    let comp = flood_component(g, id, &mut seen);
+    Ok(names_of(g, &comp))
 }
 
 /// True when the graph has exactly one connected component and at least one
@@ -62,12 +88,13 @@ pub fn strongly_connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
         return connected_components(g);
     }
     // Iterative Tarjan to avoid recursion limits on the 5k-node MALT model.
-    let ids: Vec<String> = g.node_ids().map(|s| s.to_string()).collect();
-    let index_of: BTreeMap<&str, usize> = ids
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.as_str(), i))
-        .collect();
+    // Nodes are addressed by their dense position in the sorted id list;
+    // `pos_of` maps an interned id back to that position.
+    let ids: Vec<NodeId> = g.node_id_list().to_vec();
+    let mut pos_of = vec![usize::MAX; g.id_bound()];
+    for (pos, id) in ids.iter().enumerate() {
+        pos_of[id.index()] = pos;
+    }
     let n = ids.len();
     let mut index = vec![usize::MAX; n];
     let mut lowlink = vec![usize::MAX; n];
@@ -80,13 +107,12 @@ pub fn strongly_connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
         if index[start] != usize::MAX {
             continue;
         }
-        // Each frame: (node, iterator position over successors).
+        // Each frame: (node, its successor positions, iterator position).
         let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-        let succ_ids = |v: usize| -> Vec<usize> {
-            g.successors(&ids[v])
-                .unwrap_or_default()
+        let succ_positions = |v: usize| -> Vec<usize> {
+            g.successor_ids(ids[v])
                 .iter()
-                .map(|s| index_of[s.as_str()])
+                .map(|s| pos_of[s.index()])
                 .collect()
         };
         index[start] = next_index;
@@ -94,7 +120,7 @@ pub fn strongly_connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
         next_index += 1;
         stack.push(start);
         on_stack[start] = true;
-        call_stack.push((start, succ_ids(start), 0));
+        call_stack.push((start, succ_positions(start), 0));
 
         while let Some((v, succs, mut pos)) = call_stack.pop() {
             let mut descended = false;
@@ -109,7 +135,7 @@ pub fn strongly_connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
                     stack.push(w);
                     on_stack[w] = true;
                     call_stack.push((v, succs.clone(), pos));
-                    call_stack.push((w, succ_ids(w), 0));
+                    call_stack.push((w, succ_positions(w), 0));
                     descended = true;
                     break;
                 } else if on_stack[w] {
@@ -124,7 +150,7 @@ pub fn strongly_connected_components(g: &Graph) -> Vec<BTreeSet<String>> {
                 let mut comp = BTreeSet::new();
                 while let Some(w) = stack.pop() {
                     on_stack[w] = false;
-                    comp.insert(ids[w].clone());
+                    comp.insert(g.node_name(ids[w]).to_string());
                     if w == v {
                         break;
                     }
@@ -214,5 +240,17 @@ mod tests {
         let g = Graph::undirected();
         assert_eq!(number_connected_components(&g), 0);
         assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn components_survive_node_removal() {
+        // Removed ids leave holes in the id space; the Vec<bool> kernels
+        // must size by id_bound, not node count.
+        let mut g = two_islands();
+        g.remove_node("b").unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 4); // {a}, {c}, {lonely}, {x, y}
+        assert!(comps.iter().any(|c| c.contains("x") && c.contains("y")));
+        assert_eq!(node_component(&g, "a").unwrap().len(), 1);
     }
 }

@@ -1,51 +1,68 @@
 //! Breadth-first and depth-first traversal.
+//!
+//! The kernels walk interned [`NodeId`] adjacency slices with `Vec<bool>`
+//! visited sets; the public string API converts at the boundary only, so
+//! output order is byte-identical to the historical string-set
+//! implementation (adjacency slices are sorted by neighbor name, exactly
+//! the order `Graph::successors` used to yield).
 
 use crate::error::{GraphError, Result};
-use crate::graph::Graph;
+use crate::graph::{Graph, NodeId};
 use std::collections::{BTreeSet, VecDeque};
 
-/// Nodes reachable from `source` (including `source`) following edge
-/// direction, in breadth-first discovery order.
-pub fn bfs_order(g: &Graph, source: &str) -> Result<Vec<String>> {
-    if !g.has_node(source) {
-        return Err(GraphError::NodeNotFound(source.to_string()));
-    }
-    let mut seen: BTreeSet<String> = BTreeSet::new();
+fn require_node(g: &Graph, id: &str) -> Result<NodeId> {
+    g.node_id(id)
+        .ok_or_else(|| GraphError::NodeNotFound(id.to_string()))
+}
+
+/// Id-level BFS kernel: nodes reachable from `source` (including `source`)
+/// following edge direction, in breadth-first discovery order.
+pub fn bfs_order_ids(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.id_bound()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
-    seen.insert(source.to_string());
-    queue.push_back(source.to_string());
+    seen[source.index()] = true;
+    queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        order.push(u.clone());
-        for v in g.successors(&u)? {
-            if seen.insert(v.clone()) {
+        order.push(u);
+        for &v in g.successor_ids(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
                 queue.push_back(v);
             }
         }
     }
-    Ok(order)
+    order
+}
+
+/// Nodes reachable from `source` (including `source`) following edge
+/// direction, in breadth-first discovery order.
+pub fn bfs_order(g: &Graph, source: &str) -> Result<Vec<String>> {
+    let src = require_node(g, source)?;
+    Ok(bfs_order_ids(g, src)
+        .into_iter()
+        .map(|id| g.node_name(id).to_string())
+        .collect())
 }
 
 /// Nodes reachable from `source` (including `source`) in depth-first
 /// preorder. Neighbors are visited in sorted order so the result is
 /// deterministic.
 pub fn dfs_order(g: &Graph, source: &str) -> Result<Vec<String>> {
-    if !g.has_node(source) {
-        return Err(GraphError::NodeNotFound(source.to_string()));
-    }
-    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let src = require_node(g, source)?;
+    let mut seen = vec![false; g.id_bound()];
     let mut order = Vec::new();
-    let mut stack = vec![source.to_string()];
+    let mut stack = vec![src];
     while let Some(u) = stack.pop() {
-        if !seen.insert(u.clone()) {
+        if seen[u.index()] {
             continue;
         }
-        order.push(u.clone());
-        let mut next = g.successors(&u)?;
-        // Reverse so the lexicographically smallest neighbor is popped first.
-        next.reverse();
-        for v in next {
-            if !seen.contains(&v) {
+        seen[u.index()] = true;
+        order.push(g.node_name(u).to_string());
+        // Reverse so the lexicographically smallest neighbor is popped
+        // first (successor slices are sorted by name).
+        for &v in g.successor_ids(u).iter().rev() {
+            if !seen[v.index()] {
                 stack.push(v);
             }
         }
@@ -62,20 +79,50 @@ pub fn descendants(g: &Graph, source: &str) -> Result<BTreeSet<String>> {
 }
 
 /// All nodes that can reach `target`, excluding `target` itself
-/// (NetworkX `ancestors`).
+/// (NetworkX `ancestors`). Walks predecessor slices directly instead of
+/// materializing a reversed copy of the graph.
 pub fn ancestors(g: &Graph, target: &str) -> Result<BTreeSet<String>> {
-    let rev = g.reverse();
-    let mut set: BTreeSet<String> = bfs_order(&rev, target)?.into_iter().collect();
-    set.remove(target);
+    let tgt = require_node(g, target)?;
+    let mut seen = vec![false; g.id_bound()];
+    let mut queue = VecDeque::new();
+    let mut set = BTreeSet::new();
+    seen[tgt.index()] = true;
+    queue.push_back(tgt);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.predecessor_ids(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                set.insert(g.node_name(v).to_string());
+                queue.push_back(v);
+            }
+        }
+    }
     Ok(set)
 }
 
 /// True when `target` is reachable from `source` following edge direction.
 pub fn has_path(g: &Graph, source: &str, target: &str) -> Result<bool> {
-    if !g.has_node(target) {
-        return Err(GraphError::NodeNotFound(target.to_string()));
+    let tgt = require_node(g, target)?;
+    let src = require_node(g, source)?;
+    if src == tgt {
+        return Ok(true);
     }
-    Ok(bfs_order(g, source)?.iter().any(|n| n == target))
+    let mut seen = vec![false; g.id_bound()];
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.successor_ids(u) {
+            if v == tgt {
+                return Ok(true);
+            }
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -125,6 +172,7 @@ mod tests {
         assert!(has_path(&g, "a", "d").unwrap());
         assert!(!has_path(&g, "d", "a").unwrap());
         assert!(!has_path(&g, "a", "e").unwrap());
+        assert!(has_path(&g, "e", "e").unwrap());
     }
 
     #[test]
@@ -133,5 +181,19 @@ mod tests {
         g.add_edge("a", "b", AttrMap::new());
         g.add_edge("c", "b", AttrMap::new());
         assert_eq!(bfs_order(&g, "c").unwrap(), vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn id_kernel_matches_string_api_after_removals() {
+        let mut g = chain();
+        g.remove_node("c").unwrap();
+        g.add_edge("b", "d", AttrMap::new());
+        let names = bfs_order(&g, "a").unwrap();
+        assert_eq!(names, vec!["a", "b", "d"]);
+        let ids: Vec<&str> = bfs_order_ids(&g, g.node_id("a").unwrap())
+            .into_iter()
+            .map(|id| g.node_name(id))
+            .collect();
+        assert_eq!(ids, names);
     }
 }

@@ -165,6 +165,15 @@ impl Graph {
         self.sorted_ids()
     }
 
+    /// Exclusive upper bound on [`NodeId`] indices ever issued by this graph
+    /// (including removed nodes). Sized `Vec<bool>` visited sets — the
+    /// allocation the id-level algorithm kernels use instead of name sets —
+    /// index safely with any id below this bound.
+    #[inline]
+    pub fn id_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
     #[inline]
     fn invalidate_sorted(&mut self) {
         self.sorted.take();

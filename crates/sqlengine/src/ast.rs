@@ -13,6 +13,9 @@ pub enum Statement {
     Insert(InsertStmt),
     /// `DELETE FROM table [WHERE ...]`
     Delete(DeleteStmt),
+    /// `EXPLAIN <stmt>` — pretty-prints the compiled plan instead of
+    /// executing the inner statement.
+    Explain(Box<Statement>),
 }
 
 /// A `SELECT` statement.

@@ -22,6 +22,7 @@ impl fmt::Display for Statement {
             Statement::Update(s) => write!(f, "{s}"),
             Statement::Insert(s) => write!(f, "{s}"),
             Statement::Delete(s) => write!(f, "{s}"),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
         }
     }
 }

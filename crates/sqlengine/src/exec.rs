@@ -28,7 +28,135 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<QueryRes
         Statement::Update(s) => Ok(QueryResult::Affected(execute_update(db, s)?)),
         Statement::Insert(s) => Ok(QueryResult::Affected(execute_insert(db, s)?)),
         Statement::Delete(s) => Ok(QueryResult::Affected(execute_delete(db, s)?)),
+        Statement::Explain(inner) => Ok(QueryResult::Rows(explain_statement(db, inner)?)),
     }
+}
+
+// ----------------------------------------------------------------- explain
+
+/// Renders the compiled execution plan of a statement — the `EXPLAIN`
+/// output — as a single-column `plan` frame, one line per plan step.
+///
+/// The plan reflects what the executor will actually do: it compiles the
+/// statement against the real table schemas, so a join line says `hash
+/// equi-join` exactly when [`equi_key_slots`] recognizes the `ON` clause
+/// (the executor still falls back to a nested loop at runtime if a key
+/// value is not exactly hashable — see [`ValueKey`]), and a single-table
+/// `WHERE` is reported as pushed down to the scan because that is where the
+/// compiled predicate runs.
+pub fn explain_statement(db: &Database, stmt: &Statement) -> Result<DataFrame> {
+    let mut lines = Vec::new();
+    explain_lines(db, stmt, &mut lines)?;
+    let column: Column = lines
+        .iter()
+        .map(|l| AttrValue::Str(l.as_str().into()))
+        .collect();
+    DataFrame::from_columns(vec![("plan".to_string(), column)])
+        .map_err(|e| SqlError::Execution(e.to_string()))
+}
+
+fn comma_list<T: std::fmt::Display>(items: &[T]) -> String {
+    items
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn explain_lines(db: &Database, stmt: &Statement, lines: &mut Vec<String>) -> Result<()> {
+    match stmt {
+        Statement::Explain(inner) => explain_lines(db, inner, lines)?,
+        Statement::Select(s) => {
+            lines.push("select".to_string());
+            let base = db.table(&s.from.name)?;
+            let mut schema = Schema::from_table(base, &s.from);
+            lines.push(format!("  scan {}", s.from));
+            if s.joins.is_empty() {
+                if let Some(pred) = &s.where_clause {
+                    lines.push(format!("  where (pushed down to scan): {pred}"));
+                }
+            } else {
+                for join in &s.joins {
+                    let right = db.table(&join.table.name)?;
+                    let right_schema = Schema::from_table(right, &join.table);
+                    let left_width = schema.width();
+                    let mut combined = schema;
+                    combined.columns.extend(right_schema.columns);
+                    let on = compile(&combined, &join.on);
+                    let strategy = if equi_key_slots(&on, left_width).is_some() {
+                        "hash equi-join"
+                    } else {
+                        "nested-loop join"
+                    };
+                    let kind = match join.kind {
+                        JoinKind::Inner => "",
+                        JoinKind::Left => "left ",
+                    };
+                    lines.push(format!("  {kind}{strategy} {} ON {}", join.table, join.on));
+                    schema = combined;
+                }
+                if let Some(pred) = &s.where_clause {
+                    lines.push(format!("  where (post-join filter): {pred}"));
+                }
+            }
+            let has_aggregates = s.items.iter().any(|i| match i {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Wildcard => false,
+            }) || s
+                .having
+                .as_ref()
+                .map(Expr::contains_aggregate)
+                .unwrap_or(false);
+            if !s.group_by.is_empty() {
+                lines.push(format!("  group by (hash): {}", comma_list(&s.group_by)));
+            } else if has_aggregates {
+                lines.push("  aggregate: single group".to_string());
+            }
+            if let Some(having) = &s.having {
+                lines.push(format!("  having: {having}"));
+            }
+            lines.push(format!("  project: {}", comma_list(&s.items)));
+            if s.distinct {
+                lines.push("  distinct".to_string());
+            }
+            if !s.order_by.is_empty() {
+                lines.push(format!("  order by: {}", comma_list(&s.order_by)));
+            }
+            if let Some(limit) = s.limit {
+                lines.push(format!("  limit: {limit}"));
+            }
+        }
+        Statement::Update(s) => {
+            db.table(&s.table)?;
+            lines.push(format!("update {}", s.table));
+            for (column, value) in &s.assignments {
+                lines.push(format!("  set {column} = {value}"));
+            }
+            match &s.where_clause {
+                Some(pred) => lines.push(format!("  where: {pred}")),
+                None => lines.push("  all rows".to_string()),
+            }
+        }
+        Statement::Insert(s) => {
+            db.table(&s.table)?;
+            lines.push(format!("insert into {}", s.table));
+            if s.columns.is_empty() {
+                lines.push("  columns: (table order)".to_string());
+            } else {
+                lines.push(format!("  columns: {}", s.columns.join(", ")));
+            }
+            lines.push(format!("  values: {} row(s)", s.rows.len()));
+        }
+        Statement::Delete(s) => {
+            db.table(&s.table)?;
+            lines.push(format!("delete from {}", s.table));
+            match &s.where_clause {
+                Some(pred) => lines.push(format!("  where: {pred}")),
+                None => lines.push("  all rows".to_string()),
+            }
+        }
+    }
+    Ok(())
 }
 
 // ------------------------------------------------------------------ schema

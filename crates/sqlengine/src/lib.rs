@@ -18,6 +18,9 @@
 //! * `LIKE` / `IN` / `BETWEEN` / `IS [NOT] NULL` / `CASE WHEN`
 //! * `UPDATE ... SET ... [WHERE ...]`, `INSERT INTO ... VALUES ...`,
 //!   `DELETE FROM ... [WHERE ...]`
+//! * `EXPLAIN <stmt>` — returns the compiled plan (scan vs hash equi-join
+//!   vs nested loop, pushed-down `WHERE`, grouping and ordering steps) as a
+//!   one-column `plan` result set instead of executing the statement
 //!
 //! ```
 //! use sqlengine::Database;
@@ -48,7 +51,7 @@ mod token;
 
 pub use database::{Database, QueryResult};
 pub use error::{Result, SqlError};
-pub use exec::execute_statement;
+pub use exec::{execute_statement, explain_statement};
 pub use lexer::tokenize;
 pub use parser::{parse_statement, parse_statements};
 pub use token::{Token, TokenKind};

@@ -124,6 +124,13 @@ impl Parser {
             TokenKind::Keyword(k) if k == "UPDATE" => Ok(Statement::Update(self.update()?)),
             TokenKind::Keyword(k) if k == "INSERT" => Ok(Statement::Insert(self.insert()?)),
             TokenKind::Keyword(k) if k == "DELETE" => Ok(Statement::Delete(self.delete()?)),
+            TokenKind::Keyword(k) if k == "EXPLAIN" => {
+                self.advance();
+                if self.is_keyword("EXPLAIN") {
+                    return self.error("EXPLAIN cannot be nested");
+                }
+                Ok(Statement::Explain(Box::new(self.statement()?)))
+            }
             other => self.error(format!("expected a statement, found {other}")),
         }
     }

@@ -93,7 +93,7 @@ pub const KEYWORDS: &[&str] = &[
     "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC",
     "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IN", "LIKE", "BETWEEN",
     "IS", "JOIN", "INNER", "LEFT", "ON", "UPDATE", "SET", "INSERT", "INTO", "VALUES", "DELETE",
-    "CREATE", "TABLE", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "CREATE", "TABLE", "CASE", "WHEN", "THEN", "ELSE", "END", "EXPLAIN",
 ];
 
 /// True if `word` is a reserved keyword (case-insensitive).

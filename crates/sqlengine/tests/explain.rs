@@ -1,0 +1,198 @@
+//! Golden-output tests for `EXPLAIN`: the rendered plan is part of the
+//! engine's contract (operators read it to see whether a join hashed or
+//! looped and where a predicate runs), so these pin exact line-by-line
+//! output.
+
+use dataframe::{Column, DataFrame};
+use sqlengine::{parse_statement, Database};
+
+fn traffic_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "nodes",
+        DataFrame::from_columns(vec![
+            ("id".to_string(), Column::from_values(["a", "b", "c"])),
+            (
+                "prefix16".to_string(),
+                Column::from_values(["15.76", "15.76", "10.2"]),
+            ),
+        ])
+        .unwrap(),
+    );
+    db.create_table(
+        "edges",
+        DataFrame::from_columns(vec![
+            ("source".to_string(), Column::from_values(["a", "b"])),
+            ("target".to_string(), Column::from_values(["b", "c"])),
+            ("bytes".to_string(), Column::from_values([10i64, 20])),
+        ])
+        .unwrap(),
+    );
+    db
+}
+
+fn plan_lines(db: &mut Database, sql: &str) -> Vec<String> {
+    let result = db.execute(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    let frame = result.rows().expect("EXPLAIN returns rows");
+    assert_eq!(frame.column_names(), vec!["plan"]);
+    (0..frame.n_rows())
+        .map(|i| {
+            frame
+                .value(i, "plan")
+                .unwrap()
+                .as_str()
+                .expect("plan lines are strings")
+                .to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn explain_scan_with_pushed_down_where() {
+    let mut db = traffic_db();
+    let lines = plan_lines(
+        &mut db,
+        "EXPLAIN SELECT id FROM nodes WHERE prefix16 LIKE '15.%' ORDER BY id LIMIT 2",
+    );
+    assert_eq!(
+        lines,
+        vec![
+            "select",
+            "  scan nodes",
+            "  where (pushed down to scan): (prefix16 LIKE '15.%')",
+            "  project: id",
+            "  order by: id ASC",
+            "  limit: 2",
+        ]
+    );
+}
+
+#[test]
+fn explain_hash_equi_join_with_grouping() {
+    let mut db = traffic_db();
+    let lines = plan_lines(
+        &mut db,
+        "EXPLAIN SELECT n.prefix16, SUM(e.bytes) AS total FROM edges e \
+         JOIN nodes n ON e.source = n.id WHERE e.bytes > 5 \
+         GROUP BY n.prefix16 HAVING SUM(e.bytes) > 10 ORDER BY total DESC",
+    );
+    assert_eq!(
+        lines,
+        vec![
+            "select",
+            "  scan edges AS e",
+            "  hash equi-join nodes AS n ON (e.source = n.id)",
+            "  where (post-join filter): (e.bytes > 5)",
+            "  group by (hash): n.prefix16",
+            "  having: (SUM(e.bytes) > 10)",
+            "  project: n.prefix16, SUM(e.bytes) AS total",
+            "  order by: total DESC",
+        ]
+    );
+}
+
+#[test]
+fn explain_non_equi_join_is_a_nested_loop() {
+    let mut db = traffic_db();
+    let lines = plan_lines(
+        &mut db,
+        "EXPLAIN SELECT * FROM edges e LEFT JOIN nodes n ON e.bytes > 15",
+    );
+    assert_eq!(
+        lines,
+        vec![
+            "select",
+            "  scan edges AS e",
+            "  left nested-loop join nodes AS n ON (e.bytes > 15)",
+            "  project: *",
+        ]
+    );
+}
+
+#[test]
+fn explain_implicit_aggregation_and_distinct() {
+    let mut db = traffic_db();
+    let lines = plan_lines(&mut db, "EXPLAIN SELECT COUNT(*) AS n FROM edges");
+    assert_eq!(
+        lines,
+        vec![
+            "select",
+            "  scan edges",
+            "  aggregate: single group",
+            "  project: COUNT(*) AS n",
+        ]
+    );
+    let lines = plan_lines(&mut db, "EXPLAIN SELECT DISTINCT prefix16 FROM nodes");
+    assert_eq!(
+        lines,
+        vec![
+            "select",
+            "  scan nodes",
+            "  project: prefix16",
+            "  distinct",
+        ]
+    );
+}
+
+#[test]
+fn explain_mutations() {
+    let mut db = traffic_db();
+    let lines = plan_lines(
+        &mut db,
+        "EXPLAIN UPDATE nodes SET prefix16 = '0.0' WHERE id = 'a'",
+    );
+    assert_eq!(
+        lines,
+        vec![
+            "update nodes",
+            "  set prefix16 = '0.0'",
+            "  where: (id = 'a')",
+        ]
+    );
+    let lines = plan_lines(&mut db, "EXPLAIN DELETE FROM edges");
+    assert_eq!(lines, vec!["delete from edges", "  all rows"]);
+    let lines = plan_lines(
+        &mut db,
+        "EXPLAIN INSERT INTO nodes (id, prefix16) VALUES ('d', '10.3'), ('e', '10.3')",
+    );
+    assert_eq!(
+        lines,
+        vec![
+            "insert into nodes",
+            "  columns: id, prefix16",
+            "  values: 2 row(s)",
+        ]
+    );
+}
+
+#[test]
+fn explain_does_not_execute_the_statement() {
+    let mut db = traffic_db();
+    plan_lines(&mut db, "EXPLAIN DELETE FROM edges");
+    let count = db
+        .execute("SELECT COUNT(*) AS n FROM edges")
+        .unwrap()
+        .rows()
+        .unwrap()
+        .value(0, "n")
+        .unwrap()
+        .as_i64();
+    assert_eq!(count, Some(2));
+}
+
+#[test]
+fn explain_errors_on_unknown_tables_and_nesting() {
+    let mut db = traffic_db();
+    assert!(db.execute("EXPLAIN SELECT * FROM ghosts").is_err());
+    assert!(db.execute("EXPLAIN EXPLAIN SELECT * FROM nodes").is_err());
+}
+
+#[test]
+fn explain_display_round_trips_through_the_parser() {
+    let sql = "EXPLAIN SELECT source, SUM(bytes) AS total FROM edges \
+               GROUP BY source ORDER BY total DESC LIMIT 3";
+    let ast = parse_statement(sql).unwrap();
+    let printed = ast.to_string();
+    assert!(printed.starts_with("EXPLAIN SELECT"));
+    assert_eq!(parse_statement(&printed).unwrap(), ast);
+}

@@ -2,6 +2,7 @@
 //! benchmark evaluates: a property graph (NetworkX approach), node/edge
 //! dataframes (pandas approach) and node/edge tables (SQL approach).
 
+use crate::flow::Flow;
 use crate::generator::TrafficWorkload;
 use crate::ip::Ipv4;
 use dataframe::{Column, DataFrame};
@@ -164,6 +165,78 @@ pub fn to_database(workload: &TrafficWorkload) -> Database {
     db
 }
 
+/// One edge-frame row for a flow, in [`to_frames`] column order
+/// (`source`, `target`, `bytes`, `connections`, `packets`).
+pub fn flow_row(flow: &Flow) -> Vec<AttrValue> {
+    flow_row_parts(
+        &flow.source.to_string_dotted(),
+        &flow.target.to_string_dotted(),
+        flow.bytes as i64,
+        flow.connections as i64,
+        flow.packets as i64,
+    )
+}
+
+/// [`flow_row`] from already-rendered parts — the single place the edge
+/// schema's column order lives, shared with callers (the live serving
+/// layer) that hold string ids rather than parsed addresses.
+pub fn flow_row_parts(
+    source: &str,
+    target: &str,
+    bytes: i64,
+    connections: i64,
+    packets: i64,
+) -> Vec<AttrValue> {
+    vec![
+        AttrValue::Str(source.into()),
+        AttrValue::Str(target.into()),
+        AttrValue::Int(bytes),
+        AttrValue::Int(connections),
+        AttrValue::Int(packets),
+    ]
+}
+
+/// One node-frame row for an endpoint, in [`to_frames`] column order
+/// (`id`, `prefix16`, `prefix24`, `label`, `color`).
+pub fn endpoint_row(ip: &Ipv4) -> Vec<AttrValue> {
+    endpoint_row_parts(&ip.to_string_dotted(), &ip.prefix(2), &ip.prefix(3))
+}
+
+/// [`endpoint_row`] from already-rendered parts; the `label`/`color`
+/// annotation cells start empty, exactly as [`to_frames`] exports them.
+pub fn endpoint_row_parts(id: &str, prefix16: &str, prefix24: &str) -> Vec<AttrValue> {
+    vec![
+        AttrValue::Str(id.into()),
+        AttrValue::Str(prefix16.into()),
+        AttrValue::Str(prefix24.into()),
+        AttrValue::Str("".into()),
+        AttrValue::Str("".into()),
+    ]
+}
+
+/// Appends edge-frame rows for `flows` to an existing edge frame in place —
+/// the incremental export path. Historically every export rebuilt the full
+/// table; a serving loop that appends a handful of flows per epoch only
+/// pays for the new rows.
+pub fn append_flows(edges: &mut DataFrame, flows: &[Flow]) {
+    for flow in flows {
+        edges
+            .push_row(flow_row(flow))
+            .expect("flow rows match the edge-frame schema");
+    }
+}
+
+/// Builds the edge frame holding only `workload.flows[from..]` — what an
+/// exporter that already shipped the first `from` flows still owes. The
+/// schema matches [`to_frames`]; `to_frames(w).1` equals the `from = 0`
+/// frame.
+pub fn export_flows_since(workload: &TrafficWorkload, from: usize) -> DataFrame {
+    let names = ["source", "target", "bytes", "connections", "packets"];
+    let from = from.min(workload.flows.len());
+    let rows: Vec<Vec<AttrValue>> = workload.flows[from..].iter().map(flow_row).collect();
+    DataFrame::from_rows(&names, rows).expect("flow rows are uniform")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +296,44 @@ mod tests {
             .execute("SELECT COUNT(*) AS n FROM nodes WHERE id LIKE '15.76%'")
             .unwrap();
         assert!(out.rows().unwrap().value(0, "n").unwrap().as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn incremental_flow_export_matches_full_export() {
+        let w = workload();
+        let (_, full) = to_frames(&w);
+        // Export the first 25 flows, then append the remaining 15
+        // incrementally: the result must equal the one-shot full export.
+        let prefix = TrafficWorkload {
+            flows: w.flows[..25].to_vec(),
+            ..w.clone()
+        };
+        let (_, mut incremental) = to_frames(&prefix);
+        append_flows(&mut incremental, &w.flows[25..]);
+        assert_eq!(incremental.n_rows(), full.n_rows());
+        assert!(incremental.approx_eq(&full));
+
+        // export_flows_since produces exactly the still-owed tail.
+        let tail = export_flows_since(&w, 25);
+        assert_eq!(tail.n_rows(), 15);
+        assert_eq!(tail.column_names(), full.column_names());
+        assert!(export_flows_since(&w, 0).approx_eq(&full));
+        assert_eq!(export_flows_since(&w, 10_000).n_rows(), 0);
+    }
+
+    #[test]
+    fn endpoint_rows_match_node_frame_schema() {
+        let w = workload();
+        let (mut nodes, _) = to_frames(&w);
+        let before = nodes.n_rows();
+        nodes
+            .push_row(endpoint_row(&crate::ip::Ipv4::new(203, 0, 0, 1)))
+            .unwrap();
+        assert_eq!(nodes.n_rows(), before + 1);
+        assert_eq!(
+            nodes.value(before, "prefix24").unwrap().as_str(),
+            Some("203.0.0")
+        );
     }
 
     #[test]

@@ -27,8 +27,10 @@ mod flow;
 mod generator;
 mod ip;
 pub mod stats;
+pub mod stream;
 
 pub use flow::Flow;
 pub use generator::{generate, TrafficConfig, TrafficWorkload};
 pub use ip::{prefix_of, Ipv4};
 pub use stats::{summarize, TrafficStats};
+pub use stream::{evolve, NetEvent, StreamConfig, TimedEvent};

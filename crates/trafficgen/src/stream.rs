@@ -1,0 +1,320 @@
+//! Deterministic timestamped mutation streams: how a communication graph
+//! *changes* over time.
+//!
+//! The paper's pipeline answers queries over a frozen snapshot; the serving
+//! layer (`nemo-serve`) needs the network to keep evolving underneath it.
+//! [`evolve`] extends a generated [`TrafficWorkload`] with a stream of
+//! timestamped network events — new endpoints appearing, new flows starting,
+//! existing flows changing volume or ending, endpoints being relabelled —
+//! that is a pure function of `(workload, config)`: equal inputs produce
+//! byte-identical streams, which is what makes write-ahead-log replay and
+//! the multi-client load driver reproducible.
+
+use crate::flow::Flow;
+use crate::generator::TrafficWorkload;
+use crate::ip::Ipv4;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration of one mutation stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Number of events to generate.
+    pub events: usize,
+    /// RNG seed; equal seeds produce identical streams over the same
+    /// workload.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            events: 64,
+            seed: 77,
+        }
+    }
+}
+
+/// One network change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetEvent {
+    /// A previously unseen endpoint joins the network.
+    NewEndpoint {
+        /// The new endpoint's address.
+        endpoint: Ipv4,
+    },
+    /// A new flow starts between two live endpoints (the pair was not
+    /// already flowing).
+    NewFlow {
+        /// The flow record, including its weights.
+        flow: Flow,
+    },
+    /// An existing flow's weights change (re-measured volume).
+    AdjustFlow {
+        /// Updated flow record for an already-flowing endpoint pair.
+        flow: Flow,
+    },
+    /// An existing flow ends.
+    DropFlow {
+        /// Source endpoint of the ended flow.
+        source: Ipv4,
+        /// Target endpoint of the ended flow.
+        target: Ipv4,
+    },
+    /// An endpoint's `label` annotation changes.
+    Relabel {
+        /// The relabelled endpoint.
+        endpoint: Ipv4,
+        /// The new label text.
+        label: String,
+    },
+}
+
+/// A network change stamped with the (synthetic, monotonically increasing)
+/// millisecond at which it was observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Milliseconds since the stream started; strictly increasing.
+    pub at_ms: u64,
+    /// The change itself.
+    pub event: NetEvent,
+}
+
+/// Generates a deterministic timestamped event stream continuing a
+/// workload.
+///
+/// The stream tracks the evolving endpoint population and live flow set so
+/// every event is applicable in order: `NewFlow` never duplicates a live
+/// pair (the graph substrate would merge it), `AdjustFlow` / `DropFlow`
+/// always name a live pair, and `NewEndpoint` never reuses an address.
+pub fn evolve(workload: &TrafficWorkload, config: &StreamConfig) -> Vec<TimedEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_57ea_4000_0000);
+    let mut endpoints: Vec<Ipv4> = workload.endpoints.clone();
+    let mut known: BTreeSet<Ipv4> = endpoints.iter().copied().collect();
+    // Live flows in a deterministic order so removal/adjustment picks are
+    // reproducible.
+    let mut live: Vec<(Ipv4, Ipv4)> = workload
+        .flows
+        .iter()
+        .map(|f| (f.source, f.target))
+        .collect();
+    let mut live_set: BTreeSet<(Ipv4, Ipv4)> = live.iter().copied().collect();
+
+    let mut out = Vec::with_capacity(config.events);
+    let mut clock_ms = 0u64;
+    let mut next_new_host = 0u32;
+    while out.len() < config.events {
+        clock_ms += rng.gen_range(1..=40u64);
+        let roll = rng.gen_range(0..100u32);
+        let event = if roll < 10 {
+            // A fresh endpoint from a reserved prefix (203.x) the
+            // generator's pool never allocates, so collisions with
+            // existing addresses are impossible; spreading the counter
+            // over the second octet keeps ~16M synthesized addresses
+            // unique before any wrap.
+            let ip = Ipv4::new(
+                203,
+                (next_new_host / 62_500) as u8,
+                ((next_new_host / 250) % 250) as u8,
+                (next_new_host % 250 + 1) as u8,
+            );
+            next_new_host += 1;
+            known.insert(ip);
+            endpoints.push(ip);
+            NetEvent::NewEndpoint { endpoint: ip }
+        } else if roll < 55 {
+            match random_fresh_pair(&mut rng, &endpoints, &live_set) {
+                Some((s, t)) => {
+                    live.push((s, t));
+                    live_set.insert((s, t));
+                    NetEvent::NewFlow {
+                        flow: random_flow(&mut rng, s, t),
+                    }
+                }
+                None => continue,
+            }
+        } else if roll < 75 {
+            if live.is_empty() {
+                continue;
+            }
+            let (s, t) = live[rng.gen_range(0..live.len())];
+            NetEvent::AdjustFlow {
+                flow: random_flow(&mut rng, s, t),
+            }
+        } else if roll < 85 {
+            if live.is_empty() {
+                continue;
+            }
+            let idx = rng.gen_range(0..live.len());
+            let (s, t) = live.remove(idx);
+            live_set.remove(&(s, t));
+            NetEvent::DropFlow {
+                source: s,
+                target: t,
+            }
+        } else {
+            if endpoints.is_empty() {
+                continue;
+            }
+            let endpoint = endpoints[rng.gen_range(0..endpoints.len())];
+            let label = format!("app:tier-{}", rng.gen_range(0..5u32));
+            NetEvent::Relabel { endpoint, label }
+        };
+        out.push(TimedEvent {
+            at_ms: clock_ms,
+            event,
+        });
+    }
+    out
+}
+
+fn random_flow(rng: &mut StdRng, source: Ipv4, target: Ipv4) -> Flow {
+    let packets: u64 = rng.gen_range(1..=10_000);
+    Flow {
+        source,
+        target,
+        bytes: packets * rng.gen_range(64u64..=1500),
+        connections: rng.gen_range(1..=64),
+        packets,
+    }
+}
+
+/// Picks a random ordered endpoint pair that is not currently flowing; a
+/// bounded number of attempts keeps dense graphs from looping forever.
+fn random_fresh_pair(
+    rng: &mut StdRng,
+    endpoints: &[Ipv4],
+    live: &BTreeSet<(Ipv4, Ipv4)>,
+) -> Option<(Ipv4, Ipv4)> {
+    if endpoints.len() < 2 {
+        return None;
+    }
+    for _ in 0..32 {
+        let s = endpoints[rng.gen_range(0..endpoints.len())];
+        let t = endpoints[rng.gen_range(0..endpoints.len())];
+        if s != t && !live.contains(&(s, t)) {
+            return Some((s, t));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TrafficConfig};
+
+    fn workload() -> TrafficWorkload {
+        generate(&TrafficConfig {
+            nodes: 24,
+            edges: 30,
+            prefixes: 3,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let w = workload();
+        let cfg = StreamConfig {
+            events: 100,
+            seed: 9,
+        };
+        assert_eq!(evolve(&w, &cfg), evolve(&w, &cfg));
+        let other = evolve(
+            &w,
+            &StreamConfig {
+                events: 100,
+                seed: 10,
+            },
+        );
+        assert_ne!(evolve(&w, &cfg), other);
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let events = evolve(&workload(), &StreamConfig::default());
+        assert_eq!(events.len(), StreamConfig::default().events);
+        for pair in events.windows(2) {
+            assert!(pair[0].at_ms < pair[1].at_ms);
+        }
+    }
+
+    #[test]
+    fn events_are_applicable_in_order() {
+        let w = workload();
+        let events = evolve(
+            &w,
+            &StreamConfig {
+                events: 200,
+                seed: 3,
+            },
+        );
+        let mut known: BTreeSet<Ipv4> = w.endpoints.iter().copied().collect();
+        let mut live: BTreeSet<(Ipv4, Ipv4)> =
+            w.flows.iter().map(|f| (f.source, f.target)).collect();
+        for e in &events {
+            match &e.event {
+                NetEvent::NewEndpoint { endpoint } => {
+                    assert!(!w.endpoints.contains(endpoint), "address collision");
+                    known.insert(*endpoint);
+                }
+                NetEvent::NewFlow { flow } => {
+                    assert!(known.contains(&flow.source) && known.contains(&flow.target));
+                    assert_ne!(flow.source, flow.target);
+                    assert!(live.insert((flow.source, flow.target)), "duplicate flow");
+                }
+                NetEvent::AdjustFlow { flow } => {
+                    assert!(live.contains(&(flow.source, flow.target)));
+                }
+                NetEvent::DropFlow { source, target } => {
+                    assert!(live.remove(&(*source, *target)));
+                }
+                NetEvent::Relabel { endpoint, .. } => {
+                    assert!(known.contains(endpoint));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_endpoints_stay_unique_across_many_events() {
+        // ~10% of events are NewEndpoint; 6000 events exercise well past
+        // one third-octet block (250 addresses) without collisions.
+        let events = evolve(
+            &workload(),
+            &StreamConfig {
+                events: 6_000,
+                seed: 4,
+            },
+        );
+        let mut seen = BTreeSet::new();
+        let mut count = 0u32;
+        for e in &events {
+            if let NetEvent::NewEndpoint { endpoint } = &e.event {
+                assert!(seen.insert(*endpoint), "duplicate {endpoint:?}");
+                assert_eq!(endpoint.0[0], 203);
+                count += 1;
+            }
+        }
+        assert!(count > 300, "only {count} new endpoints generated");
+    }
+
+    #[test]
+    fn stream_mixes_event_kinds() {
+        let events = evolve(
+            &workload(),
+            &StreamConfig {
+                events: 300,
+                seed: 1,
+            },
+        );
+        let count = |pred: fn(&NetEvent) -> bool| events.iter().filter(|e| pred(&e.event)).count();
+        assert!(count(|e| matches!(e, NetEvent::NewFlow { .. })) > 0);
+        assert!(count(|e| matches!(e, NetEvent::AdjustFlow { .. })) > 0);
+        assert!(count(|e| matches!(e, NetEvent::DropFlow { .. })) > 0);
+        assert!(count(|e| matches!(e, NetEvent::Relabel { .. })) > 0);
+        assert!(count(|e| matches!(e, NetEvent::NewEndpoint { .. })) > 0);
+    }
+}
