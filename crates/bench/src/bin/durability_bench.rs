@@ -1,0 +1,369 @@
+//! Durability benchmark + crash/recovery driver for the persistent
+//! serving layer (`nemo-serve::persist` over `nemo-store`).
+//!
+//! Usage:
+//!
+//! ```text
+//! durability_bench [--pr pr5] [--out BENCH_pr5.json]
+//! durability_bench --dir <store> --transcript <file>     # run (or resume) and write transcript
+//! durability_bench --dir <store> --crash-at <k>          # run and crash mid-stream (exit 3)
+//! ```
+//!
+//! The default mode records, into the `nemo-perf-report/v1` schema:
+//!
+//! * `durable_apply_ms` — per-mutation apply latency, in-memory only
+//!   (`before`) vs durably logged with `fsync: Never` (`after`): the pure
+//!   logging overhead.
+//! * `durable_apply_fsync_{never,batch,record}_mps` — sustained
+//!   mutation-apply throughput under each fsync policy.
+//! * `durable_recovery_ms` / `durable_recovery_mps` — wall time to rebuild
+//!   the state from snapshot + WAL suffix, and records replayed per
+//!   second.
+//!
+//! The transcript modes drive `nemo_serve::durability`: the *same*
+//! `--transcript` command transparently resumes after a `--crash-at` run
+//! (recovery is implicit), and CI `cmp`s the resumed transcript against an
+//! uninterrupted one at `NEMO_THREADS=1` and `4`.
+
+use nemo_bench::perf::{self, Measurement};
+use nemo_bench::pool;
+use nemo_serve::durability::{self, DurabilityConfig};
+use nemo_serve::persist::{FsyncPolicy, PersistOptions, Persistence};
+use nemo_serve::LiveNetwork;
+use netgraph::json::JsonValue;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+use trafficgen::{evolve, generate, StreamConfig, TimedEvent, TrafficConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: durability_bench [--pr <tag>] [--out <file>]\n\
+         \u{20}      durability_bench --dir <store> --transcript <file>\n\
+         \u{20}      durability_bench --dir <store> --crash-at <epoch>"
+    );
+    ExitCode::FAILURE
+}
+
+struct BenchSizes {
+    events: usize,
+    recovery_rounds: usize,
+}
+
+impl BenchSizes {
+    fn from_env() -> Self {
+        if std::env::var("NEMO_SMALL").is_ok() {
+            BenchSizes {
+                events: 150,
+                recovery_rounds: 3,
+            }
+        } else {
+            BenchSizes {
+                events: 1500,
+                recovery_rounds: 5,
+            }
+        }
+    }
+}
+
+fn bench_options(fsync: FsyncPolicy) -> PersistOptions {
+    PersistOptions {
+        fsync,
+        segment_max_bytes: 64 << 10,
+        snapshot_every_bytes: 256 << 10,
+        snapshot_every_epochs: 1024,
+        keep_snapshots: 2,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nemo-durability-bench-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Applies the whole stream, one persistence handle, one latency sample
+/// per mutation. `sync_every` marks batch boundaries (0 = never).
+fn timed_apply(
+    stream: &[TimedEvent],
+    live: &mut LiveNetwork,
+    persistence: &mut Persistence,
+    sync_every: usize,
+) -> Vec<f64> {
+    let mut samples = Vec::with_capacity(stream.len());
+    for (i, event) in stream.iter().enumerate() {
+        let start = Instant::now();
+        live.apply_event_persisted(event, persistence)
+            .expect("stream events apply cleanly");
+        if sync_every > 0 && (i + 1) % sync_every == 0 {
+            persistence.sync().expect("batch fsync");
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples
+}
+
+fn mps(samples: &[f64]) -> f64 {
+    let total_ms: f64 = samples.iter().sum();
+    if total_ms <= 0.0 {
+        0.0
+    } else {
+        samples.len() as f64 * 1e3 / total_ms
+    }
+}
+
+/// Patches the auto-filled `ms` unit on throughput entries.
+fn set_unit(report: &mut JsonValue, name: &str, unit: &str) {
+    if let JsonValue::Object(root) = report {
+        if let Some(JsonValue::Array(entries)) = root.get_mut("entries") {
+            for entry in entries {
+                if let JsonValue::Object(obj) = entry {
+                    if obj.get("name") == Some(&JsonValue::String(name.to_string())) {
+                        obj.insert("unit".to_string(), JsonValue::String(unit.to_string()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_transcript(dir: &Path, path: &str, crash_at: Option<u64>) -> ExitCode {
+    let config = DurabilityConfig::from_env();
+    let threads = pool::thread_count();
+    eprintln!(
+        "[durability] {} clients x {} events on {} worker thread(s){}",
+        config.clients,
+        config.events,
+        threads,
+        crash_at.map_or(String::new(), |k| format!(", crashing near epoch {k}")),
+    );
+    match durability::run(&config, dir, threads, crash_at) {
+        Ok((lines, crashed)) => {
+            if crashed {
+                eprintln!("[durability] crashed mid-stream as requested (stores left on disk)");
+                return ExitCode::from(3);
+            }
+            if let Some(k) = crash_at {
+                eprintln!(
+                    "durability_bench: --crash-at {k} never triggered \
+                     (the stream has only {} events per client)",
+                    config.events
+                );
+                return ExitCode::FAILURE;
+            }
+            let text = lines.join("\n") + "\n";
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("durability_bench: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path} ({} transcript lines)", lines.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("durability_bench: driver failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_report(pr: &str, out: &str) -> ExitCode {
+    let sizes = BenchSizes::from_env();
+    let workload = generate(&TrafficConfig::default());
+    let stream = evolve(
+        &workload,
+        &StreamConfig {
+            events: sizes.events,
+            seed: 2033,
+        },
+    );
+
+    // Baseline: in-memory apply, no persistence.
+    eprintln!(
+        "[durability] baseline: {} in-memory applies...",
+        stream.len()
+    );
+    let mut live = LiveNetwork::from_workload(&workload);
+    let mut baseline = Vec::with_capacity(stream.len());
+    for event in &stream {
+        let start = Instant::now();
+        live.apply_event(event)
+            .expect("stream events apply cleanly");
+        baseline.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Durably logged, one run per fsync policy.
+    let mut policy_samples: Vec<(&str, Vec<f64>)> = Vec::new();
+    let mut recovery_dir = None;
+    for (tag, policy, sync_every) in [
+        ("never", FsyncPolicy::Never, 0usize),
+        ("batch", FsyncPolicy::EveryBatch, 16),
+        ("record", FsyncPolicy::EveryRecord, 0),
+    ] {
+        eprintln!(
+            "[durability] fsync={tag}: {} logged applies...",
+            stream.len()
+        );
+        let dir = scratch_dir(tag);
+        let mut live = LiveNetwork::from_workload(&workload);
+        let mut persistence =
+            Persistence::create(&dir, &bench_options(policy), &live).expect("fresh bench store");
+        let samples = timed_apply(&stream, &mut live, &mut persistence, sync_every);
+        persistence.sync().expect("final fsync");
+        drop(persistence);
+        if tag == "never" {
+            recovery_dir = Some(dir);
+        } else {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        policy_samples.push((tag, samples));
+    }
+
+    // Recovery: rebuild the state from the fsync-never store.
+    let recovery_dir = recovery_dir.expect("never-policy run kept its store");
+    eprintln!(
+        "[durability] recovery x {} rounds...",
+        sizes.recovery_rounds
+    );
+    let mut recovery_samples = Vec::with_capacity(sizes.recovery_rounds);
+    let mut replayed = 0u64;
+    for _ in 0..sizes.recovery_rounds {
+        let start = Instant::now();
+        let (recovered, _, report) =
+            Persistence::recover(&recovery_dir, &bench_options(FsyncPolicy::Never))
+                .expect("bench store recovers");
+        recovery_samples.push(start.elapsed().as_secs_f64() * 1e3);
+        replayed = report.replayed_records;
+        assert_eq!(recovered.epoch(), stream.len() as u64);
+        assert!(recovered == live, "recovered state diverged");
+    }
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+    let recovery_median = perf::median(&recovery_samples);
+    let recovery_mps = if recovery_median > 0.0 {
+        replayed as f64 * 1e3 / recovery_median
+    } else {
+        0.0
+    };
+
+    println!(
+        "apply baseline (in-memory): {:>9.1} mutations/s",
+        mps(&baseline)
+    );
+    for (tag, samples) in &policy_samples {
+        println!(
+            "apply fsync={tag:<7}            {:>9.1} mutations/s",
+            mps(samples)
+        );
+    }
+    println!(
+        "recovery: {:.2} ms median ({} records replayed, {:.0} records/s)",
+        recovery_median, replayed, recovery_mps
+    );
+
+    let before = [Measurement {
+        name: "durable_apply_ms".to_string(),
+        samples: baseline,
+    }];
+    let mut after = vec![Measurement {
+        name: "durable_apply_ms".to_string(),
+        samples: policy_samples
+            .iter()
+            .find(|(tag, _)| *tag == "never")
+            .expect("never policy ran")
+            .1
+            .clone(),
+    }];
+    for (tag, samples) in &policy_samples {
+        after.push(Measurement {
+            name: format!("durable_apply_fsync_{tag}_mps"),
+            samples: vec![mps(samples)],
+        });
+    }
+    after.push(Measurement {
+        name: "durable_recovery_ms".to_string(),
+        samples: recovery_samples,
+    });
+    after.push(Measurement {
+        name: "durable_recovery_mps".to_string(),
+        samples: vec![recovery_mps],
+    });
+
+    let existing = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok());
+    let report = perf::merge_report(existing.as_ref(), pr, "before", &before);
+    let mut report = perf::merge_report(Some(&report), pr, "after", &after);
+    for (tag, _) in &policy_samples {
+        set_unit(
+            &mut report,
+            &format!("durable_apply_fsync_{tag}_mps"),
+            "mps",
+        );
+    }
+    set_unit(&mut report, "durable_recovery_mps", "mps");
+    let problems = perf::validate_report(&report);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("durability_bench: generated report invalid: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out, report.to_json() + "\n") {
+        eprintln!("durability_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pr = "pr5".to_string();
+    let mut out: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut transcript: Option<String> = None;
+    let mut crash_at: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pr" | "--out" | "--dir" | "--transcript" | "--crash-at" if i + 1 >= args.len() => {
+                return usage()
+            }
+            "--pr" => {
+                pr = args[i + 1].clone();
+                i += 2;
+            }
+            "--out" => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--dir" => {
+                dir = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--transcript" => {
+                transcript = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--crash-at" => {
+                match args[i + 1].parse() {
+                    Ok(k) => crash_at = Some(k),
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    match (dir, transcript, crash_at) {
+        (Some(dir), Some(path), None) => run_transcript(Path::new(&dir), &path, None),
+        (Some(dir), None, Some(k)) => run_transcript(Path::new(&dir), "", Some(k)),
+        (None, None, None) => {
+            let out = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
+            run_report(&pr, &out)
+        }
+        _ => usage(),
+    }
+}

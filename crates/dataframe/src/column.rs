@@ -73,6 +73,13 @@ impl Column {
         self.values[index] = value;
     }
 
+    /// Removes and returns the value at `index`, shifting later values
+    /// down. Panics if out of range (callers check bounds via the owning
+    /// frame).
+    pub(crate) fn remove(&mut self, index: usize) -> AttrValue {
+        self.values.remove(index)
+    }
+
     /// Iterator over the values.
     pub fn iter(&self) -> impl Iterator<Item = &AttrValue> {
         self.values.iter()

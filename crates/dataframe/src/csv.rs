@@ -33,7 +33,21 @@ pub fn to_csv(df: &DataFrame) -> String {
             .join(","),
     );
     out.push('\n');
-    for row in 0..df.n_rows() {
+    out.push_str(&to_csv_rows(df, 0));
+    out
+}
+
+/// Serializes only the data lines (no header) for rows `from..`, in the
+/// exact dialect of [`to_csv`]: for any `from <= n_rows`,
+/// `to_csv(df) == header_line + to_csv_rows(df, 0)` and appending
+/// `to_csv_rows(df, k)` to the first `k` rows' serialization reproduces the
+/// full document byte for byte. This is what lets an incremental snapshot
+/// writer reuse the previous snapshot's unchanged prefix and encode only
+/// the appended tail.
+pub fn to_csv_rows(df: &DataFrame, from: usize) -> String {
+    let mut out = String::new();
+    let names = df.column_names();
+    for row in from..df.n_rows() {
         let fields: Vec<String> = names
             .iter()
             .map(|name| {
@@ -247,6 +261,18 @@ mod tests {
         let df = from_csv("a,b\n\"\",\n").unwrap();
         assert_eq!(df.value(0, "a").unwrap().as_str(), Some(""));
         assert!(df.value(0, "b").unwrap().is_null());
+    }
+
+    #[test]
+    fn tail_rows_splice_onto_a_prefix_byte_identically() {
+        let df = sample();
+        let full = to_csv(&df);
+        for split in 0..=df.n_rows() {
+            let prefix = to_csv(&df.head(split));
+            let spliced = format!("{prefix}{}", to_csv_rows(&df, split));
+            assert_eq!(spliced, full, "split at {split}");
+        }
+        assert_eq!(to_csv_rows(&df, df.n_rows()), "");
     }
 
     #[test]

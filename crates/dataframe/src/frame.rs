@@ -227,6 +227,20 @@ impl DataFrame {
         Ok(())
     }
 
+    /// Removes row `row` in place, shifting later rows down one position
+    /// and returning the removed values. Unlike [`DataFrame::take`] this
+    /// does not rebuild (or clone) the surviving rows — the serving layer's
+    /// `RemoveEdge` write path depends on that.
+    pub fn remove_row(&mut self, row: usize) -> Result<Vec<AttrValue>> {
+        if row >= self.n_rows() {
+            return Err(FrameError::RowOutOfBounds {
+                index: row,
+                len: self.n_rows(),
+            });
+        }
+        Ok(self.columns.iter_mut().map(|col| col.remove(row)).collect())
+    }
+
     /// Returns a new frame containing the rows at `indices`, in that order.
     /// Out-of-range indices error.
     pub fn take(&self, indices: &[usize]) -> Result<DataFrame> {
@@ -429,6 +443,27 @@ mod tests {
         assert_eq!(df.n_rows(), 4);
         assert_eq!(df.n_cols(), 3);
         assert_eq!(df.column_names(), vec!["node", "bytes", "prefix"]);
+    }
+
+    #[test]
+    fn remove_row_shifts_in_place() {
+        let mut df = sample();
+        let removed = df.remove_row(1).unwrap();
+        assert_eq!(removed[0].as_str(), Some("b"));
+        assert_eq!(removed[1], AttrValue::Int(2500));
+        assert_eq!(df.n_rows(), 3);
+        // Order of the survivors is preserved, matching `take` semantics.
+        let expected = sample().take(&[0, 2, 3]).unwrap();
+        assert_eq!(df, expected);
+        assert!(matches!(
+            df.remove_row(3),
+            Err(FrameError::RowOutOfBounds { .. })
+        ));
+        // Removing down to empty works.
+        for _ in 0..3 {
+            df.remove_row(0).unwrap();
+        }
+        assert_eq!(df.n_rows(), 0);
     }
 
     #[test]

@@ -187,7 +187,9 @@ fn run_client_with(
 ) -> (Vec<String>, Vec<Reply>) {
     let mut server = server_from_workload(config, client, workload);
     let schedule = schedule_from_stream(config, client, stream);
-    let (lines, replies) = server.run_schedule(&schedule);
+    let (lines, replies) = server
+        .run_schedule(&schedule)
+        .expect("load-driver servers have no persistence attached");
     let lines = lines
         .into_iter()
         .map(|line| format!("c{client}| {line}"))

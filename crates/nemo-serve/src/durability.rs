@@ -1,0 +1,314 @@
+//! The durability driver: deterministic multi-client mutation streams over
+//! persistent stores, with crash/resume transcripts.
+//!
+//! Each client owns one store directory and one deterministic stream (a
+//! pure function of `(config, client)`), applies it with persistence
+//! attached, then answers a query round and prints a state digest. The
+//! combined transcript is reassembled in client order over
+//! `nemo_bench::pool`, so it is bit-identical at any `NEMO_THREADS`.
+//!
+//! The crash/resume story is the point:
+//!
+//! * [`run`] with `crash_after: Some(k)` stops client `c` abruptly after
+//!   `k + c` applied epochs — no final fsync, no queries, mimicking a kill
+//!   at a different point per client — and reports that it crashed (the
+//!   driver binary then exits non-zero).
+//! * [`run`] on the *same directories* afterwards recovers every client
+//!   from its snapshot + WAL suffix, **regenerates the transcript prefix
+//!   for the recovered epochs**, and continues the stream to completion.
+//!
+//! Because the prefix is regenerated from the deterministic stream while
+//! the *state* comes from disk, the resumed transcript (including the
+//! final per-client state CRC) matches an uninterrupted run byte for byte
+//! only if recovery reproduced the exact pre-crash state — which is what
+//! the CI `recovery-smoke` job asserts with `cmp`.
+
+use crate::driver::serving_knowledge;
+use crate::error::ServeError;
+use crate::live::LiveNetwork;
+use crate::mutation::Mutation;
+use crate::persist::{FsyncPolicy, PersistOptions, Persistence};
+use crate::server::{ServeEvent, Server, Session};
+use crate::snapshot::write_snapshot;
+use nemo_bench::{pool, traffic_queries};
+use nemo_core::llm::{hash_parts, profiles, SimulatedLlm};
+use nemo_core::Backend;
+use std::path::Path;
+use trafficgen::{evolve, generate, StreamConfig, TimedEvent, TrafficConfig};
+
+/// Sizing of one durability run.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The initial workload every client's network starts from.
+    pub traffic: TrafficConfig,
+    /// Number of clients (one store directory + one stream each).
+    pub clients: usize,
+    /// Mutation events per client.
+    pub events: usize,
+    /// Queries answered after the stream completes.
+    pub queries: usize,
+    /// Seed for streams and query picks.
+    pub seed: u64,
+    /// Persistence knobs shared by every client.
+    pub options: PersistOptions,
+}
+
+impl DurabilityConfig {
+    /// Store sizing that exercises rotation, snapshots and compaction at
+    /// smoke scale, with per-record fsync (the crash-safety posture).
+    fn driver_options() -> PersistOptions {
+        PersistOptions {
+            fsync: FsyncPolicy::EveryRecord,
+            segment_max_bytes: 2048,
+            snapshot_every_bytes: 0,
+            snapshot_every_epochs: 8,
+            keep_snapshots: 2,
+        }
+    }
+
+    /// The full-size configuration.
+    pub fn full() -> Self {
+        DurabilityConfig {
+            traffic: TrafficConfig::default(),
+            clients: 4,
+            events: 60,
+            queries: 4,
+            seed: 2033,
+            options: Self::driver_options(),
+        }
+    }
+
+    /// A seconds-scale smoke configuration for CI.
+    pub fn small() -> Self {
+        DurabilityConfig {
+            traffic: TrafficConfig {
+                nodes: 30,
+                edges: 30,
+                prefixes: 3,
+                seed: 7,
+            },
+            clients: 3,
+            events: 24,
+            queries: 3,
+            seed: 2033,
+            options: Self::driver_options(),
+        }
+    }
+
+    /// Picks [`DurabilityConfig::small`] when `NEMO_SMALL` is set, else
+    /// [`DurabilityConfig::full`].
+    pub fn from_env() -> Self {
+        if std::env::var("NEMO_SMALL").is_ok() {
+            DurabilityConfig::small()
+        } else {
+            DurabilityConfig::full()
+        }
+    }
+}
+
+/// One client's deterministic mutation stream.
+pub fn client_stream(config: &DurabilityConfig, client: usize) -> Vec<TimedEvent> {
+    let workload = generate(&config.traffic);
+    evolve(
+        &workload,
+        &StreamConfig {
+            events: config.events,
+            seed: config.seed ^ (client as u64).wrapping_mul(0x9e37_79b9),
+        },
+    )
+}
+
+/// The transcript line of one applied mutation — identical to the line
+/// [`Server::process`] prints for a successful `Mutate` event, so a prefix
+/// regenerated from the stream splices seamlessly.
+fn mutate_line(epoch: u64, timed: &TimedEvent) -> String {
+    format!(
+        "[e{epoch}] t={}ms mutate {}",
+        timed.at_ms,
+        Mutation::from_event(&timed.event).describe()
+    )
+}
+
+/// The outcome of one client's run.
+struct ClientRun {
+    lines: Vec<String>,
+    crashed: bool,
+}
+
+fn run_client(
+    config: &DurabilityConfig,
+    base_dir: &Path,
+    client: usize,
+    crash_after: Option<u64>,
+) -> Result<ClientRun, ServeError> {
+    let dir = base_dir.join(format!("c{client}"));
+    let (mut live, mut persistence, _report) =
+        Persistence::recover_or_create(&dir, &config.options, || {
+            LiveNetwork::from_workload(&generate(&config.traffic))
+        })?;
+    let stream = client_stream(config, client);
+    if live.epoch() as usize > stream.len() {
+        return Err(ServeError::Corrupt(format!(
+            "store for client {client} is at epoch {} but the stream has only {} events \
+             (directory reused across configs?)",
+            live.epoch(),
+            stream.len()
+        )));
+    }
+    // Regenerate the transcript prefix for epochs recovered from disk.
+    let mut lines: Vec<String> = stream[..live.epoch() as usize]
+        .iter()
+        .enumerate()
+        .map(|(i, timed)| mutate_line(i as u64 + 1, timed))
+        .collect();
+    // Continue the stream live. The crash cut varies per client so
+    // recovery is exercised at different offsets.
+    let cut = crash_after.map(|k| k + client as u64);
+    for (i, timed) in stream.iter().enumerate().skip(live.epoch() as usize) {
+        let epoch = live.apply_event_persisted(timed, &mut persistence)?;
+        debug_assert_eq!(epoch, i as u64 + 1);
+        lines.push(mutate_line(epoch, timed));
+        if cut.is_some_and(|k| epoch >= k) {
+            // Abrupt stop: no batch fsync, no queries, no digest.
+            return Ok(ClientRun {
+                lines,
+                crashed: true,
+            });
+        }
+    }
+    persistence.sync()?;
+
+    // Query round over the final state. The digest pins the state itself;
+    // the query answers pin what the pipeline computes over it.
+    let digest = format!(
+        "final epoch={} state-crc={:08x}",
+        live.epoch(),
+        nemo_store::crc32::crc32(write_snapshot(&live).as_bytes())
+    );
+    let queries = traffic_queries();
+    let backend = Backend::CODEGEN[client % Backend::CODEGEN.len()];
+    let llm = SimulatedLlm::new(
+        profiles::gpt4(),
+        serving_knowledge(),
+        config.seed ^ client as u64,
+    );
+    let mut server = Server::with_persistence(
+        live,
+        vec![Session {
+            client,
+            backend,
+            llm,
+        }],
+        persistence,
+    );
+    for k in 0..config.queries {
+        let pick = hash_parts(&[
+            "durability-query",
+            &config.seed.to_string(),
+            &client.to_string(),
+            &k.to_string(),
+        ]) as usize
+            % queries.len();
+        let (line, _) = server.process(&ServeEvent::Query {
+            client,
+            query: queries[pick].text.to_string(),
+        })?;
+        lines.push(line);
+    }
+    lines.push(digest);
+    Ok(ClientRun {
+        lines,
+        crashed: false,
+    })
+}
+
+/// Runs every client over `threads` pool workers against stores under
+/// `base_dir` (one `c<i>` subdirectory each; existing stores are
+/// recovered and resumed). Returns the combined transcript in client order
+/// plus whether any client crashed (only with `crash_after`).
+pub fn run(
+    config: &DurabilityConfig,
+    base_dir: &Path,
+    threads: usize,
+    crash_after: Option<u64>,
+) -> Result<(Vec<String>, bool), ServeError> {
+    let runs = pool::run_indexed(config.clients, threads, |client| {
+        run_client(config, base_dir, client, crash_after)
+    });
+    let mut lines = Vec::new();
+    let mut crashed = false;
+    for (client, run) in runs.into_iter().enumerate() {
+        let run = run?;
+        crashed |= run.crashed;
+        lines.extend(
+            run.lines
+                .into_iter()
+                .map(|line| format!("c{client}| {line}")),
+        );
+    }
+    Ok((lines, crashed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nemo-durability-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny() -> DurabilityConfig {
+        DurabilityConfig {
+            traffic: TrafficConfig {
+                nodes: 14,
+                edges: 18,
+                prefixes: 2,
+                seed: 7,
+            },
+            clients: 3,
+            events: 18,
+            queries: 2,
+            seed: 11,
+            options: PersistOptions {
+                fsync: FsyncPolicy::Never, // tests: speed over platters
+                ..DurabilityConfig::driver_options()
+            },
+        }
+    }
+
+    #[test]
+    fn crash_then_resume_matches_uninterrupted_at_any_thread_count() {
+        let config = tiny();
+        let full_dir = temp_dir("full");
+        let (uninterrupted, crashed) = run(&config, &full_dir, 1, None).unwrap();
+        assert!(!crashed);
+        assert!(uninterrupted.iter().any(|l| l.contains("state-crc=")));
+
+        // Crash at staggered offsets, then resume on the same stores.
+        let crash_dir = temp_dir("crash");
+        let (partial, crashed) = run(&config, &crash_dir, 2, Some(5)).unwrap();
+        assert!(crashed);
+        assert!(partial.len() < uninterrupted.len());
+        let (resumed, crashed) = run(&config, &crash_dir, 2, None).unwrap();
+        assert!(!crashed);
+        assert_eq!(resumed, uninterrupted, "resumed transcript must match");
+
+        // Thread-count invariance of the uninterrupted run.
+        let t4_dir = temp_dir("t4");
+        let (with_threads, _) = run(&config, &t4_dir, 4, None).unwrap();
+        assert_eq!(with_threads, uninterrupted);
+
+        // Resuming a *completed* run is a no-op that reproduces the same
+        // transcript again (everything regenerates from the recovered
+        // state).
+        let (again, _) = run(&config, &full_dir, 1, None).unwrap();
+        assert_eq!(again, uninterrupted);
+        for dir in [full_dir, crash_dir, t4_dir] {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

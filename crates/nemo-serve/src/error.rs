@@ -12,6 +12,10 @@ pub enum ServeError {
     /// A snapshot document failed to parse or failed validation, or a WAL
     /// segment does not continue the snapshot it is replayed onto.
     Corrupt(String),
+    /// The durable store under the serving layer failed: an I/O error
+    /// while logging or snapshotting, or unrecoverable on-disk damage
+    /// found during recovery.
+    Storage(String),
 }
 
 impl fmt::Display for ServeError {
@@ -19,8 +23,18 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Conflict(msg) => write!(f, "mutation conflict: {msg}"),
             ServeError::Corrupt(msg) => write!(f, "corrupt snapshot or WAL: {msg}"),
+            ServeError::Storage(msg) => write!(f, "storage failure: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<nemo_store::StoreError> for ServeError {
+    fn from(err: nemo_store::StoreError) -> Self {
+        match err {
+            nemo_store::StoreError::Corrupt(msg) => ServeError::Corrupt(msg),
+            other => ServeError::Storage(other.to_string()),
+        }
+    }
+}

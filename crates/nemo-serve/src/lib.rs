@@ -28,6 +28,13 @@
 //!   workload over `nemo_bench::pool`; every client transcript is a pure
 //!   function of `(config, client, seed)`, so the combined transcript is
 //!   bit-identical at any `NEMO_THREADS`.
+//! * **Durability** — [`Persistence`] puts a `nemo-store` segmented,
+//!   checksummed on-disk WAL plus snapshot files under the live state
+//!   ([`codec`] defines the `nemo-wal/v1` record payload): mutations are
+//!   durably logged as they apply, snapshots compact the log on
+//!   thresholds, and [`Persistence::recover`] rebuilds the exact state
+//!   after a crash — torn tails truncated, corruption refused loudly.
+//!   [`durability`] drives crash/resume transcripts over it.
 //!
 //! ```
 //! use nemo_serve::{LiveNetwork, Mutation};
@@ -49,10 +56,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod codec;
 pub mod driver;
+pub mod durability;
 mod error;
 mod live;
 mod mutation;
+pub mod persist;
 pub mod server;
 pub mod snapshot;
 
@@ -60,4 +70,5 @@ pub use cache::{CacheOutcome, CacheStats, ProgramCache};
 pub use error::ServeError;
 pub use live::LiveNetwork;
 pub use mutation::{Epoch, Mutation, WalRecord};
+pub use persist::{FsyncPolicy, PersistOptions, Persistence, RecoveryReport};
 pub use server::{Reply, ServeEvent, Server, Session};

@@ -17,6 +17,7 @@ use nemo_core::{Application, Backend, NetworkState};
 use netgraph::json::graph_to_json;
 use netgraph::{attrs, AttrValue, Graph};
 use sqlengine::Database;
+use std::collections::HashMap;
 use trafficgen::stream::TimedEvent;
 use trafficgen::{export, TrafficWorkload};
 
@@ -28,18 +29,61 @@ pub struct LiveNetwork {
     edges: DataFrame,
     epoch: Epoch,
     wal: Vec<WalRecord>,
+    /// Row index of each node id in the node frame, kept in lockstep with
+    /// `nodes` so write-path lookups are O(1) instead of a column scan.
+    node_rows: HashMap<String, usize>,
+    /// Row index of each `(source, target)` pair in the edge frame,
+    /// nested by source so lookups probe with `&str` — no per-lookup key
+    /// allocation on the hot mutation path.
+    edge_rows: HashMap<String, HashMap<String, usize>>,
+}
+
+/// Builds the row indices from frames (tolerating missing columns — a
+/// frame without the schema columns simply yields empty indices, matching
+/// the old scan-based lookups that found nothing).
+#[allow(clippy::type_complexity)]
+fn row_indices(
+    nodes: &DataFrame,
+    edges: &DataFrame,
+) -> (
+    HashMap<String, usize>,
+    HashMap<String, HashMap<String, usize>>,
+) {
+    let mut node_rows = HashMap::new();
+    if let Ok(ids) = nodes.column("id") {
+        for (row, v) in ids.values().iter().enumerate() {
+            if let Some(id) = v.as_str() {
+                node_rows.insert(id.to_string(), row);
+            }
+        }
+    }
+    let mut edge_rows: HashMap<String, HashMap<String, usize>> = HashMap::new();
+    if let (Ok(sources), Ok(targets)) = (edges.column("source"), edges.column("target")) {
+        for (row, (s, t)) in sources.values().iter().zip(targets.values()).enumerate() {
+            if let (Some(s), Some(t)) = (s.as_str(), t.as_str()) {
+                edge_rows
+                    .entry(s.to_string())
+                    .or_default()
+                    .insert(t.to_string(), row);
+            }
+        }
+    }
+    (node_rows, edge_rows)
 }
 
 impl LiveNetwork {
     /// Materializes a generated workload at epoch 0 with an empty WAL.
     pub fn from_workload(workload: &TrafficWorkload) -> Self {
         let (nodes, edges) = export::to_frames(workload);
+        let (node_rows, edge_rows) = row_indices(&nodes, &edges);
         LiveNetwork {
             graph: export::to_graph(workload),
             nodes,
             edges,
             epoch: 0,
             wal: Vec::new(),
+            node_rows,
+            edge_rows,
         }
     }
 
@@ -51,12 +95,15 @@ impl LiveNetwork {
         edges: DataFrame,
         epoch: Epoch,
     ) -> Self {
+        let (node_rows, edge_rows) = row_indices(&nodes, &edges);
         LiveNetwork {
             graph,
             nodes,
             edges,
             epoch,
             wal: Vec::new(),
+            node_rows,
+            edge_rows,
         }
     }
 
@@ -123,6 +170,7 @@ impl LiveNetwork {
                         ("prefix24", AttrValue::Str(prefix24.as_str().into())),
                     ]),
                 );
+                self.node_rows.insert(id.clone(), self.nodes.n_rows());
                 self.nodes
                     .push_row(export::endpoint_row_parts(id, prefix16, prefix24))
                     .expect("node row matches schema");
@@ -143,6 +191,10 @@ impl LiveNetwork {
                         ("packets", AttrValue::Int(*packets)),
                     ]),
                 );
+                self.edge_rows
+                    .entry(source.clone())
+                    .or_default()
+                    .insert(target.clone(), self.edges.n_rows());
                 self.edges
                     .push_row(export::flow_row_parts(
                         source,
@@ -197,11 +249,23 @@ impl LiveNetwork {
                 self.graph
                     .remove_edge(source, target)
                     .expect("edge checked present");
-                let row = self
-                    .edge_row(source, target)
+                let by_target = self
+                    .edge_rows
+                    .get_mut(source.as_str())
                     .expect("edge row checked present");
-                let keep: Vec<usize> = (0..self.edges.n_rows()).filter(|&i| i != row).collect();
-                self.edges = self.edges.take(&keep).expect("indices in range");
+                let row = by_target
+                    .remove(target.as_str())
+                    .expect("edge row checked present");
+                if by_target.is_empty() {
+                    self.edge_rows.remove(source.as_str());
+                }
+                self.edges.remove_row(row).expect("row index in range");
+                // Rows above the removed one shifted down by one.
+                for index in self.edge_rows.values_mut().flat_map(|m| m.values_mut()) {
+                    if *index > row {
+                        *index -= 1;
+                    }
+                }
             }
         }
         self.epoch += 1;
@@ -216,6 +280,44 @@ impl LiveNetwork {
     /// Normalizes and applies one [`trafficgen`] stream event.
     pub fn apply_event(&mut self, event: &TimedEvent) -> Result<Epoch, ServeError> {
         self.apply(event.at_ms, Mutation::from_event(&event.event))
+    }
+
+    /// [`LiveNetwork::apply`] plus durability, in WAL order: the record is
+    /// validated, *logged first*, then applied, then a snapshot is taken
+    /// when due. A conflict leaves both state and log untouched; a log
+    /// failure (disk full, I/O error) surfaces *before* the in-memory
+    /// state moves, so memory never runs ahead of the log. A process crash
+    /// between log and apply replays the logged record on recovery —
+    /// standard redo semantics.
+    pub fn apply_persisted(
+        &mut self,
+        at_ms: u64,
+        mutation: Mutation,
+        persistence: &mut crate::persist::Persistence,
+    ) -> Result<Epoch, ServeError> {
+        self.check(&mutation)?;
+        let record = WalRecord {
+            epoch: self.epoch + 1,
+            at_ms,
+            mutation,
+        };
+        persistence.log(&record)?;
+        let epoch = self
+            .apply(at_ms, record.mutation)
+            .expect("mutation was validated before logging");
+        debug_assert_eq!(epoch, record.epoch);
+        persistence.maybe_snapshot(self)?;
+        Ok(epoch)
+    }
+
+    /// [`LiveNetwork::apply_event`] with durability (see
+    /// [`LiveNetwork::apply_persisted`]).
+    pub fn apply_event_persisted(
+        &mut self,
+        event: &TimedEvent,
+        persistence: &mut crate::persist::Persistence,
+    ) -> Result<Epoch, ServeError> {
+        self.apply_persisted(event.at_ms, Mutation::from_event(&event.event), persistence)
     }
 
     /// Validates a mutation against the current state without touching it.
@@ -255,17 +357,12 @@ impl LiveNetwork {
     }
 
     fn node_row(&self, id: &str) -> Option<usize> {
-        let column = self.nodes.column("id").ok()?;
-        column.values().iter().position(|v| v.as_str() == Some(id))
+        self.node_rows.get(id).copied()
     }
 
     fn edge_row(&self, source: &str, target: &str) -> Option<usize> {
-        let sources = self.edges.column("source").ok()?;
-        let targets = self.edges.column("target").ok()?;
-        (0..self.edges.n_rows()).find(|&i| {
-            sources.values()[i].as_str() == Some(source)
-                && targets.values()[i].as_str() == Some(target)
-        })
+        // O(1), allocation-free: both levels probe with `&str`.
+        self.edge_rows.get(source)?.get(target).copied()
     }
 }
 
@@ -374,6 +471,53 @@ mod tests {
         for (i, record) in live.wal().iter().enumerate() {
             assert_eq!(record.epoch, i as u64 + 1);
         }
+    }
+
+    #[test]
+    fn row_indices_stay_in_lockstep_with_the_frames() {
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let events = evolve(
+            &w,
+            &StreamConfig {
+                events: 150,
+                seed: 21,
+            },
+        );
+        let check = |live: &LiveNetwork| {
+            assert_eq!(live.node_rows.len(), live.nodes().n_rows());
+            let indexed: usize = live.edge_rows.values().map(|m| m.len()).sum();
+            assert_eq!(indexed, live.edges().n_rows());
+            for (id, &row) in &live.node_rows {
+                assert_eq!(live.nodes().value(row, "id").unwrap().as_str(), Some(&**id));
+            }
+            for (s, by_target) in &live.edge_rows {
+                for (t, &row) in by_target {
+                    assert_eq!(
+                        live.edges().value(row, "source").unwrap().as_str(),
+                        Some(&**s)
+                    );
+                    assert_eq!(
+                        live.edges().value(row, "target").unwrap().as_str(),
+                        Some(&**t)
+                    );
+                }
+            }
+        };
+        check(&live);
+        let mut removed_any = false;
+        for event in &events {
+            removed_any |= matches!(event.event, trafficgen::NetEvent::DropFlow { .. });
+            live.apply_event(event).unwrap();
+            check(&live);
+        }
+        assert!(removed_any, "stream must exercise RemoveEdge; enlarge it");
+        // A snapshot-restored network rebuilds identical indices.
+        let restored = crate::snapshot::read_snapshot(&crate::snapshot::write_snapshot(&live))
+            .expect("round trip");
+        check(&restored);
+        assert_eq!(restored.node_rows, live.node_rows);
+        assert_eq!(restored.edge_rows, live.edge_rows);
     }
 
     #[test]

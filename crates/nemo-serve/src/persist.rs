@@ -1,0 +1,565 @@
+//! Durable persistence for the serving layer: `nemo-store` under
+//! [`LiveNetwork`](crate::LiveNetwork).
+//!
+//! A [`Persistence`] handle owns one `nemo_store::Store` directory and the
+//! serving-side policy around it:
+//!
+//! * **Genesis snapshot** — [`Persistence::create`] installs a snapshot of
+//!   the initial state (epoch 0 for a fresh workload) before any record is
+//!   logged, so recovery never depends on re-generating the workload.
+//! * **Logging** — [`Persistence::log`] encodes each applied
+//!   [`WalRecord`] with the `nemo-wal/v1` codec and appends it; the
+//!   store's [`FsyncPolicy`] decides when it hits the platter, and
+//!   [`Persistence::sync`] marks batch boundaries.
+//! * **Snapshot + compaction** — [`Persistence::maybe_snapshot`] writes a
+//!   snapshot when the store's byte/epoch thresholds fire. When only
+//!   `AddNode`/`AddEdge` mutations happened since the previous snapshot,
+//!   the frames only *grew*, so the writer reuses the previous snapshot's
+//!   CSV verbatim and encodes just the appended rows
+//!   (`trafficgen::export_flows_since`-style) — the output is proven
+//!   byte-identical to a full rewrite. Installing a snapshot deletes WAL
+//!   segments it wholly covers.
+//! * **Recovery** — [`Persistence::recover`] rebuilds the live state from
+//!   the newest *valid* snapshot plus the WAL suffix: a torn tail record
+//!   is truncated (by the store), a corrupt snapshot falls back to an
+//!   older one, and every unrecoverable condition — CRC mismatch, missing
+//!   segment, epoch gap, conflicting replay — fails loudly.
+
+use crate::codec::{decode_record, encode_record, WAL_MAGIC};
+use crate::error::ServeError;
+use crate::live::LiveNetwork;
+use crate::mutation::{Mutation, WalRecord};
+use crate::snapshot::{self, write_snapshot_with_frames};
+use dataframe::csv::{to_csv, to_csv_rows};
+use nemo_store::{Store, StoreConfig};
+use std::path::Path;
+
+pub use nemo_store::FsyncPolicy;
+
+/// Durability and sizing knobs for one persistence directory.
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    /// When appended records are fsynced.
+    pub fsync: FsyncPolicy,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_max_bytes: u64,
+    /// Snapshot once this many WAL bytes accumulated (0 disables).
+    pub snapshot_every_bytes: u64,
+    /// Snapshot once this many epochs passed since the last one
+    /// (0 disables).
+    pub snapshot_every_epochs: u64,
+    /// Snapshots retained on disk.
+    pub keep_snapshots: usize,
+}
+
+impl Default for PersistOptions {
+    fn default() -> Self {
+        PersistOptions {
+            fsync: FsyncPolicy::EveryBatch,
+            segment_max_bytes: 1 << 20,
+            snapshot_every_bytes: 256 << 10,
+            snapshot_every_epochs: 1024,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+impl PersistOptions {
+    fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            magic: WAL_MAGIC.to_string(),
+            fsync: self.fsync,
+            segment_max_bytes: self.segment_max_bytes,
+            snapshot_every_bytes: self.snapshot_every_bytes,
+            snapshot_every_epochs: self.snapshot_every_epochs,
+            keep_snapshots: self.keep_snapshots,
+        }
+    }
+}
+
+/// What [`Persistence::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot the state was rebuilt from.
+    pub snapshot_epoch: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Bytes truncated off a torn tail record (0 on a clean start).
+    pub truncated_bytes: u64,
+    /// Newer snapshots that were skipped because their documents failed
+    /// validation (recovery fell back past them), with the reason each
+    /// one was refused — a version mismatch must stay distinguishable
+    /// from disk corruption.
+    pub skipped_snapshots: Vec<(u64, String)>,
+}
+
+/// The previous snapshot's reusable encoding state.
+#[derive(Debug)]
+struct PrevSnapshot {
+    nodes_csv: String,
+    edges_csv: String,
+    node_rows: usize,
+    edge_rows: usize,
+}
+
+/// A live network's durable storage handle.
+#[derive(Debug)]
+pub struct Persistence {
+    store: Store,
+    /// Cached CSV of the newest installed snapshot, for prefix reuse.
+    prev: Option<PrevSnapshot>,
+    /// True while every mutation logged since the newest snapshot only
+    /// *appended* frame rows (`AddNode`/`AddEdge`): the previous CSV is
+    /// then an unchanged prefix of the current one.
+    append_only: bool,
+}
+
+impl Persistence {
+    /// Creates persistence for a fresh live state in an empty (or absent)
+    /// directory, installing the genesis snapshot before returning. Errors
+    /// if the directory already holds store files — recover those with
+    /// [`Persistence::recover`] instead of silently shadowing them.
+    pub fn create(
+        dir: &Path,
+        options: &PersistOptions,
+        live: &LiveNetwork,
+    ) -> Result<Persistence, ServeError> {
+        let (store, _) = Store::open(dir, options.store_config())?;
+        if !store.is_empty() {
+            return Err(ServeError::Storage(format!(
+                "{} already holds store files; use recover()",
+                dir.display()
+            )));
+        }
+        let mut persistence = Persistence {
+            store,
+            prev: None,
+            append_only: true,
+        };
+        persistence.force_snapshot(live)?;
+        Ok(persistence)
+    }
+
+    /// Rebuilds the live state from disk: newest valid snapshot plus the
+    /// WAL suffix. See the module docs for what is repaired silently (a
+    /// torn tail), what is fallen back from (a corrupt snapshot document)
+    /// and what fails loudly (everything else).
+    pub fn recover(
+        dir: &Path,
+        options: &PersistOptions,
+    ) -> Result<(LiveNetwork, Persistence, RecoveryReport), ServeError> {
+        let (store, open_report) = Store::open(dir, options.store_config())?;
+        if store.is_empty() {
+            return Err(ServeError::Storage(format!(
+                "{} holds no store files; use create()",
+                dir.display()
+            )));
+        }
+        Self::recover_opened(store, open_report)
+    }
+
+    /// The recovery body over an already-opened (and tail-repaired) store.
+    fn recover_opened(
+        store: Store,
+        open_report: nemo_store::OpenReport,
+    ) -> Result<(LiveNetwork, Persistence, RecoveryReport), ServeError> {
+        let dir = store.dir().to_path_buf();
+        let mut report = RecoveryReport {
+            truncated_bytes: open_report.truncated_bytes,
+            ..RecoveryReport::default()
+        };
+        // Newest snapshot whose document still validates.
+        let mut base: Option<(u64, LiveNetwork)> = None;
+        for &epoch in store.snapshot_epochs().iter().rev() {
+            let parsed = store
+                .read_snapshot(epoch)
+                .map_err(ServeError::from)
+                .and_then(|bytes| {
+                    String::from_utf8(bytes).map_err(|_| {
+                        ServeError::Corrupt("snapshot document is not UTF-8".to_string())
+                    })
+                })
+                .and_then(|text| snapshot::read_snapshot(&text));
+            match parsed {
+                Ok(live) => {
+                    base = Some((epoch, live));
+                    break;
+                }
+                Err(reason) => report.skipped_snapshots.push((epoch, reason.to_string())),
+            }
+        }
+        let Some((snapshot_epoch, mut live)) = base else {
+            let reasons: Vec<String> = report
+                .skipped_snapshots
+                .iter()
+                .map(|(epoch, reason)| format!("epoch {epoch}: {reason}"))
+                .collect();
+            return Err(ServeError::Corrupt(format!(
+                "{}: no usable snapshot — every candidate failed validation ({})",
+                dir.display(),
+                reasons.join("; "),
+            )));
+        };
+        if live.epoch() != snapshot_epoch {
+            return Err(ServeError::Corrupt(format!(
+                "snapshot file for epoch {snapshot_epoch} carries state at epoch {}",
+                live.epoch()
+            )));
+        }
+        report.snapshot_epoch = snapshot_epoch;
+        // Replay the WAL suffix, cross-checking the store's positional
+        // epochs against the ones the records themselves carry.
+        let mut records = Vec::new();
+        for (epoch, payload) in store.replay(snapshot_epoch)? {
+            let record = decode_record(&payload)?;
+            if record.epoch != epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "WAL record at log position {epoch} carries epoch {}",
+                    record.epoch
+                )));
+            }
+            records.push(record);
+        }
+        report.replayed_records = snapshot::apply_wal(&mut live, &records)?;
+        // Completeness: the store knows the newest epoch it ever held
+        // (from segment contents and snapshot file names). Recovering to
+        // anything earlier would be *silent* data loss — e.g. falling back
+        // past a corrupt snapshot whose covered WAL was compacted away —
+        // so it fails loudly instead.
+        if let Some(last) = store.last_epoch() {
+            if live.epoch() < last {
+                return Err(ServeError::Corrupt(format!(
+                    "recovery reached epoch {} but the store once held epoch {last}; \
+                     the WAL covering the difference is gone (compacted or deleted)",
+                    live.epoch()
+                )));
+            }
+        }
+        // The reusable-prefix cache restarts from the recovered state; the
+        // next snapshot is written in full.
+        let persistence = Persistence {
+            store,
+            prev: None,
+            append_only: false,
+        };
+        Ok((live, persistence, report))
+    }
+
+    /// Either [`Persistence::recover`] (store files present) or
+    /// [`Persistence::create`] over `init()` (fresh directory) — the
+    /// restart-safe entry point for drivers.
+    pub fn recover_or_create(
+        dir: &Path,
+        options: &PersistOptions,
+        init: impl FnOnce() -> LiveNetwork,
+    ) -> Result<(LiveNetwork, Persistence, RecoveryReport), ServeError> {
+        let (store, open_report) = Store::open(dir, options.store_config())?;
+        if store.is_empty() {
+            let live = init();
+            let mut persistence = Persistence {
+                store,
+                prev: None,
+                append_only: true,
+            };
+            persistence.force_snapshot(&live)?;
+            Ok((live, persistence, RecoveryReport::default()))
+        } else {
+            // Single open: the repair report (torn-tail truncation) flows
+            // into the recovery report instead of being discarded by a
+            // probe-and-reopen.
+            Self::recover_opened(store, open_report)
+        }
+    }
+
+    /// Durably logs one applied WAL record.
+    pub fn log(&mut self, record: &WalRecord) -> Result<(), ServeError> {
+        self.store.append(record.epoch, &encode_record(record))?;
+        if !matches!(
+            record.mutation,
+            Mutation::AddNode { .. } | Mutation::AddEdge { .. }
+        ) {
+            self.append_only = false;
+        }
+        Ok(())
+    }
+
+    /// Batch-boundary fsync (see [`FsyncPolicy::EveryBatch`]).
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.store.sync()?;
+        Ok(())
+    }
+
+    /// Writes and installs a snapshot if the store's thresholds say one is
+    /// due; returns whether it did.
+    pub fn maybe_snapshot(&mut self, live: &LiveNetwork) -> Result<bool, ServeError> {
+        if !self.store.snapshot_due(live.epoch()) {
+            return Ok(false);
+        }
+        self.force_snapshot(live)?;
+        Ok(true)
+    }
+
+    /// Unconditionally writes and installs a snapshot of `live`, reusing
+    /// the previous snapshot's unchanged CSV prefix when every mutation
+    /// since it was append-only.
+    pub fn force_snapshot(&mut self, live: &LiveNetwork) -> Result<(), ServeError> {
+        let reusable = self.append_only
+            && self.prev.as_ref().is_some_and(|prev| {
+                prev.node_rows <= live.nodes().n_rows() && prev.edge_rows <= live.edges().n_rows()
+            });
+        let (nodes_csv, edges_csv) = if reusable {
+            let prev = self.prev.as_ref().expect("checked above");
+            (
+                format!(
+                    "{}{}",
+                    prev.nodes_csv,
+                    to_csv_rows(live.nodes(), prev.node_rows)
+                ),
+                format!(
+                    "{}{}",
+                    prev.edges_csv,
+                    to_csv_rows(live.edges(), prev.edge_rows)
+                ),
+            )
+        } else {
+            (to_csv(live.nodes()), to_csv(live.edges()))
+        };
+        let document = write_snapshot_with_frames(live, &nodes_csv, &edges_csv);
+        self.store
+            .install_snapshot(live.epoch(), document.as_bytes())?;
+        self.prev = Some(PrevSnapshot {
+            nodes_csv,
+            edges_csv,
+            node_rows: live.nodes().n_rows(),
+            edge_rows: live.edges().n_rows(),
+        });
+        self.append_only = true;
+        Ok(())
+    }
+
+    /// The underlying store (inspection, benchmarks, tests).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::write_snapshot;
+    use std::path::PathBuf;
+    use trafficgen::{evolve, generate, StreamConfig, TrafficConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nemo-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_options() -> PersistOptions {
+        PersistOptions {
+            fsync: FsyncPolicy::Never,
+            segment_max_bytes: 512,
+            snapshot_every_bytes: 0,
+            snapshot_every_epochs: 0,
+            ..PersistOptions::default()
+        }
+    }
+
+    fn workload() -> trafficgen::TrafficWorkload {
+        generate(&TrafficConfig {
+            nodes: 12,
+            edges: 16,
+            prefixes: 2,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn log_then_recover_rebuilds_identical_state() {
+        let dir = temp_dir("roundtrip");
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let mut persistence = Persistence::create(&dir, &test_options(), &live).unwrap();
+        for event in evolve(
+            &w,
+            &StreamConfig {
+                events: 60,
+                seed: 2,
+            },
+        ) {
+            live.apply_event(&event).unwrap();
+            persistence
+                .log(live.wal().last().expect("apply appended"))
+                .unwrap();
+        }
+        persistence.sync().unwrap();
+        drop(persistence);
+
+        let (recovered, _, report) = Persistence::recover(&dir, &test_options()).unwrap();
+        assert_eq!(report.snapshot_epoch, 0);
+        assert_eq!(report.replayed_records, 60);
+        assert_eq!(report.truncated_bytes, 0);
+        assert!(recovered == live);
+        assert_eq!(write_snapshot(&recovered), write_snapshot(&live));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_uses_the_newest_snapshot_and_compaction_survives() {
+        let dir = temp_dir("compact");
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let mut persistence = Persistence::create(&dir, &test_options(), &live).unwrap();
+        let events = evolve(
+            &w,
+            &StreamConfig {
+                events: 50,
+                seed: 9,
+            },
+        );
+        for (i, event) in events.iter().enumerate() {
+            live.apply_event(event).unwrap();
+            persistence.log(live.wal().last().unwrap()).unwrap();
+            if i == 29 {
+                persistence.force_snapshot(&live).unwrap();
+            }
+        }
+        // Compaction deleted segments wholly covered by the epoch-30
+        // snapshot, yet recovery still reproduces the tip exactly.
+        assert!(persistence.store().snapshot_epochs().contains(&30));
+        drop(persistence);
+        let (recovered, persistence, report) = Persistence::recover(&dir, &test_options()).unwrap();
+        assert_eq!(report.snapshot_epoch, 30);
+        assert_eq!(report.replayed_records, 20);
+        assert!(recovered == live);
+        // The log continues seamlessly after recovery.
+        drop(persistence);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_the_older_one() {
+        let dir = temp_dir("fallback");
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let mut persistence = Persistence::create(&dir, &test_options(), &live).unwrap();
+        for event in evolve(
+            &w,
+            &StreamConfig {
+                events: 20,
+                seed: 3,
+            },
+        ) {
+            live.apply_event(&event).unwrap();
+            persistence.log(live.wal().last().unwrap()).unwrap();
+        }
+        persistence.force_snapshot(&live).unwrap();
+        drop(persistence);
+        // Damage the newest snapshot file so its frame CRC fails. Both
+        // snapshots are retained and the WAL is compacted only to the
+        // oldest retained one, so the genesis fallback can fully replay.
+        let path = dir.join(nemo_store::snapshot_file_name(20));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let (recovered, _, report) = Persistence::recover(&dir, &test_options()).unwrap();
+        assert_eq!(report.snapshot_epoch, 0);
+        assert_eq!(report.skipped_snapshots.len(), 1);
+        assert_eq!(report.skipped_snapshots[0].0, 20);
+        assert!(report.skipped_snapshots[0].1.contains("checksum"));
+        assert_eq!(report.replayed_records, 20);
+        assert!(recovered == live);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_snapshot_bytes_equal_full_rewrite() {
+        let dir = temp_dir("incremental");
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let mut persistence = Persistence::create(&dir, &test_options(), &live).unwrap();
+        // Append-only growth: new endpoints and new flows.
+        let mut at = 0;
+        let mut add =
+            |live: &mut LiveNetwork, persistence: &mut Persistence, mutation: Mutation| {
+                at += 1;
+                live.apply(at, mutation).unwrap();
+                persistence.log(live.wal().last().unwrap()).unwrap();
+            };
+        for i in 0..6u8 {
+            add(
+                &mut live,
+                &mut persistence,
+                Mutation::AddNode {
+                    id: format!("203.0.{i}.1"),
+                    prefix16: "203.0".into(),
+                    prefix24: format!("203.0.{i}"),
+                },
+            );
+        }
+        for i in 0..5u8 {
+            add(
+                &mut live,
+                &mut persistence,
+                Mutation::AddEdge {
+                    source: format!("203.0.{i}.1"),
+                    target: format!("203.0.{}.1", i + 1),
+                    bytes: 10 + i as i64,
+                    connections: 1,
+                    packets: 2,
+                },
+            );
+        }
+        assert!(
+            persistence.append_only,
+            "append-only run must keep the flag"
+        );
+        persistence.force_snapshot(&live).unwrap();
+        let stored = persistence.store().read_snapshot(live.epoch()).unwrap();
+        assert_eq!(
+            String::from_utf8(stored).unwrap(),
+            write_snapshot(&live),
+            "prefix-reusing snapshot must be byte-identical to a full write"
+        );
+        // A non-append mutation clears the flag; the next snapshot is a
+        // full rewrite and still byte-identical.
+        add(
+            &mut live,
+            &mut persistence,
+            Mutation::RemoveEdge {
+                source: "203.0.0.1".into(),
+                target: "203.0.1.1".into(),
+            },
+        );
+        assert!(!persistence.append_only);
+        persistence.force_snapshot(&live).unwrap();
+        let stored = persistence.store().read_snapshot(live.epoch()).unwrap();
+        assert_eq!(String::from_utf8(stored).unwrap(), write_snapshot(&live));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_an_occupied_directory_and_recover_an_empty_one() {
+        let dir = temp_dir("occupied");
+        let live = LiveNetwork::from_workload(&workload());
+        let _p = Persistence::create(&dir, &test_options(), &live).unwrap();
+        assert!(matches!(
+            Persistence::create(&dir, &test_options(), &live),
+            Err(ServeError::Storage(_))
+        ));
+        let empty = temp_dir("empty");
+        assert!(matches!(
+            Persistence::recover(&empty, &test_options()),
+            Err(ServeError::Storage(_))
+        ));
+        // recover_or_create handles both.
+        let (state, _, report) =
+            Persistence::recover_or_create(&empty, &test_options(), || live.clone()).unwrap();
+        assert!(state == live);
+        assert_eq!(report, RecoveryReport::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&empty).unwrap();
+    }
+}

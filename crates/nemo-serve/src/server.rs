@@ -13,6 +13,7 @@ use crate::cache::{CacheOutcome, CacheStats, Lookup, ProgramCache};
 use crate::error::ServeError;
 use crate::live::LiveNetwork;
 use crate::mutation::Epoch;
+use crate::persist::Persistence;
 use nemo_core::llm::extract_code;
 use nemo_core::prompt::codegen_prompt;
 use nemo_core::sandbox::execute_code;
@@ -71,6 +72,7 @@ pub struct Server<L: Llm> {
     live: LiveNetwork,
     cache: ProgramCache,
     sessions: Vec<Session<L>>,
+    persistence: Option<Persistence>,
 }
 
 impl<L: Llm> Server<L> {
@@ -80,6 +82,36 @@ impl<L: Llm> Server<L> {
             live,
             cache: ProgramCache::new(),
             sessions,
+            persistence: None,
+        }
+    }
+
+    /// [`Server::new`] with a durable storage handle: every applied
+    /// mutation is logged through it, snapshots are taken when due, and
+    /// [`Server::run_schedule`] fsyncs at mutation-batch boundaries.
+    pub fn with_persistence(
+        live: LiveNetwork,
+        sessions: Vec<Session<L>>,
+        persistence: Persistence,
+    ) -> Self {
+        Server {
+            live,
+            cache: ProgramCache::new(),
+            sessions,
+            persistence: Some(persistence),
+        }
+    }
+
+    /// The durable storage handle, if one is attached.
+    pub fn persistence(&self) -> Option<&Persistence> {
+        self.persistence.as_ref()
+    }
+
+    /// Fsyncs the WAL if persistence is attached (a batch boundary).
+    pub fn sync_persistence(&mut self) -> Result<(), ServeError> {
+        match &mut self.persistence {
+            Some(p) => p.sync(),
+            None => Ok(()),
         }
     }
 
@@ -98,9 +130,14 @@ impl<L: Llm> Server<L> {
         self.cache.program(query, backend)
     }
 
-    /// Applies one mutation event to the live network.
+    /// Applies one mutation event to the live network; with persistence
+    /// attached, the record is durably logged (and a snapshot taken when
+    /// due) before the epoch is acknowledged.
     pub fn apply_mutation(&mut self, event: &TimedEvent) -> Result<Epoch, ServeError> {
-        self.live.apply_event(event)
+        match &mut self.persistence {
+            Some(p) => self.live.apply_event_persisted(event, p),
+            None => self.live.apply_event(event),
+        }
     }
 
     /// Answers one query for one client through the cache hierarchy.
@@ -184,7 +221,13 @@ impl<L: Llm> Server<L> {
     }
 
     /// Processes one event and renders its deterministic transcript line.
-    pub fn process(&mut self, event: &ServeEvent) -> (String, Option<Reply>) {
+    ///
+    /// A mutation *conflict* is part of normal operation (the state is
+    /// untouched, the line records the rejection) — but a storage or
+    /// corruption error from the durable log is not: rendering it as
+    /// "rejected" would make a dying disk indistinguishable from a benign
+    /// duplicate, so those propagate as errors instead.
+    pub fn process(&mut self, event: &ServeEvent) -> Result<(String, Option<Reply>), ServeError> {
         match event {
             ServeEvent::Mutate(timed) => {
                 let line = match self.apply_mutation(timed) {
@@ -193,13 +236,14 @@ impl<L: Llm> Server<L> {
                         timed.at_ms,
                         crate::Mutation::from_event(&timed.event).describe()
                     ),
-                    Err(e) => format!(
+                    Err(e @ ServeError::Conflict(_)) => format!(
                         "[e{}] t={}ms mutate rejected: {e}",
                         self.live.epoch(),
                         timed.at_ms
                     ),
+                    Err(storage_or_corrupt) => return Err(storage_or_corrupt),
                 };
-                (line, None)
+                Ok((line, None))
             }
             ServeEvent::Query { client, query } => {
                 let reply = self.handle_query(*client, query);
@@ -212,21 +256,36 @@ impl<L: Llm> Server<L> {
                     reply.query,
                     one_line(&reply.answer),
                 );
-                (line, Some(reply))
+                Ok((line, Some(reply)))
             }
         }
     }
 
     /// Runs a whole schedule, returning the transcript and every reply.
-    pub fn run_schedule(&mut self, events: &[ServeEvent]) -> (Vec<String>, Vec<Reply>) {
+    /// With persistence attached, the WAL is fsynced at every
+    /// mutation-batch boundary (the last mutation before a query, and the
+    /// end of the schedule), so "every applied mutation batch is durably
+    /// logged" holds under [`crate::FsyncPolicy::EveryBatch`]. A failed
+    /// boundary fsync aborts the schedule with the error (the transcript
+    /// up to that point is lost to the caller by design — it was not
+    /// durable). Without persistence the call is infallible.
+    pub fn run_schedule(
+        &mut self,
+        events: &[ServeEvent],
+    ) -> Result<(Vec<String>, Vec<Reply>), ServeError> {
         let mut transcript = Vec::with_capacity(events.len());
         let mut replies = Vec::new();
-        for event in events {
-            let (line, reply) = self.process(event);
+        for (i, event) in events.iter().enumerate() {
+            let (line, reply) = self.process(event)?;
             transcript.push(line);
             replies.extend(reply);
+            let batch_ends = matches!(event, ServeEvent::Mutate(_))
+                && !matches!(events.get(i + 1), Some(ServeEvent::Mutate(_)));
+            if batch_ends {
+                self.sync_persistence()?;
+            }
         }
-        (transcript, replies)
+        Ok((transcript, replies))
     }
 }
 
@@ -359,7 +418,7 @@ mod tests {
                     llm: scripted(4),
                 }],
             );
-            server.run_schedule(&schedule).0
+            server.run_schedule(&schedule).expect("no persistence").0
         };
         let a = run();
         let b = run();

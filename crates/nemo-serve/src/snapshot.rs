@@ -20,22 +20,42 @@ use std::collections::BTreeMap;
 /// Schema tag written into (and required from) every snapshot document.
 pub const SNAPSHOT_SCHEMA: &str = "nemo-snapshot/v1";
 
+/// The format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
 /// Serializes a live network into a versioned snapshot document.
 pub fn write_snapshot(live: &LiveNetwork) -> String {
+    write_snapshot_with_frames(live, &to_csv(live.nodes()), &to_csv(live.edges()))
+}
+
+/// [`write_snapshot`] with the frame CSV supplied by the caller, for
+/// incremental writers that reuse the previous snapshot's unchanged prefix
+/// and encode only appended rows (`export_flows_since`-style). The
+/// supplied strings must equal a fresh `to_csv` of the live frames — the
+/// output is then byte-identical to [`write_snapshot`].
+pub fn write_snapshot_with_frames(live: &LiveNetwork, nodes_csv: &str, edges_csv: &str) -> String {
     let mut root = BTreeMap::new();
     root.insert(
         "schema".to_string(),
         JsonValue::String(SNAPSHOT_SCHEMA.to_string()),
     );
     root.insert("epoch".to_string(), JsonValue::Number(live.epoch() as f64));
+    // Stable provenance header: the epoch the writer observed when the
+    // document was produced. Always equal to "epoch" for full snapshots;
+    // kept as its own field so readers of any future delta format can rely
+    // on it unconditionally.
+    root.insert(
+        "created_epoch".to_string(),
+        JsonValue::Number(live.epoch() as f64),
+    );
     root.insert("graph".to_string(), graph_to_json(live.graph()));
     root.insert(
         "nodes_csv".to_string(),
-        JsonValue::String(to_csv(live.nodes())),
+        JsonValue::String(nodes_csv.to_string()),
     );
     root.insert(
         "edges_csv".to_string(),
-        JsonValue::String(to_csv(live.edges())),
+        JsonValue::String(edges_csv.to_string()),
     );
     JsonValue::Object(root).to_json()
 }
@@ -52,6 +72,25 @@ pub fn read_snapshot(text: &str) -> Result<LiveNetwork, ServeError> {
     };
     match root.get("schema") {
         Some(JsonValue::String(s)) if s == SNAPSHOT_SCHEMA => {}
+        Some(JsonValue::String(s)) => {
+            // A versioned-but-newer document gets a clear refusal (not a
+            // parse panic deeper in): the operator learns to upgrade, not
+            // to suspect disk corruption.
+            if let Some(version) = s
+                .strip_prefix("nemo-snapshot/v")
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                if version > SNAPSHOT_VERSION {
+                    return Err(corrupt(format!(
+                        "snapshot format version {version} is newer than this build \
+                         supports (v{SNAPSHOT_VERSION}); refusing to load"
+                    )));
+                }
+            }
+            return Err(corrupt(format!(
+                "schema field is {s:?}, want \"{SNAPSHOT_SCHEMA}\""
+            )));
+        }
         other => {
             return Err(corrupt(format!(
                 "schema field is {other:?}, want \"{SNAPSHOT_SCHEMA}\""
@@ -62,6 +101,19 @@ pub fn read_snapshot(text: &str) -> Result<LiveNetwork, ServeError> {
         Some(JsonValue::Number(n)) if n.fract() == 0.0 && *n >= 0.0 => *n as u64,
         other => return Err(corrupt(format!("epoch field is {other:?}"))),
     };
+    // The provenance header is optional under v1 (documents written
+    // before it existed stay readable), but when present it must agree
+    // with the state epoch — a mismatch means a corrupted or hand-edited
+    // file.
+    match root.get("created_epoch") {
+        None => {}
+        Some(JsonValue::Number(n)) if n.fract() == 0.0 && *n as u64 == epoch => {}
+        Some(other) => {
+            return Err(corrupt(format!(
+                "created_epoch field is {other:?}, want {epoch}"
+            )))
+        }
+    }
     let graph = match root.get("graph") {
         Some(value) => graph_from_json(value).map_err(|e| corrupt(format!("graph: {e}")))?,
         None => return Err(corrupt("missing 'graph'".to_string())),
@@ -84,6 +136,17 @@ pub fn read_snapshot(text: &str) -> Result<LiveNetwork, ServeError> {
 /// the log, so both cases surface as [`ServeError`].
 pub fn replay(snapshot: &str, wal: &[WalRecord]) -> Result<LiveNetwork, ServeError> {
     let mut live = read_snapshot(snapshot)?;
+    apply_wal(&mut live, wal)?;
+    Ok(live)
+}
+
+/// Applies a WAL suffix to an already-restored network: records at or
+/// below the current epoch are skipped, the rest must continue the epoch
+/// sequence contiguously and apply cleanly. Returns the number of records
+/// actually applied. This is the shared replay loop of [`replay`] and the
+/// disk-recovery path in [`crate::persist`].
+pub fn apply_wal(live: &mut LiveNetwork, wal: &[WalRecord]) -> Result<u64, ServeError> {
+    let mut applied_count = 0;
     for record in wal {
         if record.epoch <= live.epoch() {
             continue;
@@ -97,8 +160,9 @@ pub fn replay(snapshot: &str, wal: &[WalRecord]) -> Result<LiveNetwork, ServeErr
         }
         let applied = live.apply(record.at_ms, record.mutation.clone())?;
         debug_assert_eq!(applied, record.epoch);
+        applied_count += 1;
     }
-    Ok(live)
+    Ok(applied_count)
 }
 
 #[cfg(test)]
@@ -157,6 +221,51 @@ mod tests {
         let replayed = replay(&mid.unwrap(), live.wal()).unwrap();
         assert_eq!(replayed, live);
         assert_eq!(write_snapshot(&replayed), write_snapshot(&live));
+    }
+
+    #[test]
+    fn snapshot_carries_a_stable_created_epoch_header() {
+        let live = evolved(7);
+        let text = write_snapshot(&live);
+        assert!(text.contains("\"created_epoch\":7"));
+        // Tampering with the provenance header is rejected.
+        let tampered = text.replace("\"created_epoch\":7", "\"created_epoch\":9");
+        assert!(matches!(
+            read_snapshot(&tampered),
+            Err(ServeError::Corrupt(_))
+        ));
+        // A pre-header v1 document (the field absent entirely) stays
+        // readable: the field was added without a version bump.
+        let legacy = text.replace("\"created_epoch\":7,", "");
+        assert!(legacy != text && read_snapshot(&legacy).is_ok());
+    }
+
+    #[test]
+    fn future_format_versions_are_refused_with_a_clear_error() {
+        let live = evolved(3);
+        let future = write_snapshot(&live).replace("nemo-snapshot/v1", "nemo-snapshot/v2");
+        match read_snapshot(&future) {
+            Err(ServeError::Corrupt(msg)) => {
+                assert!(msg.contains("version 2"), "{msg}");
+                assert!(msg.contains("refusing to load"), "{msg}");
+            }
+            other => panic!("expected a clear refusal, got {other:?}"),
+        }
+        // A non-versioned unknown schema still gets the generic error.
+        let alien = write_snapshot(&live).replace("nemo-snapshot/v1", "other-format");
+        assert!(matches!(read_snapshot(&alien), Err(ServeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn frame_injection_matches_the_full_writer_byte_for_byte() {
+        let live = evolved(12);
+        let full = write_snapshot(&live);
+        let injected = write_snapshot_with_frames(
+            &live,
+            &dataframe::csv::to_csv(live.nodes()),
+            &dataframe::csv::to_csv(live.edges()),
+        );
+        assert_eq!(injected, full);
     }
 
     #[test]

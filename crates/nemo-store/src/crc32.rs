@@ -1,0 +1,73 @@
+//! CRC-32 (IEEE 802.3, the zlib/`cksum -o3` polynomial), table-driven.
+//!
+//! Every frame the store writes carries the CRC of its payload; recovery
+//! distinguishes "the crash cut this frame short" (torn: truncate and
+//! continue) from "these bytes were silently damaged" (corrupt: fail
+//! loudly), and the checksum is what makes the second case detectable.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// 256-entry lookup table, built once on first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE, reflected, init/final xor `0xffff_ffff`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    crc ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let payload = b"nemo-wal record payload".to_vec();
+        let base = crc32(&payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    base,
+                    "flip at byte {byte} bit {bit} undetected"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The storage engine's error type.
+
+use std::fmt;
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed (rendered message; the
+    /// original `io::Error` is not kept so the type stays `Clone + Eq` for
+    /// tests).
+    Io(String),
+    /// On-disk bytes are damaged in a way a crash cannot explain: a CRC
+    /// mismatch on a complete frame, a bad segment header, an epoch gap
+    /// between segments, a tear anywhere but the newest segment's tail.
+    /// Recovery refuses to continue past this.
+    Corrupt(String),
+    /// The caller broke an append-side invariant (non-contiguous epoch,
+    /// snapshot older than an existing one).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::InvalidArgument(msg) => write!(f, "invalid store operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// Wraps an `io::Error` with the path it concerned.
+    pub fn io(context: &str, err: std::io::Error) -> StoreError {
+        StoreError::Io(format!("{context}: {err}"))
+    }
+}

@@ -1,0 +1,61 @@
+//! # nemo-store
+//!
+//! The durable storage engine under the serving layer: an append-only,
+//! segmented write-ahead log of length-prefixed CRC32-checksummed records,
+//! epoch-tagged snapshot files, and the retention/compaction/recovery
+//! discipline that ties the two together. The crate is deliberately
+//! *payload-agnostic* — records and snapshots are opaque byte strings, the
+//! caller (`nemo-serve`) owns the codec — so the storage rules stay small
+//! enough to reason about and property-test exhaustively:
+//!
+//! * **Records** ([`record`]) — every frame on disk is
+//!   `[len: u32 LE][crc32(payload): u32 LE][payload]`. A frame that ends
+//!   past the end of its file is *torn* (a crash cut it); a complete frame
+//!   whose CRC does not match is *corrupt* (the disk or an editor did it).
+//!   The two are never conflated.
+//! * **Segments** ([`segment`]) — WAL files named by the epoch of their
+//!   first record (`wal-<epoch20>.seg`), each starting with a magic header
+//!   frame. A segment is sealed when it reaches the configured size and a
+//!   new one is opened.
+//! * **Snapshots** — opaque documents framed like records in
+//!   `snap-<epoch20>.snap`, written to a temp file and atomically renamed.
+//! * **The store** ([`Store`]) — opens a directory, validates every frame,
+//!   truncates a torn tail on the *newest* segment only (any other tear or
+//!   any CRC mismatch fails loudly), appends with a configurable
+//!   [`FsyncPolicy`], triggers snapshots on byte/epoch thresholds, and
+//!   deletes WAL segments wholly covered by the newest snapshot.
+//!
+//! ```
+//! use nemo_store::{FsyncPolicy, Store, StoreConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("nemo-store-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut config = StoreConfig::new("nemo-wal/v1");
+//! config.fsync = FsyncPolicy::Never;
+//! let (mut store, report) = Store::open(&dir, config.clone()).unwrap();
+//! assert_eq!(report.truncated_bytes, 0);
+//! store.install_snapshot(0, b"genesis state").unwrap();
+//! store.append(1, b"first mutation").unwrap();
+//! store.append(2, b"second mutation").unwrap();
+//! store.sync().unwrap();
+//!
+//! // A reopened store sees the same log.
+//! let (store, _) = Store::open(&dir, config).unwrap();
+//! let suffix = store.replay(0).unwrap();
+//! assert_eq!(suffix.len(), 2);
+//! assert_eq!(suffix[1], (2, b"second mutation".to_vec()));
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+mod error;
+pub mod record;
+pub mod segment;
+mod store;
+
+pub use error::StoreError;
+pub use store::{
+    parse_snapshot_name, snapshot_file_name, FsyncPolicy, OpenReport, Store, StoreConfig,
+};

@@ -1,0 +1,192 @@
+//! WAL segment files.
+//!
+//! A segment is a sequence of frames ([`crate::record`]): a header frame
+//! whose payload is `<magic>\n<first_epoch>` followed by one frame per WAL
+//! record. The file is named `wal-<first_epoch as 20 digits>.seg`, so a
+//! directory listing *is* the manifest: lexicographic filename order is
+//! epoch order, and the epoch of record `i` in a segment is
+//! `first_epoch + i` (the store enforces contiguous appends).
+
+use crate::error::StoreError;
+use crate::record::{encode_frame, scan_frames, Frame};
+use std::path::{Path, PathBuf};
+
+/// File extension of WAL segments.
+pub const SEGMENT_EXT: &str = "seg";
+
+/// File name of the segment whose first record carries `first_epoch`.
+pub fn segment_file_name(first_epoch: u64) -> String {
+    format!("wal-{first_epoch:020}.{SEGMENT_EXT}")
+}
+
+/// Parses a segment file name back to its first epoch.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?;
+    let digits = rest.strip_suffix(&format!(".{SEGMENT_EXT}"))?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Encodes a segment's header frame.
+pub fn header_frame(magic: &str, first_epoch: u64) -> Vec<u8> {
+    encode_frame(format!("{magic}\n{first_epoch}").as_bytes())
+}
+
+/// Everything learned from scanning one segment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// Path scanned.
+    pub path: PathBuf,
+    /// First epoch, per the validated header frame. `None` when the header
+    /// frame itself is torn (the segment was created but the crash hit
+    /// before the header landed) — such a segment holds no records.
+    pub first_epoch: Option<u64>,
+    /// Record frames (header excluded), in epoch order.
+    pub frames: Vec<Frame>,
+    /// Byte offset of a torn tail, if the file ends mid-frame.
+    pub torn_at: Option<u64>,
+    /// Total file length in bytes.
+    pub file_len: u64,
+}
+
+impl SegmentScan {
+    /// Number of complete records (header excluded).
+    pub fn record_count(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Epoch of the last complete record, if any.
+    pub fn last_epoch(&self) -> Option<u64> {
+        let first = self.first_epoch?;
+        self.record_count().checked_sub(1).map(|i| first + i)
+    }
+}
+
+/// Reads and validates one segment file.
+///
+/// The header frame (when complete) must carry `magic` and the epoch the
+/// file name claims — both mismatches are corruption, not tears. A torn
+/// tail is reported, never an error: whether a tear is tolerable depends on
+/// the segment's position in the log, which is the store's call.
+pub fn scan_segment(path: &Path, magic: &str) -> Result<SegmentScan, StoreError> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::Corrupt(format!("unreadable segment name: {path:?}")))?;
+    let named_epoch = parse_segment_name(name)
+        .ok_or_else(|| StoreError::Corrupt(format!("not a segment file name: {name}")))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| StoreError::io(&format!("read {}", path.display()), e))?;
+    let context = path.display().to_string();
+    let scan = scan_frames(&bytes, &context)?;
+    let mut frames = scan.frames;
+    let first_epoch = if frames.is_empty() {
+        None
+    } else {
+        let header = frames.remove(0);
+        let text = String::from_utf8(header.payload)
+            .map_err(|_| StoreError::Corrupt(format!("{context}: header is not UTF-8")))?;
+        let (file_magic, epoch_text) = text
+            .split_once('\n')
+            .ok_or_else(|| StoreError::Corrupt(format!("{context}: malformed header")))?;
+        if file_magic != magic {
+            return Err(StoreError::Corrupt(format!(
+                "{context}: header magic is {file_magic:?}, want {magic:?}"
+            )));
+        }
+        let header_epoch: u64 = epoch_text
+            .parse()
+            .map_err(|_| StoreError::Corrupt(format!("{context}: bad header epoch")))?;
+        if header_epoch != named_epoch {
+            return Err(StoreError::Corrupt(format!(
+                "{context}: header epoch {header_epoch} disagrees with file name ({named_epoch})"
+            )));
+        }
+        Some(header_epoch)
+    };
+    Ok(SegmentScan {
+        path: path.to_path_buf(),
+        first_epoch,
+        frames,
+        torn_at: scan.torn_at.map(|o| o as u64),
+        file_len: bytes.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nemo-store-segment-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(segment_file_name(7), "wal-00000000000000000007.seg");
+        assert_eq!(parse_segment_name("wal-00000000000000000007.seg"), Some(7));
+        assert_eq!(parse_segment_name("snap-00000000000000000007.snap"), None);
+        assert_eq!(parse_segment_name("wal-7.seg"), None);
+    }
+
+    #[test]
+    fn scan_reads_header_and_records() {
+        let dir = temp_dir("scan");
+        let path = dir.join(segment_file_name(4));
+        let mut bytes = header_frame("magic/v1", 4);
+        bytes.extend_from_slice(&encode_frame(b"r4"));
+        bytes.extend_from_slice(&encode_frame(b"r5"));
+        fs::write(&path, &bytes).unwrap();
+        let scan = scan_segment(&path, "magic/v1").unwrap();
+        assert_eq!(scan.first_epoch, Some(4));
+        assert_eq!(scan.record_count(), 2);
+        assert_eq!(scan.last_epoch(), Some(5));
+        assert_eq!(scan.torn_at, None);
+        assert_eq!(scan.frames[0].payload, b"r4");
+        // Wrong magic is corruption.
+        assert!(matches!(
+            scan_segment(&path, "other/v2"),
+            Err(StoreError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_header_yields_no_records() {
+        let dir = temp_dir("torn");
+        let path = dir.join(segment_file_name(9));
+        let header = header_frame("magic/v1", 9);
+        fs::write(&path, &header[..header.len() - 3]).unwrap();
+        let scan = scan_segment(&path, "magic/v1").unwrap();
+        assert_eq!(scan.first_epoch, None);
+        assert_eq!(scan.record_count(), 0);
+        assert_eq!(scan.last_epoch(), None);
+        assert!(scan.torn_at.is_some());
+        // An empty file (crash between create and header write) is the
+        // degenerate case: no records, not even torn.
+        fs::write(&path, b"").unwrap();
+        let scan = scan_segment(&path, "magic/v1").unwrap();
+        assert_eq!(scan.first_epoch, None);
+        assert_eq!(scan.torn_at, None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn renamed_segment_is_rejected() {
+        let dir = temp_dir("rename");
+        let path = dir.join(segment_file_name(3));
+        fs::write(&path, header_frame("magic/v1", 8)).unwrap();
+        match scan_segment(&path, "magic/v1") {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("disagrees")),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

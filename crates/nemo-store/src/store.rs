@@ -1,0 +1,886 @@
+//! The store: a directory of WAL segments and snapshot files.
+//!
+//! The directory listing is the manifest. WAL segments are named by the
+//! epoch of their first record, snapshots by the epoch of the state they
+//! capture, so ordering and coverage questions are answered by file names
+//! alone; file *contents* are additionally checksummed frame by frame.
+//!
+//! Recovery discipline, enforced in [`Store::open`]:
+//!
+//! * leftover `.tmp` files (a crash mid-snapshot-write) are deleted;
+//! * every frame of every segment is checksum-verified;
+//! * a torn tail — the file ends mid-frame — is tolerated on the **newest**
+//!   segment only, and is physically truncated so appends continue from a
+//!   clean boundary; a tear anywhere else, or any CRC mismatch on a
+//!   complete frame, is corruption and fails loudly;
+//! * segment first-epochs must chain contiguously (a deleted middle
+//!   segment is unrecoverable and fails loudly).
+
+use crate::error::StoreError;
+use crate::record::encode_frame;
+use crate::segment::{scan_segment, segment_file_name, SegmentScan};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// When appended records reach the disk platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended record: no acknowledged record is ever
+    /// lost, at one disk round-trip per mutation.
+    EveryRecord,
+    /// No automatic `fsync`; the caller invokes [`Store::sync`] at batch
+    /// boundaries, amortizing the round-trip over the batch.
+    EveryBatch,
+    /// Never `fsync` (tests and benchmarks): durability degrades to
+    /// whatever the OS page cache survives.
+    Never,
+}
+
+/// File extension of snapshot documents.
+pub const SNAPSHOT_EXT: &str = "snap";
+
+/// File name of the snapshot capturing state at `epoch`.
+pub fn snapshot_file_name(epoch: u64) -> String {
+    format!("snap-{epoch:020}.{SNAPSHOT_EXT}")
+}
+
+/// Parses a snapshot file name back to its epoch.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("snap-")?;
+    let digits = rest.strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Sizing and durability knobs of one store.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Magic string written into (and required from) every segment header;
+    /// the payload format version tag (e.g. `nemo-wal/v1`).
+    pub magic: String,
+    /// Automatic fsync behavior on append.
+    pub fsync: FsyncPolicy,
+    /// Seal the active segment and open a new one once it holds at least
+    /// this many bytes.
+    pub segment_max_bytes: u64,
+    /// Report a snapshot as due once this many WAL bytes accumulated since
+    /// the newest snapshot (0 disables the byte trigger).
+    pub snapshot_every_bytes: u64,
+    /// Report a snapshot as due once this many epochs passed since the
+    /// newest snapshot (0 disables the epoch trigger).
+    pub snapshot_every_epochs: u64,
+    /// How many snapshots to retain (at least 1; older ones are deleted
+    /// when a new snapshot is installed).
+    pub keep_snapshots: usize,
+}
+
+impl StoreConfig {
+    /// A config with the given magic and defaults sized for serving: 1 MiB
+    /// segments, batch-boundary fsync, snapshot every 256 KiB of WAL or
+    /// 1024 epochs, two snapshots retained.
+    pub fn new(magic: &str) -> Self {
+        StoreConfig {
+            magic: magic.to_string(),
+            fsync: FsyncPolicy::EveryBatch,
+            segment_max_bytes: 1 << 20,
+            snapshot_every_bytes: 256 << 10,
+            snapshot_every_epochs: 1024,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// A fully validated, no-longer-written segment.
+#[derive(Debug)]
+struct Sealed {
+    path: PathBuf,
+    first_epoch: u64,
+    records: u64,
+    bytes: u64,
+}
+
+/// The newest segment, open for append.
+#[derive(Debug)]
+struct Active {
+    file: File,
+    path: PathBuf,
+    first_epoch: u64,
+    records: u64,
+    bytes: u64,
+}
+
+impl Active {
+    fn last_epoch(&self) -> Option<u64> {
+        self.records.checked_sub(1).map(|i| self.first_epoch + i)
+    }
+}
+
+/// What [`Store::open`] found and repaired.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpenReport {
+    /// Bytes cut off the newest segment's torn tail (0 on a clean open).
+    pub truncated_bytes: u64,
+    /// Newest segment deleted whole because its header frame never landed.
+    pub removed_torn_segment: bool,
+    /// Leftover `.tmp` files deleted.
+    pub removed_tmp_files: usize,
+    /// Segments present after repair.
+    pub segments: usize,
+    /// Snapshot files present.
+    pub snapshots: usize,
+}
+
+/// A directory of checksummed WAL segments plus snapshot files.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    sealed: Vec<Sealed>,
+    active: Option<Active>,
+    /// Snapshot epochs, ascending.
+    snapshots: Vec<u64>,
+    /// Epoch of the last durable record (or snapshot, whichever is
+    /// newest); `None` for an empty store.
+    last_epoch: Option<u64>,
+    /// WAL bytes appended since the newest snapshot was installed — the
+    /// byte trigger of [`Store::snapshot_due`]. On reopen this is
+    /// approximated from segments holding records past the newest
+    /// snapshot (whole-segment granularity, conservative).
+    bytes_since_snapshot: u64,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`, validating every
+    /// frame and repairing a crash tail — see the module docs for the
+    /// recovery discipline.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<(Store, OpenReport), StoreError> {
+        if config.keep_snapshots == 0 {
+            return Err(StoreError::InvalidArgument(
+                "keep_snapshots must be at least 1".to_string(),
+            ));
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StoreError::io(&format!("create {}", dir.display()), e))?;
+        let mut report = OpenReport::default();
+        let mut segment_paths: Vec<PathBuf> = Vec::new();
+        let mut snapshots: Vec<u64> = Vec::new();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| StoreError::io(&format!("list {}", dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("list entry", e))?;
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                std::fs::remove_file(&path)
+                    .map_err(|e| StoreError::io(&format!("remove {name}"), e))?;
+                report.removed_tmp_files += 1;
+            } else if crate::segment::parse_segment_name(name).is_some() {
+                segment_paths.push(path);
+            } else if parse_snapshot_name(name).is_some() {
+                snapshots.push(parse_snapshot_name(name).expect("just matched"));
+            }
+        }
+        segment_paths.sort();
+        snapshots.sort_unstable();
+
+        // Scan and validate every segment; repair the newest one's tail.
+        let mut scans: Vec<SegmentScan> = Vec::with_capacity(segment_paths.len());
+        for path in &segment_paths {
+            scans.push(scan_segment(path, &config.magic)?);
+        }
+        for (i, scan) in scans.iter().enumerate() {
+            let is_last = i + 1 == scans.len();
+            if !is_last && (scan.torn_at.is_some() || scan.first_epoch.is_none()) {
+                return Err(StoreError::Corrupt(format!(
+                    "{}: torn frame in a non-final segment (a later segment exists, \
+                     so this cannot be a crash tail)",
+                    scan.path.display()
+                )));
+            }
+            if i > 0 {
+                let prev = &scans[i - 1];
+                let expected = prev.first_epoch.expect("non-final segments have headers")
+                    + prev.record_count();
+                let got = scan.first_epoch.unwrap_or(expected);
+                if got != expected {
+                    return Err(StoreError::Corrupt(format!(
+                        "epoch gap between segments: {} starts at epoch {}, expected {} \
+                         (a WAL segment is missing)",
+                        scan.path.display(),
+                        got,
+                        expected
+                    )));
+                }
+            }
+        }
+        if let Some(last) = scans.last_mut() {
+            if last.first_epoch.is_none() {
+                // The crash hit before the header frame landed: the file
+                // holds nothing; remove it entirely.
+                std::fs::remove_file(&last.path)
+                    .map_err(|e| StoreError::io(&format!("remove {}", last.path.display()), e))?;
+                report.truncated_bytes += last.file_len;
+                report.removed_torn_segment = true;
+                scans.pop();
+            } else if let Some(torn_at) = last.torn_at {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&last.path)
+                    .map_err(|e| StoreError::io(&format!("open {}", last.path.display()), e))?;
+                file.set_len(torn_at)
+                    .map_err(|e| StoreError::io(&format!("truncate {}", last.path.display()), e))?;
+                file.sync_data()
+                    .map_err(|e| StoreError::io(&format!("sync {}", last.path.display()), e))?;
+                report.truncated_bytes += last.file_len - torn_at;
+                last.file_len = torn_at;
+                last.torn_at = None;
+            }
+        }
+
+        // All but the newest segment are sealed; the newest reopens for
+        // append.
+        let mut sealed: Vec<Sealed> = Vec::new();
+        let mut active: Option<Active> = None;
+        let scan_count = scans.len();
+        for (i, scan) in scans.into_iter().enumerate() {
+            let first_epoch = scan.first_epoch.expect("headerless segment was removed");
+            let records = scan.record_count();
+            if i + 1 == scan_count {
+                let file = OpenOptions::new()
+                    .append(true)
+                    .open(&scan.path)
+                    .map_err(|e| StoreError::io(&format!("open {}", scan.path.display()), e))?;
+                active = Some(Active {
+                    file,
+                    path: scan.path,
+                    first_epoch,
+                    records,
+                    bytes: scan.file_len,
+                });
+            } else {
+                sealed.push(Sealed {
+                    path: scan.path,
+                    first_epoch,
+                    records,
+                    bytes: scan.file_len,
+                });
+            }
+        }
+
+        let wal_last = active.as_ref().and_then(Active::last_epoch).or_else(|| {
+            sealed
+                .last()
+                .and_then(|s| s.records.checked_sub(1).map(|i| s.first_epoch + i))
+        });
+        let snap_last = snapshots.last().copied();
+        let last_epoch = match (wal_last, snap_last) {
+            (Some(w), Some(s)) => Some(w.max(s)),
+            (w, s) => w.or(s),
+        };
+        report.segments = sealed.len() + usize::from(active.is_some());
+        report.snapshots = snapshots.len();
+        // Bytes-since-snapshot approximation: segments whose records reach
+        // past the newest snapshot still count toward the next byte
+        // trigger.
+        let newest_snapshot = snap_last;
+        let segment_counts = |first: u64, records: u64, bytes: u64| -> u64 {
+            let last = records.checked_sub(1).map(|i| first + i);
+            match (last, newest_snapshot) {
+                (Some(last), Some(snap)) if last <= snap => 0,
+                (None, _) => 0,
+                _ => bytes,
+            }
+        };
+        let bytes_since_snapshot = sealed
+            .iter()
+            .map(|s| segment_counts(s.first_epoch, s.records, s.bytes))
+            .sum::<u64>()
+            + active
+                .as_ref()
+                .map_or(0, |a| segment_counts(a.first_epoch, a.records, a.bytes));
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                config,
+                sealed,
+                active,
+                snapshots,
+                last_epoch,
+                bytes_since_snapshot,
+            },
+            report,
+        ))
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True when the store holds no segments and no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.active.is_none() && self.snapshots.is_empty()
+    }
+
+    /// Epoch of the last record or snapshot, whichever is newest.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.last_epoch
+    }
+
+    /// Snapshot epochs on disk, ascending.
+    pub fn snapshot_epochs(&self) -> &[u64] {
+        &self.snapshots
+    }
+
+    /// Paths of all WAL segments, oldest first (the active segment last).
+    pub fn segment_paths(&self) -> Vec<PathBuf> {
+        let mut paths: Vec<PathBuf> = self.sealed.iter().map(|s| s.path.clone()).collect();
+        paths.extend(self.active.as_ref().map(|a| a.path.clone()));
+        paths
+    }
+
+    /// Total bytes across all WAL segment files.
+    pub fn wal_bytes(&self) -> u64 {
+        self.sealed.iter().map(|s| s.bytes).sum::<u64>()
+            + self.active.as_ref().map_or(0, |a| a.bytes)
+    }
+
+    /// Appends one record. `epoch` must continue the store's epoch sequence
+    /// contiguously (`last_epoch + 1`); the first append of an empty store
+    /// sets the sequence's origin.
+    pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.is_empty() {
+            // An empty frame is 8 zero bytes — what the decoder classifies
+            // as a zero-filled crash tail. Writing one would make the next
+            // open silently truncate it (and everything after it).
+            return Err(StoreError::InvalidArgument(
+                "record payloads must be non-empty".to_string(),
+            ));
+        }
+        if let Some(last) = self.last_epoch {
+            if epoch != last + 1 {
+                return Err(StoreError::InvalidArgument(format!(
+                    "append epoch {epoch} does not continue the log (last epoch is {last})"
+                )));
+            }
+        }
+        // Rotate when the active segment is full (or absent).
+        let needs_new = match &self.active {
+            None => true,
+            Some(active) => active.bytes >= self.config.segment_max_bytes,
+        };
+        if needs_new {
+            if let Some(active) = self.active.take() {
+                self.sealed.push(Sealed {
+                    path: active.path,
+                    first_epoch: active.first_epoch,
+                    records: active.records,
+                    bytes: active.bytes,
+                });
+            }
+            self.active = Some(self.create_segment(epoch)?);
+        }
+        let frame = encode_frame(payload);
+        let active = self.active.as_mut().expect("just ensured");
+        active
+            .file
+            .write_all(&frame)
+            .map_err(|e| StoreError::io(&format!("append to {}", active.path.display()), e))?;
+        active.records += 1;
+        active.bytes += frame.len() as u64;
+        self.bytes_since_snapshot += frame.len() as u64;
+        if self.config.fsync == FsyncPolicy::EveryRecord {
+            active
+                .file
+                .sync_data()
+                .map_err(|e| StoreError::io(&format!("fsync {}", active.path.display()), e))?;
+        }
+        self.last_epoch = Some(epoch);
+        Ok(())
+    }
+
+    /// Forces the active segment to disk (the batch-boundary fsync under
+    /// [`FsyncPolicy::EveryBatch`]; a no-op when nothing is open). Syncs
+    /// regardless of policy — the policy only governs *automatic* syncs.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(active) = &self.active {
+            active
+                .file
+                .sync_data()
+                .map_err(|e| StoreError::io(&format!("fsync {}", active.path.display()), e))?;
+        }
+        Ok(())
+    }
+
+    /// Creates a fresh segment whose first record will carry `first_epoch`.
+    fn create_segment(&self, first_epoch: u64) -> Result<Active, StoreError> {
+        let path = self.dir.join(segment_file_name(first_epoch));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(&format!("create {}", path.display()), e))?;
+        let header = crate::segment::header_frame(&self.config.magic, first_epoch);
+        file.write_all(&header)
+            .map_err(|e| StoreError::io(&format!("write header {}", path.display()), e))?;
+        if self.config.fsync != FsyncPolicy::Never {
+            file.sync_data()
+                .map_err(|e| StoreError::io(&format!("fsync {}", path.display()), e))?;
+            self.sync_dir()?;
+        }
+        Ok(Active {
+            file,
+            path,
+            first_epoch,
+            records: 0,
+            bytes: header.len() as u64,
+        })
+    }
+
+    fn sync_dir(&self) -> Result<(), StoreError> {
+        File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| StoreError::io(&format!("fsync dir {}", self.dir.display()), e))
+    }
+
+    /// Atomically installs a snapshot of the state at `epoch` (written to a
+    /// temp file, framed and checksummed, then renamed into place), prunes
+    /// snapshots beyond the retention count, and deletes WAL segments
+    /// wholly covered by the new snapshot.
+    pub fn install_snapshot(&mut self, epoch: u64, document: &[u8]) -> Result<(), StoreError> {
+        if document.is_empty() {
+            return Err(StoreError::InvalidArgument(
+                "snapshot documents must be non-empty".to_string(),
+            ));
+        }
+        if let Some(&newest) = self.snapshots.last() {
+            if epoch <= newest {
+                return Err(StoreError::InvalidArgument(format!(
+                    "snapshot epoch {epoch} is not newer than the existing snapshot at {newest}"
+                )));
+            }
+        }
+        if let Some(last) = self.last_epoch {
+            if epoch > last {
+                return Err(StoreError::InvalidArgument(format!(
+                    "snapshot epoch {epoch} is ahead of the log (last epoch is {last})"
+                )));
+            }
+        }
+        let final_path = self.dir.join(snapshot_file_name(epoch));
+        let tmp_path = self.dir.join(format!("{}.tmp", snapshot_file_name(epoch)));
+        {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)
+                .map_err(|e| StoreError::io(&format!("create {}", tmp_path.display()), e))?;
+            file.write_all(&encode_frame(document))
+                .map_err(|e| StoreError::io(&format!("write {}", tmp_path.display()), e))?;
+            if self.config.fsync != FsyncPolicy::Never {
+                file.sync_data()
+                    .map_err(|e| StoreError::io(&format!("fsync {}", tmp_path.display()), e))?;
+            }
+        }
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| StoreError::io(&format!("rename {}", final_path.display()), e))?;
+        if self.config.fsync != FsyncPolicy::Never {
+            self.sync_dir()?;
+        }
+        self.snapshots.push(epoch);
+        self.snapshots.sort_unstable();
+        self.last_epoch = Some(self.last_epoch.map_or(epoch, |l| l.max(epoch)));
+
+        // Retention: keep the newest `keep_snapshots` snapshots.
+        while self.snapshots.len() > self.config.keep_snapshots {
+            let old = self.snapshots.remove(0);
+            let path = self.dir.join(snapshot_file_name(old));
+            std::fs::remove_file(&path)
+                .map_err(|e| StoreError::io(&format!("remove {}", path.display()), e))?;
+        }
+        // Compact to the *oldest retained* snapshot: every retained
+        // snapshot must keep a replayable WAL suffix so recovery can fall
+        // back past a damaged newer document. With `keep_snapshots == 1`
+        // this is the newest snapshot.
+        let covered = *self.snapshots.first().expect("just installed one");
+        self.bytes_since_snapshot = 0;
+        self.compact(covered)
+    }
+
+    /// Deletes WAL segments whose records all fall at or below
+    /// `covered_epoch` (they are fully captured by the snapshot at that
+    /// epoch).
+    fn compact(&mut self, covered_epoch: u64) -> Result<(), StoreError> {
+        let mut kept = Vec::new();
+        for segment in self.sealed.drain(..) {
+            // A sealed segment covering [first, first+records-1]; a
+            // header-only segment (records 0) is covered once the epoch it
+            // was created for is.
+            let last = segment.first_epoch + segment.records.saturating_sub(1);
+            if last <= covered_epoch {
+                std::fs::remove_file(&segment.path).map_err(|e| {
+                    StoreError::io(&format!("remove {}", segment.path.display()), e)
+                })?;
+            } else {
+                kept.push(segment);
+            }
+        }
+        self.sealed = kept;
+        let active_covered = self.active.as_ref().is_some_and(|a| {
+            a.last_epoch().unwrap_or(a.first_epoch.saturating_sub(1)) <= covered_epoch
+        });
+        if active_covered {
+            let active = self.active.take().expect("just checked");
+            std::fs::remove_file(&active.path)
+                .map_err(|e| StoreError::io(&format!("remove {}", active.path.display()), e))?;
+        }
+        if self.config.fsync != FsyncPolicy::Never {
+            self.sync_dir()?;
+        }
+        Ok(())
+    }
+
+    /// Whether the configured thresholds call for a snapshot at
+    /// `current_epoch`: enough WAL bytes or enough epochs accumulated past
+    /// the newest snapshot.
+    pub fn snapshot_due(&self, current_epoch: u64) -> bool {
+        let newest = self.snapshots.last().copied();
+        let byte_due = self.config.snapshot_every_bytes > 0
+            && self.bytes_since_snapshot >= self.config.snapshot_every_bytes;
+        let epoch_due = self.config.snapshot_every_epochs > 0
+            && newest.map_or(true, |n| {
+                current_epoch.saturating_sub(n) >= self.config.snapshot_every_epochs
+            });
+        byte_due || epoch_due
+    }
+
+    /// Reads and checksum-verifies a snapshot document.
+    pub fn read_snapshot(&self, epoch: u64) -> Result<Vec<u8>, StoreError> {
+        let path = self.dir.join(snapshot_file_name(epoch));
+        let bytes = std::fs::read(&path)
+            .map_err(|e| StoreError::io(&format!("read {}", path.display()), e))?;
+        let context = path.display().to_string();
+        let scan = crate::record::scan_frames(&bytes, &context)?;
+        if scan.torn_at.is_some() || scan.frames.len() != 1 {
+            return Err(StoreError::Corrupt(format!(
+                "{context}: expected exactly one complete frame"
+            )));
+        }
+        Ok(scan.frames.into_iter().next().expect("one frame").payload)
+    }
+
+    /// Replays the WAL: every `(epoch, payload)` with epoch strictly above
+    /// `from_epoch`, in order. Segments wholly at or below `from_epoch` are
+    /// skipped without reading.
+    pub fn replay(&self, from_epoch: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        let mut out = Vec::new();
+        let ranges: Vec<(PathBuf, u64, u64)> = self
+            .sealed
+            .iter()
+            .map(|s| (s.path.clone(), s.first_epoch, s.records))
+            .chain(
+                self.active
+                    .as_ref()
+                    .map(|a| (a.path.clone(), a.first_epoch, a.records)),
+            )
+            .collect();
+        for (path, first_epoch, records) in ranges {
+            if records > 0 && first_epoch + records - 1 <= from_epoch {
+                continue;
+            }
+            let scan = scan_segment(&path, &self.config.magic)?;
+            if scan.torn_at.is_some() {
+                return Err(StoreError::Corrupt(format!(
+                    "{}: segment changed since open (unexpected torn frame)",
+                    path.display()
+                )));
+            }
+            for (i, frame) in scan.frames.iter().enumerate() {
+                let epoch = first_epoch + i as u64;
+                if epoch > from_epoch {
+                    out.push((epoch, frame.payload.clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for Store {
+    /// Best-effort flush so a clean shutdown never depends on the caller
+    /// remembering a final [`Store::sync`].
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nemo-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_config() -> StoreConfig {
+        let mut config = StoreConfig::new("test-wal/v1");
+        config.fsync = FsyncPolicy::Never;
+        config.segment_max_bytes = 64; // tiny: a few records per segment
+        config.snapshot_every_bytes = 0;
+        config.snapshot_every_epochs = 0;
+        config
+    }
+
+    fn payload(epoch: u64) -> Vec<u8> {
+        format!("record-{epoch}").into_bytes()
+    }
+
+    #[test]
+    fn append_rotate_reopen_replay() {
+        let dir = temp_dir("rotate");
+        let (mut store, report) = Store::open(&dir, test_config()).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(report, OpenReport::default());
+        for epoch in 1..=20 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        assert!(store.segment_paths().len() > 1, "tiny segments must rotate");
+        assert_eq!(store.last_epoch(), Some(20));
+        drop(store);
+
+        let (store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(store.last_epoch(), Some(20));
+        let all = store.replay(0).unwrap();
+        assert_eq!(all.len(), 20);
+        for (i, (epoch, bytes)) in all.iter().enumerate() {
+            assert_eq!(*epoch, i as u64 + 1);
+            assert_eq!(*bytes, payload(*epoch));
+        }
+        // Suffix replay skips early segments.
+        let suffix = store.replay(15).unwrap();
+        assert_eq!(suffix.len(), 5);
+        assert_eq!(suffix[0].0, 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_contiguous_appends_are_rejected() {
+        let dir = temp_dir("contig");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        store.append(1, b"one").unwrap();
+        assert!(matches!(
+            store.append(3, b"three"),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        // Empty payloads are rejected: their frames are byte-identical to
+        // a zero-filled crash tail.
+        assert!(matches!(
+            store.append(2, b""),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        // A snapshot also anchors the sequence.
+        store.install_snapshot(5, b"state at five").unwrap_err();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let dir = temp_dir("torn");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        for epoch in 1..=3 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        let last = store.segment_paths().pop().unwrap();
+        drop(store);
+        // Cut the newest segment mid-record.
+        let bytes = std::fs::read(&last).unwrap();
+        std::fs::write(&last, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.truncated_bytes, {
+            let tail_frame = encode_frame(&payload(3));
+            tail_frame.len() as u64 - 3
+        });
+        let all = store.replay(0).unwrap();
+        assert_eq!(all.last().map(|(e, _)| *e), Some(2), "torn record dropped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_fails_loudly() {
+        let dir = temp_dir("flip");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        for epoch in 1..=3 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        let first = store.segment_paths().remove(0);
+        drop(store);
+        let mut bytes = std::fs::read(&first).unwrap();
+        let mid = bytes.len() - 2; // payload byte of the last record
+        bytes[mid] ^= 0x40;
+        std::fs::write(&first, &bytes).unwrap();
+        match Store::open(&dir, test_config()) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("checksum")),
+            other => panic!("expected loud corruption failure, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deleted_middle_segment_fails_loudly() {
+        let dir = temp_dir("gap");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        for epoch in 1..=20 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        let paths = store.segment_paths();
+        assert!(paths.len() >= 3, "need at least three segments");
+        drop(store);
+        std::fs::remove_file(&paths[1]).unwrap();
+        match Store::open(&dir, test_config()) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("gap"), "{msg}"),
+            other => panic!("expected loud gap failure, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_in_non_final_segment_fails_loudly() {
+        let dir = temp_dir("midtear");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        for epoch in 1..=20 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        let paths = store.segment_paths();
+        drop(store);
+        let bytes = std::fs::read(&paths[0]).unwrap();
+        std::fs::write(&paths[0], &bytes[..bytes.len() - 2]).unwrap();
+        match Store::open(&dir, test_config()) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("non-final"), "{msg}"),
+            other => panic!("expected loud failure, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshots_install_prune_and_compact() {
+        let dir = temp_dir("snap");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        store.install_snapshot(0, b"genesis").unwrap();
+        for epoch in 1..=20 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        let before = store.segment_paths().len();
+        assert!(before >= 3);
+        store.install_snapshot(12, b"state at twelve").unwrap();
+        // Both snapshots are retained, and the WAL is compacted only to
+        // the *oldest* retained one (epoch 0): nothing deletable yet, so a
+        // fallback past snap-12 can still replay from genesis.
+        assert_eq!(store.snapshot_epochs(), &[0, 12]);
+        assert_eq!(store.segment_paths().len(), before);
+        assert_eq!(store.replay(0).unwrap().len(), 20);
+        // The third snapshot prunes epoch 0 and compacts to epoch 12:
+        // segments wholly at or below 12 are gone, the suffix stays.
+        store.append(21, &payload(21)).unwrap();
+        store.install_snapshot(21, b"state at twenty-one").unwrap();
+        assert_eq!(store.snapshot_epochs(), &[12, 21]);
+        let after = store.segment_paths().len();
+        assert!(after < before, "compaction must delete covered segments");
+        let suffix = store.replay(12).unwrap();
+        assert_eq!(suffix.first().map(|(e, _)| *e), Some(13));
+        assert_eq!(suffix.last().map(|(e, _)| *e), Some(21));
+        assert_eq!(store.read_snapshot(21).unwrap(), b"state at twenty-one");
+        assert!(store.read_snapshot(0).is_err(), "pruned snapshot is gone");
+        // Nothing newer than epoch 21 remains; appends continue at 22.
+        assert_eq!(store.replay(21).unwrap(), vec![]);
+        store.append(22, &payload(22)).unwrap();
+        drop(store);
+        let (store, _) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(store.last_epoch(), Some(22));
+        assert_eq!(store.replay(21).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_due_thresholds() {
+        let dir = temp_dir("due");
+        let mut config = test_config();
+        config.snapshot_every_epochs = 5;
+        let (mut store, _) = Store::open(&dir, config).unwrap();
+        // No snapshot at all: due immediately (the genesis snapshot).
+        assert!(store.snapshot_due(0));
+        store.install_snapshot(0, b"genesis").unwrap();
+        for epoch in 1..=4 {
+            store.append(epoch, &payload(epoch)).unwrap();
+            assert!(!store.snapshot_due(epoch));
+        }
+        store.append(5, &payload(5)).unwrap();
+        assert!(store.snapshot_due(5));
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // The byte trigger counts bytes appended *since the newest
+        // snapshot*; installing a snapshot resets it even while older
+        // (not yet compacted) segments remain on disk.
+        let dir = temp_dir("due-bytes");
+        let mut config = test_config();
+        config.snapshot_every_bytes = 200;
+        let (mut store, _) = Store::open(&dir, config).unwrap();
+        store.install_snapshot(0, b"genesis").unwrap();
+        let mut epoch = 0;
+        while !store.snapshot_due(epoch) {
+            epoch += 1;
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        store
+            .install_snapshot(epoch, b"threshold snapshot")
+            .unwrap();
+        assert!(
+            !store.snapshot_due(epoch),
+            "a fresh snapshot must clear the byte trigger (wal bytes: {})",
+            store.wal_bytes()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_files_are_cleaned_up() {
+        let dir = temp_dir("tmp");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        store.append(1, b"one").unwrap();
+        drop(store);
+        std::fs::write(dir.join("snap-00000000000000000009.snap.tmp"), b"half").unwrap();
+        let (store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.removed_tmp_files, 1);
+        assert_eq!(store.snapshot_epochs(), &[] as &[u64]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_read_is_loud_but_scoped() {
+        let dir = temp_dir("snapflip");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        store.install_snapshot(0, b"genesis document").unwrap();
+        let path = dir.join(snapshot_file_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        // Opening still works (snapshot contents are read lazily)...
+        let (store, _) = Store::open(&dir, test_config()).unwrap();
+        // ...but reading the snapshot reports the damage.
+        assert!(matches!(
+            store.read_snapshot(0),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -2,37 +2,59 @@
 //!
 //! These back the benchmark's diagnostic queries such as "What is the
 //! required number of hops for data transmission between these two nodes?".
+//!
+//! The kernels walk interned [`NodeId`] adjacency slices with dense
+//! `Vec`-indexed distance/predecessor tables; the public string API
+//! converts at the boundary only. Adjacency slices are sorted by neighbor
+//! name — exactly the order `Graph::successors` yields — and Dijkstra
+//! breaks cost ties by the node's position in the name-sorted id list, so
+//! every path and every length is byte-identical to the historical
+//! string-keyed implementation.
 
 use crate::error::{GraphError, Result};
-use crate::graph::Graph;
+use crate::graph::{Graph, NodeId};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
-/// Shortest path by hop count from `source` to `target`, as the list of
-/// nodes on the path (inclusive of both endpoints).
-pub fn shortest_path(g: &Graph, source: &str, target: &str) -> Result<Vec<String>> {
-    check_endpoints(g, source, target)?;
+/// Id-level BFS shortest-path kernel: the hop-minimal path from `source`
+/// to `target` (inclusive), or `None` when unreachable. Among equal-length
+/// paths the lexicographically-first by neighbor name is returned (the
+/// order adjacency slices are sorted in).
+pub fn shortest_path_ids(g: &Graph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
     if source == target {
-        return Ok(vec![source.to_string()]);
+        return Some(vec![source]);
     }
-    let mut prev: BTreeMap<String, String> = BTreeMap::new();
+    let mut prev: Vec<Option<NodeId>> = vec![None; g.id_bound()];
     let mut queue = VecDeque::new();
-    queue.push_back(source.to_string());
-    prev.insert(source.to_string(), source.to_string());
+    prev[source.index()] = Some(source);
+    queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        for v in g.successors(&u)? {
-            if !prev.contains_key(&v) {
-                prev.insert(v.clone(), u.clone());
+        for &v in g.successor_ids(u) {
+            if prev[v.index()].is_none() {
+                prev[v.index()] = Some(u);
                 if v == target {
-                    return Ok(rebuild_path(&prev, source, target));
+                    return Some(rebuild_path_ids(&prev, source, target));
                 }
                 queue.push_back(v);
             }
         }
     }
-    Err(GraphError::Algorithm(format!(
-        "no path between '{source}' and '{target}'"
-    )))
+    None
+}
+
+/// Shortest path by hop count from `source` to `target`, as the list of
+/// nodes on the path (inclusive of both endpoints).
+pub fn shortest_path(g: &Graph, source: &str, target: &str) -> Result<Vec<String>> {
+    let (src, tgt) = check_endpoints(g, source, target)?;
+    match shortest_path_ids(g, src, tgt) {
+        Some(path) => Ok(path
+            .into_iter()
+            .map(|id| g.node_name(id).to_string())
+            .collect()),
+        None => Err(GraphError::Algorithm(format!(
+            "no path between '{source}' and '{target}'"
+        ))),
+    }
 }
 
 /// Number of hops (edges) on the shortest path from `source` to `target`.
@@ -40,26 +62,36 @@ pub fn shortest_path_length(g: &Graph, source: &str, target: &str) -> Result<usi
     Ok(shortest_path(g, source, target)?.len() - 1)
 }
 
-/// Hop distance from `source` to every reachable node (NetworkX
-/// `single_source_shortest_path_length`).
-pub fn single_source_lengths(g: &Graph, source: &str) -> Result<BTreeMap<String, usize>> {
-    if !g.has_node(source) {
-        return Err(GraphError::NodeNotFound(source.to_string()));
-    }
-    let mut dist: BTreeMap<String, usize> = BTreeMap::new();
+/// Id-level single-source kernel: hop distance from `source` to every id,
+/// as a dense table indexed by [`NodeId::index`] (`None` = unreachable).
+pub fn single_source_lengths_ids(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist: Vec<Option<usize>> = vec![None; g.id_bound()];
     let mut queue = VecDeque::new();
-    dist.insert(source.to_string(), 0);
-    queue.push_back(source.to_string());
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        let du = dist[&u];
-        for v in g.successors(&u)? {
-            if !dist.contains_key(&v) {
-                dist.insert(v.clone(), du + 1);
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &v in g.successor_ids(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
                 queue.push_back(v);
             }
         }
     }
-    Ok(dist)
+    dist
+}
+
+/// Hop distance from `source` to every reachable node (NetworkX
+/// `single_source_shortest_path_length`).
+pub fn single_source_lengths(g: &Graph, source: &str) -> Result<BTreeMap<String, usize>> {
+    let src = g
+        .node_id(source)
+        .ok_or_else(|| GraphError::NodeNotFound(source.to_string()))?;
+    let dist = single_source_lengths_ids(g, src);
+    Ok(g.node_id_list()
+        .iter()
+        .filter_map(|&id| dist[id.index()].map(|d| (g.node_name(id).to_string(), d)))
+        .collect())
 }
 
 /// Weighted shortest path using Dijkstra's algorithm. `weight_attr` names
@@ -71,23 +103,31 @@ pub fn dijkstra_path(
     target: &str,
     weight_attr: &str,
 ) -> Result<(Vec<String>, f64)> {
-    check_endpoints(g, source, target)?;
+    let (src, tgt) = check_endpoints(g, source, target)?;
+
+    // Cost ties are broken by position in the name-sorted id list, which
+    // is the same ordering the historical string-keyed heap used.
+    let mut rank: Vec<usize> = vec![usize::MAX; g.id_bound()];
+    for (i, &id) in g.node_id_list().iter().enumerate() {
+        rank[id.index()] = i;
+    }
 
     #[derive(PartialEq)]
     struct Entry {
         cost: f64,
-        node: String,
+        rank: usize,
+        node: NodeId,
     }
     impl Eq for Entry {}
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> Ordering {
-            // Reverse so the BinaryHeap acts as a min-heap; ties broken by id
-            // to stay deterministic.
+            // Reverse so the BinaryHeap acts as a min-heap; ties broken by
+            // name rank to stay deterministic.
             other
                 .cost
                 .partial_cmp(&self.cost)
                 .unwrap_or(Ordering::Equal)
-                .then_with(|| other.node.cmp(&self.node))
+                .then_with(|| other.rank.cmp(&self.rank))
         }
     }
     impl PartialOrd for Entry {
@@ -96,41 +136,49 @@ pub fn dijkstra_path(
         }
     }
 
-    let mut dist: BTreeMap<String, f64> = BTreeMap::new();
-    let mut prev: BTreeMap<String, String> = BTreeMap::new();
+    let mut dist: Vec<f64> = vec![f64::INFINITY; g.id_bound()];
+    let mut prev: Vec<Option<NodeId>> = vec![None; g.id_bound()];
     let mut heap = BinaryHeap::new();
-    dist.insert(source.to_string(), 0.0);
+    dist[src.index()] = 0.0;
     heap.push(Entry {
         cost: 0.0,
-        node: source.to_string(),
+        rank: rank[src.index()],
+        node: src,
     });
-    while let Some(Entry { cost, node }) = heap.pop() {
-        if cost > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+    while let Some(Entry { cost, node, .. }) = heap.pop() {
+        if cost > dist[node.index()] {
             continue;
         }
-        if node == target {
-            let mut path = rebuild_path(&prev, source, target);
-            if path.is_empty() {
-                path = vec![source.to_string()];
-            }
-            return Ok((path, cost));
+        if node == tgt {
+            let mut path_prev = prev;
+            path_prev[src.index()] = Some(src);
+            let path = rebuild_path_ids(&path_prev, src, tgt);
+            let names = path
+                .into_iter()
+                .map(|id| g.node_name(id).to_string())
+                .collect();
+            return Ok((names, cost));
         }
-        for v in g.successors(&node)? {
+        for &v in g.successor_ids(node) {
             let w = g
-                .get_edge_attr_opt(&node, &v, weight_attr)
+                .edge_attrs_by_id(node, v)
+                .and_then(|attrs| attrs.get(weight_attr))
                 .and_then(|a| a.as_f64())
                 .unwrap_or(1.0);
             if w < 0.0 {
                 return Err(GraphError::InvalidArgument(format!(
-                    "negative weight on edge ('{node}', '{v}')"
+                    "negative weight on edge ('{}', '{}')",
+                    g.node_name(node),
+                    g.node_name(v)
                 )));
             }
             let next = cost + w;
-            if next < *dist.get(&v).unwrap_or(&f64::INFINITY) {
-                dist.insert(v.clone(), next);
-                prev.insert(v.clone(), node.clone());
+            if next < dist[v.index()] {
+                dist[v.index()] = next;
+                prev[v.index()] = Some(node);
                 heap.push(Entry {
                     cost: next,
+                    rank: rank[v.index()],
                     node: v,
                 });
             }
@@ -151,33 +199,35 @@ pub fn dijkstra_length(g: &Graph, source: &str, target: &str, weight_attr: &str)
 /// graphs with fewer than two nodes.
 pub fn hop_diameter(g: &Graph) -> Result<usize> {
     let mut best = 0;
-    for source in g.node_ids() {
-        let lengths = single_source_lengths(g, source)?;
-        if let Some(m) = lengths.values().max() {
-            best = best.max(*m);
+    for &source in g.node_id_list() {
+        for d in single_source_lengths_ids(g, source).into_iter().flatten() {
+            best = best.max(d);
         }
     }
     Ok(best)
 }
 
-fn check_endpoints(g: &Graph, source: &str, target: &str) -> Result<()> {
-    if !g.has_node(source) {
-        return Err(GraphError::NodeNotFound(source.to_string()));
-    }
-    if !g.has_node(target) {
-        return Err(GraphError::NodeNotFound(target.to_string()));
-    }
-    Ok(())
+fn check_endpoints(g: &Graph, source: &str, target: &str) -> Result<(NodeId, NodeId)> {
+    let src = g
+        .node_id(source)
+        .ok_or_else(|| GraphError::NodeNotFound(source.to_string()))?;
+    let tgt = g
+        .node_id(target)
+        .ok_or_else(|| GraphError::NodeNotFound(target.to_string()))?;
+    Ok((src, tgt))
 }
 
-fn rebuild_path(prev: &BTreeMap<String, String>, source: &str, target: &str) -> Vec<String> {
-    let mut path = vec![target.to_string()];
-    let mut cur = target.to_string();
+/// Walks the predecessor table back from `target` to `source`. `prev` must
+/// map `source` to itself (the BFS/Dijkstra loop guarantees every entry on
+/// the path is set).
+fn rebuild_path_ids(prev: &[Option<NodeId>], source: NodeId, target: NodeId) -> Vec<NodeId> {
+    let mut path = vec![target];
+    let mut cur = target;
     while cur != source {
-        match prev.get(&cur) {
+        match prev[cur.index()] {
             Some(p) => {
-                cur = p.clone();
-                path.push(cur.clone());
+                cur = p;
+                path.push(cur);
             }
             None => break,
         }
@@ -249,6 +299,14 @@ mod tests {
     }
 
     #[test]
+    fn dijkstra_source_equals_target() {
+        let g = weighted();
+        let (path, cost) = dijkstra_path(&g, "b", "b", "w").unwrap();
+        assert_eq!(path, vec!["b"]);
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
     fn single_source_lengths_cover_reachable_set() {
         let g = weighted();
         let d = single_source_lengths(&g, "a").unwrap();
@@ -265,5 +323,21 @@ mod tests {
         g.add_edge("2", "3", AttrMap::new());
         g.add_edge("3", "4", AttrMap::new());
         assert_eq!(hop_diameter(&g).unwrap(), 3);
+    }
+
+    #[test]
+    fn id_kernels_match_string_api_after_removals() {
+        let mut g = weighted();
+        g.remove_node("b").unwrap();
+        g.add_edge("c", "d", attrs([("w", 1i64)]));
+        let names = shortest_path(&g, "a", "c").unwrap();
+        assert_eq!(names, vec!["a", "d", "c"]);
+        let ids: Vec<&str> =
+            shortest_path_ids(&g, g.node_id("a").unwrap(), g.node_id("c").unwrap())
+                .unwrap()
+                .into_iter()
+                .map(|id| g.node_name(id))
+                .collect();
+        assert_eq!(ids, names);
     }
 }

@@ -1,0 +1,213 @@
+//! The NodeId shortest-path kernels must stay byte-identical to the
+//! historical string-keyed implementation — same paths (including
+//! tie-breaks), same lengths, same errors — mirroring PR 4's BFS/DFS port
+//! discipline. The "model" here is an in-test copy of the pre-port
+//! `shortest_path.rs` algorithms over the public string API.
+
+use netgraph::algo::shortest_path::{
+    dijkstra_path, hop_diameter, shortest_path, single_source_lengths,
+};
+use netgraph::{attrs, AttrValue, Graph};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+// ------------------------------------------------------------------ model
+// A faithful copy of the pre-port string-keyed algorithms.
+
+fn model_shortest_path(g: &Graph, source: &str, target: &str) -> Option<Vec<String>> {
+    if !g.has_node(source) || !g.has_node(target) {
+        return None;
+    }
+    if source == target {
+        return Some(vec![source.to_string()]);
+    }
+    let mut prev: BTreeMap<String, String> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(source.to_string());
+    prev.insert(source.to_string(), source.to_string());
+    while let Some(u) = queue.pop_front() {
+        for v in g.successors(&u).unwrap() {
+            if !prev.contains_key(&v) {
+                prev.insert(v.clone(), u.clone());
+                if v == target {
+                    return Some(model_rebuild(&prev, source, target));
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+fn model_single_source(g: &Graph, source: &str) -> BTreeMap<String, usize> {
+    let mut dist: BTreeMap<String, usize> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    dist.insert(source.to_string(), 0);
+    queue.push_back(source.to_string());
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        for v in g.successors(&u).unwrap() {
+            if !dist.contains_key(&v) {
+                dist.insert(v.clone(), du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+fn model_dijkstra(
+    g: &Graph,
+    source: &str,
+    target: &str,
+    weight: &str,
+) -> Option<(Vec<String>, f64)> {
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        node: String,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut dist: BTreeMap<String, f64> = BTreeMap::new();
+    let mut prev: BTreeMap<String, String> = BTreeMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(source.to_string(), 0.0);
+    heap.push(Entry {
+        cost: 0.0,
+        node: source.to_string(),
+    });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if cost > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        if node == target {
+            let mut path = model_rebuild(&prev, source, target);
+            if path.is_empty() {
+                path = vec![source.to_string()];
+            }
+            return Some((path, cost));
+        }
+        for v in g.successors(&node).unwrap() {
+            let w = g
+                .get_edge_attr_opt(&node, &v, weight)
+                .and_then(|a| a.as_f64())
+                .unwrap_or(1.0);
+            let next = cost + w;
+            if next < *dist.get(&v).unwrap_or(&f64::INFINITY) {
+                dist.insert(v.clone(), next);
+                prev.insert(v.clone(), node.clone());
+                heap.push(Entry {
+                    cost: next,
+                    node: v,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn model_rebuild(prev: &BTreeMap<String, String>, source: &str, target: &str) -> Vec<String> {
+    let mut path = vec![target.to_string()];
+    let mut cur = target.to_string();
+    while cur != source {
+        match prev.get(&cur) {
+            Some(p) => {
+                cur = p.clone();
+                path.push(cur.clone());
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+// -------------------------------------------------------------- generator
+
+/// A deterministic random graph over `n` nodes (dotted-quad names) with
+/// weighted edges, plus some node removals to exercise id reuse.
+fn build_graph(n: usize, directed: bool, edges: &[(usize, usize, i64)], drop: &[usize]) -> Graph {
+    let mut g = if directed {
+        Graph::directed()
+    } else {
+        Graph::undirected()
+    };
+    let name = |i: usize| format!("10.0.{}.{}", i / 8, i % 8);
+    for i in 0..n {
+        g.add_node(&name(i), attrs([("idx", AttrValue::Int(i as i64))]));
+    }
+    for &(u, v, w) in edges {
+        let (u, v) = (u % n, v % n);
+        if u != v {
+            g.add_edge(&name(u), &name(v), attrs([("w", AttrValue::Int(w))]));
+        }
+    }
+    for &d in drop {
+        let _ = g.remove_node(&name(d % n));
+    }
+    g
+}
+
+proptest! {
+    /// BFS paths, single-source length maps, Dijkstra paths/costs and the
+    /// hop diameter all match the historical implementation exactly.
+    #[test]
+    fn kernels_match_model_on_random_graphs(
+        n in 2usize..14,
+        directed in 0u8..2,
+        edges in prop::collection::vec((0usize..14, 0usize..14, 1i64..9), 0..40),
+        drop in prop::collection::vec(0usize..14, 0..3),
+        probes in prop::collection::vec((0usize..14, 0usize..14), 1..6),
+    ) {
+        let g = build_graph(n, directed == 1, &edges, &drop);
+        let names: Vec<String> = g.node_ids().map(|s| s.to_string()).collect();
+        prop_assume!(!names.is_empty());
+
+        for &(a, b) in &probes {
+            let source = &names[a % names.len()];
+            let target = &names[b % names.len()];
+            // BFS path.
+            match (shortest_path(&g, source, target), model_shortest_path(&g, source, target)) {
+                (Ok(path), Some(model)) => prop_assert_eq!(path, model),
+                (Err(_), None) => {}
+                (got, want) => {
+                    return Err(format!("BFS mismatch {source}->{target}: {got:?} vs {want:?}"));
+                }
+            }
+            // Dijkstra path and cost.
+            match (dijkstra_path(&g, source, target, "w"), model_dijkstra(&g, source, target, "w")) {
+                (Ok((path, cost)), Some((mpath, mcost))) => {
+                    prop_assert_eq!(path, mpath);
+                    prop_assert!((cost - mcost).abs() < 1e-12);
+                }
+                (Err(_), None) => {}
+                (got, want) => {
+                    return Err(format!("dijkstra mismatch {source}->{target}: {got:?} vs {want:?}"));
+                }
+            }
+        }
+        // Single-source maps from every node, and the diameter.
+        let mut model_diameter = 0;
+        for source in &names {
+            let model = model_single_source(&g, source);
+            prop_assert_eq!(single_source_lengths(&g, source).unwrap(), model.clone());
+            model_diameter = model.values().copied().max().unwrap_or(0).max(model_diameter);
+        }
+        prop_assert_eq!(hop_diameter(&g).unwrap(), model_diameter);
+    }
+}
