@@ -31,7 +31,7 @@ use nemo_bench::pool;
 use nemo_core::llm::profiles;
 use nemo_core::{Backend, SimulatedLlm};
 use nemo_serve::driver::{self, DriveConfig};
-use nemo_serve::{LiveNetwork, Server, Session};
+use nemo_serve::{LiveNetwork, Server, ServerBuilder, Session};
 use netgraph::json::JsonValue;
 use std::process::ExitCode;
 use trafficgen::{evolve, generate, StreamConfig};
@@ -84,7 +84,9 @@ fn build_server(config: &DriveConfig) -> Server<SimulatedLlm> {
             ),
         })
         .collect();
-    Server::new(live, sessions)
+    ServerBuilder::new()
+        .build(live, sessions)
+        .expect("in-memory builds cannot fail")
 }
 
 /// One latency sample per (session, query) request.

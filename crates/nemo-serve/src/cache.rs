@@ -19,7 +19,7 @@
 
 use crate::mutation::Epoch;
 use nemo_core::{Backend, Outcome, OutputValue};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// How a query request was satisfied.
@@ -88,13 +88,29 @@ pub enum Lookup {
 pub struct ProgramCache {
     programs: HashMap<Backend, HashMap<String, String>>,
     answers: HashMap<Backend, HashMap<String, CachedAnswer>>,
+    /// Program keys in insertion order — the deterministic eviction queue
+    /// when `capacity` bounds the program level.
+    order: VecDeque<(Backend, String)>,
+    /// Maximum stored programs across all backends; 0 is unbounded.
+    capacity: usize,
     stats: CacheStats,
 }
 
 impl ProgramCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         ProgramCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` programs (0 = unbounded).
+    /// When full, the oldest-**inserted** program is evicted first — FIFO,
+    /// not LRU, because eviction order must not depend on the query
+    /// arrival interleaving if transcripts are to stay deterministic.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProgramCache {
+            capacity,
+            ..ProgramCache::default()
+        }
     }
 
     /// Looks up a query at the current epoch, maintaining hit/miss/eviction
@@ -119,12 +135,25 @@ impl ProgramCache {
         Lookup::Miss
     }
 
-    /// Stores the program the LLM wrote for a query.
+    /// Stores the program the LLM wrote for a query, evicting the
+    /// oldest-inserted program first when the cache is at capacity.
     pub fn insert_program(&mut self, query: &str, backend: Backend, program: String) {
-        self.programs
+        let fresh = self
+            .programs
             .entry(backend)
             .or_default()
-            .insert(query.to_string(), program);
+            .insert(query.to_string(), program)
+            .is_none();
+        if fresh {
+            self.order.push_back((backend, query.to_string()));
+            if self.capacity > 0 && self.order.len() > self.capacity {
+                if let Some((old_backend, old_query)) = self.order.pop_front() {
+                    if let Some(per_backend) = self.programs.get_mut(&old_backend) {
+                        per_backend.remove(&old_query);
+                    }
+                }
+            }
+        }
     }
 
     /// Stores an answer computed at `epoch`, pre-rendering its reply text
@@ -161,7 +190,9 @@ impl ProgramCache {
     /// invalidation a full miss — a real retry through the model.
     pub fn evict_program(&mut self, query: &str, backend: Backend) {
         if let Some(per_backend) = self.programs.get_mut(&backend) {
-            per_backend.remove(query);
+            if per_backend.remove(query).is_some() {
+                self.order.retain(|(b, q)| !(*b == backend && q == query));
+            }
         }
     }
 
@@ -239,5 +270,24 @@ mod tests {
         // request becomes a full miss (a real retry).
         assert!(matches!(cache.lookup("q", Backend::Sql, 3), Lookup::Miss));
         assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn bounded_caches_evict_the_oldest_program_first() {
+        let mut cache = ProgramCache::with_capacity(2);
+        cache.insert_program("a", Backend::Sql, "A".to_string());
+        cache.insert_program("b", Backend::Sql, "B".to_string());
+        // Re-inserting an existing key must not count as a new entry.
+        cache.insert_program("a", Backend::Sql, "A2".to_string());
+        cache.insert_program("c", Backend::Sql, "C".to_string());
+        // "a" was the oldest *insertion*; it goes first despite the update.
+        assert_eq!(cache.program("a", Backend::Sql), None);
+        assert_eq!(cache.program("b", Backend::Sql), Some("B"));
+        assert_eq!(cache.program("c", Backend::Sql), Some("C"));
+        // Manual eviction frees a slot rather than leaking a ghost entry.
+        cache.evict_program("b", Backend::Sql);
+        cache.insert_program("d", Backend::Sql, "D".to_string());
+        assert_eq!(cache.program("c", Backend::Sql), Some("C"));
+        assert_eq!(cache.program("d", Backend::Sql), Some("D"));
     }
 }

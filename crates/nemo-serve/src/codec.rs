@@ -24,7 +24,12 @@ use std::collections::BTreeMap;
 /// every WAL segment and refuses segments carrying anything else.
 pub const WAL_MAGIC: &str = "nemo-wal/v1";
 
-fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+/// Segment-header magic of *per-shard* WALs, whose records additionally
+/// carry the global epoch ([`encode_shard_record`]). A distinct magic
+/// keeps a sharded store from ever being opened as an unsharded one.
+pub const SHARD_WAL_MAGIC: &str = "nemo-shard-wal/v1";
+
+pub(crate) fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
     JsonValue::Object(
         fields
             .into_iter()
@@ -33,11 +38,11 @@ fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
     )
 }
 
-fn s(text: &str) -> JsonValue {
+pub(crate) fn s(text: &str) -> JsonValue {
     JsonValue::String(text.to_string())
 }
 
-fn n(value: i64) -> JsonValue {
+pub(crate) fn n(value: i64) -> JsonValue {
     JsonValue::Number(value as f64)
 }
 
@@ -86,9 +91,10 @@ fn value_from_json(value: &JsonValue) -> Result<AttrValue, ServeError> {
     }
 }
 
-/// Encodes one WAL record as its on-disk payload.
-pub fn encode_record(record: &WalRecord) -> Vec<u8> {
-    let mutation = match &record.mutation {
+/// The canonical JSON form of one [`Mutation`] (shared by the WAL codec
+/// and the typed request/response protocol).
+pub(crate) fn mutation_to_json(mutation: &Mutation) -> JsonValue {
+    match mutation {
         Mutation::AddNode {
             id,
             prefix16,
@@ -138,17 +144,36 @@ pub fn encode_record(record: &WalRecord) -> Vec<u8> {
             ("source", s(source)),
             ("target", s(target)),
         ]),
-    };
+    }
+}
+
+/// Encodes one WAL record as its on-disk payload.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
     obj(vec![
         ("epoch", JsonValue::Number(record.epoch as f64)),
         ("at_ms", JsonValue::Number(record.at_ms as f64)),
-        ("mutation", mutation),
+        ("mutation", mutation_to_json(&record.mutation)),
     ])
     .to_json()
     .into_bytes()
 }
 
-fn get_str(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<String, ServeError> {
+/// Encodes one *shard* WAL record: the record's `epoch` field is the
+/// shard's local epoch (what the store's positional check verifies), and
+/// the global epoch rides along in a `global` root field so recovery can
+/// rebuild the cross-shard sequence numbers.
+pub fn encode_shard_record(record: &WalRecord, global: u64) -> Vec<u8> {
+    obj(vec![
+        ("epoch", JsonValue::Number(record.epoch as f64)),
+        ("global", JsonValue::Number(global as f64)),
+        ("at_ms", JsonValue::Number(record.at_ms as f64)),
+        ("mutation", mutation_to_json(&record.mutation)),
+    ])
+    .to_json()
+    .into_bytes()
+}
+
+pub(crate) fn get_str(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<String, ServeError> {
     match map.get(key) {
         Some(JsonValue::String(text)) => Ok(text.clone()),
         other => Err(ServeError::Corrupt(format!(
@@ -157,7 +182,7 @@ fn get_str(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<String, Serve
     }
 }
 
-fn get_u64(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<u64, ServeError> {
+pub(crate) fn get_u64(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<u64, ServeError> {
     match map.get(key) {
         Some(JsonValue::Number(x)) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as u64),
         other => Err(ServeError::Corrupt(format!(
@@ -175,27 +200,8 @@ fn get_i64(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<i64, ServeErr
     }
 }
 
-/// Decodes one on-disk payload back into a [`WalRecord`].
-pub fn decode_record(payload: &[u8]) -> Result<WalRecord, ServeError> {
-    let text = std::str::from_utf8(payload)
-        .map_err(|_| ServeError::Corrupt("WAL record is not UTF-8".to_string()))?;
-    let doc = JsonValue::parse(text)
-        .map_err(|e| ServeError::Corrupt(format!("WAL record is not JSON: {e}")))?;
-    let JsonValue::Object(root) = &doc else {
-        return Err(ServeError::Corrupt(
-            "WAL record root is not an object".to_string(),
-        ));
-    };
-    let epoch = get_u64(root, "epoch")?;
-    let at_ms = get_u64(root, "at_ms")?;
-    let JsonValue::Object(m) = root
-        .get("mutation")
-        .ok_or_else(|| ServeError::Corrupt("WAL record missing 'mutation'".to_string()))?
-    else {
-        return Err(ServeError::Corrupt(
-            "WAL record 'mutation' is not an object".to_string(),
-        ));
-    };
+/// Decodes the canonical JSON form of one [`Mutation`].
+pub(crate) fn mutation_from_json(m: &BTreeMap<String, JsonValue>) -> Result<Mutation, ServeError> {
     let mutation = match get_str(m, "op")?.as_str() {
         "add_node" => Mutation::AddNode {
             id: get_str(m, "id")?,
@@ -233,11 +239,56 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, ServeError> {
             )))
         }
     };
-    Ok(WalRecord {
-        epoch,
-        at_ms,
-        mutation,
-    })
+    Ok(mutation)
+}
+
+/// Shared decode of a record document; `want_global` selects the shard
+/// flavor (which requires the extra `global` root field).
+fn decode_record_doc(payload: &[u8], want_global: bool) -> Result<(WalRecord, u64), ServeError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ServeError::Corrupt("WAL record is not UTF-8".to_string()))?;
+    let doc = JsonValue::parse(text)
+        .map_err(|e| ServeError::Corrupt(format!("WAL record is not JSON: {e}")))?;
+    let JsonValue::Object(root) = &doc else {
+        return Err(ServeError::Corrupt(
+            "WAL record root is not an object".to_string(),
+        ));
+    };
+    let epoch = get_u64(root, "epoch")?;
+    let at_ms = get_u64(root, "at_ms")?;
+    let global = if want_global {
+        get_u64(root, "global")?
+    } else {
+        epoch
+    };
+    let JsonValue::Object(m) = root
+        .get("mutation")
+        .ok_or_else(|| ServeError::Corrupt("WAL record missing 'mutation'".to_string()))?
+    else {
+        return Err(ServeError::Corrupt(
+            "WAL record 'mutation' is not an object".to_string(),
+        ));
+    };
+    let mutation = mutation_from_json(m)?;
+    Ok((
+        WalRecord {
+            epoch,
+            at_ms,
+            mutation,
+        },
+        global,
+    ))
+}
+
+/// Decodes one on-disk payload back into a [`WalRecord`].
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, ServeError> {
+    decode_record_doc(payload, false).map(|(record, _)| record)
+}
+
+/// Decodes one per-shard payload: the record (local epoch) plus the
+/// global epoch it carried.
+pub fn decode_shard_record(payload: &[u8]) -> Result<(WalRecord, u64), ServeError> {
+    decode_record_doc(payload, true)
 }
 
 #[cfg(test)]
@@ -326,6 +377,28 @@ mod tests {
             );
             assert_eq!(decoded, value);
         }
+    }
+
+    #[test]
+    fn shard_records_carry_the_global_epoch() {
+        let record = WalRecord {
+            epoch: 3,
+            at_ms: 250,
+            mutation: Mutation::RemoveEdge {
+                source: "10.0.0.1".into(),
+                target: "10.0.0.2".into(),
+            },
+        };
+        let bytes = encode_shard_record(&record, 11);
+        let (back, global) = decode_shard_record(&bytes).unwrap();
+        assert_eq!(back, record);
+        assert_eq!(global, 11);
+        assert_eq!(encode_shard_record(&back, global), bytes);
+        // A plain record is not a shard record: the global field is required.
+        assert!(matches!(
+            decode_shard_record(&encode_record(&record)),
+            Err(ServeError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! against a 4-thread run.
 
 use crate::live::LiveNetwork;
-use crate::server::{Reply, ServeEvent, Server, Session};
+use crate::server::{Reply, ServeEvent, Server, ServerBuilder, Session};
 use nemo_bench::{pool, traffic_queries};
 use nemo_core::llm::{hash_parts, profiles, CodeKnowledge, KnownTask, SimulatedLlm};
 use nemo_core::Backend;
@@ -154,14 +154,84 @@ fn server_from_workload(
         serving_knowledge(),
         config.seed ^ client as u64,
     );
-    Server::new(
-        live,
-        vec![Session {
+    ServerBuilder::new()
+        .build(
+            live,
+            vec![Session {
+                client,
+                backend,
+                llm,
+            }],
+        )
+        .expect("in-memory builds cannot fail")
+}
+
+/// One session per client, all attached to the same shared server —
+/// backend and model seed derive from the client id exactly as in the
+/// per-client driver.
+fn sessions_for(config: &DriveConfig) -> Vec<Session<SimulatedLlm>> {
+    (0..config.clients)
+        .map(|client| Session {
             client,
-            backend,
-            llm,
-        }],
-    )
+            backend: Backend::CODEGEN[client % Backend::CODEGEN.len()],
+            llm: SimulatedLlm::new(
+                profiles::gpt4(),
+                serving_knowledge(),
+                config.seed ^ client as u64,
+            ),
+        })
+        .collect()
+}
+
+/// Drives every client against **one shared sharded server** — the
+/// multi-tenant shape, as opposed to [`drive`]'s one-server-per-client
+/// shape. Per round, the shared mutation batch is applied once, then each
+/// client's queries are issued round-robin (`for k { for client }`).
+/// Mutation lines appear unprefixed; query lines carry the asking
+/// client's `c<id>| ` prefix. The transcript is sequential by
+/// construction and byte-identical at any shard count: epochs in the
+/// lines are global, answers come from the merged view, and each
+/// `(query, backend)` pair walks the same cache history regardless of
+/// which cache shard holds it.
+pub fn drive_sharded(config: &DriveConfig, shards: u32) -> Vec<String> {
+    let workload = generate(&config.traffic);
+    let stream = shared_stream(config, &workload);
+    let mut server = ServerBuilder::new()
+        .shards(shards)
+        .build(LiveNetwork::from_workload(&workload), sessions_for(config))
+        .expect("in-memory builds cannot fail");
+    let queries = traffic_queries();
+    let seed = config.seed.to_string();
+    let mut lines = Vec::new();
+    for round in 0..config.rounds {
+        let start = round * config.mutations_per_round;
+        for timed in &stream[start..start + config.mutations_per_round] {
+            let (line, _) = server
+                .process(&ServeEvent::Mutate(timed.clone()))
+                .expect("no persistence attached");
+            lines.push(line);
+        }
+        for k in 0..config.queries_per_round {
+            for client in 0..config.clients {
+                let pick = hash_parts(&[
+                    "serve-query",
+                    &seed,
+                    &client.to_string(),
+                    &round.to_string(),
+                    &k.to_string(),
+                ]) as usize
+                    % queries.len();
+                let (line, _) = server
+                    .process(&ServeEvent::Query {
+                        client,
+                        query: queries[pick].text.to_string(),
+                    })
+                    .expect("queries are infallible without persistence");
+                lines.push(format!("c{client}| {line}"));
+            }
+        }
+    }
+    lines
 }
 
 /// The deterministic schedule of one client: `rounds` batches of the
@@ -285,6 +355,19 @@ mod tests {
                 .collect()
         };
         assert_eq!(mutations(&schedule), mutations(&other));
+    }
+
+    #[test]
+    fn shared_server_transcripts_are_shard_count_invariant() {
+        let config = tiny();
+        let one = drive_sharded(&config, 1);
+        assert!(!one.is_empty());
+        // Mutation lines are unprefixed, query lines carry client prefixes.
+        assert!(one.iter().any(|l| l.starts_with("[e")));
+        assert!(one.iter().any(|l| l.starts_with("c0| ")));
+        for shards in [2u32, 4] {
+            assert_eq!(drive_sharded(&config, shards), one, "shards={shards}");
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@ use crate::error::ServeError;
 use crate::live::LiveNetwork;
 use crate::mutation::Mutation;
 use crate::persist::{FsyncPolicy, PersistOptions, Persistence};
-use crate::server::{ServeEvent, Server, Session};
+use crate::server::{ServeEvent, ServerBuilder, Session};
+use crate::shard::route_mutation;
 use crate::snapshot::write_snapshot;
 use nemo_bench::{pool, traffic_queries};
 use nemo_core::llm::{hash_parts, profiles, SimulatedLlm};
@@ -119,8 +120,8 @@ pub fn client_stream(config: &DurabilityConfig, client: usize) -> Vec<TimedEvent
 }
 
 /// The transcript line of one applied mutation — identical to the line
-/// [`Server::process`] prints for a successful `Mutate` event, so a prefix
-/// regenerated from the stream splices seamlessly.
+/// [`crate::Server::process`] prints for a successful `Mutate` event, so a
+/// prefix regenerated from the stream splices seamlessly.
 fn mutate_line(epoch: u64, timed: &TimedEvent) -> String {
     format!(
         "[e{epoch}] t={}ms mutate {}",
@@ -192,15 +193,17 @@ fn run_client(
         serving_knowledge(),
         config.seed ^ client as u64,
     );
-    let mut server = Server::with_persistence(
-        live,
-        vec![Session {
-            client,
-            backend,
-            llm,
-        }],
-        persistence,
-    );
+    let mut server = ServerBuilder::new()
+        .attach_persistence(persistence)
+        .build(
+            live,
+            vec![Session {
+                client,
+                backend,
+                llm,
+            }],
+        )
+        .expect("a single-shard attach cannot fail");
     for k in 0..config.queries {
         let pick = hash_parts(&[
             "durability-query",
@@ -247,6 +250,124 @@ pub fn run(
         );
     }
     Ok((lines, crashed))
+}
+
+/// One shared deterministic mutation stream for the sharded runner; the
+/// streams `evolve` produces are conflict-free, so global epochs track
+/// stream position exactly (`g = i + 1`).
+pub fn shared_stream(config: &DurabilityConfig) -> Vec<TimedEvent> {
+    let workload = generate(&config.traffic);
+    evolve(
+        &workload,
+        &StreamConfig {
+            events: config.events,
+            seed: config.seed,
+        },
+    )
+}
+
+/// The sharded crash/resume driver: **one** server over `shards` hash
+/// partitions, each with its own store under `base_dir/shard-<k>/`, fed
+/// by one shared mutation stream with a multi-client query round at the
+/// end.
+///
+/// Resume works shard-by-shard: recovery rebuilds each partition from its
+/// own snapshot + WAL suffix (the shards may have crashed at *different*
+/// local epochs), then this driver walks the deterministic stream and —
+/// per record — either regenerates the transcript line (the owner shard
+/// already holds it durably) or re-applies it through
+/// [`crate::Server::apply_recorded`] to close the gap. The resumed
+/// transcript, including the merged-state CRC digest, is byte-identical
+/// to an uninterrupted run at any shard count and any thread count.
+///
+/// With `crash_after: Some(k)` the run stops abruptly once the global
+/// epoch reaches `k` — no final fsync, no queries — and reports the
+/// crash.
+pub fn run_sharded(
+    config: &DurabilityConfig,
+    base_dir: &Path,
+    shards: u32,
+    threads: usize,
+    crash_after: Option<u64>,
+) -> Result<(Vec<String>, bool), ServeError> {
+    let queries = traffic_queries();
+    let sessions = (0..config.clients)
+        .map(|client| Session {
+            client,
+            backend: Backend::CODEGEN[client % Backend::CODEGEN.len()],
+            llm: SimulatedLlm::new(
+                profiles::gpt4(),
+                serving_knowledge(),
+                config.seed ^ client as u64,
+            ),
+        })
+        .collect();
+    let traffic = config.traffic.clone();
+    let (mut server, _reports) = ServerBuilder::new()
+        .shards(shards)
+        .options(config.options.clone())
+        .persist_at(base_dir)
+        .recovery_threads(threads)
+        .recover_or_create(sessions, || LiveNetwork::from_workload(&generate(&traffic)))?;
+    let stream = shared_stream(config);
+    if server.network().global_epoch() as usize > stream.len() {
+        return Err(ServeError::Corrupt(format!(
+            "stores are at global epoch {} but the stream has only {} events \
+             (directory reused across configs?)",
+            server.network().global_epoch(),
+            stream.len()
+        )));
+    }
+    // How many records each shard already holds durably. Recovery may be
+    // jagged — shard k durable through its cut, shard j further along —
+    // so the walk below decides per record whether to regenerate or
+    // re-apply.
+    let recovered = server.network().epoch_vector();
+    let mut pos = vec![0u64; shards.max(1) as usize];
+    let mut lines = Vec::with_capacity(stream.len());
+    for (i, timed) in stream.iter().enumerate() {
+        let global = i as u64 + 1;
+        let k = route_mutation(&Mutation::from_event(&timed.event), shards) as usize;
+        pos[k] += 1;
+        if pos[k] > recovered[k] {
+            server.apply_recorded(global, timed)?;
+        }
+        lines.push(mutate_line(global, timed));
+        if crash_after.is_some_and(|cut| global >= cut) {
+            // Abrupt stop: no batch fsync, no queries, no digest.
+            return Ok((lines, true));
+        }
+    }
+    server.sync_persistence()?;
+
+    // The digest is computed over the *merged* view, so it is invariant
+    // under the shard count — the same bytes `write_snapshot` would
+    // produce for an unsharded network at this epoch.
+    let digest = format!(
+        "final epoch={} state-crc={:08x}",
+        server.network().global_epoch(),
+        nemo_store::crc32::crc32(write_snapshot(server.merged_view()).as_bytes())
+    );
+    // Query round: clients interleave on the shared server, so answers
+    // exercise the merged read path and the per-shard caches.
+    for k in 0..config.queries {
+        for client in 0..config.clients {
+            let pick = hash_parts(&[
+                "durability-query",
+                &config.seed.to_string(),
+                &client.to_string(),
+                &k.to_string(),
+            ]) as usize
+                % queries.len();
+            let (line, _) = server.process(&ServeEvent::Query {
+                client,
+                query: queries[pick].text.to_string(),
+            })?;
+            lines.push(format!("c{client}| {line}"));
+        }
+    }
+    lines.push(digest);
+    Ok((lines, false))
 }
 
 #[cfg(test)]

@@ -12,10 +12,48 @@ pub enum ServeError {
     /// A snapshot document failed to parse or failed validation, or a WAL
     /// segment does not continue the snapshot it is replayed onto.
     Corrupt(String),
-    /// The durable store under the serving layer failed: an I/O error
-    /// while logging or snapshotting, or unrecoverable on-disk damage
-    /// found during recovery.
+    /// A serving-layer storage precondition failed (e.g. creating a store
+    /// in an occupied directory, recovering an empty one). Failures of the
+    /// store *itself* carry their context in [`ServeError::Store`].
     Storage(String),
+    /// The durable store under the serving layer failed, keeping the
+    /// failure's context: which shard's store it was (`None` for an
+    /// unsharded server) and the global epoch being logged or synced when
+    /// it surfaced (`None` outside the apply path).
+    Store {
+        /// Index of the failing shard, when the server is sharded.
+        shard: Option<u32>,
+        /// Global epoch in flight when the failure surfaced.
+        epoch: Option<u64>,
+        /// The underlying storage error, unchanged.
+        source: nemo_store::StoreError,
+    },
+}
+
+impl ServeError {
+    /// Stamps shard and epoch context onto a storage failure. [`Store`]
+    /// variants gain the context (without overwriting context already
+    /// present); [`Corrupt`] keeps its variant — recovery tests match on
+    /// it — but the shard is recorded in the message. Other variants pass
+    /// through untouched.
+    ///
+    /// [`Store`]: ServeError::Store
+    /// [`Corrupt`]: ServeError::Corrupt
+    pub fn with_shard(self, shard: u32, epoch: Option<u64>) -> ServeError {
+        match self {
+            ServeError::Store {
+                shard: old_shard,
+                epoch: old_epoch,
+                source,
+            } => ServeError::Store {
+                shard: old_shard.or(Some(shard)),
+                epoch: old_epoch.or(epoch),
+                source,
+            },
+            ServeError::Corrupt(msg) => ServeError::Corrupt(format!("shard {shard}: {msg}")),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -24,17 +62,85 @@ impl fmt::Display for ServeError {
             ServeError::Conflict(msg) => write!(f, "mutation conflict: {msg}"),
             ServeError::Corrupt(msg) => write!(f, "corrupt snapshot or WAL: {msg}"),
             ServeError::Storage(msg) => write!(f, "storage failure: {msg}"),
+            ServeError::Store {
+                shard,
+                epoch,
+                source,
+            } => {
+                write!(f, "storage failure")?;
+                if let Some(shard) = shard {
+                    write!(f, " at shard {shard}")?;
+                }
+                if let Some(epoch) = epoch {
+                    write!(f, " (epoch {epoch})")?;
+                }
+                write!(f, ": {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Store { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<nemo_store::StoreError> for ServeError {
     fn from(err: nemo_store::StoreError) -> Self {
         match err {
+            // Store-level corruption is serving-level corruption: recovery
+            // treats both as "this log/snapshot cannot be trusted".
             nemo_store::StoreError::Corrupt(msg) => ServeError::Corrupt(msg),
-            other => ServeError::Storage(other.to_string()),
+            source => ServeError::Store {
+                shard: None,
+                epoch: None,
+                source,
+            },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_store::StoreError;
+
+    #[test]
+    fn store_errors_keep_shard_and_epoch_context() {
+        let source = StoreError::Io("fsync wal-0001.seg: disk gone".to_string());
+        let err = ServeError::from(source.clone()).with_shard(2, Some(17));
+        assert_eq!(
+            err,
+            ServeError::Store {
+                shard: Some(2),
+                epoch: Some(17),
+                source: source.clone(),
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "storage failure at shard 2 (epoch 17): storage I/O error: fsync wal-0001.seg: disk gone"
+        );
+        // Context already present is not overwritten by a later wrap.
+        let rewrapped = err.with_shard(9, Some(99));
+        assert_eq!(
+            rewrapped,
+            ServeError::Store {
+                shard: Some(2),
+                epoch: Some(17),
+                source,
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_keeps_its_variant_for_recovery_matching() {
+        let err =
+            ServeError::from(StoreError::Corrupt("bad frame".to_string())).with_shard(1, None);
+        assert!(matches!(err, ServeError::Corrupt(msg) if msg == "shard 1: bad frame"));
     }
 }

@@ -63,7 +63,10 @@ mod error;
 mod live;
 mod mutation;
 pub mod persist;
+pub mod protocol;
 pub mod server;
+pub mod shard;
+pub mod shard_persist;
 pub mod snapshot;
 
 pub use cache::{CacheOutcome, CacheStats, ProgramCache};
@@ -71,4 +74,7 @@ pub use error::ServeError;
 pub use live::LiveNetwork;
 pub use mutation::{Epoch, Mutation, WalRecord};
 pub use persist::{FsyncPolicy, PersistOptions, Persistence, RecoveryReport};
-pub use server::{Reply, ServeEvent, Server, Session};
+pub use protocol::{Request, Response, StatsReport};
+pub use server::{Reply, ServeEvent, Server, ServerBuilder, Session};
+pub use shard::{shard_of, ShardedNetwork};
+pub use shard_persist::ShardPersistence;

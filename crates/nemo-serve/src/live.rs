@@ -157,6 +157,28 @@ impl LiveNetwork {
     /// the state is untouched.
     pub fn apply(&mut self, at_ms: u64, mutation: Mutation) -> Result<Epoch, ServeError> {
         self.check(&mutation)?;
+        Ok(self.apply_unchecked(at_ms, mutation))
+    }
+
+    /// Applies a mutation that was validated *shard-locally* (see
+    /// [`LiveNetwork::check_routed`]): what a shard partition runs after
+    /// the router validated the mutation globally. The one semantic
+    /// difference from [`LiveNetwork::apply`] is that an `AddEdge` whose
+    /// endpoints live on other shards is applied through the graph's
+    /// auto-created attribute-less *ghost* endpoints.
+    pub(crate) fn apply_routed(
+        &mut self,
+        at_ms: u64,
+        mutation: Mutation,
+    ) -> Result<Epoch, ServeError> {
+        self.check_routed(&mutation)?;
+        Ok(self.apply_unchecked(at_ms, mutation))
+    }
+
+    /// The write path shared by [`LiveNetwork::apply`] and
+    /// [`LiveNetwork::apply_routed`]; the mutation must already be
+    /// validated against this network.
+    fn apply_unchecked(&mut self, at_ms: u64, mutation: Mutation) -> Epoch {
         match &mutation {
             Mutation::AddNode {
                 id,
@@ -274,7 +296,7 @@ impl LiveNetwork {
             at_ms,
             mutation,
         });
-        Ok(self.epoch)
+        self.epoch
     }
 
     /// Normalizes and applies one [`trafficgen`] stream event.
@@ -356,11 +378,45 @@ impl LiveNetwork {
         Ok(())
     }
 
-    fn node_row(&self, id: &str) -> Option<usize> {
+    /// Shard-local validation: identical to [`LiveNetwork::check`] except
+    /// that `AddEdge` does not require its endpoints — the router already
+    /// checked them against the *owning* shards, and this partition may
+    /// legitimately hold neither.
+    fn check_routed(&self, mutation: &Mutation) -> Result<(), ServeError> {
+        let conflict = |msg: String| Err(ServeError::Conflict(msg));
+        match mutation {
+            Mutation::AddNode { id, .. } => {
+                if self.graph.has_node(id) {
+                    return conflict(format!("node {id} already exists"));
+                }
+            }
+            Mutation::AddEdge { source, target, .. } => {
+                if self.graph.has_edge(source, target) {
+                    return conflict(format!("edge {source}->{target} already exists"));
+                }
+            }
+            Mutation::SetFlow { source, target, .. } | Mutation::RemoveEdge { source, target } => {
+                if !self.graph.has_edge(source, target) {
+                    return conflict(format!("edge {source}->{target} does not exist"));
+                }
+            }
+            Mutation::SetNodeAttr { id, key, .. } => {
+                if !self.graph.has_node(id) {
+                    return conflict(format!("node {id} does not exist"));
+                }
+                if key == "id" {
+                    return conflict("the 'id' attribute is the node's identity".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn node_row(&self, id: &str) -> Option<usize> {
         self.node_rows.get(id).copied()
     }
 
-    fn edge_row(&self, source: &str, target: &str) -> Option<usize> {
+    pub(crate) fn edge_row(&self, source: &str, target: &str) -> Option<usize> {
         // O(1), allocation-free: both levels probe with `&str`.
         self.edge_rows.get(source)?.get(target).copied()
     }

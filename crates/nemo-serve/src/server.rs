@@ -1,23 +1,35 @@
-//! The serving loop: mutation batches interleaved with client queries.
+//! The serving loop: mutation batches interleaved with client queries,
+//! over a sharded live state.
 //!
-//! A [`Server`] owns the [`LiveNetwork`], the [`ProgramCache`] and a set of
-//! client [`Session`]s (one persistent LLM handle per client — the model
-//! session is reused across that client's requests). Processing is
-//! sequential and deterministic: a [`ServeEvent`] is either one mutation
-//! (advancing the epoch and invalidating cached answers) or one query from
-//! one client, and the transcript of a schedule is a pure function of
-//! `(initial state, schedule, model seeds)` — wall-clock latencies are
-//! recorded on the side, never in the transcript.
+//! A [`Server`] owns a [`ShardedNetwork`] (N hash partitions of the live
+//! state), one [`ProgramCache`] per shard (queries hash to a cache shard
+//! by text), a set of client [`Session`]s, and the persistence layout the
+//! [`ServerBuilder`] configured: none, one plain store (single shard —
+//! byte-compatible with the pre-sharding on-disk layout), or one store
+//! per shard under `shard-<k>/`.
+//!
+//! Work arrives as typed [`Request`]s and leaves as typed [`Response`]s
+//! through [`Server::handle`]; the legacy [`Server::process`] entry point
+//! is a thin wrapper that renders the response's transcript line.
+//! Processing is sequential and deterministic: the transcript of a
+//! schedule is a pure function of `(initial state, schedule, model
+//! seeds)` — and, because reads are answered from the **merged view**
+//! (byte-identical to an unsharded network at the same global epoch), it
+//! is also independent of the shard count.
 
 use crate::cache::{CacheOutcome, CacheStats, Lookup, ProgramCache};
 use crate::error::ServeError;
 use crate::live::LiveNetwork;
-use crate::mutation::Epoch;
-use crate::persist::Persistence;
+use crate::mutation::{Epoch, Mutation, WalRecord};
+use crate::persist::{PersistOptions, Persistence, RecoveryReport};
+use crate::protocol::{Request, Response, StatsReport};
+use crate::shard::{route_mutation, shard_of, ShardedNetwork};
+use crate::shard_persist::{self, shard_dir, ShardPersistence};
 use nemo_core::llm::extract_code;
 use nemo_core::prompt::codegen_prompt;
 use nemo_core::sandbox::execute_code;
 use nemo_core::{Backend, Llm, NetworkManager};
+use std::path::PathBuf;
 use std::time::Instant;
 use trafficgen::stream::TimedEvent;
 
@@ -33,7 +45,8 @@ pub struct Session<L: Llm> {
     pub llm: L,
 }
 
-/// One unit of serving work.
+/// One unit of serving work (the untyped, stream-shaped form;
+/// [`Request`] is the typed protocol it converts into).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeEvent {
     /// Apply one timestamped mutation to the live network.
@@ -48,7 +61,7 @@ pub enum ServeEvent {
 }
 
 /// The record of one answered query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reply {
     /// The asking client.
     pub client: usize,
@@ -56,7 +69,7 @@ pub struct Reply {
     pub backend: Backend,
     /// The query text.
     pub query: String,
-    /// The epoch the answer reflects.
+    /// The (global) epoch the answer reflects.
     pub epoch: Epoch,
     /// How the cache satisfied the request.
     pub cache: CacheOutcome,
@@ -67,143 +80,546 @@ pub struct Reply {
     pub latency_ms: f64,
 }
 
-/// The serving loop.
-pub struct Server<L: Llm> {
-    live: LiveNetwork,
-    cache: ProgramCache,
-    sessions: Vec<Session<L>>,
-    persistence: Option<Persistence>,
+/// The persistence layout behind a server.
+enum ServerPersistence {
+    /// In-memory only.
+    None,
+    /// One plain store for a single-shard server — the exact pre-sharding
+    /// on-disk layout (`nemo-wal/v1` records, unsharded snapshots), so
+    /// existing store directories keep working unchanged.
+    Plain(Box<Persistence>),
+    /// One store per shard under `shard-<k>/`.
+    Sharded(Vec<ShardPersistence>),
 }
 
-impl<L: Llm> Server<L> {
-    /// Builds a server over an initial live state and its client sessions.
-    pub fn new(live: LiveNetwork, sessions: Vec<Session<L>>) -> Self {
-        Server {
-            live,
-            cache: ProgramCache::new(),
-            sessions,
-            persistence: None,
+/// Builds [`Server`]s: sharding, durability, cache sizing and recovery in
+/// one place, replacing the grown `Server::new` / `Server::with_persistence`
+/// constructor family.
+///
+/// ```
+/// use nemo_serve::{ServerBuilder, LiveNetwork};
+/// use trafficgen::{generate, TrafficConfig};
+///
+/// let live = LiveNetwork::from_workload(&generate(&TrafficConfig {
+///     nodes: 8, edges: 10, prefixes: 2, seed: 1,
+/// }));
+/// let server = ServerBuilder::new()
+///     .shards(4)
+///     .cache_capacity(256)
+///     .build::<nemo_core::ScriptedLlm>(live, Vec::new())
+///     .unwrap();
+/// assert_eq!(server.network().shards(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ServerBuilder {
+    shards: u32,
+    options: PersistOptions,
+    cache_capacity: usize,
+    root: Option<PathBuf>,
+    attach: Option<Persistence>,
+    recovery_threads: usize,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder::new()
+    }
+}
+
+impl ServerBuilder {
+    /// A single-shard, in-memory server with unbounded caches.
+    pub fn new() -> Self {
+        ServerBuilder {
+            shards: 1,
+            options: PersistOptions::default(),
+            cache_capacity: 0,
+            root: None,
+            attach: None,
+            recovery_threads: 1,
         }
     }
 
-    /// [`Server::new`] with a durable storage handle: every applied
-    /// mutation is logged through it, snapshots are taken when due, and
-    /// [`Server::run_schedule`] fsyncs at mutation-batch boundaries.
+    /// Number of hash partitions of the live state (default 1).
+    pub fn shards(mut self, shards: u32) -> Self {
+        assert!(shards > 0, "a server needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// All persistence knobs at once (fsync/commit policy, segment size,
+    /// snapshot thresholds, retention).
+    pub fn options(mut self, options: PersistOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The fsync/commit policy alone (including
+    /// [`FsyncPolicy::GroupCommit`](crate::FsyncPolicy::GroupCommit)).
+    pub fn fsync(mut self, policy: crate::FsyncPolicy) -> Self {
+        self.options.fsync = policy;
+        self
+    }
+
+    /// Snapshot once this many epochs passed since the last one
+    /// (0 disables the epoch trigger).
+    pub fn snapshot_every_epochs(mut self, epochs: u64) -> Self {
+        self.options.snapshot_every_epochs = epochs;
+        self
+    }
+
+    /// Maximum cached programs per cache shard; 0 (the default) is
+    /// unbounded. Full caches evict the oldest-inserted program first —
+    /// deterministically, so transcripts stay reproducible.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Persist under this root directory: the store itself for a
+    /// single-shard server, `shard-<k>/` subdirectories otherwise.
+    pub fn persist_at(mut self, root: impl Into<PathBuf>) -> Self {
+        self.root = Some(root.into());
+        self
+    }
+
+    /// Attaches an already-opened (typically just-recovered) plain store
+    /// handle instead of letting the builder create one. Single-shard
+    /// only; mutually exclusive with [`ServerBuilder::persist_at`].
+    pub fn attach_persistence(mut self, persistence: Persistence) -> Self {
+        self.attach = Some(persistence);
+        self
+    }
+
+    /// Worker threads for parallel per-shard recovery in
+    /// [`ServerBuilder::recover_or_create`] (default 1).
+    pub fn recovery_threads(mut self, threads: usize) -> Self {
+        self.recovery_threads = threads.max(1);
+        self
+    }
+
+    fn caches(&self) -> Vec<ProgramCache> {
+        (0..self.shards)
+            .map(|_| ProgramCache::with_capacity(self.cache_capacity))
+            .collect()
+    }
+
+    /// Builds a server over a **fresh** initial state. With a persistence
+    /// root, the store(s) are created — an occupied directory is refused
+    /// (recover it with [`ServerBuilder::recover_or_create`] instead of
+    /// silently shadowing it).
+    pub fn build<L: Llm>(
+        self,
+        live: LiveNetwork,
+        sessions: Vec<Session<L>>,
+    ) -> Result<Server<L>, ServeError> {
+        let caches = self.caches();
+        let net = ShardedNetwork::from_live(&live, self.shards);
+        let persistence = match (&self.root, self.attach) {
+            (_, Some(attached)) => {
+                if self.shards != 1 {
+                    return Err(ServeError::Storage(
+                        "attach_persistence is single-shard only; use persist_at for a \
+                         sharded layout"
+                            .to_string(),
+                    ));
+                }
+                ServerPersistence::Plain(Box::new(attached))
+            }
+            (Some(root), None) if self.shards == 1 => {
+                ServerPersistence::Plain(Box::new(Persistence::create(root, &self.options, &live)?))
+            }
+            (Some(root), None) => {
+                let mut stores = Vec::with_capacity(self.shards as usize);
+                for k in 0..self.shards {
+                    stores.push(
+                        ShardPersistence::create(
+                            &shard_dir(root, k),
+                            &self.options,
+                            k,
+                            self.shards,
+                            net.bases(),
+                            net.partition(k),
+                        )
+                        .map_err(|e| e.with_shard(k, None))?,
+                    );
+                }
+                ServerPersistence::Sharded(stores)
+            }
+            (None, None) => ServerPersistence::None,
+        };
+        Ok(Server {
+            caches,
+            net,
+            sessions,
+            persistence,
+            merged: None,
+        })
+    }
+
+    /// Recovers the server's state from the persistence root — every
+    /// shard independently, in parallel over
+    /// [`ServerBuilder::recovery_threads`] — or creates it fresh from
+    /// `init()` when the root is empty. Returns the per-shard
+    /// [`RecoveryReport`]s (one entry for a single-shard server).
+    pub fn recover_or_create<L: Llm>(
+        self,
+        sessions: Vec<Session<L>>,
+        init: impl FnOnce() -> LiveNetwork,
+    ) -> Result<(Server<L>, Vec<RecoveryReport>), ServeError> {
+        if self.attach.is_some() {
+            return Err(ServeError::Storage(
+                "recover_or_create opens its own stores; attach_persistence is for build()"
+                    .to_string(),
+            ));
+        }
+        let Some(root) = &self.root else {
+            return Err(ServeError::Storage(
+                "recover_or_create needs a persistence root (persist_at)".to_string(),
+            ));
+        };
+        let caches = self.caches();
+        let (net, persistence, reports) = if self.shards == 1 {
+            let (live, persistence, report) =
+                Persistence::recover_or_create(root, &self.options, init)?;
+            (
+                ShardedNetwork::from_live(&live, 1),
+                ServerPersistence::Plain(Box::new(persistence)),
+                vec![report],
+            )
+        } else {
+            let (net, stores, reports) = shard_persist::recover_or_create_sharded(
+                root,
+                &self.options,
+                self.shards,
+                self.recovery_threads,
+                init,
+            )?;
+            (net, ServerPersistence::Sharded(stores), reports)
+        };
+        Ok((
+            Server {
+                net,
+                caches,
+                sessions,
+                persistence,
+                merged: None,
+            },
+            reports,
+        ))
+    }
+}
+
+/// The serving loop.
+pub struct Server<L: Llm> {
+    net: ShardedNetwork,
+    /// One cache per shard; a query hashes to its cache shard by text.
+    caches: Vec<ProgramCache>,
+    sessions: Vec<Session<L>>,
+    persistence: ServerPersistence,
+    /// Memoized merged view and the global epoch it reflects (multi-shard
+    /// servers only; a single shard serves its partition directly).
+    merged: Option<(Epoch, LiveNetwork)>,
+}
+
+impl<L: Llm> Server<L> {
+    /// Builds an in-memory, single-shard server.
+    #[deprecated(note = "use ServerBuilder::new().build(live, sessions)")]
+    pub fn new(live: LiveNetwork, sessions: Vec<Session<L>>) -> Self {
+        ServerBuilder::new()
+            .build(live, sessions)
+            .expect("an in-memory build cannot fail")
+    }
+
+    /// Builds a single-shard server over an already-opened store handle.
+    #[deprecated(
+        note = "use ServerBuilder::new().attach_persistence(p).build(live, sessions), or \
+                persist_at + recover_or_create for a managed store"
+    )]
     pub fn with_persistence(
         live: LiveNetwork,
         sessions: Vec<Session<L>>,
         persistence: Persistence,
     ) -> Self {
-        Server {
-            live,
-            cache: ProgramCache::new(),
-            sessions,
-            persistence: Some(persistence),
+        ServerBuilder::new()
+            .attach_persistence(persistence)
+            .build(live, sessions)
+            .expect("a single-shard attach cannot fail")
+    }
+
+    /// The plain (single-shard) durable storage handle, if one is
+    /// attached.
+    pub fn persistence(&self) -> Option<&Persistence> {
+        match &self.persistence {
+            ServerPersistence::Plain(p) => Some(p),
+            _ => None,
         }
     }
 
-    /// The durable storage handle, if one is attached.
-    pub fn persistence(&self) -> Option<&Persistence> {
-        self.persistence.as_ref()
+    /// The per-shard durable storage handles, if the server is sharded.
+    pub fn shard_persistence(&self) -> Option<&[ShardPersistence]> {
+        match &self.persistence {
+            ServerPersistence::Sharded(stores) => Some(stores),
+            _ => None,
+        }
     }
 
-    /// Fsyncs the WAL if persistence is attached (a batch boundary).
+    /// Fsyncs every attached store (a batch boundary).
     pub fn sync_persistence(&mut self) -> Result<(), ServeError> {
         match &mut self.persistence {
-            Some(p) => p.sync(),
-            None => Ok(()),
+            ServerPersistence::None => Ok(()),
+            ServerPersistence::Plain(p) => p.sync(),
+            ServerPersistence::Sharded(stores) => {
+                for (k, store) in stores.iter_mut().enumerate() {
+                    store.sync().map_err(|e| e.with_shard(k as u32, None))?;
+                }
+                Ok(())
+            }
         }
     }
 
-    /// The live network (read-only; mutations go through events).
+    /// The live network of a **single-shard** server.
+    #[deprecated(note = "use merged_view() (any shard count) or network() for the sharded state")]
     pub fn live(&self) -> &LiveNetwork {
-        &self.live
+        assert_eq!(
+            self.net.shards(),
+            1,
+            "live() predates sharding and reads one partition; use merged_view()"
+        );
+        &self.net.partition(0).live
     }
 
-    /// Cache counters so far.
+    /// The sharded live state (routing, epoch vector, global epoch).
+    pub fn network(&self) -> &ShardedNetwork {
+        &self.net
+    }
+
+    /// The merged view of the live state at the current global epoch —
+    /// byte-identical to what an unsharded network would hold. Memoized
+    /// per epoch; a single-shard server returns its partition directly.
+    pub fn merged_view(&mut self) -> &LiveNetwork {
+        let epoch = self.net.global_epoch();
+        self.ensure_merged(epoch);
+        self.current_view()
+    }
+
+    /// Cache counters summed over every cache shard.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut total = CacheStats::default();
+        for cache in &self.caches {
+            let stats = cache.stats();
+            total.answer_hits += stats.answer_hits;
+            total.program_hits += stats.program_hits;
+            total.misses += stats.misses;
+            total.invalidated += stats.invalidated;
+        }
+        total
+    }
+
+    /// The server's observable counters (shards, epoch vector, caches).
+    pub fn stats(&self) -> StatsReport {
+        StatsReport {
+            shards: self.net.shards(),
+            global_epoch: self.net.global_epoch(),
+            epochs: self.net.epoch_vector(),
+            cache: self.cache_stats(),
+        }
     }
 
     /// The cached program for a query on a backend, if any.
     pub fn cached_program(&self, query: &str, backend: Backend) -> Option<&str> {
-        self.cache.program(query, backend)
+        let ci = shard_of(query, self.net.shards()) as usize;
+        self.caches[ci].program(query, backend)
     }
 
-    /// Applies one mutation event to the live network; with persistence
-    /// attached, the record is durably logged (and a snapshot taken when
-    /// due) before the epoch is acknowledged.
+    /// Applies one mutation event; with persistence attached, the record
+    /// is durably logged (and a snapshot taken when due) before the epoch
+    /// is acknowledged. Returns the **global** epoch.
     pub fn apply_mutation(&mut self, event: &TimedEvent) -> Result<Epoch, ServeError> {
-        match &mut self.persistence {
-            Some(p) => self.live.apply_event_persisted(event, p),
-            None => self.live.apply_event(event),
+        self.apply_mutation_inner(event.at_ms, Mutation::from_event(&event.event))
+    }
+
+    fn apply_mutation_inner(
+        &mut self,
+        at_ms: u64,
+        mutation: Mutation,
+    ) -> Result<Epoch, ServeError> {
+        if self.net.shards() == 1 {
+            // A single shard keeps the exact pre-sharding write path (and,
+            // under Plain persistence, the exact on-disk byte layout).
+            let live = self.net.partition_live_mut(0);
+            return match &mut self.persistence {
+                ServerPersistence::None => live.apply(at_ms, mutation),
+                ServerPersistence::Plain(p) => live.apply_persisted(at_ms, mutation, p),
+                ServerPersistence::Sharded(_) => {
+                    unreachable!("the builder never shards a single-shard layout")
+                }
+            };
+        }
+        // Multi-shard: validate globally, log to the owner shard's store
+        // *first* (WAL order: memory never runs ahead of the log), then
+        // apply to the owner partition.
+        self.net.check_global(&mutation)?;
+        let global = self.net.global_epoch() + 1;
+        let k = route_mutation(&mutation, self.net.shards());
+        if let ServerPersistence::Sharded(stores) = &mut self.persistence {
+            let record = WalRecord {
+                epoch: self.net.local_epoch(k) + 1,
+                at_ms,
+                mutation: mutation.clone(),
+            };
+            stores[k as usize]
+                .log(&record, global)
+                .map_err(|e| e.with_shard(k, Some(global)))?;
+        }
+        self.net
+            .apply_at(global, at_ms, mutation)
+            .expect("mutation was validated globally before logging");
+        if let ServerPersistence::Sharded(stores) = &mut self.persistence {
+            stores[k as usize]
+                .maybe_snapshot(self.net.partition(k))
+                .map_err(|e| e.with_shard(k, Some(global)))?;
+        }
+        Ok(global)
+    }
+
+    /// Applies a mutation that already carries its **global** epoch — the
+    /// resume path after a jagged per-shard recovery, where the caller
+    /// walks the deterministic stream and re-applies exactly the events
+    /// some shard has not yet durably logged.
+    pub fn apply_recorded(&mut self, global: Epoch, event: &TimedEvent) -> Result<(), ServeError> {
+        let mutation = Mutation::from_event(&event.event);
+        if self.net.shards() == 1 {
+            if global != self.net.global_epoch() + 1 {
+                return Err(ServeError::Corrupt(format!(
+                    "recorded epoch {global} does not continue the state at epoch {}",
+                    self.net.global_epoch()
+                )));
+            }
+            return self.apply_mutation_inner(event.at_ms, mutation).map(|_| ());
+        }
+        let k = route_mutation(&mutation, self.net.shards());
+        if let ServerPersistence::Sharded(stores) = &mut self.persistence {
+            let record = WalRecord {
+                epoch: self.net.local_epoch(k) + 1,
+                at_ms: event.at_ms,
+                mutation: mutation.clone(),
+            };
+            stores[k as usize]
+                .log(&record, global)
+                .map_err(|e| e.with_shard(k, Some(global)))?;
+        }
+        self.net.apply_at(global, event.at_ms, mutation)?;
+        if let ServerPersistence::Sharded(stores) = &mut self.persistence {
+            stores[k as usize]
+                .maybe_snapshot(self.net.partition(k))
+                .map_err(|e| e.with_shard(k, Some(global)))?;
+        }
+        Ok(())
+    }
+
+    fn ensure_merged(&mut self, epoch: Epoch) {
+        if self.net.shards() == 1 {
+            return;
+        }
+        if !matches!(&self.merged, Some((e, _)) if *e == epoch) {
+            self.merged = Some((epoch, self.net.merged()));
+        }
+    }
+
+    fn current_view(&self) -> &LiveNetwork {
+        if self.net.shards() == 1 {
+            &self.net.partition(0).live
+        } else {
+            &self
+                .merged
+                .as_ref()
+                .expect("ensure_merged refreshed the view")
+                .1
         }
     }
 
     /// Answers one query for one client through the cache hierarchy.
     ///
     /// Misses run the full pipeline (prompt → LLM → sandbox) via
-    /// [`NetworkManager::serve_prompt`]; program hits re-execute the cached
-    /// code against the current state; answer hits return the cached
-    /// outcome untouched. Failures never enter the *program* cache — only
-    /// a negatively cached error reply scoped to the current epoch — so
-    /// the same request at the same state repeats the error cheaply, and
-    /// the first request after a mutation retries the model for real.
+    /// [`NetworkManager::serve_prompt`] over the merged view; program hits
+    /// re-execute the cached code against the current merged state; answer
+    /// hits return the cached outcome untouched. Failures never enter the
+    /// *program* cache — only a negatively cached error reply scoped to
+    /// the current global epoch — so the same request at the same state
+    /// repeats the error cheaply, and the first request after a mutation
+    /// retries the model for real.
     pub fn handle_query(&mut self, client: usize, query: &str) -> Reply {
         let start = Instant::now();
+        let epoch = self.net.global_epoch();
         // An unknown client gets an error reply, not a panic: one bad
         // request must not take down the serving loop.
-        let Some(session) = self.sessions.iter().position(|s| s.client == client) else {
+        let Some(si) = self.sessions.iter().position(|s| s.client == client) else {
             return Reply {
                 client,
                 backend: Backend::Strawman,
                 query: query.to_string(),
-                epoch: self.live.epoch(),
+                epoch,
                 cache: CacheOutcome::Miss,
                 answer: format!("error: no session for client {client}"),
                 latency_ms: start.elapsed().as_secs_f64() * 1e3,
             };
         };
-        let backend = self.sessions[session].backend;
-        let epoch = self.live.epoch();
-        let (cache, answer) = match self.cache.lookup(query, backend, epoch) {
+        let backend = self.sessions[si].backend;
+        let ci = shard_of(query, self.net.shards()) as usize;
+        let (cache, answer) = match self.caches[ci].lookup(query, backend, epoch) {
             Lookup::Answer(_outcome, rendered) => (CacheOutcome::AnswerHit, rendered.to_string()),
             Lookup::Program(program) => {
-                let state = self.live.state(backend);
+                self.ensure_merged(epoch);
+                let state = self.current_view().state(backend);
                 match execute_code(backend, &program, &state) {
                     Ok(outcome) => {
                         let answer = outcome.value.render();
-                        self.cache.insert_answer(query, backend, epoch, outcome);
+                        self.caches[ci].insert_answer(query, backend, epoch, outcome);
                         (CacheOutcome::ProgramHit, answer)
                     }
                     Err(e) => {
                         // The stored program no longer runs against the
                         // current state: evict it so the next request
                         // after invalidation consults the model again.
-                        self.cache.evict_program(query, backend);
+                        self.caches[ci].evict_program(query, backend);
                         let answer = format!("error: {e}");
-                        self.cache.insert_error(query, backend, epoch, &answer);
+                        self.caches[ci].insert_error(query, backend, epoch, &answer);
                         (CacheOutcome::ProgramHit, answer)
                     }
                 }
             }
             Lookup::Miss => {
-                let prompt = codegen_prompt(&self.live, backend, query);
-                let state = self.live.state(backend);
-                let mut manager = NetworkManager::new(&self.live, &mut self.sessions[session].llm);
+                self.ensure_merged(epoch);
+                // Field-level split: the view (net/merged) is borrowed
+                // immutably while the session's model is borrowed mutably.
+                let Server {
+                    net,
+                    merged,
+                    sessions,
+                    caches,
+                    ..
+                } = self;
+                let live: &LiveNetwork = if net.shards() == 1 {
+                    &net.partition(0).live
+                } else {
+                    &merged.as_ref().expect("ensure_merged ran").1
+                };
+                let prompt = codegen_prompt(live, backend, query);
+                let state = live.state(backend);
+                let mut manager = NetworkManager::new(live, &mut sessions[si].llm);
                 let (response, result) = manager.serve_prompt(&prompt, &state);
                 match result {
                     Ok(outcome) => {
                         if let Some(code) = extract_code(&response.text) {
-                            self.cache.insert_program(query, backend, code);
+                            caches[ci].insert_program(query, backend, code);
                         }
                         let answer = outcome.value.render();
-                        self.cache.insert_answer(query, backend, epoch, outcome);
+                        caches[ci].insert_answer(query, backend, epoch, outcome);
                         (CacheOutcome::Miss, answer)
                     }
                     Err(reason) => {
                         let answer = format!("error: {reason}");
-                        self.cache.insert_error(query, backend, epoch, &answer);
+                        caches[ci].insert_error(query, backend, epoch, &answer);
                         (CacheOutcome::Miss, answer)
                     }
                 }
@@ -220,45 +636,54 @@ impl<L: Llm> Server<L> {
         }
     }
 
-    /// Processes one event and renders its deterministic transcript line.
+    /// Handles one typed request.
     ///
-    /// A mutation *conflict* is part of normal operation (the state is
-    /// untouched, the line records the rejection) — but a storage or
-    /// corruption error from the durable log is not: rendering it as
-    /// "rejected" would make a dying disk indistinguishable from a benign
-    /// duplicate, so those propagate as errors instead.
-    pub fn process(&mut self, event: &ServeEvent) -> Result<(String, Option<Reply>), ServeError> {
-        match event {
-            ServeEvent::Mutate(timed) => {
-                let line = match self.apply_mutation(timed) {
-                    Ok(epoch) => format!(
-                        "[e{epoch}] t={}ms mutate {}",
-                        timed.at_ms,
-                        crate::Mutation::from_event(&timed.event).describe()
-                    ),
-                    Err(e @ ServeError::Conflict(_)) => format!(
-                        "[e{}] t={}ms mutate rejected: {e}",
-                        self.live.epoch(),
-                        timed.at_ms
-                    ),
-                    Err(storage_or_corrupt) => return Err(storage_or_corrupt),
-                };
-                Ok((line, None))
+    /// A mutation *conflict* is part of normal operation and comes back as
+    /// [`Response::Rejected`] — but a storage or corruption error from the
+    /// durable log is not: rendering it as "rejected" would make a dying
+    /// disk indistinguishable from a benign duplicate, so those propagate
+    /// as errors instead.
+    pub fn handle(&mut self, request: &Request) -> Result<Response, ServeError> {
+        match request {
+            Request::Mutate { at_ms, mutation } => {
+                match self.apply_mutation_inner(*at_ms, mutation.clone()) {
+                    Ok(epoch) => Ok(Response::Mutated {
+                        epoch,
+                        at_ms: *at_ms,
+                        description: mutation.describe(),
+                    }),
+                    Err(e @ ServeError::Conflict(_)) => Ok(Response::Rejected {
+                        epoch: self.net.global_epoch(),
+                        at_ms: *at_ms,
+                        reason: e.to_string(),
+                    }),
+                    Err(storage_or_corrupt) => Err(storage_or_corrupt),
+                }
             }
-            ServeEvent::Query { client, query } => {
-                let reply = self.handle_query(*client, query);
-                let line = format!(
-                    "[e{}] client={} {} {} {:?} => {}",
-                    reply.epoch,
-                    reply.client,
-                    reply.backend,
-                    reply.cache.tag(),
-                    reply.query,
-                    one_line(&reply.answer),
-                );
-                Ok((line, Some(reply)))
+            Request::Query { client, query } => {
+                Ok(Response::Answered(self.handle_query(*client, query)))
             }
+            Request::Sync => {
+                self.sync_persistence()?;
+                Ok(Response::Synced)
+            }
+            Request::Stats => Ok(Response::Stats(self.stats())),
         }
+    }
+
+    /// Processes one event through the typed protocol and renders its
+    /// deterministic transcript line (the historical line formats, byte
+    /// for byte).
+    pub fn process(&mut self, event: &ServeEvent) -> Result<(String, Option<Reply>), ServeError> {
+        let response = self.handle(&Request::from_event(event))?;
+        let line = response
+            .transcript_line()
+            .expect("mutate and query responses always render a line");
+        let reply = match response {
+            Response::Answered(reply) => Some(reply),
+            _ => None,
+        };
+        Ok((line, reply))
     }
 
     /// Runs a whole schedule, returning the transcript and every reply.
@@ -289,11 +714,6 @@ impl<L: Llm> Server<L> {
     }
 }
 
-/// Collapses an answer to a single whitespace-normalized line.
-fn one_line(text: &str) -> String {
-    text.split_whitespace().collect::<Vec<_>>().join(" ")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,75 +737,78 @@ mod tests {
         )
     }
 
+    fn server_with(shards: u32, llm: ScriptedLlm) -> Server<ScriptedLlm> {
+        ServerBuilder::new()
+            .shards(shards)
+            .build(
+                live(),
+                vec![Session {
+                    client: 0,
+                    backend: Backend::NetworkX,
+                    llm,
+                }],
+            )
+            .expect("in-memory build")
+    }
+
     #[test]
     fn cache_hierarchy_hit_path() {
-        let network = live();
-        let mut server = Server::new(
-            network,
-            vec![Session {
-                client: 0,
-                backend: Backend::NetworkX,
-                llm: scripted(8),
-            }],
-        );
-        let q = "How many edges are there?";
-        let first = server.handle_query(0, q);
-        assert_eq!(first.cache, CacheOutcome::Miss);
-        assert_eq!(first.answer, "14");
-        let second = server.handle_query(0, q);
-        assert_eq!(second.cache, CacheOutcome::AnswerHit);
-        assert_eq!(second.answer, first.answer);
-        assert!(server
-            .cached_program(q, Backend::NetworkX)
-            .unwrap()
-            .contains("number_of_edges"));
+        // The same behavioural contract at every shard count.
+        for shards in [1u32, 4] {
+            let mut server = server_with(shards, scripted(8));
+            let q = "How many edges are there?";
+            let first = server.handle_query(0, q);
+            assert_eq!(first.cache, CacheOutcome::Miss);
+            assert_eq!(first.answer, "14");
+            let second = server.handle_query(0, q);
+            assert_eq!(second.cache, CacheOutcome::AnswerHit);
+            assert_eq!(second.answer, first.answer);
+            assert!(server
+                .cached_program(q, Backend::NetworkX)
+                .unwrap()
+                .contains("number_of_edges"));
 
-        // A mutation bumps the epoch: next request re-executes the cached
-        // program over the *new* state without touching the model.
-        let flow = trafficgen::Flow {
-            source: trafficgen::Ipv4::new(203, 0, 0, 1),
-            target: trafficgen::Ipv4::new(203, 0, 0, 2),
-            bytes: 10,
-            connections: 1,
-            packets: 1,
-        };
-        for endpoint in [flow.source, flow.target] {
+            // A mutation bumps the global epoch: next request re-executes
+            // the cached program over the *new* merged state without
+            // touching the model.
+            let flow = trafficgen::Flow {
+                source: trafficgen::Ipv4::new(203, 0, 0, 1),
+                target: trafficgen::Ipv4::new(203, 0, 0, 2),
+                bytes: 10,
+                connections: 1,
+                packets: 1,
+            };
+            for endpoint in [flow.source, flow.target] {
+                server
+                    .apply_mutation(&TimedEvent {
+                        at_ms: 1,
+                        event: NetEvent::NewEndpoint { endpoint },
+                    })
+                    .unwrap();
+            }
             server
                 .apply_mutation(&TimedEvent {
-                    at_ms: 1,
-                    event: NetEvent::NewEndpoint { endpoint },
+                    at_ms: 2,
+                    event: NetEvent::NewFlow { flow },
                 })
                 .unwrap();
+            let third = server.handle_query(0, q);
+            assert_eq!(third.cache, CacheOutcome::ProgramHit, "shards={shards}");
+            assert_eq!(third.answer, "15");
+            let stats = server.cache_stats();
+            assert_eq!(stats.misses, 1);
+            assert_eq!(stats.answer_hits, 1);
+            assert_eq!(stats.program_hits, 1);
+            assert_eq!(stats.invalidated, 1);
+            // The model was consulted exactly once.
+            let session_llm = &server.sessions[0].llm;
+            assert_eq!(session_llm.prompts_seen.len(), 1);
         }
-        server
-            .apply_mutation(&TimedEvent {
-                at_ms: 2,
-                event: NetEvent::NewFlow { flow },
-            })
-            .unwrap();
-        let third = server.handle_query(0, q);
-        assert_eq!(third.cache, CacheOutcome::ProgramHit);
-        assert_eq!(third.answer, "15");
-        let stats = server.cache_stats();
-        assert_eq!(stats.misses, 1);
-        assert_eq!(stats.answer_hits, 1);
-        assert_eq!(stats.program_hits, 1);
-        assert_eq!(stats.invalidated, 1);
-        // The model was consulted exactly once.
-        let session_llm = &server.sessions[0].llm;
-        assert_eq!(session_llm.prompts_seen.len(), 1);
     }
 
     #[test]
     fn unknown_clients_get_an_error_reply_not_a_panic() {
-        let mut server = Server::new(
-            live(),
-            vec![Session {
-                client: 0,
-                backend: Backend::NetworkX,
-                llm: scripted(1),
-            }],
-        );
+        let mut server = server_with(1, scripted(1));
         let reply = server.handle_query(7, "How many edges are there?");
         assert!(reply.answer.contains("no session for client 7"));
         assert_eq!(reply.client, 7);
@@ -397,7 +820,7 @@ mod tests {
     }
 
     #[test]
-    fn transcript_lines_are_deterministic() {
+    fn transcript_lines_are_deterministic_and_shard_invariant() {
         let q = "How many edges are there?".to_string();
         let schedule = vec![
             ServeEvent::Query {
@@ -409,22 +832,19 @@ mod tests {
                 query: q,
             },
         ];
-        let run = || {
-            let mut server = Server::new(
-                live(),
-                vec![Session {
-                    client: 0,
-                    backend: Backend::NetworkX,
-                    llm: scripted(4),
-                }],
-            );
+        let run = |shards: u32| {
+            let mut server = server_with(shards, scripted(4));
             server.run_schedule(&schedule).expect("no persistence").0
         };
-        let a = run();
-        let b = run();
+        let a = run(1);
+        let b = run(1);
         assert_eq!(a, b);
         assert!(a[0].contains("miss"));
         assert!(a[1].contains("hit"));
+        // The same transcript at any shard count.
+        for shards in [2, 4] {
+            assert_eq!(run(shards), a, "shards={shards}");
+        }
     }
 
     #[test]
@@ -446,20 +866,23 @@ mod tests {
         );
         let fragile =
             format!("```graphscript\nresult = G.get_edge_attr(\"{s}\", \"{t}\", \"bytes\")\n```");
-        let mut server = Server::new(
-            LiveNetwork::from_workload(&workload),
-            vec![Session {
-                client: 0,
-                backend: Backend::NetworkX,
-                llm: ScriptedLlm::new(
-                    "adaptive",
-                    vec![
-                        fragile,
-                        "```graphscript\nresult = G.number_of_edges()\n```".to_string(),
-                    ],
-                ),
-            }],
-        );
+        let mut server = ServerBuilder::new()
+            .shards(3)
+            .build(
+                LiveNetwork::from_workload(&workload),
+                vec![Session {
+                    client: 0,
+                    backend: Backend::NetworkX,
+                    llm: ScriptedLlm::new(
+                        "adaptive",
+                        vec![
+                            fragile,
+                            "```graphscript\nresult = G.number_of_edges()\n```".to_string(),
+                        ],
+                    ),
+                }],
+            )
+            .expect("in-memory build");
         let q = "How many bytes on the first flow?";
         assert_eq!(server.handle_query(0, q).cache, CacheOutcome::Miss);
         server
@@ -494,20 +917,22 @@ mod tests {
 
     #[test]
     fn failures_are_negatively_cached_and_retried_after_mutations() {
-        let mut server = Server::new(
-            live(),
-            vec![Session {
-                client: 0,
-                backend: Backend::NetworkX,
-                llm: ScriptedLlm::new(
-                    "flaky",
-                    vec![
-                        "```graphscript\nresult = G.frobnicate()\n```".to_string(),
-                        "```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
-                    ],
-                ),
-            }],
-        );
+        let mut server = ServerBuilder::new()
+            .build(
+                live(),
+                vec![Session {
+                    client: 0,
+                    backend: Backend::NetworkX,
+                    llm: ScriptedLlm::new(
+                        "flaky",
+                        vec![
+                            "```graphscript\nresult = G.frobnicate()\n```".to_string(),
+                            "```graphscript\nresult = G.number_of_nodes()\n```".to_string(),
+                        ],
+                    ),
+                }],
+            )
+            .expect("in-memory build");
         let q = "How many nodes are there?";
         let bad = server.handle_query(0, q);
         assert_eq!(bad.cache, CacheOutcome::Miss);
@@ -531,5 +956,37 @@ mod tests {
         assert_eq!(good.cache, CacheOutcome::Miss);
         assert_eq!(good.answer, "11");
         assert!(server.cached_program(q, Backend::NetworkX).is_some());
+    }
+
+    #[test]
+    fn deprecated_constructors_build_equivalent_servers() {
+        #![allow(deprecated)]
+        let q = "How many edges are there?";
+        let mut old_style = Server::new(
+            live(),
+            vec![Session {
+                client: 0,
+                backend: Backend::NetworkX,
+                llm: scripted(2),
+            }],
+        );
+        let mut new_style = server_with(1, scripted(2));
+        let a = old_style.handle_query(0, q);
+        let b = new_style.handle_query(0, q);
+        assert_eq!((a.answer, a.cache, a.epoch), (b.answer, b.cache, b.epoch));
+        assert_eq!(old_style.stats(), new_style.stats());
+        assert_eq!(old_style.live(), new_style.merged_view());
+    }
+
+    #[test]
+    fn typed_sync_and_stats_requests_work() {
+        let mut server = server_with(2, scripted(2));
+        assert_eq!(server.handle(&Request::Sync).unwrap(), Response::Synced);
+        let Response::Stats(stats) = server.handle(&Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.epochs, vec![0, 0]);
+        assert_eq!(stats.global_epoch, server.network().global_epoch());
     }
 }

@@ -1,0 +1,618 @@
+//! Per-shard durable persistence: one `nemo-store` directory per shard.
+//!
+//! A sharded server keeps `shards` independent stores under
+//! `root/shard-<k>/`, each holding exactly one partition's slice of the
+//! state. The discipline mirrors [`crate::persist`] — genesis snapshot
+//! before any record, newest-valid-snapshot recovery with loud failures,
+//! positional replay checks, WAL compaction on snapshot — with two
+//! shard-specific twists:
+//!
+//! * **Records carry two epochs.** The store's positional epoch is the
+//!   shard's *local* epoch (so each store's contiguity and torn-tail
+//!   machinery works unchanged), and the *global* epoch rides along in the
+//!   payload ([`crate::codec::encode_shard_record`]) so recovery can
+//!   rebuild the cross-shard sequence numbers that make the merged view
+//!   byte-identical to an unsharded run. The segment magic is
+//!   [`SHARD_WAL_MAGIC`], so a shard store can never be mistaken for an
+//!   unsharded one (or vice versa).
+//! * **Snapshots are shard documents.** A `nemo-shard/v1` document wraps
+//!   an ordinary inner snapshot (at the *local* epoch) together with the
+//!   shard's identity (`shard`/`shards`), the sequence-number bases fixed
+//!   at partition time, the per-row sequence vectors, and the highest
+//!   global epoch the shard had observed.
+//!
+//! Each shard recovers from its own directory with **no cross-shard
+//! coordination** — ghost endpoints make every per-shard stream
+//! independently applicable — and [`recover_or_create_sharded`]
+//! reassembles the [`ShardedNetwork`] from the recovered partitions,
+//! cross-checking that all shards agree on the partition metadata.
+
+use crate::codec::{self, decode_shard_record, encode_shard_record, SHARD_WAL_MAGIC};
+use crate::error::ServeError;
+use crate::mutation::{Epoch, WalRecord};
+use crate::persist::{PersistOptions, RecoveryReport};
+use crate::shard::{SeqBases, ShardPartition, ShardedNetwork};
+use crate::snapshot::{read_snapshot, write_snapshot};
+use nemo_bench::pool;
+use nemo_store::{Store, StoreConfig};
+use netgraph::json::JsonValue;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the per-shard snapshot document.
+pub const SHARD_SCHEMA: &str = "nemo-shard/v1";
+
+/// The directory one shard's store lives in, under the server's
+/// persistence root.
+pub fn shard_dir(root: &Path, shard: u32) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+fn shard_store_config(options: &PersistOptions) -> StoreConfig {
+    StoreConfig {
+        magic: SHARD_WAL_MAGIC.to_string(),
+        fsync: options.fsync,
+        segment_max_bytes: options.segment_max_bytes,
+        snapshot_every_bytes: options.snapshot_every_bytes,
+        snapshot_every_epochs: options.snapshot_every_epochs,
+        keep_snapshots: options.keep_snapshots,
+    }
+}
+
+/// One shard's durable storage handle (the sharded counterpart of
+/// [`crate::Persistence`]).
+#[derive(Debug)]
+pub struct ShardPersistence {
+    store: Store,
+    shard: u32,
+    shards: u32,
+    bases: SeqBases,
+    /// Highest global epoch this shard has logged or recovered.
+    last_global: Epoch,
+}
+
+impl ShardPersistence {
+    /// Creates the shard's store in an empty (or absent) directory and
+    /// installs the genesis shard snapshot. Errors if the directory
+    /// already holds store files.
+    pub(crate) fn create(
+        dir: &Path,
+        options: &PersistOptions,
+        shard: u32,
+        shards: u32,
+        bases: SeqBases,
+        partition: &ShardPartition,
+    ) -> Result<ShardPersistence, ServeError> {
+        let (store, _) = Store::open(dir, shard_store_config(options))?;
+        if !store.is_empty() {
+            return Err(ServeError::Storage(format!(
+                "{} already holds store files; use recover()",
+                dir.display()
+            )));
+        }
+        let mut persistence = ShardPersistence {
+            store,
+            shard,
+            shards,
+            bases,
+            last_global: bases.base_epoch,
+        };
+        persistence.force_snapshot(partition)?;
+        Ok(persistence)
+    }
+
+    /// Rebuilds one shard's partition from its directory: newest valid
+    /// shard snapshot plus the per-shard WAL suffix. Same repair/fallback/
+    /// fail-loudly split as [`crate::Persistence::recover`], plus the
+    /// shard-identity checks (`shard`, `shards`) on every candidate
+    /// document.
+    pub(crate) fn recover(
+        dir: &Path,
+        options: &PersistOptions,
+        shard: u32,
+        shards: u32,
+    ) -> Result<(ShardPartition, ShardPersistence, RecoveryReport), ServeError> {
+        let (store, open_report) = Store::open(dir, shard_store_config(options))?;
+        if store.is_empty() {
+            return Err(ServeError::Storage(format!(
+                "{} holds no store files; use create()",
+                dir.display()
+            )));
+        }
+        let mut report = RecoveryReport {
+            truncated_bytes: open_report.truncated_bytes,
+            ..RecoveryReport::default()
+        };
+        // Newest shard document that still validates.
+        let mut base: Option<(u64, ShardDocument)> = None;
+        for &epoch in store.snapshot_epochs().iter().rev() {
+            let parsed = store
+                .read_snapshot(epoch)
+                .map_err(ServeError::from)
+                .and_then(|bytes| {
+                    String::from_utf8(bytes).map_err(|_| {
+                        ServeError::Corrupt("shard snapshot document is not UTF-8".to_string())
+                    })
+                })
+                .and_then(|text| parse_shard_document(&text, shard, shards));
+            match parsed {
+                Ok(doc) => {
+                    base = Some((epoch, doc));
+                    break;
+                }
+                Err(reason) => report.skipped_snapshots.push((epoch, reason.to_string())),
+            }
+        }
+        let Some((snapshot_epoch, doc)) = base else {
+            let reasons: Vec<String> = report
+                .skipped_snapshots
+                .iter()
+                .map(|(epoch, reason)| format!("epoch {epoch}: {reason}"))
+                .collect();
+            return Err(ServeError::Corrupt(format!(
+                "{}: no usable snapshot — every candidate failed validation ({})",
+                dir.display(),
+                reasons.join("; "),
+            )));
+        };
+        let ShardDocument {
+            mut partition,
+            bases,
+            last_global,
+        } = doc;
+        if partition.live.epoch() != snapshot_epoch {
+            return Err(ServeError::Corrupt(format!(
+                "shard snapshot file for epoch {snapshot_epoch} carries state at epoch {}",
+                partition.live.epoch()
+            )));
+        }
+        report.snapshot_epoch = snapshot_epoch;
+        // Replay the per-shard WAL suffix, cross-checking the store's
+        // positional (local) epochs against the records' own, and folding
+        // the carried global epochs back into the sequence numbers.
+        let mut last_global = last_global;
+        for (epoch, payload) in store.replay(snapshot_epoch)? {
+            let (record, global) = decode_shard_record(&payload)?;
+            if record.epoch != epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "shard WAL record at log position {epoch} carries epoch {}",
+                    record.epoch
+                )));
+            }
+            if record.epoch != partition.live.epoch() + 1 {
+                return Err(ServeError::Corrupt(format!(
+                    "WAL gap: shard state is at epoch {}, next record is epoch {}",
+                    partition.live.epoch(),
+                    record.epoch
+                )));
+            }
+            partition.apply_record(global, record.at_ms, record.mutation, &bases)?;
+            last_global = last_global.max(global);
+            report.replayed_records += 1;
+        }
+        // Completeness: recovering below the newest epoch the store ever
+        // held would be silent data loss.
+        if let Some(last) = store.last_epoch() {
+            if partition.live.epoch() < last {
+                return Err(ServeError::Corrupt(format!(
+                    "recovery reached epoch {} but the store once held epoch {last}; \
+                     the WAL covering the difference is gone (compacted or deleted)",
+                    partition.live.epoch()
+                )));
+            }
+        }
+        let persistence = ShardPersistence {
+            store,
+            shard,
+            shards,
+            bases,
+            last_global,
+        };
+        Ok((partition, persistence, report))
+    }
+
+    /// Durably logs one applied record: positional epoch is the shard's
+    /// local epoch, `global` rides along in the payload.
+    pub(crate) fn log(&mut self, record: &WalRecord, global: Epoch) -> Result<(), ServeError> {
+        self.store
+            .append(record.epoch, &encode_shard_record(record, global))?;
+        self.last_global = self.last_global.max(global);
+        Ok(())
+    }
+
+    /// Batch-boundary fsync.
+    pub(crate) fn sync(&mut self) -> Result<(), ServeError> {
+        self.store.sync()?;
+        Ok(())
+    }
+
+    /// Writes and installs a shard snapshot if the store's thresholds say
+    /// one is due; returns whether it did.
+    pub(crate) fn maybe_snapshot(
+        &mut self,
+        partition: &ShardPartition,
+    ) -> Result<bool, ServeError> {
+        if !self.store.snapshot_due(partition.live.epoch()) {
+            return Ok(false);
+        }
+        self.force_snapshot(partition)?;
+        Ok(true)
+    }
+
+    /// Unconditionally writes and installs a shard snapshot. Shard
+    /// snapshots are always written in full — the CSV-prefix reuse of the
+    /// unsharded writer is a pure optimization this path skips.
+    pub(crate) fn force_snapshot(&mut self, partition: &ShardPartition) -> Result<(), ServeError> {
+        let document = self.shard_document(partition);
+        self.store
+            .install_snapshot(partition.live.epoch(), document.as_bytes())?;
+        Ok(())
+    }
+
+    fn shard_document(&self, partition: &ShardPartition) -> String {
+        let seqs =
+            |values: &[u64]| JsonValue::Array(values.iter().map(|&v| codec::n(v as i64)).collect());
+        codec::obj(vec![
+            ("schema", codec::s(SHARD_SCHEMA)),
+            ("shard", codec::n(self.shard as i64)),
+            ("shards", codec::n(self.shards as i64)),
+            ("base_epoch", codec::n(self.bases.base_epoch as i64)),
+            ("node_seq_base", codec::n(self.bases.node_seq_base as i64)),
+            ("edge_seq_base", codec::n(self.bases.edge_seq_base as i64)),
+            ("last_global", codec::n(self.last_global as i64)),
+            ("node_seqs", seqs(&partition.node_seqs)),
+            ("edge_seqs", seqs(&partition.edge_seqs)),
+            ("snapshot", codec::s(&write_snapshot(&partition.live))),
+        ])
+        .to_json()
+    }
+
+    /// Which shard this store belongs to.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Highest global epoch this shard has logged or recovered.
+    pub fn last_global(&self) -> Epoch {
+        self.last_global
+    }
+
+    /// The underlying store (inspection, benchmarks, tests).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+}
+
+/// What a parsed `nemo-shard/v1` document yields.
+struct ShardDocument {
+    partition: ShardPartition,
+    bases: SeqBases,
+    last_global: Epoch,
+}
+
+fn get_seqs(root: &BTreeMap<String, JsonValue>, key: &str) -> Result<Vec<u64>, ServeError> {
+    let Some(JsonValue::Array(items)) = root.get(key) else {
+        return Err(ServeError::Corrupt(format!(
+            "shard snapshot field {key:?} is missing or not an array"
+        )));
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            JsonValue::Number(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as u64),
+            other => Err(ServeError::Corrupt(format!(
+                "shard snapshot {key} entry is {other:?}, want a non-negative integer"
+            ))),
+        })
+        .collect()
+}
+
+fn parse_shard_document(
+    text: &str,
+    want_shard: u32,
+    want_shards: u32,
+) -> Result<ShardDocument, ServeError> {
+    let corrupt = |msg: String| ServeError::Corrupt(msg);
+    let doc = JsonValue::parse(text).map_err(|e| corrupt(format!("not JSON: {e}")))?;
+    let JsonValue::Object(root) = &doc else {
+        return Err(corrupt("shard snapshot root is not an object".to_string()));
+    };
+    match root.get("schema") {
+        Some(JsonValue::String(s)) if s == SHARD_SCHEMA => {}
+        other => {
+            return Err(corrupt(format!(
+                "schema field is {other:?}, want \"{SHARD_SCHEMA}\""
+            )))
+        }
+    }
+    let shard = codec::get_u64(root, "shard")?;
+    let shards = codec::get_u64(root, "shards")?;
+    if shard != want_shard as u64 || shards != want_shards as u64 {
+        return Err(corrupt(format!(
+            "snapshot belongs to shard {shard} of {shards}, want shard {want_shard} of \
+             {want_shards} — the directory layout and the documents disagree"
+        )));
+    }
+    let bases = SeqBases {
+        base_epoch: codec::get_u64(root, "base_epoch")?,
+        node_seq_base: codec::get_u64(root, "node_seq_base")?,
+        edge_seq_base: codec::get_u64(root, "edge_seq_base")?,
+    };
+    let last_global = codec::get_u64(root, "last_global")?;
+    let inner = codec::get_str(root, "snapshot")?;
+    let live = read_snapshot(&inner)?;
+    let node_seqs = get_seqs(root, "node_seqs")?;
+    let edge_seqs = get_seqs(root, "edge_seqs")?;
+    if node_seqs.len() != live.nodes().n_rows() || edge_seqs.len() != live.edges().n_rows() {
+        return Err(corrupt(format!(
+            "sequence vectors ({} nodes, {} edges) do not match the frames ({} nodes, {} edges)",
+            node_seqs.len(),
+            edge_seqs.len(),
+            live.nodes().n_rows(),
+            live.edges().n_rows()
+        )));
+    }
+    Ok(ShardDocument {
+        partition: ShardPartition {
+            live,
+            node_seqs,
+            edge_seqs,
+        },
+        bases,
+        last_global,
+    })
+}
+
+/// Opens (or creates) the whole sharded layout under `root`: either every
+/// shard directory is recovered — in parallel over `threads` workers, each
+/// shard independently — or, when `root/shard-0` is empty, the network is
+/// built fresh from `init()`, partitioned, and every shard's genesis
+/// snapshot installed. A half-and-half layout (some shards occupied, some
+/// empty: a crash mid-create) fails loudly from the per-shard
+/// create/recover preconditions.
+pub(crate) fn recover_or_create_sharded(
+    root: &Path,
+    options: &PersistOptions,
+    shards: u32,
+    threads: usize,
+    init: impl FnOnce() -> crate::live::LiveNetwork,
+) -> Result<(ShardedNetwork, Vec<ShardPersistence>, Vec<RecoveryReport>), ServeError> {
+    assert!(shards > 0, "a sharded layout needs at least one shard");
+    // Probe with plain fs (not Store::open) so the real open below is the
+    // only one — a probe open would repair torn tails and silently drop
+    // the truncation out of the recovery report.
+    let probe = shard_dir(root, 0);
+    let occupied = match std::fs::read_dir(&probe) {
+        Ok(mut entries) => entries.next().is_some(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+        Err(e) => {
+            return Err(ServeError::Storage(format!(
+                "probing {}: {e}",
+                probe.display()
+            )))
+        }
+    };
+    if !occupied {
+        let net = ShardedNetwork::from_live(&init(), shards);
+        let mut persists = Vec::with_capacity(shards as usize);
+        for k in 0..shards {
+            persists.push(ShardPersistence::create(
+                &shard_dir(root, k),
+                options,
+                k,
+                shards,
+                net.bases(),
+                net.partition(k),
+            )?);
+        }
+        let reports = vec![RecoveryReport::default(); shards as usize];
+        return Ok((net, persists, reports));
+    }
+    let results = pool::run_indexed(shards as usize, threads, |k| {
+        ShardPersistence::recover(&shard_dir(root, k as u32), options, k as u32, shards)
+    });
+    let mut partitions = Vec::with_capacity(shards as usize);
+    let mut persists = Vec::with_capacity(shards as usize);
+    let mut reports = Vec::with_capacity(shards as usize);
+    for (k, result) in results.into_iter().enumerate() {
+        let (partition, persistence, report) = result.map_err(|e| e.with_shard(k as u32, None))?;
+        partitions.push(partition);
+        persists.push(persistence);
+        reports.push(report);
+    }
+    // Every shard must agree on the partition-time metadata; a mix means
+    // the directories come from different partitionings.
+    let bases = persists[0].bases;
+    for persistence in &persists[1..] {
+        if persistence.bases != bases {
+            return Err(ServeError::Corrupt(format!(
+                "shard {}: partition metadata disagrees with shard 0 \
+                 (the shard directories come from different partitionings)",
+                persistence.shard
+            )));
+        }
+    }
+    let next_global = persists
+        .iter()
+        .map(|p| p.last_global)
+        .max()
+        .expect("shards > 0")
+        .max(bases.base_epoch);
+    let net = ShardedNetwork::from_recovered(partitions, bases, next_global);
+    Ok((net, persists, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::LiveNetwork;
+    use crate::persist::FsyncPolicy;
+    use crate::snapshot::write_snapshot;
+    use trafficgen::{evolve, generate, StreamConfig, TrafficConfig};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nemo-shard-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_options() -> PersistOptions {
+        PersistOptions {
+            fsync: FsyncPolicy::Never,
+            segment_max_bytes: 512,
+            snapshot_every_bytes: 0,
+            snapshot_every_epochs: 0,
+            ..PersistOptions::default()
+        }
+    }
+
+    fn evolved_live(events: usize) -> LiveNetwork {
+        let w = generate(&TrafficConfig {
+            nodes: 16,
+            edges: 22,
+            prefixes: 2,
+            seed: 8,
+        });
+        let mut live = LiveNetwork::from_workload(&w);
+        for event in &evolve(&w, &StreamConfig { events, seed: 4 }) {
+            live.apply_event(event).unwrap();
+        }
+        live
+    }
+
+    #[test]
+    fn sharded_log_then_recover_merges_identically() {
+        let root = temp_root("roundtrip");
+        let shards = 3u32;
+        let mut reference = evolved_live(0);
+        let (mut net, mut persists, _) =
+            recover_or_create_sharded(&root, &test_options(), shards, 2, || reference.clone())
+                .unwrap();
+        let w = generate(&TrafficConfig {
+            nodes: 16,
+            edges: 22,
+            prefixes: 2,
+            seed: 8,
+        });
+        for event in &evolve(
+            &w,
+            &StreamConfig {
+                events: 50,
+                seed: 12,
+            },
+        ) {
+            let mutation = crate::mutation::Mutation::from_event(&event.event);
+            let expected = reference.apply(event.at_ms, mutation.clone());
+            match net.apply(event.at_ms, mutation.clone()) {
+                Ok(global) => {
+                    assert_eq!(Ok(global), expected);
+                    let k = net.route(&mutation);
+                    let record = WalRecord {
+                        epoch: net.local_epoch(k),
+                        at_ms: event.at_ms,
+                        mutation,
+                    };
+                    persists[k as usize].log(&record, global).unwrap();
+                }
+                Err(e) => assert_eq!(Err(e), expected),
+            }
+        }
+        for p in &mut persists {
+            p.sync().unwrap();
+        }
+        drop(persists);
+        drop(net);
+
+        let (recovered, persists, reports) =
+            recover_or_create_sharded(&root, &test_options(), shards, 2, || unreachable!())
+                .unwrap();
+        assert_eq!(recovered.global_epoch(), reference.epoch());
+        assert_eq!(
+            write_snapshot(&recovered.merged()),
+            write_snapshot(&reference)
+        );
+        assert!(reports.iter().all(|r| r.truncated_bytes == 0));
+        // Each shard remembers the global epoch of *its* last record; the
+        // final mutation landed on exactly one of them.
+        assert!(persists
+            .iter()
+            .all(|p| p.last_global() <= reference.epoch()));
+        assert_eq!(
+            persists.iter().map(|p| p.last_global()).max(),
+            Some(reference.epoch())
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn recovery_refuses_a_different_shard_count() {
+        let root = temp_root("count");
+        let live = evolved_live(10);
+        recover_or_create_sharded(&root, &test_options(), 4, 1, || live.clone()).unwrap();
+        let err =
+            recover_or_create_sharded(&root, &test_options(), 2, 1, || unreachable!()).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Corrupt(msg) if msg.contains("want shard 0 of 2")),
+            "got {err}"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn per_shard_snapshots_compact_and_still_recover() {
+        let root = temp_root("compact");
+        let shards = 2u32;
+        let w = generate(&TrafficConfig {
+            nodes: 16,
+            edges: 22,
+            prefixes: 2,
+            seed: 8,
+        });
+        let mut reference = LiveNetwork::from_workload(&w);
+        let (mut net, mut persists, _) =
+            recover_or_create_sharded(&root, &test_options(), shards, 1, || reference.clone())
+                .unwrap();
+        let events = evolve(
+            &w,
+            &StreamConfig {
+                events: 40,
+                seed: 21,
+            },
+        );
+        for (i, event) in events.iter().enumerate() {
+            let mutation = crate::mutation::Mutation::from_event(&event.event);
+            if reference.apply(event.at_ms, mutation.clone()).is_err() {
+                assert!(net.apply(event.at_ms, mutation).is_err());
+                continue;
+            }
+            let global = net
+                .apply(event.at_ms, mutation.clone())
+                .unwrap_or_else(|_| unreachable!("reference accepted the mutation"));
+            let k = net.route(&mutation);
+            let record = WalRecord {
+                epoch: net.local_epoch(k),
+                at_ms: event.at_ms,
+                mutation,
+            };
+            persists[k as usize].log(&record, global).unwrap();
+            if i == 19 {
+                for k in 0..shards {
+                    persists[k as usize]
+                        .force_snapshot(net.partition(k))
+                        .unwrap();
+                }
+            }
+        }
+        drop(persists);
+        let (recovered, _, reports) =
+            recover_or_create_sharded(&root, &test_options(), shards, 1, || unreachable!())
+                .unwrap();
+        assert!(reports.iter().any(|r| r.snapshot_epoch > 0));
+        assert_eq!(
+            write_snapshot(&recovered.merged()),
+            write_snapshot(&reference)
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

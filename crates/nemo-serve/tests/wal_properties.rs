@@ -129,7 +129,7 @@ proptest! {
                     .cached_program(query, backend)
                     .expect("successful answers cache their program")
                     .to_string();
-                let fresh = execute_code(backend, &program, &server.live().state(backend))
+                let fresh = execute_code(backend, &program, &server.merged_view().state(backend))
                     .expect("cached program re-executes");
                 prop_assert_eq!(fresh.value.render(), first.answer);
             }

@@ -1,0 +1,363 @@
+//! Leader-based group commit.
+//!
+//! Under [`FsyncPolicy::EveryRecord`] every append pays one disk
+//! round-trip. [`GroupCommitter`] keeps the same contract — an append that
+//! returns `Ok` is durable — while letting concurrent appenders share
+//! fsyncs: appenders enqueue their records under a mutex, and exactly one
+//! of them (the *leader*) issues a single [`Store::sync`] covering every
+//! record appended so far. Followers block until the leader's fsync covers
+//! their epoch.
+//!
+//! The leader waits for stragglers (bounded by `max_batch` records and
+//! `max_wait_micros`) but never waits when it is alone: an appender with
+//! no concurrent peers syncs immediately, so single-threaded latency
+//! matches `EveryRecord`. The fsync itself runs with the committer lock
+//! released, so the *next* batch accumulates while the disk is busy —
+//! under sustained concurrency the achieved batch size tracks
+//! `arrival rate x fsync latency` rather than the straggler window.
+
+use crate::error::StoreError;
+use crate::store::{FsyncPolicy, Store};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+struct State {
+    store: Store,
+    /// Epoch of the newest appended record (0 before the first append —
+    /// store epochs start at 1 when the committer assigns them).
+    appended: u64,
+    /// Epoch covered by the newest completed fsync.
+    synced: u64,
+    /// A leader is currently collecting a batch or inside `sync`.
+    leader_active: bool,
+    /// Completed group fsyncs.
+    sync_count: u64,
+    /// A failed fsync poisons the committer: durability of already-acked
+    /// records is unknown territory, so every later append fails too.
+    poisoned: Option<StoreError>,
+}
+
+/// Shares one [`Store`] between concurrent appenders, coalescing their
+/// fsyncs. Wrap it in an `Arc` to append from several threads.
+///
+/// Epochs are assigned internally (each append continues the store's
+/// sequence), because concurrent callers cannot know the next epoch.
+pub struct GroupCommitter {
+    state: Mutex<State>,
+    /// Wakes the leader when another record lands in its batch.
+    arrived: Condvar,
+    /// Wakes followers when a group fsync completes.
+    synced: Condvar,
+    /// Appenders that entered [`GroupCommitter::append`] but have not yet
+    /// finished their store append. While nonzero the leader keeps
+    /// waiting: more records are about to join the batch.
+    arriving: AtomicU64,
+    max_batch: u64,
+    max_wait: Duration,
+}
+
+impl GroupCommitter {
+    /// Wraps `store`, whose config must carry
+    /// [`FsyncPolicy::GroupCommit`] (the committer owns all fsyncs, so
+    /// `append` must not auto-sync underneath it).
+    pub fn new(store: Store) -> Result<GroupCommitter, StoreError> {
+        let FsyncPolicy::GroupCommit {
+            max_batch,
+            max_wait_micros,
+        } = store.config().fsync
+        else {
+            return Err(StoreError::InvalidArgument(
+                "GroupCommitter requires FsyncPolicy::GroupCommit".to_string(),
+            ));
+        };
+        if max_batch == 0 {
+            return Err(StoreError::InvalidArgument(
+                "GroupCommit max_batch must be at least 1".to_string(),
+            ));
+        }
+        let synced = store.last_epoch().unwrap_or(0);
+        Ok(GroupCommitter {
+            state: Mutex::new(State {
+                store,
+                appended: synced,
+                synced,
+                leader_active: false,
+                sync_count: 0,
+                poisoned: None,
+            }),
+            arrived: Condvar::new(),
+            synced: Condvar::new(),
+            arriving: AtomicU64::new(0),
+            max_batch: u64::from(max_batch),
+            max_wait: Duration::from_micros(max_wait_micros),
+        })
+    }
+
+    /// Appends one record and blocks until it is durable (covered by a
+    /// group fsync). Returns the epoch the record was assigned.
+    ///
+    /// On return, `last_synced() >= epoch` always holds — acknowledgement
+    /// *is* durability.
+    pub fn append(&self, payload: &[u8]) -> Result<u64, StoreError> {
+        self.arriving.fetch_add(1, Ordering::SeqCst);
+        let mut state = self.lock();
+        if let Some(err) = &state.poisoned {
+            let err = err.clone();
+            self.depart();
+            return Err(err);
+        }
+        let epoch = state.store.last_epoch().map_or(1, |last| last + 1);
+        let appended = state.store.append(epoch, payload);
+        self.depart();
+        if let Err(err) = appended {
+            // Validation errors (e.g. an empty payload) wrote nothing and
+            // leave the log healthy; I/O failures may have left a torn
+            // tail, which the next open repairs, so neither poisons the
+            // committer. Only a failed *fsync* does (below).
+            self.arrived.notify_all();
+            return Err(err);
+        }
+        state.appended = epoch;
+        self.arrived.notify_all();
+
+        loop {
+            if state.synced >= epoch {
+                return Ok(epoch);
+            }
+            if let Some(err) = &state.poisoned {
+                return Err(err.clone());
+            }
+            if state.leader_active {
+                state = self.synced.wait(state).expect("committer lock poisoned");
+                continue;
+            }
+            state = self.lead(state);
+        }
+    }
+
+    /// Collects a batch and issues its fsync; returns with the lock held
+    /// so the caller's loop re-checks its own epoch.
+    ///
+    /// The fsync itself runs with the lock **released** (on a duplicated
+    /// handle to the active segment): appends land while the disk is busy
+    /// and form the next leader's batch, so in steady state the batch size
+    /// tracks the arrival rate times the fsync latency — pipelined group
+    /// commit — instead of whatever trickled in during the straggler wait.
+    fn lead<'a>(&'a self, mut state: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        state.leader_active = true;
+        let deadline = Instant::now() + self.max_wait;
+        // Wait for stragglers: more appends are worth waiting for while
+        // appenders are mid-flight, the batch has room, and the deadline
+        // has not passed. A lone appender (nobody arriving) syncs at once.
+        while state.poisoned.is_none()
+            && state.appended - state.synced < self.max_batch
+            && self.arriving.load(Ordering::SeqCst) > 0
+        {
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, _timeout) = self
+                .arrived
+                .wait_timeout(state, remaining)
+                .expect("committer lock poisoned");
+            state = guard;
+        }
+        if state.poisoned.is_some() {
+            state.leader_active = false;
+            self.synced.notify_all();
+            return state;
+        }
+        let covered = state.appended;
+        let handle = state.store.clone_active_handle();
+        drop(state);
+        // Lock released: the batch is frozen at `covered`, the disk wait
+        // overlaps with the next batch's appends. Records <= covered are
+        // either in the duplicated active file or in sealed segments
+        // (rotation fsyncs those as it seals them).
+        let result = match handle {
+            Ok(Some(file)) => file
+                .sync_data()
+                .map_err(|e| StoreError::io("group fsync", e)),
+            Ok(None) => Ok(()),
+            Err(err) => Err(err),
+        };
+        let mut state = self.lock();
+        match result {
+            Ok(()) => {
+                state.synced = state.synced.max(covered);
+                state.sync_count += 1;
+            }
+            Err(err) => state.poisoned = Some(err),
+        }
+        state.leader_active = false;
+        self.synced.notify_all();
+        state
+    }
+
+    /// Epoch of the newest record covered by a completed fsync.
+    pub fn last_synced(&self) -> u64 {
+        self.lock().synced
+    }
+
+    /// Epoch of the newest appended record (0 while empty).
+    pub fn last_appended(&self) -> u64 {
+        self.lock().appended
+    }
+
+    /// How many group fsyncs have completed. Records divided by this is
+    /// the achieved batch size.
+    pub fn sync_count(&self) -> u64 {
+        self.lock().sync_count
+    }
+
+    /// Unwraps the store (callers must hold the only reference).
+    pub fn into_store(self) -> Store {
+        self.state
+            .into_inner()
+            .expect("committer lock poisoned")
+            .store
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("committer lock poisoned")
+    }
+
+    fn depart(&self) {
+        self.arriving.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for GroupCommitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock();
+        f.debug_struct("GroupCommitter")
+            .field("appended", &state.appended)
+            .field("synced", &state.synced)
+            .field("sync_count", &state.sync_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use std::path::PathBuf;
+    use std::sync::{Arc, Barrier};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nemo-group-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn group_config(max_batch: u32, max_wait_micros: u64) -> StoreConfig {
+        let mut config = StoreConfig::new("test-wal/v1");
+        config.fsync = FsyncPolicy::GroupCommit {
+            max_batch,
+            max_wait_micros,
+        };
+        config.snapshot_every_bytes = 0;
+        config.snapshot_every_epochs = 0;
+        config
+    }
+
+    #[test]
+    fn requires_group_commit_policy() {
+        let dir = temp_dir("policy");
+        let mut config = group_config(4, 100);
+        config.fsync = FsyncPolicy::EveryBatch;
+        let (store, _) = Store::open(&dir, config).unwrap();
+        assert!(matches!(
+            GroupCommitter::new(store),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        let (store, _) = Store::open(&dir, group_config(0, 100)).unwrap();
+        assert!(matches!(
+            GroupCommitter::new(store),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appends_are_contiguous_durable_and_coalesced() {
+        let dir = temp_dir("concurrent");
+        let (store, _) = Store::open(&dir, group_config(4, 50_000)).unwrap();
+        let committer = Arc::new(GroupCommitter::new(store).unwrap());
+        let threads = 4;
+        let rounds = 25;
+        let barrier = Arc::new(Barrier::new(threads));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let committer = Arc::clone(&committer);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        // Release all appenders together so their appends
+                        // genuinely overlap and batches form.
+                        barrier.wait();
+                        let payload = format!("t{t}-r{round}");
+                        let epoch = committer.append(payload.as_bytes()).unwrap();
+                        // Acknowledgement IS durability: the covering
+                        // fsync completed before append returned.
+                        assert!(committer.last_synced() >= epoch);
+                    }
+                });
+            }
+        });
+        let total = (threads * rounds) as u64;
+        let syncs = committer.sync_count();
+        assert!(
+            syncs < total,
+            "barriered appenders must share fsyncs ({syncs} syncs for {total} records)"
+        );
+        let store = Arc::into_inner(committer).unwrap().into_store();
+        assert_eq!(store.last_epoch(), Some(total));
+        drop(store);
+        // Reopen and replay: every acked record survives, contiguously.
+        let (store, report) = Store::open(&dir, group_config(4, 50_000)).unwrap();
+        assert_eq!(report.truncated_bytes, 0);
+        let records = store.replay(0).unwrap();
+        assert_eq!(records.len(), total as usize);
+        for (i, (epoch, _)) in records.iter().enumerate() {
+            assert_eq!(*epoch, i as u64 + 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lone_appender_does_not_wait_for_the_deadline() {
+        let dir = temp_dir("lone");
+        // A 5-second window: if a lone appender waited it out, this test
+        // would take 15+ seconds instead of milliseconds.
+        let (store, _) = Store::open(&dir, group_config(64, 5_000_000)).unwrap();
+        let committer = GroupCommitter::new(store).unwrap();
+        let start = Instant::now();
+        for _ in 0..3 {
+            committer.append(b"solo").unwrap();
+        }
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(committer.last_synced(), 3);
+        assert_eq!(committer.sync_count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validation_errors_do_not_poison() {
+        let dir = temp_dir("validation");
+        let (store, _) = Store::open(&dir, group_config(4, 100)).unwrap();
+        let committer = GroupCommitter::new(store).unwrap();
+        assert!(matches!(
+            committer.append(b""),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        assert_eq!(committer.append(b"fine").unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -51,11 +51,13 @@
 
 pub mod crc32;
 mod error;
+pub mod group;
 pub mod record;
 pub mod segment;
 mod store;
 
 pub use error::StoreError;
+pub use group::GroupCommitter;
 pub use store::{
     parse_snapshot_name, snapshot_file_name, FsyncPolicy, OpenReport, Store, StoreConfig,
 };
