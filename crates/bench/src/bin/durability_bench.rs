@@ -5,8 +5,10 @@
 //!
 //! ```text
 //! durability_bench [--pr pr5] [--out BENCH_pr5.json]
+//! durability_bench --sweep [--pr pr7] [--out BENCH_pr7.json]
 //! durability_bench --dir <store> --transcript <file>     # run (or resume) and write transcript
 //! durability_bench --dir <store> --crash-at <k>          # run and crash mid-stream (exit 3)
+//! durability_bench --dir <store> --crash-sweep <budget>  # run, kill mid-sweep (exit 3)
 //! ```
 //!
 //! The default mode records, into the `nemo-perf-report/v1` schema:
@@ -20,10 +22,23 @@
 //!   the state from snapshot + WAL suffix, and records replayed per
 //!   second.
 //!
+//! The `--sweep` mode records, into the same schema:
+//!
+//! * `append_stall_p99_ms` — 99th-percentile per-mutation apply latency
+//!   when snapshot + compaction run inline on the write path (`before`:
+//!   full snapshot plus an unbounded sweep inside the apply) vs the PR 7
+//!   write path (`after`: delta snapshots, budgeted sweep at batch
+//!   boundaries).
+//! * `snapshot_install_ms` — wall time to install one snapshot of an
+//!   append-heavy state: `before` full (O(state)), `after` delta
+//!   (O(records since the last snapshot)).
+//!
 //! The transcript modes drive `nemo_serve::durability`: the *same*
 //! `--transcript` command transparently resumes after a `--crash-at` run
 //! (recovery is implicit), and CI `cmp`s the resumed transcript against an
-//! uninterrupted one at `NEMO_THREADS=1` and `4`.
+//! uninterrupted one at `NEMO_THREADS=1` and `4`. `--crash-sweep` applies
+//! the stream, syncs, then dies partway through a budgeted sweep — the
+//! next `--transcript` run must resume to the uninterrupted transcript.
 
 use nemo_bench::perf::{self, Measurement};
 use nemo_bench::pool;
@@ -39,8 +54,10 @@ use trafficgen::{evolve, generate, StreamConfig, TimedEvent, TrafficConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: durability_bench [--pr <tag>] [--out <file>]\n\
+         \u{20}      durability_bench --sweep [--pr <tag>] [--out <file>]\n\
          \u{20}      durability_bench --dir <store> --transcript <file>\n\
-         \u{20}      durability_bench --dir <store> --crash-at <epoch>"
+         \u{20}      durability_bench --dir <store> --crash-at <epoch>\n\
+         \u{20}      durability_bench --dir <store> --crash-sweep <budget>"
     );
     ExitCode::FAILURE
 }
@@ -318,6 +335,292 @@ fn run_report(pr: &str, out: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct SweepSizes {
+    /// Events in the append-stall stream.
+    stall_events: usize,
+    /// Snapshot every this many events in the stall stream.
+    snapshot_every: usize,
+    /// Nodes in the append-heavy install-timing state.
+    install_nodes: usize,
+    /// Timed install rounds (each round: one delta, one full).
+    install_rounds: usize,
+}
+
+impl SweepSizes {
+    fn from_env() -> Self {
+        if std::env::var("NEMO_SMALL").is_ok() {
+            SweepSizes {
+                stall_events: 400,
+                snapshot_every: 32,
+                install_nodes: 10_000,
+                install_rounds: 3,
+            }
+        } else {
+            SweepSizes {
+                stall_events: 2000,
+                snapshot_every: 32,
+                install_nodes: 100_000,
+                install_rounds: 5,
+            }
+        }
+    }
+}
+
+/// Applies the stream with periodic snapshots, one latency sample per
+/// mutation. `inline` reproduces the pre-sweep write path: a full
+/// snapshot plus an unbounded sweep inside the timed apply. Deferred is
+/// the shipping path: delta-eligible snapshots, and a budgeted sweep at
+/// every 16-event batch boundary (still timed — it *is* on the write
+/// path, just bounded).
+fn timed_apply_with_snapshots(
+    stream: &[TimedEvent],
+    live: &mut LiveNetwork,
+    persistence: &mut Persistence,
+    snapshot_every: usize,
+    inline: bool,
+) -> Vec<f64> {
+    const SWEEP_BUDGET: usize = 64;
+    let mut samples = Vec::with_capacity(stream.len());
+    for (i, event) in stream.iter().enumerate() {
+        let start = Instant::now();
+        live.apply_event_persisted(event, persistence)
+            .expect("stream events apply cleanly");
+        if (i + 1) % snapshot_every == 0 {
+            if inline {
+                persistence
+                    .force_full_snapshot(live)
+                    .expect("inline full snapshot");
+                persistence.sweep(usize::MAX).expect("inline sweep");
+            } else {
+                persistence.force_snapshot(live).expect("deferred snapshot");
+            }
+        }
+        if !inline && (i + 1) % 16 == 0 {
+            persistence.sweep(SWEEP_BUDGET).expect("budgeted sweep");
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples
+}
+
+/// Tight segments so every snapshot point has a real pile of WAL files
+/// to compact — the regime where an inline sweep visibly stalls appends.
+fn sweep_bench_options() -> PersistOptions {
+    PersistOptions {
+        fsync: FsyncPolicy::Never,
+        segment_max_bytes: 512,
+        snapshot_every_bytes: 0,
+        snapshot_every_epochs: 0,
+        keep_snapshots: 2,
+    }
+}
+
+fn run_sweep_report(pr: &str, out: &str) -> ExitCode {
+    let sizes = SweepSizes::from_env();
+    // A state large enough that a full snapshot costs real serialization
+    // work — that is the O(state) term an inline snapshot+sweep puts on
+    // the write path at every snapshot point, and the one the deferred
+    // path only pays when a delta chain caps out.
+    let workload = generate(&TrafficConfig {
+        nodes: 2000,
+        edges: 3000,
+        prefixes: 4,
+        seed: 2033,
+    });
+    let stream = evolve(
+        &workload,
+        &StreamConfig {
+            events: sizes.stall_events,
+            seed: 7107,
+        },
+    );
+
+    // Append stall: inline snapshot+compaction vs the deferred write path.
+    let mut stall = Vec::new();
+    for (tag, inline) in [("inline", true), ("deferred", false)] {
+        eprintln!(
+            "[sweep] append stall, {tag}: {} applies, snapshot every {}...",
+            stream.len(),
+            sizes.snapshot_every
+        );
+        let dir = scratch_dir(&format!("sweep-{tag}"));
+        let mut live = LiveNetwork::from_workload(&workload);
+        let mut persistence = Persistence::create(&dir, &sweep_bench_options(), &live)
+            .expect("fresh sweep bench store");
+        let samples = timed_apply_with_snapshots(
+            &stream,
+            &mut live,
+            &mut persistence,
+            sizes.snapshot_every,
+            inline,
+        );
+        if !inline {
+            assert!(
+                persistence
+                    .store()
+                    .snapshot_metas()
+                    .iter()
+                    .any(|m| m.base.is_some()),
+                "deferred run installed no delta snapshots"
+            );
+        }
+        drop(persistence);
+        let _ = std::fs::remove_dir_all(&dir);
+        let p99 = perf::percentile(&samples, 99.0);
+        println!("append stall p99, {tag:<8}: {p99:>9.4} ms");
+        stall.push((tag, p99));
+    }
+
+    // Install cost: full snapshot of an append-heavy state vs a delta
+    // carrying only the records since the last snapshot.
+    eprintln!(
+        "[sweep] install timing: {}-node state, {} rounds...",
+        sizes.install_nodes, sizes.install_rounds
+    );
+    let big = generate(&TrafficConfig {
+        nodes: sizes.install_nodes,
+        edges: sizes.install_nodes + sizes.install_nodes / 2,
+        prefixes: 4,
+        seed: 9,
+    });
+    let per_round = 256usize;
+    let big_stream = evolve(
+        &big,
+        &StreamConfig {
+            events: sizes.install_rounds * per_round * 2,
+            seed: 7108,
+        },
+    );
+    let dir = scratch_dir("sweep-install");
+    let mut live = LiveNetwork::from_workload(&big);
+    let mut persistence = Persistence::create(
+        &dir,
+        &PersistOptions {
+            segment_max_bytes: 64 << 10,
+            ..sweep_bench_options()
+        },
+        &live,
+    )
+    .expect("fresh install bench store");
+    let mut delta_ms = Vec::with_capacity(sizes.install_rounds);
+    let mut full_ms = Vec::with_capacity(sizes.install_rounds);
+    let mut events = big_stream.iter();
+    for _ in 0..sizes.install_rounds {
+        // Delta first (chain length 1), then full (resets the chain), so
+        // every delta measurement really takes the delta path.
+        for event in events.by_ref().take(per_round) {
+            live.apply_event_persisted(event, &mut persistence)
+                .expect("stream events apply cleanly");
+        }
+        let start = Instant::now();
+        persistence
+            .force_snapshot(&live)
+            .expect("delta snapshot installs");
+        delta_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            persistence
+                .store()
+                .snapshot_metas()
+                .last()
+                .is_some_and(|m| m.base.is_some()),
+            "timed snapshot was not a delta"
+        );
+        for event in events.by_ref().take(per_round) {
+            live.apply_event_persisted(event, &mut persistence)
+                .expect("stream events apply cleanly");
+        }
+        let start = Instant::now();
+        persistence
+            .force_full_snapshot(&live)
+            .expect("full snapshot installs");
+        full_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    drop(persistence);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "snapshot install: delta {:>9.3} ms median ({per_round} records), \
+         full {:>9.3} ms median ({} nodes)",
+        perf::median(&delta_ms),
+        perf::median(&full_ms),
+        sizes.install_nodes
+    );
+
+    let inline_p99 = stall
+        .iter()
+        .find(|(tag, _)| *tag == "inline")
+        .expect("inline ran")
+        .1;
+    let deferred_p99 = stall
+        .iter()
+        .find(|(tag, _)| *tag == "deferred")
+        .expect("deferred ran")
+        .1;
+    println!(
+        "append stall p99 ratio (inline / deferred): {:.2}x",
+        inline_p99 / deferred_p99.max(f64::EPSILON)
+    );
+
+    let before = [
+        Measurement {
+            name: "append_stall_p99_ms".to_string(),
+            samples: vec![inline_p99],
+        },
+        Measurement {
+            name: "snapshot_install_ms".to_string(),
+            samples: full_ms,
+        },
+    ];
+    let after = [
+        Measurement {
+            name: "append_stall_p99_ms".to_string(),
+            samples: vec![deferred_p99],
+        },
+        Measurement {
+            name: "snapshot_install_ms".to_string(),
+            samples: delta_ms,
+        },
+    ];
+
+    let existing = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok());
+    let report = perf::merge_report(existing.as_ref(), pr, "before", &before);
+    let report = perf::merge_report(Some(&report), pr, "after", &after);
+    let problems = perf::validate_report(&report);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("durability_bench: generated report invalid: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out, report.to_json() + "\n") {
+        eprintln!("durability_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn run_crash_sweep(dir: &Path, budget: usize) -> ExitCode {
+    let config = DurabilityConfig::from_env();
+    let threads = pool::thread_count();
+    eprintln!(
+        "[durability] {} clients x {} events on {} worker thread(s), \
+         dying after {budget} sweep removal(s)",
+        config.clients, config.events, threads,
+    );
+    match durability::run_sweep_crash(&config, dir, threads, budget) {
+        Ok(()) => {
+            eprintln!("[durability] killed mid-sweep as requested (stores left on disk)");
+            ExitCode::from(3)
+        }
+        Err(e) => {
+            eprintln!("durability_bench: crash-sweep driver failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut pr = "pr5".to_string();
@@ -325,10 +628,14 @@ fn main() -> ExitCode {
     let mut dir: Option<String> = None;
     let mut transcript: Option<String> = None;
     let mut crash_at: Option<u64> = None;
+    let mut crash_sweep: Option<usize> = None;
+    let mut sweep = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--pr" | "--out" | "--dir" | "--transcript" | "--crash-at" if i + 1 >= args.len() => {
+            "--pr" | "--out" | "--dir" | "--transcript" | "--crash-at" | "--crash-sweep"
+                if i + 1 >= args.len() =>
+            {
                 return usage()
             }
             "--pr" => {
@@ -354,13 +661,29 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--crash-sweep" => {
+                match args[i + 1].parse() {
+                    Ok(n) => crash_sweep = Some(n),
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            "--sweep" => {
+                sweep = true;
+                i += 1;
+            }
             _ => return usage(),
         }
     }
-    match (dir, transcript, crash_at) {
-        (Some(dir), Some(path), None) => run_transcript(Path::new(&dir), &path, None),
-        (Some(dir), None, Some(k)) => run_transcript(Path::new(&dir), "", Some(k)),
-        (None, None, None) => {
+    match (dir, transcript, crash_at, crash_sweep, sweep) {
+        (Some(dir), Some(path), None, None, false) => run_transcript(Path::new(&dir), &path, None),
+        (Some(dir), None, Some(k), None, false) => run_transcript(Path::new(&dir), "", Some(k)),
+        (Some(dir), None, None, Some(budget), false) => run_crash_sweep(Path::new(&dir), budget),
+        (None, None, None, None, true) => {
+            let out = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
+            run_sweep_report(&pr, &out)
+        }
+        (None, None, None, None, false) => {
             let out = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
             run_report(&pr, &out)
         }

@@ -193,22 +193,26 @@ fn sessions_for(config: &DriveConfig) -> Vec<Session<SimulatedLlm>> {
 /// lines are global, answers come from the merged view, and each
 /// `(query, backend)` pair walks the same cache history regardless of
 /// which cache shard holds it.
-pub fn drive_sharded(config: &DriveConfig, shards: u32) -> Vec<String> {
+///
+/// In-memory runs never fail in practice; the `Result` exists so a
+/// storage-backed variant (or a corrupt initial state) surfaces as a
+/// typed error instead of a panic in the serving loop.
+pub fn drive_sharded(
+    config: &DriveConfig,
+    shards: u32,
+) -> Result<Vec<String>, crate::error::ServeError> {
     let workload = generate(&config.traffic);
     let stream = shared_stream(config, &workload);
     let mut server = ServerBuilder::new()
         .shards(shards)
-        .build(LiveNetwork::from_workload(&workload), sessions_for(config))
-        .expect("in-memory builds cannot fail");
+        .build(LiveNetwork::from_workload(&workload), sessions_for(config))?;
     let queries = traffic_queries();
     let seed = config.seed.to_string();
     let mut lines = Vec::new();
     for round in 0..config.rounds {
         let start = round * config.mutations_per_round;
         for timed in &stream[start..start + config.mutations_per_round] {
-            let (line, _) = server
-                .process(&ServeEvent::Mutate(timed.clone()))
-                .expect("no persistence attached");
+            let (line, _) = server.process(&ServeEvent::Mutate(timed.clone()))?;
             lines.push(line);
         }
         for k in 0..config.queries_per_round {
@@ -221,17 +225,15 @@ pub fn drive_sharded(config: &DriveConfig, shards: u32) -> Vec<String> {
                     &k.to_string(),
                 ]) as usize
                     % queries.len();
-                let (line, _) = server
-                    .process(&ServeEvent::Query {
-                        client,
-                        query: queries[pick].text.to_string(),
-                    })
-                    .expect("queries are infallible without persistence");
+                let (line, _) = server.process(&ServeEvent::Query {
+                    client,
+                    query: queries[pick].text.to_string(),
+                })?;
                 lines.push(format!("c{client}| {line}"));
             }
         }
     }
-    lines
+    Ok(lines)
 }
 
 /// The deterministic schedule of one client: `rounds` batches of the
@@ -360,13 +362,17 @@ mod tests {
     #[test]
     fn shared_server_transcripts_are_shard_count_invariant() {
         let config = tiny();
-        let one = drive_sharded(&config, 1);
+        let one = drive_sharded(&config, 1).unwrap();
         assert!(!one.is_empty());
         // Mutation lines are unprefixed, query lines carry client prefixes.
         assert!(one.iter().any(|l| l.starts_with("[e")));
         assert!(one.iter().any(|l| l.starts_with("c0| ")));
         for shards in [2u32, 4] {
-            assert_eq!(drive_sharded(&config, shards), one, "shards={shards}");
+            assert_eq!(
+                drive_sharded(&config, shards).unwrap(),
+                one,
+                "shards={shards}"
+            );
         }
     }
 

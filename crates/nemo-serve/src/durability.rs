@@ -178,6 +178,9 @@ fn run_client(
         }
     }
     persistence.sync()?;
+    // Pay off the deferred removals (snapshot pruning, WAL compaction)
+    // accrued over the stream, off the apply path.
+    persistence.sweep(usize::MAX)?;
 
     // Query round over the final state. The digest pins the state itself;
     // the query answers pin what the pipeline computes over it.
@@ -193,17 +196,14 @@ fn run_client(
         serving_knowledge(),
         config.seed ^ client as u64,
     );
-    let mut server = ServerBuilder::new()
-        .attach_persistence(persistence)
-        .build(
-            live,
-            vec![Session {
-                client,
-                backend,
-                llm,
-            }],
-        )
-        .expect("a single-shard attach cannot fail");
+    let mut server = ServerBuilder::new().attach_persistence(persistence).build(
+        live,
+        vec![Session {
+            client,
+            backend,
+            llm,
+        }],
+    )?;
     for k in 0..config.queries {
         let pick = hash_parts(&[
             "durability-query",
@@ -250,6 +250,44 @@ pub fn run(
         );
     }
     Ok((lines, crashed))
+}
+
+/// Applies every client's full stream, fsyncs, then executes only
+/// `budget` removals of each store's deferred sweep plan before stopping
+/// abruptly — no queries, no digest — mimicking a kill *mid-sweep*. The
+/// plan is never persisted, so the next open simply recomputes what
+/// remains; a subsequent [`run`] over the same directories must recover
+/// and reproduce the uninterrupted transcript byte for byte (what the CI
+/// `recovery-smoke` job asserts with `cmp`).
+pub fn run_sweep_crash(
+    config: &DurabilityConfig,
+    base_dir: &Path,
+    threads: usize,
+    budget: usize,
+) -> Result<(), ServeError> {
+    let runs = pool::run_indexed(
+        config.clients,
+        threads,
+        |client| -> Result<(), ServeError> {
+            let dir = base_dir.join(format!("c{client}"));
+            let (mut live, mut persistence, _report) =
+                Persistence::recover_or_create(&dir, &config.options, || {
+                    LiveNetwork::from_workload(&generate(&config.traffic))
+                })?;
+            for timed in client_stream(config, client)
+                .iter()
+                .skip(live.epoch() as usize)
+            {
+                live.apply_event_persisted(timed, &mut persistence)?;
+            }
+            persistence.sync()?;
+            // A partial sweep, then an abrupt stop: whatever the budget
+            // removed stays removed, the rest is left for the next open.
+            persistence.sweep(budget)?;
+            Ok(())
+        },
+    );
+    runs.into_iter().collect()
 }
 
 /// One shared deterministic mutation stream for the sharded runner; the
@@ -339,6 +377,7 @@ pub fn run_sharded(
         }
     }
     server.sync_persistence()?;
+    server.sweep_persistence(usize::MAX)?;
 
     // The digest is computed over the *merged* view, so it is invariant
     // under the shard count — the same bytes `write_snapshot` would
@@ -429,6 +468,30 @@ mod tests {
         let (again, _) = run(&config, &full_dir, 1, None).unwrap();
         assert_eq!(again, uninterrupted);
         for dir in [full_dir, crash_dir, t4_dir] {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn a_kill_mid_sweep_resumes_to_the_uninterrupted_transcript() {
+        let config = tiny();
+        let full_dir = temp_dir("sweep-full");
+        let (uninterrupted, _) = run(&config, &full_dir, 1, None).unwrap();
+        // Stop after 1 removal, then after 2 more: two staggered kills
+        // inside the same sweep, on the same stores.
+        let sweep_dir = temp_dir("sweep-crash");
+        run_sweep_crash(&config, &sweep_dir, 2, 1).unwrap();
+        run_sweep_crash(&config, &sweep_dir, 2, 2).unwrap();
+        let (resumed, crashed) = run(&config, &sweep_dir, 2, None).unwrap();
+        assert!(!crashed);
+        assert_eq!(resumed, uninterrupted);
+        // The full run swept everything; nothing deletable remains.
+        for client in 0..config.clients {
+            let dir = sweep_dir.join(format!("c{client}"));
+            let (_, p, _) = Persistence::recover(&dir, &config.options).unwrap();
+            assert_eq!(p.store().sweep_plan().removals(), 0, "client {client}");
+        }
+        for dir in [full_dir, sweep_dir] {
             std::fs::remove_dir_all(&dir).unwrap();
         }
     }

@@ -11,30 +11,52 @@
 //!   [`WalRecord`] with the `nemo-wal/v1` codec and appends it; the
 //!   store's [`FsyncPolicy`] decides when it hits the platter, and
 //!   [`Persistence::sync`] marks batch boundaries.
-//! * **Snapshot + compaction** — [`Persistence::maybe_snapshot`] writes a
-//!   snapshot when the store's byte/epoch thresholds fire. When only
-//!   `AddNode`/`AddEdge` mutations happened since the previous snapshot,
-//!   the frames only *grew*, so the writer reuses the previous snapshot's
-//!   CSV verbatim and encodes just the appended rows
+//! * **Snapshots** — [`Persistence::maybe_snapshot`] writes a snapshot
+//!   when the store's byte/epoch thresholds fire. A short delta chain
+//!   keeps installs O(state-delta): when the records since the newest
+//!   snapshot are few and contiguous, the writer emits a
+//!   `nemo-snapshot/v2` delta document (just those records) instead of
+//!   re-encoding the whole state; every [`MAX_DELTA_CHAIN`] installs —
+//!   or whenever the delta would be large — it writes a full
+//!   `nemo-snapshot/v1` document. For full documents, when only
+//!   `AddNode`/`AddEdge` mutations happened since the previous full
+//!   snapshot, the frames only *grew*, so the writer reuses the previous
+//!   snapshot's CSV verbatim and encodes just the appended rows
 //!   (`trafficgen::export_flows_since`-style) — the output is proven
-//!   byte-identical to a full rewrite. Installing a snapshot deletes WAL
-//!   segments it wholly covers.
+//!   byte-identical to a full rewrite.
+//! * **Sweep** — installing deletes nothing. Pruning old snapshots and
+//!   deleting covered WAL segments is [`Persistence::sweep`], which the
+//!   server calls at batch boundaries so `append` never waits on
+//!   filesystem removals.
 //! * **Recovery** — [`Persistence::recover`] rebuilds the live state from
-//!   the newest *valid* snapshot plus the WAL suffix: a torn tail record
-//!   is truncated (by the store), a corrupt snapshot falls back to an
-//!   older one, and every unrecoverable condition — CRC mismatch, missing
-//!   segment, epoch gap, conflicting replay — fails loudly.
+//!   the newest *valid* snapshot plus the WAL suffix. A delta snapshot
+//!   is resolved down its chain to a full base; a damaged link fails
+//!   that candidate loudly (recorded in the report) and recovery falls
+//!   back to the next older snapshot. A torn tail record is truncated
+//!   (by the store), and every unrecoverable condition — CRC mismatch,
+//!   missing segment, epoch gap, conflicting replay — fails loudly.
 
 use crate::codec::{decode_record, encode_record, WAL_MAGIC};
 use crate::error::ServeError;
 use crate::live::LiveNetwork;
 use crate::mutation::{Mutation, WalRecord};
-use crate::snapshot::{self, write_snapshot_with_frames};
+use crate::snapshot::{self, write_snapshot_with_frames, SnapshotDoc};
 use dataframe::csv::{to_csv, to_csv_rows};
-use nemo_store::{Store, StoreConfig};
+use nemo_store::{Store, StoreConfig, SweepOutcome};
 use std::path::Path;
 
 pub use nemo_store::FsyncPolicy;
+
+/// Longest run of consecutive delta snapshots before a full one is
+/// forced. Bounds both recovery's chain-resolution work and the blast
+/// radius of a damaged link (a broken base invalidates every delta above
+/// it).
+pub const MAX_DELTA_CHAIN: usize = 3;
+
+/// Largest record count a delta document may carry; a bigger backlog
+/// falls back to a full snapshot (re-encoding the state is then cheaper
+/// than replaying the delta on every recovery).
+pub const MAX_DELTA_RECORDS: usize = 4096;
 
 /// Durability and sizing knobs for one persistence directory.
 #[derive(Debug, Clone)]
@@ -106,12 +128,22 @@ struct PrevSnapshot {
 #[derive(Debug)]
 pub struct Persistence {
     store: Store,
-    /// Cached CSV of the newest installed snapshot, for prefix reuse.
+    /// Cached CSV of the newest installed *full* snapshot, for prefix
+    /// reuse.
     prev: Option<PrevSnapshot>,
-    /// True while every mutation logged since the newest snapshot only
-    /// *appended* frame rows (`AddNode`/`AddEdge`): the previous CSV is
-    /// then an unchanged prefix of the current one.
+    /// True while every mutation logged since the newest full snapshot
+    /// only *appended* frame rows (`AddNode`/`AddEdge`): the previous CSV
+    /// is then an unchanged prefix of the current one.
     append_only: bool,
+    /// Records logged since the newest snapshot (any kind), kept for the
+    /// next delta document. Cleared (with `since_overflow` raised) once
+    /// it exceeds [`MAX_DELTA_RECORDS`].
+    since_snapshot: Vec<WalRecord>,
+    /// True when `since_snapshot` was discarded as too large — the next
+    /// snapshot must be full.
+    since_overflow: bool,
+    /// Consecutive delta snapshots installed since the last full one.
+    chain_len: usize,
 }
 
 impl Persistence {
@@ -135,8 +167,11 @@ impl Persistence {
             store,
             prev: None,
             append_only: true,
+            since_snapshot: Vec::new(),
+            since_overflow: false,
+            chain_len: 0,
         };
-        persistence.force_snapshot(live)?;
+        persistence.force_full_snapshot(live)?;
         Ok(persistence)
     }
 
@@ -168,19 +203,13 @@ impl Persistence {
             truncated_bytes: open_report.truncated_bytes,
             ..RecoveryReport::default()
         };
-        // Newest snapshot whose document still validates.
+        // Newest snapshot whose document (and, for a delta, its whole
+        // chain down to a full base) still validates. A damaged chain
+        // link fails the candidate loudly — the reason lands in the
+        // report — and recovery falls back to the next older snapshot.
         let mut base: Option<(u64, LiveNetwork)> = None;
         for &epoch in store.snapshot_epochs().iter().rev() {
-            let parsed = store
-                .read_snapshot(epoch)
-                .map_err(ServeError::from)
-                .and_then(|bytes| {
-                    String::from_utf8(bytes).map_err(|_| {
-                        ServeError::Corrupt("snapshot document is not UTF-8".to_string())
-                    })
-                })
-                .and_then(|text| snapshot::read_snapshot(&text));
-            match parsed {
+            match resolve_snapshot_chain(&store, epoch) {
                 Ok(live) => {
                     base = Some((epoch, live));
                     break;
@@ -200,12 +229,6 @@ impl Persistence {
                 reasons.join("; "),
             )));
         };
-        if live.epoch() != snapshot_epoch {
-            return Err(ServeError::Corrupt(format!(
-                "snapshot file for epoch {snapshot_epoch} carries state at epoch {}",
-                live.epoch()
-            )));
-        }
         report.snapshot_epoch = snapshot_epoch;
         // Replay the WAL suffix, cross-checking the store's positional
         // epochs against the ones the records themselves carry.
@@ -235,12 +258,16 @@ impl Persistence {
                 )));
             }
         }
-        // The reusable-prefix cache restarts from the recovered state; the
-        // next snapshot is written in full.
+        // The reusable-prefix cache restarts from the recovered state,
+        // and the chain counter starts saturated: the next snapshot is
+        // written in full, anchoring a fresh chain.
         let persistence = Persistence {
             store,
             prev: None,
             append_only: false,
+            since_snapshot: Vec::new(),
+            since_overflow: true,
+            chain_len: MAX_DELTA_CHAIN,
         };
         Ok((live, persistence, report))
     }
@@ -260,8 +287,11 @@ impl Persistence {
                 store,
                 prev: None,
                 append_only: true,
+                since_snapshot: Vec::new(),
+                since_overflow: false,
+                chain_len: 0,
             };
-            persistence.force_snapshot(&live)?;
+            persistence.force_full_snapshot(&live)?;
             Ok((live, persistence, RecoveryReport::default()))
         } else {
             // Single open: the repair report (torn-tail truncation) flows
@@ -279,6 +309,12 @@ impl Persistence {
             Mutation::AddNode { .. } | Mutation::AddEdge { .. }
         ) {
             self.append_only = false;
+        }
+        if self.since_snapshot.len() >= MAX_DELTA_RECORDS {
+            self.since_snapshot.clear();
+            self.since_overflow = true;
+        } else if !self.since_overflow {
+            self.since_snapshot.push(record.clone());
         }
         Ok(())
     }
@@ -299,10 +335,44 @@ impl Persistence {
         Ok(true)
     }
 
-    /// Unconditionally writes and installs a snapshot of `live`, reusing
-    /// the previous snapshot's unchanged CSV prefix when every mutation
-    /// since it was append-only.
+    /// Unconditionally writes and installs a snapshot of `live`: a delta
+    /// document when the backlog since the newest snapshot is small,
+    /// contiguous and the chain is short (O(delta) install), a full
+    /// document otherwise.
     pub fn force_snapshot(&mut self, live: &LiveNetwork) -> Result<(), ServeError> {
+        let base = self.store.snapshot_metas().last().map(|m| m.epoch);
+        let delta_eligible = !self.since_overflow
+            && self.chain_len < MAX_DELTA_CHAIN
+            && base.is_some_and(|b| {
+                live.epoch() > b
+                    && self
+                        .since_snapshot
+                        .first()
+                        .is_some_and(|r| r.epoch == b + 1)
+                    && self
+                        .since_snapshot
+                        .last()
+                        .is_some_and(|r| r.epoch == live.epoch())
+                    && self.since_snapshot.len() as u64 == live.epoch() - b
+            });
+        if delta_eligible {
+            let base = base.expect("checked above");
+            let document = snapshot::write_delta_snapshot(live.epoch(), base, &self.since_snapshot);
+            self.store
+                .install_delta_snapshot(live.epoch(), base, document.as_bytes())?;
+            self.chain_len += 1;
+            self.since_snapshot.clear();
+            self.since_overflow = false;
+            return Ok(());
+        }
+        self.force_full_snapshot(live)
+    }
+
+    /// Unconditionally writes and installs a *full* snapshot of `live`
+    /// (anchoring a fresh delta chain), reusing the previous full
+    /// snapshot's unchanged CSV prefix when every mutation since it was
+    /// append-only.
+    pub fn force_full_snapshot(&mut self, live: &LiveNetwork) -> Result<(), ServeError> {
         let reusable = self.append_only
             && self.prev.as_ref().is_some_and(|prev| {
                 prev.node_rows <= live.nodes().n_rows() && prev.edge_rows <= live.edges().n_rows()
@@ -334,12 +404,77 @@ impl Persistence {
             edge_rows: live.edges().n_rows(),
         });
         self.append_only = true;
+        self.chain_len = 0;
+        self.since_snapshot.clear();
+        self.since_overflow = false;
         Ok(())
+    }
+
+    /// Executes up to `max_removals` deferred removals (snapshot pruning,
+    /// WAL compaction) — see `nemo_store::Store::sweep`. The server calls
+    /// this at batch boundaries so the apply path never blocks on
+    /// filesystem deletions.
+    pub fn sweep(&mut self, max_removals: usize) -> Result<SweepOutcome, ServeError> {
+        Ok(self.store.sweep(max_removals)?)
     }
 
     /// The underlying store (inspection, benchmarks, tests).
     pub fn store(&self) -> &Store {
         &self.store
+    }
+}
+
+/// Resolves the snapshot at `epoch` into a restored state, following a
+/// delta chain down to its full base. Any damaged link — unreadable
+/// file, failed validation, a replay that does not reach the link's
+/// epoch — fails the whole chain with the failing link named in the
+/// error, so the caller can fall back past it loudly.
+fn resolve_snapshot_chain(store: &Store, epoch: u64) -> Result<LiveNetwork, ServeError> {
+    let bytes = store.read_snapshot(epoch)?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| ServeError::Corrupt("snapshot document is not UTF-8".to_string()))?;
+    match snapshot::read_snapshot_document(&text)? {
+        SnapshotDoc::Full(live) => {
+            if live.epoch() != epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "snapshot file for epoch {epoch} carries state at epoch {}",
+                    live.epoch()
+                )));
+            }
+            Ok(*live)
+        }
+        SnapshotDoc::Delta {
+            epoch: doc_epoch,
+            base_epoch,
+            records,
+        } => {
+            if doc_epoch != epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "snapshot file for epoch {epoch} carries a delta at epoch {doc_epoch}"
+                )));
+            }
+            let mut live = resolve_snapshot_chain(store, base_epoch).map_err(|e| {
+                ServeError::Corrupt(format!(
+                    "delta snapshot at epoch {epoch}: base {base_epoch}: {e}"
+                ))
+            })?;
+            if live.epoch() != base_epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "delta snapshot at epoch {epoch}: base resolved to epoch {}, want {base_epoch}",
+                    live.epoch()
+                )));
+            }
+            snapshot::apply_wal(&mut live, &records).map_err(|e| {
+                ServeError::Corrupt(format!("delta snapshot at epoch {epoch}: {e}"))
+            })?;
+            if live.epoch() != epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "delta snapshot at epoch {epoch} resolved to state at epoch {}",
+                    live.epoch()
+                )));
+            }
+            Ok(live)
+        }
     }
 }
 
@@ -425,8 +560,8 @@ mod tests {
                 persistence.force_snapshot(&live).unwrap();
             }
         }
-        // Compaction deleted segments wholly covered by the epoch-30
-        // snapshot, yet recovery still reproduces the tip exactly.
+        // The epoch-30 snapshot installed (a delta — force_snapshot took
+        // the O(delta) path); recovery resolves it and replays the rest.
         assert!(persistence.store().snapshot_epochs().contains(&30));
         drop(persistence);
         let (recovered, persistence, report) = Persistence::recover(&dir, &test_options()).unwrap();
@@ -454,7 +589,7 @@ mod tests {
             live.apply_event(&event).unwrap();
             persistence.log(live.wal().last().unwrap()).unwrap();
         }
-        persistence.force_snapshot(&live).unwrap();
+        persistence.force_full_snapshot(&live).unwrap();
         drop(persistence);
         // Damage the newest snapshot file so its frame CRC fails. Both
         // snapshots are retained and the WAL is compacted only to the
@@ -516,7 +651,7 @@ mod tests {
             persistence.append_only,
             "append-only run must keep the flag"
         );
-        persistence.force_snapshot(&live).unwrap();
+        persistence.force_full_snapshot(&live).unwrap();
         let stored = persistence.store().read_snapshot(live.epoch()).unwrap();
         assert_eq!(
             String::from_utf8(stored).unwrap(),
@@ -534,9 +669,122 @@ mod tests {
             },
         );
         assert!(!persistence.append_only);
-        persistence.force_snapshot(&live).unwrap();
+        persistence.force_full_snapshot(&live).unwrap();
         let stored = persistence.store().read_snapshot(live.epoch()).unwrap();
         assert_eq!(String::from_utf8(stored).unwrap(), write_snapshot(&live));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Drives `events` stream events through a fresh persistence dir,
+    /// snapshotting (via the delta-aware `force_snapshot`) at each epoch
+    /// in `snapshot_at`. Returns the final live state.
+    fn drive(
+        dir: &std::path::Path,
+        events: usize,
+        snapshot_at: &[u64],
+    ) -> (LiveNetwork, Persistence) {
+        let w = workload();
+        let mut live = LiveNetwork::from_workload(&w);
+        let mut persistence = Persistence::create(dir, &test_options(), &live).unwrap();
+        for event in evolve(&w, &StreamConfig { events, seed: 2 }) {
+            live.apply_event(&event).unwrap();
+            persistence.log(live.wal().last().unwrap()).unwrap();
+            if snapshot_at.contains(&live.epoch()) {
+                persistence.force_snapshot(&live).unwrap();
+            }
+        }
+        persistence.sync().unwrap();
+        (live, persistence)
+    }
+
+    #[test]
+    fn delta_snapshots_chain_and_recover_to_the_exact_tip() {
+        let dir = temp_dir("delta-chain");
+        let (live, persistence) = drive(&dir, 40, &[15, 30]);
+        // Both mid-stream snapshots took the O(delta) path: their file
+        // names carry the base they build on.
+        let metas = persistence.store().snapshot_metas().to_vec();
+        assert_eq!(
+            metas,
+            vec![
+                nemo_store::SnapshotMeta::full(0),
+                nemo_store::SnapshotMeta::delta(15, 0),
+                nemo_store::SnapshotMeta::delta(30, 15),
+            ]
+        );
+        drop(persistence);
+        let (recovered, persistence, report) = Persistence::recover(&dir, &test_options()).unwrap();
+        assert_eq!(report.snapshot_epoch, 30, "{report:?}");
+        assert_eq!(report.replayed_records, 10);
+        assert!(report.skipped_snapshots.is_empty());
+        assert!(recovered == live);
+        assert_eq!(write_snapshot(&recovered), write_snapshot(&live));
+        drop(persistence);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_full_snapshot_is_forced_once_the_chain_is_long_enough() {
+        let dir = temp_dir("chain-cap");
+        let snapshot_at: Vec<u64> = (1..=5).map(|i| i * 8).collect();
+        let (_, persistence) = drive(&dir, 40, &snapshot_at);
+        let metas = persistence.store().snapshot_metas();
+        // Genesis full, then MAX_DELTA_CHAIN deltas, then a full anchor,
+        // then the chain restarts.
+        assert_eq!(metas[0], nemo_store::SnapshotMeta::full(0));
+        for meta in &metas[1..=MAX_DELTA_CHAIN] {
+            assert!(meta.base.is_some(), "{metas:?}");
+        }
+        assert_eq!(metas[MAX_DELTA_CHAIN + 1].base, None, "{metas:?}");
+        assert!(metas[MAX_DELTA_CHAIN + 2].base.is_some(), "{metas:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_damaged_delta_link_fails_the_chain_loudly_and_recovery_falls_back() {
+        let dir = temp_dir("delta-damage");
+        let (live, persistence) = drive(&dir, 40, &[15, 30]);
+        drop(persistence);
+        // Damage the *middle* link: every delta above it must fail too.
+        let path = dir.join(nemo_store::delta_snapshot_file_name(15, 0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let (recovered, _, report) = Persistence::recover(&dir, &test_options()).unwrap();
+        // Recovery fell back past both deltas to the genesis snapshot,
+        // recording why each candidate failed — the tip's reason names
+        // the broken base link.
+        assert_eq!(report.snapshot_epoch, 0);
+        assert_eq!(report.skipped_snapshots.len(), 2);
+        assert_eq!(report.skipped_snapshots[0].0, 30);
+        assert!(
+            report.skipped_snapshots[0].1.contains("base 15"),
+            "{:?}",
+            report.skipped_snapshots
+        );
+        assert_eq!(report.skipped_snapshots[1].0, 15);
+        assert_eq!(report.replayed_records, 40);
+        assert!(recovered == live);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_prunes_aged_out_chains_and_recovery_still_works() {
+        let dir = temp_dir("persist-sweep");
+        // Deltas at 8/16/24 chain to genesis; the chain cap forces a full
+        // at 32 and the delta at 40 builds on it — so with keep=2 the
+        // retained roots are {32, 40} and the whole old chain ages out.
+        let (live, mut persistence) = drive(&dir, 40, &[8, 16, 24, 32, 40]);
+        let pending = persistence.store().sweep_plan().removals();
+        assert!(pending > 0, "aged-out snapshots must be deletable");
+        let outcome = persistence.sweep(usize::MAX).unwrap();
+        assert_eq!(outcome.remaining, 0);
+        assert!(outcome.pruned_snapshots > 0);
+        drop(persistence);
+        let (recovered, _, report) = Persistence::recover(&dir, &test_options()).unwrap();
+        assert!(report.skipped_snapshots.is_empty(), "{report:?}");
+        assert!(recovered == live);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -213,7 +213,7 @@ impl ServerBuilder {
         sessions: Vec<Session<L>>,
     ) -> Result<Server<L>, ServeError> {
         let caches = self.caches();
-        let net = ShardedNetwork::from_live(&live, self.shards);
+        let net = ShardedNetwork::from_live(&live, self.shards)?;
         let persistence = match (&self.root, self.attach) {
             (_, Some(attached)) => {
                 if self.shards != 1 {
@@ -282,7 +282,7 @@ impl ServerBuilder {
             let (live, persistence, report) =
                 Persistence::recover_or_create(root, &self.options, init)?;
             (
-                ShardedNetwork::from_live(&live, 1),
+                ShardedNetwork::from_live(&live, 1)?,
                 ServerPersistence::Plain(Box::new(persistence)),
                 vec![report],
             )
@@ -371,6 +371,26 @@ impl<L: Llm> Server<L> {
             ServerPersistence::Sharded(stores) => {
                 for (k, store) in stores.iter_mut().enumerate() {
                     store.sync().map_err(|e| e.with_shard(k as u32, None))?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes up to `max_removals` deferred store removals (snapshot
+    /// pruning, WAL compaction) across every attached store. Installing a
+    /// snapshot defers all deletions; the serving loop pays for them
+    /// here — at batch boundaries — so `append` never waits on the
+    /// filesystem.
+    pub fn sweep_persistence(&mut self, max_removals: usize) -> Result<(), ServeError> {
+        match &mut self.persistence {
+            ServerPersistence::None => Ok(()),
+            ServerPersistence::Plain(p) => p.sweep(max_removals).map(|_| ()),
+            ServerPersistence::Sharded(stores) => {
+                for (k, store) in stores.iter_mut().enumerate() {
+                    store
+                        .sweep(max_removals)
+                        .map_err(|e| e.with_shard(k as u32, None))?;
                 }
                 Ok(())
             }
@@ -694,10 +714,18 @@ impl<L: Llm> Server<L> {
     /// boundary fsync aborts the schedule with the error (the transcript
     /// up to that point is lost to the caller by design — it was not
     /// durable). Without persistence the call is infallible.
+    ///
+    /// Each boundary also executes a small budget of deferred store
+    /// removals ([`Server::sweep_persistence`]) — off the apply path, so
+    /// snapshot pruning and WAL compaction never stall a mutation.
     pub fn run_schedule(
         &mut self,
         events: &[ServeEvent],
     ) -> Result<(Vec<String>, Vec<Reply>), ServeError> {
+        /// Deferred removals paid per batch boundary: enough to keep up
+        /// with any realistic install rate, small enough to bound the
+        /// boundary's filesystem work.
+        const SWEEP_BUDGET: usize = 64;
         let mut transcript = Vec::with_capacity(events.len());
         let mut replies = Vec::new();
         for (i, event) in events.iter().enumerate() {
@@ -708,6 +736,7 @@ impl<L: Llm> Server<L> {
                 && !matches!(events.get(i + 1), Some(ServeEvent::Mutate(_)));
             if batch_ends {
                 self.sync_persistence()?;
+                self.sweep_persistence(SWEEP_BUDGET)?;
             }
         }
         Ok((transcript, replies))

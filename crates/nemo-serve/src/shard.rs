@@ -132,8 +132,12 @@ pub struct ShardedNetwork {
 
 impl ShardedNetwork {
     /// Partitions `live` into `shards` hash partitions. With `shards ==
-    /// 1` the single partition *is* `live`, verbatim.
-    pub fn from_live(live: &LiveNetwork, shards: u32) -> ShardedNetwork {
+    /// 1` the single partition *is* `live`, verbatim. A frame whose id or
+    /// source column holds a non-string value — a recovered snapshot from
+    /// a hand-edited or damaged store can produce one — is a typed
+    /// [`ServeError::Corrupt`], not a panic: partitioning sits on the
+    /// recovery path, and one bad row must not take down the server.
+    pub fn from_live(live: &LiveNetwork, shards: u32) -> Result<ShardedNetwork, ServeError> {
         assert!(shards > 0, "a sharded network needs at least one shard");
         let base_epoch = live.epoch();
         let bases = SeqBases {
@@ -147,25 +151,35 @@ impl ShardedNetwork {
                 node_seqs: (0..live.nodes().n_rows() as u64).collect(),
                 edge_seqs: (0..live.edges().n_rows() as u64).collect(),
             };
-            return ShardedNetwork {
+            return Ok(ShardedNetwork {
                 partitions: vec![partition],
                 bases,
                 next_global: base_epoch,
                 local_base: base_epoch,
-            };
+            });
         }
         let n = shards as usize;
         let mut node_idx: Vec<Vec<usize>> = vec![Vec::new(); n];
         if let Ok(ids) = live.nodes().column("id") {
             for (row, v) in ids.values().iter().enumerate() {
-                let id = v.as_str().expect("node ids are strings");
+                let Some(id) = v.as_str() else {
+                    return Err(ServeError::Corrupt(format!(
+                        "node frame row {row}: id is {v:?}, want a string — cannot route it \
+                         to a shard"
+                    )));
+                };
                 node_idx[shard_of(id, shards) as usize].push(row);
             }
         }
         let mut edge_idx: Vec<Vec<usize>> = vec![Vec::new(); n];
         if let Ok(sources) = live.edges().column("source") {
             for (row, v) in sources.values().iter().enumerate() {
-                let source = v.as_str().expect("edge sources are strings");
+                let Some(source) = v.as_str() else {
+                    return Err(ServeError::Corrupt(format!(
+                        "edge frame row {row}: source is {v:?}, want a string — cannot route \
+                         it to a shard"
+                    )));
+                };
                 edge_idx[shard_of(source, shards) as usize].push(row);
             }
         }
@@ -191,12 +205,12 @@ impl ShardedNetwork {
                 }
             })
             .collect();
-        ShardedNetwork {
+        Ok(ShardedNetwork {
             partitions,
             bases,
             next_global: base_epoch,
             local_base: 0,
-        }
+        })
     }
 
     /// Reassembles a sharded network from independently recovered
@@ -460,7 +474,7 @@ mod tests {
         }
         let reference = write_snapshot(&live);
         for shards in [1u32, 2, 3, 4, 7] {
-            let net = ShardedNetwork::from_live(&live, shards);
+            let net = ShardedNetwork::from_live(&live, shards).unwrap();
             assert_eq!(net.global_epoch(), live.epoch());
             let merged = net.merged();
             assert_eq!(merged, live, "shards={shards}");
@@ -474,7 +488,7 @@ mod tests {
         let mut control = LiveNetwork::from_workload(&w);
         let mut nets: Vec<ShardedNetwork> = [1u32, 3, 4]
             .iter()
-            .map(|&s| ShardedNetwork::from_live(&control, s))
+            .map(|&s| ShardedNetwork::from_live(&control, s).unwrap())
             .collect();
         let events = evolve(
             &w,
@@ -548,7 +562,7 @@ mod tests {
     fn ghosts_never_leak_into_the_merged_view() {
         let w = workload();
         let live = LiveNetwork::from_workload(&w);
-        let net = ShardedNetwork::from_live(&live, 4);
+        let net = ShardedNetwork::from_live(&live, 4).unwrap();
         // Partitions hold ghosts (cross-shard edge targets)...
         let ghost_total: usize = (0..4u32)
             .map(|k| {

@@ -15,11 +15,16 @@
 //!   byte-identical to an unsharded run. The segment magic is
 //!   [`SHARD_WAL_MAGIC`], so a shard store can never be mistaken for an
 //!   unsharded one (or vice versa).
-//! * **Snapshots are shard documents.** A `nemo-shard/v1` document wraps
-//!   an ordinary inner snapshot (at the *local* epoch) together with the
-//!   shard's identity (`shard`/`shards`), the sequence-number bases fixed
-//!   at partition time, the per-row sequence vectors, and the highest
-//!   global epoch the shard had observed.
+//! * **Snapshots are shard documents.** A full `nemo-shard/v1` document
+//!   wraps an ordinary inner snapshot (at the *local* epoch) together with
+//!   the shard's identity (`shard`/`shards`), the sequence-number bases
+//!   fixed at partition time, the per-row sequence vectors, and the
+//!   highest global epoch the shard had observed. A `nemo-shard/v2`
+//!   *delta* document instead carries just the records logged since the
+//!   previous snapshot (each with its global epoch), so mid-stream
+//!   installs are O(delta); recovery resolves the chain down to a full
+//!   base exactly like the unsharded reader, with the same loud fallback
+//!   past a damaged link.
 //!
 //! Each shard recovers from its own directory with **no cross-shard
 //! coordination** — ghost endpoints make every per-shard stream
@@ -30,17 +35,21 @@
 use crate::codec::{self, decode_shard_record, encode_shard_record, SHARD_WAL_MAGIC};
 use crate::error::ServeError;
 use crate::mutation::{Epoch, WalRecord};
-use crate::persist::{PersistOptions, RecoveryReport};
+use crate::persist::{PersistOptions, RecoveryReport, MAX_DELTA_CHAIN, MAX_DELTA_RECORDS};
 use crate::shard::{SeqBases, ShardPartition, ShardedNetwork};
 use crate::snapshot::{read_snapshot, write_snapshot};
 use nemo_bench::pool;
-use nemo_store::{Store, StoreConfig};
+use nemo_store::{Store, StoreConfig, SweepOutcome};
 use netgraph::json::JsonValue;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-/// Schema tag of the per-shard snapshot document.
+/// Schema tag of the full per-shard snapshot document.
 pub const SHARD_SCHEMA: &str = "nemo-shard/v1";
+
+/// Schema tag of the *delta* per-shard snapshot document: base epoch plus
+/// the records logged since it, each carrying its global epoch.
+pub const SHARD_DELTA_SCHEMA: &str = "nemo-shard/v2";
 
 /// The directory one shard's store lives in, under the server's
 /// persistence root.
@@ -69,6 +78,15 @@ pub struct ShardPersistence {
     bases: SeqBases,
     /// Highest global epoch this shard has logged or recovered.
     last_global: Epoch,
+    /// Records (with their global epochs) logged since the newest
+    /// snapshot, kept for the next delta document. Cleared (with
+    /// `since_overflow` raised) once it exceeds [`MAX_DELTA_RECORDS`].
+    since_snapshot: Vec<(WalRecord, Epoch)>,
+    /// True when `since_snapshot` was discarded as too large — the next
+    /// snapshot must be full.
+    since_overflow: bool,
+    /// Consecutive delta snapshots installed since the last full one.
+    chain_len: usize,
 }
 
 impl ShardPersistence {
@@ -96,8 +114,11 @@ impl ShardPersistence {
             shards,
             bases,
             last_global: bases.base_epoch,
+            since_snapshot: Vec::new(),
+            since_overflow: false,
+            chain_len: 0,
         };
-        persistence.force_snapshot(partition)?;
+        persistence.force_full_snapshot(partition)?;
         Ok(persistence)
     }
 
@@ -123,19 +144,12 @@ impl ShardPersistence {
             truncated_bytes: open_report.truncated_bytes,
             ..RecoveryReport::default()
         };
-        // Newest shard document that still validates.
+        // Newest shard document whose chain (a delta resolves down to a
+        // full base) still validates; a damaged link fails the candidate
+        // loudly and recovery falls back to the next older one.
         let mut base: Option<(u64, ShardDocument)> = None;
         for &epoch in store.snapshot_epochs().iter().rev() {
-            let parsed = store
-                .read_snapshot(epoch)
-                .map_err(ServeError::from)
-                .and_then(|bytes| {
-                    String::from_utf8(bytes).map_err(|_| {
-                        ServeError::Corrupt("shard snapshot document is not UTF-8".to_string())
-                    })
-                })
-                .and_then(|text| parse_shard_document(&text, shard, shards));
-            match parsed {
+            match resolve_shard_chain(&store, epoch, shard, shards) {
                 Ok(doc) => {
                     base = Some((epoch, doc));
                     break;
@@ -160,12 +174,6 @@ impl ShardPersistence {
             bases,
             last_global,
         } = doc;
-        if partition.live.epoch() != snapshot_epoch {
-            return Err(ServeError::Corrupt(format!(
-                "shard snapshot file for epoch {snapshot_epoch} carries state at epoch {}",
-                partition.live.epoch()
-            )));
-        }
         report.snapshot_epoch = snapshot_epoch;
         // Replay the per-shard WAL suffix, cross-checking the store's
         // positional (local) epochs against the records' own, and folding
@@ -201,12 +209,17 @@ impl ShardPersistence {
                 )));
             }
         }
+        // The chain counter starts saturated: the next snapshot is
+        // written in full, anchoring a fresh chain.
         let persistence = ShardPersistence {
             store,
             shard,
             shards,
             bases,
             last_global,
+            since_snapshot: Vec::new(),
+            since_overflow: true,
+            chain_len: MAX_DELTA_CHAIN,
         };
         Ok((partition, persistence, report))
     }
@@ -217,6 +230,12 @@ impl ShardPersistence {
         self.store
             .append(record.epoch, &encode_shard_record(record, global))?;
         self.last_global = self.last_global.max(global);
+        if self.since_snapshot.len() >= MAX_DELTA_RECORDS {
+            self.since_snapshot.clear();
+            self.since_overflow = true;
+        } else if !self.since_overflow {
+            self.since_snapshot.push((record.clone(), global));
+        }
         Ok(())
     }
 
@@ -239,14 +258,88 @@ impl ShardPersistence {
         Ok(true)
     }
 
-    /// Unconditionally writes and installs a shard snapshot. Shard
-    /// snapshots are always written in full — the CSV-prefix reuse of the
-    /// unsharded writer is a pure optimization this path skips.
+    /// Unconditionally writes and installs a shard snapshot: a
+    /// [`SHARD_DELTA_SCHEMA`] delta document when the backlog since the
+    /// newest snapshot is small, contiguous and the chain is short
+    /// (O(delta) install), a full document otherwise.
     pub(crate) fn force_snapshot(&mut self, partition: &ShardPartition) -> Result<(), ServeError> {
+        let base = self.store.snapshot_metas().last().map(|m| m.epoch);
+        let local = partition.live.epoch();
+        let delta_eligible = !self.since_overflow
+            && self.chain_len < MAX_DELTA_CHAIN
+            && base.is_some_and(|b| {
+                local > b
+                    && self
+                        .since_snapshot
+                        .first()
+                        .is_some_and(|(r, _)| r.epoch == b + 1)
+                    && self
+                        .since_snapshot
+                        .last()
+                        .is_some_and(|(r, _)| r.epoch == local)
+                    && self.since_snapshot.len() as u64 == local - b
+            });
+        if delta_eligible {
+            let base = base.expect("checked above");
+            let document = self.shard_delta_document(local, base);
+            self.store
+                .install_delta_snapshot(local, base, document.as_bytes())?;
+            self.chain_len += 1;
+            self.since_snapshot.clear();
+            self.since_overflow = false;
+            return Ok(());
+        }
+        self.force_full_snapshot(partition)
+    }
+
+    /// Unconditionally writes and installs a *full* shard snapshot,
+    /// anchoring a fresh delta chain. Full shard documents skip the
+    /// CSV-prefix reuse of the unsharded writer — it is a pure
+    /// optimization this path does not need.
+    pub(crate) fn force_full_snapshot(
+        &mut self,
+        partition: &ShardPartition,
+    ) -> Result<(), ServeError> {
         let document = self.shard_document(partition);
         self.store
             .install_snapshot(partition.live.epoch(), document.as_bytes())?;
+        self.chain_len = 0;
+        self.since_snapshot.clear();
+        self.since_overflow = false;
         Ok(())
+    }
+
+    /// Executes up to `max_removals` deferred removals (snapshot pruning,
+    /// WAL compaction) on this shard's store.
+    pub(crate) fn sweep(&mut self, max_removals: usize) -> Result<SweepOutcome, ServeError> {
+        Ok(self.store.sweep(max_removals)?)
+    }
+
+    fn shard_delta_document(&self, epoch: u64, base: u64) -> String {
+        let records = JsonValue::Array(
+            self.since_snapshot
+                .iter()
+                .map(|(record, global)| {
+                    codec::obj(vec![
+                        ("epoch", JsonValue::Number(record.epoch as f64)),
+                        ("global", JsonValue::Number(*global as f64)),
+                        ("at_ms", JsonValue::Number(record.at_ms as f64)),
+                        ("mutation", codec::mutation_to_json(&record.mutation)),
+                    ])
+                })
+                .collect(),
+        );
+        codec::obj(vec![
+            ("schema", codec::s(SHARD_DELTA_SCHEMA)),
+            ("kind", codec::s("delta")),
+            ("shard", codec::n(self.shard as i64)),
+            ("shards", codec::n(self.shards as i64)),
+            ("epoch", JsonValue::Number(epoch as f64)),
+            ("delta_base", JsonValue::Number(base as f64)),
+            ("last_global", JsonValue::Number(self.last_global as f64)),
+            ("records", records),
+        ])
+        .to_json()
     }
 
     fn shard_document(&self, partition: &ShardPartition) -> String {
@@ -283,11 +376,25 @@ impl ShardPersistence {
     }
 }
 
-/// What a parsed `nemo-shard/v1` document yields.
+/// What a parsed (or chain-resolved) shard snapshot yields.
 struct ShardDocument {
     partition: ShardPartition,
     bases: SeqBases,
     last_global: Epoch,
+}
+
+/// A parsed `nemo-shard/v2` delta document, before chain resolution.
+struct ShardDelta {
+    epoch: u64,
+    delta_base: u64,
+    last_global: Epoch,
+    records: Vec<(WalRecord, Epoch)>,
+}
+
+enum ShardDoc {
+    // Boxed: a restored partition dwarfs a delta link's header.
+    Full(Box<ShardDocument>),
+    Delta(ShardDelta),
 }
 
 fn get_seqs(root: &BTreeMap<String, JsonValue>, key: &str) -> Result<Vec<u64>, ServeError> {
@@ -307,32 +414,131 @@ fn get_seqs(root: &BTreeMap<String, JsonValue>, key: &str) -> Result<Vec<u64>, S
         .collect()
 }
 
-fn parse_shard_document(
-    text: &str,
-    want_shard: u32,
-    want_shards: u32,
-) -> Result<ShardDocument, ServeError> {
+/// Parses either flavor of shard snapshot document, dispatching on the
+/// schema field. A schema version newer than v2 is refused with a
+/// message that stays distinguishable from disk corruption.
+fn parse_shard_any(text: &str, want_shard: u32, want_shards: u32) -> Result<ShardDoc, ServeError> {
     let corrupt = |msg: String| ServeError::Corrupt(msg);
     let doc = JsonValue::parse(text).map_err(|e| corrupt(format!("not JSON: {e}")))?;
     let JsonValue::Object(root) = &doc else {
         return Err(corrupt("shard snapshot root is not an object".to_string()));
     };
-    match root.get("schema") {
-        Some(JsonValue::String(s)) if s == SHARD_SCHEMA => {}
+    let schema = match root.get("schema") {
+        Some(JsonValue::String(s)) => s.clone(),
         other => {
             return Err(corrupt(format!(
-                "schema field is {other:?}, want \"{SHARD_SCHEMA}\""
+                "schema field is {other:?}, want \"{SHARD_SCHEMA}\" or \"{SHARD_DELTA_SCHEMA}\""
             )))
         }
+    };
+    check_shard_identity(root, want_shard, want_shards)?;
+    if schema == SHARD_SCHEMA {
+        return Ok(ShardDoc::Full(Box::new(parse_full_shard_body(root)?)));
     }
+    if schema == SHARD_DELTA_SCHEMA {
+        return Ok(ShardDoc::Delta(parse_delta_shard_body(root)?));
+    }
+    if let Some(version) = schema
+        .strip_prefix("nemo-shard/v")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        if version > 2 {
+            return Err(corrupt(format!(
+                "shard snapshot format version {version} is newer than this build supports \
+                 (v2); refusing to load"
+            )));
+        }
+    }
+    Err(corrupt(format!(
+        "schema field is {schema:?}, want \"{SHARD_SCHEMA}\" or \"{SHARD_DELTA_SCHEMA}\""
+    )))
+}
+
+fn check_shard_identity(
+    root: &BTreeMap<String, JsonValue>,
+    want_shard: u32,
+    want_shards: u32,
+) -> Result<(), ServeError> {
     let shard = codec::get_u64(root, "shard")?;
     let shards = codec::get_u64(root, "shards")?;
     if shard != want_shard as u64 || shards != want_shards as u64 {
-        return Err(corrupt(format!(
+        return Err(ServeError::Corrupt(format!(
             "snapshot belongs to shard {shard} of {shards}, want shard {want_shard} of \
              {want_shards} — the directory layout and the documents disagree"
         )));
     }
+    Ok(())
+}
+
+fn parse_delta_shard_body(root: &BTreeMap<String, JsonValue>) -> Result<ShardDelta, ServeError> {
+    let corrupt = |msg: String| ServeError::Corrupt(msg);
+    match root.get("kind") {
+        Some(JsonValue::String(kind)) if kind == "delta" => {}
+        other => {
+            return Err(corrupt(format!(
+                "shard delta kind field is {other:?}, want \"delta\""
+            )))
+        }
+    }
+    let epoch = codec::get_u64(root, "epoch")?;
+    let delta_base = codec::get_u64(root, "delta_base")?;
+    if delta_base >= epoch {
+        return Err(corrupt(format!(
+            "shard delta at epoch {epoch} claims base {delta_base} (bases must be older)"
+        )));
+    }
+    let last_global = codec::get_u64(root, "last_global")?;
+    let Some(JsonValue::Array(items)) = root.get("records") else {
+        return Err(corrupt(
+            "shard delta field \"records\" is missing or not an array".to_string(),
+        ));
+    };
+    if items.len() as u64 != epoch - delta_base {
+        return Err(corrupt(format!(
+            "shard delta covering ({delta_base}, {epoch}] carries {} records, want {}",
+            items.len(),
+            epoch - delta_base
+        )));
+    }
+    let mut records = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let JsonValue::Object(m) = item else {
+            return Err(corrupt(format!("shard delta record {i} is not an object")));
+        };
+        let record_epoch = codec::get_u64(m, "epoch")?;
+        if record_epoch != delta_base + 1 + i as u64 {
+            return Err(corrupt(format!(
+                "shard delta record {i} carries epoch {record_epoch}, want {} \
+                 (records must be contiguous from the base)",
+                delta_base + 1 + i as u64
+            )));
+        }
+        let global = codec::get_u64(m, "global")?;
+        let at_ms = codec::get_u64(m, "at_ms")?;
+        let Some(JsonValue::Object(mutation)) = m.get("mutation") else {
+            return Err(corrupt(format!(
+                "shard delta record {i} mutation is missing or not an object"
+            )));
+        };
+        records.push((
+            WalRecord {
+                epoch: record_epoch,
+                at_ms,
+                mutation: codec::mutation_from_json(mutation)?,
+            },
+            global,
+        ));
+    }
+    Ok(ShardDelta {
+        epoch,
+        delta_base,
+        last_global,
+        records,
+    })
+}
+
+fn parse_full_shard_body(root: &BTreeMap<String, JsonValue>) -> Result<ShardDocument, ServeError> {
+    let corrupt = |msg: String| ServeError::Corrupt(msg);
     let bases = SeqBases {
         base_epoch: codec::get_u64(root, "base_epoch")?,
         node_seq_base: codec::get_u64(root, "node_seq_base")?,
@@ -361,6 +567,81 @@ fn parse_shard_document(
         bases,
         last_global,
     })
+}
+
+/// Resolves the shard snapshot at `epoch` into a restored partition,
+/// following a delta chain down to its full base. Any damaged link —
+/// unreadable file, failed validation, a replay that does not reach the
+/// link's epoch — fails the whole chain with the failing link named in
+/// the error, so the caller can fall back past it loudly.
+fn resolve_shard_chain(
+    store: &Store,
+    epoch: u64,
+    shard: u32,
+    shards: u32,
+) -> Result<ShardDocument, ServeError> {
+    let bytes = store.read_snapshot(epoch)?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| ServeError::Corrupt("shard snapshot document is not UTF-8".to_string()))?;
+    match parse_shard_any(&text, shard, shards)? {
+        ShardDoc::Full(doc) => {
+            if doc.partition.live.epoch() != epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "shard snapshot file for epoch {epoch} carries state at epoch {}",
+                    doc.partition.live.epoch()
+                )));
+            }
+            Ok(*doc)
+        }
+        ShardDoc::Delta(delta) => {
+            if delta.epoch != epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "shard snapshot file for epoch {epoch} carries a delta at epoch {}",
+                    delta.epoch
+                )));
+            }
+            let mut doc =
+                resolve_shard_chain(store, delta.delta_base, shard, shards).map_err(|e| {
+                    ServeError::Corrupt(format!(
+                        "delta shard snapshot at epoch {epoch}: base {}: {e}",
+                        delta.delta_base
+                    ))
+                })?;
+            for (record, global) in &delta.records {
+                if record.epoch != doc.partition.live.epoch() + 1 {
+                    return Err(ServeError::Corrupt(format!(
+                        "delta shard snapshot at epoch {epoch}: shard state is at epoch {}, \
+                         next record is epoch {}",
+                        doc.partition.live.epoch(),
+                        record.epoch
+                    )));
+                }
+                doc.partition
+                    .apply_record(*global, record.at_ms, record.mutation.clone(), &doc.bases)
+                    .map_err(|e| {
+                        ServeError::Corrupt(format!("delta shard snapshot at epoch {epoch}: {e}"))
+                    })?;
+                doc.last_global = doc.last_global.max(*global);
+            }
+            if doc.partition.live.epoch() != epoch {
+                return Err(ServeError::Corrupt(format!(
+                    "delta shard snapshot at epoch {epoch} resolved to state at epoch {}",
+                    doc.partition.live.epoch()
+                )));
+            }
+            // The document records the shard's last observed global epoch
+            // at install time; the resolved chain must compute the same
+            // value or a record was altered.
+            if doc.last_global != delta.last_global {
+                return Err(ServeError::Corrupt(format!(
+                    "delta shard snapshot at epoch {epoch} carries last_global {}, but the \
+                     resolved chain computes {}",
+                    delta.last_global, doc.last_global
+                )));
+            }
+            Ok(doc)
+        }
+    }
 }
 
 /// Opens (or creates) the whole sharded layout under `root`: either every
@@ -393,7 +674,7 @@ pub(crate) fn recover_or_create_sharded(
         }
     };
     if !occupied {
-        let net = ShardedNetwork::from_live(&init(), shards);
+        let net = ShardedNetwork::from_live(&init(), shards)?;
         let mut persists = Vec::with_capacity(shards as usize);
         for k in 0..shards {
             persists.push(ShardPersistence::create(
@@ -614,5 +895,170 @@ mod tests {
             write_snapshot(&reference)
         );
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Drives `events` through a fresh sharded layout, force-snapshotting
+    /// every shard (whose local epoch advanced) at each stream index in
+    /// `snapshot_at`. Returns the unsharded reference state and the
+    /// per-shard persistence handles.
+    fn drive_sharded(
+        root: &Path,
+        shards: u32,
+        events: usize,
+        snapshot_at: &[usize],
+    ) -> (LiveNetwork, Vec<ShardPersistence>) {
+        let w = generate(&TrafficConfig {
+            nodes: 16,
+            edges: 22,
+            prefixes: 2,
+            seed: 8,
+        });
+        let mut reference = LiveNetwork::from_workload(&w);
+        let (mut net, mut persists, _) =
+            recover_or_create_sharded(root, &test_options(), shards, 1, || reference.clone())
+                .unwrap();
+        for (i, event) in evolve(&w, &StreamConfig { events, seed: 21 })
+            .iter()
+            .enumerate()
+        {
+            let mutation = crate::mutation::Mutation::from_event(&event.event);
+            if reference.apply(event.at_ms, mutation.clone()).is_err() {
+                assert!(net.apply(event.at_ms, mutation).is_err());
+                continue;
+            }
+            let global = net
+                .apply(event.at_ms, mutation.clone())
+                .unwrap_or_else(|_| unreachable!("reference accepted the mutation"));
+            let k = net.route(&mutation);
+            let record = WalRecord {
+                epoch: net.local_epoch(k),
+                at_ms: event.at_ms,
+                mutation,
+            };
+            persists[k as usize].log(&record, global).unwrap();
+            if snapshot_at.contains(&i) {
+                for k in 0..shards {
+                    let newest = persists[k as usize]
+                        .store()
+                        .snapshot_metas()
+                        .last()
+                        .map(|m| m.epoch)
+                        .unwrap();
+                    if net.local_epoch(k) > newest {
+                        persists[k as usize]
+                            .force_snapshot(net.partition(k))
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        for p in &mut persists {
+            p.sync().unwrap();
+        }
+        (reference, persists)
+    }
+
+    #[test]
+    fn shard_delta_chains_recover_and_merge_identically() {
+        let root = temp_root("delta");
+        let shards = 2u32;
+        let (reference, persists) = drive_sharded(&root, shards, 40, &[9, 19, 29]);
+        // The mid-stream snapshots took the O(delta) path on every shard
+        // that had logged records since its previous snapshot.
+        assert!(
+            persists
+                .iter()
+                .any(|p| p.store().snapshot_metas().iter().any(|m| m.base.is_some())),
+            "at least one shard must have installed a delta snapshot"
+        );
+        drop(persists);
+        let (recovered, _, reports) =
+            recover_or_create_sharded(&root, &test_options(), shards, 1, || unreachable!())
+                .unwrap();
+        assert!(reports.iter().all(|r| r.skipped_snapshots.is_empty()));
+        assert!(reports.iter().any(|r| r.snapshot_epoch > 0));
+        assert_eq!(recovered.global_epoch(), reference.epoch());
+        assert_eq!(
+            write_snapshot(&recovered.merged()),
+            write_snapshot(&reference)
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn a_damaged_shard_delta_link_falls_back_loudly() {
+        let root = temp_root("delta-damage");
+        let shards = 2u32;
+        let (reference, persists) = drive_sharded(&root, shards, 40, &[9, 19, 29]);
+        // Pick a shard with at least two chained deltas and damage the
+        // *middle* link, so the tip's failure must name its broken base.
+        let victim = persists
+            .iter()
+            .find(|p| {
+                let metas = p.store().snapshot_metas();
+                metas.len() >= 3 && metas[1].base.is_some() && metas[2].base.is_some()
+            })
+            .expect("some shard chained at least two deltas");
+        let shard = victim.shard();
+        let metas = victim.store().snapshot_metas().to_vec();
+        let damaged = metas[1];
+        let path = shard_dir(&root, shard).join(nemo_store::delta_snapshot_file_name(
+            damaged.epoch,
+            damaged.base.unwrap(),
+        ));
+        drop(persists);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let (recovered, _, reports) =
+            recover_or_create_sharded(&root, &test_options(), shards, 1, || unreachable!())
+                .unwrap();
+        let report = &reports[shard as usize];
+        // Every snapshot above the damaged link was skipped — each with
+        // the failing base named — and the survivor is the one below it.
+        assert!(!report.skipped_snapshots.is_empty(), "{report:?}");
+        assert!(
+            report
+                .skipped_snapshots
+                .iter()
+                .any(|(_, reason)| reason.contains(&format!("base {}", damaged.epoch))),
+            "{:?}",
+            report.skipped_snapshots
+        );
+        assert!(report.snapshot_epoch < damaged.epoch, "{report:?}");
+        assert_eq!(
+            write_snapshot(&recovered.merged()),
+            write_snapshot(&reference)
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn newer_or_malformed_shard_schemas_are_refused_with_clear_reasons() {
+        fn parse_err(text: &str) -> ServeError {
+            match parse_shard_any(text, 0, 1) {
+                Err(e) => e,
+                Ok(_) => panic!("document must be refused: {text}"),
+            }
+        }
+        let future = r#"{"schema":"nemo-shard/v3","shard":0,"shards":1}"#;
+        let err = parse_err(future);
+        assert!(
+            err.to_string().contains("newer than this build supports"),
+            "{err}"
+        );
+        let wrong_kind = r#"{"schema":"nemo-shard/v2","kind":"full","shard":0,"shards":1}"#;
+        let err = parse_err(wrong_kind);
+        assert!(err.to_string().contains("want \"delta\""), "{err}");
+        let inverted = r#"{"schema":"nemo-shard/v2","kind":"delta","shard":0,"shards":1,"epoch":4,"delta_base":7,"last_global":9,"records":[]}"#;
+        let err = parse_err(inverted);
+        assert!(err.to_string().contains("bases must be older"), "{err}");
+        let short = r#"{"schema":"nemo-shard/v2","kind":"delta","shard":0,"shards":1,"epoch":4,"delta_base":2,"last_global":9,"records":[]}"#;
+        let err = parse_err(short);
+        assert!(
+            err.to_string().contains("carries 0 records, want 2"),
+            "{err}"
+        );
     }
 }

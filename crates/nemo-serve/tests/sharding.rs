@@ -76,7 +76,7 @@ proptest! {
         }
 
         // Queue each record (with its global epoch) at its owner shard.
-        let mut net = ShardedNetwork::from_live(&base, shards);
+        let mut net = ShardedNetwork::from_live(&base, shards).unwrap();
         let mut queues: Vec<std::collections::VecDeque<(u64, TimedEvent)>> =
             vec![Default::default(); shards as usize];
         for (i, timed) in events[..cut].iter().enumerate() {

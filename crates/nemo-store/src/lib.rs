@@ -19,11 +19,20 @@
 //!   new one is opened.
 //! * **Snapshots** — opaque documents framed like records in
 //!   `snap-<epoch20>.snap`, written to a temp file and atomically renamed.
+//!   A *delta* snapshot (`snap-<epoch20>-from-<base20>.snap`) captures the
+//!   same state as a difference against an older snapshot, so installs are
+//!   O(delta) instead of O(state).
 //! * **The store** ([`Store`]) — opens a directory, validates every frame,
 //!   truncates a torn tail on the *newest* segment only (any other tear or
 //!   any CRC mismatch fails loudly), appends with a configurable
-//!   [`FsyncPolicy`], triggers snapshots on byte/epoch thresholds, and
-//!   deletes WAL segments wholly covered by the newest snapshot.
+//!   [`FsyncPolicy`], and triggers snapshots on byte/epoch thresholds.
+//! * **The sweep** ([`sweep`], [`Store::sweep`]) — pruning of unretained
+//!   snapshots and deletion of WAL segments wholly covered by the oldest
+//!   retained snapshot, deferred off the write path: installs only write,
+//!   the caller executes the (recomputable) [`SweepPlan`] incrementally at
+//!   batch boundaries or idle ticks. Every removal hits the filesystem
+//!   before the in-memory manifest, so an error or a kill at any point
+//!   leaves a consistent store that resumes where it stopped.
 //!
 //! ```
 //! use nemo_store::{FsyncPolicy, Store, StoreConfig};
@@ -55,9 +64,12 @@ pub mod group;
 pub mod record;
 pub mod segment;
 mod store;
+pub mod sweep;
 
 pub use error::StoreError;
 pub use group::GroupCommitter;
 pub use store::{
-    parse_snapshot_name, snapshot_file_name, FsyncPolicy, OpenReport, Store, StoreConfig,
+    delta_snapshot_file_name, parse_delta_snapshot_name, parse_snapshot_name, snapshot_file_name,
+    FsyncPolicy, OpenReport, Store, StoreConfig,
 };
+pub use sweep::{SnapshotMeta, SweepOutcome, SweepPlan};

@@ -14,11 +14,20 @@
 //!   clean boundary; a tear anywhere else, or any CRC mismatch on a
 //!   complete frame, is corruption and fails loudly;
 //! * segment first-epochs must chain contiguously (a deleted middle
-//!   segment is unrecoverable and fails loudly).
+//!   segment is unrecoverable and fails loudly);
+//! * a half-executed sweep needs no repair at all: pruning deletes
+//!   newest-first (a delta falls before the base it builds on) and
+//!   compaction ([`Store::sweep`]) deletes segments oldest-first, with
+//!   the manifest updated only after each removal succeeds, so any
+//!   surviving file set is one a clean store could have produced — the
+//!   next open just recomputes the remaining [`SweepPlan`] from the
+//!   directory listing.
 
 use crate::error::StoreError;
 use crate::record::encode_frame;
 use crate::segment::{scan_segment, segment_file_name, SegmentScan};
+use crate::sweep::{SnapshotMeta, SweepOutcome, SweepPlan};
+use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -70,7 +79,9 @@ pub fn snapshot_file_name(epoch: u64) -> String {
     format!("snap-{epoch:020}.{SNAPSHOT_EXT}")
 }
 
-/// Parses a snapshot file name back to its epoch.
+/// Parses a *full* snapshot file name back to its epoch. Delta snapshot
+/// names ([`delta_snapshot_file_name`]) do not match — readers predating
+/// the delta format simply never see delta files.
 pub fn parse_snapshot_name(name: &str) -> Option<u64> {
     let rest = name.strip_prefix("snap-")?;
     let digits = rest.strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
@@ -78,6 +89,27 @@ pub fn parse_snapshot_name(name: &str) -> Option<u64> {
         return None;
     }
     digits.parse().ok()
+}
+
+/// File name of a *delta* snapshot capturing state at `epoch` as a
+/// difference against the snapshot at `base`. The base epoch lives in
+/// the file name so retention and recovery can follow delta chains from
+/// the directory listing alone, without opening documents.
+pub fn delta_snapshot_file_name(epoch: u64, base: u64) -> String {
+    format!("snap-{epoch:020}-from-{base:020}.{SNAPSHOT_EXT}")
+}
+
+/// Parses a delta snapshot file name back to `(epoch, base)`.
+pub fn parse_delta_snapshot_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("snap-")?;
+    let rest = rest.strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+    let (epoch_digits, base_digits) = rest.split_once("-from-")?;
+    for digits in [epoch_digits, base_digits] {
+        if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+    }
+    Some((epoch_digits.parse().ok()?, base_digits.parse().ok()?))
 }
 
 /// Sizing and durability knobs of one store.
@@ -97,8 +129,9 @@ pub struct StoreConfig {
     /// Report a snapshot as due once this many epochs passed since the
     /// newest snapshot (0 disables the epoch trigger).
     pub snapshot_every_epochs: u64,
-    /// How many snapshots to retain (at least 1; older ones are deleted
-    /// when a new snapshot is installed).
+    /// How many snapshots to retain (at least 1). Older ones — except
+    /// bases that a retained delta snapshot still builds on — are deleted
+    /// by [`Store::sweep`], not on install.
     pub keep_snapshots: usize,
 }
 
@@ -156,6 +189,10 @@ pub struct OpenReport {
     pub segments: usize,
     /// Snapshot files present.
     pub snapshots: usize,
+    /// Deletable files left behind by an interrupted sweep (or a crash
+    /// between snapshot install and sweep): the removals the recomputed
+    /// [`SweepPlan`] calls for. 0 on a fully swept store.
+    pub pending_sweep_removals: usize,
 }
 
 /// A directory of checksummed WAL segments plus snapshot files.
@@ -165,8 +202,8 @@ pub struct Store {
     config: StoreConfig,
     sealed: Vec<Sealed>,
     active: Option<Active>,
-    /// Snapshot epochs, ascending.
-    snapshots: Vec<u64>,
+    /// Snapshots on disk, ascending by epoch.
+    snapshots: Vec<SnapshotMeta>,
     /// Epoch of the last durable record (or snapshot, whichever is
     /// newest); `None` for an empty store.
     last_epoch: Option<u64>,
@@ -191,7 +228,7 @@ impl Store {
             .map_err(|e| StoreError::io(&format!("create {}", dir.display()), e))?;
         let mut report = OpenReport::default();
         let mut segment_paths: Vec<PathBuf> = Vec::new();
-        let mut snapshots: Vec<u64> = Vec::new();
+        let mut snapshots: Vec<SnapshotMeta> = Vec::new();
         let entries = std::fs::read_dir(dir)
             .map_err(|e| StoreError::io(&format!("list {}", dir.display()), e))?;
         for entry in entries {
@@ -206,12 +243,31 @@ impl Store {
                 report.removed_tmp_files += 1;
             } else if crate::segment::parse_segment_name(name).is_some() {
                 segment_paths.push(path);
-            } else if parse_snapshot_name(name).is_some() {
-                snapshots.push(parse_snapshot_name(name).expect("just matched"));
+            } else if let Some(epoch) = parse_snapshot_name(name) {
+                snapshots.push(SnapshotMeta::full(epoch));
+            } else if let Some((epoch, base)) = parse_delta_snapshot_name(name) {
+                if base >= epoch {
+                    return Err(StoreError::Corrupt(format!(
+                        "{name}: delta snapshot base epoch {base} is not older than its \
+                         own epoch {epoch}"
+                    )));
+                }
+                snapshots.push(SnapshotMeta::delta(epoch, base));
             }
         }
         segment_paths.sort();
-        snapshots.sort_unstable();
+        snapshots.sort_unstable_by_key(|m| m.epoch);
+        for pair in snapshots.windows(2) {
+            if pair[0].epoch == pair[1].epoch {
+                // The installers refuse an epoch at or below the newest
+                // snapshot, so two documents for one epoch cannot arise
+                // from any crash — only from external meddling.
+                return Err(StoreError::Corrupt(format!(
+                    "two snapshot files capture epoch {} — cannot tell which to trust",
+                    pair[0].epoch
+                )));
+            }
+        }
 
         // Scan and validate every segment; repair the newest one's tail.
         let mut scans: Vec<SegmentScan> = Vec::with_capacity(segment_paths.len());
@@ -302,7 +358,7 @@ impl Store {
                 .last()
                 .and_then(|s| s.records.checked_sub(1).map(|i| s.first_epoch + i))
         });
-        let snap_last = snapshots.last().copied();
+        let snap_last = snapshots.last().map(|m| m.epoch);
         let last_epoch = match (wal_last, snap_last) {
             (Some(w), Some(s)) => Some(w.max(s)),
             (w, s) => w.or(s),
@@ -328,18 +384,20 @@ impl Store {
             + active
                 .as_ref()
                 .map_or(0, |a| segment_counts(a.first_epoch, a.records, a.bytes));
-        Ok((
-            Store {
-                dir: dir.to_path_buf(),
-                config,
-                sealed,
-                active,
-                snapshots,
-                last_epoch,
-                bytes_since_snapshot,
-            },
-            report,
-        ))
+        let store = Store {
+            dir: dir.to_path_buf(),
+            config,
+            sealed,
+            active,
+            snapshots,
+            last_epoch,
+            bytes_since_snapshot,
+        };
+        // A crash mid-sweep needs no repair — the surviving files are a
+        // valid store — but report the leftover work so the caller knows
+        // a sweep is pending.
+        report.pending_sweep_removals = store.sweep_plan().removals();
+        Ok((store, report))
     }
 
     /// The store's directory.
@@ -363,7 +421,12 @@ impl Store {
     }
 
     /// Snapshot epochs on disk, ascending.
-    pub fn snapshot_epochs(&self) -> &[u64] {
+    pub fn snapshot_epochs(&self) -> Vec<u64> {
+        self.snapshots.iter().map(|m| m.epoch).collect()
+    }
+
+    /// Snapshots on disk (epoch plus delta base), ascending by epoch.
+    pub fn snapshot_metas(&self) -> &[SnapshotMeta] {
         &self.snapshots
     }
 
@@ -504,17 +567,14 @@ impl Store {
             .map_err(|e| StoreError::io(&format!("fsync dir {}", self.dir.display()), e))
     }
 
-    /// Atomically installs a snapshot of the state at `epoch` (written to a
-    /// temp file, framed and checksummed, then renamed into place), prunes
-    /// snapshots beyond the retention count, and deletes WAL segments
-    /// wholly covered by the new snapshot.
-    pub fn install_snapshot(&mut self, epoch: u64, document: &[u8]) -> Result<(), StoreError> {
+    /// Validations shared by both snapshot installers.
+    fn check_snapshot_install(&self, epoch: u64, document: &[u8]) -> Result<(), StoreError> {
         if document.is_empty() {
             return Err(StoreError::InvalidArgument(
                 "snapshot documents must be non-empty".to_string(),
             ));
         }
-        if let Some(&newest) = self.snapshots.last() {
+        if let Some(newest) = self.snapshots.last().map(|m| m.epoch) {
             if epoch <= newest {
                 return Err(StoreError::InvalidArgument(format!(
                     "snapshot epoch {epoch} is not newer than the existing snapshot at {newest}"
@@ -528,8 +588,14 @@ impl Store {
                 )));
             }
         }
-        let final_path = self.dir.join(snapshot_file_name(epoch));
-        let tmp_path = self.dir.join(format!("{}.tmp", snapshot_file_name(epoch)));
+        Ok(())
+    }
+
+    /// Writes a snapshot document to `file_name` atomically: temp file,
+    /// framed and checksummed, fsynced (per policy), renamed into place.
+    fn write_snapshot_file(&self, file_name: &str, document: &[u8]) -> Result<(), StoreError> {
+        let final_path = self.dir.join(file_name);
+        let tmp_path = self.dir.join(format!("{file_name}.tmp"));
         {
             let mut file = OpenOptions::new()
                 .write(true)
@@ -549,64 +615,210 @@ impl Store {
         if self.config.fsync.durable_metadata() {
             self.sync_dir()?;
         }
-        self.snapshots.push(epoch);
-        self.snapshots.sort_unstable();
-        self.last_epoch = Some(self.last_epoch.map_or(epoch, |l| l.max(epoch)));
-
-        // Retention: keep the newest `keep_snapshots` snapshots.
-        while self.snapshots.len() > self.config.keep_snapshots {
-            let old = self.snapshots.remove(0);
-            let path = self.dir.join(snapshot_file_name(old));
-            std::fs::remove_file(&path)
-                .map_err(|e| StoreError::io(&format!("remove {}", path.display()), e))?;
-        }
-        // Compact to the *oldest retained* snapshot: every retained
-        // snapshot must keep a replayable WAL suffix so recovery can fall
-        // back past a damaged newer document. With `keep_snapshots == 1`
-        // this is the newest snapshot.
-        let covered = *self.snapshots.first().expect("just installed one");
-        self.bytes_since_snapshot = 0;
-        self.compact(covered)
+        Ok(())
     }
 
-    /// Deletes WAL segments whose records all fall at or below
-    /// `covered_epoch` (they are fully captured by the snapshot at that
-    /// epoch).
-    fn compact(&mut self, covered_epoch: u64) -> Result<(), StoreError> {
-        let mut kept = Vec::new();
-        for segment in self.sealed.drain(..) {
-            // A sealed segment covering [first, first+records-1]; a
-            // header-only segment (records 0) is covered once the epoch it
-            // was created for is.
-            let last = segment.first_epoch + segment.records.saturating_sub(1);
-            if last <= covered_epoch {
-                std::fs::remove_file(&segment.path).map_err(|e| {
-                    StoreError::io(&format!("remove {}", segment.path.display()), e)
-                })?;
-            } else {
-                kept.push(segment);
+    /// Atomically installs a full snapshot of the state at `epoch`. The
+    /// manifest is updated only after the file is durably in place, and
+    /// nothing is deleted here: pruning and compaction are recorded as a
+    /// [`SweepPlan`] (recomputable at any time, so a crash loses nothing)
+    /// and executed off the write path by [`Store::sweep`].
+    pub fn install_snapshot(&mut self, epoch: u64, document: &[u8]) -> Result<(), StoreError> {
+        self.check_snapshot_install(epoch, document)?;
+        self.write_snapshot_file(&snapshot_file_name(epoch), document)?;
+        self.snapshots.push(SnapshotMeta::full(epoch));
+        self.last_epoch = Some(self.last_epoch.map_or(epoch, |l| l.max(epoch)));
+        self.bytes_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Atomically installs a *delta* snapshot of the state at `epoch`,
+    /// expressed against the existing snapshot at `base`. The write is
+    /// O(delta document); like [`Store::install_snapshot`] it deletes
+    /// nothing — deferred work accrues to the [`SweepPlan`].
+    pub fn install_delta_snapshot(
+        &mut self,
+        epoch: u64,
+        base: u64,
+        document: &[u8],
+    ) -> Result<(), StoreError> {
+        self.check_snapshot_install(epoch, document)?;
+        if !self.snapshots.iter().any(|m| m.epoch == base) {
+            return Err(StoreError::InvalidArgument(format!(
+                "delta snapshot at epoch {epoch} names base {base}, but no snapshot \
+                 captures that epoch"
+            )));
+        }
+        self.write_snapshot_file(&delta_snapshot_file_name(epoch, base), document)?;
+        self.snapshots.push(SnapshotMeta::delta(epoch, base));
+        self.last_epoch = Some(self.last_epoch.map_or(epoch, |l| l.max(epoch)));
+        self.bytes_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Epochs of the snapshots retention must keep, ascending: the newest
+    /// `keep_snapshots` by epoch, plus — transitively — every base a
+    /// retained delta snapshot builds on.
+    fn retained_roots(&self) -> Vec<u64> {
+        let keep_from = self
+            .snapshots
+            .len()
+            .saturating_sub(self.config.keep_snapshots);
+        let mut roots: BTreeSet<u64> = self.snapshots[keep_from..]
+            .iter()
+            .map(|m| m.epoch)
+            .collect();
+        let mut frontier: Vec<u64> = roots.iter().copied().collect();
+        while let Some(epoch) = frontier.pop() {
+            let base = self
+                .snapshots
+                .iter()
+                .find(|m| m.epoch == epoch)
+                .and_then(|m| m.base);
+            // A base missing from the manifest means the chain is already
+            // broken (external damage); retention just keeps what exists.
+            if let Some(base) = base {
+                if self.snapshots.iter().any(|m| m.epoch == base) && roots.insert(base) {
+                    frontier.push(base);
+                }
             }
         }
-        self.sealed = kept;
-        let active_covered = self.active.as_ref().is_some_and(|a| {
-            a.last_epoch().unwrap_or(a.first_epoch.saturating_sub(1)) <= covered_epoch
-        });
-        if active_covered {
-            let active = self.active.take().expect("just checked");
-            std::fs::remove_file(&active.path)
-                .map_err(|e| StoreError::io(&format!("remove {}", active.path.display()), e))?;
+        roots.into_iter().collect()
+    }
+
+    /// Computes what a sweep would delete, purely from the in-memory
+    /// manifest: snapshots outside the retention set, then WAL segments
+    /// wholly covered by the oldest *retained* snapshot. Every retained
+    /// snapshot keeps a replayable WAL suffix, so recovery can fall back
+    /// past a damaged newer document; with `keep_snapshots == 1` and no
+    /// delta chain, coverage reaches the newest snapshot.
+    pub fn sweep_plan(&self) -> SweepPlan {
+        let roots = self.retained_roots();
+        let covered = roots.first().copied();
+        // Newest first: a delta is always deleted before the base it
+        // builds on (bases are strictly older), so no prefix of the plan
+        // ever leaves an on-disk snapshot whose chain cannot resolve.
+        let prune_snapshots: Vec<u64> = self
+            .snapshots
+            .iter()
+            .rev()
+            .map(|m| m.epoch)
+            .filter(|e| !roots.contains(e))
+            .collect();
+        let mut remove_segments: Vec<PathBuf> = Vec::new();
+        if let Some(covered) = covered {
+            for segment in &self.sealed {
+                // A sealed segment covering [first, first+records-1]; a
+                // header-only segment (records 0) is covered once the
+                // epoch it was created for is.
+                let last = segment.first_epoch + segment.records.saturating_sub(1);
+                if last <= covered {
+                    remove_segments.push(segment.path.clone());
+                }
+            }
+            if let Some(active) = &self.active {
+                if active
+                    .last_epoch()
+                    .unwrap_or(active.first_epoch.saturating_sub(1))
+                    <= covered
+                {
+                    remove_segments.push(active.path.clone());
+                }
+            }
         }
-        if self.config.fsync.durable_metadata() {
+        SweepPlan {
+            prune_snapshots,
+            remove_segments,
+            covered_epoch: covered,
+        }
+    }
+
+    /// Removes `path`, treating "already gone" as success: a crash after
+    /// the removal but before the manifest caught up (or a half-executed
+    /// sweep resumed after reopen) must not fail the resumed sweep.
+    fn remove_swept_file(path: &Path) -> Result<(), StoreError> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::io(&format!("remove {}", path.display()), e)),
+        }
+    }
+
+    /// Executes up to `max_removals` steps of the current [`SweepPlan`]:
+    /// prunes unretained snapshots (newest first, so a delta never
+    /// outlives losing its base), then deletes WAL segments wholly
+    /// covered by the oldest retained snapshot (oldest first). Call with
+    /// `usize::MAX` to sweep everything at once, or with a small budget
+    /// from batch boundaries / idle ticks to keep removals off the write
+    /// path.
+    ///
+    /// Error safety: each filesystem removal happens *before* the
+    /// matching manifest entry is dropped, so an error (or a kill) at any
+    /// point leaves memory and disk in agreement and the next call — or
+    /// the next open — resumes from the remaining plan. The ordering
+    /// guarantees any prefix of a sweep leaves every retained snapshot
+    /// resolvable (deltas fall before their bases, segments only after
+    /// all pruning) plus an unbroken WAL suffix from the oldest retained
+    /// snapshot to the tip.
+    pub fn sweep(&mut self, max_removals: usize) -> Result<SweepOutcome, StoreError> {
+        let mut outcome = SweepOutcome::default();
+        let mut budget = max_removals;
+        let plan = self.sweep_plan();
+        for epoch in &plan.prune_snapshots {
+            if budget == 0 {
+                break;
+            }
+            let index = self
+                .snapshots
+                .iter()
+                .position(|m| m.epoch == *epoch)
+                .expect("planned snapshot is in the manifest");
+            let meta = self.snapshots[index];
+            let name = match meta.base {
+                Some(base) => delta_snapshot_file_name(meta.epoch, base),
+                None => snapshot_file_name(meta.epoch),
+            };
+            Self::remove_swept_file(&self.dir.join(name))?;
+            self.snapshots.remove(index);
+            outcome.pruned_snapshots += 1;
+            budget -= 1;
+        }
+        if outcome.pruned_snapshots == plan.prune_snapshots.len() {
+            // Segments are sorted by first epoch, so covered segments form
+            // a prefix of `sealed` (possibly followed by a covered active
+            // segment once every sealed one is gone).
+            let mut segments_left = plan.remove_segments.len();
+            while budget > 0 && segments_left > 0 {
+                if let Some(path) = self.sealed.first().map(|s| s.path.clone()) {
+                    Self::remove_swept_file(&path)?;
+                    self.sealed.remove(0);
+                } else {
+                    let path = self
+                        .active
+                        .as_ref()
+                        .expect("plan names the active segment")
+                        .path
+                        .clone();
+                    Self::remove_swept_file(&path)?;
+                    self.active = None;
+                }
+                outcome.removed_segments += 1;
+                segments_left -= 1;
+                budget -= 1;
+            }
+        }
+        if outcome.removed() > 0 && self.config.fsync.durable_metadata() {
             self.sync_dir()?;
         }
-        Ok(())
+        outcome.remaining = self.sweep_plan().removals();
+        Ok(outcome)
     }
 
     /// Whether the configured thresholds call for a snapshot at
     /// `current_epoch`: enough WAL bytes or enough epochs accumulated past
     /// the newest snapshot.
     pub fn snapshot_due(&self, current_epoch: u64) -> bool {
-        let newest = self.snapshots.last().copied();
+        let newest = self.snapshots.last().map(|m| m.epoch);
         let byte_due = self.config.snapshot_every_bytes > 0
             && self.bytes_since_snapshot >= self.config.snapshot_every_bytes;
         let epoch_due = self.config.snapshot_every_epochs > 0
@@ -616,9 +828,16 @@ impl Store {
         byte_due || epoch_due
     }
 
-    /// Reads and checksum-verifies a snapshot document.
+    /// Reads and checksum-verifies a snapshot document (full or delta —
+    /// the manifest resolves which file captures `epoch`).
     pub fn read_snapshot(&self, epoch: u64) -> Result<Vec<u8>, StoreError> {
-        let path = self.dir.join(snapshot_file_name(epoch));
+        let name = match self.snapshots.iter().find(|m| m.epoch == epoch) {
+            Some(SnapshotMeta {
+                base: Some(base), ..
+            }) => delta_snapshot_file_name(epoch, *base),
+            _ => snapshot_file_name(epoch),
+        };
+        let path = self.dir.join(name);
         let bytes = std::fs::read(&path)
             .map_err(|e| StoreError::io(&format!("read {}", path.display()), e))?;
         let context = path.display().to_string();
@@ -838,6 +1057,7 @@ mod tests {
         let before = store.segment_paths().len();
         assert!(before >= 3);
         store.install_snapshot(12, b"state at twelve").unwrap();
+        assert!(store.sweep(usize::MAX).unwrap().removed() == 0);
         // Both snapshots are retained, and the WAL is compacted only to
         // the *oldest* retained one (epoch 0): nothing deletable yet, so a
         // fallback past snap-12 can still replay from genesis.
@@ -848,6 +1068,13 @@ mod tests {
         // segments wholly at or below 12 are gone, the suffix stays.
         store.append(21, &payload(21)).unwrap();
         store.install_snapshot(21, b"state at twenty-one").unwrap();
+        // Installing deletes nothing — removals happen in the sweep.
+        assert_eq!(store.snapshot_epochs(), &[0, 12, 21]);
+        assert!(store.segment_paths().len() >= before);
+        let outcome = store.sweep(usize::MAX).unwrap();
+        assert_eq!(outcome.pruned_snapshots, 1);
+        assert!(outcome.removed_segments > 0);
+        assert_eq!(outcome.remaining, 0);
         assert_eq!(store.snapshot_epochs(), &[12, 21]);
         let after = store.segment_paths().len();
         assert!(after < before, "compaction must delete covered segments");
@@ -860,7 +1087,8 @@ mod tests {
         assert_eq!(store.replay(21).unwrap(), vec![]);
         store.append(22, &payload(22)).unwrap();
         drop(store);
-        let (store, _) = Store::open(&dir, test_config()).unwrap();
+        let (store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.pending_sweep_removals, 0);
         assert_eq!(store.last_epoch(), Some(22));
         assert_eq!(store.replay(21).unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -942,6 +1170,225 @@ mod tests {
         let (store, report) = Store::open(&dir, config).unwrap();
         assert_eq!(report.truncated_bytes, 0);
         assert_eq!(store.replay(0).unwrap().len(), 12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Replaces `path` with an empty directory of the same name, so
+    /// `remove_file` fails (EISDIR) even when the test runs as root —
+    /// read-only directory permissions would not stop root.
+    fn obstruct(path: &Path) {
+        std::fs::remove_file(path).unwrap();
+        std::fs::create_dir(path).unwrap();
+    }
+
+    /// A store with pending sweep work: snapshots at 0, 12 and 21 over
+    /// epochs 1..=21, where the sweep must prune snapshot 0 and remove
+    /// the segments covered by snapshot 12.
+    fn store_with_pending_sweep(tag: &str) -> (PathBuf, Store) {
+        let dir = temp_dir(tag);
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        store.install_snapshot(0, b"genesis").unwrap();
+        for epoch in 1..=21 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        store.install_snapshot(12, b"state at twelve").unwrap();
+        store.install_snapshot(21, b"state at twenty-one").unwrap();
+        let plan = store.sweep_plan();
+        assert_eq!(plan.prune_snapshots, vec![0]);
+        assert!(
+            plan.remove_segments.len() >= 2,
+            "need several covered segments"
+        );
+        assert_eq!(plan.covered_epoch, Some(12));
+        (dir, store)
+    }
+
+    #[test]
+    fn failed_compaction_keeps_the_manifest_consistent() {
+        let (dir, mut store) = store_with_pending_sweep("sweep-fault");
+        // Obstruct the *second* covered segment so the failure strikes
+        // mid-loop, after the first removal already succeeded.
+        let blocked = store.sweep_plan().remove_segments[1].clone();
+        obstruct(&blocked);
+        let err = store.sweep(usize::MAX).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err:?}");
+        // The prune and the first segment removal committed; the blocked
+        // segment stays in the manifest — nothing was silently dropped.
+        assert_eq!(store.snapshot_epochs(), &[12, 21]);
+        assert!(store.segment_paths().contains(&blocked));
+        // The store stays usable: appends and covered replay still work.
+        store.append(22, &payload(22)).unwrap();
+        let suffix = store.replay(12).unwrap();
+        assert_eq!(suffix.first().map(|(e, _)| *e), Some(13));
+        assert_eq!(suffix.last().map(|(e, _)| *e), Some(22));
+        // Clearing the obstruction leaves the file gone; the next sweep
+        // treats it as already removed and completes.
+        std::fs::remove_dir(&blocked).unwrap();
+        let outcome = store.sweep(usize::MAX).unwrap();
+        assert_eq!(outcome.remaining, 0);
+        assert!(!store.segment_paths().contains(&blocked));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_deleted_segment_does_not_fail_the_sweep() {
+        let (dir, mut store) = store_with_pending_sweep("sweep-predel");
+        let gone = store.sweep_plan().remove_segments[0].clone();
+        std::fs::remove_file(&gone).unwrap();
+        let outcome = store.sweep(usize::MAX).unwrap();
+        assert_eq!(outcome.remaining, 0);
+        assert!(!store.segment_paths().contains(&gone));
+        store.append(22, &payload(22)).unwrap();
+        assert_eq!(store.replay(12).unwrap().len(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_snapshot_prune_leaves_memory_matching_disk() {
+        let (dir, mut store) = store_with_pending_sweep("prune-fault");
+        let snap0 = dir.join(snapshot_file_name(0));
+        obstruct(&snap0);
+        store.sweep(usize::MAX).unwrap_err();
+        // The prune failed before anything else ran: the manifest still
+        // lists all three snapshots, matching the directory.
+        assert_eq!(store.snapshot_epochs(), &[0, 12, 21]);
+        // A subsequent install still succeeds on the consistent store...
+        store.append(22, &payload(22)).unwrap();
+        store.install_snapshot(22, b"state at twenty-two").unwrap();
+        assert_eq!(store.snapshot_epochs(), &[0, 12, 21, 22]);
+        // ...and once the obstruction clears, sweep and reopen recover.
+        std::fs::remove_dir(&snap0).unwrap();
+        let outcome = store.sweep(usize::MAX).unwrap();
+        assert_eq!(outcome.remaining, 0);
+        assert_eq!(store.snapshot_epochs(), &[21, 22]);
+        drop(store);
+        let (store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.pending_sweep_removals, 0);
+        assert_eq!(store.snapshot_epochs(), &[21, 22]);
+        assert_eq!(store.read_snapshot(21).unwrap(), b"state at twenty-one");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_at_any_sweep_step_leaves_a_recoverable_store() {
+        // Execute the sweep one removal at a time; after each step the
+        // on-disk file set is exactly what a kill at that point leaves.
+        // Reopen a copy and prove the store recovers and the retained
+        // snapshots plus WAL suffix survive.
+        let (dir, mut store) = store_with_pending_sweep("sweep-kill");
+        let total = store.sweep_plan().removals();
+        assert!(total >= 3);
+        for step in 0..=total {
+            // Snapshot the directory as a reopen target.
+            let copy = temp_dir(&format!("sweep-kill-copy-{step}"));
+            std::fs::create_dir_all(&copy).unwrap();
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let entry = entry.unwrap();
+                std::fs::copy(entry.path(), copy.join(entry.file_name())).unwrap();
+            }
+            let (reopened, report) = Store::open(&copy, test_config()).unwrap();
+            assert_eq!(report.pending_sweep_removals, total - step, "step {step}");
+            // Retained snapshots are intact and the WAL replays from the
+            // oldest retained snapshot to the tip.
+            assert!(
+                reopened.snapshot_epochs().ends_with(&[12, 21]),
+                "step {step}"
+            );
+            assert_eq!(reopened.read_snapshot(12).unwrap(), b"state at twelve");
+            assert_eq!(reopened.read_snapshot(21).unwrap(), b"state at twenty-one");
+            let suffix = reopened.replay(12).unwrap();
+            assert_eq!(suffix.first().map(|(e, _)| *e), Some(13), "step {step}");
+            assert_eq!(suffix.last().map(|(e, _)| *e), Some(21), "step {step}");
+            drop(reopened);
+            std::fs::remove_dir_all(&copy).unwrap();
+            if step < total {
+                let outcome = store.sweep(1).unwrap();
+                assert_eq!(outcome.removed(), 1);
+                assert_eq!(outcome.remaining, total - step - 1);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_snapshots_install_resolve_and_retain_their_bases() {
+        let dir = temp_dir("delta");
+        let (mut store, _) = Store::open(&dir, test_config()).unwrap();
+        store.install_snapshot(0, b"full at zero").unwrap();
+        for epoch in 1..=10 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        // A delta against a base no snapshot captures is refused.
+        assert!(matches!(
+            store.install_delta_snapshot(6, 3, b"delta 3->6"),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        store.install_delta_snapshot(6, 0, b"delta 0->6").unwrap();
+        store.install_delta_snapshot(10, 6, b"delta 6->10").unwrap();
+        assert_eq!(store.snapshot_epochs(), &[0, 6, 10]);
+        assert_eq!(store.read_snapshot(6).unwrap(), b"delta 0->6");
+        // keep_snapshots is 2, but the retained deltas chain back to the
+        // full snapshot at 0: everything is a root, nothing is deletable,
+        // and compaction cannot pass epoch 0.
+        let plan = store.sweep_plan();
+        assert!(plan.is_empty(), "{plan:?}");
+        assert_eq!(plan.covered_epoch, Some(0));
+        // Reopen: the delta file names restore the base relationships.
+        drop(store);
+        let (mut store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.snapshots, 3);
+        assert_eq!(
+            store.snapshot_metas(),
+            &[
+                SnapshotMeta::full(0),
+                SnapshotMeta::delta(6, 0),
+                SnapshotMeta::delta(10, 6),
+            ]
+        );
+        // Two newer full snapshots age the whole chain out of retention.
+        store.append(11, &payload(11)).unwrap();
+        store.install_snapshot(11, b"full at eleven").unwrap();
+        store.append(12, &payload(12)).unwrap();
+        store.install_snapshot(12, b"full at twelve").unwrap();
+        let plan = store.sweep_plan();
+        // Newest first: deltas fall before the bases they build on.
+        assert_eq!(plan.prune_snapshots, vec![10, 6, 0]);
+        assert_eq!(plan.covered_epoch, Some(11));
+        let outcome = store.sweep(usize::MAX).unwrap();
+        assert_eq!(outcome.pruned_snapshots, 3);
+        assert_eq!(outcome.remaining, 0);
+        assert_eq!(store.snapshot_epochs(), &[11, 12]);
+        assert!(store.read_snapshot(6).is_err(), "pruned delta is gone");
+        assert_eq!(store.replay(11).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_name_parsers_distinguish_full_and_delta() {
+        assert_eq!(
+            delta_snapshot_file_name(42, 7),
+            "snap-00000000000000000042-from-00000000000000000007.snap"
+        );
+        assert_eq!(
+            parse_delta_snapshot_name("snap-00000000000000000042-from-00000000000000000007.snap"),
+            Some((42, 7))
+        );
+        // A v1 reader's parser never matches a delta name, and the delta
+        // parser never matches a full name.
+        assert_eq!(
+            parse_snapshot_name("snap-00000000000000000042-from-00000000000000000007.snap"),
+            None
+        );
+        assert_eq!(parse_delta_snapshot_name(&snapshot_file_name(42)), None);
+        assert_eq!(parse_delta_snapshot_name("snap-42-from-7.snap"), None);
+        // A delta whose base is not older than itself is corruption.
+        let dir = temp_dir("delta-bad-name");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(delta_snapshot_file_name(5, 9)), b"x").unwrap();
+        assert!(matches!(
+            Store::open(&dir, test_config()),
+            Err(StoreError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,111 @@
+//! Deferred pruning and compaction: the sweep plan and its outcome.
+//!
+//! [`Store::install_snapshot`] used to prune old snapshots and delete
+//! covered WAL segments inline, which put filesystem removals on the
+//! write path and — worse — mutated the in-memory manifest *before* the
+//! corresponding removals succeeded, so an I/O error mid-loop desynced
+//! memory from disk. This module carries the types of the replacement
+//! discipline:
+//!
+//! * [`SnapshotMeta`] describes one snapshot on disk, including the base
+//!   epoch of a delta document, so retention can follow delta chains.
+//! * [`SweepPlan`] is what [`Store::sweep_plan`] computes: everything a
+//!   sweep *would* delete, derived purely from the current manifest.
+//!   Nothing about the plan is persisted — after a crash the next open
+//!   recomputes an equivalent plan from whatever files remain, which is
+//!   what makes a kill at any point during a sweep safe.
+//! * [`SweepOutcome`] reports what one [`Store::sweep`] call actually
+//!   deleted and how much deletable work remains.
+//!
+//! [`Store::sweep`] executes a plan incrementally (a removal budget per
+//! call) and error-safely: each filesystem removal happens *first*, and
+//! the matching manifest entry is dropped only after it succeeds, so an
+//! error leaves memory and disk in agreement and the next sweep simply
+//! resumes.
+//!
+//! [`Store::install_snapshot`]: crate::Store::install_snapshot
+//! [`Store::sweep_plan`]: crate::Store::sweep_plan
+//! [`Store::sweep`]: crate::Store::sweep
+
+use std::path::PathBuf;
+
+/// One snapshot on disk: the epoch it captures and, for a delta
+/// document, the epoch of the snapshot it builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Epoch of the state the snapshot captures.
+    pub epoch: u64,
+    /// For a delta snapshot, the epoch of the snapshot the document
+    /// builds on; `None` for a full (self-contained) snapshot.
+    pub base: Option<u64>,
+}
+
+impl SnapshotMeta {
+    /// A full (self-contained) snapshot at `epoch`.
+    pub fn full(epoch: u64) -> SnapshotMeta {
+        SnapshotMeta { epoch, base: None }
+    }
+
+    /// A delta snapshot at `epoch` building on the snapshot at `base`.
+    pub fn delta(epoch: u64, base: u64) -> SnapshotMeta {
+        SnapshotMeta {
+            epoch,
+            base: Some(base),
+        }
+    }
+}
+
+/// Everything a sweep would delete, computed from the current manifest:
+/// snapshots outside the retention set (newest first), then WAL segments
+/// wholly covered by the oldest *retained* snapshot (oldest first).
+///
+/// The ordering is the crash-safety argument: snapshots are pruned
+/// before segments, pruning runs newest-first so a delta is always
+/// deleted before the base it builds on, and segment removal runs
+/// oldest-first — so after any prefix of the plan the surviving files
+/// still include every retained snapshot (with its full delta chain) and
+/// an unbroken WAL suffix from the oldest retained snapshot to the tip.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SweepPlan {
+    /// Epochs of snapshots to prune, newest first (a delta always falls
+    /// before the base it builds on).
+    pub prune_snapshots: Vec<u64>,
+    /// Paths of WAL segments wholly covered by `covered_epoch`, oldest
+    /// first.
+    pub remove_segments: Vec<PathBuf>,
+    /// Epoch of the oldest retained snapshot — segments whose records
+    /// all fall at or below it are deletable. `None` when the store has
+    /// no snapshots.
+    pub covered_epoch: Option<u64>,
+}
+
+impl SweepPlan {
+    /// True when the plan deletes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.prune_snapshots.is_empty() && self.remove_segments.is_empty()
+    }
+
+    /// Total removals the plan calls for.
+    pub fn removals(&self) -> usize {
+        self.prune_snapshots.len() + self.remove_segments.len()
+    }
+}
+
+/// What one [`Store::sweep`](crate::Store::sweep) call deleted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepOutcome {
+    /// Snapshot files pruned by this call.
+    pub pruned_snapshots: usize,
+    /// WAL segment files removed by this call.
+    pub removed_segments: usize,
+    /// Removals still pending after this call (0 when the store is fully
+    /// swept; nonzero when the budget ran out first).
+    pub remaining: usize,
+}
+
+impl SweepOutcome {
+    /// Files deleted by this call.
+    pub fn removed(&self) -> usize {
+        self.pruned_snapshots + self.removed_segments
+    }
+}
