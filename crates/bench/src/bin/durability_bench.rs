@@ -9,6 +9,9 @@
 //! durability_bench --dir <store> --transcript <file>     # run (or resume) and write transcript
 //! durability_bench --dir <store> --crash-at <k>          # run and crash mid-stream (exit 3)
 //! durability_bench --dir <store> --crash-sweep <budget>  # run, kill mid-sweep (exit 3)
+//! durability_bench --dir <store> --fault-at <k> [--fault-kind <name>]
+//!                                                        # client 0 runs on a FaultFs armed at
+//!                                                        # op k; exit 3 when the fault surfaces
 //! ```
 //!
 //! The default mode records, into the `nemo-perf-report/v1` schema:
@@ -39,12 +42,22 @@
 //! uninterrupted one at `NEMO_THREADS=1` and `4`. `--crash-sweep` applies
 //! the stream, syncs, then dies partway through a budgeted sweep — the
 //! next `--transcript` run must resume to the uninterrupted transcript.
+//!
+//! `--fault-at` is the fault-injection variant of `--crash-at`: client 0
+//! runs its whole stream on a `nemo_store::FaultFs` with a single-shot
+//! fault (`--fault-kind`, default `fsync`) armed at operation index `k`.
+//! A retryable fault is absorbed by the serving layer's bounded retry
+//! (exit 0, transcript identical to an unfaulted run); a surfaced fault
+//! exits 3 with the typed error on stderr and the stores left on disk —
+//! the next `--transcript` run must resume to the canonical transcript,
+//! which is the acked-implies-durable proof CI's `fault-smoke` job `cmp`s.
 
 use nemo_bench::perf::{self, Measurement};
 use nemo_bench::pool;
 use nemo_serve::durability::{self, DurabilityConfig};
 use nemo_serve::persist::{FsyncPolicy, PersistOptions, Persistence};
 use nemo_serve::LiveNetwork;
+use nemo_store::FaultKind;
 use netgraph::json::JsonValue;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -57,7 +70,8 @@ fn usage() -> ExitCode {
          \u{20}      durability_bench --sweep [--pr <tag>] [--out <file>]\n\
          \u{20}      durability_bench --dir <store> --transcript <file>\n\
          \u{20}      durability_bench --dir <store> --crash-at <epoch>\n\
-         \u{20}      durability_bench --dir <store> --crash-sweep <budget>"
+         \u{20}      durability_bench --dir <store> --crash-sweep <budget>\n\
+         \u{20}      durability_bench --dir <store> --fault-at <op> [--fault-kind <name>]"
     );
     ExitCode::FAILURE
 }
@@ -90,6 +104,7 @@ fn bench_options(fsync: FsyncPolicy) -> PersistOptions {
         snapshot_every_bytes: 256 << 10,
         snapshot_every_epochs: 1024,
         keep_snapshots: 2,
+        ..PersistOptions::default()
     }
 }
 
@@ -412,6 +427,7 @@ fn sweep_bench_options() -> PersistOptions {
         snapshot_every_bytes: 0,
         snapshot_every_epochs: 0,
         keep_snapshots: 2,
+        ..PersistOptions::default()
     }
 }
 
@@ -601,6 +617,46 @@ fn run_sweep_report(pr: &str, out: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the durability workload with client 0 on a [`FaultFs`] armed at
+/// `fault_at`. Exit 0 = the fault was absorbed (or never fired) and the
+/// transcript is canonical; exit 3 = the fault surfaced loudly and the
+/// stores were left on disk for the resume proof.
+///
+/// [`FaultFs`]: nemo_store::FaultFs
+fn run_fault_mode(dir: &Path, fault_at: u64, kind: FaultKind) -> ExitCode {
+    let config = DurabilityConfig::from_env();
+    let threads = pool::thread_count();
+    eprintln!(
+        "[durability] {} clients x {} events on {} worker thread(s), \
+         {} fault armed at op {fault_at} for client 0",
+        config.clients,
+        config.events,
+        threads,
+        kind.name(),
+    );
+    match durability::run_fault(&config, dir, threads, fault_at, kind) {
+        Ok((lines, true)) => {
+            for line in lines.iter().filter(|l| l.contains("fault:")) {
+                eprintln!("[durability] {line}");
+            }
+            eprintln!("[durability] fault surfaced as a typed error (stores left on disk)");
+            ExitCode::from(3)
+        }
+        Ok((lines, false)) => {
+            eprintln!(
+                "[durability] fault at op {fault_at} absorbed or never fired; \
+                 run completed ({} transcript lines)",
+                lines.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("durability_bench: fault driver failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_crash_sweep(dir: &Path, budget: usize) -> ExitCode {
     let config = DurabilityConfig::from_env();
     let threads = pool::thread_count();
@@ -629,11 +685,14 @@ fn main() -> ExitCode {
     let mut transcript: Option<String> = None;
     let mut crash_at: Option<u64> = None;
     let mut crash_sweep: Option<usize> = None;
+    let mut fault_at: Option<u64> = None;
+    let mut fault_kind = "fsync".to_string();
     let mut sweep = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--pr" | "--out" | "--dir" | "--transcript" | "--crash-at" | "--crash-sweep"
+            | "--fault-at" | "--fault-kind"
                 if i + 1 >= args.len() =>
             {
                 return usage()
@@ -668,12 +727,38 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--fault-at" => {
+                match args[i + 1].parse() {
+                    Ok(k) => fault_at = Some(k),
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            "--fault-kind" => {
+                fault_kind = args[i + 1].clone();
+                i += 2;
+            }
             "--sweep" => {
                 sweep = true;
                 i += 1;
             }
             _ => return usage(),
         }
+    }
+    if let Some(k) = fault_at {
+        let (Some(dir), None, None, None, false) =
+            (&dir, &transcript, crash_at, crash_sweep, sweep)
+        else {
+            return usage();
+        };
+        let Some(kind) = FaultKind::parse(&fault_kind) else {
+            eprintln!(
+                "durability_bench: unknown --fault-kind {fault_kind} (expected one of: {})",
+                FaultKind::ALL.map(|k| k.name()).join(", ")
+            );
+            return usage();
+        };
+        return run_fault_mode(Path::new(dir), k, kind);
     }
     match (dir, transcript, crash_at, crash_sweep, sweep) {
         (Some(dir), Some(path), None, None, false) => run_transcript(Path::new(&dir), &path, None),

@@ -1,0 +1,466 @@
+//! Fault-injection benchmark: what the PR 8 `Vfs` seam costs on the hot
+//! append path, and what degraded read-only mode preserves when the write
+//! path is poisoned.
+//!
+//! Usage:
+//!
+//! ```text
+//! fault_bench [--pr pr8] [--out BENCH_pr8.json]
+//! ```
+//!
+//! Records, into the `nemo-perf-report/v1` schema:
+//!
+//! * `vfs_logged_append_mps` — appends per second, no fsync: `before` is
+//!   the raw-filesystem floor (the same framed bytes written straight to
+//!   one file with `std::fs`), `after` is the full `Store::append` path
+//!   through the `Arc<dyn Vfs>` indirection (`RealFs`) — checksumming,
+//!   rotation bookkeeping and the dynamic dispatch included. The ratio is
+//!   the whole durability layer's overhead; the seam itself must not move
+//!   it measurably from pre-Vfs PRs.
+//! * `group_commit_append_ms` — amortized wall milliseconds per
+//!   acked-durable append at 8 concurrent appenders, `before` a
+//!   mutex-serialized store with `fsync: EveryRecord`, `after` the
+//!   [`GroupCommitter`] — the same comparison `BENCH_pr6.json` records,
+//!   now with every filesystem call routed through the `Vfs` seam.
+//! * `degraded_read_qps` — cached-query answering throughput of a
+//!   persistent server, `before` healthy, `after` with its write path
+//!   poisoned by an injected commit-fsync failure (degraded read-only
+//!   mode). Reads must stay available: the ratio is the availability
+//!   cost of degradation, expected ~1.
+
+use nemo_bench::perf::{self, Measurement};
+use nemo_core::llm::profiles;
+use nemo_core::{Backend, SimulatedLlm};
+use nemo_serve::driver::{self, DriveConfig};
+use nemo_serve::persist::{FsyncPolicy, PersistOptions};
+use nemo_serve::{LiveNetwork, Server, ServerBuilder, Session};
+use nemo_store::{FaultFs, FaultKind, GroupCommitter, RealFs, Store, StoreConfig, Vfs};
+use netgraph::json::JsonValue;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use trafficgen::{evolve, generate, StreamConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fault_bench [--pr <tag>] [--out <file>]");
+    ExitCode::FAILURE
+}
+
+const APPENDERS: usize = 8;
+
+struct BenchSizes {
+    /// Appends in the single-threaded Vfs-overhead runs.
+    appends: usize,
+    /// Appends in the concurrent group-commit runs.
+    group_appends: usize,
+    /// Timed query rounds in the degraded-read runs.
+    query_rounds: usize,
+}
+
+impl BenchSizes {
+    fn from_env() -> Self {
+        if std::env::var("NEMO_SMALL").is_ok() {
+            BenchSizes {
+                appends: 2_000,
+                group_appends: 400,
+                query_rounds: 3,
+            }
+        } else {
+            BenchSizes {
+                appends: 20_000,
+                group_appends: 4_000,
+                query_rounds: 6,
+            }
+        }
+    }
+}
+
+fn store_config(fsync: FsyncPolicy) -> StoreConfig {
+    StoreConfig {
+        magic: "nemo-fault-bench/v1".to_string(),
+        fsync,
+        segment_max_bytes: 256 << 10,
+        snapshot_every_bytes: 0,
+        snapshot_every_epochs: 0,
+        keep_snapshots: 1,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nemo-fault-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A WAL-record-sized payload, distinct per epoch.
+fn payload(epoch: u64) -> Vec<u8> {
+    format!(
+        "{{\"schema\":\"nemo-fault-bench/v1\",\"epoch\":{epoch},\"mutation\":\
+         \"set-flow 10.0.0.1->10.0.0.2 bytes={}\"}}",
+        epoch * 131
+    )
+    .into_bytes()
+}
+
+/// `before`: the raw-filesystem floor — the same length-prefixed frames
+/// appended to one plain file, no checksums, no rotation, no dispatch.
+fn raw_append_mps(appends: usize) -> f64 {
+    let dir = scratch_dir("raw");
+    std::fs::create_dir_all(&dir).expect("create raw bench dir");
+    let mut file = std::fs::File::create(dir.join("floor.log")).expect("create raw bench file");
+    let start = Instant::now();
+    for epoch in 1..=appends as u64 {
+        let payload = payload(epoch);
+        file.write_all(&(payload.len() as u32).to_le_bytes())
+            .and_then(|()| file.write_all(&payload))
+            .expect("raw append succeeds");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(file);
+    let _ = std::fs::remove_dir_all(&dir);
+    appends as f64 / elapsed
+}
+
+/// `after`: the same appends through `Store::append` with every
+/// filesystem call behind `Arc<dyn Vfs>` (`RealFs`).
+fn vfs_append_mps(appends: usize) -> f64 {
+    let dir = scratch_dir("vfs");
+    let (mut store, _) = Store::open_with(
+        &dir,
+        store_config(FsyncPolicy::Never),
+        Arc::new(RealFs) as Arc<dyn Vfs>,
+    )
+    .expect("fresh vfs bench store");
+    let start = Instant::now();
+    for epoch in 1..=appends as u64 {
+        store
+            .append(epoch, &payload(epoch))
+            .expect("vfs append succeeds");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    appends as f64 / elapsed
+}
+
+/// `before` for group commit: appenders serialized on one mutex, the
+/// store fsyncing every record inside the lock — through the Vfs seam.
+fn mutex_every_record_mps(appends: usize) -> f64 {
+    let dir = scratch_dir("mutex");
+    let (store, _) = Store::open_with(
+        &dir,
+        store_config(FsyncPolicy::EveryRecord),
+        Arc::new(RealFs) as Arc<dyn Vfs>,
+    )
+    .expect("fresh bench store");
+    let store = Mutex::new(store);
+    let issued = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..APPENDERS {
+            scope.spawn(|| loop {
+                let n = issued.fetch_add(1, Ordering::SeqCst);
+                if n >= appends as u64 {
+                    return;
+                }
+                let mut store = store.lock().expect("bench store lock");
+                let epoch = store.last_epoch().map_or(1, |last| last + 1);
+                store
+                    .append(epoch, &payload(epoch))
+                    .expect("bench append succeeds");
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    appends as f64 / elapsed
+}
+
+/// `after` for group commit: the same concurrency through the
+/// [`GroupCommitter`], still through the Vfs seam.
+fn group_commit_mps(appends: usize) -> f64 {
+    let dir = scratch_dir("group");
+    let (store, _) = Store::open_with(
+        &dir,
+        store_config(FsyncPolicy::GroupCommit {
+            max_batch: 64,
+            max_wait_micros: 100,
+        }),
+        Arc::new(RealFs) as Arc<dyn Vfs>,
+    )
+    .expect("fresh bench store");
+    let committer = GroupCommitter::new(store).expect("group-commit policy");
+    let issued = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..APPENDERS {
+            scope.spawn(|| loop {
+                let n = issued.fetch_add(1, Ordering::SeqCst);
+                if n >= appends as u64 {
+                    return;
+                }
+                let epoch = committer.append(&payload(n + 1)).expect("acked append");
+                assert!(
+                    committer.last_synced() >= epoch,
+                    "append acked before its epoch was durable"
+                );
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    appends as f64 / elapsed
+}
+
+/// Builds a persistent single-shard server over `vfs` and applies the
+/// stream's first event (so both the healthy and the degraded server
+/// answer at epoch 1).
+fn persistent_server(
+    config: &DriveConfig,
+    vfs: Arc<dyn Vfs>,
+    root: &std::path::Path,
+) -> Server<SimulatedLlm> {
+    let workload = generate(&config.traffic);
+    let live = LiveNetwork::from_workload(&workload);
+    let sessions = Backend::CODEGEN
+        .iter()
+        .enumerate()
+        .map(|(i, &backend)| Session {
+            client: i,
+            backend,
+            llm: SimulatedLlm::new(
+                profiles::gpt4(),
+                driver::serving_knowledge(),
+                config.seed ^ i as u64,
+            ),
+        })
+        .collect();
+    let mut server = ServerBuilder::new()
+        .options(PersistOptions {
+            fsync: FsyncPolicy::EveryRecord,
+            ..PersistOptions::default()
+        })
+        .vfs(vfs)
+        .persist_at(root)
+        .build(live, sessions)
+        .expect("fresh persistent build");
+    let workload = generate(&config.traffic);
+    let stream = evolve(
+        &workload,
+        &StreamConfig {
+            events: 2,
+            seed: config.seed,
+        },
+    );
+    server
+        .apply_mutation(&stream[0])
+        .expect("first mutation applies");
+    server
+}
+
+/// One warmed, timed query sweep: every session answers every query.
+fn query_round(server: &mut Server<SimulatedLlm>, queries: &[String]) -> Vec<f64> {
+    let mut samples = Vec::with_capacity(queries.len() * Backend::CODEGEN.len());
+    for client in 0..Backend::CODEGEN.len() {
+        for query in queries {
+            samples.push(server.handle_query(client, query).latency_ms);
+        }
+    }
+    samples
+}
+
+fn qps(samples: &[f64]) -> f64 {
+    let total_ms: f64 = samples.iter().sum();
+    if total_ms <= 0.0 {
+        0.0
+    } else {
+        samples.len() as f64 * 1e3 / total_ms
+    }
+}
+
+/// Measures cached-read throughput of a healthy server and of the same
+/// server with its write path poisoned mid-stream (degraded mode).
+/// Returns `(healthy_qps, degraded_qps)`.
+fn degraded_read_qps(rounds: usize) -> (f64, f64) {
+    let config = DriveConfig::from_env();
+    let queries: Vec<String> = nemo_bench::traffic_queries()
+        .into_iter()
+        .take(8)
+        .map(|spec| spec.text.to_string())
+        .collect();
+    let workload = generate(&config.traffic);
+    let stream = evolve(
+        &workload,
+        &StreamConfig {
+            events: 2,
+            seed: config.seed,
+        },
+    );
+
+    // Healthy baseline.
+    let dir = scratch_dir("healthy");
+    let mut healthy = persistent_server(&config, Arc::new(RealFs), &dir);
+    let _ = query_round(&mut healthy, &queries); // warm the caches
+    let mut samples = Vec::new();
+    for _ in 0..rounds {
+        samples.extend(query_round(&mut healthy, &queries));
+    }
+    let healthy_qps = qps(&samples);
+    drop(healthy);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Calibrate the op index of the second record's commit fsync, then
+    // rerun with that fsync failing: the store poisons, the server enters
+    // degraded read-only mode, and the query loop keeps running.
+    let dir = scratch_dir("degraded-calibrate");
+    let calibrate = Arc::new(FaultFs::new(FaultKind::FailedFsync, u64::MAX));
+    let server = persistent_server(&config, calibrate.clone(), &dir);
+    let cut = calibrate.ops();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dir = scratch_dir("degraded");
+    let fault = Arc::new(FaultFs::new(FaultKind::FailedFsync, cut));
+    let mut degraded = persistent_server(&config, fault.clone(), &dir);
+    degraded
+        .apply_mutation(&stream[1])
+        .expect_err("the armed commit fsync must fail");
+    assert!(
+        degraded.degraded().is_some(),
+        "poisoned write path must flip the server into degraded mode \
+         (injected: {:?})",
+        fault.injection()
+    );
+    let _ = query_round(&mut degraded, &queries); // warm the caches
+    let mut samples = Vec::new();
+    for _ in 0..rounds {
+        samples.extend(query_round(&mut degraded, &queries));
+    }
+    let degraded_qps = qps(&samples);
+    drop(degraded);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    (healthy_qps, degraded_qps)
+}
+
+/// Patches the auto-filled `ms` unit on non-latency entries.
+fn set_unit(report: &mut JsonValue, name: &str, unit: &str) {
+    if let JsonValue::Object(root) = report {
+        if let Some(JsonValue::Array(entries)) = root.get_mut("entries") {
+            for entry in entries {
+                if let JsonValue::Object(obj) = entry {
+                    if obj.get("name") == Some(&JsonValue::String(name.to_string())) {
+                        obj.insert("unit".to_string(), JsonValue::String(unit.to_string()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_report(pr: &str, out: &str) -> ExitCode {
+    let sizes = BenchSizes::from_env();
+
+    eprintln!(
+        "[fault] vfs overhead: {} appends, fsync never...",
+        sizes.appends
+    );
+    let raw_mps = raw_append_mps(sizes.appends);
+    let vfs_mps = vfs_append_mps(sizes.appends);
+    println!("append raw std::fs floor:     {raw_mps:>11.1} appends/s");
+    println!("append Store via dyn Vfs:     {vfs_mps:>11.1} appends/s");
+
+    eprintln!(
+        "[fault] group commit through the seam: {} appends x {APPENDERS} appenders...",
+        sizes.group_appends
+    );
+    let mutex_mps = mutex_every_record_mps(sizes.group_appends);
+    let group_mps = group_commit_mps(sizes.group_appends);
+    println!("append fsync=record (mutex):  {mutex_mps:>11.1} appends/s");
+    println!("append group commit:          {group_mps:>11.1} appends/s");
+
+    eprintln!("[fault] degraded-mode read availability...");
+    let (healthy_qps, degraded_qps) = degraded_read_qps(sizes.query_rounds);
+    println!("cached reads, healthy:        {healthy_qps:>11.1} q/s");
+    println!("cached reads, degraded:       {degraded_qps:>11.1} q/s");
+
+    // Latency entry gets a before/after pair (speedup = before/after is
+    // meaningful for ms); throughput entries are after-only with their
+    // baselines as sibling entries, the BENCH_pr6.json idiom — a
+    // before/after speedup on a higher-is-better unit would read inverted.
+    let before = [Measurement {
+        name: "group_commit_append_ms".to_string(),
+        samples: vec![1e3 / mutex_mps],
+    }];
+    let after = [
+        Measurement {
+            name: "group_commit_append_ms".to_string(),
+            samples: vec![1e3 / group_mps],
+        },
+        Measurement {
+            name: "raw_fs_append_floor_mps".to_string(),
+            samples: vec![raw_mps],
+        },
+        Measurement {
+            name: "vfs_logged_append_mps".to_string(),
+            samples: vec![vfs_mps],
+        },
+        Measurement {
+            name: "healthy_read_qps".to_string(),
+            samples: vec![healthy_qps],
+        },
+        Measurement {
+            name: "degraded_read_qps".to_string(),
+            samples: vec![degraded_qps],
+        },
+    ];
+
+    let existing = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok());
+    let report = perf::merge_report(existing.as_ref(), pr, "before", &before);
+    let mut report = perf::merge_report(Some(&report), pr, "after", &after);
+    set_unit(&mut report, "raw_fs_append_floor_mps", "mps");
+    set_unit(&mut report, "vfs_logged_append_mps", "mps");
+    set_unit(&mut report, "healthy_read_qps", "qps");
+    set_unit(&mut report, "degraded_read_qps", "qps");
+    let problems = perf::validate_report(&report);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("fault_bench: generated report invalid: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out, report.to_json() + "\n") {
+        eprintln!("fault_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pr = "pr8".to_string();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pr" | "--out" if i + 1 >= args.len() => return usage(),
+            "--pr" => {
+                pr = args[i + 1].clone();
+                i += 2;
+            }
+            "--out" => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    let out = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
+    run_report(&pr, &out)
+}

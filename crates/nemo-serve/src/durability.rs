@@ -34,7 +34,9 @@ use crate::snapshot::write_snapshot;
 use nemo_bench::{pool, traffic_queries};
 use nemo_core::llm::{hash_parts, profiles, SimulatedLlm};
 use nemo_core::Backend;
+use nemo_store::{FaultFs, FaultKind};
 use std::path::Path;
+use std::sync::Arc;
 use trafficgen::{evolve, generate, StreamConfig, TimedEvent, TrafficConfig};
 
 /// Sizing of one durability run.
@@ -64,6 +66,7 @@ impl DurabilityConfig {
             snapshot_every_bytes: 0,
             snapshot_every_epochs: 8,
             keep_snapshots: 2,
+            ..PersistOptions::default()
         }
     }
 
@@ -250,6 +253,58 @@ pub fn run(
         );
     }
     Ok((lines, crashed))
+}
+
+/// [`run`] with a deterministic fault injected into **client 0's**
+/// filesystem: every other client runs on the real filesystem, client 0
+/// runs on a [`FaultFs`] that fails its `fault_at`-th applicable
+/// filesystem operation with `kind`.
+///
+/// Three outcomes, mirroring the error-anywhere contract:
+///
+/// * the fault was *absorbed* — a rolled-back write fault the
+///   persistence layer's budgeted retry recovered — and the combined
+///   transcript is byte-identical to an unfaulted run (`faulted` is
+///   `false`);
+/// * the fault *surfaced* as a typed storage error from client 0
+///   (`faulted` is `true`; the error is rendered into the transcript and
+///   client 0's run stops there, mimicking a process that aborts on an
+///   unrecoverable disk). A subsequent [`run`] over the same directories
+///   recovers client 0 from its durable prefix and must reproduce the
+///   uninterrupted transcript byte for byte — the fault-injection twin
+///   of the crash/resume proof;
+/// * any *other* client fails: that is a real bug and the error
+///   propagates.
+pub fn run_fault(
+    config: &DurabilityConfig,
+    base_dir: &Path,
+    threads: usize,
+    fault_at: u64,
+    kind: FaultKind,
+) -> Result<(Vec<String>, bool), ServeError> {
+    let mut faulty = config.clone();
+    faulty.options.vfs = Arc::new(FaultFs::new(kind, fault_at));
+    let runs = pool::run_indexed(config.clients, threads, |client| {
+        let cfg = if client == 0 { &faulty } else { config };
+        run_client(cfg, base_dir, client, None)
+    });
+    let mut lines = Vec::new();
+    let mut faulted = false;
+    for (client, run) in runs.into_iter().enumerate() {
+        match run {
+            Ok(run) => lines.extend(
+                run.lines
+                    .into_iter()
+                    .map(|line| format!("c{client}| {line}")),
+            ),
+            Err(e) if client == 0 => {
+                faulted = true;
+                lines.push(format!("c0| fault: {e}"));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((lines, faulted))
 }
 
 /// Applies every client's full stream, fsyncs, then executes only

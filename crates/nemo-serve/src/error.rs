@@ -28,6 +28,17 @@ pub enum ServeError {
         /// The underlying storage error, unchanged.
         source: nemo_store::StoreError,
     },
+    /// The server is in degraded read-only mode: a shard's write path is
+    /// poisoned (an unrecoverable storage fault — see
+    /// [`nemo_store::StoreError::Poisoned`]), so mutations are rejected
+    /// while queries keep answering at the last durable epoch.
+    Degraded {
+        /// Index of the poisoned shard, when the server is sharded.
+        shard: Option<u32>,
+        /// Global epoch through which state is known durable; queries keep
+        /// answering at this epoch.
+        last_durable_epoch: u64,
+    },
 }
 
 impl ServeError {
@@ -51,7 +62,25 @@ impl ServeError {
                 source,
             },
             ServeError::Corrupt(msg) => ServeError::Corrupt(format!("shard {shard}: {msg}")),
+            ServeError::Degraded {
+                shard: old_shard,
+                last_durable_epoch,
+            } => ServeError::Degraded {
+                shard: old_shard.or(Some(shard)),
+                last_durable_epoch,
+            },
             other => other,
+        }
+    }
+
+    /// Whether retrying the same operation can legitimately succeed —
+    /// the serving-layer view of [`nemo_store::StoreError::retryable`].
+    /// Only transient storage I/O qualifies; conflicts, corruption,
+    /// poisoning and degraded mode are states, not transients.
+    pub fn retryable(&self) -> bool {
+        match self {
+            ServeError::Store { source, .. } => source.retryable(),
+            _ => false,
         }
     }
 }
@@ -75,6 +104,22 @@ impl fmt::Display for ServeError {
                     write!(f, " (epoch {epoch})")?;
                 }
                 write!(f, ": {source}")
+            }
+            ServeError::Degraded {
+                shard,
+                last_durable_epoch,
+            } => {
+                write!(f, "degraded read-only mode")?;
+                if let Some(shard) = shard {
+                    write!(f, " (shard {shard} write path poisoned)")?;
+                } else {
+                    write!(f, " (write path poisoned)")?;
+                }
+                write!(
+                    f,
+                    ": mutations rejected, queries served at last durable epoch \
+                     {last_durable_epoch}"
+                )
             }
         }
     }
@@ -111,7 +156,11 @@ mod tests {
 
     #[test]
     fn store_errors_keep_shard_and_epoch_context() {
-        let source = StoreError::Io("fsync wal-0001.seg: disk gone".to_string());
+        let source = StoreError::Io {
+            op: "fsync".to_string(),
+            path: "wal-0001.seg".to_string(),
+            detail: "disk gone".to_string(),
+        };
         let err = ServeError::from(source.clone()).with_shard(2, Some(17));
         assert_eq!(
             err,
@@ -135,6 +184,42 @@ mod tests {
                 source,
             }
         );
+    }
+
+    #[test]
+    fn degraded_reports_shard_and_durable_epoch() {
+        let err = ServeError::Degraded {
+            shard: None,
+            last_durable_epoch: 41,
+        }
+        .with_shard(3, Some(99));
+        assert_eq!(
+            err,
+            ServeError::Degraded {
+                shard: Some(3),
+                last_durable_epoch: 41,
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "degraded read-only mode (shard 3 write path poisoned): mutations rejected, \
+             queries served at last durable epoch 41"
+        );
+        assert!(!err.retryable());
+        // Plain I/O wrapped as Store stays retryable through the wrapper;
+        // fsync-class does not.
+        let io = ServeError::from(StoreError::io_at(
+            "append",
+            std::path::Path::new("w.seg"),
+            std::io::Error::other("x"),
+        ));
+        assert!(io.retryable());
+        let fsync = ServeError::from(StoreError::io_at(
+            "fsync",
+            std::path::Path::new("w.seg"),
+            std::io::Error::other("x"),
+        ));
+        assert!(!fsync.retryable());
     }
 
     #[test]

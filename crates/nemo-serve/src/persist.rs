@@ -42,8 +42,9 @@ use crate::live::LiveNetwork;
 use crate::mutation::{Mutation, WalRecord};
 use crate::snapshot::{self, write_snapshot_with_frames, SnapshotDoc};
 use dataframe::csv::{to_csv, to_csv_rows};
-use nemo_store::{Store, StoreConfig, SweepOutcome};
+use nemo_store::{RealFs, Store, StoreConfig, SweepOutcome, Vfs};
 use std::path::Path;
+use std::sync::Arc;
 
 pub use nemo_store::FsyncPolicy;
 
@@ -57,6 +58,31 @@ pub const MAX_DELTA_CHAIN: usize = 3;
 /// falls back to a full snapshot (re-encoding the state is then cheaper
 /// than replaying the delta on every recovery).
 pub const MAX_DELTA_RECORDS: usize = 4096;
+
+/// Attempts beyond the first that a transient storage fault is retried
+/// before the error propagates.
+pub const STORAGE_RETRY_BUDGET: u32 = 3;
+
+/// Runs a storage operation, retrying [retryable](ServeError::retryable)
+/// failures up to [`STORAGE_RETRY_BUDGET`] times with deterministic
+/// exponential backoff (50µs, 100µs, 200µs). Only operations the store
+/// rolled back qualify as retryable — a failed fsync never does
+/// (fsyncgate: the kernel may have dropped the dirty pages), so this
+/// helper can never re-ack lost data.
+pub(crate) fn with_storage_retry<T>(
+    mut op: impl FnMut() -> Result<T, ServeError>,
+) -> Result<T, ServeError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Err(e) if e.retryable() && attempt < STORAGE_RETRY_BUDGET => {
+                std::thread::sleep(std::time::Duration::from_micros(50u64 << attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
 
 /// Durability and sizing knobs for one persistence directory.
 #[derive(Debug, Clone)]
@@ -72,6 +98,9 @@ pub struct PersistOptions {
     pub snapshot_every_epochs: u64,
     /// Snapshots retained on disk.
     pub keep_snapshots: usize,
+    /// Filesystem the store runs on: [`nemo_store::RealFs`] in production,
+    /// [`nemo_store::FaultFs`] under fault-injection tests.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for PersistOptions {
@@ -82,6 +111,7 @@ impl Default for PersistOptions {
             snapshot_every_bytes: 256 << 10,
             snapshot_every_epochs: 1024,
             keep_snapshots: 2,
+            vfs: Arc::new(RealFs),
         }
     }
 }
@@ -156,7 +186,13 @@ impl Persistence {
         options: &PersistOptions,
         live: &LiveNetwork,
     ) -> Result<Persistence, ServeError> {
-        let (store, _) = Store::open(dir, options.store_config())?;
+        let (store, _) = with_storage_retry(|| {
+            Ok(Store::open_with(
+                dir,
+                options.store_config(),
+                options.vfs.clone(),
+            )?)
+        })?;
         if !store.is_empty() {
             return Err(ServeError::Storage(format!(
                 "{} already holds store files; use recover()",
@@ -183,7 +219,13 @@ impl Persistence {
         dir: &Path,
         options: &PersistOptions,
     ) -> Result<(LiveNetwork, Persistence, RecoveryReport), ServeError> {
-        let (store, open_report) = Store::open(dir, options.store_config())?;
+        let (store, open_report) = with_storage_retry(|| {
+            Ok(Store::open_with(
+                dir,
+                options.store_config(),
+                options.vfs.clone(),
+            )?)
+        })?;
         if store.is_empty() {
             return Err(ServeError::Storage(format!(
                 "{} holds no store files; use create()",
@@ -280,7 +322,13 @@ impl Persistence {
         options: &PersistOptions,
         init: impl FnOnce() -> LiveNetwork,
     ) -> Result<(LiveNetwork, Persistence, RecoveryReport), ServeError> {
-        let (store, open_report) = Store::open(dir, options.store_config())?;
+        let (store, open_report) = with_storage_retry(|| {
+            Ok(Store::open_with(
+                dir,
+                options.store_config(),
+                options.vfs.clone(),
+            )?)
+        })?;
         if store.is_empty() {
             let live = init();
             let mut persistence = Persistence {
@@ -301,9 +349,12 @@ impl Persistence {
         }
     }
 
-    /// Durably logs one applied WAL record.
+    /// Durably logs one applied WAL record. A transient write fault the
+    /// store rolled back is retried within [`STORAGE_RETRY_BUDGET`]; a
+    /// failed fsync or a poisoned store propagates immediately.
     pub fn log(&mut self, record: &WalRecord) -> Result<(), ServeError> {
-        self.store.append(record.epoch, &encode_record(record))?;
+        let payload = encode_record(record);
+        with_storage_retry(|| Ok(self.store.append(record.epoch, &payload)?))?;
         if !matches!(
             record.mutation,
             Mutation::AddNode { .. } | Mutation::AddEdge { .. }
@@ -358,8 +409,11 @@ impl Persistence {
         if delta_eligible {
             let base = base.expect("checked above");
             let document = snapshot::write_delta_snapshot(live.epoch(), base, &self.since_snapshot);
-            self.store
-                .install_delta_snapshot(live.epoch(), base, document.as_bytes())?;
+            with_storage_retry(|| {
+                Ok(self
+                    .store
+                    .install_delta_snapshot(live.epoch(), base, document.as_bytes())?)
+            })?;
             self.chain_len += 1;
             self.since_snapshot.clear();
             self.since_overflow = false;
@@ -395,8 +449,11 @@ impl Persistence {
             (to_csv(live.nodes()), to_csv(live.edges()))
         };
         let document = write_snapshot_with_frames(live, &nodes_csv, &edges_csv);
-        self.store
-            .install_snapshot(live.epoch(), document.as_bytes())?;
+        with_storage_retry(|| {
+            Ok(self
+                .store
+                .install_snapshot(live.epoch(), document.as_bytes())?)
+        })?;
         self.prev = Some(PrevSnapshot {
             nodes_csv,
             edges_csv,
@@ -415,7 +472,7 @@ impl Persistence {
     /// this at batch boundaries so the apply path never blocks on
     /// filesystem deletions.
     pub fn sweep(&mut self, max_removals: usize) -> Result<SweepOutcome, ServeError> {
-        Ok(self.store.sweep(max_removals)?)
+        with_storage_retry(|| Ok(self.store.sweep(max_removals)?))
     }
 
     /// The underlying store (inspection, benchmarks, tests).

@@ -71,6 +71,21 @@ pub enum Response {
     },
     /// The query was answered.
     Answered(Reply),
+    /// The mutation was refused because the server is in degraded
+    /// read-only mode: a store's write path is poisoned
+    /// ([`nemo_store::StoreError::Poisoned`]), so no epoch was consumed
+    /// and no further mutations will be accepted, while queries keep
+    /// answering from the in-memory state.
+    Degraded {
+        /// The (unchanged) global epoch.
+        epoch: Epoch,
+        /// The request's stream timestamp.
+        at_ms: u64,
+        /// Index of the poisoned shard, when the server is sharded.
+        shard: Option<u32>,
+        /// Global epoch through which state is known durable.
+        last_durable_epoch: u64,
+    },
     /// Persistence was fsynced.
     Synced,
     /// The server's current statistics.
@@ -187,6 +202,24 @@ impl Response {
                     ]),
                 ),
             ]),
+            Response::Degraded {
+                epoch,
+                at_ms,
+                shard,
+                last_durable_epoch,
+            } => codec::obj(vec![
+                ("type", codec::s("degraded")),
+                ("epoch", codec::n(*epoch as i64)),
+                ("at_ms", codec::n(*at_ms as i64)),
+                (
+                    "shard",
+                    match shard {
+                        Some(k) => codec::n(*k as i64),
+                        None => JsonValue::Null,
+                    },
+                ),
+                ("last_durable_epoch", codec::n(*last_durable_epoch as i64)),
+            ]),
             Response::Synced => codec::obj(vec![("type", codec::s("synced"))]),
             Response::Stats(stats) => codec::obj(vec![
                 ("type", codec::s("stats")),
@@ -237,6 +270,15 @@ impl Response {
                     latency_ms: get_f64(reply, "latency_ms")?,
                 }))
             }
+            "degraded" => Ok(Response::Degraded {
+                epoch: get_u64(&root, "epoch")?,
+                at_ms: get_u64(&root, "at_ms")?,
+                shard: match root.get("shard") {
+                    Some(JsonValue::Null) => None,
+                    _ => Some(get_u64(&root, "shard")? as u32),
+                },
+                last_durable_epoch: get_u64(&root, "last_durable_epoch")?,
+            }),
             "synced" => Ok(Response::Synced),
             "stats" => Ok(Response::Stats(StatsReport {
                 shards: get_u64(&root, "shards")? as u32,
@@ -283,6 +325,21 @@ impl Response {
                 reply.query,
                 one_line(&reply.answer),
             )),
+            Response::Degraded {
+                epoch,
+                at_ms,
+                shard,
+                last_durable_epoch,
+            } => {
+                let at = match shard {
+                    Some(k) => format!("shard {k} "),
+                    None => String::new(),
+                };
+                Some(format!(
+                    "[e{epoch}] t={at_ms}ms mutate degraded: {at}write path poisoned, \
+                     read-only at durable epoch {last_durable_epoch}"
+                ))
+            }
             Response::Synced | Response::Stats(_) => None,
         }
     }
@@ -417,6 +474,18 @@ mod tests {
                 // trip must carry the exact f64.
                 latency_ms: 0.123456789012345,
             }),
+            Response::Degraded {
+                epoch: 41,
+                at_ms: 127,
+                shard: Some(2),
+                last_durable_epoch: 39,
+            },
+            Response::Degraded {
+                epoch: 41,
+                at_ms: 128,
+                shard: None,
+                last_durable_epoch: 41,
+            },
             Response::Synced,
             Response::Stats(StatsReport {
                 shards: 4,
@@ -497,7 +566,21 @@ mod tests {
             lines[2].as_deref(),
             Some("[e41] client=3 networkx code \"How many edges are there?\" => 14")
         );
-        assert_eq!(lines[3], None);
-        assert_eq!(lines[4], None);
+        assert_eq!(
+            lines[3].as_deref(),
+            Some(
+                "[e41] t=127ms mutate degraded: shard 2 write path poisoned, \
+                 read-only at durable epoch 39"
+            )
+        );
+        assert_eq!(
+            lines[4].as_deref(),
+            Some(
+                "[e41] t=128ms mutate degraded: write path poisoned, \
+                 read-only at durable epoch 41"
+            )
+        );
+        assert_eq!(lines[5], None);
+        assert_eq!(lines[6], None);
     }
 }

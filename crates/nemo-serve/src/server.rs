@@ -29,7 +29,9 @@ use nemo_core::llm::extract_code;
 use nemo_core::prompt::codegen_prompt;
 use nemo_core::sandbox::execute_code;
 use nemo_core::{Backend, Llm, NetworkManager};
+use nemo_store::Vfs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 use trafficgen::stream::TimedEvent;
 
@@ -160,6 +162,14 @@ impl ServerBuilder {
         self
     }
 
+    /// The filesystem every store runs on: [`nemo_store::RealFs`] by
+    /// default, [`nemo_store::FaultFs`] for deterministic fault-injection
+    /// tests.
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.options.vfs = vfs;
+        self
+    }
+
     /// Snapshot once this many epochs passed since the last one
     /// (0 disables the epoch trigger).
     pub fn snapshot_every_epochs(mut self, epochs: u64) -> Self {
@@ -253,6 +263,7 @@ impl ServerBuilder {
             sessions,
             persistence,
             merged: None,
+            degraded: None,
         })
     }
 
@@ -303,6 +314,7 @@ impl ServerBuilder {
                 sessions,
                 persistence,
                 merged: None,
+                degraded: None,
             },
             reports,
         ))
@@ -319,6 +331,13 @@ pub struct Server<L: Llm> {
     /// Memoized merged view and the global epoch it reflects (multi-shard
     /// servers only; a single shard serves its partition directly).
     merged: Option<(Epoch, LiveNetwork)>,
+    /// Set once a store's write path is poisoned: `(poisoned shard, epoch
+    /// through which that store is known durable)`. The server is then in
+    /// **degraded read-only mode** — mutations come back as
+    /// [`ServeError::Degraded`] / [`Response::Degraded`] while queries
+    /// keep answering from the in-memory state. The epoch is global for an
+    /// unsharded server and shard-local for a sharded one.
+    degraded: Option<(Option<u32>, u64)>,
 }
 
 impl<L: Llm> Server<L> {
@@ -363,18 +382,76 @@ impl<L: Llm> Server<L> {
         }
     }
 
-    /// Fsyncs every attached store (a batch boundary).
+    /// Degraded read-only state, if the server entered it: the poisoned
+    /// shard (`None` for an unsharded server) and the epoch through which
+    /// that store is known durable.
+    pub fn degraded(&self) -> Option<(Option<u32>, u64)> {
+        self.degraded
+    }
+
+    /// Enters degraded read-only mode if the store behind `err` is
+    /// actually poisoned — the ground truth is the store's own poison
+    /// flag, not the error's shape (rolled-back faults surface errors
+    /// without poisoning anything). Returns `err` unchanged either way.
+    fn note_storage_failure(&mut self, err: ServeError) -> ServeError {
+        if self.degraded.is_none() {
+            let hint = match &err {
+                ServeError::Store { shard, .. } | ServeError::Degraded { shard, .. } => *shard,
+                _ => None,
+            };
+            let durable = |store: &nemo_store::Store| store.durable_epoch().unwrap_or(0);
+            self.degraded = match (&self.persistence, hint) {
+                (ServerPersistence::None, _) => None,
+                (ServerPersistence::Plain(p), _) => {
+                    p.store().poisoned().map(|_| (None, durable(p.store())))
+                }
+                (ServerPersistence::Sharded(stores), Some(k)) => stores[k as usize]
+                    .store()
+                    .poisoned()
+                    .map(|_| (Some(k), durable(stores[k as usize].store()))),
+                (ServerPersistence::Sharded(stores), None) => {
+                    stores.iter().enumerate().find_map(|(k, s)| {
+                        s.store()
+                            .poisoned()
+                            .map(|_| (Some(k as u32), durable(s.store())))
+                    })
+                }
+            };
+        }
+        err
+    }
+
+    /// The [`ServeError::Degraded`] rejection for the current degraded
+    /// state; callers check `self.degraded` first.
+    fn degraded_error(&self) -> ServeError {
+        let (shard, last_durable_epoch) = self.degraded.expect("caller checked degraded state");
+        ServeError::Degraded {
+            shard,
+            last_durable_epoch,
+        }
+    }
+
+    /// Fsyncs every attached store (a batch boundary). In degraded mode
+    /// this is a no-op `Ok`: nothing new was logged, and failing would
+    /// abort schedules that queries can still serve.
     pub fn sync_persistence(&mut self) -> Result<(), ServeError> {
-        match &mut self.persistence {
+        if self.degraded.is_some() {
+            return Ok(());
+        }
+        let result = match &mut self.persistence {
             ServerPersistence::None => Ok(()),
             ServerPersistence::Plain(p) => p.sync(),
             ServerPersistence::Sharded(stores) => {
-                for (k, store) in stores.iter_mut().enumerate() {
-                    store.sync().map_err(|e| e.with_shard(k as u32, None))?;
-                }
-                Ok(())
+                let mut sync_all = || {
+                    for (k, store) in stores.iter_mut().enumerate() {
+                        store.sync().map_err(|e| e.with_shard(k as u32, None))?;
+                    }
+                    Ok(())
+                };
+                sync_all()
             }
-        }
+        };
+        result.map_err(|e| self.note_storage_failure(e))
     }
 
     /// Executes up to `max_removals` deferred store removals (snapshot
@@ -383,18 +460,25 @@ impl<L: Llm> Server<L> {
     /// here — at batch boundaries — so `append` never waits on the
     /// filesystem.
     pub fn sweep_persistence(&mut self, max_removals: usize) -> Result<(), ServeError> {
-        match &mut self.persistence {
+        if self.degraded.is_some() {
+            return Ok(());
+        }
+        let result = match &mut self.persistence {
             ServerPersistence::None => Ok(()),
             ServerPersistence::Plain(p) => p.sweep(max_removals).map(|_| ()),
             ServerPersistence::Sharded(stores) => {
-                for (k, store) in stores.iter_mut().enumerate() {
-                    store
-                        .sweep(max_removals)
-                        .map_err(|e| e.with_shard(k as u32, None))?;
-                }
-                Ok(())
+                let mut sweep_all = || {
+                    for (k, store) in stores.iter_mut().enumerate() {
+                        store
+                            .sweep(max_removals)
+                            .map_err(|e| e.with_shard(k as u32, None))?;
+                    }
+                    Ok(())
+                };
+                sweep_all()
             }
-        }
+        };
+        result.map_err(|e| self.note_storage_failure(e))
     }
 
     /// The live network of a **single-shard** server.
@@ -463,17 +547,21 @@ impl<L: Llm> Server<L> {
         at_ms: u64,
         mutation: Mutation,
     ) -> Result<Epoch, ServeError> {
+        if self.degraded.is_some() {
+            return Err(self.degraded_error());
+        }
         if self.net.shards() == 1 {
             // A single shard keeps the exact pre-sharding write path (and,
             // under Plain persistence, the exact on-disk byte layout).
             let live = self.net.partition_live_mut(0);
-            return match &mut self.persistence {
+            let result = match &mut self.persistence {
                 ServerPersistence::None => live.apply(at_ms, mutation),
                 ServerPersistence::Plain(p) => live.apply_persisted(at_ms, mutation, p),
                 ServerPersistence::Sharded(_) => {
                     unreachable!("the builder never shards a single-shard layout")
                 }
             };
+            return result.map_err(|e| self.note_storage_failure(e));
         }
         // Multi-shard: validate globally, log to the owner shard's store
         // *first* (WAL order: memory never runs ahead of the log), then
@@ -487,17 +575,23 @@ impl<L: Llm> Server<L> {
                 at_ms,
                 mutation: mutation.clone(),
             };
-            stores[k as usize]
+            let logged = stores[k as usize]
                 .log(&record, global)
-                .map_err(|e| e.with_shard(k, Some(global)))?;
+                .map_err(|e| e.with_shard(k, Some(global)));
+            if let Err(e) = logged {
+                return Err(self.note_storage_failure(e));
+            }
         }
         self.net
             .apply_at(global, at_ms, mutation)
             .expect("mutation was validated globally before logging");
         if let ServerPersistence::Sharded(stores) = &mut self.persistence {
-            stores[k as usize]
+            let snapshotted = stores[k as usize]
                 .maybe_snapshot(self.net.partition(k))
-                .map_err(|e| e.with_shard(k, Some(global)))?;
+                .map_err(|e| e.with_shard(k, Some(global)));
+            if let Err(e) = snapshotted {
+                return Err(self.note_storage_failure(e));
+            }
         }
         Ok(global)
     }
@@ -517,6 +611,9 @@ impl<L: Llm> Server<L> {
             }
             return self.apply_mutation_inner(event.at_ms, mutation).map(|_| ());
         }
+        if self.degraded.is_some() {
+            return Err(self.degraded_error());
+        }
         let k = route_mutation(&mutation, self.net.shards());
         if let ServerPersistence::Sharded(stores) = &mut self.persistence {
             let record = WalRecord {
@@ -524,15 +621,21 @@ impl<L: Llm> Server<L> {
                 at_ms: event.at_ms,
                 mutation: mutation.clone(),
             };
-            stores[k as usize]
+            let logged = stores[k as usize]
                 .log(&record, global)
-                .map_err(|e| e.with_shard(k, Some(global)))?;
+                .map_err(|e| e.with_shard(k, Some(global)));
+            if let Err(e) = logged {
+                return Err(self.note_storage_failure(e));
+            }
         }
         self.net.apply_at(global, event.at_ms, mutation)?;
         if let ServerPersistence::Sharded(stores) = &mut self.persistence {
-            stores[k as usize]
+            let snapshotted = stores[k as usize]
                 .maybe_snapshot(self.net.partition(k))
-                .map_err(|e| e.with_shard(k, Some(global)))?;
+                .map_err(|e| e.with_shard(k, Some(global)));
+            if let Err(e) = snapshotted {
+                return Err(self.note_storage_failure(e));
+            }
         }
         Ok(())
     }
@@ -662,7 +765,10 @@ impl<L: Llm> Server<L> {
     /// [`Response::Rejected`] — but a storage or corruption error from the
     /// durable log is not: rendering it as "rejected" would make a dying
     /// disk indistinguishable from a benign duplicate, so those propagate
-    /// as errors instead.
+    /// as errors instead. The *first* poisoning failure therefore
+    /// surfaces loudly as an error (and flips the server into degraded
+    /// read-only mode); every mutation after that comes back as
+    /// [`Response::Degraded`] while queries keep answering.
     pub fn handle(&mut self, request: &Request) -> Result<Response, ServeError> {
         match request {
             Request::Mutate { at_ms, mutation } => {
@@ -676,6 +782,19 @@ impl<L: Llm> Server<L> {
                         epoch: self.net.global_epoch(),
                         at_ms: *at_ms,
                         reason: e.to_string(),
+                    }),
+                    // A degraded server stays up: the rejection is part of
+                    // normal (read-only) operation, rendered as a typed
+                    // response so schedules keep running and queries keep
+                    // answering.
+                    Err(ServeError::Degraded {
+                        shard,
+                        last_durable_epoch,
+                    }) => Ok(Response::Degraded {
+                        epoch: self.net.global_epoch(),
+                        at_ms: *at_ms,
+                        shard,
+                        last_durable_epoch,
                     }),
                     Err(storage_or_corrupt) => Err(storage_or_corrupt),
                 }
@@ -718,6 +837,10 @@ impl<L: Llm> Server<L> {
     /// Each boundary also executes a small budget of deferred store
     /// removals ([`Server::sweep_persistence`]) — off the apply path, so
     /// snapshot pruning and WAL compaction never stall a mutation.
+    ///
+    /// On a **degraded** server the boundaries are no-ops and every
+    /// mutation renders a `mutate degraded:` line; the schedule still
+    /// completes and its queries are still answered.
     pub fn run_schedule(
         &mut self,
         events: &[ServeEvent],
@@ -1005,6 +1128,88 @@ mod tests {
         assert_eq!((a.answer, a.cache, a.epoch), (b.answer, b.cache, b.epoch));
         assert_eq!(old_style.stats(), new_style.stats());
         assert_eq!(old_style.live(), new_style.merged_view());
+    }
+
+    #[test]
+    fn a_poisoned_write_path_degrades_to_read_only_serving() {
+        use nemo_store::{FaultFs, FaultKind};
+        let dir = std::env::temp_dir().join(format!("nemo-server-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let event = |at_ms: u64, i: u8| TimedEvent {
+            at_ms,
+            event: NetEvent::NewEndpoint {
+                endpoint: trafficgen::Ipv4::new(203, 0, 0, i),
+            },
+        };
+        let options = || PersistOptions {
+            fsync: crate::FsyncPolicy::EveryRecord,
+            ..PersistOptions::default()
+        };
+        let build = |vfs: Arc<dyn Vfs>, root: &std::path::Path| {
+            ServerBuilder::new()
+                .options(options())
+                .vfs(vfs)
+                .persist_at(root)
+                .build(
+                    live(),
+                    vec![Session {
+                        client: 0,
+                        backend: Backend::NetworkX,
+                        llm: scripted(4),
+                    }],
+                )
+                .expect("fresh build")
+        };
+        // Calibrate: count the filesystem ops through create + the first
+        // applied record, with a fault that can never fire.
+        let calibrate = FaultFs::new(FaultKind::FailedFsync, u64::MAX);
+        let mut server = build(Arc::new(calibrate.clone()), &dir);
+        server.apply_mutation(&event(1, 1)).unwrap();
+        let cut = calibrate.ops();
+        drop(server);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Same run with the first fsync past the cut failing: that is the
+        // commit fsync of the SECOND record, so record 1 is durable and
+        // record 2 must be refused — fsyncgate, never retried.
+        let fault = FaultFs::new(FaultKind::FailedFsync, cut);
+        let mut server = build(Arc::new(fault.clone()), &dir);
+        server.apply_mutation(&event(1, 1)).unwrap();
+        let err = server.apply_mutation(&event(2, 2)).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Store { .. }),
+            "first failure is loud and typed: {err:?}"
+        );
+        assert!(!err.retryable());
+        assert!(fault.injection().is_some(), "the fault fired: {fault:?}");
+        assert_eq!(
+            server.degraded(),
+            Some((None, 1)),
+            "poisoned store => degraded at the last durable epoch"
+        );
+        // Mutations now come back as typed degraded responses (no error,
+        // no epoch consumed)...
+        let response = server
+            .handle(&Request::from_event(&ServeEvent::Mutate(event(3, 3))))
+            .unwrap();
+        assert_eq!(
+            response,
+            Response::Degraded {
+                epoch: 1,
+                at_ms: 3,
+                shard: None,
+                last_durable_epoch: 1,
+            }
+        );
+        // ...boundaries are no-ops instead of aborts...
+        server.sync_persistence().unwrap();
+        server.sweep_persistence(usize::MAX).unwrap();
+        // ...and queries keep answering from the in-memory state (which
+        // includes applied epoch 1, but not the refused record 2).
+        let reply = server.handle_query(0, "How many edges are there?");
+        assert_eq!(reply.answer, "14");
+        assert_eq!(reply.epoch, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -35,7 +35,9 @@
 use crate::codec::{self, decode_shard_record, encode_shard_record, SHARD_WAL_MAGIC};
 use crate::error::ServeError;
 use crate::mutation::{Epoch, WalRecord};
-use crate::persist::{PersistOptions, RecoveryReport, MAX_DELTA_CHAIN, MAX_DELTA_RECORDS};
+use crate::persist::{
+    with_storage_retry, PersistOptions, RecoveryReport, MAX_DELTA_CHAIN, MAX_DELTA_RECORDS,
+};
 use crate::shard::{SeqBases, ShardPartition, ShardedNetwork};
 use crate::snapshot::{read_snapshot, write_snapshot};
 use nemo_bench::pool;
@@ -101,7 +103,13 @@ impl ShardPersistence {
         bases: SeqBases,
         partition: &ShardPartition,
     ) -> Result<ShardPersistence, ServeError> {
-        let (store, _) = Store::open(dir, shard_store_config(options))?;
+        let (store, _) = with_storage_retry(|| {
+            Ok(Store::open_with(
+                dir,
+                shard_store_config(options),
+                options.vfs.clone(),
+            )?)
+        })?;
         if !store.is_empty() {
             return Err(ServeError::Storage(format!(
                 "{} already holds store files; use recover()",
@@ -133,7 +141,13 @@ impl ShardPersistence {
         shard: u32,
         shards: u32,
     ) -> Result<(ShardPartition, ShardPersistence, RecoveryReport), ServeError> {
-        let (store, open_report) = Store::open(dir, shard_store_config(options))?;
+        let (store, open_report) = with_storage_retry(|| {
+            Ok(Store::open_with(
+                dir,
+                shard_store_config(options),
+                options.vfs.clone(),
+            )?)
+        })?;
         if store.is_empty() {
             return Err(ServeError::Storage(format!(
                 "{} holds no store files; use create()",
@@ -227,8 +241,8 @@ impl ShardPersistence {
     /// Durably logs one applied record: positional epoch is the shard's
     /// local epoch, `global` rides along in the payload.
     pub(crate) fn log(&mut self, record: &WalRecord, global: Epoch) -> Result<(), ServeError> {
-        self.store
-            .append(record.epoch, &encode_shard_record(record, global))?;
+        let payload = encode_shard_record(record, global);
+        with_storage_retry(|| Ok(self.store.append(record.epoch, &payload)?))?;
         self.last_global = self.last_global.max(global);
         if self.since_snapshot.len() >= MAX_DELTA_RECORDS {
             self.since_snapshot.clear();
@@ -282,8 +296,11 @@ impl ShardPersistence {
         if delta_eligible {
             let base = base.expect("checked above");
             let document = self.shard_delta_document(local, base);
-            self.store
-                .install_delta_snapshot(local, base, document.as_bytes())?;
+            with_storage_retry(|| {
+                Ok(self
+                    .store
+                    .install_delta_snapshot(local, base, document.as_bytes())?)
+            })?;
             self.chain_len += 1;
             self.since_snapshot.clear();
             self.since_overflow = false;
@@ -301,8 +318,11 @@ impl ShardPersistence {
         partition: &ShardPartition,
     ) -> Result<(), ServeError> {
         let document = self.shard_document(partition);
-        self.store
-            .install_snapshot(partition.live.epoch(), document.as_bytes())?;
+        with_storage_retry(|| {
+            Ok(self
+                .store
+                .install_snapshot(partition.live.epoch(), document.as_bytes())?)
+        })?;
         self.chain_len = 0;
         self.since_snapshot.clear();
         self.since_overflow = false;
@@ -312,7 +332,7 @@ impl ShardPersistence {
     /// Executes up to `max_removals` deferred removals (snapshot pruning,
     /// WAL compaction) on this shard's store.
     pub(crate) fn sweep(&mut self, max_removals: usize) -> Result<SweepOutcome, ServeError> {
-        Ok(self.store.sweep(max_removals)?)
+        with_storage_retry(|| Ok(self.store.sweep(max_removals)?))
     }
 
     fn shard_delta_document(&self, epoch: u64, base: u64) -> String {

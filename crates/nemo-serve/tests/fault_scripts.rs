@@ -1,0 +1,161 @@
+//! Randomized fault scripts: the property-based twin of
+//! `fault_injection.rs`'s exhaustive sweep (and of `sweep_safety.rs`'s
+//! random op interleavings). A random workload shape (stream length,
+//! snapshot points, sweep budgets) meets a random single-shot fault
+//! (kind × op index), and the durability contract must hold on every
+//! combination:
+//!
+//! * a completed run ends in the canonical tip state, and reopening it
+//!   recovers that exact state;
+//! * a surfaced error is typed, non-retryable (retryable ones are
+//!   absorbed within the serving layer's bounded retry), and never a
+//!   panic;
+//! * reopening after any fault recovers an exact canonical epoch prefix
+//!   that contains every acked record (at most one unacked in-flight
+//!   record may additionally survive), with every retained snapshot
+//!   readable.
+
+use nemo_serve::persist::{FsyncPolicy, PersistOptions, Persistence};
+use nemo_serve::{LiveNetwork, ServeError};
+use nemo_store::{FaultFs, FaultKind, RealFs, Vfs};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use trafficgen::{evolve, generate, StreamConfig, TrafficConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nemo-fault-script-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn options(vfs: Arc<dyn Vfs>) -> PersistOptions {
+    PersistOptions {
+        fsync: FsyncPolicy::EveryRecord,
+        segment_max_bytes: 256,
+        snapshot_every_bytes: 0,
+        snapshot_every_epochs: 0,
+        keep_snapshots: 2,
+        vfs,
+    }
+}
+
+fn workload() -> trafficgen::TrafficWorkload {
+    generate(&TrafficConfig {
+        nodes: 10,
+        edges: 12,
+        prefixes: 2,
+        seed: 8,
+    })
+}
+
+proptest! {
+    #[test]
+    fn random_fault_scripts_never_lose_acked_data(
+        seed in 0u64..100_000,
+        events in 4usize..20,
+        // Snapshot after roughly every `gap` events; `sweep_budget`
+        // bounds each compaction step like the server's batch boundary.
+        snapshot_gap in 2usize..8,
+        sweep_budget in 1usize..12,
+        fault_at in 0u64..220,
+        kind_pick in 0usize..FaultKind::ALL.len(),
+    ) {
+        let kind = FaultKind::ALL[kind_pick];
+        let w = workload();
+        let stream = evolve(&w, &StreamConfig { events, seed });
+
+        // Canonical in-memory states per epoch, for prefix comparison.
+        let mut canon = LiveNetwork::from_workload(&w);
+        let mut states = vec![canon.clone()];
+        for event in &stream {
+            canon.apply_event(event).expect("in-memory apply is faultless");
+            states.push(canon.clone());
+        }
+
+        let dir = temp_dir(&format!("{}-{seed}-{fault_at}", kind.name()));
+        let fault = Arc::new(FaultFs::new(kind, fault_at));
+        let mut live = LiveNetwork::from_workload(&w);
+        let mut acked = None;
+        let mut error = None;
+        match Persistence::create(&dir, &options(fault.clone()), &live) {
+            Err(e) => error = Some(e),
+            Ok(mut persistence) => {
+                acked = Some(0u64);
+                for (i, event) in stream.iter().enumerate() {
+                    live.apply_event(event).expect("in-memory apply is faultless");
+                    let record = live.wal().last().expect("apply appended").clone();
+                    if let Err(e) = persistence.log(&record) {
+                        error = Some(e);
+                        break;
+                    }
+                    acked = Some(live.epoch());
+                    if (i + 1) % snapshot_gap == 0 {
+                        if let Err(e) = persistence
+                            .force_snapshot(&live)
+                            .and_then(|_| persistence.sweep(sweep_budget).map(|_| ()))
+                        {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if error.is_none() {
+                    if let Err(e) = persistence.sync() {
+                        error = Some(e);
+                    }
+                }
+                if error.is_some() && persistence.store().poisoned().is_some() {
+                    // A poisoned write path must reject further appends.
+                    let next = live.wal().last().expect("stream is non-empty").clone();
+                    prop_assert!(
+                        persistence.log(&next).is_err(),
+                        "poisoned store accepted an append"
+                    );
+                }
+            }
+        }
+
+        if let Some(e) = &error {
+            prop_assert!(
+                fault.injection().is_some(),
+                "error without an injected fault: {e}"
+            );
+            prop_assert!(
+                matches!(e, ServeError::Store { .. }),
+                "fault surfaced untyped: {e:?}"
+            );
+            prop_assert!(!e.retryable(), "a retryable error escaped the retry budget");
+        } else if fault.injection().is_none() {
+            // The fault never fired: plain completed run.
+            prop_assert_eq!(acked, Some(events as u64));
+        }
+
+        // Reopen with the real filesystem: always recovers, to an exact
+        // canonical prefix containing everything acked.
+        let (recovered, _, report) = Persistence::recover_or_create(
+            &dir,
+            &options(Arc::new(RealFs)),
+            || LiveNetwork::from_workload(&w),
+        )
+        .map_err(|e| format!("reopen after {} fault failed: {e}", kind.name()))?;
+        prop_assert!(
+            report.skipped_snapshots.is_empty(),
+            "reopen skipped snapshots: {:?}",
+            report.skipped_snapshots
+        );
+        let epoch = recovered.epoch();
+        let floor = acked.unwrap_or(0);
+        prop_assert!(epoch >= floor, "acked epoch {floor} lost, recovery reached {epoch}");
+        prop_assert!(epoch <= floor + 1, "recovery reached {epoch}, acked only {floor}");
+        prop_assert!(
+            recovered == states[epoch as usize],
+            "recovered state diverged from the canonical epoch-{epoch} prefix"
+        );
+        if error.is_none() {
+            prop_assert_eq!(epoch, events as u64);
+        }
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

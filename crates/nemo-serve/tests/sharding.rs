@@ -49,6 +49,7 @@ fn tiny(seed: u64) -> DurabilityConfig {
             snapshot_every_bytes: 0,
             snapshot_every_epochs: 8,
             keep_snapshots: 2,
+            ..PersistOptions::default()
         },
     }
 }

@@ -22,6 +22,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+/// Why the committer poisons itself when an appender thread panics while
+/// holding the lock: the batch bookkeeping may be mid-update, so acked
+/// durability can no longer be reasoned about.
+const LOCK_POISONED: &str =
+    "an appender panicked while holding the committer lock; batch state is unknowable";
+
+/// How long a follower waits per wake-up check. Bounded so a leader that
+/// died without notifying (a panic while unwinding) degrades the batch
+/// into an error instead of hanging every follower forever.
+const FOLLOWER_WAIT: Duration = Duration::from_millis(50);
+
 struct State {
     store: Store,
     /// Epoch of the newest appended record (0 before the first append —
@@ -129,7 +140,17 @@ impl GroupCommitter {
                 return Err(err.clone());
             }
             if state.leader_active {
-                state = self.synced.wait(state).expect("committer lock poisoned");
+                state = match self.synced.wait_timeout(state, FOLLOWER_WAIT) {
+                    Ok((guard, _timeout)) => guard,
+                    Err(poison) => {
+                        // A peer panicked while holding the lock. Recover
+                        // the guard and degrade the committer to a typed
+                        // error instead of cascading the panic here.
+                        let (mut guard, _timeout) = poison.into_inner();
+                        Self::note_lock_poison(&mut guard);
+                        guard
+                    }
+                };
                 continue;
             }
             state = self.lead(state);
@@ -161,11 +182,14 @@ impl GroupCommitter {
             else {
                 break;
             };
-            let (guard, _timeout) = self
-                .arrived
-                .wait_timeout(state, remaining)
-                .expect("committer lock poisoned");
-            state = guard;
+            state = match self.arrived.wait_timeout(state, remaining) {
+                Ok((guard, _timeout)) => guard,
+                Err(poison) => {
+                    let (mut guard, _timeout) = poison.into_inner();
+                    Self::note_lock_poison(&mut guard);
+                    guard
+                }
+            };
         }
         if state.poisoned.is_some() {
             state.leader_active = false;
@@ -180,9 +204,9 @@ impl GroupCommitter {
         // either in the duplicated active file or in sealed segments
         // (rotation fsyncs those as it seals them).
         let result = match handle {
-            Ok(Some(file)) => file
+            Ok(Some((file, path))) => file
                 .sync_data()
-                .map_err(|e| StoreError::io("group fsync", e)),
+                .map_err(|e| StoreError::io_at("fsync", &path, e)),
             Ok(None) => Ok(()),
             Err(err) => Err(err),
         };
@@ -190,9 +214,20 @@ impl GroupCommitter {
         match result {
             Ok(()) => {
                 state.synced = state.synced.max(covered);
+                if covered > 0 {
+                    state.store.note_synced(covered);
+                }
                 state.sync_count += 1;
             }
-            Err(err) => state.poisoned = Some(err),
+            Err(err) => {
+                // Fsyncgate: the kernel may have dropped the batch's dirty
+                // pages while marking them clean, so no retry can ever
+                // prove durability. Poison the store first (so the error
+                // carries its durable-epoch context), then the committer.
+                state.store.mark_poisoned(err.clone());
+                let poison = state.store.poisoned().cloned().unwrap_or(err);
+                state.poisoned = Some(poison);
+            }
         }
         state.leader_active = false;
         self.synced.notify_all();
@@ -215,16 +250,48 @@ impl GroupCommitter {
         self.lock().sync_count
     }
 
-    /// Unwraps the store (callers must hold the only reference).
+    /// Unwraps the store (callers must hold the only reference). A
+    /// committer degraded by a failed fsync or a panicked appender hands
+    /// back a store whose write path is poisoned the same way — reads and
+    /// recovery-by-reopen remain available.
     pub fn into_store(self) -> Store {
-        self.state
-            .into_inner()
-            .expect("committer lock poisoned")
-            .store
+        let (mut store, poisoned) = match self.state.into_inner() {
+            Ok(state) => (state.store, state.poisoned),
+            Err(poison) => {
+                let state = poison.into_inner();
+                let cause = state
+                    .poisoned
+                    .unwrap_or_else(|| StoreError::Poisoned(LOCK_POISONED.to_string()));
+                (state.store, Some(cause))
+            }
+        };
+        if let Some(err) = poisoned {
+            store.mark_poisoned(err);
+        }
+        store
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
-        self.state.lock().expect("committer lock poisoned")
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poison) => {
+                let mut guard = poison.into_inner();
+                Self::note_lock_poison(&mut guard);
+                guard
+            }
+        }
+    }
+
+    /// Degrades the committer after a mutex/condvar poison: the panicking
+    /// thread may have died mid-update, so both the committer and the
+    /// store reject further mutations with a typed error instead of
+    /// cascading panics across appender threads.
+    fn note_lock_poison(state: &mut State) {
+        if state.poisoned.is_none() {
+            let err = StoreError::Poisoned(LOCK_POISONED.to_string());
+            state.store.mark_poisoned(err.clone());
+            state.poisoned = Some(err);
+        }
     }
 
     fn depart(&self) {
@@ -345,6 +412,81 @@ mod tests {
         assert!(start.elapsed() < Duration::from_secs(5));
         assert_eq!(committer.last_synced(), 3);
         assert_eq!(committer.sync_count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn panicking_appender_poisons_instead_of_cascading() {
+        let dir = temp_dir("panic");
+        let (store, _) = Store::open(&dir, group_config(4, 100)).unwrap();
+        let committer = GroupCommitter::new(store).unwrap();
+        committer.append(b"before").unwrap();
+        // An appender dies while holding the committer lock.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = committer.state.lock().unwrap();
+            panic!("appender dies mid-update");
+        }));
+        assert!(panicked.is_err());
+        // Later appenders get a typed error, not a propagated panic.
+        match committer.append(b"after") {
+            Err(StoreError::Poisoned(msg)) => assert!(msg.contains("committer lock"), "{msg}"),
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        // The unwrapped store carries the poison too...
+        let store = committer.into_store();
+        assert!(matches!(store.poisoned(), Some(StoreError::Poisoned(_))));
+        assert!(matches!(
+            store.replay(0),
+            Ok(records) if records.len() == 1
+        ));
+        drop(store);
+        // ...and a reopen recovers cleanly with every acked record.
+        let (store, _) = Store::open(&dir, group_config(4, 100)).unwrap();
+        assert!(store.poisoned().is_none());
+        assert_eq!(store.replay(0).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_group_fsync_poisons_committer_and_store() {
+        use crate::vfs::{FaultFs, FaultKind};
+        let dir = temp_dir("fsyncgate");
+        // Arm an fsync fault past the segment-creation fsyncs so it lands
+        // on the first *group* fsync (the next fsync-class op after the
+        // header fsync + dir fsync + frame write).
+        let fault = FaultFs::new(FaultKind::FailedFsync, 6);
+        let (store, _) = Store::open_with(
+            &dir,
+            group_config(4, 100),
+            std::sync::Arc::new(fault.clone()),
+        )
+        .unwrap();
+        let committer = GroupCommitter::new(store).unwrap();
+        let err = committer.append(b"doomed").unwrap_err();
+        assert!(matches!(err, StoreError::Poisoned(_)), "{err:?}");
+        assert!(
+            fault.injection().unwrap().contains("fsync"),
+            "{:?}",
+            fault.injection()
+        );
+        // Permanently: the next append is rejected without touching disk.
+        assert!(matches!(
+            committer.append(b"rejected"),
+            Err(StoreError::Poisoned(_))
+        ));
+        assert_eq!(
+            committer.last_synced(),
+            0,
+            "no ack without a covering fsync"
+        );
+        let store = committer.into_store();
+        assert!(store.poisoned().is_some());
+        drop(store);
+        // Reopen (real fs): the unacked record may or may not have reached
+        // the platter — both are legal — but the store itself is healthy.
+        let (store, _) = Store::open(&dir, group_config(4, 100)).unwrap();
+        assert!(store.poisoned().is_none());
+        assert!(store.replay(0).unwrap().len() <= 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

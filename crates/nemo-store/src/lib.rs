@@ -33,6 +33,15 @@
 //!   batch boundaries or idle ticks. Every removal hits the filesystem
 //!   before the in-memory manifest, so an error or a kill at any point
 //!   leaves a consistent store that resumes where it stopped.
+//! * **The filesystem seam** ([`vfs`]) — every filesystem call the engine
+//!   makes goes through a [`Vfs`]: [`RealFs`] in production, [`FaultFs`]
+//!   under test to deterministically inject the k-th-operation fault
+//!   (ENOSPC, EIO, short write, failed fsync, failed/torn rename) and
+//!   prove *error-anywhere* safety the way the crash tests prove
+//!   kill-anywhere safety. A failed fsync over appended records poisons
+//!   the store permanently ([`StoreError::Poisoned`]) — never retried on
+//!   possibly-dropped dirty pages — while rolled-back write faults stay
+//!   retryable ([`StoreError::retryable`]).
 //!
 //! ```
 //! use nemo_store::{FsyncPolicy, Store, StoreConfig};
@@ -65,6 +74,7 @@ pub mod record;
 pub mod segment;
 mod store;
 pub mod sweep;
+pub mod vfs;
 
 pub use error::StoreError;
 pub use group::GroupCommitter;
@@ -73,3 +83,4 @@ pub use store::{
     FsyncPolicy, OpenReport, Store, StoreConfig,
 };
 pub use sweep::{SnapshotMeta, SweepOutcome, SweepPlan};
+pub use vfs::{FaultFs, FaultKind, RealFs, Vfs, VfsFile};

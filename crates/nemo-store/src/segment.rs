@@ -9,6 +9,7 @@
 
 use crate::error::StoreError;
 use crate::record::{encode_frame, scan_frames, Frame};
+use crate::vfs::{RealFs, Vfs};
 use std::path::{Path, PathBuf};
 
 /// File extension of WAL segments.
@@ -71,14 +72,24 @@ impl SegmentScan {
 /// tail is reported, never an error: whether a tear is tolerable depends on
 /// the segment's position in the log, which is the store's call.
 pub fn scan_segment(path: &Path, magic: &str) -> Result<SegmentScan, StoreError> {
+    scan_segment_with(&RealFs, path, magic)
+}
+
+/// [`scan_segment`] reading through an explicit [`Vfs`].
+pub fn scan_segment_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    magic: &str,
+) -> Result<SegmentScan, StoreError> {
     let name = path
         .file_name()
         .and_then(|n| n.to_str())
         .ok_or_else(|| StoreError::Corrupt(format!("unreadable segment name: {path:?}")))?;
     let named_epoch = parse_segment_name(name)
         .ok_or_else(|| StoreError::Corrupt(format!("not a segment file name: {name}")))?;
-    let bytes =
-        std::fs::read(path).map_err(|e| StoreError::io(&format!("read {}", path.display()), e))?;
+    let bytes = vfs
+        .read(path)
+        .map_err(|e| StoreError::io_at("read", path, e))?;
     let context = path.display().to_string();
     let scan = scan_frames(&bytes, &context)?;
     let mut frames = scan.frames;

@@ -25,12 +25,12 @@
 
 use crate::error::StoreError;
 use crate::record::encode_frame;
-use crate::segment::{scan_segment, segment_file_name, SegmentScan};
+use crate::segment::{scan_segment_with, segment_file_name, SegmentScan};
 use crate::sweep::{SnapshotMeta, SweepOutcome, SweepPlan};
+use crate::vfs::{RealFs, Vfs, VfsFile};
 use std::collections::BTreeSet;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// When appended records reach the disk platter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,7 +163,7 @@ struct Sealed {
 /// The newest segment, open for append.
 #[derive(Debug)]
 struct Active {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     first_epoch: u64,
     records: u64,
@@ -200,13 +200,25 @@ pub struct OpenReport {
 pub struct Store {
     dir: PathBuf,
     config: StoreConfig,
+    /// Every filesystem operation goes through this seam; [`RealFs`] by
+    /// default, a fault injector under test.
+    vfs: Arc<dyn Vfs>,
     sealed: Vec<Sealed>,
     active: Option<Active>,
     /// Snapshots on disk, ascending by epoch.
     snapshots: Vec<SnapshotMeta>,
-    /// Epoch of the last durable record (or snapshot, whichever is
-    /// newest); `None` for an empty store.
+    /// Epoch of the last record or snapshot, whichever is newest; `None`
+    /// for an empty store.
     last_epoch: Option<u64>,
+    /// Epoch through which records are *known durable*: set on open (the
+    /// platter holds whatever survived), advanced by successful fsyncs.
+    /// Meaningful under durable policies; under [`FsyncPolicy::Never`] it
+    /// tracks explicit [`Store::sync`] calls only.
+    durable_epoch: Option<u64>,
+    /// Set once the write path is permanently wounded (a failed fsync
+    /// over appended records, an unrollbackable write). All mutating
+    /// operations are rejected with a clone of this error; reads stay up.
+    poisoned: Option<StoreError>,
     /// WAL bytes appended since the newest snapshot was installed — the
     /// byte trigger of [`Store::snapshot_due`]. On reopen this is
     /// approximated from segments holding records past the newest
@@ -217,29 +229,39 @@ pub struct Store {
 impl Store {
     /// Opens (creating if needed) the store at `dir`, validating every
     /// frame and repairing a crash tail — see the module docs for the
-    /// recovery discipline.
+    /// recovery discipline. Uses the production filesystem ([`RealFs`]);
+    /// [`Store::open_with`] takes an explicit [`Vfs`].
     pub fn open(dir: &Path, config: StoreConfig) -> Result<(Store, OpenReport), StoreError> {
+        Store::open_with(dir, config, Arc::new(RealFs))
+    }
+
+    /// [`Store::open`] with every filesystem operation routed through
+    /// `vfs` — the production seam for deterministic fault injection.
+    pub fn open_with(
+        dir: &Path,
+        config: StoreConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(Store, OpenReport), StoreError> {
         if config.keep_snapshots == 0 {
             return Err(StoreError::InvalidArgument(
                 "keep_snapshots must be at least 1".to_string(),
             ));
         }
-        std::fs::create_dir_all(dir)
-            .map_err(|e| StoreError::io(&format!("create {}", dir.display()), e))?;
+        vfs.create_dir_all(dir)
+            .map_err(|e| StoreError::io_at("create", dir, e))?;
         let mut report = OpenReport::default();
         let mut segment_paths: Vec<PathBuf> = Vec::new();
         let mut snapshots: Vec<SnapshotMeta> = Vec::new();
-        let entries = std::fs::read_dir(dir)
-            .map_err(|e| StoreError::io(&format!("list {}", dir.display()), e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| StoreError::io("list entry", e))?;
-            let path = entry.path();
+        let entries = vfs
+            .read_dir(dir)
+            .map_err(|e| StoreError::io_at("list", dir, e))?;
+        for path in entries {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
             if name.ends_with(".tmp") {
-                std::fs::remove_file(&path)
-                    .map_err(|e| StoreError::io(&format!("remove {name}"), e))?;
+                vfs.remove_file(&path)
+                    .map_err(|e| StoreError::io_at("remove", &path, e))?;
                 report.removed_tmp_files += 1;
             } else if crate::segment::parse_segment_name(name).is_some() {
                 segment_paths.push(path);
@@ -272,7 +294,7 @@ impl Store {
         // Scan and validate every segment; repair the newest one's tail.
         let mut scans: Vec<SegmentScan> = Vec::with_capacity(segment_paths.len());
         for path in &segment_paths {
-            scans.push(scan_segment(path, &config.magic)?);
+            scans.push(scan_segment_with(vfs.as_ref(), path, &config.magic)?);
         }
         for (i, scan) in scans.iter().enumerate() {
             let is_last = i + 1 == scans.len();
@@ -303,20 +325,19 @@ impl Store {
             if last.first_epoch.is_none() {
                 // The crash hit before the header frame landed: the file
                 // holds nothing; remove it entirely.
-                std::fs::remove_file(&last.path)
-                    .map_err(|e| StoreError::io(&format!("remove {}", last.path.display()), e))?;
+                vfs.remove_file(&last.path)
+                    .map_err(|e| StoreError::io_at("remove", &last.path, e))?;
                 report.truncated_bytes += last.file_len;
                 report.removed_torn_segment = true;
                 scans.pop();
             } else if let Some(torn_at) = last.torn_at {
-                let file = OpenOptions::new()
-                    .write(true)
-                    .open(&last.path)
-                    .map_err(|e| StoreError::io(&format!("open {}", last.path.display()), e))?;
+                let file = vfs
+                    .open_write(&last.path)
+                    .map_err(|e| StoreError::io_at("open", &last.path, e))?;
                 file.set_len(torn_at)
-                    .map_err(|e| StoreError::io(&format!("truncate {}", last.path.display()), e))?;
+                    .map_err(|e| StoreError::io_at("truncate", &last.path, e))?;
                 file.sync_data()
-                    .map_err(|e| StoreError::io(&format!("sync {}", last.path.display()), e))?;
+                    .map_err(|e| StoreError::io_at("fsync", &last.path, e))?;
                 report.truncated_bytes += last.file_len - torn_at;
                 last.file_len = torn_at;
                 last.torn_at = None;
@@ -332,10 +353,9 @@ impl Store {
             let first_epoch = scan.first_epoch.expect("headerless segment was removed");
             let records = scan.record_count();
             if i + 1 == scan_count {
-                let file = OpenOptions::new()
-                    .append(true)
-                    .open(&scan.path)
-                    .map_err(|e| StoreError::io(&format!("open {}", scan.path.display()), e))?;
+                let file = vfs
+                    .open_append(&scan.path)
+                    .map_err(|e| StoreError::io_at("open", &scan.path, e))?;
                 active = Some(Active {
                     file,
                     path: scan.path,
@@ -387,10 +407,14 @@ impl Store {
         let store = Store {
             dir: dir.to_path_buf(),
             config,
+            vfs,
             sealed,
             active,
             snapshots,
             last_epoch,
+            // Whatever survived on the platter to be scanned is durable.
+            durable_epoch: last_epoch,
+            poisoned: None,
             bytes_since_snapshot,
         };
         // A crash mid-sweep needs no repair — the surviving files are a
@@ -420,6 +444,52 @@ impl Store {
         self.last_epoch
     }
 
+    /// Epoch through which records are known durable (see the field docs:
+    /// advanced by successful fsyncs, best-effort under
+    /// [`FsyncPolicy::Never`]).
+    pub fn durable_epoch(&self) -> Option<u64> {
+        self.durable_epoch
+    }
+
+    /// Why the write path is permanently wounded, if it is. A poisoned
+    /// store rejects every mutation with a clone of this error; reads
+    /// ([`Store::replay`], [`Store::read_snapshot`]) stay available, and
+    /// reopening the directory recovers whatever the platter holds.
+    pub fn poisoned(&self) -> Option<&StoreError> {
+        self.poisoned.as_ref()
+    }
+
+    /// Permanently wounds the write path (idempotent: the first cause
+    /// wins). Used internally on fsync failure and by the group committer,
+    /// whose batch fsync runs outside the store.
+    pub(crate) fn mark_poisoned(&mut self, cause: StoreError) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(match cause {
+                already @ StoreError::Poisoned(_) => already,
+                other => StoreError::Poisoned(format!(
+                    "write path disabled after an unrecoverable I/O failure \
+                     (records past durable epoch {:?} have unknown durability): {other}",
+                    self.durable_epoch
+                )),
+            });
+        }
+    }
+
+    /// Records a successful externally-issued fsync covering everything
+    /// appended up to `epoch` (the group committer's batch fsync).
+    pub(crate) fn note_synced(&mut self, epoch: u64) {
+        if self.durable_epoch.map_or(true, |d| epoch > d) {
+            self.durable_epoch = Some(epoch);
+        }
+    }
+
+    fn check_poisoned(&self) -> Result<(), StoreError> {
+        match &self.poisoned {
+            Some(err) => Err(err.clone()),
+            None => Ok(()),
+        }
+    }
+
     /// Snapshot epochs on disk, ascending.
     pub fn snapshot_epochs(&self) -> Vec<u64> {
         self.snapshots.iter().map(|m| m.epoch).collect()
@@ -447,6 +517,7 @@ impl Store {
     /// contiguously (`last_epoch + 1`); the first append of an empty store
     /// sets the sequence's origin.
     pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StoreError> {
+        self.check_poisoned()?;
         if payload.is_empty() {
             // An empty frame is 8 zero bytes — what the decoder classifies
             // as a zero-filled crash tail. Writing one would make the next
@@ -473,9 +544,29 @@ impl Store {
                 // so under EveryBatch/GroupCommit an unsynced outgoing
                 // segment would never be covered by a later batch fsync.
                 if self.config.fsync.durable_metadata() {
-                    active.file.sync_data().map_err(|e| {
-                        StoreError::io(&format!("fsync {}", active.path.display()), e)
-                    })?;
+                    if let Err(e) = active.file.sync_data() {
+                        let err = StoreError::io_at("fsync", &active.path, e);
+                        // The records exist on disk regardless of the
+                        // fsync's fate: keep the manifest agreeing with
+                        // the directory, then wound the write path —
+                        // retrying an fsync over possibly-dropped dirty
+                        // pages would fake durability (fsyncgate).
+                        self.sealed.push(Sealed {
+                            path: active.path,
+                            first_epoch: active.first_epoch,
+                            records: active.records,
+                            bytes: active.bytes,
+                        });
+                        self.mark_poisoned(err.clone());
+                        return Err(err);
+                    }
+                }
+                // The seal fsync covered every record in the outgoing
+                // segment.
+                if let Some(sealed_last) = active.last_epoch() {
+                    if self.config.fsync.durable_metadata() {
+                        self.note_synced(sealed_last);
+                    }
                 }
                 self.sealed.push(Sealed {
                     path: active.path,
@@ -488,20 +579,42 @@ impl Store {
         }
         let frame = encode_frame(payload);
         let active = self.active.as_mut().expect("just ensured");
-        active
-            .file
-            .write_all(&frame)
-            .map_err(|e| StoreError::io(&format!("append to {}", active.path.display()), e))?;
+        if let Err(e) = active.file.write_all(&frame) {
+            let err = StoreError::io_at("append", &active.path, e);
+            // The write may have landed partially (ENOSPC mid-buffer, a
+            // short write). Truncate back to the last clean frame
+            // boundary; append-mode handles then resume at the new EOF,
+            // so a retried append starts from exactly the pre-write
+            // state. If even the truncation fails the tail's contents are
+            // unknowable — poison the write path.
+            if let Err(trunc) = active.file.set_len(active.bytes) {
+                let poison = StoreError::Poisoned(format!(
+                    "append to {} failed ({err}) and truncating the partial tail back \
+                     to {} bytes failed too ({trunc}) — the segment tail is unknowable",
+                    active.path.display(),
+                    active.bytes,
+                ));
+                self.poisoned = Some(poison.clone());
+                return Err(poison);
+            }
+            return Err(err);
+        }
         active.records += 1;
         active.bytes += frame.len() as u64;
         self.bytes_since_snapshot += frame.len() as u64;
-        if self.config.fsync == FsyncPolicy::EveryRecord {
-            active
-                .file
-                .sync_data()
-                .map_err(|e| StoreError::io(&format!("fsync {}", active.path.display()), e))?;
-        }
+        // Count the record *before* the policy fsync: it is physically in
+        // the file, so memory and disk agree whether or not the fsync
+        // below succeeds. The ack (an `Ok` return) is still withheld
+        // until durability is established.
         self.last_epoch = Some(epoch);
+        if self.config.fsync == FsyncPolicy::EveryRecord {
+            if let Err(e) = active.file.sync_data() {
+                let err = StoreError::io_at("fsync", &active.path, e);
+                self.mark_poisoned(err.clone());
+                return Err(err);
+            }
+            self.durable_epoch = Some(epoch);
+        }
         Ok(())
     }
 
@@ -509,12 +622,15 @@ impl Store {
     /// [`FsyncPolicy::EveryBatch`]; a no-op when nothing is open). Syncs
     /// regardless of policy — the policy only governs *automatic* syncs.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.check_poisoned()?;
         if let Some(active) = &self.active {
-            active
-                .file
-                .sync_data()
-                .map_err(|e| StoreError::io(&format!("fsync {}", active.path.display()), e))?;
+            if let Err(e) = active.file.sync_data() {
+                let err = StoreError::io_at("fsync", &active.path, e);
+                self.mark_poisoned(err.clone());
+                return Err(err);
+            }
         }
+        self.durable_epoch = self.last_epoch;
         Ok(())
     }
 
@@ -525,32 +641,49 @@ impl Store {
     /// appends land during the disk wait and form the next batch. Records
     /// in sealed segments need no further coverage: rotation seals them
     /// with their own fsync.
-    pub(crate) fn clone_active_handle(&self) -> Result<Option<std::fs::File>, StoreError> {
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn clone_active_handle(
+        &self,
+    ) -> Result<Option<(Box<dyn VfsFile>, PathBuf)>, StoreError> {
         match &self.active {
             Some(active) => active
                 .file
                 .try_clone()
-                .map(Some)
-                .map_err(|e| StoreError::io(&format!("clone {}", active.path.display()), e)),
+                .map(|file| Some((file, active.path.clone())))
+                .map_err(|e| StoreError::io_at("clone", &active.path, e)),
             None => Ok(None),
         }
     }
 
     /// Creates a fresh segment whose first record will carry `first_epoch`.
+    ///
+    /// Error safety: any failure after the file exists rolls the creation
+    /// back (best-effort removal), so a retried append re-creates the
+    /// segment instead of colliding with a half-written orphan. Because
+    /// the rollback erases the file, a failed header fsync here does
+    /// *not* poison the store: no appended record's durability rides on
+    /// pages the kernel may have dropped.
     fn create_segment(&self, first_epoch: u64) -> Result<Active, StoreError> {
         let path = self.dir.join(segment_file_name(first_epoch));
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-            .map_err(|e| StoreError::io(&format!("create {}", path.display()), e))?;
+        let mut file = self
+            .vfs
+            .create_new(&path)
+            .map_err(|e| StoreError::io_at("create", &path, e))?;
         let header = crate::segment::header_frame(&self.config.magic, first_epoch);
-        file.write_all(&header)
-            .map_err(|e| StoreError::io(&format!("write header {}", path.display()), e))?;
-        if self.config.fsync.durable_metadata() {
-            file.sync_data()
-                .map_err(|e| StoreError::io(&format!("fsync {}", path.display()), e))?;
-            self.sync_dir()?;
+        let staged: Result<(), StoreError> = (|| {
+            file.write_all(&header)
+                .map_err(|e| StoreError::io_at("write header", &path, e))?;
+            if self.config.fsync.durable_metadata() {
+                file.sync_data()
+                    .map_err(|e| StoreError::io_at("fsync", &path, e))?;
+                self.sync_dir()?;
+            }
+            Ok(())
+        })();
+        if let Err(err) = staged {
+            drop(file);
+            let _ = self.vfs.remove_file(&path);
+            return Err(err);
         }
         Ok(Active {
             file,
@@ -562,9 +695,9 @@ impl Store {
     }
 
     fn sync_dir(&self) -> Result<(), StoreError> {
-        File::open(&self.dir)
-            .and_then(|d| d.sync_all())
-            .map_err(|e| StoreError::io(&format!("fsync dir {}", self.dir.display()), e))
+        self.vfs
+            .sync_dir(&self.dir)
+            .map_err(|e| StoreError::io_at("fsync dir", &self.dir, e))
     }
 
     /// Validations shared by both snapshot installers.
@@ -593,27 +726,47 @@ impl Store {
 
     /// Writes a snapshot document to `file_name` atomically: temp file,
     /// framed and checksummed, fsynced (per policy), renamed into place.
+    ///
+    /// Error safety: every failure rolls the filesystem back to "no such
+    /// snapshot" (best-effort removal of the temp file *and* the final
+    /// name — a torn rename can report failure after the entry already
+    /// moved). The manifest never records a snapshot this function
+    /// errored on, so disk must not keep one either: a leftover
+    /// same-epoch file would collide with a retried install of a
+    /// different kind (full vs delta) and read as corruption on reopen.
+    /// No poisoning — the rollback erases the only pages a failed fsync
+    /// here could have covered, and no appended record depends on them.
     fn write_snapshot_file(&self, file_name: &str, document: &[u8]) -> Result<(), StoreError> {
         let final_path = self.dir.join(file_name);
         let tmp_path = self.dir.join(format!("{file_name}.tmp"));
-        {
-            let mut file = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&tmp_path)
-                .map_err(|e| StoreError::io(&format!("create {}", tmp_path.display()), e))?;
+        let staged: Result<(), StoreError> = (|| {
+            let mut file = self
+                .vfs
+                .create_truncate(&tmp_path)
+                .map_err(|e| StoreError::io_at("create", &tmp_path, e))?;
             file.write_all(&encode_frame(document))
-                .map_err(|e| StoreError::io(&format!("write {}", tmp_path.display()), e))?;
+                .map_err(|e| StoreError::io_at("write", &tmp_path, e))?;
             if self.config.fsync.durable_metadata() {
                 file.sync_data()
-                    .map_err(|e| StoreError::io(&format!("fsync {}", tmp_path.display()), e))?;
+                    .map_err(|e| StoreError::io_at("fsync", &tmp_path, e))?;
             }
+            Ok(())
+        })();
+        if let Err(err) = staged {
+            let _ = self.vfs.remove_file(&tmp_path);
+            return Err(err);
         }
-        std::fs::rename(&tmp_path, &final_path)
-            .map_err(|e| StoreError::io(&format!("rename {}", final_path.display()), e))?;
+        if let Err(e) = self.vfs.rename(&tmp_path, &final_path) {
+            let err = StoreError::io_at("rename", &final_path, e);
+            let _ = self.vfs.remove_file(&final_path);
+            let _ = self.vfs.remove_file(&tmp_path);
+            return Err(err);
+        }
         if self.config.fsync.durable_metadata() {
-            self.sync_dir()?;
+            if let Err(err) = self.sync_dir() {
+                let _ = self.vfs.remove_file(&final_path);
+                return Err(err);
+            }
         }
         Ok(())
     }
@@ -624,10 +777,15 @@ impl Store {
     /// [`SweepPlan`] (recomputable at any time, so a crash loses nothing)
     /// and executed off the write path by [`Store::sweep`].
     pub fn install_snapshot(&mut self, epoch: u64, document: &[u8]) -> Result<(), StoreError> {
+        self.check_poisoned()?;
         self.check_snapshot_install(epoch, document)?;
         self.write_snapshot_file(&snapshot_file_name(epoch), document)?;
         self.snapshots.push(SnapshotMeta::full(epoch));
         self.last_epoch = Some(self.last_epoch.map_or(epoch, |l| l.max(epoch)));
+        if self.config.fsync.durable_metadata() {
+            // The fsynced, renamed document durably captures `epoch`.
+            self.note_synced(epoch);
+        }
         self.bytes_since_snapshot = 0;
         Ok(())
     }
@@ -642,6 +800,7 @@ impl Store {
         base: u64,
         document: &[u8],
     ) -> Result<(), StoreError> {
+        self.check_poisoned()?;
         self.check_snapshot_install(epoch, document)?;
         if !self.snapshots.iter().any(|m| m.epoch == base) {
             return Err(StoreError::InvalidArgument(format!(
@@ -652,6 +811,9 @@ impl Store {
         self.write_snapshot_file(&delta_snapshot_file_name(epoch, base), document)?;
         self.snapshots.push(SnapshotMeta::delta(epoch, base));
         self.last_epoch = Some(self.last_epoch.map_or(epoch, |l| l.max(epoch)));
+        if self.config.fsync.durable_metadata() {
+            self.note_synced(epoch);
+        }
         self.bytes_since_snapshot = 0;
         Ok(())
     }
@@ -736,11 +898,11 @@ impl Store {
     /// Removes `path`, treating "already gone" as success: a crash after
     /// the removal but before the manifest caught up (or a half-executed
     /// sweep resumed after reopen) must not fail the resumed sweep.
-    fn remove_swept_file(path: &Path) -> Result<(), StoreError> {
-        match std::fs::remove_file(path) {
+    fn remove_swept_file(&self, path: &Path) -> Result<(), StoreError> {
+        match self.vfs.remove_file(path) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(StoreError::io(&format!("remove {}", path.display()), e)),
+            Err(e) => Err(StoreError::io_at("remove", path, e)),
         }
     }
 
@@ -761,6 +923,7 @@ impl Store {
     /// all pruning) plus an unbroken WAL suffix from the oldest retained
     /// snapshot to the tip.
     pub fn sweep(&mut self, max_removals: usize) -> Result<SweepOutcome, StoreError> {
+        self.check_poisoned()?;
         let mut outcome = SweepOutcome::default();
         let mut budget = max_removals;
         let plan = self.sweep_plan();
@@ -778,7 +941,7 @@ impl Store {
                 Some(base) => delta_snapshot_file_name(meta.epoch, base),
                 None => snapshot_file_name(meta.epoch),
             };
-            Self::remove_swept_file(&self.dir.join(name))?;
+            self.remove_swept_file(&self.dir.join(name))?;
             self.snapshots.remove(index);
             outcome.pruned_snapshots += 1;
             budget -= 1;
@@ -790,7 +953,7 @@ impl Store {
             let mut segments_left = plan.remove_segments.len();
             while budget > 0 && segments_left > 0 {
                 if let Some(path) = self.sealed.first().map(|s| s.path.clone()) {
-                    Self::remove_swept_file(&path)?;
+                    self.remove_swept_file(&path)?;
                     self.sealed.remove(0);
                 } else {
                     let path = self
@@ -799,7 +962,7 @@ impl Store {
                         .expect("plan names the active segment")
                         .path
                         .clone();
-                    Self::remove_swept_file(&path)?;
+                    self.remove_swept_file(&path)?;
                     self.active = None;
                 }
                 outcome.removed_segments += 1;
@@ -838,8 +1001,10 @@ impl Store {
             _ => snapshot_file_name(epoch),
         };
         let path = self.dir.join(name);
-        let bytes = std::fs::read(&path)
-            .map_err(|e| StoreError::io(&format!("read {}", path.display()), e))?;
+        let bytes = self
+            .vfs
+            .read(&path)
+            .map_err(|e| StoreError::io_at("read", &path, e))?;
         let context = path.display().to_string();
         let scan = crate::record::scan_frames(&bytes, &context)?;
         if scan.torn_at.is_some() || scan.frames.len() != 1 {
@@ -869,7 +1034,7 @@ impl Store {
             if records > 0 && first_epoch + records - 1 <= from_epoch {
                 continue;
             }
-            let scan = scan_segment(&path, &self.config.magic)?;
+            let scan = scan_segment_with(self.vfs.as_ref(), &path, &self.config.magic)?;
             if scan.torn_at.is_some() {
                 return Err(StoreError::Corrupt(format!(
                     "{}: segment changed since open (unexpected torn frame)",
@@ -1211,7 +1376,7 @@ mod tests {
         let blocked = store.sweep_plan().remove_segments[1].clone();
         obstruct(&blocked);
         let err = store.sweep(usize::MAX).unwrap_err();
-        assert!(matches!(err, StoreError::Io(_)), "{err:?}");
+        assert!(matches!(err, StoreError::Io { .. }), "{err:?}");
         // The prune and the first segment removal committed; the blocked
         // segment stays in the manifest — nothing was silently dropped.
         assert_eq!(store.snapshot_epochs(), &[12, 21]);
@@ -1389,6 +1554,242 @@ mod tests {
             Store::open(&dir, test_config()),
             Err(StoreError::Corrupt(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    use crate::vfs::{FaultFs, FaultKind};
+
+    fn open_faulty(
+        dir: &Path,
+        config: StoreConfig,
+        kind: FaultKind,
+        fault_at: u64,
+    ) -> (Store, FaultFs) {
+        let fault = FaultFs::new(kind, fault_at);
+        let (store, _) = Store::open_with(dir, config, Arc::new(fault.clone())).unwrap();
+        (store, fault)
+    }
+
+    #[test]
+    fn short_write_on_append_is_repaired_and_retryable() {
+        let dir = temp_dir("fault-shortwrite");
+        // Op order: create_dir(0), read_dir(1), create_new(2), header
+        // write(3), frame write(4) — arm the tear on the frame write.
+        let (mut store, fault) = open_faulty(&dir, test_config(), FaultKind::ShortWrite, 4);
+        let err = store.append(1, &payload(1)).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Io { op, .. } if op == "append"),
+            "{err:?}"
+        );
+        assert!(err.retryable());
+        assert!(fault.injection().is_some());
+        assert!(store.poisoned().is_none(), "repaired tear must not poison");
+        assert_eq!(store.last_epoch(), None, "failed append is not counted");
+        // The torn half-frame was truncated away: the retry lands on a
+        // clean boundary and replay sees exactly the retried record.
+        store.append(1, &payload(1)).unwrap();
+        store.append(2, &payload(2)).unwrap();
+        assert_eq!(store.replay(0).unwrap().len(), 2);
+        drop(store);
+        let (store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.truncated_bytes, 0, "no crash tail left behind");
+        assert_eq!(store.replay(0).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_record_fsync_poisons_but_reopen_recovers() {
+        let dir = temp_dir("fault-fsyncgate");
+        let mut config = test_config();
+        config.fsync = FsyncPolicy::EveryRecord;
+        // Op order: create_dir(0), read_dir(1), create_new(2), header
+        // write(3), header fsync(4), dir fsync(5), frame write(6), record
+        // fsync(7). Arm at 6: the frame write is not fsync-class, so the
+        // fault lands on the record fsync at 7.
+        let (mut store, _fault) = open_faulty(&dir, config.clone(), FaultKind::FailedFsync, 6);
+        let err = store.append(1, &payload(1)).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Io { op, .. } if op == "fsync"),
+            "{err:?}"
+        );
+        assert!(!err.retryable(), "fsync failures must never be retried");
+        // Fsyncgate: the store is permanently poisoned; reads stay up.
+        assert!(matches!(store.poisoned(), Some(StoreError::Poisoned(_))));
+        assert!(matches!(
+            store.append(2, &payload(2)),
+            Err(StoreError::Poisoned(_))
+        ));
+        assert!(matches!(store.sync(), Err(StoreError::Poisoned(_))));
+        assert!(matches!(
+            store.install_snapshot(1, b"doc"),
+            Err(StoreError::Poisoned(_))
+        ));
+        assert!(matches!(
+            store.sweep(usize::MAX),
+            Err(StoreError::Poisoned(_))
+        ));
+        assert_eq!(store.replay(0).unwrap().len(), 1, "reads still answer");
+        assert_eq!(
+            store.durable_epoch(),
+            None,
+            "nothing was ever acked durable"
+        );
+        drop(store);
+        // Reopen through the real fs: the unacked record survived in the
+        // page cache here, which is a state a clean store could produce
+        // (append succeeded, crash before ack).
+        let (store, _) = Store::open(&dir, config).unwrap();
+        assert!(store.poisoned().is_none());
+        assert_eq!(store.replay(0).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_seal_fsync_keeps_manifest_matching_disk() {
+        let dir = temp_dir("fault-seal");
+        let mut config = test_config();
+        config.fsync = FsyncPolicy::EveryBatch; // durable metadata: seals fsync
+                                                // Appends 1..=3 fill the 64-byte segment; append 4 rotates and the
+                                                // seal fsync is the first fsync-class op after the frame writes:
+                                                // create_dir(0), read_dir(1), create_new(2), header(3), header
+                                                // fsync(4), dir fsync(5), frames(6,7,8), seal fsync(9).
+        let (mut store, _fault) = open_faulty(&dir, config.clone(), FaultKind::FailedFsync, 8);
+        for epoch in 1..=3 {
+            store.append(epoch, &payload(epoch)).unwrap();
+        }
+        let err = store.append(4, &payload(4)).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Io { op, .. } if op == "fsync"),
+            "{err:?}"
+        );
+        assert!(store.poisoned().is_some());
+        // The outgoing segment's records are on disk; the manifest must
+        // still list them (sealed), not drop them.
+        assert_eq!(store.segment_paths().len(), 1);
+        assert_eq!(store.replay(0).unwrap().len(), 3);
+        assert_eq!(
+            store.last_epoch(),
+            Some(3),
+            "the rotating append never landed"
+        );
+        drop(store);
+        let (store, _) = Store::open(&dir, config).unwrap();
+        assert_eq!(store.replay(0).unwrap().len(), 3);
+        assert_eq!(store.last_epoch(), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_segment_creation_rolls_back_the_orphan() {
+        let dir = temp_dir("fault-create");
+        // ENOSPC on the header write (op 3): the half-created segment must
+        // be rolled back so the retry's create_new does not collide.
+        let (mut store, _fault) = open_faulty(&dir, test_config(), FaultKind::Enospc, 3);
+        let err = store.append(1, &payload(1)).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Io { op, .. } if op == "write header"),
+            "{err:?}"
+        );
+        assert!(err.retryable());
+        assert!(store.poisoned().is_none());
+        assert!(
+            !dir.join(segment_file_name(1)).exists(),
+            "orphaned segment file must be rolled back"
+        );
+        store.append(1, &payload(1)).unwrap();
+        assert_eq!(store.replay(0).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_snapshot_rename_rolls_back_and_retries() {
+        let dir = temp_dir("fault-rename");
+        // Ops: create_dir(0), read_dir(1), append ops (2..=4), then
+        // install: create tmp(5), write(6), rename(7) — the first
+        // rename-class op, wherever it falls.
+        let (mut store, fault) = open_faulty(&dir, test_config(), FaultKind::FailedRename, 0);
+        store.append(1, &payload(1)).unwrap();
+        let err = store.install_snapshot(1, b"state at one").unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Io { op, .. } if op == "rename"),
+            "{err:?}"
+        );
+        assert!(err.retryable());
+        assert!(fault.injection().unwrap().contains("rename"));
+        // Manifest never got ahead of the directory, and no tmp leaked.
+        assert_eq!(store.snapshot_epochs(), &[] as &[u64]);
+        assert!(!dir.join(snapshot_file_name(1)).exists());
+        assert!(!dir.join(format!("{}.tmp", snapshot_file_name(1))).exists());
+        // The retry succeeds and reopen agrees.
+        store.install_snapshot(1, b"state at one").unwrap();
+        assert_eq!(store.read_snapshot(1).unwrap(), b"state at one");
+        drop(store);
+        let (store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.snapshots, 1);
+        assert_eq!(store.read_snapshot(1).unwrap(), b"state at one");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_snapshot_rename_cannot_create_a_duplicate_epoch() {
+        let dir = temp_dir("fault-torn-rename");
+        // A torn rename *lands in the directory* but reports failure. If
+        // the store left the file there, a follow-up install capturing the
+        // same epoch as a *delta* would put two files for one epoch on
+        // disk — which reopen rejects as corruption. The rollback must
+        // remove the landed file.
+        let (mut store, fault) = open_faulty(&dir, test_config(), FaultKind::TornRename, 5);
+        store.install_snapshot(0, b"genesis").unwrap(); // rename op 4: passes
+        store.append(1, &payload(1)).unwrap();
+        let err = store.install_snapshot(1, b"full at one").unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Io { op, .. } if op == "rename"),
+            "{err:?}"
+        );
+        assert!(fault.injection().unwrap().contains("torn-rename"));
+        assert_eq!(store.snapshot_epochs(), &[0]);
+        assert!(
+            !dir.join(snapshot_file_name(1)).exists(),
+            "torn-rename landed file must be rolled back"
+        );
+        // The same epoch now installs as a delta — no duplicate on disk.
+        store.install_delta_snapshot(1, 0, b"delta 0->1").unwrap();
+        assert_eq!(store.read_snapshot(1).unwrap(), b"delta 0->1");
+        drop(store);
+        let (store, report) = Store::open(&dir, test_config()).unwrap();
+        assert_eq!(report.snapshots, 2);
+        assert_eq!(
+            store.snapshot_metas(),
+            &[SnapshotMeta::full(0), SnapshotMeta::delta(1, 0)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_epoch_tracks_fsync_coverage() {
+        let dir = temp_dir("durable-epoch");
+        let mut config = test_config();
+        config.fsync = FsyncPolicy::EveryBatch;
+        let (mut store, _) = Store::open(&dir, config.clone()).unwrap();
+        assert_eq!(store.durable_epoch(), None);
+        store.append(1, &payload(1)).unwrap();
+        store.append(2, &payload(2)).unwrap();
+        assert_eq!(
+            store.durable_epoch(),
+            None,
+            "no fsync covered the batch yet"
+        );
+        store.sync().unwrap();
+        assert_eq!(store.durable_epoch(), Some(2));
+        store.append(3, &payload(3)).unwrap();
+        assert_eq!(store.durable_epoch(), Some(2));
+        // A durable snapshot install advances coverage to its epoch.
+        store.install_snapshot(3, b"state at three").unwrap();
+        assert_eq!(store.durable_epoch(), Some(3));
+        drop(store);
+        // On reopen everything scanned off the platter counts as durable.
+        let (store, _) = Store::open(&dir, config).unwrap();
+        assert_eq!(store.durable_epoch(), Some(3));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
