@@ -163,7 +163,11 @@ fn set_unit(report: &mut JsonValue, name: &str, unit: &str) {
 }
 
 fn run_transcript(dir: &Path, path: &str, crash_at: Option<u64>) -> ExitCode {
-    let config = DurabilityConfig::from_env();
+    let mut config = DurabilityConfig::from_env();
+    // A fresh registry per run: the final snapshot is dumped next to the
+    // transcript so CI artifacts carry the metrics alongside the lines.
+    let registry = nemo_obs::Registry::new();
+    config.options.registry = registry.clone();
     let threads = pool::thread_count();
     eprintln!(
         "[durability] {} clients x {} events on {} worker thread(s){}",
@@ -192,6 +196,12 @@ fn run_transcript(dir: &Path, path: &str, crash_at: Option<u64>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {path} ({} transcript lines)", lines.len());
+            let metrics_path = format!("{path}.metrics.json");
+            if let Err(e) = std::fs::write(&metrics_path, registry.snapshot().to_json() + "\n") {
+                eprintln!("durability_bench: cannot write {metrics_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {metrics_path}");
             ExitCode::SUCCESS
         }
         Err(e) => {

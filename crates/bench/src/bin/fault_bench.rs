@@ -31,6 +31,7 @@
 use nemo_bench::perf::{self, Measurement};
 use nemo_core::llm::profiles;
 use nemo_core::{Backend, SimulatedLlm};
+use nemo_obs::Registry;
 use nemo_serve::driver::{self, DriveConfig};
 use nemo_serve::persist::{FsyncPolicy, PersistOptions};
 use nemo_serve::{LiveNetwork, Server, ServerBuilder, Session};
@@ -215,13 +216,14 @@ fn group_commit_mps(appends: usize) -> f64 {
     appends as f64 / elapsed
 }
 
-/// Builds a persistent single-shard server over `vfs` and applies the
-/// stream's first event (so both the healthy and the degraded server
-/// answer at epoch 1).
+/// Builds a persistent single-shard server over `vfs` recording into
+/// `registry` and applies the stream's first event (so both the healthy
+/// and the degraded server answer at epoch 1).
 fn persistent_server(
     config: &DriveConfig,
     vfs: Arc<dyn Vfs>,
     root: &std::path::Path,
+    registry: &Registry,
 ) -> Server<SimulatedLlm> {
     let workload = generate(&config.traffic);
     let live = LiveNetwork::from_workload(&workload);
@@ -241,6 +243,7 @@ fn persistent_server(
     let mut server = ServerBuilder::new()
         .options(PersistOptions {
             fsync: FsyncPolicy::EveryRecord,
+            registry: registry.clone(),
             ..PersistOptions::default()
         })
         .vfs(vfs)
@@ -283,8 +286,10 @@ fn qps(samples: &[f64]) -> f64 {
 
 /// Measures cached-read throughput of a healthy server and of the same
 /// server with its write path poisoned mid-stream (degraded mode).
-/// Returns `(healthy_qps, degraded_qps)`.
-fn degraded_read_qps(rounds: usize) -> (f64, f64) {
+/// Returns `(healthy_qps, degraded_qps)` plus the degraded run's registry
+/// — its snapshot (surfaced fault, poison event, degraded transition) is
+/// dumped next to the report.
+fn degraded_read_qps(rounds: usize) -> (f64, f64, Registry) {
     let config = DriveConfig::from_env();
     let queries: Vec<String> = nemo_bench::traffic_queries()
         .into_iter()
@@ -302,7 +307,7 @@ fn degraded_read_qps(rounds: usize) -> (f64, f64) {
 
     // Healthy baseline.
     let dir = scratch_dir("healthy");
-    let mut healthy = persistent_server(&config, Arc::new(RealFs), &dir);
+    let mut healthy = persistent_server(&config, Arc::new(RealFs), &dir, &Registry::new());
     let _ = query_round(&mut healthy, &queries); // warm the caches
     let mut samples = Vec::new();
     for _ in 0..rounds {
@@ -317,14 +322,15 @@ fn degraded_read_qps(rounds: usize) -> (f64, f64) {
     // degraded read-only mode, and the query loop keeps running.
     let dir = scratch_dir("degraded-calibrate");
     let calibrate = Arc::new(FaultFs::new(FaultKind::FailedFsync, u64::MAX));
-    let server = persistent_server(&config, calibrate.clone(), &dir);
+    let server = persistent_server(&config, calibrate.clone(), &dir, &Registry::new());
     let cut = calibrate.ops();
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
 
     let dir = scratch_dir("degraded");
     let fault = Arc::new(FaultFs::new(FaultKind::FailedFsync, cut));
-    let mut degraded = persistent_server(&config, fault.clone(), &dir);
+    let registry = Registry::new();
+    let mut degraded = persistent_server(&config, fault.clone(), &dir, &registry);
     degraded
         .apply_mutation(&stream[1])
         .expect_err("the armed commit fsync must fail");
@@ -343,7 +349,7 @@ fn degraded_read_qps(rounds: usize) -> (f64, f64) {
     drop(degraded);
     let _ = std::fs::remove_dir_all(&dir);
 
-    (healthy_qps, degraded_qps)
+    (healthy_qps, degraded_qps, registry)
 }
 
 /// Patches the auto-filled `ms` unit on non-latency entries.
@@ -383,7 +389,7 @@ fn run_report(pr: &str, out: &str) -> ExitCode {
     println!("append group commit:          {group_mps:>11.1} appends/s");
 
     eprintln!("[fault] degraded-mode read availability...");
-    let (healthy_qps, degraded_qps) = degraded_read_qps(sizes.query_rounds);
+    let (healthy_qps, degraded_qps, registry) = degraded_read_qps(sizes.query_rounds);
     println!("cached reads, healthy:        {healthy_qps:>11.1} q/s");
     println!("cached reads, degraded:       {degraded_qps:>11.1} q/s");
 
@@ -439,6 +445,14 @@ fn run_report(pr: &str, out: &str) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
+    // The degraded run's metrics (the surfaced fault, the poison event,
+    // the degraded transition) ride along as a sibling artifact.
+    let metrics_path = format!("{out}.metrics.json");
+    if let Err(e) = std::fs::write(&metrics_path, registry.snapshot().to_json() + "\n") {
+        eprintln!("fault_bench: cannot write {metrics_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {metrics_path}");
     ExitCode::SUCCESS
 }
 

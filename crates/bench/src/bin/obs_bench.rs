@@ -1,0 +1,550 @@
+//! Observability benchmark + metrics smoke driver: what the PR 9
+//! `nemo-obs` instrumentation costs on the hot paths (expected: nothing
+//! measurable), and the CI smoke mode that proves the `nemo-metrics/v1`
+//! document is schema-valid and its logical subset is invariant across
+//! worker-thread and shard counts.
+//!
+//! Usage:
+//!
+//! ```text
+//! obs_bench [--pr pr9] [--out BENCH_pr9.json]
+//! obs_bench --smoke --shards <n> --logical <file> [--doc <file>]
+//! ```
+//!
+//! The default mode records, into the `nemo-perf-report/v1` schema:
+//!
+//! * `instrumented_append_ms` — wall milliseconds per `Store::append`
+//!   (fsync never), `before` with no metrics attached (the detached
+//!   `Default` cells), `after` with a [`StoreMetrics`] bundle registered
+//!   in a live [`Registry`]. The speedup must sit at ~1.0: recording
+//!   into atomic cells without taking snapshots is the free path.
+//! * `vfs_logged_append_mps` / `healthy_read_qps` — the PR 8 parity
+//!   numbers, re-measured with instrumentation live, so
+//!   `BENCH_pr9.json` pins the instrumented hot paths directly against
+//!   `BENCH_pr8.json`.
+//! * `registry_counter_inc_mps` / `registry_histogram_record_mps` —
+//!   raw recording throughput of one counter / histogram cell.
+//! * `registry_snapshot_ms` — cost of one full snapshot + JSON render
+//!   of a serving-shaped registry (the price of *looking*, paid only
+//!   when a stats request arrives).
+//!
+//! The smoke mode drives a pool-fanned multi-client durability run and
+//! a typed-request sharded drive into **one shared registry**, fetches
+//! [`Request::Stats`], schema-validates the embedded document, and
+//! writes the logical subset to `--logical` — CI byte-compares that
+//! file across its `NEMO_THREADS` x shards matrix.
+
+use nemo_bench::perf::{self, Measurement};
+use nemo_bench::pool;
+use nemo_core::llm::profiles;
+use nemo_core::{Backend, SimulatedLlm};
+use nemo_obs::{Class, Registry};
+use nemo_serve::driver::{self, DriveConfig};
+use nemo_serve::durability::{self, DurabilityConfig};
+use nemo_serve::{LiveNetwork, PersistOptions, Request, Response, Server, ServerBuilder, Session};
+use nemo_store::{RealFs, Store, StoreConfig, StoreMetrics, Vfs};
+use netgraph::json::JsonValue;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use trafficgen::{evolve, generate, NetEvent, StreamConfig, TimedEvent};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: obs_bench [--pr <tag>] [--out <file>]\n\
+         \u{20}      obs_bench --smoke --shards <n> --logical <file> [--doc <file>]"
+    );
+    ExitCode::FAILURE
+}
+
+struct BenchSizes {
+    /// Appends in the instrumented-append runs.
+    appends: usize,
+    /// Cell operations in the raw registry microbenches.
+    cell_ops: usize,
+    /// Timed query rounds in the healthy-read run.
+    query_rounds: usize,
+    /// Snapshot + render repetitions.
+    snapshots: usize,
+}
+
+impl BenchSizes {
+    fn from_env() -> Self {
+        if std::env::var("NEMO_SMALL").is_ok() {
+            BenchSizes {
+                appends: 2_000,
+                cell_ops: 200_000,
+                query_rounds: 3,
+                snapshots: 20,
+            }
+        } else {
+            BenchSizes {
+                appends: 20_000,
+                cell_ops: 2_000_000,
+                query_rounds: 6,
+                snapshots: 200,
+            }
+        }
+    }
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        magic: "nemo-obs-bench/v1".to_string(),
+        fsync: nemo_store::FsyncPolicy::Never,
+        segment_max_bytes: 256 << 10,
+        snapshot_every_bytes: 0,
+        snapshot_every_epochs: 0,
+        keep_snapshots: 1,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nemo-obs-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A WAL-record-sized payload, distinct per epoch.
+fn payload(epoch: u64) -> Vec<u8> {
+    format!(
+        "{{\"schema\":\"nemo-obs-bench/v1\",\"epoch\":{epoch},\"mutation\":\
+         \"set-flow 10.0.0.1->10.0.0.2 bytes={}\"}}",
+        epoch * 131
+    )
+    .into_bytes()
+}
+
+/// Appends per second through `Store::append` (fsync never), with or
+/// without a registered [`StoreMetrics`] bundle attached — the
+/// instrumentation-overhead probe.
+fn append_mps(appends: usize, metrics: Option<StoreMetrics>) -> f64 {
+    let dir = scratch_dir(if metrics.is_some() {
+        "append-observed"
+    } else {
+        "append-bare"
+    });
+    let (mut store, _) = Store::open_with(&dir, store_config(), Arc::new(RealFs) as Arc<dyn Vfs>)
+        .expect("fresh bench store");
+    if let Some(metrics) = metrics {
+        store.attach_metrics(metrics);
+    }
+    let start = Instant::now();
+    for epoch in 1..=appends as u64 {
+        store
+            .append(epoch, &payload(epoch))
+            .expect("bench append succeeds");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    appends as f64 / elapsed
+}
+
+/// Raw recording throughput of one counter cell, ops per second.
+fn counter_inc_mps(ops: usize) -> f64 {
+    let registry = Registry::new();
+    let counter = registry.counter("bench_counter", Class::Physical);
+    let start = Instant::now();
+    for _ in 0..ops {
+        counter.inc();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(counter.get(), ops as u64);
+    ops as f64 / elapsed
+}
+
+/// Raw recording throughput of one histogram cell, ops per second.
+fn histogram_record_mps(ops: usize) -> f64 {
+    let registry = Registry::new();
+    let histogram = registry.histogram("bench_histogram", Class::Physical);
+    let start = Instant::now();
+    for i in 0..ops {
+        histogram.record(i as u64);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(histogram.snapshot().count, ops as u64);
+    ops as f64 / elapsed
+}
+
+/// Milliseconds per full snapshot + JSON render of a serving-shaped
+/// registry (every PR 9 metric family registered, cells warm).
+fn snapshot_ms(snapshots: usize) -> f64 {
+    let registry = Registry::new();
+    let serve = nemo_serve::ServeMetrics::register(&registry, 4);
+    serve.requests_query.add(1_000);
+    serve.query_micros.record(37);
+    let start = Instant::now();
+    let mut bytes = 0usize;
+    for _ in 0..snapshots {
+        bytes += registry.snapshot().to_json().len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(bytes > 0);
+    elapsed * 1e3 / snapshots as f64
+}
+
+/// Cached-read throughput of a healthy persistent server with a live
+/// registry attached — the PR 8 `healthy_read_qps` parity number,
+/// instrumented.
+fn healthy_read_qps(rounds: usize) -> f64 {
+    let config = DriveConfig::from_env();
+    let queries: Vec<String> = nemo_bench::traffic_queries()
+        .into_iter()
+        .take(8)
+        .map(|spec| spec.text.to_string())
+        .collect();
+    let workload = generate(&config.traffic);
+    let live = LiveNetwork::from_workload(&workload);
+    let sessions: Vec<Session<SimulatedLlm>> = Backend::CODEGEN
+        .iter()
+        .enumerate()
+        .map(|(i, &backend)| Session {
+            client: i,
+            backend,
+            llm: SimulatedLlm::new(
+                profiles::gpt4(),
+                driver::serving_knowledge(),
+                config.seed ^ i as u64,
+            ),
+        })
+        .collect();
+    let dir = scratch_dir("healthy");
+    let registry = Registry::new();
+    let mut server = ServerBuilder::new()
+        .options(PersistOptions {
+            fsync: nemo_serve::FsyncPolicy::EveryRecord,
+            registry: registry.clone(),
+            ..PersistOptions::default()
+        })
+        .persist_at(&dir)
+        .build(live, sessions)
+        .expect("fresh persistent build");
+    let stream = evolve(
+        &workload,
+        &StreamConfig {
+            events: 2,
+            seed: config.seed,
+        },
+    );
+    server
+        .apply_mutation(&stream[0])
+        .expect("first mutation applies");
+    let warm = |server: &mut Server<SimulatedLlm>| {
+        let mut samples = Vec::new();
+        for client in 0..Backend::CODEGEN.len() {
+            for query in &queries {
+                samples.push(server.handle_query(client, query).latency_ms);
+            }
+        }
+        samples
+    };
+    let _ = warm(&mut server);
+    let mut samples = Vec::new();
+    for _ in 0..rounds {
+        samples.extend(warm(&mut server));
+    }
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    let total_ms: f64 = samples.iter().sum();
+    if total_ms <= 0.0 {
+        0.0
+    } else {
+        samples.len() as f64 * 1e3 / total_ms
+    }
+}
+
+/// Patches the auto-filled `ms` unit on non-latency entries.
+fn set_unit(report: &mut JsonValue, name: &str, unit: &str) {
+    if let JsonValue::Object(root) = report {
+        if let Some(JsonValue::Array(entries)) = root.get_mut("entries") {
+            for entry in entries {
+                if let JsonValue::Object(obj) = entry {
+                    if obj.get("name") == Some(&JsonValue::String(name.to_string())) {
+                        obj.insert("unit".to_string(), JsonValue::String(unit.to_string()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_report(pr: &str, out: &str) -> ExitCode {
+    let sizes = BenchSizes::from_env();
+
+    eprintln!(
+        "[obs] instrumented append path: {} appends x 3 reps, fsync never...",
+        sizes.appends
+    );
+    // Alternate the two variants so machine drift lands on both sides;
+    // the report's median smooths the rest.
+    let registry = Registry::new();
+    let mut bare_samples = Vec::new();
+    let mut observed_samples = Vec::new();
+    for _ in 0..3 {
+        bare_samples.push(1e3 / append_mps(sizes.appends, None));
+        observed_samples
+            .push(1e3 / append_mps(sizes.appends, Some(StoreMetrics::register(&registry))));
+    }
+    let bare_mps = 1e3 / perf::median(&bare_samples);
+    let observed_mps = 1e3 / perf::median(&observed_samples);
+    println!("append, detached cells:       {bare_mps:>11.1} appends/s");
+    println!("append, live registry:        {observed_mps:>11.1} appends/s");
+
+    eprintln!(
+        "[obs] registry cell microbenches: {} ops...",
+        sizes.cell_ops
+    );
+    let counter_mps = counter_inc_mps(sizes.cell_ops);
+    let histogram_mps = histogram_record_mps(sizes.cell_ops);
+    let snap_ms = snapshot_ms(sizes.snapshots);
+    println!("counter.inc:                  {counter_mps:>11.1} ops/s");
+    println!("histogram.record:             {histogram_mps:>11.1} ops/s");
+    println!("snapshot + render:            {snap_ms:>11.4} ms");
+
+    eprintln!("[obs] instrumented healthy reads...");
+    let read_qps = healthy_read_qps(sizes.query_rounds);
+    println!("cached reads, instrumented:   {read_qps:>11.1} q/s");
+
+    // The latency pair carries the headline (speedup ~1.0 = the registry
+    // costs nothing on the hot path); throughput entries are after-only,
+    // named to line up with their BENCH_pr8.json counterparts.
+    let before = [Measurement {
+        name: "instrumented_append_ms".to_string(),
+        samples: bare_samples,
+    }];
+    let after = [
+        Measurement {
+            name: "instrumented_append_ms".to_string(),
+            samples: observed_samples,
+        },
+        Measurement {
+            name: "vfs_logged_append_mps".to_string(),
+            samples: vec![observed_mps],
+        },
+        Measurement {
+            name: "healthy_read_qps".to_string(),
+            samples: vec![read_qps],
+        },
+        Measurement {
+            name: "registry_counter_inc_mps".to_string(),
+            samples: vec![counter_mps],
+        },
+        Measurement {
+            name: "registry_histogram_record_mps".to_string(),
+            samples: vec![histogram_mps],
+        },
+        Measurement {
+            name: "registry_snapshot_ms".to_string(),
+            samples: vec![snap_ms],
+        },
+    ];
+    let existing = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok());
+    let report = perf::merge_report(existing.as_ref(), pr, "before", &before);
+    let mut report = perf::merge_report(Some(&report), pr, "after", &after);
+    set_unit(&mut report, "vfs_logged_append_mps", "mps");
+    set_unit(&mut report, "healthy_read_qps", "qps");
+    set_unit(&mut report, "registry_counter_inc_mps", "mps");
+    set_unit(&mut report, "registry_histogram_record_mps", "mps");
+    let problems = perf::validate_report(&report);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("obs_bench: generated report invalid: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out, report.to_json() + "\n") {
+        eprintln!("obs_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+/// The CI smoke drive: a pool-fanned multi-client durability run (the
+/// `NEMO_THREADS`-sensitive axis) and a typed-request drive against a
+/// `shards`-way server (the shard-sensitive axis), both recording into
+/// one shared registry. Fetches [`Request::Stats`], schema-validates the
+/// embedded document, and writes the full document (`--doc`) and the
+/// logical subset (`--logical`) — only the latter is matrix-compared.
+fn run_smoke(shards: u32, logical_path: &str, doc_path: Option<&str>) -> ExitCode {
+    let registry = Registry::new();
+    let threads = pool::thread_count();
+    eprintln!("[obs] smoke: {shards} shard(s), {threads} worker thread(s)");
+
+    let mut config = DurabilityConfig::from_env();
+    config.options.registry = registry.clone();
+    let dir = scratch_dir(&format!("smoke-{shards}"));
+    match durability::run(&config, &dir, threads, None) {
+        Ok((_, false)) => {}
+        Ok((_, true)) => {
+            eprintln!("obs_bench: durability drive crashed without being asked to");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("obs_bench: durability drive failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let drive = DriveConfig::from_env();
+    let workload = generate(&drive.traffic);
+    let sessions: Vec<Session<SimulatedLlm>> = Backend::CODEGEN
+        .iter()
+        .enumerate()
+        .map(|(i, &backend)| Session {
+            client: i,
+            backend,
+            llm: SimulatedLlm::new(
+                profiles::gpt4(),
+                driver::serving_knowledge(),
+                drive.seed ^ i as u64,
+            ),
+        })
+        .collect();
+    let mut server = match ServerBuilder::new()
+        .shards(shards)
+        .options(PersistOptions {
+            registry: registry.clone(),
+            ..PersistOptions::default()
+        })
+        .build(LiveNetwork::from_workload(&workload), sessions)
+    {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("obs_bench: smoke build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = evolve(
+        &workload,
+        &StreamConfig {
+            events: 8,
+            seed: drive.seed,
+        },
+    );
+    for timed in &stream {
+        if let Err(e) = server.handle(&Request::from_event(&nemo_serve::ServeEvent::Mutate(
+            timed.clone(),
+        ))) {
+            eprintln!("obs_bench: smoke mutation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // A duplicate endpoint is a deterministic conflict at every shard
+    // count: it exercises serve_mutations_rejected without an epoch.
+    let dup = TimedEvent {
+        at_ms: 99,
+        event: NetEvent::NewEndpoint {
+            endpoint: trafficgen::Ipv4::new(203, 0, 0, 200),
+        },
+    };
+    for _ in 0..2 {
+        if let Err(e) = server.handle(&Request::from_event(&nemo_serve::ServeEvent::Mutate(
+            dup.clone(),
+        ))) {
+            eprintln!("obs_bench: smoke conflict drive failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for (i, query) in nemo_bench::traffic_queries().iter().take(4).enumerate() {
+        if let Err(e) = server.handle(&Request::Query {
+            client: i % Backend::CODEGEN.len(),
+            query: query.text.to_string(),
+        }) {
+            eprintln!("obs_bench: smoke query failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let stats = match server.handle(&Request::Stats) {
+        Ok(Response::Stats(stats)) => stats,
+        Ok(other) => {
+            eprintln!("obs_bench: stats request answered with {other:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("obs_bench: stats request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = nemo_serve::validate_metrics_doc(&stats.metrics) {
+        eprintln!("obs_bench: stats document failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "stats: {} shard(s), global epoch {}, schema-valid metrics document",
+        stats.shards, stats.global_epoch
+    );
+
+    if let Some(path) = doc_path {
+        if let Err(e) = std::fs::write(path, stats.metrics.to_string() + "\n") {
+            eprintln!("obs_bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    let logical = registry.snapshot().logical_only().to_json() + "\n";
+    if !logical.contains("serve_queries_answered") || !logical.contains("serve_mutations_applied") {
+        eprintln!("obs_bench: logical subset is missing serving counters");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(logical_path, logical) {
+        eprintln!("obs_bench: cannot write {logical_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {logical_path}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pr = "pr9".to_string();
+    let mut out: Option<String> = None;
+    let mut smoke = false;
+    let mut shards: Option<u32> = None;
+    let mut logical: Option<String> = None;
+    let mut doc: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let needs_value = matches!(
+            args[i].as_str(),
+            "--pr" | "--out" | "--shards" | "--logical" | "--doc"
+        );
+        if needs_value && i + 1 >= args.len() {
+            return usage();
+        }
+        match args[i].as_str() {
+            "--pr" => pr = args[i + 1].clone(),
+            "--out" => out = Some(args[i + 1].clone()),
+            "--shards" => match args[i + 1].parse() {
+                Ok(n) if n > 0 => shards = Some(n),
+                _ => return usage(),
+            },
+            "--logical" => logical = Some(args[i + 1].clone()),
+            "--doc" => doc = Some(args[i + 1].clone()),
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+                continue;
+            }
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    if smoke {
+        match (shards, logical) {
+            (Some(shards), Some(logical)) => run_smoke(shards, &logical, doc.as_deref()),
+            _ => usage(),
+        }
+    } else if shards.is_some() || logical.is_some() || doc.is_some() {
+        usage()
+    } else {
+        let out = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
+        run_report(&pr, &out)
+    }
+}

@@ -10,6 +10,7 @@
 //! independent pure function of its index, the output is bit-for-bit
 //! identical at any thread count — only wall-clock time changes.
 
+use nemo_obs::{Class, Counter, Gauge, Registry};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -38,6 +39,43 @@ fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// Instrumentation of the pool, all [`Class::Physical`]: how many items
+/// ran, on which worker, and how deep the remaining queue was as indices
+/// were handed out. Scheduling-dependent by nature — which worker pulls
+/// which index varies run to run — while the pool's *results* stay
+/// bit-identical at any thread count.
+#[derive(Debug, Clone, Default)]
+pub struct PoolMetrics {
+    /// `run_indexed` invocations observed.
+    pub runs: Counter,
+    /// Items executed, across all workers.
+    pub tasks: Counter,
+    /// Items not yet handed out, sampled at each hand-out.
+    pub queue_depth: Gauge,
+    /// The registry per-worker task counters are created on
+    /// (`pool_worker<k>_tasks`, registered lazily per run, outside the
+    /// per-item loop).
+    registry: Registry,
+}
+
+impl PoolMetrics {
+    /// Binds the bundle to `registry` under the `pool_*` names.
+    pub fn register(registry: &Registry) -> PoolMetrics {
+        PoolMetrics {
+            runs: registry.counter("pool_runs", Class::Physical),
+            tasks: registry.counter("pool_tasks", Class::Physical),
+            queue_depth: registry.gauge("pool_queue_depth", Class::Physical),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The task counter of worker `w`.
+    fn worker_counter(&self, w: usize) -> Counter {
+        self.registry
+            .counter(&format!("pool_worker{w}_tasks"), Class::Physical)
+    }
+}
+
 /// Maps `work` over `0..len` on a pool of `threads` workers and returns the
 /// results in index order.
 ///
@@ -51,22 +89,62 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_observed(len, threads, None, work)
+}
+
+/// [`run_indexed`] with queue-depth and per-worker task instrumentation
+/// recorded into `metrics` (when given). The results are identical — the
+/// instrumentation observes scheduling, it never influences it.
+pub fn run_indexed_observed<T, F>(
+    len: usize,
+    threads: usize,
+    metrics: Option<&PoolMetrics>,
+    work: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.max(1).min(len.max(1));
+    if let Some(m) = metrics {
+        m.runs.inc();
+        m.queue_depth.set(len as i64);
+    }
     if threads <= 1 {
-        return (0..len).map(work).collect();
+        let worker = metrics.map(|m| m.worker_counter(0));
+        return (0..len)
+            .map(|index| {
+                if let Some(m) = metrics {
+                    m.tasks.inc();
+                    m.queue_depth.set(len.saturating_sub(index + 1) as i64);
+                }
+                if let Some(w) = &worker {
+                    w.inc();
+                }
+                work(index)
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for w in 0..threads {
             let tx = tx.clone();
             let next = &next;
             let work = &work;
+            let worker = metrics.map(|m| m.worker_counter(w));
             scope.spawn(move || loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= len {
                     break;
+                }
+                if let Some(m) = metrics {
+                    m.tasks.inc();
+                    m.queue_depth.set(len.saturating_sub(index + 1) as i64);
+                }
+                if let Some(w) = &worker {
+                    w.inc();
                 }
                 // A send can only fail if the receiver is gone, which
                 // means the caller already panicked; stop quietly.
@@ -116,6 +194,24 @@ mod tests {
         for (i, hit) in hits.iter().enumerate() {
             assert_eq!(hit.load(Ordering::Relaxed), 1, "index {i}");
         }
+    }
+
+    #[test]
+    fn observed_runs_count_tasks_and_workers() {
+        let registry = Registry::new();
+        let metrics = PoolMetrics::register(&registry);
+        let sequential: Vec<usize> = (0..40).map(|i| i * 3).collect();
+        assert_eq!(
+            run_indexed_observed(40, 4, Some(&metrics), |i| i * 3),
+            sequential
+        );
+        assert_eq!(metrics.runs.get(), 1);
+        assert_eq!(metrics.tasks.get(), 40);
+        assert_eq!(metrics.queue_depth.get(), 0, "drained queue");
+        // Per-worker counts are scheduling-dependent but must sum to the
+        // task total.
+        let worker_total: u64 = (0..4).map(|w| metrics.worker_counter(w).get()).sum();
+        assert_eq!(worker_total, 40);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Property tests for histogram snapshot/merge: merging must be
+//! loss-free (the merge of disjoint sample sets equals the snapshot of
+//! their union, with exact count and sum) and associative (any merge
+//! order yields the same snapshot).
+
+use nemo_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Records every value into a fresh histogram and snapshots it.
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// `snap(a) ⊕ snap(b) == snap(a ∪ b)`, and the merged snapshot keeps
+    /// exact count/sum — no sample is lost or double-counted.
+    #[test]
+    fn merge_is_loss_free(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let mut merged = snap(&a);
+        merged.merge(&snap(&b));
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(&merged, &snap(&union));
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.sum, union.iter().sum::<u64>());
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+    }
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`, and merging commutes.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..30),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..30),
+        c in prop::collection::vec(0u64..1_000_000_000, 0..30),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        let mut left_first = sa.clone();
+        left_first.merge(&sb);
+        left_first.merge(&sc);
+        let mut right_first_tail = sb.clone();
+        right_first_tail.merge(&sc);
+        let mut right_first = sa.clone();
+        right_first.merge(&right_first_tail);
+        prop_assert_eq!(&left_first, &right_first);
+        let mut flipped = sb.clone();
+        flipped.merge(&sa);
+        let mut unflipped = sa.clone();
+        unflipped.merge(&sb);
+        prop_assert_eq!(flipped, unflipped);
+    }
+}

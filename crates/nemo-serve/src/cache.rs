@@ -57,6 +57,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Stale answers evicted by epoch invalidation.
     pub invalidated: u64,
+    /// Programs evicted: FIFO displacement at capacity, plus explicit
+    /// [`ProgramCache::evict_program`] drops of failing programs.
+    pub evictions: u64,
 }
 
 struct CachedAnswer {
@@ -150,6 +153,7 @@ impl ProgramCache {
                 if let Some((old_backend, old_query)) = self.order.pop_front() {
                     if let Some(per_backend) = self.programs.get_mut(&old_backend) {
                         per_backend.remove(&old_query);
+                        self.stats.evictions += 1;
                     }
                 }
             }
@@ -192,6 +196,7 @@ impl ProgramCache {
         if let Some(per_backend) = self.programs.get_mut(&backend) {
             if per_backend.remove(query).is_some() {
                 self.order.retain(|(b, q)| !(*b == backend && q == query));
+                self.stats.evictions += 1;
             }
         }
     }
@@ -284,10 +289,13 @@ mod tests {
         assert_eq!(cache.program("a", Backend::Sql), None);
         assert_eq!(cache.program("b", Backend::Sql), Some("B"));
         assert_eq!(cache.program("c", Backend::Sql), Some("C"));
+        assert_eq!(cache.stats().evictions, 1, "FIFO displacement counts");
         // Manual eviction frees a slot rather than leaking a ghost entry.
         cache.evict_program("b", Backend::Sql);
+        assert_eq!(cache.stats().evictions, 2, "explicit eviction counts");
         cache.insert_program("d", Backend::Sql, "D".to_string());
         assert_eq!(cache.program("c", Backend::Sql), Some("C"));
         assert_eq!(cache.program("d", Backend::Sql), Some("D"));
+        assert_eq!(cache.stats().evictions, 2);
     }
 }

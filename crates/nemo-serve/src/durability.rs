@@ -199,14 +199,19 @@ fn run_client(
         serving_knowledge(),
         config.seed ^ client as u64,
     );
-    let mut server = ServerBuilder::new().attach_persistence(persistence).build(
-        live,
-        vec![Session {
-            client,
-            backend,
-            llm,
-        }],
-    )?;
+    // The builder carries the shared options so the server's own metrics
+    // land in the same registry the store already records into.
+    let mut server = ServerBuilder::new()
+        .options(config.options.clone())
+        .attach_persistence(persistence)
+        .build(
+            live,
+            vec![Session {
+                client,
+                backend,
+                llm,
+            }],
+        )?;
     for k in 0..config.queries {
         let pick = hash_parts(&[
             "durability-query",
@@ -238,7 +243,8 @@ pub fn run(
     threads: usize,
     crash_after: Option<u64>,
 ) -> Result<(Vec<String>, bool), ServeError> {
-    let runs = pool::run_indexed(config.clients, threads, |client| {
+    let pool_metrics = pool::PoolMetrics::register(&config.options.registry);
+    let runs = pool::run_indexed_observed(config.clients, threads, Some(&pool_metrics), |client| {
         run_client(config, base_dir, client, crash_after)
     });
     let mut lines = Vec::new();
@@ -284,7 +290,8 @@ pub fn run_fault(
 ) -> Result<(Vec<String>, bool), ServeError> {
     let mut faulty = config.clone();
     faulty.options.vfs = Arc::new(FaultFs::new(kind, fault_at));
-    let runs = pool::run_indexed(config.clients, threads, |client| {
+    let pool_metrics = pool::PoolMetrics::register(&config.options.registry);
+    let runs = pool::run_indexed_observed(config.clients, threads, Some(&pool_metrics), |client| {
         let cfg = if client == 0 { &faulty } else { config };
         run_client(cfg, base_dir, client, None)
     });
@@ -320,9 +327,11 @@ pub fn run_sweep_crash(
     threads: usize,
     budget: usize,
 ) -> Result<(), ServeError> {
-    let runs = pool::run_indexed(
+    let pool_metrics = pool::PoolMetrics::register(&config.options.registry);
+    let runs = pool::run_indexed_observed(
         config.clients,
         threads,
+        Some(&pool_metrics),
         |client| -> Result<(), ServeError> {
             let dir = base_dir.join(format!("c{client}"));
             let (mut live, mut persistence, _report) =

@@ -38,6 +38,12 @@ pub enum ServeError {
         /// Global epoch through which state is known durable; queries keep
         /// answering at this epoch.
         last_durable_epoch: u64,
+        /// The poisoning cause — the rendering of the first
+        /// [`nemo_store::StoreError`] that poisoned the write path, so an
+        /// operator can tell a failed fsync from ENOSPC without shell
+        /// access to the store directory. Empty when the cause was not
+        /// recorded (e.g. a store poisoned before this field existed).
+        cause: String,
     },
 }
 
@@ -65,9 +71,11 @@ impl ServeError {
             ServeError::Degraded {
                 shard: old_shard,
                 last_durable_epoch,
+                cause,
             } => ServeError::Degraded {
                 shard: old_shard.or(Some(shard)),
                 last_durable_epoch,
+                cause,
             },
             other => other,
         }
@@ -108,6 +116,7 @@ impl fmt::Display for ServeError {
             ServeError::Degraded {
                 shard,
                 last_durable_epoch,
+                cause,
             } => {
                 write!(f, "degraded read-only mode")?;
                 if let Some(shard) = shard {
@@ -119,7 +128,11 @@ impl fmt::Display for ServeError {
                     f,
                     ": mutations rejected, queries served at last durable epoch \
                      {last_durable_epoch}"
-                )
+                )?;
+                if !cause.is_empty() {
+                    write!(f, "; cause: {cause}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -191,6 +204,7 @@ mod tests {
         let err = ServeError::Degraded {
             shard: None,
             last_durable_epoch: 41,
+            cause: String::new(),
         }
         .with_shard(3, Some(99));
         assert_eq!(
@@ -198,12 +212,24 @@ mod tests {
             ServeError::Degraded {
                 shard: Some(3),
                 last_durable_epoch: 41,
+                cause: String::new(),
             }
         );
         assert_eq!(
             err.to_string(),
             "degraded read-only mode (shard 3 write path poisoned): mutations rejected, \
              queries served at last durable epoch 41"
+        );
+        let with_cause = ServeError::Degraded {
+            shard: None,
+            last_durable_epoch: 7,
+            cause: "storage I/O error: fsync wal-0001.seg: disk gone".to_string(),
+        };
+        assert_eq!(
+            with_cause.to_string(),
+            "degraded read-only mode (write path poisoned): mutations rejected, queries \
+             served at last durable epoch 7; cause: storage I/O error: fsync \
+             wal-0001.seg: disk gone"
         );
         assert!(!err.retryable());
         // Plain I/O wrapped as Store stays retryable through the wrapper;

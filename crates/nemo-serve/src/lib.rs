@@ -61,6 +61,7 @@ pub mod driver;
 pub mod durability;
 mod error;
 mod live;
+pub mod metrics;
 mod mutation;
 pub mod persist;
 pub mod protocol;
@@ -72,6 +73,7 @@ pub mod snapshot;
 pub use cache::{CacheOutcome, CacheStats, ProgramCache};
 pub use error::ServeError;
 pub use live::LiveNetwork;
+pub use metrics::{validate_metrics_doc, ServeMetrics};
 pub use mutation::{Epoch, Mutation, WalRecord};
 pub use persist::{FsyncPolicy, PersistOptions, Persistence, RecoveryReport};
 pub use protocol::{Request, Response, StatsReport};

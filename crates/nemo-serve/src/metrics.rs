@@ -1,0 +1,255 @@
+//! The serving layer's metric bundle and the `nemo-metrics/v1` document
+//! validator.
+//!
+//! Every metric is classified **logical** or **physical** at registration:
+//!
+//! * *Logical* metrics are pure functions of the request stream — request
+//!   type counts, mutations applied/rejected, queries answered, the global
+//!   epoch. They are byte-identical across `NEMO_THREADS` and shard
+//!   counts, and the determinism suite asserts exactly that.
+//! * *Physical* metrics describe how this particular run executed —
+//!   timings, fsync counts, cache hit rates (bounded-cache eviction
+//!   depends on the shard layout), per-shard epochs, retries absorbed.
+//!   They are excluded from transcripts and from logical snapshots.
+
+use nemo_obs::{Class, Counter, Gauge, Histogram, Registry};
+use netgraph::json::JsonValue;
+
+/// The serving layer's own metric families, registered once per server.
+///
+/// Store (`store_*`), committer (`commit_*`) and worker-pool (`pool_*`)
+/// families are registered by their owning crates against the same
+/// [`Registry`]; [`ServeMetrics::register`] pre-registers all of them so
+/// a `Stats` document covers every family (at zero) even for a server
+/// that never touched disk.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// Typed `Mutate` requests handled (logical).
+    pub requests_mutate: Counter,
+    /// Typed `Query` requests handled (logical).
+    pub requests_query: Counter,
+    /// Typed `Sync` requests handled (logical).
+    pub requests_sync: Counter,
+    /// Typed `Stats` requests handled (logical).
+    pub requests_stats: Counter,
+    /// Mutations applied — epoch consumed (logical).
+    pub mutations_applied: Counter,
+    /// Mutations rejected as conflicts — no epoch consumed (logical).
+    pub mutations_rejected: Counter,
+    /// Query replies produced, including cached and error replies
+    /// (logical).
+    pub queries_answered: Counter,
+    /// The current global epoch, sampled at each `stats()` call (logical).
+    pub global_epoch: Gauge,
+    /// Healthy→degraded transitions of the write path (physical: fault
+    /// timing depends on the run).
+    pub degraded_transitions: Counter,
+    /// Wall-clock microseconds per mutation request (physical).
+    pub mutate_micros: Histogram,
+    /// Wall-clock microseconds per query request (physical).
+    pub query_micros: Histogram,
+    /// Wall-clock microseconds per sync request (physical).
+    pub sync_micros: Histogram,
+    /// Answer-cache hits, sampled from [`crate::cache::CacheStats`]
+    /// (physical: per-shard caches make totals layout-dependent once
+    /// capacity bounds bite).
+    pub cache_answer_hits: Gauge,
+    /// Program-cache hits (physical).
+    pub cache_program_hits: Gauge,
+    /// Full cache misses (physical).
+    pub cache_misses: Gauge,
+    /// Stale answers invalidated by epoch bumps (physical).
+    pub cache_invalidated: Gauge,
+    /// Programs evicted — FIFO displacement plus explicit drops
+    /// (physical).
+    pub cache_evictions: Gauge,
+    /// Per-shard local epoch gauges, indexed by shard (physical).
+    pub shard_epochs: Vec<Gauge>,
+    /// Per-shard durability lag gauges — local epoch minus the shard
+    /// store's durable epoch (physical).
+    pub shard_lags: Vec<Gauge>,
+}
+
+impl ServeMetrics {
+    /// Binds the serving-layer families in `registry` and pre-registers
+    /// the store, committer, retry and pool families so every `Stats`
+    /// document carries all six prefixes. Idempotent: re-registering
+    /// returns handles onto the same underlying metrics.
+    pub fn register(registry: &Registry, shards: u32) -> ServeMetrics {
+        // Pre-register the families owned by other crates.
+        let _ = nemo_store::StoreMetrics::register(registry);
+        let _ = nemo_store::CommitMetrics::register(registry);
+        let _ = nemo_bench::pool::PoolMetrics::register(registry);
+        let _ = crate::persist::RetryMetrics::register(registry);
+        let shard_epochs = (0..shards)
+            .map(|k| registry.gauge(&format!("shard{k}_epoch"), Class::Physical))
+            .collect();
+        let shard_lags = (0..shards)
+            .map(|k| registry.gauge(&format!("shard{k}_lag"), Class::Physical))
+            .collect();
+        ServeMetrics {
+            requests_mutate: registry.counter("serve_requests_mutate", Class::Logical),
+            requests_query: registry.counter("serve_requests_query", Class::Logical),
+            requests_sync: registry.counter("serve_requests_sync", Class::Logical),
+            requests_stats: registry.counter("serve_requests_stats", Class::Logical),
+            mutations_applied: registry.counter("serve_mutations_applied", Class::Logical),
+            mutations_rejected: registry.counter("serve_mutations_rejected", Class::Logical),
+            queries_answered: registry.counter("serve_queries_answered", Class::Logical),
+            global_epoch: registry.gauge("serve_global_epoch", Class::Logical),
+            degraded_transitions: registry.counter("serve_degraded_transitions", Class::Physical),
+            mutate_micros: registry.histogram("serve_mutate_micros", Class::Physical),
+            query_micros: registry.histogram("serve_query_micros", Class::Physical),
+            sync_micros: registry.histogram("serve_sync_micros", Class::Physical),
+            cache_answer_hits: registry.gauge("cache_answer_hits", Class::Physical),
+            cache_program_hits: registry.gauge("cache_program_hits", Class::Physical),
+            cache_misses: registry.gauge("cache_misses", Class::Physical),
+            cache_invalidated: registry.gauge("cache_invalidated", Class::Physical),
+            cache_evictions: registry.gauge("cache_evictions", Class::Physical),
+            shard_epochs,
+            shard_lags,
+        }
+    }
+
+    /// Copies a sampled [`CacheStats`](crate::cache::CacheStats) into the
+    /// cache gauges.
+    pub fn sample_cache(&self, stats: crate::cache::CacheStats) {
+        self.cache_answer_hits.set(stats.answer_hits as i64);
+        self.cache_program_hits.set(stats.program_hits as i64);
+        self.cache_misses.set(stats.misses as i64);
+        self.cache_invalidated.set(stats.invalidated as i64);
+        self.cache_evictions.set(stats.evictions as i64);
+    }
+}
+
+/// The metric-name prefixes a full `Stats` document must cover: one per
+/// subsystem the paper's serving pipeline touches.
+pub const METRIC_FAMILIES: [&str; 6] = ["serve_", "cache_", "shard", "store_", "commit_", "pool_"];
+
+/// Validates a parsed `nemo-metrics/v1` document: schema tag, per-metric
+/// shape (class, kind, value type) and family coverage. Returns the first
+/// violation as a human-readable message.
+pub fn validate_metrics_doc(doc: &JsonValue) -> Result<(), String> {
+    let root = match doc {
+        JsonValue::Object(map) => map,
+        other => return Err(format!("metrics document is not an object: {other:?}")),
+    };
+    match root.get("schema") {
+        Some(JsonValue::String(s)) if s == nemo_obs::SCHEMA => {}
+        Some(other) => {
+            return Err(format!(
+                "schema tag is {other:?}, want {}",
+                nemo_obs::SCHEMA
+            ))
+        }
+        None => return Err("missing schema tag".to_string()),
+    }
+    let metrics = match root.get("metrics") {
+        Some(JsonValue::Object(map)) => map,
+        Some(other) => return Err(format!("\"metrics\" is not an object: {other:?}")),
+        None => return Err("missing \"metrics\" object".to_string()),
+    };
+    for (name, entry) in metrics {
+        let fields = match entry {
+            JsonValue::Object(map) => map,
+            other => return Err(format!("{name}: entry is not an object: {other:?}")),
+        };
+        match fields.get("class") {
+            Some(JsonValue::String(c)) if c == "logical" || c == "physical" => {}
+            other => return Err(format!("{name}: bad class {other:?}")),
+        }
+        let kind = match fields.get("kind") {
+            Some(JsonValue::String(k)) if k == "counter" || k == "gauge" || k == "histogram" => {
+                k.clone()
+            }
+            other => return Err(format!("{name}: bad kind {other:?}")),
+        };
+        match (kind.as_str(), fields.get("value")) {
+            ("counter", Some(JsonValue::Number(_))) => {}
+            ("gauge", Some(JsonValue::Number(_))) => {}
+            ("histogram", Some(JsonValue::Object(h))) => {
+                for want in ["bounds", "buckets", "count", "sum"] {
+                    if !h.contains_key(want) {
+                        return Err(format!("{name}: histogram missing \"{want}\""));
+                    }
+                }
+            }
+            (_, other) => {
+                return Err(format!(
+                    "{name}: value does not match kind {kind}: {other:?}"
+                ))
+            }
+        }
+    }
+    for family in METRIC_FAMILIES {
+        if !metrics.keys().any(|name| name.starts_with(family)) {
+            return Err(format!("no metric with family prefix \"{family}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_families_produce_a_valid_document() {
+        let registry = Registry::new();
+        let metrics = ServeMetrics::register(&registry, 2);
+        metrics.requests_query.inc();
+        metrics.query_micros.record(120);
+        metrics.shard_epochs[1].set(7);
+        let doc = JsonValue::parse(&registry.snapshot().to_json()).expect("snapshot parses");
+        validate_metrics_doc(&doc).expect("full registry validates");
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let registry = Registry::new();
+        let a = ServeMetrics::register(&registry, 1);
+        let b = ServeMetrics::register(&registry, 1);
+        a.queries_answered.add(3);
+        b.queries_answered.inc();
+        assert_eq!(a.queries_answered.get(), 4, "same underlying counter");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        let missing_schema = JsonValue::parse(r#"{"metrics":{}}"#).unwrap();
+        assert!(validate_metrics_doc(&missing_schema)
+            .unwrap_err()
+            .contains("schema"));
+        let bad_class = JsonValue::parse(
+            r#"{"metrics":{"serve_x":{"class":"spiritual","kind":"counter","value":1}},"schema":"nemo-metrics/v1"}"#,
+        )
+        .unwrap();
+        assert!(validate_metrics_doc(&bad_class)
+            .unwrap_err()
+            .contains("bad class"));
+        let sparse = JsonValue::parse(
+            r#"{"metrics":{"serve_x":{"class":"logical","kind":"counter","value":1}},"schema":"nemo-metrics/v1"}"#,
+        )
+        .unwrap();
+        assert!(validate_metrics_doc(&sparse)
+            .unwrap_err()
+            .contains("family prefix"));
+    }
+
+    #[test]
+    fn cache_sampling_copies_every_counter() {
+        let registry = Registry::new();
+        let metrics = ServeMetrics::register(&registry, 1);
+        metrics.sample_cache(crate::cache::CacheStats {
+            answer_hits: 1,
+            program_hits: 2,
+            misses: 3,
+            invalidated: 4,
+            evictions: 5,
+        });
+        assert_eq!(metrics.cache_answer_hits.get(), 1);
+        assert_eq!(metrics.cache_program_hits.get(), 2);
+        assert_eq!(metrics.cache_misses.get(), 3);
+        assert_eq!(metrics.cache_invalidated.get(), 4);
+        assert_eq!(metrics.cache_evictions.get(), 5);
+    }
+}

@@ -42,7 +42,8 @@ use crate::live::LiveNetwork;
 use crate::mutation::{Mutation, WalRecord};
 use crate::snapshot::{self, write_snapshot_with_frames, SnapshotDoc};
 use dataframe::csv::{to_csv, to_csv_rows};
-use nemo_store::{RealFs, Store, StoreConfig, SweepOutcome, Vfs};
+use nemo_obs::{Class, Counter, Registry};
+use nemo_store::{RealFs, Store, StoreConfig, StoreMetrics, SweepOutcome, Vfs};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -63,23 +64,52 @@ pub const MAX_DELTA_RECORDS: usize = 4096;
 /// before the error propagates.
 pub const STORAGE_RETRY_BUDGET: u32 = 3;
 
+/// Counters around [`with_storage_retry`], both [`Class::Physical`]
+/// (retry counts follow the fault schedule, which follows the op
+/// interleaving). `Default` yields detached cells.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RetryMetrics {
+    /// Retryable storage faults absorbed by a retry (per retried attempt).
+    pub absorbed: Counter,
+    /// Storage errors that escaped the retry budget (non-retryable, or
+    /// the budget ran out) and surfaced to the caller.
+    pub surfaced: Counter,
+}
+
+impl RetryMetrics {
+    /// Binds the counters to `registry` under the `store_*` names.
+    pub(crate) fn register(registry: &Registry) -> RetryMetrics {
+        RetryMetrics {
+            absorbed: registry.counter("store_retries_absorbed", Class::Physical),
+            surfaced: registry.counter("store_faults_surfaced", Class::Physical),
+        }
+    }
+}
+
 /// Runs a storage operation, retrying [retryable](ServeError::retryable)
 /// failures up to [`STORAGE_RETRY_BUDGET`] times with deterministic
 /// exponential backoff (50µs, 100µs, 200µs). Only operations the store
 /// rolled back qualify as retryable — a failed fsync never does
 /// (fsyncgate: the kernel may have dropped the dirty pages), so this
-/// helper can never re-ack lost data.
+/// helper can never re-ack lost data. Each absorbed retry and each
+/// surfaced error is counted on `retry`.
 pub(crate) fn with_storage_retry<T>(
+    retry: &RetryMetrics,
     mut op: impl FnMut() -> Result<T, ServeError>,
 ) -> Result<T, ServeError> {
     let mut attempt = 0u32;
     loop {
         match op() {
             Err(e) if e.retryable() && attempt < STORAGE_RETRY_BUDGET => {
+                retry.absorbed.inc();
                 std::thread::sleep(std::time::Duration::from_micros(50u64 << attempt));
                 attempt += 1;
             }
-            other => return other,
+            Err(e) => {
+                retry.surfaced.inc();
+                return Err(e);
+            }
+            ok => return ok,
         }
     }
 }
@@ -101,6 +131,11 @@ pub struct PersistOptions {
     /// Filesystem the store runs on: [`nemo_store::RealFs`] in production,
     /// [`nemo_store::FaultFs`] under fault-injection tests.
     pub vfs: Arc<dyn Vfs>,
+    /// Metrics registry every store opened with these options records
+    /// into (`store_*` counters, gauges and histograms; several stores —
+    /// e.g. one per shard — aggregate into the same names). A fresh
+    /// private registry by default.
+    pub registry: Registry,
 }
 
 impl Default for PersistOptions {
@@ -112,6 +147,7 @@ impl Default for PersistOptions {
             snapshot_every_epochs: 1024,
             keep_snapshots: 2,
             vfs: Arc::new(RealFs),
+            registry: Registry::new(),
         }
     }
 }
@@ -174,6 +210,8 @@ pub struct Persistence {
     since_overflow: bool,
     /// Consecutive delta snapshots installed since the last full one.
     chain_len: usize,
+    /// Retry/surfaced-fault counters shared with the options' registry.
+    retry: RetryMetrics,
 }
 
 impl Persistence {
@@ -186,7 +224,8 @@ impl Persistence {
         options: &PersistOptions,
         live: &LiveNetwork,
     ) -> Result<Persistence, ServeError> {
-        let (store, _) = with_storage_retry(|| {
+        let retry = RetryMetrics::register(&options.registry);
+        let (mut store, _) = with_storage_retry(&retry, || {
             Ok(Store::open_with(
                 dir,
                 options.store_config(),
@@ -199,6 +238,7 @@ impl Persistence {
                 dir.display()
             )));
         }
+        store.attach_metrics(StoreMetrics::register(&options.registry));
         let mut persistence = Persistence {
             store,
             prev: None,
@@ -206,6 +246,7 @@ impl Persistence {
             since_snapshot: Vec::new(),
             since_overflow: false,
             chain_len: 0,
+            retry,
         };
         persistence.force_full_snapshot(live)?;
         Ok(persistence)
@@ -219,7 +260,8 @@ impl Persistence {
         dir: &Path,
         options: &PersistOptions,
     ) -> Result<(LiveNetwork, Persistence, RecoveryReport), ServeError> {
-        let (store, open_report) = with_storage_retry(|| {
+        let retry = RetryMetrics::register(&options.registry);
+        let (mut store, open_report) = with_storage_retry(&retry, || {
             Ok(Store::open_with(
                 dir,
                 options.store_config(),
@@ -232,13 +274,15 @@ impl Persistence {
                 dir.display()
             )));
         }
-        Self::recover_opened(store, open_report)
+        store.attach_metrics(StoreMetrics::register(&options.registry));
+        Self::recover_opened(store, open_report, retry)
     }
 
     /// The recovery body over an already-opened (and tail-repaired) store.
     fn recover_opened(
         store: Store,
         open_report: nemo_store::OpenReport,
+        retry: RetryMetrics,
     ) -> Result<(LiveNetwork, Persistence, RecoveryReport), ServeError> {
         let dir = store.dir().to_path_buf();
         let mut report = RecoveryReport {
@@ -310,6 +354,7 @@ impl Persistence {
             since_snapshot: Vec::new(),
             since_overflow: true,
             chain_len: MAX_DELTA_CHAIN,
+            retry,
         };
         Ok((live, persistence, report))
     }
@@ -322,13 +367,15 @@ impl Persistence {
         options: &PersistOptions,
         init: impl FnOnce() -> LiveNetwork,
     ) -> Result<(LiveNetwork, Persistence, RecoveryReport), ServeError> {
-        let (store, open_report) = with_storage_retry(|| {
+        let retry = RetryMetrics::register(&options.registry);
+        let (mut store, open_report) = with_storage_retry(&retry, || {
             Ok(Store::open_with(
                 dir,
                 options.store_config(),
                 options.vfs.clone(),
             )?)
         })?;
+        store.attach_metrics(StoreMetrics::register(&options.registry));
         if store.is_empty() {
             let live = init();
             let mut persistence = Persistence {
@@ -338,6 +385,7 @@ impl Persistence {
                 since_snapshot: Vec::new(),
                 since_overflow: false,
                 chain_len: 0,
+                retry,
             };
             persistence.force_full_snapshot(&live)?;
             Ok((live, persistence, RecoveryReport::default()))
@@ -345,7 +393,7 @@ impl Persistence {
             // Single open: the repair report (torn-tail truncation) flows
             // into the recovery report instead of being discarded by a
             // probe-and-reopen.
-            Self::recover_opened(store, open_report)
+            Self::recover_opened(store, open_report, retry)
         }
     }
 
@@ -354,7 +402,8 @@ impl Persistence {
     /// failed fsync or a poisoned store propagates immediately.
     pub fn log(&mut self, record: &WalRecord) -> Result<(), ServeError> {
         let payload = encode_record(record);
-        with_storage_retry(|| Ok(self.store.append(record.epoch, &payload)?))?;
+        let retry = self.retry.clone();
+        with_storage_retry(&retry, || Ok(self.store.append(record.epoch, &payload)?))?;
         if !matches!(
             record.mutation,
             Mutation::AddNode { .. } | Mutation::AddEdge { .. }
@@ -409,7 +458,8 @@ impl Persistence {
         if delta_eligible {
             let base = base.expect("checked above");
             let document = snapshot::write_delta_snapshot(live.epoch(), base, &self.since_snapshot);
-            with_storage_retry(|| {
+            let retry = self.retry.clone();
+            with_storage_retry(&retry, || {
                 Ok(self
                     .store
                     .install_delta_snapshot(live.epoch(), base, document.as_bytes())?)
@@ -449,7 +499,8 @@ impl Persistence {
             (to_csv(live.nodes()), to_csv(live.edges()))
         };
         let document = write_snapshot_with_frames(live, &nodes_csv, &edges_csv);
-        with_storage_retry(|| {
+        let retry = self.retry.clone();
+        with_storage_retry(&retry, || {
             Ok(self
                 .store
                 .install_snapshot(live.epoch(), document.as_bytes())?)
@@ -472,7 +523,8 @@ impl Persistence {
     /// this at batch boundaries so the apply path never blocks on
     /// filesystem deletions.
     pub fn sweep(&mut self, max_removals: usize) -> Result<SweepOutcome, ServeError> {
-        with_storage_retry(|| Ok(self.store.sweep(max_removals)?))
+        let retry = self.retry.clone();
+        with_storage_retry(&retry, || Ok(self.store.sweep(max_removals)?))
     }
 
     /// The underlying store (inspection, benchmarks, tests).

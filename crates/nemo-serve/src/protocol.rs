@@ -85,6 +85,12 @@ pub enum Response {
         shard: Option<u32>,
         /// Global epoch through which state is known durable.
         last_durable_epoch: u64,
+        /// The poisoning cause — the first [`nemo_store::StoreError`] that
+        /// poisoned the write path, rendered, so an operator can tell a
+        /// failed fsync from ENOSPC. Empty when unrecorded. Deliberately
+        /// absent from the transcript line: causes embed filesystem paths,
+        /// which would make transcripts machine-dependent.
+        cause: String,
     },
     /// Persistence was fsynced.
     Synced,
@@ -93,8 +99,9 @@ pub enum Response {
 }
 
 /// A server's observable counters: the sharding layout, the cross-shard
-/// epoch vector, and the aggregated cache statistics.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// epoch vector, the aggregated cache statistics, and the full
+/// `nemo-metrics/v1` document from the server's metrics registry.
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatsReport {
     /// Number of shards.
     pub shards: u32,
@@ -105,6 +112,12 @@ pub struct StatsReport {
     pub epochs: Vec<Epoch>,
     /// Cache counters summed over every cache shard.
     pub cache: CacheStats,
+    /// The versioned `nemo-metrics/v1` document
+    /// ([`nemo_obs::Snapshot::to_json`] parsed back into a [`JsonValue`]):
+    /// every registered counter, gauge and histogram with its
+    /// logical/physical class. [`JsonValue::Null`] when the server has no
+    /// registry attached (or the report predates one).
+    pub metrics: JsonValue,
 }
 
 impl Request {
@@ -207,6 +220,7 @@ impl Response {
                 at_ms,
                 shard,
                 last_durable_epoch,
+                cause,
             } => codec::obj(vec![
                 ("type", codec::s("degraded")),
                 ("epoch", codec::n(*epoch as i64)),
@@ -219,6 +233,7 @@ impl Response {
                     },
                 ),
                 ("last_durable_epoch", codec::n(*last_durable_epoch as i64)),
+                ("cause", codec::s(cause)),
             ]),
             Response::Synced => codec::obj(vec![("type", codec::s("synced"))]),
             Response::Stats(stats) => codec::obj(vec![
@@ -236,8 +251,10 @@ impl Response {
                         ("program_hits", codec::n(stats.cache.program_hits as i64)),
                         ("misses", codec::n(stats.cache.misses as i64)),
                         ("invalidated", codec::n(stats.cache.invalidated as i64)),
+                        ("evictions", codec::n(stats.cache.evictions as i64)),
                     ]),
                 ),
+                ("metrics", stats.metrics.clone()),
             ]),
         }
         .to_json()
@@ -278,6 +295,11 @@ impl Response {
                     _ => Some(get_u64(&root, "shard")? as u32),
                 },
                 last_durable_epoch: get_u64(&root, "last_durable_epoch")?,
+                // Absent in pre-cause documents: decode as unrecorded.
+                cause: match root.get("cause") {
+                    Some(_) => get_str(&root, "cause")?,
+                    None => String::new(),
+                },
             }),
             "synced" => Ok(Response::Synced),
             "stats" => Ok(Response::Stats(StatsReport {
@@ -291,8 +313,14 @@ impl Response {
                         program_hits: get_u64(cache, "program_hits")?,
                         misses: get_u64(cache, "misses")?,
                         invalidated: get_u64(cache, "invalidated")?,
+                        // Absent in pre-eviction-counter documents.
+                        evictions: match cache.get("evictions") {
+                            Some(_) => get_u64(cache, "evictions")?,
+                            None => 0,
+                        },
                     }
                 },
+                metrics: root.get("metrics").cloned().unwrap_or(JsonValue::Null),
             })),
             other => Err(ServeError::Corrupt(format!(
                 "unknown response type {other:?}"
@@ -330,6 +358,9 @@ impl Response {
                 at_ms,
                 shard,
                 last_durable_epoch,
+                // The cause never reaches the transcript: it renders
+                // filesystem paths, which differ run to run.
+                cause: _,
             } => {
                 let at = match shard {
                     Some(k) => format!("shard {k} "),
@@ -479,12 +510,14 @@ mod tests {
                 at_ms: 127,
                 shard: Some(2),
                 last_durable_epoch: 39,
+                cause: "storage I/O error: fsync wal-0000000000000028.seg: disk gone".into(),
             },
             Response::Degraded {
                 epoch: 41,
                 at_ms: 128,
                 shard: None,
                 last_durable_epoch: 41,
+                cause: String::new(),
             },
             Response::Synced,
             Response::Stats(StatsReport {
@@ -496,7 +529,12 @@ mod tests {
                     program_hits: 7,
                     misses: 11,
                     invalidated: 2,
+                    evictions: 1,
                 },
+                metrics: JsonValue::parse(
+                    r#"{"metrics":{"serve_queries_answered":{"class":"logical","kind":"counter","value":23}},"schema":"nemo-metrics/v1"}"#,
+                )
+                .unwrap(),
             }),
         ]
     }
@@ -520,6 +558,26 @@ mod tests {
             let back = Response::from_json(&encoded).unwrap();
             assert_eq!(back, response);
             assert_eq!(back.to_json(), encoded);
+        }
+    }
+
+    #[test]
+    fn legacy_documents_without_new_fields_still_decode() {
+        // Documents written before `cause`, `evictions` and `metrics`
+        // existed must keep decoding (replay logs outlive releases).
+        let degraded =
+            r#"{"at_ms":127,"epoch":41,"last_durable_epoch":39,"shard":2,"type":"degraded"}"#;
+        match Response::from_json(degraded).unwrap() {
+            Response::Degraded { cause, .. } => assert_eq!(cause, ""),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        let stats = r#"{"cache":{"answer_hits":1,"invalidated":0,"misses":2,"program_hits":3},"epochs":[4],"global_epoch":4,"shards":1,"type":"stats"}"#;
+        match Response::from_json(stats).unwrap() {
+            Response::Stats(report) => {
+                assert_eq!(report.cache.evictions, 0);
+                assert_eq!(report.metrics, JsonValue::Null);
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 

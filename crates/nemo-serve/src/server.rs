@@ -20,6 +20,7 @@
 use crate::cache::{CacheOutcome, CacheStats, Lookup, ProgramCache};
 use crate::error::ServeError;
 use crate::live::LiveNetwork;
+use crate::metrics::ServeMetrics;
 use crate::mutation::{Epoch, Mutation, WalRecord};
 use crate::persist::{PersistOptions, Persistence, RecoveryReport};
 use crate::protocol::{Request, Response, StatsReport};
@@ -29,7 +30,9 @@ use nemo_core::llm::extract_code;
 use nemo_core::prompt::codegen_prompt;
 use nemo_core::sandbox::execute_code;
 use nemo_core::{Backend, Llm, NetworkManager};
+use nemo_obs::Registry;
 use nemo_store::Vfs;
+use netgraph::json::JsonValue;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -223,6 +226,8 @@ impl ServerBuilder {
         sessions: Vec<Session<L>>,
     ) -> Result<Server<L>, ServeError> {
         let caches = self.caches();
+        let registry = self.options.registry.clone();
+        let metrics = ServeMetrics::register(&registry, self.shards);
         let net = ShardedNetwork::from_live(&live, self.shards)?;
         let persistence = match (&self.root, self.attach) {
             (_, Some(attached)) => {
@@ -264,6 +269,9 @@ impl ServerBuilder {
             persistence,
             merged: None,
             degraded: None,
+            degraded_cause: None,
+            registry,
+            metrics,
         })
     }
 
@@ -289,6 +297,8 @@ impl ServerBuilder {
             ));
         };
         let caches = self.caches();
+        let registry = self.options.registry.clone();
+        let metrics = ServeMetrics::register(&registry, self.shards);
         let (net, persistence, reports) = if self.shards == 1 {
             let (live, persistence, report) =
                 Persistence::recover_or_create(root, &self.options, init)?;
@@ -315,6 +325,9 @@ impl ServerBuilder {
                 persistence,
                 merged: None,
                 degraded: None,
+                degraded_cause: None,
+                registry,
+                metrics,
             },
             reports,
         ))
@@ -338,6 +351,16 @@ pub struct Server<L: Llm> {
     /// keep answering from the in-memory state. The epoch is global for an
     /// unsharded server and shard-local for a sharded one.
     degraded: Option<(Option<u32>, u64)>,
+    /// The rendering of the first [`nemo_store::StoreError`] that poisoned
+    /// the write path, captured when `degraded` was set — so degraded
+    /// responses can tell an operator *why* (fsyncgate vs ENOSPC) without
+    /// shell access to the store directory.
+    degraded_cause: Option<String>,
+    /// The metrics registry every subsystem under this server records
+    /// into — the one carried by [`PersistOptions::registry`].
+    registry: Registry,
+    /// The serving layer's own metric handles.
+    metrics: ServeMetrics,
 }
 
 impl<L: Llm> Server<L> {
@@ -389,6 +412,14 @@ impl<L: Llm> Server<L> {
         self.degraded
     }
 
+    /// The metrics registry every subsystem under this server records
+    /// into. To observe a server, pass a shared [`Registry`] in via
+    /// [`PersistOptions::registry`]; this accessor returns the same handle
+    /// for snapshotting or text exposition.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Enters degraded read-only mode if the store behind `err` is
     /// actually poisoned — the ground truth is the store's own poison
     /// flag, not the error's shape (rolled-back faults surface errors
@@ -400,23 +431,32 @@ impl<L: Llm> Server<L> {
                 _ => None,
             };
             let durable = |store: &nemo_store::Store| store.durable_epoch().unwrap_or(0);
+            let mut cause = None;
             self.degraded = match (&self.persistence, hint) {
                 (ServerPersistence::None, _) => None,
-                (ServerPersistence::Plain(p), _) => {
-                    p.store().poisoned().map(|_| (None, durable(p.store())))
+                (ServerPersistence::Plain(p), _) => p.store().poisoned().map(|poison| {
+                    cause = Some(poison.to_string());
+                    (None, durable(p.store()))
+                }),
+                (ServerPersistence::Sharded(stores), Some(k)) => {
+                    stores[k as usize].store().poisoned().map(|poison| {
+                        cause = Some(poison.to_string());
+                        (Some(k), durable(stores[k as usize].store()))
+                    })
                 }
-                (ServerPersistence::Sharded(stores), Some(k)) => stores[k as usize]
-                    .store()
-                    .poisoned()
-                    .map(|_| (Some(k), durable(stores[k as usize].store()))),
                 (ServerPersistence::Sharded(stores), None) => {
                     stores.iter().enumerate().find_map(|(k, s)| {
-                        s.store()
-                            .poisoned()
-                            .map(|_| (Some(k as u32), durable(s.store())))
+                        s.store().poisoned().map(|poison| {
+                            cause = Some(poison.to_string());
+                            (Some(k as u32), durable(s.store()))
+                        })
                     })
                 }
             };
+            if self.degraded.is_some() {
+                self.degraded_cause = cause;
+                self.metrics.degraded_transitions.inc();
+            }
         }
         err
     }
@@ -428,6 +468,7 @@ impl<L: Llm> Server<L> {
         ServeError::Degraded {
             shard,
             last_durable_epoch,
+            cause: self.degraded_cause.clone().unwrap_or_default(),
         }
     }
 
@@ -515,17 +556,46 @@ impl<L: Llm> Server<L> {
             total.program_hits += stats.program_hits;
             total.misses += stats.misses;
             total.invalidated += stats.invalidated;
+            total.evictions += stats.evictions;
         }
         total
     }
 
-    /// The server's observable counters (shards, epoch vector, caches).
+    /// The server's observable counters (shards, epoch vector, caches),
+    /// plus the full `nemo-metrics/v1` document from the registry. Gauges
+    /// that mirror derived state — global epoch, per-shard epochs and
+    /// durability lag, cache counters — are sampled here, so the document
+    /// is current as of the call.
     pub fn stats(&self) -> StatsReport {
+        let cache = self.cache_stats();
+        let epochs = self.net.epoch_vector();
+        self.metrics
+            .global_epoch
+            .set(self.net.global_epoch() as i64);
+        self.metrics.sample_cache(cache);
+        for (k, gauge) in self.metrics.shard_epochs.iter().enumerate() {
+            gauge.set(epochs.get(k).copied().unwrap_or(0) as i64);
+        }
+        for (k, gauge) in self.metrics.shard_lags.iter().enumerate() {
+            let local = epochs.get(k).copied().unwrap_or(0);
+            let durable = match &self.persistence {
+                // No store: nothing to lag behind.
+                ServerPersistence::None => local,
+                ServerPersistence::Plain(p) => p.store().durable_epoch().unwrap_or(0),
+                ServerPersistence::Sharded(stores) => {
+                    stores[k].store().durable_epoch().unwrap_or(0)
+                }
+            };
+            gauge.set(local.saturating_sub(durable) as i64);
+        }
+        let metrics = JsonValue::parse(&self.registry.snapshot().to_json())
+            .expect("registry snapshots serialize to valid JSON");
         StatsReport {
             shards: self.net.shards(),
             global_epoch: self.net.global_epoch(),
-            epochs: self.net.epoch_vector(),
-            cache: self.cache_stats(),
+            epochs,
+            cache,
+            metrics,
         }
     }
 
@@ -542,7 +612,26 @@ impl<L: Llm> Server<L> {
         self.apply_mutation_inner(event.at_ms, Mutation::from_event(&event.event))
     }
 
+    /// Applies and maintains the logical apply/reject counters — every
+    /// serving-path mutation funnels through here. The recovery re-apply
+    /// path ([`Server::apply_recorded`]) deliberately bypasses the
+    /// counters: a recovered mutation was already counted by the run that
+    /// first applied it.
     fn apply_mutation_inner(
+        &mut self,
+        at_ms: u64,
+        mutation: Mutation,
+    ) -> Result<Epoch, ServeError> {
+        let result = self.apply_mutation_uncounted(at_ms, mutation);
+        match &result {
+            Ok(_) => self.metrics.mutations_applied.inc(),
+            Err(ServeError::Conflict(_)) => self.metrics.mutations_rejected.inc(),
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn apply_mutation_uncounted(
         &mut self,
         at_ms: u64,
         mutation: Mutation,
@@ -609,7 +698,9 @@ impl<L: Llm> Server<L> {
                     self.net.global_epoch()
                 )));
             }
-            return self.apply_mutation_inner(event.at_ms, mutation).map(|_| ());
+            return self
+                .apply_mutation_uncounted(event.at_ms, mutation)
+                .map(|_| ());
         }
         if self.degraded.is_some() {
             return Err(self.degraded_error());
@@ -672,6 +763,15 @@ impl<L: Llm> Server<L> {
     /// repeats the error cheaply, and the first request after a mutation
     /// retries the model for real.
     pub fn handle_query(&mut self, client: usize, query: &str) -> Reply {
+        // Every reply counts — including the error reply for an unknown
+        // client, which is just as much a function of the request stream.
+        let _timer = self.registry.span("query", &self.metrics.query_micros);
+        let reply = self.handle_query_uncounted(client, query);
+        self.metrics.queries_answered.inc();
+        reply
+    }
+
+    fn handle_query_uncounted(&mut self, client: usize, query: &str) -> Reply {
         let start = Instant::now();
         let epoch = self.net.global_epoch();
         // An unknown client gets an error reply, not a panic: one bad
@@ -772,6 +872,8 @@ impl<L: Llm> Server<L> {
     pub fn handle(&mut self, request: &Request) -> Result<Response, ServeError> {
         match request {
             Request::Mutate { at_ms, mutation } => {
+                self.metrics.requests_mutate.inc();
+                let _timer = self.registry.span("mutate", &self.metrics.mutate_micros);
                 match self.apply_mutation_inner(*at_ms, mutation.clone()) {
                     Ok(epoch) => Ok(Response::Mutated {
                         epoch,
@@ -790,23 +892,31 @@ impl<L: Llm> Server<L> {
                     Err(ServeError::Degraded {
                         shard,
                         last_durable_epoch,
+                        cause,
                     }) => Ok(Response::Degraded {
                         epoch: self.net.global_epoch(),
                         at_ms: *at_ms,
                         shard,
                         last_durable_epoch,
+                        cause,
                     }),
                     Err(storage_or_corrupt) => Err(storage_or_corrupt),
                 }
             }
             Request::Query { client, query } => {
+                self.metrics.requests_query.inc();
                 Ok(Response::Answered(self.handle_query(*client, query)))
             }
             Request::Sync => {
+                self.metrics.requests_sync.inc();
+                let _timer = self.registry.span("sync", &self.metrics.sync_micros);
                 self.sync_persistence()?;
                 Ok(Response::Synced)
             }
-            Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::Stats => {
+                self.metrics.requests_stats.inc();
+                Ok(Response::Stats(self.stats()))
+            }
         }
     }
 
@@ -1126,7 +1236,12 @@ mod tests {
         let a = old_style.handle_query(0, q);
         let b = new_style.handle_query(0, q);
         assert_eq!((a.answer, a.cache, a.epoch), (b.answer, b.cache, b.epoch));
-        assert_eq!(old_style.stats(), new_style.stats());
+        // The metrics documents differ in physical timings; everything
+        // else in the report is identical.
+        let (mut old_stats, mut new_stats) = (old_style.stats(), new_style.stats());
+        old_stats.metrics = JsonValue::Null;
+        new_stats.metrics = JsonValue::Null;
+        assert_eq!(old_stats, new_stats);
         assert_eq!(old_style.live(), new_style.merged_view());
     }
 
@@ -1192,15 +1307,22 @@ mod tests {
         let response = server
             .handle(&Request::from_event(&ServeEvent::Mutate(event(3, 3))))
             .unwrap();
-        assert_eq!(
-            response,
+        match response {
             Response::Degraded {
-                epoch: 1,
-                at_ms: 3,
-                shard: None,
-                last_durable_epoch: 1,
+                epoch,
+                at_ms,
+                shard,
+                last_durable_epoch,
+                cause,
+            } => {
+                assert_eq!((epoch, at_ms, shard, last_durable_epoch), (1, 3, None, 1));
+                // The cause names the poisoning operation (here the failed
+                // commit fsync), so fsyncgate is distinguishable from
+                // ENOSPC at the protocol surface.
+                assert!(cause.contains("fsync"), "cause names the op: {cause:?}");
             }
-        );
+            other => panic!("expected a degraded response, got {other:?}"),
+        }
         // ...boundaries are no-ops instead of aborts...
         server.sync_persistence().unwrap();
         server.sweep_persistence(usize::MAX).unwrap();
@@ -1222,5 +1344,62 @@ mod tests {
         assert_eq!(stats.shards, 2);
         assert_eq!(stats.epochs, vec![0, 0]);
         assert_eq!(stats.global_epoch, server.network().global_epoch());
+        // The embedded metrics document is a schema-valid nemo-metrics/v1
+        // doc covering every family, even for an in-memory server.
+        crate::metrics::validate_metrics_doc(&stats.metrics).expect("stats doc validates");
+    }
+
+    #[test]
+    fn logical_metrics_track_the_request_stream() {
+        let mut server = server_with(2, scripted(4));
+        let q = "How many edges are there?";
+        server.handle_query(0, q);
+        server.handle_query(0, q);
+        server
+            .apply_mutation(&TimedEvent {
+                at_ms: 1,
+                event: NetEvent::NewEndpoint {
+                    endpoint: trafficgen::Ipv4::new(203, 0, 0, 1),
+                },
+            })
+            .unwrap();
+        // A duplicate endpoint is a conflict: rejected, no epoch consumed.
+        let err = server
+            .apply_mutation(&TimedEvent {
+                at_ms: 2,
+                event: NetEvent::NewEndpoint {
+                    endpoint: trafficgen::Ipv4::new(203, 0, 0, 1),
+                },
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Conflict(_)));
+        let stats = server.stats();
+        let JsonValue::Object(root) = &stats.metrics else {
+            panic!("metrics doc is an object");
+        };
+        let Some(JsonValue::Object(metrics)) = root.get("metrics") else {
+            panic!("doc has a metrics object");
+        };
+        for (name, want) in [
+            ("serve_requests_query", 0.0), // direct handle_query calls are not typed requests
+            ("serve_queries_answered", 2.0),
+            ("serve_mutations_applied", 1.0),
+            ("serve_mutations_rejected", 1.0),
+            ("serve_global_epoch", 1.0),
+        ] {
+            let Some(JsonValue::Object(entry)) = metrics.get(name) else {
+                panic!("{name} missing from the doc");
+            };
+            assert_eq!(
+                entry.get("class"),
+                Some(&JsonValue::String("logical".to_string())),
+                "{name} is logical"
+            );
+            assert_eq!(
+                entry.get("value"),
+                Some(&JsonValue::Number(want)),
+                "{name} tracks the stream"
+            );
+        }
     }
 }

@@ -36,12 +36,13 @@ use crate::codec::{self, decode_shard_record, encode_shard_record, SHARD_WAL_MAG
 use crate::error::ServeError;
 use crate::mutation::{Epoch, WalRecord};
 use crate::persist::{
-    with_storage_retry, PersistOptions, RecoveryReport, MAX_DELTA_CHAIN, MAX_DELTA_RECORDS,
+    with_storage_retry, PersistOptions, RecoveryReport, RetryMetrics, MAX_DELTA_CHAIN,
+    MAX_DELTA_RECORDS,
 };
 use crate::shard::{SeqBases, ShardPartition, ShardedNetwork};
 use crate::snapshot::{read_snapshot, write_snapshot};
 use nemo_bench::pool;
-use nemo_store::{Store, StoreConfig, SweepOutcome};
+use nemo_store::{Store, StoreConfig, StoreMetrics, SweepOutcome};
 use netgraph::json::JsonValue;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -89,6 +90,8 @@ pub struct ShardPersistence {
     since_overflow: bool,
     /// Consecutive delta snapshots installed since the last full one.
     chain_len: usize,
+    /// Retry/surfaced-fault counters shared with the options' registry.
+    retry: RetryMetrics,
 }
 
 impl ShardPersistence {
@@ -103,7 +106,8 @@ impl ShardPersistence {
         bases: SeqBases,
         partition: &ShardPartition,
     ) -> Result<ShardPersistence, ServeError> {
-        let (store, _) = with_storage_retry(|| {
+        let retry = RetryMetrics::register(&options.registry);
+        let (mut store, _) = with_storage_retry(&retry, || {
             Ok(Store::open_with(
                 dir,
                 shard_store_config(options),
@@ -116,6 +120,7 @@ impl ShardPersistence {
                 dir.display()
             )));
         }
+        store.attach_metrics(StoreMetrics::register(&options.registry));
         let mut persistence = ShardPersistence {
             store,
             shard,
@@ -125,6 +130,7 @@ impl ShardPersistence {
             since_snapshot: Vec::new(),
             since_overflow: false,
             chain_len: 0,
+            retry,
         };
         persistence.force_full_snapshot(partition)?;
         Ok(persistence)
@@ -141,7 +147,8 @@ impl ShardPersistence {
         shard: u32,
         shards: u32,
     ) -> Result<(ShardPartition, ShardPersistence, RecoveryReport), ServeError> {
-        let (store, open_report) = with_storage_retry(|| {
+        let retry = RetryMetrics::register(&options.registry);
+        let (mut store, open_report) = with_storage_retry(&retry, || {
             Ok(Store::open_with(
                 dir,
                 shard_store_config(options),
@@ -154,6 +161,7 @@ impl ShardPersistence {
                 dir.display()
             )));
         }
+        store.attach_metrics(StoreMetrics::register(&options.registry));
         let mut report = RecoveryReport {
             truncated_bytes: open_report.truncated_bytes,
             ..RecoveryReport::default()
@@ -234,6 +242,7 @@ impl ShardPersistence {
             since_snapshot: Vec::new(),
             since_overflow: true,
             chain_len: MAX_DELTA_CHAIN,
+            retry,
         };
         Ok((partition, persistence, report))
     }
@@ -242,7 +251,8 @@ impl ShardPersistence {
     /// local epoch, `global` rides along in the payload.
     pub(crate) fn log(&mut self, record: &WalRecord, global: Epoch) -> Result<(), ServeError> {
         let payload = encode_shard_record(record, global);
-        with_storage_retry(|| Ok(self.store.append(record.epoch, &payload)?))?;
+        let retry = self.retry.clone();
+        with_storage_retry(&retry, || Ok(self.store.append(record.epoch, &payload)?))?;
         self.last_global = self.last_global.max(global);
         if self.since_snapshot.len() >= MAX_DELTA_RECORDS {
             self.since_snapshot.clear();
@@ -296,7 +306,8 @@ impl ShardPersistence {
         if delta_eligible {
             let base = base.expect("checked above");
             let document = self.shard_delta_document(local, base);
-            with_storage_retry(|| {
+            let retry = self.retry.clone();
+            with_storage_retry(&retry, || {
                 Ok(self
                     .store
                     .install_delta_snapshot(local, base, document.as_bytes())?)
@@ -318,7 +329,8 @@ impl ShardPersistence {
         partition: &ShardPartition,
     ) -> Result<(), ServeError> {
         let document = self.shard_document(partition);
-        with_storage_retry(|| {
+        let retry = self.retry.clone();
+        with_storage_retry(&retry, || {
             Ok(self
                 .store
                 .install_snapshot(partition.live.epoch(), document.as_bytes())?)
@@ -332,7 +344,8 @@ impl ShardPersistence {
     /// Executes up to `max_removals` deferred removals (snapshot pruning,
     /// WAL compaction) on this shard's store.
     pub(crate) fn sweep(&mut self, max_removals: usize) -> Result<SweepOutcome, ServeError> {
-        with_storage_retry(|| Ok(self.store.sweep(max_removals)?))
+        let retry = self.retry.clone();
+        with_storage_retry(&retry, || Ok(self.store.sweep(max_removals)?))
     }
 
     fn shard_delta_document(&self, epoch: u64, base: u64) -> String {
@@ -709,7 +722,8 @@ pub(crate) fn recover_or_create_sharded(
         let reports = vec![RecoveryReport::default(); shards as usize];
         return Ok((net, persists, reports));
     }
-    let results = pool::run_indexed(shards as usize, threads, |k| {
+    let pool_metrics = pool::PoolMetrics::register(&options.registry);
+    let results = pool::run_indexed_observed(shards as usize, threads, Some(&pool_metrics), |k| {
         ShardPersistence::recover(&shard_dir(root, k as u32), options, k as u32, shards)
     });
     let mut partitions = Vec::with_capacity(shards as usize);

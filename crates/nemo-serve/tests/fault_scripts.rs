@@ -37,6 +37,7 @@ fn options(vfs: Arc<dyn Vfs>) -> PersistOptions {
         snapshot_every_epochs: 0,
         keep_snapshots: 2,
         vfs,
+        ..PersistOptions::default()
     }
 }
 

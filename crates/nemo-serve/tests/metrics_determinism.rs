@@ -1,0 +1,146 @@
+//! Logical metrics are pure functions of the request stream: the
+//! `nemo-metrics/v1` logical subset must be byte-identical across shard
+//! counts and `NEMO_THREADS`-style worker counts, which is what licenses
+//! asserting on it in CI while physical metrics (timings, cache layout,
+//! fsyncs) float freely.
+
+use nemo_core::{Backend, ScriptedLlm};
+use nemo_obs::Registry;
+use nemo_serve::durability::{run, DurabilityConfig};
+use nemo_serve::{
+    FsyncPolicy, LiveNetwork, PersistOptions, Request, ServeEvent, ServerBuilder, Session,
+};
+use trafficgen::{evolve, generate, NetEvent, StreamConfig, TimedEvent, TrafficConfig};
+
+/// Drives one fixed request stream — mutations, a deliberate conflict,
+/// queries, a stats request — through a `shards`-way server recording
+/// into a fresh registry, and returns the logical subset of the final
+/// metrics document.
+fn logical_doc_at(shards: u32) -> String {
+    let registry = Registry::new();
+    let options = PersistOptions {
+        registry: registry.clone(),
+        ..PersistOptions::default()
+    };
+    let traffic = TrafficConfig {
+        nodes: 12,
+        edges: 16,
+        prefixes: 2,
+        seed: 9,
+    };
+    let workload = generate(&traffic);
+    let mut server = ServerBuilder::new()
+        .shards(shards)
+        .options(options)
+        .build(
+            LiveNetwork::from_workload(&workload),
+            vec![Session {
+                client: 0,
+                backend: Backend::NetworkX,
+                llm: ScriptedLlm::new(
+                    "scripted",
+                    vec!["```graphscript\nresult = G.number_of_edges()\n```".to_string(); 4],
+                ),
+            }],
+        )
+        .expect("in-memory build");
+    for timed in evolve(
+        &workload,
+        &StreamConfig {
+            events: 10,
+            seed: 5,
+        },
+    ) {
+        server
+            .handle(&Request::from_event(&ServeEvent::Mutate(timed)))
+            .expect("conflict-free stream applies");
+    }
+    // A duplicate endpoint is a conflict at every shard count: it lands in
+    // serve_mutations_rejected without consuming an epoch.
+    let dup = TimedEvent {
+        at_ms: 99,
+        event: NetEvent::NewEndpoint {
+            endpoint: trafficgen::Ipv4::new(203, 0, 0, 200),
+        },
+    };
+    server
+        .handle(&Request::from_event(&ServeEvent::Mutate(dup.clone())))
+        .expect("first apply succeeds");
+    server
+        .handle(&Request::from_event(&ServeEvent::Mutate(dup)))
+        .expect("a conflict renders as a rejected response, not an error");
+    for _ in 0..2 {
+        server
+            .handle(&Request::Query {
+                client: 0,
+                query: "How many edges are there?".to_string(),
+            })
+            .expect("query");
+    }
+    // Stats samples the gauges (global epoch is logical) and embeds the
+    // full document; we return only the logical subset.
+    server.handle(&Request::Stats).expect("stats");
+    registry.snapshot().logical_only().to_json()
+}
+
+#[test]
+fn logical_metrics_are_shard_invariant() {
+    let baseline = logical_doc_at(1);
+    assert!(baseline.contains("serve_mutations_applied"));
+    assert!(baseline.contains("serve_mutations_rejected"));
+    for shards in [2u32, 4] {
+        assert_eq!(
+            logical_doc_at(shards),
+            baseline,
+            "logical metrics diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn logical_metrics_are_thread_invariant() {
+    // The multi-client durability driver fans clients out over the worker
+    // pool; every client's server records into the same shared registry.
+    // The logical subset must not notice the worker count.
+    let doc_at = |threads: usize, tag: &str| {
+        let registry = Registry::new();
+        let config = DurabilityConfig {
+            traffic: TrafficConfig {
+                nodes: 14,
+                edges: 18,
+                prefixes: 2,
+                seed: 7,
+            },
+            clients: 3,
+            events: 12,
+            queries: 2,
+            seed: 11,
+            options: PersistOptions {
+                fsync: FsyncPolicy::Never,
+                registry: registry.clone(),
+                ..PersistOptions::default()
+            },
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "nemo-metrics-determinism-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (transcript, crashed) = run(&config, &dir, threads, None).expect("run");
+        assert!(!crashed);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        (transcript, registry.snapshot().logical_only().to_json())
+    };
+    let (transcript_1, logical_1) = doc_at(1, "t1");
+    let (transcript_4, logical_4) = doc_at(4, "t4");
+    assert_eq!(
+        transcript_1, transcript_4,
+        "transcripts are thread-invariant"
+    );
+    assert_eq!(logical_1, logical_4, "logical metrics are thread-invariant");
+    // The logical subset actually saw traffic: the query round routes
+    // through the typed serving path.
+    assert!(logical_1.contains("serve_queries_answered"));
+    assert!(!logical_1.contains("pool_"), "pool metrics are physical");
+    assert!(!logical_1.contains("store_"), "store metrics are physical");
+}

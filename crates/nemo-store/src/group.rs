@@ -17,6 +17,7 @@
 //! `arrival rate x fsync latency` rather than the straggler window.
 
 use crate::error::StoreError;
+use crate::metrics::CommitMetrics;
 use crate::store::{FsyncPolicy, Store};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -66,6 +67,9 @@ pub struct GroupCommitter {
     arriving: AtomicU64,
     max_batch: u64,
     max_wait: Duration,
+    /// Batch-formation instrumentation; detached unless constructed via
+    /// [`GroupCommitter::with_metrics`].
+    metrics: CommitMetrics,
 }
 
 impl GroupCommitter {
@@ -73,6 +77,16 @@ impl GroupCommitter {
     /// [`FsyncPolicy::GroupCommit`] (the committer owns all fsyncs, so
     /// `append` must not auto-sync underneath it).
     pub fn new(store: Store) -> Result<GroupCommitter, StoreError> {
+        GroupCommitter::with_metrics(store, CommitMetrics::default())
+    }
+
+    /// [`GroupCommitter::new`] with batch-formation instrumentation bound
+    /// to `metrics` (typically [`CommitMetrics::register`]ed on a shared
+    /// registry).
+    pub fn with_metrics(
+        store: Store,
+        metrics: CommitMetrics,
+    ) -> Result<GroupCommitter, StoreError> {
         let FsyncPolicy::GroupCommit {
             max_batch,
             max_wait_micros,
@@ -102,6 +116,7 @@ impl GroupCommitter {
             arriving: AtomicU64::new(0),
             max_batch: u64::from(max_batch),
             max_wait: Duration::from_micros(max_wait_micros),
+            metrics,
         })
     }
 
@@ -111,6 +126,7 @@ impl GroupCommitter {
     /// On return, `last_synced() >= epoch` always holds — acknowledgement
     /// *is* durability.
     pub fn append(&self, payload: &[u8]) -> Result<u64, StoreError> {
+        let entered = Instant::now();
         self.arriving.fetch_add(1, Ordering::SeqCst);
         let mut state = self.lock();
         if let Some(err) = &state.poisoned {
@@ -134,6 +150,9 @@ impl GroupCommitter {
 
         loop {
             if state.synced >= epoch {
+                self.metrics
+                    .waiter_micros
+                    .record(u64::try_from(entered.elapsed().as_micros()).unwrap_or(u64::MAX));
                 return Ok(epoch);
             }
             if let Some(err) = &state.poisoned {
@@ -197,7 +216,13 @@ impl GroupCommitter {
             return state;
         }
         let covered = state.appended;
+        let frozen_synced = state.synced;
         let handle = state.store.clone_active_handle();
+        // How deep the pipeline ran while this batch froze: appenders
+        // mid-flight will land during the fsync and form the next batch.
+        self.metrics
+            .pipeline_occupancy
+            .record(self.arriving.load(Ordering::SeqCst));
         drop(state);
         // Lock released: the batch is frozen at `covered`, the disk wait
         // overlaps with the next batch's appends. Records <= covered are
@@ -218,8 +243,13 @@ impl GroupCommitter {
                     state.store.note_synced(covered);
                 }
                 state.sync_count += 1;
+                self.metrics.fsyncs.inc();
+                self.metrics
+                    .records_per_fsync
+                    .record(covered.saturating_sub(frozen_synced));
             }
             Err(err) => {
+                self.metrics.fsync_failures.inc();
                 // Fsyncgate: the kernel may have dropped the batch's dirty
                 // pages while marking them clean, so no retry can ever
                 // prove durability. Poison the store first (so the error

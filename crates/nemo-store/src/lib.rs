@@ -70,6 +70,7 @@
 pub mod crc32;
 mod error;
 pub mod group;
+pub mod metrics;
 pub mod record;
 pub mod segment;
 mod store;
@@ -78,6 +79,7 @@ pub mod vfs;
 
 pub use error::StoreError;
 pub use group::GroupCommitter;
+pub use metrics::{CommitMetrics, StoreMetrics};
 pub use store::{
     delta_snapshot_file_name, parse_delta_snapshot_name, parse_snapshot_name, snapshot_file_name,
     FsyncPolicy, OpenReport, Store, StoreConfig,

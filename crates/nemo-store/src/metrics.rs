@@ -1,0 +1,112 @@
+//! Metric handles for the storage engine.
+//!
+//! Both structs are bundles of pre-registered [`nemo_obs`] handles:
+//! `Default` yields detached cells (recording goes nowhere visible, at
+//! the same near-zero cost), [`StoreMetrics::register`] /
+//! [`CommitMetrics::register`] bind the bundle to a shared
+//! [`Registry`] under the `store_*` / `commit_*` name families. Several
+//! stores (e.g. one per shard) may share one registry: counters and
+//! histograms aggregate naturally, and the gauges are maintained with
+//! delta updates so they sum correctly too.
+//!
+//! Every metric here is [`Class::Physical`]: byte counts, fsync
+//! latencies and file layouts depend on the shard count and thread
+//! schedule, so none of them participate in determinism comparisons.
+
+use nemo_obs::{Class, Counter, Gauge, Histogram, Registry};
+use std::time::Instant;
+
+/// Hot-path instrumentation of one (or several) [`crate::Store`]s.
+#[derive(Debug, Clone, Default)]
+pub struct StoreMetrics {
+    /// Records appended.
+    pub appends: Counter,
+    /// WAL frame bytes written by appends.
+    pub bytes_written: Counter,
+    /// Successful fsyncs on the record-durability path (seal, per-record,
+    /// explicit [`crate::Store::sync`]).
+    pub fsyncs: Counter,
+    /// Fsyncs on the record-durability path that failed (each one poisons
+    /// the write path).
+    pub fsync_failures: Counter,
+    /// Latency of successful record-durability fsyncs, in microseconds.
+    pub fsync_micros: Histogram,
+    /// Active segments sealed because they reached the size threshold.
+    pub rotations: Counter,
+    /// WAL segment files currently on disk.
+    pub segments: Gauge,
+    /// Snapshot files currently on disk.
+    pub snapshots: Gauge,
+    /// Full snapshots installed.
+    pub full_snapshots_written: Counter,
+    /// Delta snapshots installed.
+    pub delta_snapshots_written: Counter,
+    /// Snapshots deleted by [`crate::Store::sweep`].
+    pub sweep_pruned_snapshots: Counter,
+    /// WAL segments deleted by [`crate::Store::sweep`].
+    pub sweep_removed_segments: Counter,
+    /// Transitions into the poisoned state (at most one per store).
+    pub poison_events: Counter,
+}
+
+impl StoreMetrics {
+    /// Binds the bundle to `registry` under the `store_*` names.
+    pub fn register(registry: &Registry) -> StoreMetrics {
+        StoreMetrics {
+            appends: registry.counter("store_appends", Class::Physical),
+            bytes_written: registry.counter("store_bytes_written", Class::Physical),
+            fsyncs: registry.counter("store_fsyncs", Class::Physical),
+            fsync_failures: registry.counter("store_fsync_failures", Class::Physical),
+            fsync_micros: registry.histogram("store_fsync_micros", Class::Physical),
+            rotations: registry.counter("store_rotations", Class::Physical),
+            segments: registry.gauge("store_segments", Class::Physical),
+            snapshots: registry.gauge("store_snapshots", Class::Physical),
+            full_snapshots_written: registry
+                .counter("store_full_snapshots_written", Class::Physical),
+            delta_snapshots_written: registry
+                .counter("store_delta_snapshots_written", Class::Physical),
+            sweep_pruned_snapshots: registry
+                .counter("store_sweep_pruned_snapshots", Class::Physical),
+            sweep_removed_segments: registry
+                .counter("store_sweep_removed_segments", Class::Physical),
+            poison_events: registry.counter("store_poison_events", Class::Physical),
+        }
+    }
+
+    /// Records one completed record-durability fsync started at `started`.
+    pub(crate) fn fsync_ok(&self, started: Instant) {
+        self.fsyncs.inc();
+        self.fsync_micros
+            .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+}
+
+/// Instrumentation of one [`crate::GroupCommitter`].
+#[derive(Debug, Clone, Default)]
+pub struct CommitMetrics {
+    /// Completed group fsyncs.
+    pub fsyncs: Counter,
+    /// Group fsyncs that failed (each one poisons the committer).
+    pub fsync_failures: Counter,
+    /// Records covered per group fsync — the achieved batch size.
+    pub records_per_fsync: Histogram,
+    /// Appenders in flight at the moment each batch froze: how much of
+    /// the pipeline the leader's disk wait overlapped with.
+    pub pipeline_occupancy: Histogram,
+    /// Time from entering `append` to the durability acknowledgement, in
+    /// microseconds (leaders and followers alike).
+    pub waiter_micros: Histogram,
+}
+
+impl CommitMetrics {
+    /// Binds the bundle to `registry` under the `commit_*` names.
+    pub fn register(registry: &Registry) -> CommitMetrics {
+        CommitMetrics {
+            fsyncs: registry.counter("commit_fsyncs", Class::Physical),
+            fsync_failures: registry.counter("commit_fsync_failures", Class::Physical),
+            records_per_fsync: registry.histogram("commit_records_per_fsync", Class::Physical),
+            pipeline_occupancy: registry.histogram("commit_pipeline_occupancy", Class::Physical),
+            waiter_micros: registry.histogram("commit_waiter_micros", Class::Physical),
+        }
+    }
+}

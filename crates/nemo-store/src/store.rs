@@ -24,6 +24,7 @@
 //!   directory listing.
 
 use crate::error::StoreError;
+use crate::metrics::StoreMetrics;
 use crate::record::encode_frame;
 use crate::segment::{scan_segment_with, segment_file_name, SegmentScan};
 use crate::sweep::{SnapshotMeta, SweepOutcome, SweepPlan};
@@ -31,6 +32,7 @@ use crate::vfs::{RealFs, Vfs, VfsFile};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// When appended records reach the disk platter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,6 +226,9 @@ pub struct Store {
     /// approximated from segments holding records past the newest
     /// snapshot (whole-segment granularity, conservative).
     bytes_since_snapshot: u64,
+    /// Hot-path instrumentation; detached (recording goes nowhere) until
+    /// [`Store::attach_metrics`] binds it to a shared registry.
+    metrics: StoreMetrics,
 }
 
 impl Store {
@@ -416,6 +421,7 @@ impl Store {
             durable_epoch: last_epoch,
             poisoned: None,
             bytes_since_snapshot,
+            metrics: StoreMetrics::default(),
         };
         // A crash mid-sweep needs no repair — the surviving files are a
         // valid store — but report the leftover work so the caller knows
@@ -432,6 +438,25 @@ impl Store {
     /// The configuration the store was opened with.
     pub fn config(&self) -> &StoreConfig {
         &self.config
+    }
+
+    /// Binds the store's instrumentation to `metrics` (typically
+    /// [`StoreMetrics::register`]ed on a shared registry) and folds the
+    /// current on-disk state into the `store_segments` /
+    /// `store_snapshots` gauges. The gauges are maintained with delta
+    /// updates — and given back on drop — so several stores sharing one
+    /// registry sum correctly. Call at most once per store.
+    pub fn attach_metrics(&mut self, metrics: StoreMetrics) {
+        self.metrics = metrics;
+        let segments = self.sealed.len() + usize::from(self.active.is_some());
+        self.metrics.segments.add(segments as i64);
+        self.metrics.snapshots.add(self.snapshots.len() as i64);
+    }
+
+    /// The store's instrumentation handles (detached unless
+    /// [`Store::attach_metrics`] was called).
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
     }
 
     /// True when the store holds no segments and no snapshots.
@@ -464,6 +489,7 @@ impl Store {
     /// whose batch fsync runs outside the store.
     pub(crate) fn mark_poisoned(&mut self, cause: StoreError) {
         if self.poisoned.is_none() {
+            self.metrics.poison_events.inc();
             self.poisoned = Some(match cause {
                 already @ StoreError::Poisoned(_) => already,
                 other => StoreError::Poisoned(format!(
@@ -540,10 +566,12 @@ impl Store {
         };
         if needs_new {
             if let Some(active) = self.active.take() {
+                self.metrics.rotations.inc();
                 // Seal durably: `sync` only ever covers the *active* file,
                 // so under EveryBatch/GroupCommit an unsynced outgoing
                 // segment would never be covered by a later batch fsync.
                 if self.config.fsync.durable_metadata() {
+                    let started = Instant::now();
                     if let Err(e) = active.file.sync_data() {
                         let err = StoreError::io_at("fsync", &active.path, e);
                         // The records exist on disk regardless of the
@@ -557,9 +585,11 @@ impl Store {
                             records: active.records,
                             bytes: active.bytes,
                         });
+                        self.metrics.fsync_failures.inc();
                         self.mark_poisoned(err.clone());
                         return Err(err);
                     }
+                    self.metrics.fsync_ok(started);
                 }
                 // The seal fsync covered every record in the outgoing
                 // segment.
@@ -576,6 +606,7 @@ impl Store {
                 });
             }
             self.active = Some(self.create_segment(epoch)?);
+            self.metrics.segments.add(1);
         }
         let frame = encode_frame(payload);
         let active = self.active.as_mut().expect("just ensured");
@@ -602,17 +633,22 @@ impl Store {
         active.records += 1;
         active.bytes += frame.len() as u64;
         self.bytes_since_snapshot += frame.len() as u64;
+        self.metrics.appends.inc();
+        self.metrics.bytes_written.add(frame.len() as u64);
         // Count the record *before* the policy fsync: it is physically in
         // the file, so memory and disk agree whether or not the fsync
         // below succeeds. The ack (an `Ok` return) is still withheld
         // until durability is established.
         self.last_epoch = Some(epoch);
         if self.config.fsync == FsyncPolicy::EveryRecord {
+            let started = Instant::now();
             if let Err(e) = active.file.sync_data() {
                 let err = StoreError::io_at("fsync", &active.path, e);
+                self.metrics.fsync_failures.inc();
                 self.mark_poisoned(err.clone());
                 return Err(err);
             }
+            self.metrics.fsync_ok(started);
             self.durable_epoch = Some(epoch);
         }
         Ok(())
@@ -624,11 +660,14 @@ impl Store {
     pub fn sync(&mut self) -> Result<(), StoreError> {
         self.check_poisoned()?;
         if let Some(active) = &self.active {
+            let started = Instant::now();
             if let Err(e) = active.file.sync_data() {
                 let err = StoreError::io_at("fsync", &active.path, e);
+                self.metrics.fsync_failures.inc();
                 self.mark_poisoned(err.clone());
                 return Err(err);
             }
+            self.metrics.fsync_ok(started);
         }
         self.durable_epoch = self.last_epoch;
         Ok(())
@@ -781,6 +820,8 @@ impl Store {
         self.check_snapshot_install(epoch, document)?;
         self.write_snapshot_file(&snapshot_file_name(epoch), document)?;
         self.snapshots.push(SnapshotMeta::full(epoch));
+        self.metrics.snapshots.add(1);
+        self.metrics.full_snapshots_written.inc();
         self.last_epoch = Some(self.last_epoch.map_or(epoch, |l| l.max(epoch)));
         if self.config.fsync.durable_metadata() {
             // The fsynced, renamed document durably captures `epoch`.
@@ -810,6 +851,8 @@ impl Store {
         }
         self.write_snapshot_file(&delta_snapshot_file_name(epoch, base), document)?;
         self.snapshots.push(SnapshotMeta::delta(epoch, base));
+        self.metrics.snapshots.add(1);
+        self.metrics.delta_snapshots_written.inc();
         self.last_epoch = Some(self.last_epoch.map_or(epoch, |l| l.max(epoch)));
         if self.config.fsync.durable_metadata() {
             self.note_synced(epoch);
@@ -970,6 +1013,14 @@ impl Store {
                 budget -= 1;
             }
         }
+        self.metrics
+            .sweep_pruned_snapshots
+            .add(outcome.pruned_snapshots as u64);
+        self.metrics.snapshots.sub(outcome.pruned_snapshots as i64);
+        self.metrics
+            .sweep_removed_segments
+            .add(outcome.removed_segments as u64);
+        self.metrics.segments.sub(outcome.removed_segments as i64);
         if outcome.removed() > 0 && self.config.fsync.durable_metadata() {
             self.sync_dir()?;
         }
@@ -1054,9 +1105,14 @@ impl Store {
 
 impl Drop for Store {
     /// Best-effort flush so a clean shutdown never depends on the caller
-    /// remembering a final [`Store::sync`].
+    /// remembering a final [`Store::sync`], plus giving the on-disk
+    /// counts this store contributed back to the (possibly shared)
+    /// `store_segments` / `store_snapshots` gauges.
     fn drop(&mut self) {
         let _ = self.sync();
+        let segments = self.sealed.len() + usize::from(self.active.is_some());
+        self.metrics.segments.sub(segments as i64);
+        self.metrics.snapshots.sub(self.snapshots.len() as i64);
     }
 }
 
