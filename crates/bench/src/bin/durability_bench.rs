@@ -166,8 +166,14 @@ fn run_transcript(dir: &Path, path: &str, crash_at: Option<u64>) -> ExitCode {
     let mut config = DurabilityConfig::from_env();
     // A fresh registry per run: the final snapshot is dumped next to the
     // transcript so CI artifacts carry the metrics alongside the lines.
+    // Likewise a fresh flight recorder: the query round runs through the
+    // typed request path, so its trace trees ride along as
+    // `<transcript>.traces.json`.
     let registry = nemo_obs::Registry::new();
     config.options.registry = registry.clone();
+    let tracer = nemo_obs::trace::Tracer::new();
+    tracer.enable(1024);
+    config.options.tracer = tracer.clone();
     let threads = pool::thread_count();
     eprintln!(
         "[durability] {} clients x {} events on {} worker thread(s){}",
@@ -202,6 +208,25 @@ fn run_transcript(dir: &Path, path: &str, crash_at: Option<u64>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {metrics_path}");
+            let traces = tracer.to_doc(0);
+            match netgraph::json::JsonValue::parse(&traces) {
+                Ok(doc) => {
+                    if let Err(e) = nemo_serve::validate_trace_doc(&doc) {
+                        eprintln!("durability_bench: trace document invalid: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("durability_bench: trace document does not parse: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let traces_path = format!("{path}.traces.json");
+            if let Err(e) = std::fs::write(&traces_path, traces + "\n") {
+                eprintln!("durability_bench: cannot write {traces_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {traces_path}");
             ExitCode::SUCCESS
         }
         Err(e) => {

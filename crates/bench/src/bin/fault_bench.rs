@@ -31,10 +31,11 @@
 use nemo_bench::perf::{self, Measurement};
 use nemo_core::llm::profiles;
 use nemo_core::{Backend, SimulatedLlm};
+use nemo_obs::trace::Tracer;
 use nemo_obs::Registry;
 use nemo_serve::driver::{self, DriveConfig};
 use nemo_serve::persist::{FsyncPolicy, PersistOptions};
-use nemo_serve::{LiveNetwork, Server, ServerBuilder, Session};
+use nemo_serve::{LiveNetwork, Request, ServeEvent, Server, ServerBuilder, Session};
 use nemo_store::{FaultFs, FaultKind, GroupCommitter, RealFs, Store, StoreConfig, Vfs};
 use netgraph::json::JsonValue;
 use std::io::Write;
@@ -224,6 +225,7 @@ fn persistent_server(
     vfs: Arc<dyn Vfs>,
     root: &std::path::Path,
     registry: &Registry,
+    tracer: &Tracer,
 ) -> Server<SimulatedLlm> {
     let workload = generate(&config.traffic);
     let live = LiveNetwork::from_workload(&workload);
@@ -244,6 +246,7 @@ fn persistent_server(
         .options(PersistOptions {
             fsync: FsyncPolicy::EveryRecord,
             registry: registry.clone(),
+            tracer: tracer.clone(),
             ..PersistOptions::default()
         })
         .vfs(vfs)
@@ -287,9 +290,10 @@ fn qps(samples: &[f64]) -> f64 {
 /// Measures cached-read throughput of a healthy server and of the same
 /// server with its write path poisoned mid-stream (degraded mode).
 /// Returns `(healthy_qps, degraded_qps)` plus the degraded run's registry
-/// — its snapshot (surfaced fault, poison event, degraded transition) is
-/// dumped next to the report.
-fn degraded_read_qps(rounds: usize) -> (f64, f64, Registry) {
+/// and tracer — the snapshot (surfaced fault, poison event, degraded
+/// transition) and the flight-recorder traces (the poisoning request's
+/// error-tagged fsync span among them) are dumped next to the report.
+fn degraded_read_qps(rounds: usize) -> (f64, f64, Registry, Tracer) {
     let config = DriveConfig::from_env();
     let queries: Vec<String> = nemo_bench::traffic_queries()
         .into_iter()
@@ -307,7 +311,13 @@ fn degraded_read_qps(rounds: usize) -> (f64, f64, Registry) {
 
     // Healthy baseline.
     let dir = scratch_dir("healthy");
-    let mut healthy = persistent_server(&config, Arc::new(RealFs), &dir, &Registry::new());
+    let mut healthy = persistent_server(
+        &config,
+        Arc::new(RealFs),
+        &dir,
+        &Registry::new(),
+        &Tracer::new(),
+    );
     let _ = query_round(&mut healthy, &queries); // warm the caches
     let mut samples = Vec::new();
     for _ in 0..rounds {
@@ -322,7 +332,13 @@ fn degraded_read_qps(rounds: usize) -> (f64, f64, Registry) {
     // degraded read-only mode, and the query loop keeps running.
     let dir = scratch_dir("degraded-calibrate");
     let calibrate = Arc::new(FaultFs::new(FaultKind::FailedFsync, u64::MAX));
-    let server = persistent_server(&config, calibrate.clone(), &dir, &Registry::new());
+    let server = persistent_server(
+        &config,
+        calibrate.clone(),
+        &dir,
+        &Registry::new(),
+        &Tracer::new(),
+    );
     let cut = calibrate.ops();
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
@@ -330,9 +346,14 @@ fn degraded_read_qps(rounds: usize) -> (f64, f64, Registry) {
     let dir = scratch_dir("degraded");
     let fault = Arc::new(FaultFs::new(FaultKind::FailedFsync, cut));
     let registry = Registry::new();
-    let mut degraded = persistent_server(&config, fault.clone(), &dir, &registry);
+    let tracer = Tracer::new();
+    tracer.enable(64);
+    let mut degraded = persistent_server(&config, fault.clone(), &dir, &registry, &tracer);
+    // The poisoning mutation goes through the typed request path so the
+    // flight recorder mints a trace for it: the failed commit fsync shows
+    // up as an error-tagged `store.fsync` span inside that trace.
     degraded
-        .apply_mutation(&stream[1])
+        .handle(&Request::from_event(&ServeEvent::Mutate(stream[1].clone())))
         .expect_err("the armed commit fsync must fail");
     assert!(
         degraded.degraded().is_some(),
@@ -349,7 +370,7 @@ fn degraded_read_qps(rounds: usize) -> (f64, f64, Registry) {
     drop(degraded);
     let _ = std::fs::remove_dir_all(&dir);
 
-    (healthy_qps, degraded_qps, registry)
+    (healthy_qps, degraded_qps, registry, tracer)
 }
 
 /// Patches the auto-filled `ms` unit on non-latency entries.
@@ -389,7 +410,7 @@ fn run_report(pr: &str, out: &str) -> ExitCode {
     println!("append group commit:          {group_mps:>11.1} appends/s");
 
     eprintln!("[fault] degraded-mode read availability...");
-    let (healthy_qps, degraded_qps, registry) = degraded_read_qps(sizes.query_rounds);
+    let (healthy_qps, degraded_qps, registry, tracer) = degraded_read_qps(sizes.query_rounds);
     println!("cached reads, healthy:        {healthy_qps:>11.1} q/s");
     println!("cached reads, degraded:       {degraded_qps:>11.1} q/s");
 
@@ -453,6 +474,30 @@ fn run_report(pr: &str, out: &str) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {metrics_path}");
+    // So do its traces: the degraded run's flight recorder holds the
+    // poisoning request with an error-tagged fsync span.
+    let traces_text = tracer.to_doc(0);
+    let traces_doc = match JsonValue::parse(&traces_text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("fault_bench: trace document is not valid JSON: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = nemo_serve::validate_trace_doc(&traces_doc) {
+        eprintln!("fault_bench: trace document invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !traces_text.contains("\"error\":") {
+        eprintln!("fault_bench: degraded-run traces carry no error-tagged span");
+        return ExitCode::FAILURE;
+    }
+    let traces_path = format!("{out}.traces.json");
+    if let Err(e) = std::fs::write(&traces_path, traces_text + "\n") {
+        eprintln!("fault_bench: cannot write {traces_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {traces_path}");
     ExitCode::SUCCESS
 }
 

@@ -28,20 +28,50 @@
 //!   of a serving-shaped registry (the price of *looking*, paid only
 //!   when a stats request arrives).
 //!
+//! With `--pr pr10` the report instead pins the PR 10 trace-tree cost,
+//! driving the identical `Relabel` mutation stream down four paths:
+//!
+//! * `traced_idle_mutate_ms` — wall milliseconds per typed mutation,
+//!   `before` on a server whose tracer is detached and disabled (no
+//!   caller holds a handle, no trace can ever be observed — the
+//!   untraced path), `after` with a caller-attached tracer handle,
+//!   idle. Attaching the trace consumer must be free — the same
+//!   attach-a-registry parity `BENCH_pr9.json` pins for metrics,
+//!   replayed for traces. The acceptance gate: speedup >= 0.97x.
+//! * `typed_dispatch_mutate_ms` — context pair: `before` the untyped
+//!   `apply_mutation` path, `after` typed `handle()` dispatch. The gap
+//!   is protocol cost (request construction, mutation clone, response
+//!   + description), present since PR 6 and independent of tracing.
+//! * `flight_recorder_mutate_ms` — `before` traced-but-idle, `after`
+//!   with the flight recorder enabled (root span minted per request,
+//!   route/apply/WAL spans recorded, ring at steady-state eviction):
+//!   the honest cost of turning recording on, dominated by the safe
+//!   monotonic-clock reads at span open/close (`unsafe_code` is denied
+//!   workspace-wide, so no raw TSC).
+//! * `recording_mutate_mps` — absolute recording-on throughput.
+//!
 //! The smoke mode drives a pool-fanned multi-client durability run and
 //! a typed-request sharded drive into **one shared registry**, fetches
 //! [`Request::Stats`], schema-validates the embedded document, and
 //! writes the logical subset to `--logical` — CI byte-compares that
-//! file across its `NEMO_THREADS` x shards matrix.
+//! file across its `NEMO_THREADS` x shards matrix. The typed drive also
+//! records into a flight recorder; `--traces` / `--chrome` /
+//! `--skeleton` dump the schema-validated `nemo-trace/v1` document, the
+//! Chrome `traceEvents` export, and the logical trace skeletons (the
+//! matrix-compared byte-identical axis).
 
 use nemo_bench::perf::{self, Measurement};
 use nemo_bench::pool;
 use nemo_core::llm::profiles;
 use nemo_core::{Backend, SimulatedLlm};
+use nemo_obs::trace::Tracer;
 use nemo_obs::{Class, Registry};
 use nemo_serve::driver::{self, DriveConfig};
 use nemo_serve::durability::{self, DurabilityConfig};
-use nemo_serve::{LiveNetwork, PersistOptions, Request, Response, Server, ServerBuilder, Session};
+use nemo_serve::{
+    validate_chrome_doc, validate_trace_doc, LiveNetwork, PersistOptions, Request, Response,
+    ServeEvent, Server, ServerBuilder, Session,
+};
 use nemo_store::{RealFs, Store, StoreConfig, StoreMetrics, Vfs};
 use netgraph::json::JsonValue;
 use std::path::PathBuf;
@@ -53,7 +83,8 @@ use trafficgen::{evolve, generate, NetEvent, StreamConfig, TimedEvent};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: obs_bench [--pr <tag>] [--out <file>]\n\
-         \u{20}      obs_bench --smoke --shards <n> --logical <file> [--doc <file>]"
+         \u{20}      obs_bench --smoke --shards <n> --logical <file> [--doc <file>]\n\
+         \u{20}          [--traces <file>] [--chrome <file>] [--skeleton <file>]"
     );
     ExitCode::FAILURE
 }
@@ -255,6 +286,196 @@ fn healthy_read_qps(rounds: usize) -> f64 {
     }
 }
 
+/// Which request path / tracer configuration a mutate run measures.
+#[derive(Clone, Copy, PartialEq)]
+enum MutatePath {
+    /// The legacy untyped `apply_mutation` path — no typed dispatch, no
+    /// response construction, no root trace. Context for what the typed
+    /// protocol itself costs.
+    Untyped,
+    /// Typed requests on a server with its own default tracer: detached
+    /// (no caller holds a handle) and disabled. No trace can ever be
+    /// observed — the untraced path.
+    Detached,
+    /// Typed requests with a caller-attached tracer handle, idle
+    /// (disabled): traced-but-idle, the production default. Attachment
+    /// must be free — the pr9 attach-a-registry parity, replayed for
+    /// traces.
+    AttachedIdle,
+    /// Typed requests with the flight recorder enabled — a root span per
+    /// request plus route/apply/WAL spans, ring at steady-state eviction.
+    Recording,
+}
+
+/// Mutations per second through a persisted single-shard server (fsync
+/// never), driving the identical `Relabel` event stream down the path
+/// `mode` selects.
+fn mutate_mps(count: usize, mode: MutatePath) -> f64 {
+    let dir = scratch_dir(match mode {
+        MutatePath::Untyped => "mutate-untyped",
+        MutatePath::Detached => "mutate-detached",
+        MutatePath::AttachedIdle => "mutate-idle",
+        MutatePath::Recording => "mutate-recording",
+    });
+    // The attached arms keep this handle alive across the run — the
+    // difference under test is a live outside consumer, not the code
+    // path (which is identical when the recorder is off).
+    let attached = Tracer::new();
+    if mode == MutatePath::Recording {
+        attached.enable(256);
+    }
+    let config = DriveConfig::from_env();
+    let workload = generate(&config.traffic);
+    let endpoint = workload.endpoints[0];
+    let options = match mode {
+        MutatePath::Untyped | MutatePath::Detached => PersistOptions {
+            fsync: nemo_serve::FsyncPolicy::Never,
+            ..PersistOptions::default()
+        },
+        MutatePath::AttachedIdle | MutatePath::Recording => PersistOptions {
+            fsync: nemo_serve::FsyncPolicy::Never,
+            tracer: attached.clone(),
+            ..PersistOptions::default()
+        },
+    };
+    let mut server = ServerBuilder::new()
+        .options(options)
+        .persist_at(&dir)
+        .build::<SimulatedLlm>(LiveNetwork::from_workload(&workload), Vec::new())
+        .expect("fresh persistent build");
+    let start = Instant::now();
+    for i in 0..count as u64 {
+        let event = TimedEvent {
+            at_ms: i,
+            event: NetEvent::Relabel {
+                endpoint,
+                label: format!("v{i}"),
+            },
+        };
+        match mode {
+            MutatePath::Untyped => {
+                server
+                    .apply_mutation(&event)
+                    .expect("bench mutation succeeds");
+            }
+            _ => {
+                let request = Request::from_event(&ServeEvent::Mutate(event));
+                let response = server.handle(&request).expect("bench mutation succeeds");
+                debug_assert!(matches!(response, Response::Mutated { .. }));
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(server);
+    drop(attached);
+    let _ = std::fs::remove_dir_all(&dir);
+    count as f64 / elapsed
+}
+
+/// The PR 10 report: traced-but-idle request throughput against the
+/// untraced path (the acceptance parity pair), the typed-dispatch
+/// context pair, and the full cost of recording into the flight
+/// recorder — same alternating-sample methodology as the PR 9
+/// `instrumented_append_ms` parity pair.
+fn run_report_pr10(pr: &str, out: &str) -> ExitCode {
+    let sizes = BenchSizes::from_env();
+    let mutations = sizes.appends;
+    eprintln!(
+        "[obs] traced request path: {mutations} mutations x 5 reps x 4 paths, fsync never..."
+    );
+    // One discarded warmup pass per path (page cache, allocator, branch
+    // predictors), then alternate the variants so machine drift lands on
+    // all sides.
+    let paths = [
+        MutatePath::Untyped,
+        MutatePath::Detached,
+        MutatePath::AttachedIdle,
+        MutatePath::Recording,
+    ];
+    for path in paths {
+        let _ = mutate_mps(mutations, path);
+    }
+    let mut untyped_samples = Vec::new();
+    let mut detached_samples = Vec::new();
+    let mut idle_samples = Vec::new();
+    let mut recording_samples = Vec::new();
+    for _ in 0..5 {
+        untyped_samples.push(1e3 / mutate_mps(mutations, MutatePath::Untyped));
+        detached_samples.push(1e3 / mutate_mps(mutations, MutatePath::Detached));
+        idle_samples.push(1e3 / mutate_mps(mutations, MutatePath::AttachedIdle));
+        recording_samples.push(1e3 / mutate_mps(mutations, MutatePath::Recording));
+    }
+    let untyped_mps = 1e3 / perf::median(&untyped_samples);
+    let detached_mps = 1e3 / perf::median(&detached_samples);
+    let idle_mps = 1e3 / perf::median(&idle_samples);
+    let recording_mps = 1e3 / perf::median(&recording_samples);
+    println!("mutate, untyped apply:        {untyped_mps:>11.1} req/s");
+    println!(
+        "mutate, typed + no tracer:    {detached_mps:>11.1} req/s  ({:.3}x untyped)",
+        detached_mps / untyped_mps
+    );
+    println!(
+        "mutate, traced-but-idle:      {idle_mps:>11.1} req/s  ({:.3}x untraced)",
+        idle_mps / detached_mps
+    );
+    println!(
+        "mutate, flight recorder on:   {recording_mps:>11.1} req/s  ({:.3}x idle)",
+        recording_mps / idle_mps
+    );
+
+    let before = [
+        Measurement {
+            name: "traced_idle_mutate_ms".to_string(),
+            samples: detached_samples.clone(),
+        },
+        Measurement {
+            name: "typed_dispatch_mutate_ms".to_string(),
+            samples: untyped_samples,
+        },
+        Measurement {
+            name: "flight_recorder_mutate_ms".to_string(),
+            samples: idle_samples.clone(),
+        },
+    ];
+    let after = [
+        Measurement {
+            name: "traced_idle_mutate_ms".to_string(),
+            samples: idle_samples,
+        },
+        Measurement {
+            name: "typed_dispatch_mutate_ms".to_string(),
+            samples: detached_samples,
+        },
+        Measurement {
+            name: "flight_recorder_mutate_ms".to_string(),
+            samples: recording_samples,
+        },
+        Measurement {
+            name: "recording_mutate_mps".to_string(),
+            samples: vec![recording_mps],
+        },
+    ];
+    let existing = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok());
+    let report = perf::merge_report(existing.as_ref(), pr, "before", &before);
+    let mut report = perf::merge_report(Some(&report), pr, "after", &after);
+    set_unit(&mut report, "recording_mutate_mps", "mps");
+    let problems = perf::validate_report(&report);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("obs_bench: generated report invalid: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out, report.to_json() + "\n") {
+        eprintln!("obs_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
 /// Patches the auto-filled `ms` unit on non-latency entries.
 fn set_unit(report: &mut JsonValue, name: &str, unit: &str) {
     if let JsonValue::Object(root) = report {
@@ -370,7 +591,14 @@ fn run_report(pr: &str, out: &str) -> ExitCode {
 /// one shared registry. Fetches [`Request::Stats`], schema-validates the
 /// embedded document, and writes the full document (`--doc`) and the
 /// logical subset (`--logical`) — only the latter is matrix-compared.
-fn run_smoke(shards: u32, logical_path: &str, doc_path: Option<&str>) -> ExitCode {
+fn run_smoke(
+    shards: u32,
+    logical_path: &str,
+    doc_path: Option<&str>,
+    traces_path: Option<&str>,
+    chrome_path: Option<&str>,
+    skeleton_path: Option<&str>,
+) -> ExitCode {
     let registry = Registry::new();
     let threads = pool::thread_count();
     eprintln!("[obs] smoke: {shards} shard(s), {threads} worker thread(s)");
@@ -406,12 +634,22 @@ fn run_smoke(shards: u32, logical_path: &str, doc_path: Option<&str>) -> ExitCod
             ),
         })
         .collect();
+    // The typed drive is sequential, so the flight recorder's retire
+    // order — and with it the logical-skeleton dump — is a pure function
+    // of the request stream: the byte-compared axis of the CI matrix.
+    // Persisted (fsync never) so WAL spans land inside the traces.
+    let tracer = Tracer::new();
+    tracer.enable(1024);
+    let typed_dir = scratch_dir(&format!("smoke-typed-{shards}"));
     let mut server = match ServerBuilder::new()
         .shards(shards)
         .options(PersistOptions {
+            fsync: nemo_serve::FsyncPolicy::Never,
             registry: registry.clone(),
+            tracer: tracer.clone(),
             ..PersistOptions::default()
         })
+        .persist_at(&typed_dir)
         .build(LiveNetwork::from_workload(&workload), sessions)
     {
         Ok(server) => server,
@@ -498,6 +736,72 @@ fn run_smoke(shards: u32, logical_path: &str, doc_path: Option<&str>) -> ExitCod
         return ExitCode::FAILURE;
     }
     println!("wrote {logical_path}");
+
+    // Trace view of the same drive: the server answers its own trace
+    // request, and the document must be schema-valid with a deterministic
+    // logical skeleton.
+    let trace_doc = match server.handle(&Request::Trace { last_n: 0 }) {
+        Ok(Response::Trace { doc }) => doc,
+        Ok(other) => {
+            eprintln!("obs_bench: trace request answered with {other:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("obs_bench: trace request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_trace_doc(&trace_doc) {
+        eprintln!("obs_bench: trace document failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    let chrome = match JsonValue::parse(&tracer.to_chrome(0)) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("obs_bench: chrome export does not parse: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_chrome_doc(&chrome) {
+        eprintln!("obs_bench: chrome export failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if tracer.dropped() > 0 {
+        eprintln!("obs_bench: flight recorder dropped traces during the smoke drive");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "traces: {} captured, schema-valid nemo-trace/v1 + chrome traceEvents",
+        tracer.traces(0).len()
+    );
+    if let Some(path) = traces_path {
+        if let Err(e) = std::fs::write(path, trace_doc.to_string() + "\n") {
+            eprintln!("obs_bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = chrome_path {
+        if let Err(e) = std::fs::write(path, chrome.to_string() + "\n") {
+            eprintln!("obs_bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = skeleton_path {
+        let skeletons = tracer.logical_skeletons(0);
+        if !skeletons.contains("request.mutate") || !skeletons.contains("wal.log") {
+            eprintln!("obs_bench: trace skeletons are missing expected logical spans");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, skeletons) {
+            eprintln!("obs_bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    drop(server);
+    let _ = std::fs::remove_dir_all(&typed_dir);
     ExitCode::SUCCESS
 }
 
@@ -509,11 +813,21 @@ fn main() -> ExitCode {
     let mut shards: Option<u32> = None;
     let mut logical: Option<String> = None;
     let mut doc: Option<String> = None;
+    let mut traces: Option<String> = None;
+    let mut chrome: Option<String> = None;
+    let mut skeleton: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let needs_value = matches!(
             args[i].as_str(),
-            "--pr" | "--out" | "--shards" | "--logical" | "--doc"
+            "--pr"
+                | "--out"
+                | "--shards"
+                | "--logical"
+                | "--doc"
+                | "--traces"
+                | "--chrome"
+                | "--skeleton"
         );
         if needs_value && i + 1 >= args.len() {
             return usage();
@@ -527,6 +841,9 @@ fn main() -> ExitCode {
             },
             "--logical" => logical = Some(args[i + 1].clone()),
             "--doc" => doc = Some(args[i + 1].clone()),
+            "--traces" => traces = Some(args[i + 1].clone()),
+            "--chrome" => chrome = Some(args[i + 1].clone()),
+            "--skeleton" => skeleton = Some(args[i + 1].clone()),
             "--smoke" => {
                 smoke = true;
                 i += 1;
@@ -538,13 +855,30 @@ fn main() -> ExitCode {
     }
     if smoke {
         match (shards, logical) {
-            (Some(shards), Some(logical)) => run_smoke(shards, &logical, doc.as_deref()),
+            (Some(shards), Some(logical)) => run_smoke(
+                shards,
+                &logical,
+                doc.as_deref(),
+                traces.as_deref(),
+                chrome.as_deref(),
+                skeleton.as_deref(),
+            ),
             _ => usage(),
         }
-    } else if shards.is_some() || logical.is_some() || doc.is_some() {
+    } else if shards.is_some()
+        || logical.is_some()
+        || doc.is_some()
+        || traces.is_some()
+        || chrome.is_some()
+        || skeleton.is_some()
+    {
         usage()
     } else {
         let out = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
-        run_report(&pr, &out)
+        if pr == "pr10" {
+            run_report_pr10(&pr, &out)
+        } else {
+            run_report(&pr, &out)
+        }
     }
 }

@@ -35,6 +35,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -256,6 +258,9 @@ struct EventBuf {
     capacity: usize,
     next_seq: u64,
     items: VecDeque<SpanEvent>,
+    /// Counts events evicted by overflow; registered (as
+    /// `span_events_dropped`) when the log is enabled.
+    dropped: Counter,
 }
 
 #[derive(Debug, Default)]
@@ -323,8 +328,10 @@ impl Registry {
     /// most-recent events. The log is off by default and costs one
     /// atomic load per span while off.
     pub fn enable_events(&self, capacity: usize) {
+        let dropped = self.counter("span_events_dropped", Class::Physical);
         let mut buf = self.cells.events.lock().expect("events lock");
         buf.capacity = capacity;
+        buf.dropped = dropped;
         self.cells
             .events_enabled
             .store(capacity > 0, Ordering::Release);
@@ -344,6 +351,7 @@ impl Registry {
         let over = buf.items.len() + 1 > buf.capacity;
         if over {
             buf.items.pop_front();
+            buf.dropped.inc();
         }
         buf.items.push_back(SpanEvent {
             seq,
@@ -555,7 +563,7 @@ impl Snapshot {
 }
 
 /// Escapes `text` as a JSON string literal, quotes included.
-fn json_string(text: &str) -> String {
+pub(crate) fn json_string(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     out.push('"');
     for ch in text.chars() {
@@ -763,6 +771,28 @@ mod tests {
             events[1].to_json_line(),
             "{\"micros\":3,\"name\":\"c\",\"seq\":2}"
         );
+    }
+
+    #[test]
+    fn overflowing_the_event_log_counts_the_drops() {
+        let registry = Registry::new();
+        registry.enable_events(3);
+        for i in 0..10 {
+            registry.record_span("work", i);
+        }
+        let events = registry.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 7, "oldest retained is the 8th record");
+        let dropped = registry.counter("span_events_dropped", Class::Physical);
+        assert_eq!(dropped.get(), 7);
+        let doc = registry.snapshot().to_json();
+        assert!(doc.contains(
+            "\"span_events_dropped\":{\"class\":\"physical\",\"kind\":\"counter\",\"value\":7}"
+        ));
+        assert!(registry
+            .snapshot()
+            .to_prometheus()
+            .contains("span_events_dropped 7"));
     }
 
     #[test]

@@ -73,8 +73,9 @@ pub mod snapshot;
 pub use cache::{CacheOutcome, CacheStats, ProgramCache};
 pub use error::ServeError;
 pub use live::LiveNetwork;
-pub use metrics::{validate_metrics_doc, ServeMetrics};
+pub use metrics::{validate_chrome_doc, validate_metrics_doc, validate_trace_doc, ServeMetrics};
 pub use mutation::{Epoch, Mutation, WalRecord};
+pub use nemo_obs::trace::Tracer;
 pub use persist::{FsyncPolicy, PersistOptions, Persistence, RecoveryReport};
 pub use protocol::{Request, Response, StatsReport};
 pub use server::{Reply, ServeEvent, Server, ServerBuilder, Session};

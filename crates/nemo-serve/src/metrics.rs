@@ -32,6 +32,12 @@ pub struct ServeMetrics {
     pub requests_sync: Counter,
     /// Typed `Stats` requests handled (logical).
     pub requests_stats: Counter,
+    /// Typed `Trace` requests handled (logical).
+    pub requests_trace: Counter,
+    /// Requests whose root span crossed the slow-request threshold,
+    /// sampled from the tracer at each `stats()` call (physical: wall
+    /// clock decides).
+    pub slow_requests: Gauge,
     /// Mutations applied — epoch consumed (logical).
     pub mutations_applied: Counter,
     /// Mutations rejected as conflicts — no epoch consumed (logical).
@@ -92,6 +98,8 @@ impl ServeMetrics {
             requests_query: registry.counter("serve_requests_query", Class::Logical),
             requests_sync: registry.counter("serve_requests_sync", Class::Logical),
             requests_stats: registry.counter("serve_requests_stats", Class::Logical),
+            requests_trace: registry.counter("serve_requests_trace", Class::Logical),
+            slow_requests: registry.gauge("serve_slow_requests", Class::Physical),
             mutations_applied: registry.counter("serve_mutations_applied", Class::Logical),
             mutations_rejected: registry.counter("serve_mutations_rejected", Class::Logical),
             queries_answered: registry.counter("serve_queries_answered", Class::Logical),
@@ -188,6 +196,162 @@ pub fn validate_metrics_doc(doc: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a parsed `nemo-trace/v1` document: schema tag, drop
+/// counters, and per-trace shape — every span's fields, exactly one root
+/// per trace, and every `parent_id` resolving to a span in the same
+/// trace. Returns the first violation as a human-readable message.
+pub fn validate_trace_doc(doc: &JsonValue) -> Result<(), String> {
+    let root = match doc {
+        JsonValue::Object(map) => map,
+        other => return Err(format!("trace document is not an object: {other:?}")),
+    };
+    match root.get("schema") {
+        Some(JsonValue::String(s)) if s == nemo_obs::trace::TRACE_SCHEMA => {}
+        Some(other) => {
+            return Err(format!(
+                "schema tag is {other:?}, want {}",
+                nemo_obs::trace::TRACE_SCHEMA
+            ))
+        }
+        None => return Err("missing schema tag".to_string()),
+    }
+    for counter in ["dropped", "slow_dropped", "slow_retained", "slow_total"] {
+        match root.get(counter) {
+            Some(JsonValue::Number(_)) => {}
+            other => return Err(format!("\"{counter}\" is not a number: {other:?}")),
+        }
+    }
+    let traces = match root.get("traces") {
+        Some(JsonValue::Array(items)) => items,
+        Some(other) => return Err(format!("\"traces\" is not an array: {other:?}")),
+        None => return Err("missing \"traces\" array".to_string()),
+    };
+    for (i, trace) in traces.iter().enumerate() {
+        let trace = match trace {
+            JsonValue::Object(map) => map,
+            other => return Err(format!("trace[{i}] is not an object: {other:?}")),
+        };
+        for field in ["trace_id", "base_micros"] {
+            match trace.get(field) {
+                Some(JsonValue::Number(_)) => {}
+                other => return Err(format!("trace[{i}].{field} is not a number: {other:?}")),
+            }
+        }
+        let spans = match trace.get("spans") {
+            Some(JsonValue::Array(items)) if !items.is_empty() => items,
+            Some(JsonValue::Array(_)) => return Err(format!("trace[{i}] has no spans")),
+            other => return Err(format!("trace[{i}].spans is not an array: {other:?}")),
+        };
+        let mut ids = Vec::new();
+        let mut roots = 0usize;
+        for (j, span) in spans.iter().enumerate() {
+            let span = match span {
+                JsonValue::Object(map) => map,
+                other => return Err(format!("trace[{i}].spans[{j}] is not an object: {other:?}")),
+            };
+            let at = |field: &str| format!("trace[{i}].spans[{j}].{field}");
+            for field in ["span_id", "start_micros", "duration_micros"] {
+                match span.get(field) {
+                    Some(JsonValue::Number(_)) => {}
+                    other => return Err(format!("{} is not a number: {other:?}", at(field))),
+                }
+            }
+            match span.get("name") {
+                Some(JsonValue::String(_)) => {}
+                other => return Err(format!("{} is not a string: {other:?}", at("name"))),
+            }
+            match span.get("class") {
+                Some(JsonValue::String(c)) if c == "logical" || c == "physical" => {}
+                other => return Err(format!("{} is bad: {other:?}", at("class"))),
+            }
+            if let Some(JsonValue::Number(id)) = span.get("span_id") {
+                ids.push(*id as i64);
+            }
+            match span.get("parent_id") {
+                Some(JsonValue::Null) => roots += 1,
+                Some(JsonValue::Number(_)) => {}
+                other => {
+                    return Err(format!(
+                        "{} is neither null nor a number: {other:?}",
+                        at("parent_id")
+                    ))
+                }
+            }
+        }
+        if roots != 1 {
+            return Err(format!("trace[{i}] has {roots} roots, want exactly 1"));
+        }
+        for (j, span) in spans.iter().enumerate() {
+            if let JsonValue::Object(span) = span {
+                if let Some(JsonValue::Number(parent)) = span.get("parent_id") {
+                    if !ids.contains(&(*parent as i64)) {
+                        return Err(format!(
+                            "trace[{i}].spans[{j}] parents missing span {parent}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a parsed Chrome trace-event export (the object
+/// `chrome://tracing` / Perfetto loads): a `traceEvents` array of
+/// complete (`"ph":"X"`) events, each with name, category, pid/tid,
+/// timestamp, duration and a `trace_id` arg. Returns the first violation.
+pub fn validate_chrome_doc(doc: &JsonValue) -> Result<(), String> {
+    let root = match doc {
+        JsonValue::Object(map) => map,
+        other => return Err(format!("chrome document is not an object: {other:?}")),
+    };
+    let events = match root.get("traceEvents") {
+        Some(JsonValue::Array(items)) => items,
+        Some(other) => return Err(format!("\"traceEvents\" is not an array: {other:?}")),
+        None => return Err("missing \"traceEvents\" array".to_string()),
+    };
+    for (i, event) in events.iter().enumerate() {
+        let event = match event {
+            JsonValue::Object(map) => map,
+            other => return Err(format!("traceEvents[{i}] is not an object: {other:?}")),
+        };
+        match event.get("ph") {
+            Some(JsonValue::String(ph)) if ph == "X" => {}
+            other => return Err(format!("traceEvents[{i}].ph is not \"X\": {other:?}")),
+        }
+        match event.get("name") {
+            Some(JsonValue::String(_)) => {}
+            other => return Err(format!("traceEvents[{i}].name is not a string: {other:?}")),
+        }
+        match event.get("cat") {
+            Some(JsonValue::String(c)) if c == "logical" || c == "physical" => {}
+            other => return Err(format!("traceEvents[{i}].cat is bad: {other:?}")),
+        }
+        for field in ["pid", "tid", "ts", "dur"] {
+            match event.get(field) {
+                Some(JsonValue::Number(_)) => {}
+                other => {
+                    return Err(format!(
+                        "traceEvents[{i}].{field} is not a number: {other:?}"
+                    ))
+                }
+            }
+        }
+        match event.get("args") {
+            Some(JsonValue::Object(args)) => match args.get("trace_id") {
+                Some(JsonValue::Number(_)) => {}
+                other => {
+                    return Err(format!(
+                        "traceEvents[{i}].args.trace_id is not a number: {other:?}"
+                    ))
+                }
+            },
+            other => return Err(format!("traceEvents[{i}].args is not an object: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +397,56 @@ mod tests {
         assert!(validate_metrics_doc(&sparse)
             .unwrap_err()
             .contains("family prefix"));
+    }
+
+    #[test]
+    fn trace_documents_from_a_live_tracer_validate() {
+        let tracer = nemo_obs::trace::Tracer::new();
+        tracer.enable(16);
+        {
+            let _root = tracer.begin("request.mutate");
+            let _route = tracer.span("mutate.route", Class::Logical);
+            let _wal = tracer.span("wal.log", Class::Logical);
+        }
+        let doc = JsonValue::parse(&tracer.to_doc(0)).expect("trace doc parses");
+        validate_trace_doc(&doc).expect("live trace doc validates");
+        let chrome = JsonValue::parse(&tracer.to_chrome(0)).expect("chrome doc parses");
+        validate_chrome_doc(&chrome).expect("live chrome doc validates");
+    }
+
+    #[test]
+    fn trace_validator_rejects_malformed_documents() {
+        let missing_schema = JsonValue::parse(r#"{"traces":[]}"#).unwrap();
+        assert!(validate_trace_doc(&missing_schema)
+            .unwrap_err()
+            .contains("schema"));
+        let orphan = JsonValue::parse(
+            r#"{"dropped":0,"schema":"nemo-trace/v1","slow_dropped":0,"slow_retained":0,"slow_total":0,"traces":[{"base_micros":0,"spans":[{"class":"logical","duration_micros":1,"name":"request.mutate","parent_id":null,"span_id":1,"start_micros":0},{"class":"logical","duration_micros":1,"name":"wal.log","parent_id":9,"span_id":2,"start_micros":0}],"trace_id":1}]}"#,
+        )
+        .unwrap();
+        assert!(validate_trace_doc(&orphan)
+            .unwrap_err()
+            .contains("missing span 9"));
+        let two_roots = JsonValue::parse(
+            r#"{"dropped":0,"schema":"nemo-trace/v1","slow_dropped":0,"slow_retained":0,"slow_total":0,"traces":[{"base_micros":0,"spans":[{"class":"logical","duration_micros":1,"name":"a","parent_id":null,"span_id":1,"start_micros":0},{"class":"logical","duration_micros":1,"name":"b","parent_id":null,"span_id":2,"start_micros":0}],"trace_id":1}]}"#,
+        )
+        .unwrap();
+        assert!(validate_trace_doc(&two_roots)
+            .unwrap_err()
+            .contains("roots"));
+    }
+
+    #[test]
+    fn chrome_validator_rejects_malformed_documents() {
+        let missing = JsonValue::parse(r#"{"events":[]}"#).unwrap();
+        assert!(validate_chrome_doc(&missing)
+            .unwrap_err()
+            .contains("traceEvents"));
+        let bad_phase = JsonValue::parse(
+            r#"{"traceEvents":[{"args":{"trace_id":1},"cat":"logical","dur":1,"name":"x","ph":"B","pid":1,"tid":1,"ts":0}]}"#,
+        )
+        .unwrap();
+        assert!(validate_chrome_doc(&bad_phase).unwrap_err().contains("ph"));
     }
 
     #[test]

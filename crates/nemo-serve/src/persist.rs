@@ -42,6 +42,7 @@ use crate::live::LiveNetwork;
 use crate::mutation::{Mutation, WalRecord};
 use crate::snapshot::{self, write_snapshot_with_frames, SnapshotDoc};
 use dataframe::csv::{to_csv, to_csv_rows};
+use nemo_obs::trace::Tracer;
 use nemo_obs::{Class, Counter, Registry};
 use nemo_store::{RealFs, Store, StoreConfig, StoreMetrics, SweepOutcome, Vfs};
 use std::path::Path;
@@ -136,6 +137,10 @@ pub struct PersistOptions {
     /// e.g. one per shard — aggregate into the same names). A fresh
     /// private registry by default.
     pub registry: Registry,
+    /// Flight recorder every store opened with these options tags its
+    /// spans (WAL log, fsync) and poison causes onto. A fresh disabled
+    /// tracer by default.
+    pub tracer: Tracer,
 }
 
 impl Default for PersistOptions {
@@ -148,6 +153,7 @@ impl Default for PersistOptions {
             keep_snapshots: 2,
             vfs: Arc::new(RealFs),
             registry: Registry::new(),
+            tracer: Tracer::new(),
         }
     }
 }
@@ -239,6 +245,7 @@ impl Persistence {
             )));
         }
         store.attach_metrics(StoreMetrics::register(&options.registry));
+        store.attach_tracer(options.tracer.clone());
         let mut persistence = Persistence {
             store,
             prev: None,
@@ -275,6 +282,7 @@ impl Persistence {
             )));
         }
         store.attach_metrics(StoreMetrics::register(&options.registry));
+        store.attach_tracer(options.tracer.clone());
         Self::recover_opened(store, open_report, retry)
     }
 
@@ -376,6 +384,7 @@ impl Persistence {
             )?)
         })?;
         store.attach_metrics(StoreMetrics::register(&options.registry));
+        store.attach_tracer(options.tracer.clone());
         if store.is_empty() {
             let live = init();
             let mut persistence = Persistence {
@@ -401,6 +410,9 @@ impl Persistence {
     /// store rolled back is retried within [`STORAGE_RETRY_BUDGET`]; a
     /// failed fsync or a poisoned store propagates immediately.
     pub fn log(&mut self, record: &WalRecord) -> Result<(), ServeError> {
+        // Logical span: exactly one WAL log per applied mutation, on the
+        // sharded and unsharded paths alike.
+        let _log_span = self.store.tracer().span("wal.log", Class::Logical);
         let payload = encode_record(record);
         let retry = self.retry.clone();
         with_storage_retry(&retry, || Ok(self.store.append(record.epoch, &payload)?))?;

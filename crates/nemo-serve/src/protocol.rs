@@ -45,6 +45,12 @@ pub enum Request {
     Sync,
     /// Report the server's epoch vector and cache counters.
     Stats,
+    /// Dump the newest `last_n` completed traces from the server's
+    /// flight recorder (`0` = all retained).
+    Trace {
+        /// How many of the newest completed traces to return.
+        last_n: u64,
+    },
 }
 
 /// What handling a [`Request`] produced.
@@ -96,6 +102,14 @@ pub enum Response {
     Synced,
     /// The server's current statistics.
     Stats(StatsReport),
+    /// The flight recorder's contents.
+    Trace {
+        /// The versioned `nemo-trace/v1` document
+        /// ([`nemo_obs::trace::Tracer::to_doc`] parsed back into a
+        /// [`JsonValue`]): drop counters, slow-log counters, and the
+        /// requested trace trees.
+        doc: JsonValue,
+    },
 }
 
 /// A server's observable counters: the sharding layout, the cross-shard
@@ -150,6 +164,10 @@ impl Request {
             ]),
             Request::Sync => codec::obj(vec![("type", codec::s("sync"))]),
             Request::Stats => codec::obj(vec![("type", codec::s("stats"))]),
+            Request::Trace { last_n } => codec::obj(vec![
+                ("type", codec::s("trace")),
+                ("last_n", codec::n(*last_n as i64)),
+            ]),
         }
         .to_json()
     }
@@ -169,6 +187,9 @@ impl Request {
             }),
             "sync" => Ok(Request::Sync),
             "stats" => Ok(Request::Stats),
+            "trace" => Ok(Request::Trace {
+                last_n: get_u64(&root, "last_n")?,
+            }),
             other => Err(ServeError::Corrupt(format!(
                 "unknown request type {other:?}"
             ))),
@@ -256,6 +277,9 @@ impl Response {
                 ),
                 ("metrics", stats.metrics.clone()),
             ]),
+            Response::Trace { doc } => {
+                codec::obj(vec![("type", codec::s("trace")), ("doc", doc.clone())])
+            }
         }
         .to_json()
     }
@@ -322,6 +346,9 @@ impl Response {
                 },
                 metrics: root.get("metrics").cloned().unwrap_or(JsonValue::Null),
             })),
+            "trace" => Ok(Response::Trace {
+                doc: root.get("doc").cloned().unwrap_or(JsonValue::Null),
+            }),
             other => Err(ServeError::Corrupt(format!(
                 "unknown response type {other:?}"
             ))),
@@ -330,8 +357,9 @@ impl Response {
 
     /// Renders the response's deterministic transcript line — byte for
     /// byte the format [`Server::process`](crate::Server::process) has
-    /// always printed. [`Response::Synced`] and [`Response::Stats`] have
-    /// no transcript representation and return `None`.
+    /// always printed. [`Response::Synced`], [`Response::Stats`] and
+    /// [`Response::Trace`] have no transcript representation and return
+    /// `None`.
     pub fn transcript_line(&self) -> Option<String> {
         match self {
             Response::Mutated {
@@ -371,7 +399,7 @@ impl Response {
                      read-only at durable epoch {last_durable_epoch}"
                 ))
             }
-            Response::Synced | Response::Stats(_) => None,
+            Response::Synced | Response::Stats(_) | Response::Trace { .. } => None,
         }
     }
 }
@@ -479,6 +507,7 @@ mod tests {
             },
             Request::Sync,
             Request::Stats,
+            Request::Trace { last_n: 16 },
         ]
     }
 
@@ -536,6 +565,12 @@ mod tests {
                 )
                 .unwrap(),
             }),
+            Response::Trace {
+                doc: JsonValue::parse(
+                    r#"{"dropped":0,"schema":"nemo-trace/v1","slow_dropped":0,"slow_retained":0,"slow_total":0,"traces":[{"base_micros":12,"spans":[{"class":"logical","duration_micros":80,"name":"request.mutate","parent_id":null,"span_id":1,"start_micros":0}],"trace_id":1}]}"#,
+                )
+                .unwrap(),
+            },
         ]
     }
 
@@ -640,5 +675,6 @@ mod tests {
         );
         assert_eq!(lines[5], None);
         assert_eq!(lines[6], None);
+        assert_eq!(lines[7], None, "trace responses have no transcript line");
     }
 }

@@ -30,7 +30,8 @@ use nemo_core::llm::extract_code;
 use nemo_core::prompt::codegen_prompt;
 use nemo_core::sandbox::execute_code;
 use nemo_core::{Backend, Llm, NetworkManager};
-use nemo_obs::Registry;
+use nemo_obs::trace::Tracer;
+use nemo_obs::{Class, Registry};
 use nemo_store::Vfs;
 use netgraph::json::JsonValue;
 use std::path::PathBuf;
@@ -165,6 +166,26 @@ impl ServerBuilder {
         self
     }
 
+    /// The flight recorder every request's trace tree is captured into.
+    /// The same tracer is attached to every store this builder opens, so
+    /// WAL, fsync and group-commit spans land inside the owning request's
+    /// trace. Disabled by default; enable it first
+    /// ([`Tracer::enable`](nemo_obs::trace::Tracer::enable)).
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.options.tracer = tracer;
+        self
+    }
+
+    /// Retain full detail for any request whose root span runs at least
+    /// this many microseconds (the slow-request log). 0 — the default —
+    /// disables retention. Set after [`ServerBuilder::tracer`] /
+    /// [`ServerBuilder::options`]: the threshold lives on the tracer those
+    /// calls install.
+    pub fn slow_request_threshold(self, micros: u64) -> Self {
+        self.options.tracer.set_slow_threshold_micros(micros);
+        self
+    }
+
     /// The filesystem every store runs on: [`nemo_store::RealFs`] by
     /// default, [`nemo_store::FaultFs`] for deterministic fault-injection
     /// tests.
@@ -227,6 +248,7 @@ impl ServerBuilder {
     ) -> Result<Server<L>, ServeError> {
         let caches = self.caches();
         let registry = self.options.registry.clone();
+        let tracer = self.options.tracer.clone();
         let metrics = ServeMetrics::register(&registry, self.shards);
         let net = ShardedNetwork::from_live(&live, self.shards)?;
         let persistence = match (&self.root, self.attach) {
@@ -271,6 +293,7 @@ impl ServerBuilder {
             degraded: None,
             degraded_cause: None,
             registry,
+            tracer,
             metrics,
         })
     }
@@ -298,6 +321,7 @@ impl ServerBuilder {
         };
         let caches = self.caches();
         let registry = self.options.registry.clone();
+        let tracer = self.options.tracer.clone();
         let metrics = ServeMetrics::register(&registry, self.shards);
         let (net, persistence, reports) = if self.shards == 1 {
             let (live, persistence, report) =
@@ -327,6 +351,7 @@ impl ServerBuilder {
                 degraded: None,
                 degraded_cause: None,
                 registry,
+                tracer,
                 metrics,
             },
             reports,
@@ -359,6 +384,11 @@ pub struct Server<L: Llm> {
     /// The metrics registry every subsystem under this server records
     /// into — the one carried by [`PersistOptions::registry`].
     registry: Registry,
+    /// The flight recorder request traces are captured into — the one
+    /// carried by [`PersistOptions::tracer`], shared with every attached
+    /// store. Disabled (all no-ops) unless the builder installed an
+    /// enabled tracer.
+    tracer: Tracer,
     /// The serving layer's own metric handles.
     metrics: ServeMetrics,
 }
@@ -420,6 +450,14 @@ impl<L: Llm> Server<L> {
         &self.registry
     }
 
+    /// The flight recorder this server records request traces into — the
+    /// one carried by [`PersistOptions::tracer`]. Snapshot it with
+    /// [`Tracer::to_doc`] / [`Tracer::to_chrome`], or ask the server
+    /// itself via [`Request::Trace`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Enters degraded read-only mode if the store behind `err` is
     /// actually poisoned — the ground truth is the store's own poison
     /// flag, not the error's shape (rolled-back faults surface errors
@@ -456,6 +494,12 @@ impl<L: Llm> Server<L> {
             if self.degraded.is_some() {
                 self.degraded_cause = cause;
                 self.metrics.degraded_transitions.inc();
+                // Fallback error tag: the store usually tagged the exact
+                // fsync span already (first tag wins), but a poisoning
+                // failure surfaced without one still marks the request.
+                if let Some(cause) = &self.degraded_cause {
+                    self.tracer.tag_error(cause);
+                }
             }
         }
         err
@@ -479,6 +523,9 @@ impl<L: Llm> Server<L> {
         if self.degraded.is_some() {
             return Ok(());
         }
+        // One physical span for the whole batch-boundary flush, whatever
+        // the shard count — the skeleton must not reveal the layout.
+        let _flush_span = self.tracer.span("sync.flush", Class::Physical);
         let result = match &mut self.persistence {
             ServerPersistence::None => Ok(()),
             ServerPersistence::Plain(p) => p.sync(),
@@ -504,6 +551,8 @@ impl<L: Llm> Server<L> {
         if self.degraded.is_some() {
             return Ok(());
         }
+        // As with sync.flush: one span over every shard's sweep.
+        let _sweep_span = self.tracer.span("sweep.flush", Class::Physical);
         let result = match &mut self.persistence {
             ServerPersistence::None => Ok(()),
             ServerPersistence::Plain(p) => p.sweep(max_removals).map(|_| ()),
@@ -573,6 +622,9 @@ impl<L: Llm> Server<L> {
             .global_epoch
             .set(self.net.global_epoch() as i64);
         self.metrics.sample_cache(cache);
+        self.metrics
+            .slow_requests
+            .set(self.tracer.slow_total() as i64);
         for (k, gauge) in self.metrics.shard_epochs.iter().enumerate() {
             gauge.set(epochs.get(k).copied().unwrap_or(0) as i64);
         }
@@ -639,15 +691,22 @@ impl<L: Llm> Server<L> {
         if self.degraded.is_some() {
             return Err(self.degraded_error());
         }
+        // Logical span, emitted once per mutation on both layouts before
+        // any validation: the trace skeleton is shard-invariant even when
+        // the mutation conflicts.
+        let _route_span = self.tracer.span("mutate.route", Class::Logical);
         if self.net.shards() == 1 {
             // A single shard keeps the exact pre-sharding write path (and,
             // under Plain persistence, the exact on-disk byte layout).
             let live = self.net.partition_live_mut(0);
-            let result = match &mut self.persistence {
-                ServerPersistence::None => live.apply(at_ms, mutation),
-                ServerPersistence::Plain(p) => live.apply_persisted(at_ms, mutation, p),
-                ServerPersistence::Sharded(_) => {
-                    unreachable!("the builder never shards a single-shard layout")
+            let result = {
+                let _apply_span = self.tracer.span("mutate.apply", Class::Physical);
+                match &mut self.persistence {
+                    ServerPersistence::None => live.apply(at_ms, mutation),
+                    ServerPersistence::Plain(p) => live.apply_persisted(at_ms, mutation, p),
+                    ServerPersistence::Sharded(_) => {
+                        unreachable!("the builder never shards a single-shard layout")
+                    }
                 }
             };
             return result.map_err(|e| self.note_storage_failure(e));
@@ -671,9 +730,12 @@ impl<L: Llm> Server<L> {
                 return Err(self.note_storage_failure(e));
             }
         }
-        self.net
-            .apply_at(global, at_ms, mutation)
-            .expect("mutation was validated globally before logging");
+        {
+            let _apply_span = self.tracer.span("mutate.apply", Class::Physical);
+            self.net
+                .apply_at(global, at_ms, mutation)
+                .expect("mutation was validated globally before logging");
+        }
         if let ServerPersistence::Sharded(stores) = &mut self.persistence {
             let snapshotted = stores[k as usize]
                 .maybe_snapshot(self.net.partition(k))
@@ -789,10 +851,17 @@ impl<L: Llm> Server<L> {
         };
         let backend = self.sessions[si].backend;
         let ci = shard_of(query, self.net.shards()) as usize;
-        let (cache, answer) = match self.caches[ci].lookup(query, backend, epoch) {
+        // Logical span: the probe's outcome is a pure function of the
+        // request stream, so it belongs to the deterministic skeleton.
+        let lookup = {
+            let _cache_span = self.tracer.span("query.cache", Class::Logical);
+            self.caches[ci].lookup(query, backend, epoch)
+        };
+        let (cache, answer) = match lookup {
             Lookup::Answer(_outcome, rendered) => (CacheOutcome::AnswerHit, rendered.to_string()),
             Lookup::Program(program) => {
                 self.ensure_merged(epoch);
+                let _execute_span = self.tracer.span("query.execute", Class::Physical);
                 let state = self.current_view().state(backend);
                 match execute_code(backend, &program, &state) {
                     Ok(outcome) => {
@@ -813,6 +882,7 @@ impl<L: Llm> Server<L> {
             }
             Lookup::Miss => {
                 self.ensure_merged(epoch);
+                let _compile_span = self.tracer.span("query.compile", Class::Physical);
                 // Field-level split: the view (net/merged) is borrowed
                 // immutably while the session's model is borrowed mutably.
                 let Server {
@@ -870,6 +940,16 @@ impl<L: Llm> Server<L> {
     /// read-only mode); every mutation after that comes back as
     /// [`Response::Degraded`] while queries keep answering.
     pub fn handle(&mut self, request: &Request) -> Result<Response, ServeError> {
+        // Mint the request's trace root; every span below (routing, cache,
+        // WAL, fsync, group commit) hangs off it. A no-op when the tracer
+        // is disabled.
+        let _trace = self.tracer.begin(match request {
+            Request::Mutate { .. } => "request.mutate",
+            Request::Query { .. } => "request.query",
+            Request::Sync => "request.sync",
+            Request::Stats => "request.stats",
+            Request::Trace { .. } => "request.trace",
+        });
         match request {
             Request::Mutate { at_ms, mutation } => {
                 self.metrics.requests_mutate.inc();
@@ -916,6 +996,14 @@ impl<L: Llm> Server<L> {
             Request::Stats => {
                 self.metrics.requests_stats.inc();
                 Ok(Response::Stats(self.stats()))
+            }
+            Request::Trace { last_n } => {
+                self.metrics.requests_trace.inc();
+                // Snapshotted while this request's own trace is still
+                // open, so the answer never includes itself.
+                let doc = JsonValue::parse(&self.tracer.to_doc(*last_n as usize))
+                    .expect("trace documents serialize to valid JSON");
+                Ok(Response::Trace { doc })
             }
         }
     }

@@ -121,6 +121,7 @@ impl ShardPersistence {
             )));
         }
         store.attach_metrics(StoreMetrics::register(&options.registry));
+        store.attach_tracer(options.tracer.clone());
         let mut persistence = ShardPersistence {
             store,
             shard,
@@ -162,6 +163,7 @@ impl ShardPersistence {
             )));
         }
         store.attach_metrics(StoreMetrics::register(&options.registry));
+        store.attach_tracer(options.tracer.clone());
         let mut report = RecoveryReport {
             truncated_bytes: open_report.truncated_bytes,
             ..RecoveryReport::default()
@@ -250,6 +252,12 @@ impl ShardPersistence {
     /// Durably logs one applied record: positional epoch is the shard's
     /// local epoch, `global` rides along in the payload.
     pub(crate) fn log(&mut self, record: &WalRecord, global: Epoch) -> Result<(), ServeError> {
+        // Same logical span name as the unsharded path: the skeleton must
+        // not reveal the shard layout.
+        let _log_span = self
+            .store
+            .tracer()
+            .span("wal.log", nemo_obs::Class::Logical);
         let payload = encode_shard_record(record, global);
         let retry = self.retry.clone();
         with_storage_retry(&retry, || Ok(self.store.append(record.epoch, &payload)?))?;

@@ -19,6 +19,8 @@
 use crate::error::StoreError;
 use crate::metrics::CommitMetrics;
 use crate::store::{FsyncPolicy, Store};
+use nemo_obs::trace::Tracer;
+use nemo_obs::Class;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -70,6 +72,10 @@ pub struct GroupCommitter {
     /// Batch-formation instrumentation; detached unless constructed via
     /// [`GroupCommitter::with_metrics`].
     metrics: CommitMetrics,
+    /// The wrapped store's tracer (cloned at construction): leader/waiter
+    /// handoff spans attach to whatever trace is active on the calling
+    /// thread, and are no-ops otherwise.
+    tracer: Tracer,
 }
 
 impl GroupCommitter {
@@ -102,6 +108,7 @@ impl GroupCommitter {
             ));
         }
         let synced = store.last_epoch().unwrap_or(0);
+        let tracer = store.tracer().clone();
         Ok(GroupCommitter {
             state: Mutex::new(State {
                 store,
@@ -117,6 +124,7 @@ impl GroupCommitter {
             max_batch: u64::from(max_batch),
             max_wait: Duration::from_micros(max_wait_micros),
             metrics,
+            tracer,
         })
     }
 
@@ -148,6 +156,9 @@ impl GroupCommitter {
         state.appended = epoch;
         self.arrived.notify_all();
 
+        // Waiter handoff: covers everything from the append landing to
+        // the covering fsync's ack, including a stint as leader.
+        let _wait_span = self.tracer.span("commit.wait", Class::Physical);
         loop {
             if state.synced >= epoch {
                 self.metrics
@@ -185,6 +196,7 @@ impl GroupCommitter {
     /// tracks the arrival rate times the fsync latency — pipelined group
     /// commit — instead of whatever trickled in during the straggler wait.
     fn lead<'a>(&'a self, mut state: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        let _lead_span = self.tracer.span("commit.lead", Class::Physical);
         state.leader_active = true;
         let deadline = Instant::now() + self.max_wait;
         // Wait for stragglers: more appends are worth waiting for while
@@ -228,12 +240,15 @@ impl GroupCommitter {
         // overlaps with the next batch's appends. Records <= covered are
         // either in the duplicated active file or in sealed segments
         // (rotation fsyncs those as it seals them).
-        let result = match handle {
-            Ok(Some((file, path))) => file
-                .sync_data()
-                .map_err(|e| StoreError::io_at("fsync", &path, e)),
-            Ok(None) => Ok(()),
-            Err(err) => Err(err),
+        let result = {
+            let _fsync_span = self.tracer.span("commit.fsync", Class::Physical);
+            match handle {
+                Ok(Some((file, path))) => file
+                    .sync_data()
+                    .map_err(|e| StoreError::io_at("fsync", &path, e)),
+                Ok(None) => Ok(()),
+                Err(err) => Err(err),
+            }
         };
         let mut state = self.lock();
         match result {
@@ -517,6 +532,67 @@ mod tests {
         let (store, _) = Store::open(&dir, group_config(4, 100)).unwrap();
         assert!(store.poisoned().is_none());
         assert!(store.replay(0).unwrap().len() <= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traced_appenders_capture_leader_and_waiter_spans() {
+        let dir = temp_dir("traced");
+        let (mut store, _) = Store::open(&dir, group_config(4, 50_000)).unwrap();
+        let tracer = Tracer::new();
+        tracer.enable(64);
+        store.attach_tracer(tracer.clone());
+        let committer = Arc::new(GroupCommitter::new(store).unwrap());
+        let threads = 3;
+        let barrier = Arc::new(Barrier::new(threads));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let committer = Arc::clone(&committer);
+                let barrier = Arc::clone(&barrier);
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    let _trace = tracer.begin("request.mutate");
+                    committer.append(format!("t{t}").as_bytes()).unwrap();
+                });
+            }
+        });
+        let traces = tracer.traces(0);
+        assert_eq!(traces.len(), threads);
+        let names: Vec<Vec<&str>> = traces
+            .iter()
+            .map(|t| t.spans.iter().map(|s| s.name).collect())
+            .collect();
+        // Every appender waited for its covering fsync; at least one of
+        // them led a batch (and issued its fsync) inside that wait.
+        for spans in &names {
+            assert!(spans.contains(&"commit.wait"), "{names:?}");
+        }
+        assert!(
+            names.iter().any(|s| s.contains(&"commit.lead")),
+            "{names:?}"
+        );
+        assert!(
+            names.iter().any(|s| s.contains(&"commit.fsync")),
+            "{names:?}"
+        );
+        // The leader's spans nest under its waiter span.
+        let leader = traces
+            .iter()
+            .find(|t| t.spans.iter().any(|s| s.name == "commit.lead"))
+            .unwrap();
+        let wait_id = leader
+            .spans
+            .iter()
+            .find(|s| s.name == "commit.wait")
+            .unwrap()
+            .span_id;
+        let lead = leader
+            .spans
+            .iter()
+            .find(|s| s.name == "commit.lead")
+            .unwrap();
+        assert_eq!(lead.parent_id, Some(wait_id));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

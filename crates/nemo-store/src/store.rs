@@ -29,6 +29,8 @@ use crate::record::encode_frame;
 use crate::segment::{scan_segment_with, segment_file_name, SegmentScan};
 use crate::sweep::{SnapshotMeta, SweepOutcome, SweepPlan};
 use crate::vfs::{RealFs, Vfs, VfsFile};
+use nemo_obs::trace::Tracer;
+use nemo_obs::Class;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -229,6 +231,9 @@ pub struct Store {
     /// Hot-path instrumentation; detached (recording goes nowhere) until
     /// [`Store::attach_metrics`] binds it to a shared registry.
     metrics: StoreMetrics,
+    /// Request-scoped tracing; disabled (spans are no-ops) until
+    /// [`Store::attach_tracer`] binds it to a shared flight recorder.
+    tracer: Tracer,
 }
 
 impl Store {
@@ -422,6 +427,7 @@ impl Store {
             poisoned: None,
             bytes_since_snapshot,
             metrics: StoreMetrics::default(),
+            tracer: Tracer::default(),
         };
         // A crash mid-sweep needs no repair — the surviving files are a
         // valid store — but report the leftover work so the caller knows
@@ -457,6 +463,18 @@ impl Store {
     /// [`Store::attach_metrics`] was called).
     pub fn metrics(&self) -> &StoreMetrics {
         &self.metrics
+    }
+
+    /// Binds the store's fsync spans and poison error tags to `tracer`
+    /// (typically the serving layer's per-server flight recorder).
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The store's tracer (disabled unless [`Store::attach_tracer`] was
+    /// called); the group committer hooks its spans onto the same one.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// True when the store holds no segments and no snapshots.
@@ -498,6 +516,11 @@ impl Store {
                     self.durable_epoch
                 )),
             });
+            // Attribute the wound to the request that hit it: the cause
+            // lands on the innermost open span of the owning trace.
+            if let Some(poison) = &self.poisoned {
+                self.tracer.tag_error(&poison.to_string());
+            }
         }
     }
 
@@ -572,6 +595,7 @@ impl Store {
                 // segment would never be covered by a later batch fsync.
                 if self.config.fsync.durable_metadata() {
                     let started = Instant::now();
+                    let _fsync_span = self.tracer.span("store.fsync", Class::Physical);
                     if let Err(e) = active.file.sync_data() {
                         let err = StoreError::io_at("fsync", &active.path, e);
                         // The records exist on disk regardless of the
@@ -642,6 +666,7 @@ impl Store {
         self.last_epoch = Some(epoch);
         if self.config.fsync == FsyncPolicy::EveryRecord {
             let started = Instant::now();
+            let _fsync_span = self.tracer.span("store.fsync", Class::Physical);
             if let Err(e) = active.file.sync_data() {
                 let err = StoreError::io_at("fsync", &active.path, e);
                 self.metrics.fsync_failures.inc();
@@ -661,6 +686,7 @@ impl Store {
         self.check_poisoned()?;
         if let Some(active) = &self.active {
             let started = Instant::now();
+            let _fsync_span = self.tracer.span("store.fsync", Class::Physical);
             if let Err(e) = active.file.sync_data() {
                 let err = StoreError::io_at("fsync", &active.path, e);
                 self.metrics.fsync_failures.inc();
